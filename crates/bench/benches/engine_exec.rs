@@ -1,0 +1,47 @@
+//! B2 — engine execution latency per §3 complexity rung.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use nlidb_benchdata::retail_database;
+use nlidb_engine::execute;
+use nlidb_sqlir::parse_query;
+
+fn bench_engine(c: &mut Criterion) {
+    let db = retail_database(42);
+    let queries: [(&str, &str); 5] = [
+        ("select", "SELECT * FROM customers WHERE city = 'Austin'"),
+        (
+            "aggregate",
+            "SELECT status, SUM(amount) FROM orders GROUP BY status",
+        ),
+        (
+            "join",
+            "SELECT customers.city, SUM(orders.amount) FROM orders \
+             JOIN customers ON orders.customer_id = customers.id GROUP BY customers.city",
+        ),
+        (
+            "nested-uncorrelated",
+            "SELECT * FROM customers WHERE id NOT IN (SELECT customer_id FROM orders)",
+        ),
+        (
+            "nested-correlated",
+            "SELECT name FROM customers AS c WHERE EXISTS \
+             (SELECT * FROM orders WHERE orders.customer_id = c.id AND orders.amount > 1000)",
+        ),
+    ];
+    let mut group = c.benchmark_group("engine");
+    for (label, sql) in queries {
+        let q = parse_query(sql).expect("bench SQL parses");
+        group.bench_with_input(BenchmarkId::from_parameter(label), &q, |b, q| {
+            b.iter(|| std::hint::black_box(execute(&db, q).expect("executes")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench_engine
+}
+criterion_main!(benches);

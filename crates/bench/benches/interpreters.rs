@@ -1,0 +1,45 @@
+//! B1 — interpretation latency per family × complexity rung.
+//!
+//! The survey's "Enterprise Adaption" challenge implies interactive
+//! latency budgets; this bench shows each family's cost profile on
+//! one representative question per §3 rung.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use nlidb_bench::workloads::setup_domain;
+use nlidb_core::interpretation::InterpreterKind;
+
+fn bench_interpreters(c: &mut Criterion) {
+    let setup = setup_domain("retail", 42, 120);
+    let ctx = setup.pipeline.context();
+    let questions: [(&str, &str); 4] = [
+        ("select", "show customers in Austin"),
+        ("aggregate", "total amount by status"),
+        ("join", "total order amount by customer city"),
+        ("nested", "customers without orders"),
+    ];
+    let mut group = c.benchmark_group("interpret");
+    for kind in InterpreterKind::all() {
+        for (class, q) in questions {
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), class),
+                &q,
+                |b, q| {
+                    b.iter(|| {
+                        std::hint::black_box(
+                            setup.pipeline.interpreter(kind).interpret(q, ctx),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_interpreters
+}
+criterion_main!(benches);

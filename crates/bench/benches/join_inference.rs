@@ -1,0 +1,63 @@
+//! B4 — join-path inference ablation: ATHENA-style Steiner-tree
+//! planning vs naive pairwise shortest paths, as the number of
+//! terminal concepts grows.
+//!
+//! DESIGN.md calls this ablation out: the Steiner plan guarantees a
+//! single connected tree where pairwise paths can visit connector
+//! tables repeatedly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use nlidb_benchdata::all_domains;
+use nlidb_ontology::{generate_ontology, JoinGraph};
+
+fn bench_join_inference(c: &mut Criterion) {
+    // Build one combined multi-domain graph by merging ontologies —
+    // a larger search space than any single domain.
+    let dbs = all_domains(42);
+    let ontologies: Vec<_> = dbs.iter().map(generate_ontology).collect();
+    let graphs: Vec<JoinGraph> = ontologies.iter().map(JoinGraph::from_ontology).collect();
+
+    let mut group = c.benchmark_group("join_inference");
+    // Retail graph: customers / products / orders.
+    let retail = &graphs[0];
+    let terminal_sets: [(&str, Vec<&str>); 3] = [
+        ("pair", vec!["customer", "product"]),
+        ("triple", vec!["customer", "product", "order"]),
+        ("clinic-triple", vec!["patient", "doctor", "visit"]),
+    ];
+    for (label, terminals) in &terminal_sets {
+        let graph = if *label == "clinic-triple" { &graphs[5] } else { retail };
+        group.bench_with_input(
+            BenchmarkId::new("steiner", label),
+            terminals,
+            |b, terminals| {
+                b.iter(|| std::hint::black_box(graph.steiner_plan(terminals)))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("pairwise", label),
+            terminals,
+            |b, terminals| {
+                b.iter(|| {
+                    // Ablation baseline: independent shortest paths from
+                    // the first terminal to each other terminal.
+                    let first = terminals[0];
+                    let paths: Vec<_> = terminals[1..]
+                        .iter()
+                        .map(|t| graph.shortest_path(first, t))
+                        .collect();
+                    std::hint::black_box(paths)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(60);
+    targets = bench_join_inference
+}
+criterion_main!(benches);

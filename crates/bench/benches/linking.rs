@@ -1,0 +1,54 @@
+//! B3 — mention linking and index lookup, with the
+//! synonym-expansion ablation (the Lei et al. relaxation claim): how
+//! much does lexicon-backed lookup cost over exact-only lookup, and
+//! what does it buy (measured in E2; timed here)?
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use nlidb_benchdata::retail_database;
+use nlidb_core::linking::link_mentions;
+use nlidb_core::pipeline::SchemaContext;
+use nlidb_nlp::{tokenize, Lexicon, LexiconBuilder};
+
+fn bench_linking(c: &mut Criterion) {
+    let db = retail_database(42);
+    let with_lexicon = SchemaContext::build_with_lexicon(&db, Lexicon::business_default());
+    let exact_only = SchemaContext::build_with_lexicon(&db, LexiconBuilder::new().build());
+    let questions = [
+        ("canonical", "total order amount by customer city"),
+        ("synonymous", "combined purchase value by client town"),
+        ("value-heavy", "show customers in New York with segment consumer"),
+    ];
+    let mut group = c.benchmark_group("linking");
+    for (label, q) in questions {
+        let tokens = tokenize(q);
+        group.bench_with_input(
+            BenchmarkId::new("lexicon", label),
+            &tokens,
+            |b, tokens| b.iter(|| std::hint::black_box(link_mentions(tokens, &with_lexicon))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("exact-only", label),
+            &tokens,
+            |b, tokens| b.iter(|| std::hint::black_box(link_mentions(tokens, &exact_only))),
+        );
+    }
+    // Raw index lookups.
+    group.bench_function("value-index/exact", |b| {
+        b.iter(|| std::hint::black_box(with_lexicon.indices.values.lookup("New York")))
+    });
+    group.bench_function("value-index/fuzzy", |b| {
+        b.iter(|| std::hint::black_box(with_lexicon.indices.values.lookup("New Yrok")))
+    });
+    group.bench_function("metadata-index/synonym", |b| {
+        b.iter(|| std::hint::black_box(with_lexicon.indices.metadata.lookup("clients")))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench_linking
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! B5 — training cost of the learned components: the neural sketch
+//! model, the QUEST-style HMM tagger (trained inside the hybrid), and
+//! the bootstrap intent classifier. The §4.2 data-hunger claim has a
+//! cost side too: every domain re-train is paid in wall-clock.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use nlidb_bench::workloads::training_examples;
+use nlidb_benchdata::{derive_slots, retail_database};
+use nlidb_core::hybrid::HybridInterpreter;
+use nlidb_core::neural::NeuralInterpreter;
+use nlidb_core::pipeline::SchemaContext;
+use nlidb_dialogue::{bootstrap_from_ontology, IntentClassifier};
+
+fn bench_training(c: &mut Criterion) {
+    let db = retail_database(42);
+    let slots = derive_slots(&db);
+    let ctx = SchemaContext::build(&db);
+
+    let mut group = c.benchmark_group("training");
+    group.sample_size(10);
+    for &n in &[50usize, 200] {
+        let examples = training_examples(&slots, 7, n, &[0, 1, 2, 3]);
+        group.bench_with_input(
+            BenchmarkId::new("neural", n),
+            &examples,
+            |b, examples| {
+                b.iter(|| std::hint::black_box(NeuralInterpreter::train(examples, &ctx, 9)))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("hybrid", n),
+            &examples,
+            |b, examples| {
+                b.iter(|| {
+                    let mut h = HybridInterpreter::new();
+                    h.train(examples, &ctx, 9);
+                    std::hint::black_box(h.has_neural())
+                })
+            },
+        );
+    }
+    let artifacts = bootstrap_from_ontology(&db, &ctx);
+    group.bench_function("intent-classifier", |b| {
+        b.iter(|| std::hint::black_box(IntentClassifier::train(&artifacts, 9)))
+    });
+    group.bench_function("schema-context-build", |b| {
+        b.iter(|| std::hint::black_box(SchemaContext::build(&db)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! The reproduction harness CLI.
+//!
+//! ```text
+//! experiments                 # run all of E1–E10
+//! experiments --exp e2        # run one experiment
+//! experiments --seed 7        # change the global seed
+//! ```
+
+use std::env;
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let mut seed = 42u64;
+    let mut only: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                seed = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(42);
+                i += 2;
+            }
+            "--exp" => {
+                only = args.get(i + 1).cloned();
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let ids: Vec<&str> = match &only {
+        Some(id) => vec![id.as_str()],
+        None => nlidb_bench::EXPERIMENT_IDS.to_vec(),
+    };
+    println!("nlidb reproduction harness (seed {seed})");
+    println!("paper: Özcan et al., \"State of the Art and Open Challenges in Natural");
+    println!("Language Interfaces to Data\", SIGMOD 2020 — see EXPERIMENTS.md\n");
+    for id in ids {
+        let start = std::time::Instant::now();
+        match nlidb_bench::run_experiment(id, seed) {
+            Some(table) => {
+                println!("{table}");
+                println!("[{id} completed in {:.1}s]\n", start.elapsed().as_secs_f64());
+            }
+            None => {
+                eprintln!("unknown experiment id: {id} (known: {:?})", nlidb_bench::EXPERIMENT_IDS);
+                std::process::exit(2);
+            }
+        }
+    }
+}

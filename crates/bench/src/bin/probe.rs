@@ -1,0 +1,42 @@
+//! Diagnostic: per-complexity-class execution accuracy of the entity
+//! interpreter over every domain's canonical Spider-like suite.
+//! Pass `-v` to print each miss with the gold and produced SQL.
+//!
+//! ```text
+//! cargo run -p nlidb-bench --bin probe [-- -v]
+//! ```
+
+use nlidb_benchdata::{derive_slots, spider_like};
+use nlidb_core::{Interpreter, pipeline::SchemaContext};
+use nlidb_core::entity::EntityInterpreter;
+use nlidb_evalkit::execution_match;
+use std::collections::HashMap;
+
+fn main() {
+    let mut per_class: HashMap<String, (usize, usize)> = HashMap::new();
+    for db in nlidb_benchdata::all_domains(42) {
+        let slots = derive_slots(&db);
+        let ctx = SchemaContext::build(&db);
+        let suite = spider_like(&slots, 7, 48);
+        for pair in suite {
+            let e = per_class.entry(pair.class.label().to_string()).or_default();
+            e.1 += 1;
+            let pred = EntityInterpreter::new().best(&pair.question, &ctx);
+            let ok = pred.as_ref().map(|p| execution_match(&db, &pair.sql, &p.sql)).unwrap_or(false);
+            if ok { e.0 += 1; }
+            else if std::env::args().nth(1).as_deref() == Some("-v") {
+                println!("MISS [{}] {} :: {}", pair.id, pair.question, pair.sql);
+                match &pred {
+                    Some(p) => println!("   got: {}", p.sql),
+                    None => println!("   got: (none)"),
+                }
+            }
+        }
+    }
+    let mut keys: Vec<_> = per_class.keys().cloned().collect();
+    keys.sort();
+    for k in keys {
+        let (c, t) = per_class[&k];
+        println!("{k}: {c}/{t}");
+    }
+}

@@ -1,0 +1,11 @@
+//! # nlidb-bench — the reproduction harness
+//!
+//! One function per experiment in `EXPERIMENTS.md` (E1–E10), each
+//! returning a rendered [`nlidb_evalkit::Table`]. The `experiments`
+//! binary prints them; the Criterion benches under `benches/` reuse
+//! [`workloads`] for the latency measurements (B1–B5).
+
+pub mod experiments;
+pub mod workloads;
+
+pub use experiments::{run_experiment, EXPERIMENT_IDS};

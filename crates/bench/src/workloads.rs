@@ -1,0 +1,157 @@
+//! Shared workload construction for experiments and benches.
+
+use nlidb_benchdata::{
+    derive_slots, domain_database, paraphrase, wikisql_like, QaPair, SlotSet,
+};
+use nlidb_core::interpretation::InterpreterKind;
+use nlidb_core::neural::TrainingExample;
+use nlidb_core::pipeline::NliPipeline;
+use nlidb_engine::Database;
+use nlidb_evalkit::{execution_match, EvalOutcome};
+use nlidb_nlp::Lexicon;
+
+/// A fully assembled domain: database + slots + trained pipeline.
+pub struct DomainSetup {
+    /// The database.
+    pub db: Database,
+    /// Derived template slots.
+    pub slots: SlotSet,
+    /// Pipeline with trained neural/hybrid models.
+    pub pipeline: NliPipeline,
+}
+
+/// Build (question, gold) training pairs from the WikiSQL-like
+/// generator, paraphrased at the given levels (cycled) so the learned
+/// models see lexical variation.
+pub fn training_examples(
+    slots: &SlotSet,
+    seed: u64,
+    n: usize,
+    levels: &[u8],
+) -> Vec<TrainingExample> {
+    let lexicon = Lexicon::business_default();
+    wikisql_like(slots, seed, n)
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let level = if levels.is_empty() { 0 } else { levels[i % levels.len()] };
+            TrainingExample {
+                question: paraphrase(
+                    &p.question,
+                    &p.protected,
+                    level,
+                    &lexicon,
+                    seed ^ (i as u64).wrapping_mul(0x9e3779b97f4a7c15),
+                ),
+                sql: p.sql,
+            }
+        })
+        .collect()
+}
+
+/// Build one domain with a pipeline trained on `train_n` paraphrased
+/// examples (levels 0–3 cycled). `train_n == 0` leaves the learned
+/// models untrained.
+pub fn setup_domain(name: &str, seed: u64, train_n: usize) -> DomainSetup {
+    let db = domain_database(name, seed);
+    let slots = derive_slots(&db);
+    let mut pipeline = NliPipeline::standard(&db);
+    if train_n > 0 {
+        let train = training_examples(&slots, seed.wrapping_add(101), train_n, &[0, 1, 2, 3]);
+        pipeline.train_neural(&train, seed.wrapping_add(202));
+    }
+    DomainSetup { db, slots, pipeline }
+}
+
+/// Paraphrase an evaluation suite at a fixed level.
+pub fn paraphrased(pairs: &[QaPair], level: u8, seed: u64) -> Vec<QaPair> {
+    let lexicon = Lexicon::business_default();
+    pairs
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let mut q = p.clone();
+            q.question = paraphrase(
+                &p.question,
+                &p.protected,
+                level,
+                &lexicon,
+                seed ^ (i as u64).wrapping_mul(0x2545f4914f6cdd1d),
+            );
+            q
+        })
+        .collect()
+}
+
+/// Evaluate one interpreter family on a suite (execution accuracy).
+pub fn evaluate(setup: &DomainSetup, kind: InterpreterKind, suite: &[QaPair]) -> EvalOutcome {
+    let mut out = EvalOutcome::default();
+    for pair in suite {
+        let pred = setup
+            .pipeline
+            .interpreter(kind)
+            .best(&pair.question, setup.pipeline.context());
+        match pred {
+            Some(p) => {
+                let ok = execution_match(&setup.db, &pair.sql, &p.sql);
+                out.record(true, ok);
+            }
+            None => out.record(false, false),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nlidb_benchdata::spider_like;
+    use nlidb_sqlir::ComplexityClass;
+
+    #[test]
+    fn setup_trains_models() {
+        let s = setup_domain("retail", 5, 60);
+        let out = evaluate(
+            &s,
+            InterpreterKind::Entity,
+            &spider_like(&s.slots, 77, 12),
+        );
+        assert!(out.total == 12);
+        assert!(out.recall() > 0.5, "{out}");
+    }
+
+    #[test]
+    fn untrained_neural_answers_nothing() {
+        let s = setup_domain("retail", 5, 0);
+        let suite = spider_like(&s.slots, 77, 8);
+        let out = evaluate(&s, InterpreterKind::Neural, &suite);
+        assert_eq!(out.answered, 0);
+    }
+
+    #[test]
+    fn training_examples_are_paraphrase_mixed() {
+        let db = domain_database("retail", 5);
+        let slots = derive_slots(&db);
+        let canonical = training_examples(&slots, 9, 40, &[0]);
+        let mixed = training_examples(&slots, 9, 40, &[3]);
+        let differing = canonical
+            .iter()
+            .zip(&mixed)
+            .filter(|(a, b)| a.question != b.question)
+            .count();
+        assert!(differing > 20, "level-3 paraphrase must alter most questions");
+    }
+
+    #[test]
+    fn paraphrased_preserves_gold() {
+        let db = domain_database("retail", 5);
+        let slots = derive_slots(&db);
+        let suite = spider_like(&slots, 3, 10);
+        let para = paraphrased(&suite, 2, 4);
+        for (a, b) in suite.iter().zip(&para) {
+            assert_eq!(a.sql, b.sql);
+            assert_eq!(a.class, b.class);
+        }
+        assert!(para.iter().all(|p| ComplexityClass::all().contains(&p.class)));
+    }
+}

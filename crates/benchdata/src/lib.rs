@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! # nlidb-benchdata — synthetic NLIDB benchmarks
+//!
+//! The survey's evaluation landscape (§6) is built on four public
+//! datasets — WikiSQL, WikiTableQuestions, SParC, CoSQL — none of
+//! which is redistributable inside this offline reproduction. This
+//! crate generates seeded synthetic counterparts with the same
+//! *shape*:
+//!
+//! * [`schemas`] — six multi-table domain databases (retail, HR,
+//!   academic, flights, library, clinic) with seeded data,
+//! * [`slots`] — semantic template slots derived automatically from
+//!   each domain's ontology (dimension/fact concepts, measures,
+//!   categoricals, temporal columns, live data values),
+//! * [`templates`] — question/SQL pair generation across the survey's
+//!   four complexity rungs,
+//! * [`mod@paraphrase`] — a controllable paraphrase engine (synonyms,
+//!   colloquialisms, reordering, typos) with intensity levels 0–3,
+//! * [`sessions`] — SParC-like coherent question sequences and
+//!   CoSQL-like dialogues with per-turn gold SQL,
+//! * [`stats`] — dataset statistics harness mirroring the counts the
+//!   paper reports for the real benchmarks.
+//!
+//! Everything is deterministic under a `u64` seed.
+
+pub mod paraphrase;
+pub mod schemas;
+pub mod sessions;
+pub mod slots;
+pub mod stats;
+pub mod templates;
+pub mod wtq;
+
+pub use paraphrase::paraphrase;
+pub use schemas::{
+    academic_database, all_domains, clinic_database, domain_database, flights_database,
+    hr_database, library_database, retail_database, DOMAIN_NAMES,
+};
+pub use sessions::{cosql_like, sparc_like, SessionExample, SessionKind, TurnExample};
+pub use slots::{derive_slots, SlotSet};
+pub use stats::{dataset_stats, paper_reference, DatasetStats};
+pub use templates::{spider_like, wikisql_like, QaPair};
+pub use wtq::{answer_match, wtq_like, WtqExample};

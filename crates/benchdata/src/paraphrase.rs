@@ -1,0 +1,199 @@
+//! Controlled paraphrase generation.
+//!
+//! The survey's sharpest empirical claim (§4.1 vs §4.2) is about
+//! *linguistic variation*: entity-based systems are "highly sensitive
+//! to variations and paraphrasing of the user query", while learned
+//! systems are "robust to NL variations" (given training exposure).
+//! Experiment E2 sweeps this engine's intensity levels:
+//!
+//! * **0** — canonical template text, untouched;
+//! * **1** — lexical synonym substitution (within the business
+//!   lexicon's rings: "customers" → "clients");
+//! * **2** — + colloquial rephrasings that leave the lexicon's
+//!   vocabulary entirely ("how many" → "give me the tally of");
+//! * **3** — + filler prefixes and a character-level typo.
+//!
+//! Words in the `protected` list (literal values, numbers) are never
+//! altered — the question's denotation must stay fixed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use nlidb_nlp::{tokenize, Lexicon, TokenKind};
+
+/// Colloquial phrase substitutions (applied at level ≥ 2). The
+/// replacements deliberately avoid lexicon vocabulary so that
+/// entity-based interpreters cannot recover them by synonym expansion.
+const COLLOQUIAL: &[(&str, &str)] = &[
+    ("how many", "give me the tally of"),
+    ("number of", "tally of"),
+    ("total", "combined"),
+    ("average", "typical"),
+    ("show all", "pull up all"),
+    ("show the", "pull up the"),
+    ("show", "pull up"),
+    ("list the", "run through the"),
+    ("more than", "exceeding"),
+    ("greater than", "exceeding"),
+    ("less than", "staying under"),
+    ("without", "that never got any"),
+    ("top", "leading"),
+    ("by", "broken out across"),
+];
+
+/// Filler prefixes (level ≥ 3).
+const FILLERS: &[&str] = &["hey,", "um,", "so,", "quick question:", "please,"];
+
+/// Paraphrase `question` at the given intensity `level` (0–3), never
+/// touching `protected` words. Deterministic under `seed`.
+pub fn paraphrase(
+    question: &str,
+    protected: &[String],
+    level: u8,
+    lexicon: &Lexicon,
+    seed: u64,
+) -> String {
+    if level == 0 {
+        return question.to_string();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let is_protected =
+        |w: &str| protected.iter().any(|p| p.eq_ignore_ascii_case(w));
+
+    // Level 1: synonym substitution on unprotected content words.
+    let mut words: Vec<String> = Vec::new();
+    for t in tokenize(question) {
+        if t.kind == TokenKind::Word && !is_protected(&t.norm) && rng.gen_bool(0.45) {
+            let syns = lexicon.synonyms_of(&t.norm);
+            if !syns.is_empty() {
+                let pick = syns[rng.gen_range(0..syns.len())].to_string();
+                // Preserve plural-ish surface: if the original ended in
+                // 's' and the synonym doesn't, pluralize it.
+                let out = if t.norm.ends_with('s') && !pick.ends_with('s') {
+                    format!("{pick}s")
+                } else {
+                    pick
+                };
+                words.push(out);
+                continue;
+            }
+        }
+        words.push(t.text.clone());
+    }
+    let mut text = words.join(" ");
+
+    // Level 2: colloquial phrase substitution.
+    if level >= 2 {
+        for (from, to) in COLLOQUIAL {
+            if rng.gen_bool(0.6) && text.contains(from) {
+                // Never rewrite across a protected word.
+                if !protected.iter().any(|p| from.contains(p.as_str())) {
+                    text = text.replacen(from, to, 1);
+                }
+            }
+        }
+    }
+
+    // Level 3: filler prefix + one typo in a long unprotected word.
+    if level >= 3 {
+        let filler = FILLERS[rng.gen_range(0..FILLERS.len())];
+        text = format!("{filler} {text}");
+        let toks: Vec<String> = text.split_whitespace().map(str::to_string).collect();
+        let candidates: Vec<usize> = toks
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.len() >= 5 && !is_protected(w) && w.chars().all(char::is_alphabetic))
+            .map(|(i, _)| i)
+            .collect();
+        if !candidates.is_empty() {
+            let wi = candidates[rng.gen_range(0..candidates.len())];
+            let mut chars: Vec<char> = toks[wi].chars().collect();
+            let p = rng.gen_range(1..chars.len() - 1);
+            chars.swap(p, p - 1);
+            let mut toks = toks;
+            toks[wi] = chars.into_iter().collect();
+            text = toks.join(" ");
+        }
+    }
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex() -> Lexicon {
+        Lexicon::business_default()
+    }
+
+    #[test]
+    fn level_zero_is_identity() {
+        let q = "show customers in Austin";
+        assert_eq!(paraphrase(q, &["Austin".into()], 0, &lex(), 1), q);
+    }
+
+    #[test]
+    fn protected_words_survive_all_levels() {
+        let q = "show customers in Austin with amount over 500";
+        for level in 0..=3 {
+            for seed in 0..10 {
+                let p = paraphrase(
+                    q,
+                    &["Austin".into(), "500".into()],
+                    level,
+                    &lex(),
+                    seed,
+                );
+                assert!(p.contains("Austin"), "level {level} seed {seed}: {p}");
+                assert!(p.contains("500"), "level {level} seed {seed}: {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let q = "total revenue by region";
+        assert_eq!(
+            paraphrase(q, &[], 3, &lex(), 9),
+            paraphrase(q, &[], 3, &lex(), 9)
+        );
+    }
+
+    #[test]
+    fn higher_levels_change_more() {
+        let q = "how many customers are there in Austin";
+        let protected = vec!["Austin".to_string()];
+        // Over several seeds, level 3 must alter the text at least as
+        // often as level 1 (and both must alter it sometimes).
+        let changed = |level: u8| {
+            (0..20)
+                .filter(|s| paraphrase(q, &protected, level, &lex(), *s) != q)
+                .count()
+        };
+        let c1 = changed(1);
+        let c3 = changed(3);
+        assert!(c1 > 0, "level 1 never changed anything");
+        assert_eq!(c3, 20, "level 3 always changes (filler prefix)");
+        assert!(c3 >= c1);
+    }
+
+    #[test]
+    fn synonyms_come_from_lexicon() {
+        // With seed sweep, "customers" should sometimes become a ring
+        // mate ("clients"/"buyers"/…).
+        let q = "show customers";
+        let found = (0..40).any(|s| {
+            let p = paraphrase(q, &[], 1, &lex(), s);
+            p.contains("client") || p.contains("buyer") || p.contains("purchaser")
+                || p.contains("account")
+        });
+        assert!(found, "no synonym substitution over 40 seeds");
+    }
+
+    #[test]
+    fn colloquial_rewrites_leave_lexicon() {
+        let q = "how many customers are there";
+        let found = (0..40).any(|s| paraphrase(q, &[], 2, &lex(), s).contains("tally"));
+        assert!(found, "colloquial substitution never fired");
+    }
+}

@@ -1,0 +1,548 @@
+//! Six seeded multi-table domain databases.
+//!
+//! Spider's headline property is *cross-domain* evaluation (200
+//! databases, 138 domains); this module provides six structurally
+//! distinct domains so the cross-domain experiments (E1, E3) can train
+//! on some and evaluate on others.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use nlidb_engine::{ColumnType, Database, TableSchema, Value};
+
+/// All generator domain names.
+pub const DOMAIN_NAMES: [&str; 6] =
+    ["retail", "hr", "academic", "flights", "library", "clinic"];
+
+const FIRST_NAMES: [&str; 16] = [
+    "Ada", "Bo", "Carol", "Dan", "Eve", "Fay", "Gus", "Hana", "Ivan", "Joan", "Kofi", "Lena",
+    "Mira", "Noor", "Omar", "Pia",
+];
+const LAST_NAMES: [&str; 12] = [
+    "Stone", "Rivera", "Chen", "Okafor", "Silva", "Novak", "Haddad", "Kim", "Moreau", "Patel",
+    "Berg", "Ivanov",
+];
+const CITIES: [&str; 10] = [
+    "Austin", "Boston", "Chicago", "Denver", "El Paso", "Fresno", "Geneva", "Houston",
+    "Irvine", "Jakarta",
+];
+const SEGMENTS: [&str; 4] = ["consumer", "corporate", "home office", "public sector"];
+const STATUSES: [&str; 3] = ["shipped", "pending", "returned"];
+const CATEGORIES: [&str; 6] = ["electronics", "furniture", "grocery", "toys", "clothing", "sports"];
+const DIVISIONS: [&str; 3] = ["operations", "research", "sales"];
+const TITLES: [&str; 5] = ["engineer", "analyst", "manager", "director", "clerk"];
+const SUBJECTS: [&str; 5] = ["math", "history", "physics", "art", "biology"];
+const MAJORS: [&str; 5] = ["computing", "economics", "literature", "chemistry", "music"];
+const TERMS: [&str; 4] = ["spring", "summer", "fall", "winter"];
+const AIRLINES: [&str; 5] = ["AeroMax", "BlueJet", "CloudAir", "DeltaWing", "EagleFly"];
+const COUNTRIES: [&str; 6] = ["USA", "Brazil", "France", "Japan", "Kenya", "Norway"];
+const GENRES: [&str; 5] = ["mystery", "fantasy", "history", "romance", "science"];
+const NATIONALITIES: [&str; 5] = ["American", "Brazilian", "French", "Japanese", "Kenyan"];
+const OUTCOMES: [&str; 3] = ["resolved", "referred", "follow-up"];
+const SPECIALTIES: [&str; 5] =
+    ["cardiology", "dermatology", "neurology", "pediatrics", "oncology"];
+
+fn pick<'a>(rng: &mut StdRng, pool: &[&'a str]) -> &'a str {
+    pool[rng.gen_range(0..pool.len())]
+}
+
+fn person_name(rng: &mut StdRng) -> String {
+    format!("{} {}", pick(rng, &FIRST_NAMES), pick(rng, &LAST_NAMES))
+}
+
+fn date(rng: &mut StdRng, y0: i32, y1: i32) -> String {
+    let y = rng.gen_range(y0..=y1);
+    let m = rng.gen_range(1..=12u32);
+    let d = rng.gen_range(1..=28u32);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn money(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
+    (rng.gen_range(lo..hi) * 100.0).round() / 100.0
+}
+
+/// Build one domain database by name. Panics on unknown names (the
+/// name set is a compile-time constant).
+pub fn domain_database(name: &str, seed: u64) -> Database {
+    match name {
+        "retail" => retail_database(seed),
+        "hr" => hr_database(seed),
+        "academic" => academic_database(seed),
+        "flights" => flights_database(seed),
+        "library" => library_database(seed),
+        "clinic" => clinic_database(seed),
+        other => panic!("unknown domain: {other}"),
+    }
+}
+
+/// All six domains under one seed.
+pub fn all_domains(seed: u64) -> Vec<Database> {
+    DOMAIN_NAMES
+        .iter()
+        .enumerate()
+        .map(|(i, n)| domain_database(n, seed.wrapping_add(i as u64)))
+        .collect()
+}
+
+/// Retail: customers ← orders → products.
+pub fn retail_database(seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new("retail");
+    db.create_table(
+        TableSchema::new("customers")
+            .column("id", ColumnType::Int)
+            .column("name", ColumnType::Text)
+            .column("city", ColumnType::Text)
+            .column("segment", ColumnType::Text)
+            .column("signup_date", ColumnType::Date)
+            .primary_key("id"),
+    )
+    .unwrap();
+    db.create_table(
+        TableSchema::new("products")
+            .column("id", ColumnType::Int)
+            .column("product_name", ColumnType::Text)
+            .column("category", ColumnType::Text)
+            .column("price", ColumnType::Float)
+            .primary_key("id"),
+    )
+    .unwrap();
+    db.create_table(
+        TableSchema::new("orders")
+            .column("id", ColumnType::Int)
+            .column("customer_id", ColumnType::Int)
+            .column("product_id", ColumnType::Int)
+            .column("amount", ColumnType::Float)
+            .column("status", ColumnType::Text)
+            .column("order_date", ColumnType::Date)
+            .primary_key("id")
+            .foreign_key("customer_id", "customers", "id")
+            .foreign_key("product_id", "products", "id"),
+    )
+    .unwrap();
+    let n_cust = 24;
+    let n_prod = 18;
+    for i in 1..=n_cust {
+        db.insert(
+            "customers",
+            vec![
+                Value::Int(i),
+                Value::from(person_name(&mut rng)),
+                Value::from(pick(&mut rng, &CITIES)),
+                Value::from(pick(&mut rng, &SEGMENTS)),
+                Value::from(date(&mut rng, 2015, 2020)),
+            ],
+        )
+        .unwrap();
+    }
+    for i in 1..=n_prod {
+        db.insert(
+            "products",
+            vec![
+                Value::Int(i),
+                Value::from(format!("{} {}", pick(&mut rng, &CATEGORIES), i)),
+                Value::from(pick(&mut rng, &CATEGORIES)),
+                Value::Float(money(&mut rng, 3.0, 900.0)),
+            ],
+        )
+        .unwrap();
+    }
+    for i in 1..=140 {
+        db.insert(
+            "orders",
+            vec![
+                Value::Int(i),
+                Value::Int(rng.gen_range(1..=n_cust - 2)), // leave some customers order-less
+                Value::Int(rng.gen_range(1..=n_prod)),
+                Value::Float(money(&mut rng, 5.0, 2500.0)),
+                Value::from(pick(&mut rng, &STATUSES)),
+                Value::from(date(&mut rng, 2018, 2021)),
+            ],
+        )
+        .unwrap();
+    }
+    db
+}
+
+/// HR: departments ← employees.
+pub fn hr_database(seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new("hr");
+    db.create_table(
+        TableSchema::new("departments")
+            .column("id", ColumnType::Int)
+            .column("dept_name", ColumnType::Text)
+            .column("division", ColumnType::Text)
+            .primary_key("id"),
+    )
+    .unwrap();
+    db.create_table(
+        TableSchema::new("employees")
+            .column("id", ColumnType::Int)
+            .column("name", ColumnType::Text)
+            .column("department_id", ColumnType::Int)
+            .column("salary", ColumnType::Float)
+            .column("role", ColumnType::Text)
+            .column("hire_date", ColumnType::Date)
+            .primary_key("id")
+            .foreign_key("department_id", "departments", "id"),
+    )
+    .unwrap();
+    let n_dept = 8;
+    for i in 1..=n_dept {
+        db.insert(
+            "departments",
+            vec![
+                Value::Int(i),
+                Value::from(format!("dept {i}")),
+                Value::from(pick(&mut rng, &DIVISIONS)),
+            ],
+        )
+        .unwrap();
+    }
+    for i in 1..=90 {
+        db.insert(
+            "employees",
+            vec![
+                Value::Int(i),
+                Value::from(person_name(&mut rng)),
+                Value::Int(rng.gen_range(1..=n_dept - 1)),
+                Value::Float(money(&mut rng, 30_000.0, 190_000.0)),
+                Value::from(pick(&mut rng, &TITLES)),
+                Value::from(date(&mut rng, 2010, 2021)),
+            ],
+        )
+        .unwrap();
+    }
+    db
+}
+
+/// Academic: students ← enrollments → courses.
+pub fn academic_database(seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new("academic");
+    db.create_table(
+        TableSchema::new("students")
+            .column("id", ColumnType::Int)
+            .column("name", ColumnType::Text)
+            .column("major", ColumnType::Text)
+            .primary_key("id"),
+    )
+    .unwrap();
+    db.create_table(
+        TableSchema::new("courses")
+            .column("id", ColumnType::Int)
+            .column("course_name", ColumnType::Text)
+            .column("subject", ColumnType::Text)
+            .column("credits", ColumnType::Int)
+            .primary_key("id"),
+    )
+    .unwrap();
+    db.create_table(
+        TableSchema::new("enrollments")
+            .column("id", ColumnType::Int)
+            .column("student_id", ColumnType::Int)
+            .column("course_id", ColumnType::Int)
+            .column("grade", ColumnType::Float)
+            .column("term", ColumnType::Text)
+            .column("enroll_date", ColumnType::Date)
+            .primary_key("id")
+            .foreign_key("student_id", "students", "id")
+            .foreign_key("course_id", "courses", "id"),
+    )
+    .unwrap();
+    let n_stud = 30;
+    let n_course = 12;
+    for i in 1..=n_stud {
+        db.insert(
+            "students",
+            vec![
+                Value::Int(i),
+                Value::from(person_name(&mut rng)),
+                Value::from(pick(&mut rng, &MAJORS)),
+            ],
+        )
+        .unwrap();
+    }
+    for i in 1..=n_course {
+        db.insert(
+            "courses",
+            vec![
+                Value::Int(i),
+                Value::from(format!("{} {}", pick(&mut rng, &SUBJECTS), 100 + i)),
+                Value::from(pick(&mut rng, &SUBJECTS)),
+                Value::Int(rng.gen_range(1..=5)),
+            ],
+        )
+        .unwrap();
+    }
+    for i in 1..=120 {
+        db.insert(
+            "enrollments",
+            vec![
+                Value::Int(i),
+                Value::Int(rng.gen_range(1..=n_stud - 3)),
+                Value::Int(rng.gen_range(1..=n_course)),
+                Value::Float((rng.gen_range(1.0..4.0f64) * 10.0).round() / 10.0),
+                Value::from(pick(&mut rng, &TERMS)),
+                Value::from(date(&mut rng, 2017, 2021)),
+            ],
+        )
+        .unwrap();
+    }
+    db
+}
+
+/// Flights: airports ← flights.
+pub fn flights_database(seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new("flights");
+    db.create_table(
+        TableSchema::new("airports")
+            .column("id", ColumnType::Int)
+            .column("airport_name", ColumnType::Text)
+            .column("country", ColumnType::Text)
+            .primary_key("id"),
+    )
+    .unwrap();
+    db.create_table(
+        TableSchema::new("flights")
+            .column("id", ColumnType::Int)
+            .column("origin_id", ColumnType::Int)
+            .column("airline", ColumnType::Text)
+            .column("duration", ColumnType::Float)
+            .column("flight_date", ColumnType::Date)
+            .primary_key("id")
+            .foreign_key("origin_id", "airports", "id"),
+    )
+    .unwrap();
+    let n_apt = 10;
+    for i in 1..=n_apt {
+        db.insert(
+            "airports",
+            vec![
+                Value::Int(i),
+                Value::from(format!("{} International", pick(&mut rng, &CITIES))),
+                Value::from(pick(&mut rng, &COUNTRIES)),
+            ],
+        )
+        .unwrap();
+    }
+    for i in 1..=110 {
+        db.insert(
+            "flights",
+            vec![
+                Value::Int(i),
+                Value::Int(rng.gen_range(1..=n_apt - 1)),
+                Value::from(pick(&mut rng, &AIRLINES)),
+                Value::Float((rng.gen_range(0.7..15.0f64) * 10.0).round() / 10.0),
+                Value::from(date(&mut rng, 2019, 2021)),
+            ],
+        )
+        .unwrap();
+    }
+    db
+}
+
+/// Library: authors ← books.
+pub fn library_database(seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new("library");
+    db.create_table(
+        TableSchema::new("authors")
+            .column("id", ColumnType::Int)
+            .column("name", ColumnType::Text)
+            .column("nationality", ColumnType::Text)
+            .primary_key("id"),
+    )
+    .unwrap();
+    db.create_table(
+        TableSchema::new("books")
+            .column("id", ColumnType::Int)
+            .column("book_title", ColumnType::Text)
+            .column("author_id", ColumnType::Int)
+            .column("genre", ColumnType::Text)
+            .column("pages", ColumnType::Int)
+            .column("publish_date", ColumnType::Date)
+            .primary_key("id")
+            .foreign_key("author_id", "authors", "id"),
+    )
+    .unwrap();
+    let n_auth = 14;
+    for i in 1..=n_auth {
+        db.insert(
+            "authors",
+            vec![
+                Value::Int(i),
+                Value::from(person_name(&mut rng)),
+                Value::from(pick(&mut rng, &NATIONALITIES)),
+            ],
+        )
+        .unwrap();
+    }
+    for i in 1..=80 {
+        db.insert(
+            "books",
+            vec![
+                Value::Int(i),
+                Value::from(format!("{} tales {}", pick(&mut rng, &GENRES), i)),
+                Value::Int(rng.gen_range(1..=n_auth - 2)),
+                Value::from(pick(&mut rng, &GENRES)),
+                Value::Int(rng.gen_range(60..900)),
+                Value::from(date(&mut rng, 1990, 2020)),
+            ],
+        )
+        .unwrap();
+    }
+    db
+}
+
+/// Clinic: patients/doctors ← visits.
+pub fn clinic_database(seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new("clinic");
+    db.create_table(
+        TableSchema::new("doctors")
+            .column("id", ColumnType::Int)
+            .column("name", ColumnType::Text)
+            .column("specialty", ColumnType::Text)
+            .column("city", ColumnType::Text)
+            .primary_key("id"),
+    )
+    .unwrap();
+    db.create_table(
+        TableSchema::new("patients")
+            .column("id", ColumnType::Int)
+            .column("patient_name", ColumnType::Text)
+            .column("city", ColumnType::Text)
+            .primary_key("id"),
+    )
+    .unwrap();
+    db.create_table(
+        TableSchema::new("visits")
+            .column("id", ColumnType::Int)
+            .column("patient_id", ColumnType::Int)
+            .column("doctor_id", ColumnType::Int)
+            .column("cost", ColumnType::Float)
+            .column("outcome", ColumnType::Text)
+            .column("visit_date", ColumnType::Date)
+            .primary_key("id")
+            .foreign_key("patient_id", "patients", "id")
+            .foreign_key("doctor_id", "doctors", "id"),
+    )
+    .unwrap();
+    let n_doc = 9;
+    let n_pat = 26;
+    for i in 1..=n_doc {
+        db.insert(
+            "doctors",
+            vec![
+                Value::Int(i),
+                Value::from(person_name(&mut rng)),
+                Value::from(pick(&mut rng, &SPECIALTIES)),
+                Value::from(pick(&mut rng, &CITIES)),
+            ],
+        )
+        .unwrap();
+    }
+    for i in 1..=n_pat {
+        db.insert(
+            "patients",
+            vec![
+                Value::Int(i),
+                Value::from(person_name(&mut rng)),
+                Value::from(pick(&mut rng, &CITIES)),
+            ],
+        )
+        .unwrap();
+    }
+    for i in 1..=130 {
+        db.insert(
+            "visits",
+            vec![
+                Value::Int(i),
+                Value::Int(rng.gen_range(1..=n_pat - 3)),
+                Value::Int(rng.gen_range(1..=n_doc)),
+                Value::Float(money(&mut rng, 40.0, 1200.0)),
+                Value::from(pick(&mut rng, &OUTCOMES)),
+                Value::from(date(&mut rng, 2018, 2021)),
+            ],
+        )
+        .unwrap();
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_domains_build_and_are_seeded() {
+        let a = all_domains(42);
+        let b = all_domains(42);
+        assert_eq!(a.len(), 6);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.total_rows(), y.total_rows());
+        }
+        let c = all_domains(43);
+        // Same structure, different data: row values must differ
+        // somewhere even though counts match.
+        let a_first = a[0].table("orders").unwrap().rows[0].clone();
+        let c_first = c[0].table("orders").unwrap().rows[0].clone();
+        assert_ne!(a_first, c_first);
+    }
+
+    #[test]
+    fn every_domain_has_fk_edges() {
+        for db in all_domains(1) {
+            let fk_count: usize =
+                db.tables().map(|t| t.schema.foreign_keys.len()).sum();
+            assert!(fk_count >= 1, "{} lacks relationships", db.name);
+        }
+    }
+
+    #[test]
+    fn fact_tables_have_orphan_free_fks_and_some_orphan_dims() {
+        // Retail leaves a couple of customers without orders (needed by
+        // the nested "without" templates).
+        let db = retail_database(7);
+        let customers = db.table("customers").unwrap().len() as i64;
+        let referenced: std::collections::HashSet<i64> = db
+            .table("orders")
+            .unwrap()
+            .rows
+            .iter()
+            .map(|r| match r[1] {
+                Value::Int(i) => i,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert!(
+            (referenced.len() as i64) < customers,
+            "some customers must have no orders"
+        );
+        // And all FKs must point at existing customers.
+        assert!(referenced.iter().all(|i| *i >= 1 && *i <= customers));
+    }
+
+    #[test]
+    fn dates_are_iso() {
+        let db = retail_database(3);
+        for row in &db.table("orders").unwrap().rows {
+            if let Value::Str(d) = &row[5] {
+                assert_eq!(d.len(), 10);
+                assert_eq!(&d[4..5], "-");
+            } else {
+                panic!("order_date must be a string date");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown domain")]
+    fn unknown_domain_panics() {
+        let _ = domain_database("casino", 1);
+    }
+}

@@ -1,0 +1,292 @@
+//! Multi-turn session generation: SParC-like coherent question
+//! sequences and CoSQL-like dialogues with per-turn gold SQL and
+//! dialogue-act labels.
+//!
+//! Three session shapes target the three dialogue-management regimes:
+//!
+//! * `Scripted` — query → narrow → aggregate, strictly forward (a
+//!   finite-state script can complete it);
+//! * `SlotRefill` — includes a slot-value swap ("what about X"), which
+//!   needs frame-based management;
+//! * `UserInitiative` — includes filter removal / regrouping, which
+//!   only agent-based management accommodates.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use nlidb_sqlir::ast::{BinOp, Expr};
+use nlidb_sqlir::{Query, QueryBuilder};
+
+use crate::slots::SlotSet;
+
+/// Which dialogue regime the session is designed to exercise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SessionKind {
+    /// Forward-only script (FSM-completable).
+    Scripted,
+    /// Includes slot refills (frame-completable).
+    SlotRefill,
+    /// Includes user-initiative moves (agent-only).
+    UserInitiative,
+}
+
+impl SessionKind {
+    /// Label for experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SessionKind::Scripted => "scripted",
+            SessionKind::SlotRefill => "slot-refill",
+            SessionKind::UserInitiative => "user-initiative",
+        }
+    }
+
+    /// All kinds.
+    pub fn all() -> [SessionKind; 3] {
+        [SessionKind::Scripted, SessionKind::SlotRefill, SessionKind::UserInitiative]
+    }
+}
+
+/// One turn: utterance, the gold SQL *after* this turn, and the gold
+/// dialogue-act label.
+#[derive(Debug, Clone)]
+pub struct TurnExample {
+    /// What the user says.
+    pub utterance: String,
+    /// Gold cumulative SQL after the turn.
+    pub gold: Query,
+    /// Gold dialogue act.
+    pub act: &'static str,
+}
+
+/// One generated session.
+#[derive(Debug, Clone)]
+pub struct SessionExample {
+    /// Session shape.
+    pub kind: SessionKind,
+    /// Domain name.
+    pub domain: String,
+    /// The turns in order.
+    pub turns: Vec<TurnExample>,
+}
+
+/// Pick a concept with a categorical (with ≥2 values) AND a measure —
+/// sessions need both narrowing and aggregation room.
+fn session_concept(slots: &SlotSet, rng: &mut StdRng) -> Option<usize> {
+    let candidates: Vec<usize> = slots
+        .with_both()
+        .into_iter()
+        .filter(|&i| {
+            slots.concepts[i]
+                .categoricals
+                .iter()
+                .any(|(_, _, v)| v.len() >= 2)
+        })
+        .collect();
+    if candidates.is_empty() {
+        None
+    } else {
+        Some(candidates[rng.gen_range(0..candidates.len())])
+    }
+}
+
+fn build_session(slots: &SlotSet, kind: SessionKind, rng: &mut StdRng) -> Option<SessionExample> {
+    let ci = session_concept(slots, rng)?;
+    let c = &slots.concepts[ci];
+    let cat = c
+        .categoricals
+        .iter()
+        .find(|(_, _, v)| v.len() >= 2)?;
+    let (cat_label, cat_col, values) = (&cat.0, &cat.1, &cat.2);
+    let v1 = values[rng.gen_range(0..values.len())].clone();
+    let v2 = values
+        .iter()
+        .find(|v| **v != v1)
+        .cloned()
+        .unwrap_or_else(|| v1.clone());
+    let m = &c.measures[rng.gen_range(0..c.measures.len())];
+    let (m_label, m_col, m_values) = (&m.0, &m.1, &m.2);
+    let threshold = if m_values.is_empty() {
+        10
+    } else {
+        m_values[m_values.len() / 2].round() as i64
+    };
+
+    let base_q = QueryBuilder::from_table(&c.table)
+        .and_where(Expr::col(cat_col.clone()).eq(Expr::str(v1.clone())))
+        .build();
+    let mut turns = vec![TurnExample {
+        utterance: format!("show {} in {v1}", c.plural),
+        gold: base_q.clone(),
+        act: "new_query",
+    }];
+
+    match kind {
+        SessionKind::Scripted => {
+            let narrowed = QueryBuilder::from_table(&c.table)
+                .and_where(Expr::col(cat_col.clone()).eq(Expr::str(v1.clone())))
+                .and_where(Expr::col(m_col.clone()).binary(BinOp::Gt, Expr::int(threshold)))
+                .build();
+            turns.push(TurnExample {
+                utterance: format!("only those with {m_label} over {threshold}"),
+                gold: narrowed.clone(),
+                act: "add_filter",
+            });
+            let mut counted = narrowed;
+            counted.select = vec![nlidb_sqlir::ast::SelectItem::expr(Expr::count_star())];
+            turns.push(TurnExample {
+                utterance: "how many of those are there".to_string(),
+                gold: counted,
+                act: "set_aggregation",
+            });
+        }
+        SessionKind::SlotRefill => {
+            let swapped = QueryBuilder::from_table(&c.table)
+                .and_where(Expr::col(cat_col.clone()).eq(Expr::str(v2.clone())))
+                .build();
+            turns.push(TurnExample {
+                utterance: format!("what about {v2}"),
+                gold: swapped.clone(),
+                act: "replace_value",
+            });
+            let mut counted = swapped;
+            counted.select = vec![nlidb_sqlir::ast::SelectItem::expr(Expr::count_star())];
+            turns.push(TurnExample {
+                utterance: "how many of those are there".to_string(),
+                gold: counted,
+                act: "set_aggregation",
+            });
+        }
+        SessionKind::UserInitiative => {
+            let widened = QueryBuilder::from_table(&c.table).build();
+            turns.push(TurnExample {
+                utterance: "remove the filters please".to_string(),
+                gold: widened,
+                act: "remove_filters",
+            });
+            let grouped = QueryBuilder::from_table(&c.table)
+                .select_col(cat_col.clone())
+                .select_expr(Expr::count_star(), None)
+                .group_by(Expr::col(cat_col.clone()))
+                .build();
+            turns.push(TurnExample {
+                utterance: format!("break that down by {cat_label}"),
+                gold: grouped,
+                act: "set_group",
+            });
+        }
+    }
+    Some(SessionExample { kind, domain: slots.domain.clone(), turns })
+}
+
+/// Generate `n` SParC-like sessions, cycling the three shapes.
+pub fn sparc_like(slots: &SlotSet, seed: u64, n: usize) -> Vec<SessionExample> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let kinds = SessionKind::all();
+    let mut out = Vec::with_capacity(n);
+    let mut i = 0;
+    while out.len() < n && i < n * 6 {
+        if let Some(s) = build_session(slots, kinds[i % 3], &mut rng) {
+            out.push(s);
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Generate CoSQL-like dialogues: the SParC-like sessions plus a
+/// trailing "thank you"-class turn whose act is unknown (dialogue
+/// systems must not misread chit-chat as a query — CoSQL's dialogue
+/// acts include such non-query turns).
+pub fn cosql_like(slots: &SlotSet, seed: u64, n: usize) -> Vec<SessionExample> {
+    let mut sessions = sparc_like(slots, seed, n);
+    for s in &mut sessions {
+        let last_gold = s.turns.last().map(|t| t.gold.clone());
+        if let Some(gold) = last_gold {
+            s.turns.push(TurnExample {
+                utterance: "great, thanks a lot".to_string(),
+                gold,
+                act: "unknown",
+            });
+        }
+    }
+    sessions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemas::{all_domains, retail_database};
+    use crate::slots::derive_slots;
+    use nlidb_engine::execute;
+
+    #[test]
+    fn sessions_generate_all_kinds() {
+        let slots = derive_slots(&retail_database(3));
+        let sessions = sparc_like(&slots, 7, 9);
+        assert_eq!(sessions.len(), 9);
+        for kind in SessionKind::all() {
+            assert!(sessions.iter().any(|s| s.kind == kind));
+        }
+    }
+
+    #[test]
+    fn per_turn_gold_executes() {
+        for db in all_domains(5) {
+            let slots = derive_slots(&db);
+            for s in sparc_like(&slots, 11, 6) {
+                for t in &s.turns {
+                    assert!(
+                        execute(&db, &t.gold).is_ok(),
+                        "{}/{:?}: {}",
+                        s.domain,
+                        s.kind,
+                        t.gold
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn turn_structure_matches_kind() {
+        let slots = derive_slots(&retail_database(3));
+        for s in sparc_like(&slots, 13, 9) {
+            assert_eq!(s.turns[0].act, "new_query");
+            match s.kind {
+                SessionKind::Scripted => {
+                    assert_eq!(s.turns[1].act, "add_filter");
+                    assert_eq!(s.turns[2].act, "set_aggregation");
+                }
+                SessionKind::SlotRefill => {
+                    assert_eq!(s.turns[1].act, "replace_value");
+                }
+                SessionKind::UserInitiative => {
+                    assert_eq!(s.turns[1].act, "remove_filters");
+                    assert_eq!(s.turns[2].act, "set_group");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cosql_adds_chitchat_turn() {
+        let slots = derive_slots(&retail_database(3));
+        let sessions = cosql_like(&slots, 17, 3);
+        for s in sessions {
+            assert_eq!(s.turns.last().unwrap().act, "unknown");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let slots = derive_slots(&retail_database(3));
+        let a = sparc_like(&slots, 19, 6);
+        let b = sparc_like(&slots, 19, 6);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.turns.len(), y.turns.len());
+            for (tx, ty) in x.turns.iter().zip(&y.turns) {
+                assert_eq!(tx.utterance, ty.utterance);
+            }
+        }
+    }
+}

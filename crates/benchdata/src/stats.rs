@@ -1,0 +1,190 @@
+//! Dataset statistics — the E7 harness.
+//!
+//! §6 reports headline numbers for the public benchmarks; this module
+//! computes the same statistics for our synthetic counterparts so the
+//! experiment harness can print paper-vs-generated tables at a
+//! configurable scale factor.
+
+use std::collections::HashSet;
+
+use nlidb_sqlir::ComplexityClass;
+
+use crate::sessions::SessionExample;
+use crate::templates::QaPair;
+
+/// Statistics of one generated (or published) dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: String,
+    /// Number of question/SQL pairs (0 for pure session sets).
+    pub questions: usize,
+    /// Number of distinct tables referenced.
+    pub tables: usize,
+    /// Number of domains (databases).
+    pub domains: usize,
+    /// Number of multi-turn sequences (0 for single-turn sets).
+    pub sequences: usize,
+    /// Total dialogue turns (0 for single-turn sets).
+    pub turns: usize,
+    /// Per-complexity-class question counts (ladder order).
+    pub per_class: [usize; 4],
+}
+
+impl DatasetStats {
+    /// Mean turns per sequence (0 when not a session set).
+    pub fn turns_per_sequence(&self) -> f64 {
+        if self.sequences == 0 {
+            0.0
+        } else {
+            self.turns as f64 / self.sequences as f64
+        }
+    }
+}
+
+/// Compute statistics over generated QA pairs (possibly spanning
+/// several domains) and sessions.
+pub fn dataset_stats(
+    name: &str,
+    pairs: &[QaPair],
+    sessions: &[SessionExample],
+) -> DatasetStats {
+    let mut tables: HashSet<String> = HashSet::new();
+    let mut domains: HashSet<&str> = HashSet::new();
+    let mut per_class = [0usize; 4];
+    for p in pairs {
+        domains.insert(&p.domain);
+        collect_tables(&p.sql, &mut tables);
+        let idx = ComplexityClass::all().iter().position(|c| *c == p.class).unwrap_or(0);
+        per_class[idx] += 1;
+    }
+    for s in sessions {
+        domains.insert(&s.domain);
+        for t in &s.turns {
+            collect_tables(&t.gold, &mut tables);
+        }
+    }
+    DatasetStats {
+        name: name.to_string(),
+        questions: pairs.len(),
+        tables: tables.len(),
+        domains: domains.len(),
+        sequences: sessions.len(),
+        turns: sessions.iter().map(|s| s.turns.len()).sum(),
+        per_class,
+    }
+}
+
+fn collect_tables(q: &nlidb_sqlir::Query, out: &mut HashSet<String>) {
+    use nlidb_sqlir::ast::TableSource;
+    if let Some(TableSource::Table { name, .. }) = &q.from {
+        out.insert(name.clone());
+    }
+    for j in &q.joins {
+        if let TableSource::Table { name, .. } = &j.source {
+            out.insert(name.clone());
+        }
+    }
+    for sub in q.direct_subqueries() {
+        collect_tables(sub, out);
+    }
+}
+
+/// The paper-reported reference statistics (§6 Benchmarks), for the
+/// paper-vs-generated comparison table.
+pub fn paper_reference() -> Vec<DatasetStats> {
+    vec![
+        DatasetStats {
+            name: "WikiSQL (paper)".into(),
+            questions: 80_654,
+            tables: 24_241,
+            domains: 1, // Wikipedia tables, single-table regime
+            sequences: 0,
+            turns: 0,
+            per_class: [0, 0, 0, 0],
+        },
+        DatasetStats {
+            name: "WikiTableQuestions (paper)".into(),
+            questions: 22_033,
+            tables: 2_108,
+            domains: 1,
+            sequences: 0,
+            turns: 0,
+            per_class: [0, 0, 0, 0],
+        },
+        DatasetStats {
+            name: "SParC (paper)".into(),
+            questions: 0,
+            tables: 0,
+            domains: 138,
+            sequences: 4_000,
+            turns: 12_000, // ~3 questions per coherent sequence
+            per_class: [0, 0, 0, 0],
+        },
+        DatasetStats {
+            name: "CoSQL (paper)".into(),
+            questions: 10_000, // annotated SQL queries
+            tables: 0,
+            domains: 138,
+            sequences: 3_000,
+            turns: 30_000,
+            per_class: [0, 0, 0, 0],
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemas::retail_database;
+    use crate::sessions::sparc_like;
+    use crate::slots::derive_slots;
+    use crate::templates::spider_like;
+
+    #[test]
+    fn stats_count_correctly() {
+        let db = retail_database(3);
+        let slots = derive_slots(&db);
+        let pairs = spider_like(&slots, 5, 40);
+        let sessions = sparc_like(&slots, 7, 6);
+        let s = dataset_stats("test", &pairs, &sessions);
+        assert_eq!(s.questions, 40);
+        assert_eq!(s.domains, 1);
+        assert_eq!(s.sequences, 6);
+        assert!(s.turns >= 18);
+        assert!(s.tables >= 2 && s.tables <= 3);
+        assert_eq!(s.per_class.iter().sum::<usize>(), 40);
+        assert!(s.turns_per_sequence() >= 3.0);
+    }
+
+    #[test]
+    fn nested_tables_counted() {
+        let db = retail_database(3);
+        let slots = derive_slots(&db);
+        // Generate enough that a nested template references the fact
+        // table only through its subquery.
+        let pairs = spider_like(&slots, 5, 40);
+        let s = dataset_stats("t", &pairs, &[]);
+        assert!(s.tables >= 3, "subquery tables must be counted");
+    }
+
+    #[test]
+    fn paper_reference_shape() {
+        let refs = paper_reference();
+        assert_eq!(refs.len(), 4);
+        let wikisql = &refs[0];
+        assert_eq!(wikisql.questions, 80_654);
+        assert_eq!(wikisql.tables, 24_241);
+        let sparc = &refs[2];
+        assert_eq!(sparc.sequences, 4_000);
+        assert_eq!(sparc.domains, 138);
+        assert!(refs[3].turns >= 30_000);
+    }
+
+    #[test]
+    fn empty_stats() {
+        let s = dataset_stats("empty", &[], &[]);
+        assert_eq!(s.questions, 0);
+        assert_eq!(s.turns_per_sequence(), 0.0);
+    }
+}

@@ -1,0 +1,675 @@
+//! Question/SQL pair generation across the survey's complexity ladder.
+//!
+//! `wikisql_like` mirrors WikiSQL's regime (single table, simple
+//! selection + global aggregates); `spider_like` mirrors Spider's
+//! (cross-complexity, up to joins and nested sub-queries). Gold SQL is
+//! constructed directly from the derived ontology, so execution
+//! accuracy against the in-memory engine is well-defined.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use nlidb_sqlir::ast::{AggFunc, BinOp, Expr, Query, SelectItem, TableSource};
+use nlidb_sqlir::{classify, ComplexityClass, QueryBuilder};
+
+use crate::slots::{ConceptSlots, RelatedPair, SlotSet};
+
+/// One benchmark example.
+#[derive(Debug, Clone)]
+pub struct QaPair {
+    /// Stable identifier: `{domain}/{template}/{serial}`.
+    pub id: String,
+    /// Domain name.
+    pub domain: String,
+    /// The natural-language question (canonical form; paraphrase
+    /// separately with [`crate::paraphrase()`]).
+    pub question: String,
+    /// Gold SQL.
+    pub sql: Query,
+    /// Complexity rung.
+    pub class: ComplexityClass,
+    /// Words that must survive paraphrasing verbatim (values, numbers).
+    pub protected: Vec<String>,
+}
+
+/// Comparison phrasing variants and their operators.
+const GT_PHRASES: [&str; 4] = ["greater than", "more than", "over", "above"];
+const LT_PHRASES: [&str; 3] = ["less than", "under", "below"];
+
+fn pick<'a, T>(rng: &mut StdRng, xs: &'a [T]) -> &'a T {
+    &xs[rng.gen_range(0..xs.len())]
+}
+
+/// A measure threshold near the middle of the data (non-trivial
+/// selectivity), rounded to an integer.
+fn mid_threshold(values: &[f64], rng: &mut StdRng) -> i64 {
+    if values.is_empty() {
+        return 10;
+    }
+    let lo = values.len() / 4;
+    let hi = (3 * values.len() / 4).max(lo + 1).min(values.len());
+    values[rng.gen_range(lo..hi)].round() as i64
+}
+
+struct TemplateCtx<'a> {
+    slots: &'a SlotSet,
+    rng: StdRng,
+    serial: usize,
+}
+
+impl<'a> TemplateCtx<'a> {
+    fn mk(&mut self, template: &str, question: String, sql: Query, protected: Vec<String>) -> QaPair {
+        self.serial += 1;
+        QaPair {
+            id: format!("{}/{}/{}", self.slots.domain, template, self.serial),
+            domain: self.slots.domain.clone(),
+            class: classify(&sql),
+            question,
+            sql,
+            protected,
+        }
+    }
+
+    fn concept(&mut self, indices: &[usize]) -> Option<&'a ConceptSlots> {
+        if indices.is_empty() {
+            return None;
+        }
+        let i = *pick(&mut self.rng, indices);
+        Some(&self.slots.concepts[i])
+    }
+
+    fn categorical(&mut self, c: &'a ConceptSlots) -> Option<(&'a str, &'a str, String)> {
+        let with_values: Vec<&(String, String, Vec<String>)> =
+            c.categoricals.iter().filter(|(_, _, v)| !v.is_empty()).collect();
+        if with_values.is_empty() {
+            return None;
+        }
+        let entry = with_values[self.rng.gen_range(0..with_values.len())];
+        let v = entry.2[self.rng.gen_range(0..entry.2.len())].clone();
+        Some((entry.0.as_str(), entry.1.as_str(), v))
+    }
+
+    fn measure(&mut self, c: &'a ConceptSlots) -> Option<(&'a str, &'a str, i64)> {
+        if c.measures.is_empty() {
+            return None;
+        }
+        let entry = &c.measures[self.rng.gen_range(0..c.measures.len())];
+        let t = mid_threshold(&entry.2, &mut self.rng);
+        Some((entry.0.as_str(), entry.1.as_str(), t))
+    }
+
+    // ---------- Selection templates ----------
+
+    fn s_all(&mut self) -> Option<QaPair> {
+        let c = self.concept(&(0..self.slots.concepts.len()).collect::<Vec<_>>())?;
+        let verb = *pick(&mut self.rng, &["show all", "list the", "display all"]);
+        let q = format!("{verb} {}", c.plural);
+        let sql = QueryBuilder::from_table(&c.table).build();
+        Some(self.mk("s_all", q, sql, vec![]))
+    }
+
+    fn s_cat(&mut self) -> Option<QaPair> {
+        let c = self.concept(&self.slots.with_categorical())?;
+        let (label, column, v) = self.categorical(c)?;
+        let wording = self.rng.gen_range(0..2);
+        let q = match wording {
+            0 => format!("show {} in {v}", c.plural),
+            _ => format!("show {} with {label} {v}", c.plural),
+        };
+        let sql = QueryBuilder::from_table(&c.table)
+            .and_where(Expr::col(column).eq(Expr::str(v.clone())))
+            .build();
+        let protected = v.split_whitespace().map(str::to_string).collect();
+        Some(self.mk("s_cat", q, sql, protected))
+    }
+
+    fn s_cmp(&mut self) -> Option<QaPair> {
+        let c = self.concept(&self.slots.with_measure())?;
+        let (label, column, t) = self.measure(c)?;
+        let gt = self.rng.gen_bool(0.6);
+        let phrase = if gt {
+            *pick(&mut self.rng, &GT_PHRASES)
+        } else {
+            *pick(&mut self.rng, &LT_PHRASES)
+        };
+        let q = format!("show {} with {label} {phrase} {t}", c.plural);
+        let op = if gt { BinOp::Gt } else { BinOp::Lt };
+        let sql = QueryBuilder::from_table(&c.table)
+            .and_where(Expr::col(column).binary(op, Expr::int(t)))
+            .build();
+        Some(self.mk("s_cmp", q, sql, vec![t.to_string()]))
+    }
+
+    fn s_proj(&mut self) -> Option<QaPair> {
+        let c = self.concept(&self.slots.with_categorical())?;
+        let (desc_label, desc_col) = c.descriptor.clone()?;
+        let (_, column, v) = self.categorical(c)?;
+        let q = format!("show the {desc_label} of {} in {v}", c.plural);
+        let sql = QueryBuilder::from_table(&c.table)
+            .select_col(desc_col)
+            .and_where(Expr::col(column).eq(Expr::str(v.clone())))
+            .build();
+        let protected = v.split_whitespace().map(str::to_string).collect();
+        Some(self.mk("s_proj", q, sql, protected))
+    }
+
+    fn s_cat_or(&mut self) -> Option<QaPair> {
+        let c = self.concept(&self.slots.with_categorical())?;
+        let entry: &(String, String, Vec<String>) =
+            c.categoricals.iter().find(|(_, _, v)| v.len() >= 2)?;
+        let (label, column, values) = (&entry.0, &entry.1, &entry.2);
+        let i = self.rng.gen_range(0..values.len());
+        let j = (i + 1 + self.rng.gen_range(0..values.len() - 1)) % values.len();
+        let (v1, v2) = (values[i].clone(), values[j].clone());
+        if v1 == v2 {
+            return None;
+        }
+        let q = format!("show {} with {label} {v1} or {v2}", c.plural);
+        let sql = QueryBuilder::from_table(&c.table)
+            .and_where(Expr::InList {
+                expr: Box::new(Expr::col(column.clone())),
+                list: vec![Expr::str(v1.clone()), Expr::str(v2.clone())],
+                negated: false,
+            })
+            .build();
+        let mut protected: Vec<String> =
+            v1.split_whitespace().map(str::to_string).collect();
+        protected.extend(v2.split_whitespace().map(str::to_string));
+        Some(self.mk("s_cat_or", q, sql, protected))
+    }
+
+    fn s_between(&mut self) -> Option<QaPair> {
+        let c = self.concept(&self.slots.with_measure())?;
+        let entry = &c.measures[self.rng.gen_range(0..c.measures.len())];
+        let (label, column, values) = (&entry.0, &entry.1, &entry.2);
+        if values.len() < 4 {
+            return None;
+        }
+        let lo = values[values.len() / 4].round() as i64;
+        let hi = values[3 * values.len() / 4].round() as i64;
+        if lo >= hi {
+            return None;
+        }
+        let q = format!("show {} with {label} between {lo} and {hi}", c.plural);
+        let sql = QueryBuilder::from_table(&c.table)
+            .and_where(Expr::Between {
+                expr: Box::new(Expr::col(column.clone())),
+                low: Box::new(Expr::int(lo)),
+                high: Box::new(Expr::int(hi)),
+                negated: false,
+            })
+            .build();
+        Some(self.mk("s_between", q, sql, vec![lo.to_string(), hi.to_string()]))
+    }
+
+    fn s_date(&mut self) -> Option<QaPair> {
+        let with_temporal: Vec<usize> = (0..self.slots.concepts.len())
+            .filter(|&i| {
+                self.slots.concepts[i]
+                    .temporal
+                    .as_ref()
+                    .map(|(_, _, years)| years.len() >= 3)
+                    .unwrap_or(false)
+            })
+            .collect();
+        let c = self.concept(&with_temporal)?;
+        let (_label, column, years) = c.temporal.clone()?;
+        let year = years[self.rng.gen_range(1..years.len() - 1)];
+        let (phrase, pred) = match self.rng.gen_range(0..3) {
+            0 => (
+                format!("in {year}"),
+                Expr::Between {
+                    expr: Box::new(Expr::col(column.clone())),
+                    low: Box::new(Expr::str(format!("{year}-01-01"))),
+                    high: Box::new(Expr::str(format!("{year}-12-31"))),
+                    negated: false,
+                },
+            ),
+            1 => (
+                format!("before {year}"),
+                Expr::col(column.clone())
+                    .binary(BinOp::Lt, Expr::str(format!("{year}-01-01"))),
+            ),
+            _ => (
+                format!("after {year}"),
+                Expr::col(column.clone())
+                    .binary(BinOp::Gt, Expr::str(format!("{year}-12-31"))),
+            ),
+        };
+        // Surface the temporal property via a verb-ish phrasing the
+        // interpreters understand ("orders placed before 2020" still
+        // binds the concept's temporal column).
+        let q = format!("show {} dated {phrase}", c.plural);
+        let sql = QueryBuilder::from_table(&c.table).and_where(pred).build();
+        Some(self.mk("s_date", q, sql, vec![year.to_string()]))
+    }
+
+    fn a_distinct(&mut self) -> Option<QaPair> {
+        let c = self.concept(&self.slots.with_categorical())?;
+        let (label, column, _) = self.categorical(c)?;
+        let word = *pick(&mut self.rng, &["unique", "distinct", "different"]);
+        let q = format!("{word} {label} of {}", c.plural);
+        let sql = QueryBuilder::from_table(&c.table)
+            .distinct()
+            .select_col(column)
+            .build();
+        Some(self.mk("a_distinct", q, sql, vec![]))
+    }
+
+    // ---------- Single-table aggregation templates ----------
+
+    fn a_group(&mut self) -> Option<QaPair> {
+        let c = self.concept(&self.slots.with_both())?;
+        let (m_label, m_col, _) = self.measure(c)?;
+        let (c_label, c_col, _) = self.categorical(c)?;
+        let (word, func) = *pick(&mut self.rng, &[("total", AggFunc::Sum), ("average", AggFunc::Avg)]);
+        let q = format!("{word} {m_label} by {c_label}");
+        let sql = QueryBuilder::from_table(&c.table)
+            .select_col(c_col)
+            .select_agg(func, Expr::col(m_col), None)
+            .group_by(Expr::col(c_col))
+            .build();
+        Some(self.mk("a_group", q, sql, vec![]))
+    }
+
+    fn a_global(&mut self) -> Option<QaPair> {
+        let c = self.concept(&self.slots.with_measure())?;
+        let (m_label, m_col, _) = self.measure(c)?;
+        let (word, func) = *pick(
+            &mut self.rng,
+            &[
+                ("average", AggFunc::Avg),
+                ("total", AggFunc::Sum),
+                ("maximum", AggFunc::Max),
+                ("minimum", AggFunc::Min),
+            ],
+        );
+        let q = format!("{word} {m_label} of {}", c.plural);
+        let sql = QueryBuilder::from_table(&c.table)
+            .select_agg(func, Expr::col(m_col), None)
+            .build();
+        Some(self.mk("a_global", q, sql, vec![]))
+    }
+
+    fn a_count(&mut self) -> Option<QaPair> {
+        let c = self.concept(&(0..self.slots.concepts.len()).collect::<Vec<_>>())?;
+        let wording = *pick(
+            &mut self.rng,
+            &["how many {p} are there", "count the {p}", "number of {p}"],
+        );
+        let q = wording.replace("{p}", &c.plural);
+        let sql = QueryBuilder::from_table(&c.table)
+            .select_expr(Expr::count_star(), None)
+            .build();
+        Some(self.mk("a_count", q, sql, vec![]))
+    }
+
+    fn a_count_group(&mut self) -> Option<QaPair> {
+        let c = self.concept(&self.slots.with_categorical())?;
+        let (c_label, c_col, _) = self.categorical(c)?;
+        let q = format!("count of {} per {c_label}", c.plural);
+        let sql = QueryBuilder::from_table(&c.table)
+            .select_col(c_col)
+            .select_expr(Expr::count_star(), None)
+            .group_by(Expr::col(c_col))
+            .build();
+        Some(self.mk("a_count_group", q, sql, vec![]))
+    }
+
+    fn a_top(&mut self) -> Option<QaPair> {
+        let c = self.concept(&self.slots.with_measure())?;
+        let (m_label, m_col, _) = self.measure(c)?;
+        let k = self.rng.gen_range(2..=5);
+        let q = format!("top {k} {} by {m_label}", c.plural);
+        let sql = QueryBuilder::from_table(&c.table)
+            .order_by(Expr::col(m_col), false)
+            .limit(k)
+            .build();
+        Some(self.mk("a_top", q, sql, vec![k.to_string()]))
+    }
+
+    // ---------- Join templates ----------
+
+    fn pair_with(&mut self, need_dim_cat: bool, need_fact_measure: bool) -> Option<&'a RelatedPair> {
+        let candidates: Vec<&RelatedPair> = self
+            .slots
+            .pairs
+            .iter()
+            .filter(|p| {
+                let dim = &self.slots.concepts[p.dim];
+                let fact = &self.slots.concepts[p.fact];
+                (!need_dim_cat
+                    || dim.categoricals.iter().any(|(_, _, v)| !v.is_empty()))
+                    && (!need_fact_measure || !fact.measures.is_empty())
+            })
+            .collect();
+        if candidates.is_empty() {
+            None
+        } else {
+            Some(candidates[self.rng.gen_range(0..candidates.len())])
+        }
+    }
+
+    fn join_query(&self, pair: &RelatedPair, from_fact: bool) -> QueryBuilder {
+        let dim = &self.slots.concepts[pair.dim];
+        let fact = &self.slots.concepts[pair.fact];
+        if from_fact {
+            QueryBuilder::from_table(&fact.table).join(
+                &dim.table,
+                Expr::qcol(fact.table.clone(), pair.fk_column.clone())
+                    .eq(Expr::qcol(dim.table.clone(), pair.pk_column.clone())),
+            )
+        } else {
+            QueryBuilder::from_table(&dim.table).join(
+                &fact.table,
+                Expr::qcol(dim.table.clone(), pair.pk_column.clone())
+                    .eq(Expr::qcol(fact.table.clone(), pair.fk_column.clone())),
+            )
+        }
+    }
+
+    fn j_agg(&mut self) -> Option<QaPair> {
+        let pair = self.pair_with(true, true)?.clone();
+        let dim = &self.slots.concepts[pair.dim];
+        let fact = &self.slots.concepts[pair.fact];
+        let m = fact.measures.first()?;
+        let (m_label, m_col) = (m.0.clone(), m.1.clone());
+        let cat = dim.categoricals.iter().find(|(_, _, v)| !v.is_empty())?;
+        let (c_label, c_col) = (cat.0.clone(), cat.1.clone());
+        let q = format!("total {} {m_label} by {} {c_label}", fact.concept, dim.concept);
+        let sql = self
+            .join_query(&pair, true)
+            .select_expr(Expr::qcol(dim.table.clone(), c_col.clone()), None)
+            .select_agg(AggFunc::Sum, Expr::qcol(fact.table.clone(), m_col), None)
+            .group_by(Expr::qcol(dim.table.clone(), c_col))
+            .build();
+        Some(self.mk("j_agg", q, sql, vec![]))
+    }
+
+    fn j_filter(&mut self) -> Option<QaPair> {
+        let pair = self.pair_with(false, true)?.clone();
+        let dim = &self.slots.concepts[pair.dim];
+        let fact = &self.slots.concepts[pair.fact];
+        let (desc_label, desc_col) = dim.descriptor.clone()?;
+        let m = fact.measures.first()?;
+        let (m_label, m_col) = (m.0.clone(), m.1.clone());
+        let t = mid_threshold(&m.2.clone(), &mut self.rng);
+        let phrase = *pick(&mut self.rng, &GT_PHRASES);
+        let q = format!(
+            "show the {desc_label} of {} with {} {m_label} {phrase} {t}",
+            dim.plural, fact.concept
+        );
+        let sql = self
+            .join_query(&pair, false)
+            .select_expr(Expr::qcol(dim.table.clone(), desc_col), None)
+            .and_where(
+                Expr::qcol(fact.table.clone(), m_col).binary(BinOp::Gt, Expr::int(t)),
+            )
+            .build();
+        Some(self.mk("j_filter", q, sql, vec![t.to_string()]))
+    }
+
+    fn j_having(&mut self) -> Option<QaPair> {
+        let pair = self.pair_with(false, false)?.clone();
+        let dim = &self.slots.concepts[pair.dim];
+        let fact = &self.slots.concepts[pair.fact];
+        let (_, desc_col) = dim.descriptor.clone()?;
+        let k = self.rng.gen_range(2..=6);
+        let q = format!("{} with more than {k} {}", dim.plural, fact.plural);
+        let sql = self
+            .join_query(&pair, false)
+            .select_expr(Expr::qcol(dim.table.clone(), desc_col.clone()), None)
+            .group_by(Expr::qcol(dim.table.clone(), desc_col))
+            .and_having(Expr::count_star().binary(BinOp::Gt, Expr::int(k)))
+            .build();
+        Some(self.mk("j_having", q, sql, vec![k.to_string()]))
+    }
+
+    // ---------- Nested templates ----------
+
+    fn n_without(&mut self) -> Option<QaPair> {
+        let pair = self.pair_with(false, false)?.clone();
+        let dim = &self.slots.concepts[pair.dim];
+        let fact = &self.slots.concepts[pair.fact];
+        let q = format!("{} without {}", dim.plural, fact.plural);
+        let inner = Query {
+            select: vec![SelectItem::expr(Expr::qcol(
+                fact.table.clone(),
+                pair.fk_column.clone(),
+            ))],
+            from: Some(TableSource::table(fact.table.clone())),
+            ..Query::default()
+        };
+        let sql = Query {
+            select: vec![SelectItem::Wildcard],
+            from: Some(TableSource::table(dim.table.clone())),
+            where_clause: Some(Expr::InSubquery {
+                expr: Box::new(Expr::col(pair.pk_column.clone())),
+                subquery: Box::new(inner),
+                negated: true,
+            }),
+            ..Query::default()
+        };
+        Some(self.mk("n_without", q, sql, vec![]))
+    }
+
+    fn n_has(&mut self) -> Option<QaPair> {
+        let pair = self.pair_with(false, false)?.clone();
+        let dim = &self.slots.concepts[pair.dim];
+        let fact = &self.slots.concepts[pair.fact];
+        let q = format!("{} that have {}", dim.plural, fact.plural);
+        let inner = Query {
+            select: vec![SelectItem::expr(Expr::qcol(
+                fact.table.clone(),
+                pair.fk_column.clone(),
+            ))],
+            from: Some(TableSource::table(fact.table.clone())),
+            ..Query::default()
+        };
+        let sql = Query {
+            select: vec![SelectItem::Wildcard],
+            from: Some(TableSource::table(dim.table.clone())),
+            where_clause: Some(Expr::InSubquery {
+                expr: Box::new(Expr::col(pair.pk_column.clone())),
+                subquery: Box::new(inner),
+                negated: false,
+            }),
+            ..Query::default()
+        };
+        Some(self.mk("n_has", q, sql, vec![]))
+    }
+
+    fn n_above_avg(&mut self) -> Option<QaPair> {
+        let c = self.concept(&self.slots.with_measure())?;
+        let (m_label, m_col, _) = self.measure(c)?;
+        let dir = self.rng.gen_bool(0.7);
+        let word = if dir { "above" } else { "below" };
+        let q = format!("{} with {m_label} {word} average", c.plural);
+        let inner = Query {
+            select: vec![SelectItem::expr(Expr::agg(AggFunc::Avg, Expr::col(m_col)))],
+            from: Some(TableSource::table(c.table.clone())),
+            ..Query::default()
+        };
+        let op = if dir { BinOp::Gt } else { BinOp::Lt };
+        let sql = Query {
+            select: vec![SelectItem::Wildcard],
+            from: Some(TableSource::table(c.table.clone())),
+            where_clause: Some(
+                Expr::col(m_col).binary(op, Expr::ScalarSubquery(Box::new(inner))),
+            ),
+            ..Query::default()
+        };
+        Some(self.mk("n_above_avg", q, sql, vec![]))
+    }
+}
+
+
+type TemplateFn<'a> = fn(&mut TemplateCtx<'a>) -> Option<QaPair>;
+
+fn template_families<'a>() -> [Vec<TemplateFn<'a>>; 4] {
+    [
+        vec![
+            TemplateCtx::s_all,
+            TemplateCtx::s_cat,
+            TemplateCtx::s_cmp,
+            TemplateCtx::s_proj,
+            TemplateCtx::s_between,
+            TemplateCtx::s_date,
+            TemplateCtx::s_cat_or,
+        ],
+        vec![
+            TemplateCtx::a_group,
+            TemplateCtx::a_global,
+            TemplateCtx::a_count,
+            TemplateCtx::a_count_group,
+            TemplateCtx::a_top,
+            TemplateCtx::a_distinct,
+        ],
+        vec![TemplateCtx::j_agg, TemplateCtx::j_filter, TemplateCtx::j_having],
+        vec![TemplateCtx::n_without, TemplateCtx::n_has, TemplateCtx::n_above_avg],
+    ]
+}
+
+/// Generate a Spider-like suite over one domain: `n` questions cycled
+/// evenly across the four complexity rungs.
+pub fn spider_like(slots: &SlotSet, seed: u64, n: usize) -> Vec<QaPair> {
+    let mut ctx = TemplateCtx { slots, rng: StdRng::seed_from_u64(seed), serial: 0 };
+    let mut out = Vec::with_capacity(n);
+    let families = template_families();
+    let mut i = 0;
+    while out.len() < n && i < n * 8 {
+        let family = &families[i % families.len()];
+        let f = family[ctx.rng.gen_range(0..family.len())];
+        if let Some(pair) = f(&mut ctx) {
+            out.push(pair);
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Generate a WikiSQL-like suite: single-table selection and global
+/// aggregation only (the neural sketch's regime).
+pub fn wikisql_like(slots: &SlotSet, seed: u64, n: usize) -> Vec<QaPair> {
+    let mut ctx = TemplateCtx { slots, rng: StdRng::seed_from_u64(seed), serial: 0 };
+    let simple: Vec<TemplateFn<'_>> = vec![
+        TemplateCtx::s_all,
+        TemplateCtx::s_cat,
+        TemplateCtx::s_cmp,
+        TemplateCtx::s_proj,
+        TemplateCtx::a_global,
+        TemplateCtx::a_count,
+    ];
+    let mut out = Vec::with_capacity(n);
+    let mut i = 0;
+    while out.len() < n && i < n * 8 {
+        let f = simple[i % simple.len()];
+        if let Some(pair) = f(&mut ctx) {
+            out.push(pair);
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemas::{all_domains, retail_database};
+    use crate::slots::derive_slots;
+    use nlidb_engine::execute;
+
+    #[test]
+    fn spider_like_covers_all_classes() {
+        let db = retail_database(11);
+        let slots = derive_slots(&db);
+        let suite = spider_like(&slots, 21, 60);
+        assert_eq!(suite.len(), 60);
+        for class in ComplexityClass::all() {
+            assert!(
+                suite.iter().any(|p| p.class == class),
+                "missing class {class:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn gold_sql_executes_everywhere() {
+        for db in all_domains(13) {
+            let slots = derive_slots(&db);
+            for pair in spider_like(&slots, 5, 40) {
+                let res = execute(&db, &pair.sql);
+                assert!(res.is_ok(), "{}: {} failed: {:?}", pair.id, pair.sql, res.err());
+            }
+        }
+    }
+
+    #[test]
+    fn most_filters_are_selective_but_nonempty() {
+        let db = retail_database(17);
+        let slots = derive_slots(&db);
+        let suite = spider_like(&slots, 3, 60);
+        let mut nonempty = 0;
+        let mut total = 0;
+        for pair in &suite {
+            let rs = execute(&db, &pair.sql).unwrap();
+            total += 1;
+            if !rs.rows.is_empty() {
+                nonempty += 1;
+            }
+        }
+        assert!(
+            nonempty * 10 >= total * 7,
+            "too many empty answers: {nonempty}/{total}"
+        );
+    }
+
+    #[test]
+    fn wikisql_like_stays_in_sketch() {
+        let db = retail_database(19);
+        let slots = derive_slots(&db);
+        for pair in wikisql_like(&slots, 7, 50) {
+            assert!(pair.sql.joins.is_empty(), "{}", pair.id);
+            assert!(!pair.sql.has_subquery(), "{}", pair.id);
+            assert!(pair.sql.group_by.is_empty(), "{}", pair.id);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let db = retail_database(23);
+        let slots = derive_slots(&db);
+        let a = spider_like(&slots, 9, 30);
+        let b = spider_like(&slots, 9, 30);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.question, y.question);
+            assert_eq!(x.sql, y.sql);
+        }
+    }
+
+    #[test]
+    fn protected_words_appear_in_question() {
+        let db = retail_database(29);
+        let slots = derive_slots(&db);
+        for pair in spider_like(&slots, 31, 40) {
+            for w in &pair.protected {
+                assert!(
+                    pair.question.contains(w.as_str()),
+                    "{}: protected {w} not in question '{}'",
+                    pair.id,
+                    pair.question
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let db = retail_database(37);
+        let slots = derive_slots(&db);
+        let suite = spider_like(&slots, 41, 50);
+        let ids: std::collections::HashSet<_> = suite.iter().map(|p| &p.id).collect();
+        assert_eq!(ids.len(), suite.len());
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! # nlidb-dialogue — the conversational extension (§5)
+//!
+//! The survey defines a conversational interface by three components —
+//! *intents*, *entities*, and *dialogue* — and contrasts three
+//! dialogue-management regimes of increasing flexibility:
+//!
+//! * **finite-state** (rule/script-based): "simple to construct for
+//!   tasks that are straightforward and well-structured, but …
+//!   restricting user input to predetermined words and phrases";
+//! * **frame-based**: "enable the user to provide more information
+//!   than required … while the conversation system keeps track of what
+//!   information is required";
+//! * **agent-based**: "able to manage complex dialogues, where the
+//!   user can initiate and lead the conversation".
+//!
+//! This crate implements all three over the same follow-up machinery
+//! ([`acts`] + [`state`]) so experiment E5 can measure the flexibility
+//! ladder directly, plus the ontology-driven bootstrap of Quamar et
+//! al. ([`bootstrap`]): generating intents, training examples, and
+//! entities straight from the domain ontology (E10).
+
+pub mod acts;
+pub mod bootstrap;
+pub mod manager;
+pub mod session;
+pub mod state;
+
+pub use acts::{detect_act, DialogueAct};
+pub use bootstrap::{bootstrap_from_ontology, ConversationArtifacts, IntentClassifier};
+pub use manager::ManagerKind;
+pub use session::{ConversationSession, TurnResult};
+pub use state::DialogueState;

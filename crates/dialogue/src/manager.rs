@@ -1,0 +1,167 @@
+//! The three dialogue-management regimes of §5 as acceptance policies
+//! over dialogue acts.
+//!
+//! All three share the same act detector and state editor; what
+//! differs — exactly as the survey frames it — is *which user moves
+//! each regime can accommodate*:
+//!
+//! * finite-state: a fixed script (query → narrow → aggregate →
+//!   top-N); anything off-script is rejected;
+//! * frame-based: any slot-filling move, in any order, including
+//!   refilling a slot ("what about Boston"); structural moves (focus
+//!   switch, filter removal) are rejected;
+//! * agent-based: every act, user initiative included.
+
+use crate::acts::DialogueAct;
+
+/// Which §5 regime a session runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ManagerKind {
+    /// Finite-state script.
+    FiniteState,
+    /// Frame/slot filling.
+    Frame,
+    /// Agent-based (user can lead).
+    Agent,
+}
+
+impl ManagerKind {
+    /// Label for experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ManagerKind::FiniteState => "finite-state",
+            ManagerKind::Frame => "frame",
+            ManagerKind::Agent => "agent",
+        }
+    }
+
+    /// All regimes, in the survey's order of increasing flexibility.
+    pub fn all() -> [ManagerKind; 3] {
+        [ManagerKind::FiniteState, ManagerKind::Frame, ManagerKind::Agent]
+    }
+
+    /// The finite-state script: the stage each act belongs to. The
+    /// script only moves forward.
+    fn script_stage(act: &DialogueAct) -> Option<usize> {
+        match act {
+            DialogueAct::NewQuery => Some(0),
+            DialogueAct::AddFilter => Some(1),
+            DialogueAct::SetAggregation => Some(2),
+            DialogueAct::SetTopN => Some(3),
+            _ => None,
+        }
+    }
+
+    /// Does this regime accept the act, given the turns so far?
+    /// `stage` is the script position for the finite-state regime
+    /// (updated by the caller on acceptance).
+    pub fn accepts(&self, act: &DialogueAct, has_context: bool, stage: usize) -> bool {
+        if matches!(act, DialogueAct::Unknown) {
+            return false;
+        }
+        match self {
+            ManagerKind::Agent => true,
+            ManagerKind::Frame => !matches!(
+                act,
+                DialogueAct::RemoveFilters | DialogueAct::SwitchFocus { .. }
+            ),
+            ManagerKind::FiniteState => {
+                let Some(act_stage) = Self::script_stage(act) else {
+                    return false;
+                };
+                if !has_context {
+                    return act_stage == 0;
+                }
+                // Strictly forward through the script (`stage` is the
+                // lowest stage still allowed): no restarts, no
+                // revisiting a completed stage.
+                act_stage >= stage.max(1)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nlidb_core::linking::{LinkKind, LinkedMention};
+
+    fn replace_act() -> DialogueAct {
+        DialogueAct::ReplaceValue {
+            mention: LinkedMention {
+                start: 0,
+                len: 1,
+                text: "boston".into(),
+                kind: LinkKind::Value {
+                    concept: "customer".into(),
+                    property: "city".into(),
+                    value: "Boston".into(),
+                },
+                score: 1.0,
+            },
+        }
+    }
+
+    #[test]
+    fn agent_accepts_everything_known() {
+        let m = ManagerKind::Agent;
+        assert!(m.accepts(&DialogueAct::NewQuery, false, 0));
+        assert!(m.accepts(&DialogueAct::RemoveFilters, true, 0));
+        assert!(m.accepts(&DialogueAct::SwitchFocus { concept: "order".into() }, true, 0));
+        assert!(m.accepts(&replace_act(), true, 0));
+        assert!(!m.accepts(&DialogueAct::Unknown, true, 0));
+    }
+
+    #[test]
+    fn frame_rejects_structural_moves() {
+        let m = ManagerKind::Frame;
+        assert!(m.accepts(&DialogueAct::NewQuery, false, 0));
+        assert!(m.accepts(&replace_act(), true, 0), "slot refill is frame territory");
+        assert!(m.accepts(&DialogueAct::AddFilter, true, 0));
+        assert!(m.accepts(&DialogueAct::SetAggregation, true, 0));
+        assert!(!m.accepts(&DialogueAct::RemoveFilters, true, 0));
+        assert!(!m.accepts(&DialogueAct::SwitchFocus { concept: "order".into() }, true, 0));
+    }
+
+    #[test]
+    fn finite_state_follows_script_only() {
+        let m = ManagerKind::FiniteState;
+        // Must start with a query.
+        assert!(m.accepts(&DialogueAct::NewQuery, false, 0));
+        assert!(!m.accepts(&DialogueAct::AddFilter, false, 0));
+        // Forward moves allowed.
+        assert!(m.accepts(&DialogueAct::AddFilter, true, 1));
+        assert!(m.accepts(&DialogueAct::SetAggregation, true, 1));
+        // Backward or off-script moves rejected.
+        assert!(!m.accepts(&DialogueAct::AddFilter, true, 3));
+        assert!(!m.accepts(&replace_act(), true, 1));
+        assert!(!m.accepts(&DialogueAct::SetGroup { mention: match replace_act() {
+            DialogueAct::ReplaceValue { mention } => mention,
+            _ => unreachable!(),
+        } }, true, 1));
+    }
+
+    #[test]
+    fn flexibility_is_ordered() {
+        // Count accepted acts per regime over a fixed act inventory:
+        // the survey's flexibility ladder must hold.
+        let acts = [
+            DialogueAct::NewQuery,
+            DialogueAct::AddFilter,
+            DialogueAct::SetAggregation,
+            DialogueAct::SetTopN,
+            DialogueAct::SetOrder,
+            DialogueAct::RemoveFilters,
+            DialogueAct::SwitchFocus { concept: "order".into() },
+            replace_act(),
+        ];
+        let count = |m: ManagerKind| {
+            acts.iter().filter(|a| m.accepts(a, true, 1)).count()
+        };
+        let fsm = count(ManagerKind::FiniteState);
+        let frame = count(ManagerKind::Frame);
+        let agent = count(ManagerKind::Agent);
+        assert!(fsm < frame, "{fsm} !< {frame}");
+        assert!(frame < agent, "{frame} !< {agent}");
+    }
+}

@@ -1,0 +1,43 @@
+//! Engine error type.
+
+use std::fmt;
+
+/// Anything that can go wrong while defining, loading, or querying.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// Referenced table does not exist.
+    UnknownTable(String),
+    /// Referenced column does not exist (optionally table-qualified).
+    UnknownColumn(String),
+    /// Ambiguous bare column name across joined tables.
+    AmbiguousColumn(String),
+    /// A table with this name already exists.
+    DuplicateTable(String),
+    /// Row arity or value type does not match the schema.
+    SchemaViolation(String),
+    /// Expression is invalid in its context (e.g. aggregate in WHERE).
+    InvalidExpression(String),
+    /// A scalar sub-query returned more than one row/column.
+    NonScalarSubquery,
+    /// Unsupported construct reached the executor.
+    Unsupported(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            EngineError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            EngineError::AmbiguousColumn(c) => write!(f, "ambiguous column: {c}"),
+            EngineError::DuplicateTable(t) => write!(f, "table already exists: {t}"),
+            EngineError::SchemaViolation(m) => write!(f, "schema violation: {m}"),
+            EngineError::InvalidExpression(m) => write!(f, "invalid expression: {m}"),
+            EngineError::NonScalarSubquery => {
+                write!(f, "scalar sub-query returned more than one row/column")
+            }
+            EngineError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}

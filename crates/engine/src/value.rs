@@ -1,0 +1,209 @@
+//! Runtime values with SQL-ish coercion, comparison, and NULL rules.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A runtime cell value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// 64-bit integer.
+    Int(i64),
+    /// Double-precision float.
+    Float(f64),
+    /// UTF-8 string (dates are ISO strings, so lexicographic order is
+    /// chronological).
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+    /// SQL NULL.
+    Null,
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl Value {
+    /// Is this NULL?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view with Int→Float widening.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// SQL truthiness: only `Bool(true)` passes a filter.
+    pub fn is_true(&self) -> bool {
+        matches!(self, Value::Bool(true))
+    }
+
+    /// Three-valued comparison. `None` when either side is NULL or the
+    /// types are incomparable.
+    pub fn compare(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            _ => {
+                let (a, b) = (self.as_f64()?, other.as_f64()?);
+                a.partial_cmp(&b)
+            }
+        }
+    }
+
+    /// SQL equality through [`Value::compare`] (NULL = anything → None).
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        self.compare(other).map(|o| o == Ordering::Equal)
+    }
+
+    /// Total order for sorting: NULLs first, then by value; numeric
+    /// types compare cross-type; mixed non-numeric types order by a
+    /// fixed type rank so sorting is deterministic.
+    pub fn sort_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Bool(_) => 1,
+                Value::Int(_) | Value::Float(_) => 2,
+                Value::Str(_) => 3,
+            }
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            _ => match rank(self).cmp(&rank(other)) {
+                Ordering::Equal => self.compare(other).unwrap_or(Ordering::Equal),
+                o => o,
+            },
+        }
+    }
+
+    /// Grouping/distinct key: a canonical string form under which equal
+    /// values (incl. `Int(2)` vs `Float(2.0)`) collide.
+    pub fn group_key(&self) -> String {
+        match self {
+            Value::Null => "\u{0}null".to_string(),
+            Value::Bool(b) => format!("\u{1}{b}"),
+            Value::Int(i) => format!("\u{2}{}", *i as f64),
+            Value::Float(f) => format!("\u{2}{f}"),
+            Value::Str(s) => format!("\u{3}{s}"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_type_numeric_compare() {
+        assert_eq!(Value::Int(2).compare(&Value::Float(2.0)), Some(Ordering::Equal));
+        assert_eq!(Value::Int(2).compare(&Value::Float(2.5)), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn null_comparisons_are_none() {
+        assert_eq!(Value::Null.compare(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Null), None);
+    }
+
+    #[test]
+    fn incomparable_types() {
+        assert_eq!(Value::from("a").compare(&Value::Int(1)), None);
+        assert_eq!(Value::Bool(true).compare(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn sort_order_nulls_first() {
+        let mut v = vec![Value::Int(2), Value::Null, Value::Int(1)];
+        v.sort_by(|a, b| a.sort_cmp(b));
+        assert_eq!(v, vec![Value::Null, Value::Int(1), Value::Int(2)]);
+    }
+
+    #[test]
+    fn sort_is_total_across_types() {
+        let mut v = [Value::from("z"),
+            Value::Int(5),
+            Value::Bool(false),
+            Value::Null,
+            Value::Float(1.5)];
+        v.sort_by(|a, b| a.sort_cmp(b));
+        assert_eq!(v[0], Value::Null);
+        assert_eq!(v[1], Value::Bool(false));
+        assert!(matches!(v[4], Value::Str(_)));
+    }
+
+    #[test]
+    fn group_keys_unify_numerics() {
+        assert_eq!(Value::Int(2).group_key(), Value::Float(2.0).group_key());
+        assert_ne!(Value::Int(2).group_key(), Value::from("2").group_key());
+        assert_ne!(Value::Null.group_key(), Value::from("null").group_key());
+    }
+
+    #[test]
+    fn iso_dates_order_chronologically() {
+        assert_eq!(
+            Value::from("2019-03-01").compare(&Value::from("2019-11-20")),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::Bool(true).is_true());
+        assert!(!Value::Bool(false).is_true());
+        assert!(!Value::Null.is_true());
+        assert!(!Value::Int(1).is_true());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Float(2.5).to_string(), "2.5");
+        assert_eq!(Value::from("x").to_string(), "x");
+    }
+}

@@ -1,0 +1,221 @@
+//! Property tests on execution invariants: relational algebra laws
+//! that must hold for every generated table and predicate.
+
+use proptest::prelude::*;
+
+use nlidb_engine::{execute, ColumnType, Database, TableSchema, Value};
+use nlidb_sqlir::ast::{BinOp, Expr};
+use nlidb_sqlir::QueryBuilder;
+
+#[derive(Debug, Clone)]
+struct Row {
+    a: i64,
+    b: f64,
+    c: String,
+    null_b: bool,
+}
+
+fn row_strategy() -> impl Strategy<Value = Row> {
+    (
+        -20i64..20,
+        -5i32..5,
+        prop::sample::select(vec!["red", "green", "blue", "cyan"]),
+        prop::bool::weighted(0.15),
+    )
+        .prop_map(|(a, b, c, null_b)| Row {
+            a,
+            b: b as f64 / 2.0,
+            c: c.to_string(),
+            null_b,
+        })
+}
+
+fn build_db(rows: &[Row]) -> Database {
+    let mut db = Database::new("prop");
+    db.create_table(
+        TableSchema::new("t")
+            .column("a", ColumnType::Int)
+            .column("b", ColumnType::Float)
+            .column("c", ColumnType::Text),
+    )
+    .unwrap();
+    for r in rows {
+        db.insert(
+            "t",
+            vec![
+                Value::Int(r.a),
+                if r.null_b { Value::Null } else { Value::Float(r.b) },
+                Value::Str(r.c.clone()),
+            ],
+        )
+        .unwrap();
+    }
+    db
+}
+
+fn predicate_strategy() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (-20i64..20).prop_map(|v| Expr::col("a").binary(BinOp::Gt, Expr::int(v))),
+        (-20i64..20).prop_map(|v| Expr::col("a").binary(BinOp::LtEq, Expr::int(v))),
+        (-3i64..3).prop_map(|v| Expr::col("b").binary(BinOp::Lt, Expr::int(v))),
+        prop::sample::select(vec!["red", "green", "blue", "purple"])
+            .prop_map(|c| Expr::col("c").eq(Expr::str(c))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn filter_returns_subset(rows in prop::collection::vec(row_strategy(), 0..40), pred in predicate_strategy()) {
+        let db = build_db(&rows);
+        let all = execute(&db, &QueryBuilder::from_table("t").build()).unwrap();
+        let filtered = execute(
+            &db,
+            &QueryBuilder::from_table("t").and_where(pred).build(),
+        )
+        .unwrap();
+        prop_assert!(filtered.rows.len() <= all.rows.len());
+    }
+
+    #[test]
+    fn predicate_and_negation_partition_nonnull(rows in prop::collection::vec(row_strategy(), 0..40), v in -20i64..20) {
+        // For a NULL-free column, P and NOT P partition the rows.
+        let db = build_db(&rows);
+        let p = Expr::col("a").binary(BinOp::Gt, Expr::int(v));
+        let not_p = Expr::col("a").binary(BinOp::LtEq, Expr::int(v));
+        let with = execute(&db, &QueryBuilder::from_table("t").and_where(p).build()).unwrap();
+        let without =
+            execute(&db, &QueryBuilder::from_table("t").and_where(not_p).build()).unwrap();
+        prop_assert_eq!(with.rows.len() + without.rows.len(), rows.len());
+    }
+
+    #[test]
+    fn limit_truncates(rows in prop::collection::vec(row_strategy(), 0..40), n in 0u64..50) {
+        let db = build_db(&rows);
+        let limited =
+            execute(&db, &QueryBuilder::from_table("t").limit(n).build()).unwrap();
+        prop_assert!(limited.rows.len() <= n as usize);
+        prop_assert_eq!(limited.rows.len(), rows.len().min(n as usize));
+    }
+
+    #[test]
+    fn count_star_matches_row_count(rows in prop::collection::vec(row_strategy(), 0..40)) {
+        let db = build_db(&rows);
+        let counted = execute(
+            &db,
+            &QueryBuilder::from_table("t").select_expr(Expr::count_star(), None).build(),
+        )
+        .unwrap();
+        prop_assert_eq!(counted.rows[0][0].clone(), Value::Int(rows.len() as i64));
+    }
+
+    #[test]
+    fn order_by_sorts(rows in prop::collection::vec(row_strategy(), 0..40), asc in any::<bool>()) {
+        let db = build_db(&rows);
+        let sorted = execute(
+            &db,
+            &QueryBuilder::from_table("t")
+                .select_col("a")
+                .order_by(Expr::col("a"), asc)
+                .build(),
+        )
+        .unwrap();
+        for w in sorted.rows.windows(2) {
+            let ord = w[0][0].sort_cmp(&w[1][0]);
+            if asc {
+                prop_assert!(ord != std::cmp::Ordering::Greater);
+            } else {
+                prop_assert!(ord != std::cmp::Ordering::Less);
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_leq_total_and_idempotent(rows in prop::collection::vec(row_strategy(), 0..40)) {
+        let db = build_db(&rows);
+        let all = execute(
+            &db,
+            &QueryBuilder::from_table("t").select_col("c").build(),
+        )
+        .unwrap();
+        let distinct = execute(
+            &db,
+            &QueryBuilder::from_table("t").distinct().select_col("c").build(),
+        )
+        .unwrap();
+        prop_assert!(distinct.rows.len() <= all.rows.len());
+        prop_assert!(distinct.rows.len() <= 4, "only four colors exist");
+        // Idempotence: DISTINCT of DISTINCT output changes nothing.
+        let mut seen = std::collections::HashSet::new();
+        for r in &distinct.rows {
+            prop_assert!(seen.insert(r[0].group_key()), "duplicate after DISTINCT");
+        }
+    }
+
+    #[test]
+    fn group_count_sums_to_total(rows in prop::collection::vec(row_strategy(), 0..40)) {
+        let db = build_db(&rows);
+        let grouped = execute(
+            &db,
+            &QueryBuilder::from_table("t")
+                .select_col("c")
+                .select_expr(Expr::count_star(), None)
+                .group_by(Expr::col("c"))
+                .build(),
+        )
+        .unwrap();
+        let sum: i64 = grouped
+            .rows
+            .iter()
+            .map(|r| match r[1] {
+                Value::Int(n) => n,
+                _ => 0,
+            })
+            .sum();
+        prop_assert_eq!(sum, rows.len() as i64);
+    }
+
+    #[test]
+    fn sum_ignores_nulls(rows in prop::collection::vec(row_strategy(), 0..40)) {
+        let db = build_db(&rows);
+        let summed = execute(
+            &db,
+            &QueryBuilder::from_table("t")
+                .select_expr(
+                    Expr::agg(nlidb_sqlir::ast::AggFunc::Sum, Expr::col("b")),
+                    None,
+                )
+                .build(),
+        )
+        .unwrap();
+        let expected: f64 = rows.iter().filter(|r| !r.null_b).map(|r| r.b).sum();
+        let any_non_null = rows.iter().any(|r| !r.null_b);
+        match &summed.rows[0][0] {
+            Value::Null => prop_assert!(!any_non_null),
+            v => {
+                let got = v.as_f64().unwrap();
+                prop_assert!((got - expected).abs() < 1e-9, "{got} vs {expected}");
+            }
+        }
+    }
+
+    #[test]
+    fn in_subquery_equals_join_semantics(rows in prop::collection::vec(row_strategy(), 1..30)) {
+        // SELECT * FROM t WHERE c IN (SELECT c FROM t WHERE a > 0)
+        // must equal filtering on colors that have a positive-a row.
+        let db = build_db(&rows);
+        let q = nlidb_sqlir::parse_query(
+            "SELECT * FROM t WHERE c IN (SELECT c FROM t WHERE a > 0)",
+        )
+        .unwrap();
+        let rs = execute(&db, &q).unwrap();
+        let positive_colors: std::collections::HashSet<&str> = rows
+            .iter()
+            .filter(|r| r.a > 0)
+            .map(|r| r.c.as_str())
+            .collect();
+        let expected = rows.iter().filter(|r| positive_colors.contains(r.c.as_str())).count();
+        prop_assert_eq!(rs.rows.len(), expected);
+    }
+}

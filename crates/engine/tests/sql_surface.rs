@@ -1,0 +1,156 @@
+//! SQL-surface integration tests: each supported construct driven
+//! through parse → execute on a fixed fixture, including the NULL and
+//! type-coercion corners that trip real engines.
+
+use nlidb_engine::{execute, ColumnType, Database, EngineError, TableSchema, Value};
+use nlidb_sqlir::parse_query;
+
+fn fixture() -> Database {
+    let mut db = Database::new("fix");
+    db.create_table(
+        TableSchema::new("items")
+            .column("id", ColumnType::Int)
+            .column("name", ColumnType::Text)
+            .column("price", ColumnType::Float)
+            .column("tag", ColumnType::Text)
+            .primary_key("id"),
+    )
+    .unwrap();
+    let rows: Vec<(i64, Option<&str>, Option<f64>, &str)> = vec![
+        (1, Some("apple pie"), Some(4.5), "food"),
+        (2, Some("anvil"), Some(99.0), "tool"),
+        (3, Some("axe"), None, "tool"),
+        (4, None, Some(1.0), "misc"),
+        (5, Some("apricot"), Some(2.5), "food"),
+    ];
+    for (id, name, price, tag) in rows {
+        db.insert(
+            "items",
+            vec![
+                Value::Int(id),
+                name.map(Value::from).unwrap_or(Value::Null),
+                price.map(Value::Float).unwrap_or(Value::Null),
+                Value::from(tag),
+            ],
+        )
+        .unwrap();
+    }
+    db
+}
+
+fn run(sql: &str) -> Vec<Vec<Value>> {
+    let db = fixture();
+    execute(&db, &parse_query(sql).unwrap()).unwrap().rows
+}
+
+#[test]
+fn like_prefix_and_infix() {
+    assert_eq!(run("SELECT id FROM items WHERE name LIKE 'a%'").len(), 4);
+    assert_eq!(run("SELECT id FROM items WHERE name LIKE '%pie'").len(), 1);
+    assert_eq!(run("SELECT id FROM items WHERE name LIKE 'a_e'").len(), 1); // axe
+    // NULL name never matches LIKE (and never matches NOT LIKE either).
+    assert_eq!(run("SELECT id FROM items WHERE name NOT LIKE 'a%'").len(), 0);
+}
+
+#[test]
+fn is_null_and_is_not_null() {
+    assert_eq!(run("SELECT id FROM items WHERE price IS NULL").len(), 1);
+    assert_eq!(run("SELECT id FROM items WHERE price IS NOT NULL").len(), 4);
+    assert_eq!(run("SELECT id FROM items WHERE name IS NULL").len(), 1);
+}
+
+#[test]
+fn between_includes_bounds_and_negates() {
+    assert_eq!(run("SELECT id FROM items WHERE price BETWEEN 2.5 AND 4.5").len(), 2);
+    // NOT BETWEEN excludes NULL prices too (3-valued logic).
+    assert_eq!(run("SELECT id FROM items WHERE price NOT BETWEEN 2.5 AND 4.5").len(), 2);
+}
+
+#[test]
+fn null_arithmetic_propagates() {
+    let rows = run("SELECT price + 1 FROM items WHERE id = 3");
+    assert_eq!(rows[0][0], Value::Null);
+    let rows = run("SELECT price * 2 FROM items WHERE id = 1");
+    assert_eq!(rows[0][0], Value::Float(9.0));
+}
+
+#[test]
+fn distinct_with_order_by() {
+    let rows = run("SELECT DISTINCT tag FROM items ORDER BY tag ASC");
+    let tags: Vec<String> = rows.iter().map(|r| r[0].to_string()).collect();
+    assert_eq!(tags, vec!["food", "misc", "tool"]);
+}
+
+#[test]
+fn aggregates_skip_nulls_per_sql() {
+    let rows = run("SELECT COUNT(*), COUNT(price), AVG(price), MIN(price) FROM items");
+    assert_eq!(rows[0][0], Value::Int(5));
+    assert_eq!(rows[0][1], Value::Int(4), "COUNT(col) skips NULLs");
+    assert_eq!(rows[0][2], Value::Float((4.5 + 99.0 + 1.0 + 2.5) / 4.0));
+    assert_eq!(rows[0][3], Value::Float(1.0));
+}
+
+#[test]
+fn having_over_aggregate_expression() {
+    let rows = run(
+        "SELECT tag, AVG(price) FROM items GROUP BY tag HAVING AVG(price) > 3 \
+         ORDER BY tag ASC",
+    );
+    // food avg 3.5; tool avg 99 (axe's NULL skipped); misc avg 1.
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0][0], Value::from("food"));
+    assert_eq!(rows[1][0], Value::from("tool"));
+}
+
+#[test]
+fn in_list_with_null_member_never_matches_negated() {
+    // id NOT IN (1, NULL): standard SQL says never TRUE.
+    assert_eq!(run("SELECT id FROM items WHERE id NOT IN (1, NULL)").len(), 0);
+    assert_eq!(run("SELECT id FROM items WHERE id IN (1, NULL)").len(), 1);
+}
+
+#[test]
+fn order_by_multiple_keys_stable() {
+    let rows = run("SELECT tag, id FROM items ORDER BY tag ASC, id DESC");
+    assert_eq!(rows[0][1], Value::Int(5)); // food: id 5 before 1
+    assert_eq!(rows[1][1], Value::Int(1));
+}
+
+#[test]
+fn scalar_subquery_empty_is_null() {
+    let rows = run(
+        "SELECT id FROM items WHERE price > (SELECT MAX(price) FROM items WHERE tag = 'ghost')",
+    );
+    // Sub-query over empty group → NULL → comparison never true.
+    assert!(rows.is_empty());
+}
+
+#[test]
+fn limit_zero_and_overshoot() {
+    assert!(run("SELECT * FROM items LIMIT 0").is_empty());
+    assert_eq!(run("SELECT * FROM items LIMIT 99").len(), 5);
+}
+
+#[test]
+fn unknown_column_is_a_clean_error() {
+    let db = fixture();
+    let q = parse_query("SELECT ghost FROM items").unwrap();
+    assert!(matches!(execute(&db, &q), Err(EngineError::UnknownColumn(_))));
+    let q = parse_query("SELECT * FROM phantom").unwrap();
+    assert!(matches!(execute(&db, &q), Err(EngineError::UnknownTable(_))));
+}
+
+#[test]
+fn self_join_with_aliases() {
+    let rows = run(
+        "SELECT a.name FROM items AS a JOIN items AS b ON a.price < b.price \
+         WHERE b.name = 'anvil' AND a.tag = 'food'",
+    );
+    assert_eq!(rows.len(), 2, "both foods are cheaper than the anvil");
+}
+
+#[test]
+fn where_true_false_literals() {
+    assert_eq!(run("SELECT id FROM items WHERE TRUE").len(), 5);
+    assert!(run("SELECT id FROM items WHERE FALSE").is_empty());
+}

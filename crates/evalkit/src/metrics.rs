@@ -1,0 +1,331 @@
+//! Accuracy metrics.
+
+use nlidb_engine::{execute, Database};
+use nlidb_sqlir::Query;
+
+/// Exact-match: identical rendered SQL. The strictest metric; used as
+/// a secondary signal because semantically equal queries can differ
+/// textually.
+pub fn exact_match(gold: &Query, predicted: &Query) -> bool {
+    gold.to_string() == predicted.to_string()
+}
+
+/// Execution accuracy: both queries run and produce the same result
+/// bag (sequence when the gold query orders its output). Execution
+/// errors on either side count as a miss.
+pub fn execution_match(db: &Database, gold: &Query, predicted: &Query) -> bool {
+    let (Ok(g), Ok(p)) = (execute(db, gold), execute(db, predicted)) else {
+        return false;
+    };
+    if gold.order_by.is_empty() {
+        g.unordered_eq(&p)
+    } else {
+        g.ordered_eq(&p)
+    }
+}
+
+
+/// Per-clause component matching — Spider's partial-match idea: credit
+/// a prediction for each clause it gets right, independent of the
+/// others. Returns the matched fraction in `[0, 1]` over the clauses
+/// the *gold* query uses (so a flat gold query doesn't penalize absent
+/// GROUP BY in the prediction).
+pub fn component_match(gold: &Query, predicted: &Query) -> f64 {
+    let mut considered = 0usize;
+    let mut matched = 0usize;
+    let mut check = |g: String, p: String| {
+        considered += 1;
+        if g == p {
+            matched += 1;
+        }
+    };
+    // SELECT list (rendered, order-sensitive: projection order is
+    // user-visible).
+    check(
+        gold.select.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(", "),
+        predicted.select.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(", "),
+    );
+    // FROM + JOIN set (order-insensitive: join order is physical).
+    let from_set = |q: &Query| -> Vec<String> {
+        let mut v: Vec<String> = q.from.iter().map(|f| f.to_string()).collect();
+        v.extend(q.joins.iter().map(|j| j.to_string()));
+        v.sort();
+        v
+    };
+    check(from_set(gold).join(" | "), from_set(predicted).join(" | "));
+    // WHERE conjunct set (order-insensitive).
+    let conjuncts = |q: &Query| -> Vec<String> {
+        fn split(e: &nlidb_sqlir::ast::Expr, out: &mut Vec<String>) {
+            if let nlidb_sqlir::ast::Expr::Binary {
+                left,
+                op: nlidb_sqlir::ast::BinOp::And,
+                right,
+            } = e
+            {
+                split(left, out);
+                split(right, out);
+            } else {
+                out.push(e.to_string());
+            }
+        }
+        let mut v = Vec::new();
+        if let Some(w) = &q.where_clause {
+            split(w, &mut v);
+        }
+        v.sort();
+        v
+    };
+    if gold.where_clause.is_some() || predicted.where_clause.is_some() {
+        check(conjuncts(gold).join(" AND "), conjuncts(predicted).join(" AND "));
+    }
+    if !gold.group_by.is_empty() || !predicted.group_by.is_empty() {
+        check(
+            gold.group_by.iter().map(|g| g.to_string()).collect::<Vec<_>>().join(", "),
+            predicted.group_by.iter().map(|g| g.to_string()).collect::<Vec<_>>().join(", "),
+        );
+    }
+    if gold.having.is_some() || predicted.having.is_some() {
+        check(
+            gold.having.as_ref().map(|h| h.to_string()).unwrap_or_default(),
+            predicted.having.as_ref().map(|h| h.to_string()).unwrap_or_default(),
+        );
+    }
+    if !gold.order_by.is_empty() || !predicted.order_by.is_empty() {
+        check(
+            gold.order_by.iter().map(|o| o.to_string()).collect::<Vec<_>>().join(", "),
+            predicted.order_by.iter().map(|o| o.to_string()).collect::<Vec<_>>().join(", "),
+        );
+    }
+    if gold.limit.is_some() || predicted.limit.is_some() {
+        check(format!("{:?}", gold.limit), format!("{:?}", predicted.limit));
+    }
+    if considered == 0 {
+        return 1.0;
+    }
+    matched as f64 / considered as f64
+}
+
+/// Aggregated outcome of an evaluation run: how many questions were
+/// attempted (`answered`), how many of those were right (`correct`),
+/// out of how many posed (`total`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalOutcome {
+    /// Questions for which the system produced *some* query.
+    pub answered: usize,
+    /// Questions answered correctly (execution match).
+    pub correct: usize,
+    /// Questions posed.
+    pub total: usize,
+}
+
+impl EvalOutcome {
+    /// Record one question's outcome.
+    pub fn record(&mut self, answered: bool, correct: bool) {
+        self.total += 1;
+        if answered {
+            self.answered += 1;
+        }
+        if correct {
+            debug_assert!(answered, "correct implies answered");
+            self.correct += 1;
+        }
+    }
+
+    /// Merge another outcome into this one.
+    pub fn merge(&mut self, other: EvalOutcome) {
+        self.answered += other.answered;
+        self.correct += other.correct;
+        self.total += other.total;
+    }
+
+    /// Precision: correct / answered (1.0 when nothing answered, by
+    /// the convention that silence makes no errors).
+    pub fn precision(&self) -> f64 {
+        if self.answered == 0 {
+            1.0
+        } else {
+            self.correct as f64 / self.answered as f64
+        }
+    }
+
+    /// Recall (= end-to-end accuracy): correct / total.
+    pub fn recall(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.total as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Coverage: answered / total.
+    pub fn coverage(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.answered as f64 / self.total as f64
+        }
+    }
+}
+
+impl std::fmt::Display for EvalOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{} correct ({} answered; P={:.2} R={:.2} F1={:.2})",
+            self.correct,
+            self.total,
+            self.answered,
+            self.precision(),
+            self.recall(),
+            self.f1()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nlidb_engine::{ColumnType, TableSchema, Value};
+    use nlidb_sqlir::parse_query;
+
+    fn db() -> Database {
+        let mut db = Database::new("d");
+        db.create_table(
+            TableSchema::new("t")
+                .column("a", ColumnType::Int)
+                .column("b", ColumnType::Text),
+        )
+        .unwrap();
+        for (a, b) in [(1, "x"), (2, "y"), (3, "x")] {
+            db.insert("t", vec![Value::Int(a), Value::from(b)]).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn exact_match_is_textual() {
+        let g = parse_query("SELECT a FROM t").unwrap();
+        let p1 = parse_query("SELECT a FROM t").unwrap();
+        let p2 = parse_query("SELECT a FROM t WHERE a = 1 OR a > 0").unwrap();
+        assert!(exact_match(&g, &p1));
+        assert!(!exact_match(&g, &p2));
+    }
+
+    #[test]
+    fn execution_match_tolerates_form_differences() {
+        let db = db();
+        let g = parse_query("SELECT a FROM t WHERE b = 'x'").unwrap();
+        // Different SQL text, same denotation.
+        let p = parse_query("SELECT a FROM t WHERE b IN ('x')").unwrap();
+        assert!(!exact_match(&g, &p));
+        assert!(execution_match(&db, &g, &p));
+    }
+
+    #[test]
+    fn execution_match_respects_order_when_gold_orders() {
+        let db = db();
+        let g = parse_query("SELECT a FROM t ORDER BY a DESC").unwrap();
+        let p = parse_query("SELECT a FROM t ORDER BY a ASC").unwrap();
+        assert!(!execution_match(&db, &g, &p), "same bag, wrong order");
+        let g2 = parse_query("SELECT a FROM t").unwrap();
+        assert!(execution_match(&db, &g2, &p), "unordered gold accepts any order");
+    }
+
+    #[test]
+    fn execution_errors_are_misses() {
+        let db = db();
+        let g = parse_query("SELECT a FROM t").unwrap();
+        let bad = parse_query("SELECT zzz FROM t").unwrap();
+        assert!(!execution_match(&db, &g, &bad));
+        assert!(!execution_match(&db, &bad, &g));
+    }
+
+    #[test]
+    fn outcome_metrics() {
+        let mut o = EvalOutcome::default();
+        o.record(true, true);
+        o.record(true, false);
+        o.record(false, false);
+        o.record(true, true);
+        assert_eq!(o.total, 4);
+        assert_eq!(o.answered, 3);
+        assert_eq!(o.correct, 2);
+        assert!((o.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((o.recall() - 0.5).abs() < 1e-12);
+        assert!((o.coverage() - 0.75).abs() < 1e-12);
+        assert!(o.f1() > 0.5 && o.f1() < 0.67);
+    }
+
+    #[test]
+    fn outcome_edge_cases() {
+        let o = EvalOutcome::default();
+        assert_eq!(o.precision(), 1.0);
+        assert_eq!(o.recall(), 0.0);
+        assert_eq!(o.f1(), 0.0);
+        assert_eq!(o.coverage(), 0.0);
+    }
+
+
+    #[test]
+    fn component_match_partial_credit() {
+        let gold = parse_query(
+            "SELECT name FROM t WHERE a = 1 AND b = 2 GROUP BY name ORDER BY name ASC LIMIT 5",
+        )
+        .unwrap();
+        // Same everything except the WHERE conjuncts.
+        let close = parse_query(
+            "SELECT name FROM t WHERE a = 9 AND b = 2 GROUP BY name ORDER BY name ASC LIMIT 5",
+        )
+        .unwrap();
+        let score = component_match(&gold, &close);
+        assert!(score > 0.7 && score < 1.0, "{score}");
+        assert_eq!(component_match(&gold, &gold), 1.0);
+    }
+
+    #[test]
+    fn component_match_conjunct_order_insensitive() {
+        let a = parse_query("SELECT * FROM t WHERE a = 1 AND b = 2").unwrap();
+        let b = parse_query("SELECT * FROM t WHERE b = 2 AND a = 1").unwrap();
+        assert_eq!(component_match(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn component_match_join_order_insensitive() {
+        let a = parse_query(
+            "SELECT x.c FROM x JOIN y ON x.i = y.i JOIN z ON x.i = z.i",
+        )
+        .unwrap();
+        let b = parse_query(
+            "SELECT x.c FROM x JOIN z ON x.i = z.i JOIN y ON x.i = y.i",
+        )
+        .unwrap();
+        assert_eq!(component_match(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn component_match_absent_clauses_not_penalized() {
+        let a = parse_query("SELECT * FROM t").unwrap();
+        let b = parse_query("SELECT * FROM t").unwrap();
+        assert_eq!(component_match(&a, &b), 1.0);
+        // Predicted extra clause is penalized.
+        let c = parse_query("SELECT * FROM t LIMIT 3").unwrap();
+        assert!(component_match(&a, &c) < 1.0);
+    }
+
+    #[test]
+    fn merge_sums() {
+        let mut a = EvalOutcome { answered: 1, correct: 1, total: 2 };
+        a.merge(EvalOutcome { answered: 2, correct: 1, total: 3 });
+        assert_eq!(a, EvalOutcome { answered: 3, correct: 2, total: 5 });
+    }
+}

@@ -1,0 +1,129 @@
+//! Minimal aligned ASCII table renderer for experiment reports.
+
+use std::fmt;
+
+/// A column-aligned text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    title: Option<String>,
+}
+
+impl Table {
+    /// New table with headers.
+    pub fn new<I, S>(headers: I) -> Table
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+            title: None,
+        }
+    }
+
+    /// Set a title line printed above the table.
+    pub fn title(mut self, title: impl Into<String>) -> Table {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Append a row; short rows are padded with empty cells.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Table
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Format an f64 as a fixed two-decimal percentage cell.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        if let Some(t) = &self.title {
+            writeln!(f, "{t}")?;
+        }
+        let render_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, cell) in cells.iter().enumerate().take(cols) {
+                write!(f, " {cell:width$} |", width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        render_row(f, &self.headers)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{}|", "-".repeat(w + 2))?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            render_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(["name", "value"]).title("demo");
+        t.row(["alpha", "1"]);
+        t.row(["b", "22222"]);
+        let s = t.to_string();
+        assert!(s.starts_with("demo\n"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+        // All rows same width.
+        let widths: std::collections::HashSet<usize> =
+            lines[1..].iter().map(|l| l.len()).collect();
+        assert_eq!(widths.len(), 1, "{s}");
+        assert!(s.contains("| alpha |"));
+    }
+
+    #[test]
+    fn pads_short_rows() {
+        let mut t = Table::new(["a", "b", "c"]);
+        t.row(["only"]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        let s = t.to_string();
+        assert!(s.lines().count() == 3);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.5), "50.0%");
+        assert_eq!(pct(1.0), "100.0%");
+        assert_eq!(pct(0.123), "12.3%");
+    }
+}

@@ -1,0 +1,170 @@
+//! Trainable word embeddings with hashed out-of-vocabulary buckets and
+//! mean-pooled sentence encoding.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Embedding table: known words get dedicated vectors; unknown words
+/// hash into a fixed set of OOV buckets so every token has *some*
+/// representation (the trick DBPal-style synthetic training relies on
+/// to tolerate unseen user vocabulary).
+#[derive(Debug, Clone)]
+pub struct Embeddings {
+    /// Vector dimensionality.
+    pub dim: usize,
+    vocab: HashMap<String, usize>,
+    vectors: Vec<Vec<f64>>,
+    oov_buckets: usize,
+}
+
+impl Embeddings {
+    /// Build a table over `vocab` with `oov_buckets` hash buckets.
+    pub fn new<I, S>(vocab: I, dim: usize, oov_buckets: usize, seed: u64) -> Embeddings
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut map = HashMap::new();
+        let mut vectors = Vec::new();
+        let bound = (3.0 / dim as f64).sqrt();
+        for w in vocab {
+            let w = w.into().to_lowercase();
+            if let std::collections::hash_map::Entry::Vacant(e) = map.entry(w) {
+                e.insert(vectors.len());
+                vectors.push((0..dim).map(|_| rng.gen_range(-bound..bound)).collect());
+            }
+        }
+        for _ in 0..oov_buckets.max(1) {
+            vectors.push((0..dim).map(|_| rng.gen_range(-bound..bound)).collect());
+        }
+        Embeddings { dim, vocab: map, vectors, oov_buckets: oov_buckets.max(1) }
+    }
+
+    /// Number of in-vocabulary words.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    fn index_of(&self, word: &str) -> usize {
+        let w = word.to_lowercase();
+        match self.vocab.get(&w) {
+            Some(&i) => i,
+            None => {
+                // FNV-1a hash into an OOV bucket.
+                let mut h: u64 = 0xcbf29ce484222325;
+                for b in w.bytes() {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x100000001b3);
+                }
+                self.vocab.len() + (h as usize % self.oov_buckets)
+            }
+        }
+    }
+
+    /// Vector for one word (OOV words get a bucket vector).
+    pub fn vector(&self, word: &str) -> &[f64] {
+        &self.vectors[self.index_of(word)]
+    }
+
+    /// Is this word in the trained vocabulary (not an OOV bucket)?
+    pub fn knows(&self, word: &str) -> bool {
+        self.vocab.contains_key(&word.to_lowercase())
+    }
+
+    /// Mean-pooled encoding of a word sequence; zeros for empty input.
+    pub fn encode_mean(&self, words: &[&str]) -> Vec<f64> {
+        let mut out = vec![0.0; self.dim];
+        if words.is_empty() {
+            return out;
+        }
+        for w in words {
+            for (o, v) in out.iter_mut().zip(self.vector(w)) {
+                *o += v;
+            }
+        }
+        let n = words.len() as f64;
+        out.iter_mut().for_each(|v| *v /= n);
+        out
+    }
+
+    /// Apply a gradient to one word's vector: `vec -= lr * grad`.
+    /// In mean pooling the encoder gradient distributes equally, so
+    /// callers pass `grad / n_words`.
+    pub fn apply_grad(&mut self, word: &str, grad: &[f64], lr: f64) {
+        let i = self.index_of(word);
+        for (v, g) in self.vectors[i].iter_mut().zip(grad) {
+            *v -= lr * g;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn emb() -> Embeddings {
+        Embeddings::new(["alpha", "beta", "gamma"], 8, 4, 11)
+    }
+
+    #[test]
+    fn vocab_and_oov() {
+        let e = emb();
+        assert_eq!(e.vocab_size(), 3);
+        assert!(e.knows("alpha"));
+        assert!(e.knows("ALPHA"));
+        assert!(!e.knows("delta"));
+        // OOV still yields a vector of the right dimension.
+        assert_eq!(e.vector("delta").len(), 8);
+    }
+
+    #[test]
+    fn oov_is_stable() {
+        let e = emb();
+        assert_eq!(e.vector("unseen"), e.vector("unseen"));
+    }
+
+    #[test]
+    fn distinct_words_distinct_vectors() {
+        let e = emb();
+        assert_ne!(e.vector("alpha"), e.vector("beta"));
+    }
+
+    #[test]
+    fn mean_encoding() {
+        let e = emb();
+        let m = e.encode_mean(&["alpha", "beta"]);
+        for ((mi, a), b) in m.iter().zip(e.vector("alpha")).zip(e.vector("beta")) {
+            assert!((mi - (a + b) / 2.0).abs() < 1e-12);
+        }
+        assert_eq!(e.encode_mean(&[]), vec![0.0; 8]);
+    }
+
+    #[test]
+    fn seeded_determinism() {
+        let a = Embeddings::new(["x", "y"], 4, 2, 7);
+        let b = Embeddings::new(["x", "y"], 4, 2, 7);
+        assert_eq!(a.vector("x"), b.vector("x"));
+        let c = Embeddings::new(["x", "y"], 4, 2, 8);
+        assert_ne!(a.vector("x"), c.vector("x"));
+    }
+
+    #[test]
+    fn gradient_updates_move_vector() {
+        let mut e = emb();
+        let before = e.vector("alpha").to_vec();
+        e.apply_grad("alpha", &[1.0; 8], 0.1);
+        let after = e.vector("alpha");
+        for (b, a) in before.iter().zip(after) {
+            assert!((b - a - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn duplicate_vocab_words_collapse() {
+        let e = Embeddings::new(["dup", "dup", "other"], 4, 2, 1);
+        assert_eq!(e.vocab_size(), 2);
+    }
+}

@@ -1,0 +1,214 @@
+//! Supervised discrete hidden Markov model with Viterbi decoding.
+//!
+//! QUEST's hybrid pipeline "first chooses the entities that are
+//! relevant to the keywords in the query based on Hidden Markov
+//! Models, trained on a data set of previous searches". This HMM tags
+//! each query token with the schema element it refers to.
+
+use std::collections::HashMap;
+
+/// A discrete HMM over `n_states` hidden states and a string
+/// observation vocabulary, trained from labeled sequences with
+/// add-one smoothing.
+#[derive(Debug, Clone)]
+pub struct Hmm {
+    n_states: usize,
+    obs_vocab: HashMap<String, usize>,
+    /// log P(state₀)
+    log_init: Vec<f64>,
+    /// log P(stateⱼ | stateᵢ), row-major n×n
+    log_trans: Vec<f64>,
+    /// log P(obs | state), per state: vocab+1 entries (last = OOV)
+    log_emit: Vec<Vec<f64>>,
+}
+
+impl Hmm {
+    /// Train from labeled sequences of `(observation, state)` pairs.
+    /// States must be in `0..n_states`.
+    pub fn train_supervised(sequences: &[Vec<(String, usize)>], n_states: usize) -> Hmm {
+        let mut obs_vocab: HashMap<String, usize> = HashMap::new();
+        for seq in sequences {
+            for (o, _) in seq {
+                let next = obs_vocab.len();
+                obs_vocab.entry(o.to_lowercase()).or_insert(next);
+            }
+        }
+        let v = obs_vocab.len();
+
+        let mut init = vec![1.0; n_states]; // add-one smoothing
+        let mut trans = vec![1.0; n_states * n_states];
+        let mut emit = vec![vec![1.0; v + 1]; n_states];
+
+        for seq in sequences {
+            let mut prev: Option<usize> = None;
+            for (o, s) in seq {
+                assert!(*s < n_states, "state {s} out of range");
+                let oi = obs_vocab[&o.to_lowercase()];
+                emit[*s][oi] += 1.0;
+                match prev {
+                    None => init[*s] += 1.0,
+                    Some(p) => trans[p * n_states + s] += 1.0,
+                }
+                prev = Some(*s);
+            }
+        }
+
+        let log_init = normalize_log(&init);
+        let mut log_trans = vec![0.0; n_states * n_states];
+        for i in 0..n_states {
+            let row = normalize_log(&trans[i * n_states..(i + 1) * n_states]);
+            log_trans[i * n_states..(i + 1) * n_states].copy_from_slice(&row);
+        }
+        let log_emit = emit.iter().map(|e| normalize_log(e)).collect();
+
+        Hmm { n_states, obs_vocab, log_init, log_trans, log_emit }
+    }
+
+    /// Number of hidden states.
+    pub fn n_states(&self) -> usize {
+        self.n_states
+    }
+
+    fn obs_index(&self, o: &str) -> usize {
+        self.obs_vocab
+            .get(&o.to_lowercase())
+            .copied()
+            .unwrap_or(self.obs_vocab.len()) // OOV slot
+    }
+
+    /// Viterbi decode: most probable state sequence and its joint
+    /// log-probability. Empty input gives an empty path.
+    #[allow(clippy::needless_range_loop)] // dual-array DP indexing
+    pub fn viterbi(&self, observations: &[&str]) -> (Vec<usize>, f64) {
+        if observations.is_empty() {
+            return (Vec::new(), 0.0);
+        }
+        let t_len = observations.len();
+        let n = self.n_states;
+        let mut delta = vec![f64::NEG_INFINITY; t_len * n];
+        let mut back = vec![0usize; t_len * n];
+
+        let o0 = self.obs_index(observations[0]);
+        for s in 0..n {
+            delta[s] = self.log_init[s] + self.log_emit[s][o0];
+        }
+        for t in 1..t_len {
+            let ot = self.obs_index(observations[t]);
+            for s in 0..n {
+                let mut best = f64::NEG_INFINITY;
+                let mut best_prev = 0;
+                for p in 0..n {
+                    let cand = delta[(t - 1) * n + p] + self.log_trans[p * n + s];
+                    if cand > best {
+                        best = cand;
+                        best_prev = p;
+                    }
+                }
+                delta[t * n + s] = best + self.log_emit[s][ot];
+                back[t * n + s] = best_prev;
+            }
+        }
+        let mut last = 0;
+        let mut best = f64::NEG_INFINITY;
+        for s in 0..n {
+            if delta[(t_len - 1) * n + s] > best {
+                best = delta[(t_len - 1) * n + s];
+                last = s;
+            }
+        }
+        let mut path = vec![0usize; t_len];
+        path[t_len - 1] = last;
+        for t in (1..t_len).rev() {
+            path[t - 1] = back[t * n + path[t]];
+        }
+        (path, best)
+    }
+
+    /// Posterior-ish confidence of a decoded path: mean per-token
+    /// emission probability under the decoded states (a cheap but
+    /// monotone proxy used for ranking interpretations).
+    pub fn path_confidence(&self, observations: &[&str], path: &[usize]) -> f64 {
+        if observations.is_empty() || observations.len() != path.len() {
+            return 0.0;
+        }
+        let total: f64 = observations
+            .iter()
+            .zip(path)
+            .map(|(o, s)| self.log_emit[*s][self.obs_index(o)].exp())
+            .sum();
+        total / observations.len() as f64
+    }
+}
+
+fn normalize_log(counts: &[f64]) -> Vec<f64> {
+    let sum: f64 = counts.iter().sum();
+    counts.iter().map(|c| (c / sum).ln()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// States: 0 = weather word, 1 = city word.
+    fn training_data() -> Vec<Vec<(String, usize)>> {
+        let seq = |words: &[(&str, usize)]| {
+            words.iter().map(|(w, s)| (w.to_string(), *s)).collect::<Vec<_>>()
+        };
+        vec![
+            seq(&[("rain", 0), ("in", 0), ("paris", 1)]),
+            seq(&[("sun", 0), ("in", 0), ("rome", 1)]),
+            seq(&[("snow", 0), ("in", 0), ("oslo", 1)]),
+            seq(&[("paris", 1), ("rain", 0)]),
+        ]
+    }
+
+    #[test]
+    fn viterbi_recovers_training_labels() {
+        let hmm = Hmm::train_supervised(&training_data(), 2);
+        let (path, logp) = hmm.viterbi(&["rain", "in", "paris"]);
+        assert_eq!(path, vec![0, 0, 1]);
+        assert!(logp < 0.0);
+    }
+
+    #[test]
+    fn generalizes_transition_structure() {
+        let hmm = Hmm::train_supervised(&training_data(), 2);
+        // "sun in oslo" never appeared as a full sequence.
+        let (path, _) = hmm.viterbi(&["sun", "in", "oslo"]);
+        assert_eq!(path, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn oov_tokens_decoded_by_context() {
+        let hmm = Hmm::train_supervised(&training_data(), 2);
+        let (path, _) = hmm.viterbi(&["rain", "in", "zanzibar"]);
+        // OOV after "in" should still be tagged city by transitions.
+        assert_eq!(path[2], 1);
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let hmm = Hmm::train_supervised(&training_data(), 2);
+        let (path, logp) = hmm.viterbi(&[]);
+        assert!(path.is_empty());
+        assert_eq!(logp, 0.0);
+    }
+
+    #[test]
+    fn confidence_bounds_and_ordering() {
+        let hmm = Hmm::train_supervised(&training_data(), 2);
+        let (p1, _) = hmm.viterbi(&["rain", "in", "paris"]);
+        let c_seen = hmm.path_confidence(&["rain", "in", "paris"], &p1);
+        let (p2, _) = hmm.viterbi(&["blorp", "qux", "zap"]);
+        let c_oov = hmm.path_confidence(&["blorp", "qux", "zap"], &p2);
+        assert!((0.0..=1.0).contains(&c_seen));
+        assert!(c_seen > c_oov, "in-vocab should be more confident");
+        assert_eq!(hmm.path_confidence(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn n_states_reported() {
+        let hmm = Hmm::train_supervised(&training_data(), 2);
+        assert_eq!(hmm.n_states(), 2);
+    }
+}

@@ -1,0 +1,158 @@
+//! Bilinear question/column scorer — SQLNet's column attention reduced
+//! to its trainable core: `score(q, c) = qᵀ W c + b`, trained with
+//! logistic loss on (question, column, selected?) triples.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::matrix::{sigmoid, Matrix};
+
+/// Trainable bilinear compatibility scorer between two encodings.
+#[derive(Debug, Clone)]
+pub struct BilinearScorer {
+    w: Matrix, // dq × dc
+    bias: f64,
+    dq: usize,
+    dc: usize,
+}
+
+impl BilinearScorer {
+    /// New scorer for query dim `dq` and candidate dim `dc`.
+    pub fn new(dq: usize, dc: usize, seed: u64) -> BilinearScorer {
+        let mut rng = StdRng::seed_from_u64(seed);
+        BilinearScorer { w: Matrix::xavier(dq, dc, &mut rng), bias: 0.0, dq, dc }
+    }
+
+    /// Raw compatibility score.
+    pub fn score(&self, q: &[f64], c: &[f64]) -> f64 {
+        debug_assert_eq!(q.len(), self.dq);
+        debug_assert_eq!(c.len(), self.dc);
+        let wc = self.w.matvec(c);
+        q.iter().zip(&wc).map(|(a, b)| a * b).sum::<f64>() + self.bias
+    }
+
+    /// Probability the candidate is selected for this query.
+    pub fn proba(&self, q: &[f64], c: &[f64]) -> f64 {
+        sigmoid(self.score(q, c))
+    }
+
+    /// One SGD step of logistic loss on a labeled pair; returns the
+    /// pair's loss. Also returns gradients wrt `q` and `c` so callers
+    /// can propagate into embeddings.
+    pub fn sgd_pair(
+        &mut self,
+        q: &[f64],
+        c: &[f64],
+        label: bool,
+        lr: f64,
+    ) -> (f64, Vec<f64>, Vec<f64>) {
+        let p = self.proba(q, c);
+        let y = if label { 1.0 } else { 0.0 };
+        let loss = -(if label { p } else { 1.0 - p }).max(1e-12).ln();
+        let dscore = p - y;
+        // dW = dscore * q cᵀ ; dq = dscore * W c ; dc = dscore * Wᵀ q.
+        let wc = self.w.matvec(c);
+        let wtq = self.w.matvec_t(q);
+        let dq: Vec<f64> = wc.iter().map(|v| dscore * v).collect();
+        let dc: Vec<f64> = wtq.iter().map(|v| dscore * v).collect();
+        let mut gw = Matrix::zeros(self.dq, self.dc);
+        let scaled_q: Vec<f64> = q.iter().map(|v| dscore * v).collect();
+        gw.add_outer(&scaled_q, c);
+        self.w.sgd_step(&gw, lr);
+        self.bias -= lr * dscore;
+        (loss, dq, dc)
+    }
+
+    /// Train over triples for `epochs`; returns final mean loss.
+    pub fn train(
+        &mut self,
+        triples: &[(Vec<f64>, Vec<f64>, bool)],
+        epochs: usize,
+        lr: f64,
+    ) -> f64 {
+        let mut last = 0.0;
+        for _ in 0..epochs {
+            let mut total = 0.0;
+            for (q, c, y) in triples {
+                total += self.sgd_pair(q, c, *y, lr).0;
+            }
+            last = total / triples.len().max(1) as f64;
+        }
+        last
+    }
+
+    /// Index of the best-scoring candidate for a query.
+    pub fn best<'a>(&self, q: &[f64], candidates: impl Iterator<Item = &'a [f64]>) -> usize {
+        let mut best = 0;
+        let mut best_score = f64::NEG_INFINITY;
+        for (i, c) in candidates.enumerate() {
+            let s = self.score(q, c);
+            if s > best_score {
+                best_score = s;
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_alignment() {
+        // Candidates are 4-dim one-hot; queries equal the correct
+        // candidate's one-hot. The scorer must learn the identity
+        // alignment.
+        let mut triples = Vec::new();
+        for i in 0..4usize {
+            let mut q = vec![0.0; 4];
+            q[i] = 1.0;
+            for j in 0..4usize {
+                let mut c = vec![0.0; 4];
+                c[j] = 1.0;
+                triples.push((q.clone(), c, i == j));
+            }
+        }
+        let mut s = BilinearScorer::new(4, 4, 2);
+        let loss = s.train(&triples, 500, 0.5);
+        assert!(loss < 0.2, "final loss {loss}");
+        for i in 0..4usize {
+            let mut q = vec![0.0; 4];
+            q[i] = 1.0;
+            let cands: Vec<Vec<f64>> = (0..4)
+                .map(|j| {
+                    let mut c = vec![0.0; 4];
+                    c[j] = 1.0;
+                    c
+                })
+                .collect();
+            assert_eq!(s.best(&q, cands.iter().map(|c| c.as_slice())), i);
+        }
+    }
+
+    #[test]
+    fn gradients_returned_match_shapes() {
+        let mut s = BilinearScorer::new(3, 5, 1);
+        let (loss, dq, dc) = s.sgd_pair(&[0.1, 0.2, 0.3], &[0.0; 5], true, 0.1);
+        assert!(loss > 0.0);
+        assert_eq!(dq.len(), 3);
+        assert_eq!(dc.len(), 5);
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let triples = vec![(vec![1.0, 0.0], vec![0.0, 1.0], true)];
+        let mut a = BilinearScorer::new(2, 2, 3);
+        let mut b = BilinearScorer::new(2, 2, 3);
+        assert_eq!(a.train(&triples, 10, 0.1), b.train(&triples, 10, 0.1));
+    }
+
+    #[test]
+    fn proba_in_unit_interval() {
+        let s = BilinearScorer::new(2, 2, 4);
+        let p = s.proba(&[10.0, -10.0], &[5.0, 5.0]);
+        assert!((0.0..=1.0).contains(&p));
+    }
+}

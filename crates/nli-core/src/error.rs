@@ -1,0 +1,32 @@
+//! Interpreter error type.
+
+use std::fmt;
+
+/// Failures surfaced by interpreters and the pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpretError {
+    /// No interpretation could be produced for the question.
+    NoInterpretation(String),
+    /// The intermediate (OQL) query could not be translated to SQL.
+    Translation(String),
+    /// The interpreter's scope excludes this question shape (e.g. a
+    /// single-table model asked a join question).
+    OutOfScope(String),
+    /// Engine-level failure while executing a candidate query.
+    Execution(String),
+}
+
+impl fmt::Display for InterpretError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpretError::NoInterpretation(q) => {
+                write!(f, "no interpretation found for: {q}")
+            }
+            InterpretError::Translation(m) => write!(f, "translation failed: {m}"),
+            InterpretError::OutOfScope(m) => write!(f, "out of scope: {m}"),
+            InterpretError::Execution(m) => write!(f, "execution failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for InterpretError {}

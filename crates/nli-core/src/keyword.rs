@@ -1,0 +1,121 @@
+//! The keyword-lookup interpreter (SODA / Précis / QUICK class).
+//!
+//! §3: early systems "only consider each individual word for a
+//! possible match in meta data or data instances. Such systems can
+//! only handle simple filter queries but cannot detect other clauses
+//! like GROUP BY and ORDER BY." The implementation is the shared
+//! entity core with the selection-only capability mask: index lookups
+//! and equality filters, nothing else.
+
+use crate::entity::{interpret_with, Capabilities};
+use crate::interpretation::{Interpretation, Interpreter, InterpreterKind};
+use crate::pipeline::SchemaContext;
+
+/// SODA-class keyword interpreter.
+#[derive(Debug, Default)]
+pub struct KeywordInterpreter;
+
+impl KeywordInterpreter {
+    /// Construct.
+    pub fn new() -> KeywordInterpreter {
+        KeywordInterpreter
+    }
+}
+
+impl Interpreter for KeywordInterpreter {
+    fn kind(&self) -> InterpreterKind {
+        InterpreterKind::Keyword
+    }
+
+    fn interpret(&self, question: &str, ctx: &SchemaContext) -> Vec<Interpretation> {
+        interpret_with(
+            question,
+            ctx,
+            Capabilities::selection_only(),
+            InterpreterKind::Keyword,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nlidb_engine::{ColumnType, Database, TableSchema, Value};
+    use nlidb_sqlir::{classify, ComplexityClass};
+
+    fn ctx() -> SchemaContext {
+        let mut db = Database::new("d");
+        db.create_table(
+            TableSchema::new("products")
+                .column("id", ColumnType::Int)
+                .column("name", ColumnType::Text)
+                .column("category", ColumnType::Text)
+                .column("price", ColumnType::Float)
+                .primary_key("id"),
+        )
+        .unwrap();
+        for (id, n, c, p) in [
+            (1, "Anvil", "tools", 10.0),
+            (2, "Rope", "tools", 5.0),
+            (3, "Piano", "music", 500.0),
+        ] {
+            db.insert(
+                "products",
+                vec![Value::Int(id), Value::from(n), Value::from(c), Value::Float(p)],
+            )
+            .unwrap();
+        }
+        SchemaContext::build(&db)
+    }
+
+    #[test]
+    fn simple_filter_works() {
+        let ctx = ctx();
+        let i = KeywordInterpreter::new().best("products in tools", &ctx).unwrap();
+        assert_eq!(
+            i.sql.to_string(),
+            "SELECT * FROM products WHERE category = 'tools'"
+        );
+        assert_eq!(classify(&i.sql), ComplexityClass::SingleTableSelection);
+    }
+
+    #[test]
+    fn aggregation_out_of_scope() {
+        let ctx = ctx();
+        assert!(
+            KeywordInterpreter::new()
+                .interpret("total price by category", &ctx)
+                .is_empty(),
+            "keyword systems cannot detect GROUP BY"
+        );
+    }
+
+    #[test]
+    fn ordering_out_of_scope() {
+        let ctx = ctx();
+        assert!(KeywordInterpreter::new()
+            .interpret("top 3 products by price", &ctx)
+            .is_empty());
+    }
+
+    #[test]
+    fn never_emits_beyond_selection() {
+        let ctx = ctx();
+        let questions = [
+            "products in music",
+            "piano",
+            "products named Anvil",
+            "show products",
+        ];
+        for q in questions {
+            for i in KeywordInterpreter::new().interpret(q, &ctx) {
+                assert_eq!(
+                    classify(&i.sql),
+                    ComplexityClass::SingleTableSelection,
+                    "keyword produced {:?} for {q}",
+                    i.sql.to_string()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! # nlidb-core — the natural-language-interface framework
+//!
+//! This crate instantiates the survey's §4 taxonomy as five runnable
+//! interpreter families over a common substrate:
+//!
+//! | Module | Paper family | Representative systems |
+//! |---|---|---|
+//! | [`keyword`] | entity-based (index lookup) | SODA, Précis, QUICK |
+//! | [`pattern`] | entity-based (NL patterns) | SQAK, NLQ/OWL frontends |
+//! | [`entity`] | entity-based (ontology-driven) | ATHENA, NaLIR, USI Answers |
+//! | [`neural`] | machine-learning-based | Seq2SQL, SQLNet, TypeSQL, DBPal |
+//! | [`hybrid`] | hybrid | QUEST, MEANS |
+//!
+//! All families implement [`Interpreter`], producing ranked
+//! [`Interpretation`]s: a SQL AST plus a confidence and an explanation
+//! trace. [`oql`] is the ontology-level intermediate query language
+//! (ATHENA's OQL) that the entity-based interpreters emit before SQL
+//! translation. [`clarify`] implements NaLIR/DialSQL-style multi-choice
+//! clarification, and [`pipeline`] wires everything into a one-call
+//! facade.
+
+pub mod clarify;
+pub mod entity;
+pub mod error;
+pub mod hybrid;
+pub mod interpretation;
+pub mod keyword;
+pub mod linking;
+pub mod neural;
+pub mod oql;
+pub mod pattern;
+pub mod pipeline;
+pub mod signals;
+
+pub use error::InterpretError;
+pub use interpretation::{Interpretation, Interpreter, InterpreterKind};
+pub use oql::{Oql, OqlExpr, OqlPredicate, PropRef};
+pub use pipeline::{NliPipeline, SchemaContext};

@@ -1,0 +1,557 @@
+//! OQL — the ontology-level intermediate query language.
+//!
+//! ATHENA "uses an intermediate query language before translating the
+//! input query into SQL". Interpreters emit OQL against *concepts and
+//! properties*; this module lowers OQL to SQL by mapping concepts to
+//! tables, inferring the join tree (Steiner plan over the ontology's
+//! relationship graph), and expanding the nested-query predicate forms
+//! (anti/semi-joins, comparisons against global aggregates).
+
+use nlidb_ontology::{JoinGraph, Ontology};
+use nlidb_sqlir::ast::{
+    AggFunc, BinOp, Expr, Join, JoinKind, Literal, OrderByItem, Query, SelectItem, TableSource,
+};
+
+use crate::error::InterpretError;
+
+/// Reference to `concept.property`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PropRef {
+    /// Concept label.
+    pub concept: String,
+    /// Property label.
+    pub property: String,
+}
+
+impl PropRef {
+    /// Shorthand constructor.
+    pub fn new(concept: impl Into<String>, property: impl Into<String>) -> PropRef {
+        PropRef { concept: concept.into(), property: property.into() }
+    }
+}
+
+/// A projected or ordered expression at the ontology level.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OqlExpr {
+    /// A data property.
+    Prop(PropRef),
+    /// An aggregate over a property; `None` means `COUNT(*)`.
+    Agg(AggFunc, Option<PropRef>),
+}
+
+/// Ontology-level predicates, including the nested-query forms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OqlPredicate {
+    /// `prop op literal`.
+    Compare {
+        /// Constrained property.
+        prop: PropRef,
+        /// Comparison operator.
+        op: BinOp,
+        /// Constant.
+        value: Literal,
+    },
+    /// `prop IN (v, …)`.
+    ValueIn {
+        /// Constrained property.
+        prop: PropRef,
+        /// Allowed constants.
+        values: Vec<Literal>,
+    },
+    /// `prop BETWEEN low AND high` (inclusive; used for date ranges).
+    Between {
+        /// Constrained property.
+        prop: PropRef,
+        /// Lower bound.
+        low: Literal,
+        /// Upper bound.
+        high: Literal,
+    },
+    /// `prop LIKE pattern`.
+    Like {
+        /// Constrained property.
+        prop: PropRef,
+        /// SQL LIKE pattern.
+        pattern: String,
+    },
+    /// `prop op (SELECT agg(of) FROM of.concept)` — "above average
+    /// price" and friends. Lowers to a scalar sub-query.
+    CompareToGlobalAgg {
+        /// Constrained property.
+        prop: PropRef,
+        /// Comparison operator.
+        op: BinOp,
+        /// Aggregate applied over the whole related table.
+        agg: AggFunc,
+        /// The aggregated property.
+        of: PropRef,
+    },
+    /// The focus concept has no related `other` instance — anti-join,
+    /// lowered to `pk NOT IN (SELECT fk FROM other)`.
+    HasNoRelated {
+        /// Related concept label.
+        other: String,
+    },
+    /// The focus concept has at least one related `other` — semi-join,
+    /// lowered to `pk IN (SELECT fk FROM other)`.
+    HasRelated {
+        /// Related concept label.
+        other: String,
+    },
+}
+
+/// One ORDER BY entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OqlOrder {
+    /// Sorted expression.
+    pub expr: OqlExpr,
+    /// Ascending when true.
+    pub asc: bool,
+}
+
+/// An ontology-level query.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Oql {
+    /// The focus concept (what the question is about).
+    pub focus: String,
+    /// Projected expressions; empty projects `*`.
+    pub select: Vec<OqlExpr>,
+    /// DISTINCT flag.
+    pub distinct: bool,
+    /// Conjunctive predicates.
+    pub predicates: Vec<OqlPredicate>,
+    /// Grouping properties.
+    pub group_by: Vec<PropRef>,
+    /// HAVING conjuncts: `agg(prop?) op literal`.
+    pub having: Vec<(AggFunc, Option<PropRef>, BinOp, Literal)>,
+    /// Ordering.
+    pub order_by: Vec<OqlOrder>,
+    /// Row limit.
+    pub limit: Option<u64>,
+    /// Concepts to force into the join tree even when no projected or
+    /// filtered property references them (used by related-count
+    /// HAVING queries: "customers with more than 5 orders").
+    pub extra_joins: Vec<String>,
+}
+
+impl Oql {
+    /// New query focused on a concept.
+    pub fn focused(concept: impl Into<String>) -> Oql {
+        Oql { focus: concept.into(), ..Oql::default() }
+    }
+
+    /// All concepts the query touches through joins (focus, selected,
+    /// filtered, grouped, ordered — but *not* sub-query-only concepts).
+    pub fn joined_concepts(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = vec![self.focus.as_str()];
+        fn push_concept<'a>(out: &mut Vec<&'a str>, c: &'a str) {
+            if !out.contains(&c) {
+                out.push(c);
+            }
+        }
+        for e in &self.select {
+            if let OqlExpr::Prop(p) | OqlExpr::Agg(_, Some(p)) = e {
+                push_concept(&mut out, &p.concept);
+            }
+        }
+        for p in &self.predicates {
+            match p {
+                OqlPredicate::Compare { prop, .. }
+                | OqlPredicate::ValueIn { prop, .. }
+                | OqlPredicate::Between { prop, .. }
+                | OqlPredicate::Like { prop, .. }
+                | OqlPredicate::CompareToGlobalAgg { prop, .. } => {
+                    push_concept(&mut out, &prop.concept)
+                }
+                OqlPredicate::HasNoRelated { .. } | OqlPredicate::HasRelated { .. } => {}
+            }
+        }
+        for g in &self.group_by {
+            push_concept(&mut out, &g.concept);
+        }
+        for o in &self.order_by {
+            if let OqlExpr::Prop(p) | OqlExpr::Agg(_, Some(p)) = &o.expr {
+                push_concept(&mut out, &p.concept);
+            }
+        }
+        for (_, prop, _, _) in &self.having {
+            if let Some(p) = prop {
+                push_concept(&mut out, &p.concept);
+            }
+        }
+        for c in &self.extra_joins {
+            push_concept(&mut out, c);
+        }
+        out
+    }
+
+    /// Lower to SQL. See module docs for the mapping.
+    pub fn to_sql(&self, onto: &Ontology, graph: &JoinGraph) -> Result<Query, InterpretError> {
+        let terminals = self.joined_concepts();
+        let plan = graph
+            .steiner_plan(&terminals)
+            .ok_or_else(|| InterpretError::Translation(format!(
+                "concepts {terminals:?} are not connected in the ontology"
+            )))?;
+        let multi = plan.concepts.len() > 1;
+
+        let table_of = |concept: &str| -> Result<String, InterpretError> {
+            onto.concept(concept)
+                .map(|c| c.table.clone())
+                .ok_or_else(|| {
+                    InterpretError::Translation(format!("unknown concept {concept}"))
+                })
+        };
+        let col_of = |p: &PropRef| -> Result<Expr, InterpretError> {
+            let concept = onto.concept(&p.concept).ok_or_else(|| {
+                InterpretError::Translation(format!("unknown concept {}", p.concept))
+            })?;
+            let dp = onto.property(&p.concept, &p.property).ok_or_else(|| {
+                InterpretError::Translation(format!(
+                    "unknown property {}.{}",
+                    p.concept, p.property
+                ))
+            })?;
+            Ok(if multi {
+                Expr::qcol(concept.table.clone(), dp.column.clone())
+            } else {
+                Expr::col(dp.column.clone())
+            })
+        };
+        let expr_of = |e: &OqlExpr| -> Result<Expr, InterpretError> {
+            Ok(match e {
+                OqlExpr::Prop(p) => col_of(p)?,
+                OqlExpr::Agg(f, Some(p)) => Expr::Agg {
+                    func: *f,
+                    arg: Some(Box::new(col_of(p)?)),
+                    distinct: false,
+                },
+                OqlExpr::Agg(f, None) => Expr::Agg { func: *f, arg: None, distinct: false },
+            })
+        };
+
+        let mut query = Query {
+            from: Some(TableSource::table(table_of(&plan.concepts[0])?)),
+            distinct: self.distinct,
+            ..Query::default()
+        };
+        for edge in &plan.edges {
+            let from_t = table_of(&edge.from)?;
+            let to_t = table_of(&edge.to)?;
+            query.joins.push(Join {
+                kind: JoinKind::Inner,
+                source: TableSource::table(to_t.clone()),
+                on: Expr::qcol(from_t, edge.from_column.clone())
+                    .eq(Expr::qcol(to_t, edge.to_column.clone())),
+            });
+        }
+
+        // Projection.
+        if self.select.is_empty() {
+            query.select.push(SelectItem::Wildcard);
+        } else {
+            for e in &self.select {
+                query.select.push(SelectItem::expr(expr_of(e)?));
+            }
+        }
+
+        // Predicates.
+        let mut where_clause: Option<Expr> = None;
+        let conjoin = |pred: Expr, acc: &mut Option<Expr>| {
+            *acc = Some(match acc.take() {
+                Some(w) => w.and(pred),
+                None => pred,
+            });
+        };
+        for p in &self.predicates {
+            let pred = match p {
+                OqlPredicate::Compare { prop, op, value } => {
+                    col_of(prop)?.binary(*op, Expr::Literal(value.clone()))
+                }
+                OqlPredicate::ValueIn { prop, values } => Expr::InList {
+                    expr: Box::new(col_of(prop)?),
+                    list: values.iter().cloned().map(Expr::Literal).collect(),
+                    negated: false,
+                },
+                OqlPredicate::Between { prop, low, high } => Expr::Between {
+                    expr: Box::new(col_of(prop)?),
+                    low: Box::new(Expr::Literal(low.clone())),
+                    high: Box::new(Expr::Literal(high.clone())),
+                    negated: false,
+                },
+                OqlPredicate::Like { prop, pattern } => Expr::Like {
+                    expr: Box::new(col_of(prop)?),
+                    pattern: pattern.clone(),
+                    negated: false,
+                },
+                OqlPredicate::CompareToGlobalAgg { prop, op, agg, of } => {
+                    let inner_table = table_of(&of.concept)?;
+                    let inner_col = onto
+                        .property(&of.concept, &of.property)
+                        .ok_or_else(|| {
+                            InterpretError::Translation(format!(
+                                "unknown property {}.{}",
+                                of.concept, of.property
+                            ))
+                        })?
+                        .column
+                        .clone();
+                    let inner = Query {
+                        select: vec![SelectItem::expr(Expr::Agg {
+                            func: *agg,
+                            arg: Some(Box::new(Expr::col(inner_col))),
+                            distinct: false,
+                        })],
+                        from: Some(TableSource::table(inner_table)),
+                        ..Query::default()
+                    };
+                    col_of(prop)?.binary(*op, Expr::ScalarSubquery(Box::new(inner)))
+                }
+                OqlPredicate::HasNoRelated { other } | OqlPredicate::HasRelated { other } => {
+                    let negated = matches!(p, OqlPredicate::HasNoRelated { .. });
+                    let path = graph.shortest_path(&self.focus, other).ok_or_else(|| {
+                        InterpretError::Translation(format!(
+                            "no relationship path {} → {other}",
+                            self.focus
+                        ))
+                    })?;
+                    let first = path.first().ok_or_else(|| {
+                        InterpretError::Translation(format!(
+                            "focus {} is the same as related concept {other}",
+                            self.focus
+                        ))
+                    })?;
+                    // Build the inner query over the path remainder.
+                    let mut inner = Query {
+                        select: vec![SelectItem::expr(Expr::qcol(
+                            table_of(&first.to)?,
+                            first.to_column.clone(),
+                        ))],
+                        from: Some(TableSource::table(table_of(&first.to)?)),
+                        ..Query::default()
+                    };
+                    for edge in &path[1..] {
+                        let from_t = table_of(&edge.from)?;
+                        let to_t = table_of(&edge.to)?;
+                        inner.joins.push(Join {
+                            kind: JoinKind::Inner,
+                            source: TableSource::table(to_t.clone()),
+                            on: Expr::qcol(from_t, edge.from_column.clone())
+                                .eq(Expr::qcol(to_t, edge.to_column.clone())),
+                        });
+                    }
+                    let focus_table = table_of(&self.focus)?;
+                    let outer_col = if multi {
+                        Expr::qcol(focus_table, first.from_column.clone())
+                    } else {
+                        Expr::col(first.from_column.clone())
+                    };
+                    Expr::InSubquery {
+                        expr: Box::new(outer_col),
+                        subquery: Box::new(inner),
+                        negated,
+                    }
+                }
+            };
+            conjoin(pred, &mut where_clause);
+        }
+        query.where_clause = where_clause;
+
+        // GROUP BY / HAVING.
+        for g in &self.group_by {
+            query.group_by.push(col_of(g)?);
+        }
+        if !self.having.is_empty() && query.group_by.is_empty() {
+            // Implicit grouping on the non-aggregate projections.
+            for e in &self.select {
+                if let OqlExpr::Prop(p) = e {
+                    query.group_by.push(col_of(p)?);
+                }
+            }
+        }
+        let mut having: Option<Expr> = None;
+        for (agg, prop, op, value) in &self.having {
+            let arg = match prop {
+                Some(p) => Some(Box::new(col_of(p)?)),
+                None => None,
+            };
+            let pred = Expr::Agg { func: *agg, arg, distinct: false }
+                .binary(*op, Expr::Literal(value.clone()));
+            conjoin(pred, &mut having);
+        }
+        query.having = having;
+
+        // ORDER BY / LIMIT.
+        for o in &self.order_by {
+            query.order_by.push(OrderByItem { expr: expr_of(&o.expr)?, asc: o.asc });
+        }
+        query.limit = self.limit;
+        Ok(query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nlidb_engine::{ColumnType, Database, TableSchema};
+    use nlidb_ontology::generate_ontology;
+
+    fn setup() -> (Ontology, JoinGraph) {
+        let mut db = Database::new("shop");
+        db.create_table(
+            TableSchema::new("customers")
+                .column("id", ColumnType::Int)
+                .column("name", ColumnType::Text)
+                .column("city", ColumnType::Text)
+                .primary_key("id"),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new("orders")
+                .column("id", ColumnType::Int)
+                .column("customer_id", ColumnType::Int)
+                .column("amount", ColumnType::Float)
+                .primary_key("id")
+                .foreign_key("customer_id", "customers", "id"),
+        )
+        .unwrap();
+        let onto = generate_ontology(&db);
+        let graph = JoinGraph::from_ontology(&onto);
+        (onto, graph)
+    }
+
+    #[test]
+    fn single_table_selection() {
+        let (onto, graph) = setup();
+        let mut oql = Oql::focused("customer");
+        oql.select.push(OqlExpr::Prop(PropRef::new("customer", "name")));
+        oql.predicates.push(OqlPredicate::Compare {
+            prop: PropRef::new("customer", "city"),
+            op: BinOp::Eq,
+            value: Literal::Str("Austin".into()),
+        });
+        let sql = oql.to_sql(&onto, &graph).unwrap();
+        assert_eq!(
+            sql.to_string(),
+            "SELECT name FROM customers WHERE city = 'Austin'"
+        );
+    }
+
+    #[test]
+    fn join_inferred_for_cross_concept_props() {
+        let (onto, graph) = setup();
+        let mut oql = Oql::focused("customer");
+        oql.select.push(OqlExpr::Prop(PropRef::new("customer", "name")));
+        oql.select
+            .push(OqlExpr::Agg(AggFunc::Sum, Some(PropRef::new("order", "amount"))));
+        oql.group_by.push(PropRef::new("customer", "name"));
+        let sql = oql.to_sql(&onto, &graph).unwrap();
+        let s = sql.to_string();
+        assert!(s.contains("JOIN orders ON customers.id = orders.customer_id"), "{s}");
+        assert!(s.contains("SUM(orders.amount)"), "{s}");
+        assert!(s.contains("GROUP BY customers.name"), "{s}");
+    }
+
+    #[test]
+    fn has_no_related_lowers_to_not_in() {
+        let (onto, graph) = setup();
+        let mut oql = Oql::focused("customer");
+        oql.select.push(OqlExpr::Prop(PropRef::new("customer", "name")));
+        oql.predicates.push(OqlPredicate::HasNoRelated { other: "order".into() });
+        let sql = oql.to_sql(&onto, &graph).unwrap();
+        assert_eq!(
+            sql.to_string(),
+            "SELECT name FROM customers WHERE id NOT IN \
+             (SELECT orders.customer_id FROM orders)"
+        );
+    }
+
+    #[test]
+    fn has_related_lowers_to_in() {
+        let (onto, graph) = setup();
+        let mut oql = Oql::focused("customer");
+        oql.predicates.push(OqlPredicate::HasRelated { other: "order".into() });
+        let sql = oql.to_sql(&onto, &graph).unwrap();
+        assert!(sql.to_string().contains("id IN (SELECT orders.customer_id FROM orders)"));
+    }
+
+    #[test]
+    fn compare_to_global_agg_lowers_to_scalar_subquery() {
+        let (onto, graph) = setup();
+        let mut oql = Oql::focused("order");
+        oql.predicates.push(OqlPredicate::CompareToGlobalAgg {
+            prop: PropRef::new("order", "amount"),
+            op: BinOp::Gt,
+            agg: AggFunc::Avg,
+            of: PropRef::new("order", "amount"),
+        });
+        let sql = oql.to_sql(&onto, &graph).unwrap();
+        assert_eq!(
+            sql.to_string(),
+            "SELECT * FROM orders WHERE amount > (SELECT AVG(amount) FROM orders)"
+        );
+    }
+
+    #[test]
+    fn having_with_implicit_group_by() {
+        let (onto, graph) = setup();
+        let mut oql = Oql::focused("customer");
+        oql.select.push(OqlExpr::Prop(PropRef::new("customer", "name")));
+        // Count related orders: join + having.
+        oql.select.push(OqlExpr::Agg(AggFunc::Count, None));
+        oql.predicates.push(OqlPredicate::Compare {
+            prop: PropRef::new("order", "amount"),
+            op: BinOp::Gt,
+            value: Literal::Float(0.0),
+        });
+        oql.having
+            .push((AggFunc::Count, None, BinOp::Gt, Literal::Int(5)));
+        let sql = oql.to_sql(&onto, &graph).unwrap();
+        let s = sql.to_string();
+        assert!(s.contains("GROUP BY customers.name"), "{s}");
+        assert!(s.contains("HAVING COUNT(*) > 5"), "{s}");
+    }
+
+    #[test]
+    fn order_and_limit() {
+        let (onto, graph) = setup();
+        let mut oql = Oql::focused("order");
+        oql.select.push(OqlExpr::Prop(PropRef::new("order", "amount")));
+        oql.order_by.push(OqlOrder {
+            expr: OqlExpr::Prop(PropRef::new("order", "amount")),
+            asc: false,
+        });
+        oql.limit = Some(5);
+        let sql = oql.to_sql(&onto, &graph).unwrap();
+        assert_eq!(
+            sql.to_string(),
+            "SELECT amount FROM orders ORDER BY amount DESC LIMIT 5"
+        );
+    }
+
+    #[test]
+    fn unknown_property_errors() {
+        let (onto, graph) = setup();
+        let mut oql = Oql::focused("customer");
+        oql.select.push(OqlExpr::Prop(PropRef::new("customer", "ghost")));
+        assert!(matches!(
+            oql.to_sql(&onto, &graph),
+            Err(InterpretError::Translation(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_concept_errors() {
+        let (onto, graph) = setup();
+        let oql = Oql::focused("werewolf");
+        assert!(oql.to_sql(&onto, &graph).is_err());
+    }
+
+    #[test]
+    fn empty_select_is_star() {
+        let (onto, graph) = setup();
+        let oql = Oql::focused("customer");
+        let sql = oql.to_sql(&onto, &graph).unwrap();
+        assert_eq!(sql.to_string(), "SELECT * FROM customers");
+    }
+}

@@ -1,0 +1,316 @@
+//! The one-call facade: build every index and interpreter for a
+//! database, ask questions, get executed answers.
+
+use nlidb_engine::{execute, Database, ResultSet};
+use nlidb_nlp::Lexicon;
+use nlidb_ontology::{generate_ontology, JoinGraph, Ontology};
+use nlidb_sqlir::Query;
+use nlidb_vindex::Indices;
+
+use crate::entity::EntityInterpreter;
+use crate::error::InterpretError;
+use crate::hybrid::HybridInterpreter;
+use crate::interpretation::{Interpretation, Interpreter, InterpreterKind};
+use crate::keyword::KeywordInterpreter;
+use crate::neural::{NeuralInterpreter, TrainingExample};
+use crate::pattern::PatternInterpreter;
+
+/// Everything interpreters need to know about one database: its
+/// ontology, join graph, lexicon, and value/metadata indices.
+#[derive(Debug)]
+pub struct SchemaContext {
+    /// The generated (or supplied) domain ontology.
+    pub ontology: Ontology,
+    /// Join graph over the ontology's relationships.
+    pub graph: JoinGraph,
+    /// Synonym/hypernym lexicon.
+    pub lexicon: Lexicon,
+    /// Value + metadata indices.
+    pub indices: Indices,
+}
+
+impl SchemaContext {
+    /// Build with the default business lexicon and a generated ontology.
+    pub fn build(db: &Database) -> SchemaContext {
+        Self::build_with_lexicon(db, Lexicon::business_default())
+    }
+
+    /// Build with a custom lexicon.
+    pub fn build_with_lexicon(db: &Database, lexicon: Lexicon) -> SchemaContext {
+        let ontology = generate_ontology(db);
+        let graph = JoinGraph::from_ontology(&ontology);
+        let indices = Indices::build(db, &ontology, &lexicon);
+        SchemaContext { ontology, graph, lexicon, indices }
+    }
+}
+
+/// An executed answer.
+#[derive(Debug, Clone)]
+pub struct Answer {
+    /// The SQL that was run.
+    pub sql: String,
+    /// The query AST.
+    pub query: Query,
+    /// The result rows.
+    pub result: ResultSet,
+    /// The winning interpretation (confidence + explanation).
+    pub interpretation: Interpretation,
+}
+
+/// The full NLIDB stack for one database.
+pub struct NliPipeline {
+    db: Database,
+    ctx: SchemaContext,
+    keyword: KeywordInterpreter,
+    pattern: PatternInterpreter,
+    entity: EntityInterpreter,
+    neural: NeuralInterpreter,
+    hybrid: HybridInterpreter,
+}
+
+impl NliPipeline {
+    /// Build the standard stack: generated ontology, business lexicon,
+    /// all five interpreter families (the neural model starts
+    /// untrained; see [`NliPipeline::train_neural`]).
+    pub fn standard(db: &Database) -> NliPipeline {
+        let ctx = SchemaContext::build(db);
+        NliPipeline {
+            db: db.clone(),
+            ctx,
+            keyword: KeywordInterpreter::new(),
+            pattern: PatternInterpreter::new(),
+            entity: EntityInterpreter::new(),
+            neural: NeuralInterpreter::untrained(),
+            hybrid: HybridInterpreter::new(),
+        }
+    }
+
+    /// The schema context (for direct interpreter experimentation).
+    pub fn context(&self) -> &SchemaContext {
+        &self.ctx
+    }
+
+    /// The wrapped database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Train the neural (and the hybrid's embedded neural) model.
+    pub fn train_neural(&mut self, examples: &[TrainingExample], seed: u64) {
+        self.neural = NeuralInterpreter::train(examples, &self.ctx, seed);
+        self.hybrid.set_neural(NeuralInterpreter::train(examples, &self.ctx, seed));
+    }
+
+    /// Interpreter by family.
+    pub fn interpreter(&self, kind: InterpreterKind) -> &dyn Interpreter {
+        match kind {
+            InterpreterKind::Keyword => &self.keyword,
+            InterpreterKind::Pattern => &self.pattern,
+            InterpreterKind::Entity => &self.entity,
+            InterpreterKind::Neural => &self.neural,
+            InterpreterKind::Hybrid => &self.hybrid,
+        }
+    }
+
+    /// Ask with the default (hybrid) interpreter and execute.
+    pub fn ask(&self, question: &str) -> Result<Answer, InterpretError> {
+        self.ask_with(question, InterpreterKind::Hybrid)
+    }
+
+    /// Ask with a specific family and execute the best interpretation.
+    pub fn ask_with(
+        &self,
+        question: &str,
+        kind: InterpreterKind,
+    ) -> Result<Answer, InterpretError> {
+        let interp = self
+            .interpreter(kind)
+            .best(question, &self.ctx)
+            .ok_or_else(|| InterpretError::NoInterpretation(question.to_string()))?;
+        let result = execute(&self.db, &interp.sql)
+            .map_err(|e| InterpretError::Execution(e.to_string()))?;
+        Ok(Answer {
+            sql: interp.sql.to_string(),
+            query: interp.sql.clone(),
+            result,
+            interpretation: interp,
+        })
+    }
+
+    /// All candidate interpretations from one family (for clarification
+    /// flows and experiments).
+    pub fn candidates(&self, question: &str, kind: InterpreterKind) -> Vec<Interpretation> {
+        self.interpreter(kind).interpret(question, &self.ctx)
+    }
+
+    /// "Did you mean" suggestions for an unanswerable question: for
+    /// each content word that failed to link, the closest ontology
+    /// vocabulary by fuzzy similarity. The cooperative-failure path the
+    /// survey's enterprise-adaption challenge asks for — silence with
+    /// guidance beats a wrong answer.
+    pub fn suggest(&self, question: &str) -> Vec<(String, Vec<String>)> {
+        use nlidb_nlp::{is_stopword, mention_score, tokenize, TokenKind};
+        let tokens = tokenize(question);
+        let linked = crate::linking::link_mentions(&tokens, &self.ctx);
+        let mut covered = vec![false; tokens.len()];
+        for m in &linked {
+            for c in covered.iter_mut().skip(m.start).take(m.len) {
+                *c = true;
+            }
+        }
+        // Vocabulary pool: concept labels + property labels.
+        let mut vocab: Vec<&str> = self
+            .ctx
+            .ontology
+            .concepts
+            .iter()
+            .map(|c| c.label.as_str())
+            .collect();
+        vocab.extend(self.ctx.ontology.data_properties.iter().map(|p| p.label.as_str()));
+        let mut out = Vec::new();
+        for (i, t) in tokens.iter().enumerate() {
+            if covered[i]
+                || t.kind != TokenKind::Word
+                || is_stopword(&t.norm)
+                || crate::linking::is_cue_word(&t.norm)
+            {
+                continue;
+            }
+            let mut scored: Vec<(&str, f64)> = vocab
+                .iter()
+                .map(|v| {
+                    // Surface similarity catches typos the linker's
+                    // threshold rejected; lexicon similarity catches
+                    // vocabulary-gap words ("revenue" when the schema
+                    // says "amount") through the synonym/hypernym
+                    // taxonomy — the Lei-et-al. relaxation applied to
+                    // cooperative failure.
+                    let surface = mention_score(&t.norm, v);
+                    let semantic = 0.8 * self.ctx.lexicon.similarity(&t.norm, v);
+                    // Jaro noise sits around 0.6 for unrelated words of
+                    // similar length; only strong surface matches count
+                    // as typo repairs. Weaker evidence must come from
+                    // the taxonomy.
+                    let score = if surface >= 0.72 { surface } else { semantic };
+                    (*v, score)
+                })
+                .filter(|(_, s)| *s >= 0.5)
+                .collect();
+            scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            let suggestions: Vec<String> =
+                scored.into_iter().take(3).map(|(v, _)| v.to_string()).collect();
+            if !suggestions.is_empty() {
+                out.push((t.norm.clone(), suggestions));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nlidb_engine::{ColumnType, TableSchema, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new("d");
+        db.create_table(
+            TableSchema::new("products")
+                .column("id", ColumnType::Int)
+                .column("name", ColumnType::Text)
+                .column("category", ColumnType::Text)
+                .column("price", ColumnType::Float)
+                .primary_key("id"),
+        )
+        .unwrap();
+        for (id, n, c, p) in [(1, "Anvil", "tools", 10.0), (2, "Piano", "music", 500.0)] {
+            db.insert(
+                "products",
+                vec![Value::Int(id), Value::from(n), Value::from(c), Value::Float(p)],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn standard_builds_all_interpreters() {
+        let db = db();
+        let nli = NliPipeline::standard(&db);
+        for kind in InterpreterKind::all() {
+            // Every family is addressable; untrained learned families
+            // simply return nothing.
+            let _ = nli.interpreter(kind);
+        }
+        assert_eq!(nli.database().name, "d");
+        assert_eq!(nli.context().ontology.concepts.len(), 1);
+    }
+
+    #[test]
+    fn ask_with_specific_families() {
+        let db = db();
+        let nli = NliPipeline::standard(&db);
+        let a = nli.ask_with("show products in tools", InterpreterKind::Keyword).unwrap();
+        assert_eq!(a.sql, "SELECT * FROM products WHERE category = 'tools'");
+        assert!(nli
+            .ask_with("total price by category", InterpreterKind::Keyword)
+            .is_err());
+        assert!(nli
+            .ask_with("total price by category", InterpreterKind::Pattern)
+            .is_ok());
+    }
+
+    #[test]
+    fn candidates_are_ranked() {
+        let db = db();
+        let nli = NliPipeline::standard(&db);
+        let cands = nli.candidates("show products in tools", InterpreterKind::Entity);
+        assert!(!cands.is_empty());
+        for w in cands.windows(2) {
+            assert!(w[0].confidence >= w[1].confidence);
+        }
+    }
+
+    #[test]
+    fn suggest_bridges_vocabulary_gaps() {
+        let db = db();
+        let nli = NliPipeline::standard(&db);
+        // "cost" is a ring-mate of "price" and links directly via the
+        // lexicon; "expenditure" is not in any ring → no link, and no
+        // close vocabulary either.
+        let s = nli.suggest("total revenue of products");
+        assert!(
+            s.iter()
+                .any(|(w, sugg)| w == "revenue" && sugg.iter().any(|x| x == "price")),
+            "{s:?}"
+        );
+        assert!(nli.suggest("show products").is_empty());
+    }
+
+    #[test]
+    fn train_neural_activates_both_learned_paths() {
+        use crate::neural::TrainingExample;
+        let db = db();
+        let mut nli = NliPipeline::standard(&db);
+        assert!(nli
+            .candidates("how many products", InterpreterKind::Neural)
+            .is_empty());
+        let train: Vec<TrainingExample> = [
+            ("how many products", "SELECT COUNT(*) FROM products"),
+            ("count the products", "SELECT COUNT(*) FROM products"),
+            ("show all products", "SELECT * FROM products"),
+            ("list products", "SELECT * FROM products"),
+            ("average price of products", "SELECT AVG(price) FROM products"),
+        ]
+        .iter()
+        .map(|(q, s)| TrainingExample {
+            question: q.to_string(),
+            sql: nlidb_sqlir::parse_query(s).unwrap(),
+        })
+        .collect();
+        nli.train_neural(&train, 5);
+        assert!(!nli
+            .candidates("how many products", InterpreterKind::Neural)
+            .is_empty());
+    }
+}

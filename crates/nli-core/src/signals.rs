@@ -1,0 +1,499 @@
+//! Query-signal extraction shared by the pattern and entity
+//! interpreters: aggregation cues, grouping prepositions, top-N
+//! phrases, comparisons, negation, and against-average phrases.
+//!
+//! These are the "natural language patterns" the survey credits the
+//! SQAK generation of systems with: "simple natural language patterns
+//! like 'by', 'total/average' enable such systems to detect GROUP BY
+//! and aggregation".
+
+use nlidb_nlp::literal::{comparison_cue, parse_date, parse_number, ComparisonCue, DateValue};
+use nlidb_nlp::{Token, TokenKind};
+use nlidb_sqlir::ast::{AggFunc, BinOp};
+
+/// Convert a [`ComparisonCue`] to a SQL operator (BETWEEN handled
+/// separately by callers).
+pub fn cue_to_binop(cue: ComparisonCue) -> Option<BinOp> {
+    Some(match cue {
+        ComparisonCue::Gt => BinOp::Gt,
+        ComparisonCue::Ge => BinOp::GtEq,
+        ComparisonCue::Lt => BinOp::Lt,
+        ComparisonCue::Le => BinOp::LtEq,
+        ComparisonCue::Eq => BinOp::Eq,
+        ComparisonCue::Ne => BinOp::NotEq,
+        ComparisonCue::Between => return None,
+    })
+}
+
+/// An aggregation cue found in the utterance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AggCue {
+    /// The aggregate function implied.
+    pub func: AggFunc,
+    /// Token index of the cue word.
+    pub at: usize,
+    /// Number of tokens the cue spans.
+    pub len: usize,
+}
+
+/// Find the first aggregation cue: "total"/"sum", "average"/"mean",
+/// "count"/"how many"/"number of", "maximum"/"minimum".
+pub fn find_agg_cue(tokens: &[Token]) -> Option<AggCue> {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Word {
+            continue;
+        }
+        let next = tokens.get(i + 1).map(|t| t.norm.as_str()).unwrap_or("");
+        let cue = match t.norm.as_str() {
+            "total" | "sum" | "overall" => Some((AggFunc::Sum, 1)),
+            "average" | "mean" | "avg" => Some((AggFunc::Avg, 1)),
+            "count" => Some((AggFunc::Count, 1)),
+            "how" if next == "many" => Some((AggFunc::Count, 2)),
+            "number" if next == "of" => Some((AggFunc::Count, 2)),
+            "maximum" | "max" => Some((AggFunc::Max, 1)),
+            "minimum" | "min" => Some((AggFunc::Min, 1)),
+            _ => None,
+        };
+        if let Some((func, len)) = cue {
+            return Some(AggCue { func, at: i, len });
+        }
+    }
+    None
+}
+
+/// Find a grouping preposition ("by", "per", "for each", "in each");
+/// returns the index of the first token *after* the cue (where the
+/// grouping property mention starts).
+pub fn find_group_cue(tokens: &[Token]) -> Option<usize> {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Word {
+            continue;
+        }
+        let next = tokens.get(i + 1).map(|t| t.norm.as_str()).unwrap_or("");
+        match t.norm.as_str() {
+            // "by"/"per" only group when not part of "order by"/"sort by"
+            // (those are ordering cues) and not followed by a number.
+            "by" | "per" => {
+                let prev = i.checked_sub(1).map(|j| tokens[j].norm.as_str()).unwrap_or("");
+                if prev != "order" && prev != "sort" && prev != "rank"
+                    && tokens.get(i + 1).map(|t| t.kind) != Some(TokenKind::Number) {
+                        return Some(i + 1);
+                    }
+            }
+            "each" | "every" => {
+                // "for each X", "in each X", or bare "each X".
+                return Some(i + 1);
+            }
+            _ => {
+                let _ = next;
+            }
+        }
+    }
+    None
+}
+
+/// Find an ordering cue ("order by" / "sort by" / "rank by"); returns
+/// (index after cue, ascending?). "descending"/"desc" anywhere after
+/// flips direction.
+pub fn find_order_cue(tokens: &[Token]) -> Option<(usize, bool)> {
+    for (i, t) in tokens.iter().enumerate() {
+        if matches!(t.norm.as_str(), "order" | "sort" | "rank" | "sorted" | "ranked" | "ordered")
+            && tokens.get(i + 1).map(|t| t.norm.as_str()) == Some("by")
+        {
+            let asc = !tokens
+                .iter()
+                .skip(i + 2)
+                .any(|t| matches!(t.norm.as_str(), "desc" | "descending" | "decreasing"));
+            return Some((i + 2, asc));
+        }
+    }
+    None
+}
+
+/// A "top N" / "N largest" / bare-superlative phrase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopCue {
+    /// LIMIT value (1 for bare superlatives like "the largest").
+    pub n: u64,
+    /// Sort descending when true ("top", "largest", "most") — false
+    /// for "bottom", "smallest", "least", "cheapest".
+    pub desc: bool,
+    /// Token index where the phrase starts.
+    pub at: usize,
+    /// Tokens consumed.
+    pub len: usize,
+}
+
+const DESC_SUPERLATIVES: &[&str] = &[
+    "top", "largest", "biggest", "highest", "most", "best", "greatest", "maximum", "latest",
+    "newest", "longest",
+];
+const ASC_SUPERLATIVES: &[&str] = &[
+    "bottom", "smallest", "lowest", "least", "worst", "cheapest", "minimum", "earliest",
+    "oldest", "fewest", "shortest",
+];
+
+/// Find a top-N cue: "top 5 X", "5 largest X", "the cheapest X".
+pub fn find_top_cue(tokens: &[Token]) -> Option<TopCue> {
+    for (i, t) in tokens.iter().enumerate() {
+        // "top 5", "bottom 3"
+        if (t.is_word("top") || t.is_word("bottom")) && i + 1 < tokens.len() {
+            if let Some(n) = tokens[i + 1].as_number() {
+                return Some(TopCue {
+                    n: n.max(1.0) as u64,
+                    desc: t.is_word("top"),
+                    at: i,
+                    len: 2,
+                });
+            }
+            // bare "top X"
+            return Some(TopCue { n: 1, desc: t.is_word("top"), at: i, len: 1 });
+        }
+        // "5 largest"
+        if t.kind == TokenKind::Number {
+            if let Some(next) = tokens.get(i + 1) {
+                if DESC_SUPERLATIVES.contains(&next.norm.as_str()) {
+                    return Some(TopCue {
+                        n: t.as_number().unwrap_or(1.0).max(1.0) as u64,
+                        desc: true,
+                        at: i,
+                        len: 2,
+                    });
+                }
+                if ASC_SUPERLATIVES.contains(&next.norm.as_str()) {
+                    return Some(TopCue {
+                        n: t.as_number().unwrap_or(1.0).max(1.0) as u64,
+                        desc: false,
+                        at: i,
+                        len: 2,
+                    });
+                }
+            }
+        }
+        // bare superlative: "the largest order"
+        if DESC_SUPERLATIVES.contains(&t.norm.as_str()) && t.norm != "top" {
+            return Some(TopCue { n: 1, desc: true, at: i, len: 1 });
+        }
+        if ASC_SUPERLATIVES.contains(&t.norm.as_str()) {
+            return Some(TopCue { n: 1, desc: false, at: i, len: 1 });
+        }
+    }
+    None
+}
+
+/// One numeric comparison found in the utterance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompSignal {
+    /// SQL operator.
+    pub op: BinOp,
+    /// Right-hand constant.
+    pub value: f64,
+    /// Optional BETWEEN upper bound (op is then ignored).
+    pub high: Option<f64>,
+    /// Token index where the cue starts.
+    pub cue_at: usize,
+    /// Token index of the value token.
+    pub value_at: usize,
+}
+
+/// Find numeric comparisons: "more than 5", "at least 2 million",
+/// "between 10 and 20", "over 100", "age > 30".
+pub fn find_comparisons(tokens: &[Token]) -> Vec<CompSignal> {
+    let norms: Vec<&str> = tokens.iter().map(|t| t.norm.as_str()).collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Symbolic operators.
+        if tokens[i].kind == TokenKind::Punct {
+            let op = match norms[i] {
+                ">" => Some(BinOp::Gt),
+                ">=" => Some(BinOp::GtEq),
+                "<" => Some(BinOp::Lt),
+                "<=" => Some(BinOp::LtEq),
+                "=" | "==" => Some(BinOp::Eq),
+                "<>" | "!=" => Some(BinOp::NotEq),
+                _ => None,
+            };
+            if let Some(op) = op {
+                if let Some((v, consumed)) = parse_number(&norms[i + 1..]) {
+                    out.push(CompSignal {
+                        op,
+                        value: v,
+                        high: None,
+                        cue_at: i,
+                        value_at: i + 1,
+                    });
+                    i += 1 + consumed;
+                    continue;
+                }
+            }
+        }
+        if let Some((cue, cue_len)) = comparison_cue(&norms[i..]) {
+            let vstart = i + cue_len;
+            if cue == ComparisonCue::Between {
+                // between A and B
+                if let Some((lo, lo_len)) = parse_number(&norms[vstart..]) {
+                    let and_at = vstart + lo_len;
+                    if norms.get(and_at) == Some(&"and") {
+                        if let Some((hi, hi_len)) = parse_number(&norms[and_at + 1..]) {
+                            out.push(CompSignal {
+                                op: BinOp::GtEq,
+                                value: lo,
+                                high: Some(hi),
+                                cue_at: i,
+                                value_at: vstart,
+                            });
+                            i = and_at + 1 + hi_len;
+                            continue;
+                        }
+                    }
+                }
+            } else if let Some(op) = cue_to_binop(cue) {
+                if let Some((v, consumed)) = parse_number(&norms[vstart..]) {
+                    out.push(CompSignal {
+                        op,
+                        value: v,
+                        high: None,
+                        cue_at: i,
+                        value_at: vstart,
+                    });
+                    i = vstart + consumed;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Find a negation cue attached to a related-concept mention:
+/// "without", "with no", "that have no", "who never placed".
+/// Returns the index of the first token after the cue.
+pub fn find_negation_cue(tokens: &[Token]) -> Option<usize> {
+    for (i, t) in tokens.iter().enumerate() {
+        match t.norm.as_str() {
+            "without" => return Some(i + 1),
+            "no" | "never" => {
+                let prev = i.checked_sub(1).map(|j| tokens[j].norm.as_str()).unwrap_or("");
+                if matches!(prev, "with" | "have" | "has" | "had" | "who" | "that") {
+                    return Some(i + 1);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Detect an against-average comparison: "above average", "below the
+/// average", "more than the average", "higher than average".
+pub fn find_vs_average(tokens: &[Token]) -> Option<BinOp> {
+    let norms: Vec<&str> = tokens.iter().map(|t| t.norm.as_str()).collect();
+    for i in 0..norms.len() {
+        let is_avg_at = |j: usize| {
+            norms.get(j) == Some(&"average")
+                || norms.get(j) == Some(&"mean")
+                || (norms.get(j) == Some(&"the")
+                    && (norms.get(j + 1) == Some(&"average") || norms.get(j + 1) == Some(&"mean")))
+        };
+        match norms[i] {
+            "above" | "over" if is_avg_at(i + 1) => return Some(BinOp::Gt),
+            "below" | "under" if is_avg_at(i + 1) => return Some(BinOp::Lt),
+            "more" | "greater" | "higher" | "larger"
+                if norms.get(i + 1) == Some(&"than") && is_avg_at(i + 2) =>
+            {
+                return Some(BinOp::Gt)
+            }
+            "less" | "fewer" | "lower" | "smaller"
+                if norms.get(i + 1) == Some(&"than") && is_avg_at(i + 2) =>
+            {
+                return Some(BinOp::Lt)
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Find a date mention ("2019", "march 2019", "2019-03-05") not
+/// already consumed as a plain number comparison. Returns the value
+/// and the token index where it starts.
+pub fn find_date(tokens: &[Token]) -> Option<(DateValue, usize)> {
+    let norms: Vec<&str> = tokens.iter().map(|t| t.norm.as_str()).collect();
+    // ISO dates lex as number/punct runs (`2019 - 03 - 05`): rebuild.
+    for i in 0..norms.len() {
+        if tokens[i].kind == TokenKind::Number && norms[i].len() == 4 {
+            let full = if i + 4 < norms.len() && norms[i + 1] == "-" && norms[i + 3] == "-" {
+                Some(format!("{}-{}-{}", norms[i], norms[i + 2], norms[i + 4]))
+            } else if i + 2 < norms.len() && norms[i + 1] == "-" {
+                Some(format!("{}-{}", norms[i], norms[i + 2]))
+            } else {
+                None
+            };
+            if let Some(full) = full {
+                if let Some((d, _)) = parse_date(&[full.as_str()]) {
+                    return Some((d, i));
+                }
+            }
+        }
+    }
+    for i in 0..norms.len() {
+        // Require a temporal preposition before bare years to avoid
+        // eating comparison constants ("more than 2019 units").
+        if let Some((d, _len)) = parse_date(&norms[i..]) {
+            let prev = i.checked_sub(1).map(|j| norms[j]).unwrap_or("");
+            let is_contextual = matches!(
+                prev,
+                "in" | "during" | "for" | "since" | "from" | "of" | "on" | "before" | "after"
+            );
+            if is_contextual || norms[i].contains('-') {
+                return Some((d, i));
+            }
+        }
+    }
+    None
+}
+
+/// Is the utterance phrased as a distinct-values request ("different
+/// cities", "unique products", "distinct regions")?
+pub fn find_distinct_cue(tokens: &[Token]) -> bool {
+    tokens
+        .iter()
+        .any(|t| matches!(t.norm.as_str(), "distinct" | "unique" | "different"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nlidb_nlp::tokenize;
+
+    #[test]
+    fn agg_cues() {
+        let t = tokenize("total revenue by region");
+        let c = find_agg_cue(&t).unwrap();
+        assert_eq!(c.func, AggFunc::Sum);
+        assert_eq!(c.at, 0);
+
+        let t = tokenize("how many customers are there");
+        let c = find_agg_cue(&t).unwrap();
+        assert_eq!(c.func, AggFunc::Count);
+        assert_eq!(c.len, 2);
+
+        let t = tokenize("number of orders");
+        assert_eq!(find_agg_cue(&t).unwrap().func, AggFunc::Count);
+
+        let t = tokenize("show all customers");
+        assert!(find_agg_cue(&t).is_none());
+    }
+
+    #[test]
+    fn group_cue_positions() {
+        let t = tokenize("total revenue by region");
+        assert_eq!(find_group_cue(&t), Some(3));
+        let t = tokenize("count of orders per city");
+        assert_eq!(find_group_cue(&t), Some(4));
+        let t = tokenize("revenue for each category");
+        assert_eq!(find_group_cue(&t), Some(3));
+        // "order by" is ordering, not grouping.
+        let t = tokenize("customers order by name");
+        assert_eq!(find_group_cue(&t), None);
+    }
+
+    #[test]
+    fn order_cue() {
+        let t = tokenize("customers sorted by age descending");
+        let (idx, asc) = find_order_cue(&t).unwrap();
+        assert_eq!(idx, 3);
+        assert!(!asc);
+        let t = tokenize("products order by price");
+        let (idx, asc) = find_order_cue(&t).unwrap();
+        assert_eq!(idx, 3);
+        assert!(asc);
+    }
+
+    #[test]
+    fn top_cues() {
+        let t = tokenize("top 5 products by sales");
+        let c = find_top_cue(&t).unwrap();
+        assert_eq!((c.n, c.desc), (5, true));
+
+        let t = tokenize("3 cheapest products");
+        let c = find_top_cue(&t).unwrap();
+        assert_eq!((c.n, c.desc), (3, false));
+
+        let t = tokenize("the largest order");
+        let c = find_top_cue(&t).unwrap();
+        assert_eq!((c.n, c.desc), (1, true));
+
+        let t = tokenize("list products");
+        assert!(find_top_cue(&t).is_none());
+    }
+
+    #[test]
+    fn comparisons() {
+        let t = tokenize("customers with more than 5 orders");
+        let c = find_comparisons(&t);
+        assert_eq!(c.len(), 1);
+        assert_eq!((c[0].op, c[0].value), (BinOp::Gt, 5.0));
+
+        let t = tokenize("price between 10 and 20");
+        let c = find_comparisons(&t);
+        assert_eq!(c[0].high, Some(20.0));
+        assert_eq!(c[0].value, 10.0);
+
+        let t = tokenize("revenue of at least 2 million");
+        let c = find_comparisons(&t);
+        assert_eq!((c[0].op, c[0].value), (BinOp::GtEq, 2e6));
+
+        let t = tokenize("age > 30 and salary <= 100");
+        let c = find_comparisons(&t);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c[1].op, BinOp::LtEq);
+    }
+
+    #[test]
+    fn negation_cues() {
+        let t = tokenize("customers without orders");
+        assert_eq!(find_negation_cue(&t), Some(2));
+        let t = tokenize("customers with no orders");
+        assert_eq!(find_negation_cue(&t), Some(3));
+        let t = tokenize("customers that have no orders");
+        assert_eq!(find_negation_cue(&t), Some(4));
+        let t = tokenize("customers with orders");
+        assert_eq!(find_negation_cue(&t), None);
+    }
+
+    #[test]
+    fn vs_average() {
+        assert_eq!(find_vs_average(&tokenize("products above average price")), Some(BinOp::Gt));
+        assert_eq!(
+            find_vs_average(&tokenize("orders below the average amount")),
+            Some(BinOp::Lt)
+        );
+        assert_eq!(
+            find_vs_average(&tokenize("salary higher than the average")),
+            Some(BinOp::Gt)
+        );
+        assert_eq!(find_vs_average(&tokenize("average price by city")), None);
+    }
+
+    #[test]
+    fn date_detection() {
+        let t = tokenize("orders in 2019");
+        let (d, at) = find_date(&t).unwrap();
+        assert_eq!(d.to_iso(), "2019");
+        assert_eq!(at, 2);
+        // Bare number without temporal context is not a date.
+        let t = tokenize("more than 2019 units");
+        assert!(find_date(&t).is_none());
+        let t = tokenize("orders on 2019-03-05");
+        assert_eq!(find_date(&t).unwrap().0.to_iso(), "2019-03-05");
+    }
+
+    #[test]
+    fn distinct_cue() {
+        assert!(find_distinct_cue(&tokenize("unique cities of customers")));
+        assert!(!find_distinct_cue(&tokenize("cities of customers")));
+    }
+}

@@ -1,0 +1,194 @@
+//! Phrase chunking over tagged tokens.
+//!
+//! Entity mentions in NLIDB are usually multi-word noun phrases
+//! ("total sales amount", "new york customers"); the chunker groups
+//! adjacent tokens into candidate mention spans the entity linkers
+//! consume.
+
+use crate::pos::{PosTag, TaggedToken};
+use crate::token::Span;
+
+/// The kind of phrase a chunk represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkKind {
+    /// Noun phrase — candidate entity/attribute mention.
+    NounPhrase,
+    /// Verb group — candidate relationship mention.
+    VerbPhrase,
+    /// Numeric or quoted literal.
+    Literal,
+    /// Superlative/comparative operator phrase ("more than", "top").
+    Operator,
+}
+
+/// A contiguous group of tokens forming one phrase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Chunk {
+    /// Phrase kind.
+    pub kind: ChunkKind,
+    /// Indices into the tagged-token stream, contiguous and ascending.
+    pub token_indices: Vec<usize>,
+    /// Covering byte span in the original utterance.
+    pub span: Span,
+    /// Space-joined normalized text of the chunk.
+    pub text: String,
+}
+
+impl Chunk {
+    fn from_indices(tagged: &[TaggedToken], indices: Vec<usize>, kind: ChunkKind) -> Chunk {
+        debug_assert!(!indices.is_empty());
+        let span = indices
+            .iter()
+            .map(|&i| tagged[i].token.span)
+            .reduce(|a, b| a.cover(b))
+            .expect("non-empty chunk");
+        let text = indices
+            .iter()
+            .map(|&i| tagged[i].token.norm.as_str())
+            .collect::<Vec<_>>()
+            .join(" ");
+        Chunk { kind, token_indices: indices, span, text }
+    }
+
+    /// Number of tokens in this chunk.
+    pub fn len(&self) -> usize {
+        self.token_indices.len()
+    }
+
+    /// Whether this chunk has no tokens (never true for produced chunks).
+    pub fn is_empty(&self) -> bool {
+        self.token_indices.is_empty()
+    }
+}
+
+/// Group tagged tokens into phrase chunks with a finite-state scanner:
+///
+/// * `(Adj|Noun)+` → noun phrase (determiners are skipped, adjectives
+///   are folded into the following noun group);
+/// * `Verb+` → verb phrase;
+/// * `Num | Quoted` → literal;
+/// * `Superlative | Comparative` (plus an immediately following
+///   "than") → operator phrase.
+///
+/// ```
+/// use nlidb_nlp::{tokenize, pos::tag, chunk::{chunk, ChunkKind}};
+/// let chunks = chunk(&tag(&tokenize("total sales amount by customer region")));
+/// assert_eq!(chunks[0].kind, ChunkKind::NounPhrase);
+/// assert_eq!(chunks[0].text, "total sales amount");
+/// ```
+pub fn chunk(tagged: &[TaggedToken]) -> Vec<Chunk> {
+    let mut chunks = Vec::new();
+    let mut i = 0;
+    while i < tagged.len() {
+        match tagged[i].tag {
+            PosTag::Det | PosTag::Punct | PosTag::Pron | PosTag::Adv | PosTag::Conj
+            | PosTag::Prep | PosTag::Wh | PosTag::Neg => {
+                i += 1;
+            }
+            PosTag::Adj | PosTag::Noun => {
+                let start = i;
+                while i < tagged.len() && matches!(tagged[i].tag, PosTag::Adj | PosTag::Noun) {
+                    i += 1;
+                }
+                chunks.push(Chunk::from_indices(
+                    tagged,
+                    (start..i).collect(),
+                    ChunkKind::NounPhrase,
+                ));
+            }
+            PosTag::Verb => {
+                let start = i;
+                while i < tagged.len() && tagged[i].tag == PosTag::Verb {
+                    i += 1;
+                }
+                chunks.push(Chunk::from_indices(
+                    tagged,
+                    (start..i).collect(),
+                    ChunkKind::VerbPhrase,
+                ));
+            }
+            PosTag::Num | PosTag::Quoted => {
+                chunks.push(Chunk::from_indices(tagged, vec![i], ChunkKind::Literal));
+                i += 1;
+            }
+            PosTag::Superlative | PosTag::Comparative => {
+                let mut indices = vec![i];
+                // Fold an immediately following "than" into the operator.
+                if let Some(next) = tagged.get(i + 1) {
+                    if next.token.norm == "than" {
+                        indices.push(i + 1);
+                    }
+                }
+                let consumed = indices.len();
+                chunks.push(Chunk::from_indices(tagged, indices, ChunkKind::Operator));
+                i += consumed;
+            }
+        }
+    }
+    chunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pos::tag;
+    use crate::token::tokenize;
+
+    fn chunks_of(s: &str) -> Vec<Chunk> {
+        chunk(&tag(&tokenize(s)))
+    }
+
+    #[test]
+    fn noun_phrases_grouped() {
+        let c = chunks_of("show total sales amount by customer region");
+        let nps: Vec<_> = c.iter().filter(|c| c.kind == ChunkKind::NounPhrase).collect();
+        assert_eq!(nps.len(), 2);
+        assert_eq!(nps[0].text, "total sales amount");
+        assert_eq!(nps[1].text, "customer region");
+    }
+
+    #[test]
+    fn operator_folds_than() {
+        let c = chunks_of("customers with more than 5 orders");
+        let op = c.iter().find(|c| c.kind == ChunkKind::Operator).unwrap();
+        assert_eq!(op.text, "more than");
+        let lit = c.iter().find(|c| c.kind == ChunkKind::Literal).unwrap();
+        assert_eq!(lit.text, "5");
+    }
+
+    #[test]
+    fn superlative_is_operator() {
+        let c = chunks_of("top products");
+        assert_eq!(c[0].kind, ChunkKind::Operator);
+        assert_eq!(c[1].kind, ChunkKind::NounPhrase);
+    }
+
+    #[test]
+    fn verb_phrase() {
+        let c = chunks_of("list customers");
+        assert_eq!(c[0].kind, ChunkKind::VerbPhrase);
+    }
+
+    #[test]
+    fn quoted_literal_chunk() {
+        let c = chunks_of("customers in 'New York'");
+        let lit = c.iter().find(|c| c.kind == ChunkKind::Literal).unwrap();
+        assert_eq!(lit.text, "new york");
+    }
+
+    #[test]
+    fn chunk_spans_cover_tokens() {
+        let s = "largest total revenue by region";
+        let tagged = tag(&tokenize(s));
+        for c in chunk(&tagged) {
+            assert!(c.span.start < c.span.end);
+            assert!(!c.is_empty());
+            assert!(!c.is_empty());
+        }
+    }
+
+    #[test]
+    fn empty_input_no_chunks() {
+        assert!(chunks_of("").is_empty());
+    }
+}

@@ -1,0 +1,400 @@
+//! Literal recognition: numbers (including number words and magnitude
+//! suffixes), dates, and comparison cue phrases.
+//!
+//! Pattern-based systems (SQAK-class) and entity-based systems alike
+//! must turn "more than two million", "in 2019", and "at least 5" into
+//! typed constants plus comparison operators.
+
+/// A comparison operator cued by natural language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ComparisonCue {
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// BETWEEN lo AND hi
+    Between,
+}
+
+impl ComparisonCue {
+    /// SQL operator text.
+    pub fn sql(&self) -> &'static str {
+        match self {
+            ComparisonCue::Gt => ">",
+            ComparisonCue::Ge => ">=",
+            ComparisonCue::Lt => "<",
+            ComparisonCue::Le => "<=",
+            ComparisonCue::Eq => "=",
+            ComparisonCue::Ne => "<>",
+            ComparisonCue::Between => "BETWEEN",
+        }
+    }
+}
+
+/// Detect a comparison cue at the start of `words` (lowercased).
+/// Returns the cue and how many words it consumed.
+///
+/// ```
+/// use nlidb_nlp::literal::{comparison_cue, ComparisonCue};
+/// assert_eq!(comparison_cue(&["more", "than", "5"]), Some((ComparisonCue::Gt, 2)));
+/// assert_eq!(comparison_cue(&["at", "least", "3"]), Some((ComparisonCue::Ge, 2)));
+/// ```
+pub fn comparison_cue(words: &[&str]) -> Option<(ComparisonCue, usize)> {
+    let w0 = *words.first()?;
+    let w1 = words.get(1).copied().unwrap_or("");
+    let w2 = words.get(2).copied().unwrap_or("");
+    let two = (w0, w1);
+    
+    match two {
+        ("more", "than") | ("greater", "than") | ("higher", "than") | ("larger", "than")
+        | ("bigger", "than") | ("above", _) if w1 == "than" || w0 == "above" => {
+            Some((ComparisonCue::Gt, if w0 == "above" { 1 } else { 2 }))
+        }
+        ("less", "than") | ("fewer", "than") | ("lower", "than") | ("smaller", "than")
+        | ("below", _) if w1 == "than" || w0 == "below" => {
+            Some((ComparisonCue::Lt, if w0 == "below" { 1 } else { 2 }))
+        }
+        ("at", "least") => Some((ComparisonCue::Ge, 2)),
+        ("at", "most") => Some((ComparisonCue::Le, 2)),
+        ("no", "more") if w2 == "than" => Some((ComparisonCue::Le, 3)),
+        ("no", "less") if w2 == "than" => Some((ComparisonCue::Ge, 3)),
+        ("not", "equal") => Some((ComparisonCue::Ne, 2)),
+        ("other", "than") => Some((ComparisonCue::Ne, 2)),
+        ("equal", "to") => Some((ComparisonCue::Eq, 2)),
+        ("exactly", _) => Some((ComparisonCue::Eq, 1)),
+        ("between", _) => Some((ComparisonCue::Between, 1)),
+        ("over", _) => Some((ComparisonCue::Gt, 1)),
+        ("under", _) => Some((ComparisonCue::Lt, 1)),
+        _ => None,
+    }
+}
+
+/// Number words zero..twenty plus tens.
+static NUMBER_WORDS: &[(&str, f64)] = &[
+    ("zero", 0.0),
+    ("one", 1.0),
+    ("two", 2.0),
+    ("three", 3.0),
+    ("four", 4.0),
+    ("five", 5.0),
+    ("six", 6.0),
+    ("seven", 7.0),
+    ("eight", 8.0),
+    ("nine", 9.0),
+    ("ten", 10.0),
+    ("eleven", 11.0),
+    ("twelve", 12.0),
+    ("thirteen", 13.0),
+    ("fourteen", 14.0),
+    ("fifteen", 15.0),
+    ("sixteen", 16.0),
+    ("seventeen", 17.0),
+    ("eighteen", 18.0),
+    ("nineteen", 19.0),
+    ("twenty", 20.0),
+    ("thirty", 30.0),
+    ("forty", 40.0),
+    ("fifty", 50.0),
+    ("sixty", 60.0),
+    ("seventy", 70.0),
+    ("eighty", 80.0),
+    ("ninety", 90.0),
+    ("hundred", 100.0),
+];
+
+/// Magnitude suffix words.
+static MAGNITUDES: &[(&str, f64)] = &[
+    ("thousand", 1e3),
+    ("k", 1e3),
+    ("million", 1e6),
+    ("m", 1e6),
+    ("billion", 1e9),
+    ("b", 1e9),
+];
+
+/// Parse a number from one or two lowercased words: digits
+/// (`"5"`, `"1,200.5"`), number words (`"five"`), and magnitude forms
+/// (`"2 million"`, `"3k"`). Returns the value and words consumed.
+///
+/// ```
+/// use nlidb_nlp::literal::parse_number;
+/// assert_eq!(parse_number(&["five"]), Some((5.0, 1)));
+/// assert_eq!(parse_number(&["2", "million"]), Some((2e6, 2)));
+/// assert_eq!(parse_number(&["3k"]), Some((3e3, 1)));
+/// ```
+pub fn parse_number(words: &[&str]) -> Option<(f64, usize)> {
+    let w0 = *words.first()?;
+    let base: f64 = w0
+        .replace(',', "")
+        .parse::<f64>()
+        .ok()
+        .or_else(|| NUMBER_WORDS.iter().find(|(w, _)| *w == w0).map(|(_, v)| *v))
+        .or_else(|| {
+            // Attached magnitude suffix: "3k", "2.5m".
+            MAGNITUDES.iter().find_map(|(suf, mul)| {
+                w0.strip_suffix(suf)
+                    .and_then(|num| num.replace(',', "").parse::<f64>().ok())
+                    .map(|v| v * mul)
+            })
+        })?;
+    // Detached magnitude word: "2 million".
+    if let Some(w1) = words.get(1) {
+        if let Some((_, mul)) = MAGNITUDES.iter().find(|(w, _)| w == w1) {
+            return Some((base * mul, 2));
+        }
+    }
+    Some((base, 1))
+}
+
+/// A recognized date value at whatever precision the text provides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DateValue {
+    /// Four-digit year.
+    pub year: i32,
+    /// Month 1–12 if specified.
+    pub month: Option<u8>,
+    /// Day 1–31 if specified.
+    pub day: Option<u8>,
+}
+
+impl DateValue {
+    /// Render as an ISO-8601 prefix: `2019`, `2019-03`, or `2019-03-05`.
+    pub fn to_iso(&self) -> String {
+        match (self.month, self.day) {
+            (Some(m), Some(d)) => format!("{:04}-{:02}-{:02}", self.year, m, d),
+            (Some(m), None) => format!("{:04}-{:02}", self.year, m),
+            _ => format!("{:04}", self.year),
+        }
+    }
+
+    /// Inclusive [start, end] ISO day range covered by this value.
+    pub fn day_range(&self) -> (String, String) {
+        match (self.month, self.day) {
+            (Some(m), Some(d)) => {
+                let iso = format!("{:04}-{:02}-{:02}", self.year, m, d);
+                (iso.clone(), iso)
+            }
+            (Some(m), None) => (
+                format!("{:04}-{:02}-01", self.year, m),
+                format!("{:04}-{:02}-{:02}", self.year, m, days_in_month(self.year, m)),
+            ),
+            _ => (
+                format!("{:04}-01-01", self.year),
+                format!("{:04}-12-31", self.year),
+            ),
+        }
+    }
+}
+
+fn days_in_month(year: i32, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            let leap = (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+            if leap {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 30,
+    }
+}
+
+static MONTHS: &[(&str, u8)] = &[
+    ("january", 1),
+    ("jan", 1),
+    ("february", 2),
+    ("feb", 2),
+    ("march", 3),
+    ("mar", 3),
+    ("april", 4),
+    ("apr", 4),
+    ("may", 5),
+    ("june", 6),
+    ("jun", 6),
+    ("july", 7),
+    ("jul", 7),
+    ("august", 8),
+    ("aug", 8),
+    ("september", 9),
+    ("sep", 9),
+    ("sept", 9),
+    ("october", 10),
+    ("oct", 10),
+    ("november", 11),
+    ("nov", 11),
+    ("december", 12),
+    ("dec", 12),
+];
+
+/// Parse a date from lowercased words. Recognizes:
+/// `2019`, `2019-03-05`, `march 2019`, `5 march 2019`, `march 5 2019`.
+/// Returns the value and words consumed.
+pub fn parse_date(words: &[&str]) -> Option<(DateValue, usize)> {
+    let w0 = *words.first()?;
+    // ISO form in one token.
+    if let Some(d) = parse_iso(w0) {
+        return Some((d, 1));
+    }
+    // Bare year 1900–2100.
+    if let Ok(y) = w0.parse::<i32>() {
+        if (1900..=2100).contains(&y) && w0.len() == 4 {
+            return Some((DateValue { year: y, month: None, day: None }, 1));
+        }
+    }
+    // month [day] year | month year
+    if let Some((_, m)) = MONTHS.iter().find(|(w, _)| *w == w0) {
+        if let Some(w1) = words.get(1) {
+            if let Ok(v1) = w1.parse::<i32>() {
+                if (1900..=2100).contains(&v1) && w1.len() == 4 {
+                    return Some((DateValue { year: v1, month: Some(*m), day: None }, 2));
+                }
+                if (1..=31).contains(&v1) {
+                    if let Some(w2) = words.get(2) {
+                        if let Ok(y) = w2.parse::<i32>() {
+                            if (1900..=2100).contains(&y) {
+                                return Some((
+                                    DateValue { year: y, month: Some(*m), day: Some(v1 as u8) },
+                                    3,
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // day month year
+    if let Ok(d) = w0.parse::<i32>() {
+        if (1..=31).contains(&d) {
+            if let Some(w1) = words.get(1) {
+                if let Some((_, m)) = MONTHS.iter().find(|(w, _)| w == w1) {
+                    if let Some(w2) = words.get(2) {
+                        if let Ok(y) = w2.parse::<i32>() {
+                            if (1900..=2100).contains(&y) {
+                                return Some((
+                                    DateValue { year: y, month: Some(*m), day: Some(d as u8) },
+                                    3,
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+fn parse_iso(tok: &str) -> Option<DateValue> {
+    let parts: Vec<&str> = tok.split('-').collect();
+    match parts.as_slice() {
+        [y, m, d] => {
+            let year = y.parse().ok()?;
+            let month: u8 = m.parse().ok()?;
+            let day: u8 = d.parse().ok()?;
+            if (1900..=2100).contains(&year) && (1..=12).contains(&month) && (1..=31).contains(&day)
+            {
+                Some(DateValue { year, month: Some(month), day: Some(day) })
+            } else {
+                None
+            }
+        }
+        [y, m] => {
+            let year = y.parse().ok()?;
+            let month: u8 = m.parse().ok()?;
+            if (1900..=2100).contains(&year) && (1..=12).contains(&month) && y.len() == 4 {
+                Some(DateValue { year, month: Some(month), day: None })
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_cues() {
+        assert_eq!(comparison_cue(&["greater", "than"]), Some((ComparisonCue::Gt, 2)));
+        assert_eq!(comparison_cue(&["fewer", "than"]), Some((ComparisonCue::Lt, 2)));
+        assert_eq!(comparison_cue(&["at", "most"]), Some((ComparisonCue::Le, 2)));
+        assert_eq!(comparison_cue(&["no", "more", "than"]), Some((ComparisonCue::Le, 3)));
+        assert_eq!(comparison_cue(&["over"]), Some((ComparisonCue::Gt, 1)));
+        assert_eq!(comparison_cue(&["between"]), Some((ComparisonCue::Between, 1)));
+        assert_eq!(comparison_cue(&["hello"]), None);
+        assert_eq!(comparison_cue(&[]), None);
+    }
+
+    #[test]
+    fn number_words_and_digits() {
+        assert_eq!(parse_number(&["seventeen"]), Some((17.0, 1)));
+        assert_eq!(parse_number(&["1,200.5"]), Some((1200.5, 1)));
+        assert_eq!(parse_number(&["ninety"]), Some((90.0, 1)));
+        assert_eq!(parse_number(&["banana"]), None);
+    }
+
+    #[test]
+    fn magnitudes() {
+        assert_eq!(parse_number(&["2", "million"]), Some((2e6, 2)));
+        assert_eq!(parse_number(&["2.5m"]), Some((2.5e6, 1)));
+        assert_eq!(parse_number(&["five", "thousand"]), Some((5e3, 2)));
+        assert_eq!(parse_number(&["10k"]), Some((1e4, 1)));
+    }
+
+    #[test]
+    fn dates_bare_year() {
+        let (d, n) = parse_date(&["2019"]).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(d.to_iso(), "2019");
+        assert_eq!(d.day_range(), ("2019-01-01".into(), "2019-12-31".into()));
+    }
+
+    #[test]
+    fn dates_iso() {
+        let (d, _) = parse_date(&["2019-03-05"]).unwrap();
+        assert_eq!(d.to_iso(), "2019-03-05");
+        let (d, _) = parse_date(&["2019-03"]).unwrap();
+        assert_eq!(d.to_iso(), "2019-03");
+        assert_eq!(d.day_range().1, "2019-03-31");
+    }
+
+    #[test]
+    fn dates_month_name_forms() {
+        let (d, n) = parse_date(&["march", "2019"]).unwrap();
+        assert_eq!((d.to_iso().as_str(), n), ("2019-03", 2));
+        let (d, n) = parse_date(&["march", "5", "2019"]).unwrap();
+        assert_eq!((d.to_iso().as_str(), n), ("2019-03-05", 3));
+        let (d, n) = parse_date(&["5", "march", "2019"]).unwrap();
+        assert_eq!((d.to_iso().as_str(), n), ("2019-03-05", 3));
+    }
+
+    #[test]
+    fn february_leap_handling() {
+        let (d, _) = parse_date(&["2020-02"]).unwrap();
+        assert_eq!(d.day_range().1, "2020-02-29");
+        let (d, _) = parse_date(&["2019-02"]).unwrap();
+        assert_eq!(d.day_range().1, "2019-02-28");
+    }
+
+    #[test]
+    fn not_dates() {
+        assert!(parse_date(&["123"]).is_none());
+        assert!(parse_date(&["99999"]).is_none());
+        assert!(parse_date(&["apple"]).is_none());
+        assert!(parse_date(&["2019-13-01"]).is_none());
+    }
+}

@@ -1,0 +1,281 @@
+//! Lightweight dependency-style parsing.
+//!
+//! NaLIR-class interpreters consume a parse tree to decide which
+//! entity a modifier attaches to and which noun a comparison predicate
+//! constrains. A full statistical parser is unnecessary: for the
+//! question register ("show X of Y in Z with more than N W") a
+//! deterministic head-attachment pass provides the same structure.
+//!
+//! The algorithm:
+//! 1. pick the root — the first main verb, else the first noun;
+//! 2. nouns attach to the previous governing noun across a preposition
+//!    (`of`, `in`, `by`, `with`, …) with a label derived from the
+//!    preposition;
+//! 3. adjectives/superlatives attach to the following noun;
+//! 4. numbers and quoted literals attach to the nearest preceding
+//!    comparative/noun;
+//! 5. everything else attaches to the root.
+
+use crate::pos::{PosTag, TaggedToken};
+
+/// Grammatical relation between a node and its head.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DepLabel {
+    /// The root of the utterance.
+    Root,
+    /// Direct object of the root verb (the main entity asked about).
+    Obj,
+    /// Prepositional attachment; the preposition is recorded separately.
+    PrepMod,
+    /// Adjective or superlative modifying a noun.
+    AdjMod,
+    /// Numeric or quoted literal argument.
+    Lit,
+    /// Coordination ("and"/"or" sibling).
+    Coord,
+    /// Anything else (discourse words, determiners).
+    Other,
+}
+
+/// One node of the dependency tree — one per input token.
+#[derive(Debug, Clone)]
+pub struct DepNode {
+    /// Index of this node (== its token index).
+    pub index: usize,
+    /// Index of the head node; the root points at itself.
+    pub head: usize,
+    /// Relation to the head.
+    pub label: DepLabel,
+    /// The preposition mediating a `PrepMod` attachment, if any.
+    pub prep: Option<String>,
+}
+
+/// Dependency tree over an utterance.
+#[derive(Debug, Clone)]
+pub struct DepTree {
+    /// One node per token, index-aligned.
+    pub nodes: Vec<DepNode>,
+    /// Index of the root node, if the utterance is non-empty.
+    pub root: Option<usize>,
+}
+
+impl DepTree {
+    /// All direct dependents of node `head`.
+    pub fn children(&self, head: usize) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .filter(|n| n.head == head && n.index != head)
+            .map(|n| n.index)
+            .collect()
+    }
+
+    /// The chain of heads from `index` to the root (exclusive of self).
+    pub fn ancestors(&self, index: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut cur = index;
+        let mut guard = 0;
+        while guard <= self.nodes.len() {
+            let head = self.nodes[cur].head;
+            if head == cur {
+                break;
+            }
+            out.push(head);
+            cur = head;
+            guard += 1;
+        }
+        out
+    }
+
+    /// Does `a` dominate `b` (is an ancestor of it)?
+    pub fn dominates(&self, a: usize, b: usize) -> bool {
+        self.ancestors(b).contains(&a)
+    }
+}
+
+/// Build the dependency tree for a tagged utterance. See module docs
+/// for the attachment rules.
+pub fn parse_dependencies(tagged: &[TaggedToken]) -> DepTree {
+    if tagged.is_empty() {
+        return DepTree { nodes: Vec::new(), root: None };
+    }
+    let root = tagged
+        .iter()
+        .position(|t| t.tag == PosTag::Verb)
+        .or_else(|| tagged.iter().position(|t| matches!(t.tag, PosTag::Noun | PosTag::Adj)))
+        .unwrap_or(0);
+
+    let mut nodes: Vec<DepNode> = (0..tagged.len())
+        .map(|i| DepNode { index: i, head: root, label: DepLabel::Other, prep: None })
+        .collect();
+    nodes[root].label = DepLabel::Root;
+
+    // Track the most recent noun to serve as attachment site.
+    let mut last_noun: Option<usize> = None;
+    // Pending preposition waiting for its noun complement.
+    let mut pending_prep: Option<usize> = None;
+    // Pending adjective/superlative waiting for its noun.
+    let mut pending_mods: Vec<usize> = Vec::new();
+    // Most recent comparative operator (for literal attachment).
+    let mut last_op: Option<usize> = None;
+
+    for (i, t) in tagged.iter().enumerate() {
+        match t.tag {
+            PosTag::Noun => {
+                if i != root {
+                    if let Some(p) = pending_prep.take() {
+                        // Attach across the preposition to the last noun
+                        // (or root if none).
+                        let site = last_noun.unwrap_or(root);
+                        nodes[i].head = site;
+                        nodes[i].label = DepLabel::PrepMod;
+                        nodes[i].prep = Some(tagged[p].token.norm.clone());
+                    } else if let Some(n) = last_noun {
+                        // Compound noun continuation or coordination.
+                        let coordinated = i >= 2 && tagged[i - 1].tag == PosTag::Conj;
+                        nodes[i].head = n;
+                        nodes[i].label =
+                            if coordinated { DepLabel::Coord } else { DepLabel::Obj };
+                    } else {
+                        nodes[i].head = root;
+                        nodes[i].label = DepLabel::Obj;
+                    }
+                }
+                for m in pending_mods.drain(..) {
+                    nodes[m].head = i;
+                    nodes[m].label = DepLabel::AdjMod;
+                }
+                last_noun = Some(i);
+            }
+            PosTag::Adj | PosTag::Superlative => {
+                pending_mods.push(i);
+                if t.tag == PosTag::Superlative {
+                    last_op = Some(i);
+                }
+            }
+            PosTag::Comparative => {
+                last_op = Some(i);
+                // A comparative modifies the preceding noun if any.
+                if let Some(n) = last_noun {
+                    nodes[i].head = n;
+                    nodes[i].label = DepLabel::AdjMod;
+                }
+            }
+            PosTag::Prep => {
+                pending_prep = Some(i);
+                // The preposition itself hangs off the last noun.
+                if let Some(n) = last_noun {
+                    nodes[i].head = n;
+                }
+            }
+            PosTag::Num | PosTag::Quoted => {
+                let site = last_op.or(last_noun).unwrap_or(root);
+                if i != site {
+                    nodes[i].head = site;
+                    nodes[i].label = DepLabel::Lit;
+                }
+                if let Some(p) = pending_prep.take() {
+                    nodes[i].prep = Some(tagged[p].token.norm.clone());
+                }
+            }
+            _ => {}
+        }
+    }
+    // Unconsumed modifiers attach to the last noun or root.
+    for m in pending_mods {
+        let site = last_noun.unwrap_or(root);
+        if m != site {
+            nodes[m].head = site;
+            nodes[m].label = DepLabel::AdjMod;
+        }
+    }
+    DepTree { nodes, root: Some(root) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pos::tag;
+    use crate::token::tokenize;
+
+    fn parse(s: &str) -> (Vec<TaggedToken>, DepTree) {
+        let tagged = tag(&tokenize(s));
+        let tree = parse_dependencies(&tagged);
+        (tagged, tree)
+    }
+
+    #[test]
+    fn root_is_main_verb() {
+        let (tagged, tree) = parse("show customers in California");
+        assert_eq!(tree.root, Some(0));
+        assert_eq!(tagged[0].norm(), "show");
+    }
+
+    #[test]
+    fn noun_attaches_across_preposition() {
+        let (tagged, tree) = parse("show customers in California");
+        let cal = tagged.iter().position(|t| t.norm() == "california").unwrap();
+        let cust = tagged.iter().position(|t| t.norm() == "customers").unwrap();
+        assert_eq!(tree.nodes[cal].head, cust);
+        assert_eq!(tree.nodes[cal].label, DepLabel::PrepMod);
+        assert_eq!(tree.nodes[cal].prep.as_deref(), Some("in"));
+    }
+
+    #[test]
+    fn adjective_attaches_forward() {
+        let (tagged, tree) = parse("largest order amount");
+        let largest = 0;
+        assert_eq!(tagged[largest].norm(), "largest");
+        // "largest" should attach to the noun "order" (next noun).
+        let order = tagged.iter().position(|t| t.norm() == "order").unwrap();
+        assert_eq!(tree.nodes[largest].head, order);
+        assert_eq!(tree.nodes[largest].label, DepLabel::AdjMod);
+    }
+
+    #[test]
+    fn literal_attaches_to_comparative() {
+        let (tagged, tree) = parse("customers with more than 5 orders");
+        let more = tagged.iter().position(|t| t.norm() == "more").unwrap();
+        let five = tagged.iter().position(|t| t.norm() == "5").unwrap();
+        assert_eq!(tree.nodes[five].head, more);
+        assert_eq!(tree.nodes[five].label, DepLabel::Lit);
+    }
+
+    #[test]
+    fn coordination_label() {
+        let (tagged, tree) = parse("show name and city of customers");
+        let city = tagged.iter().position(|t| t.norm() == "city").unwrap();
+        assert_eq!(tree.nodes[city].label, DepLabel::Coord);
+    }
+
+    #[test]
+    fn ancestors_terminate() {
+        let (_, tree) = parse("show total revenue by region for 2019");
+        for i in 0..tree.nodes.len() {
+            let anc = tree.ancestors(i);
+            assert!(anc.len() <= tree.nodes.len());
+        }
+    }
+
+    #[test]
+    fn dominates_relation() {
+        let (tagged, tree) = parse("show customers in California");
+        let cust = tagged.iter().position(|t| t.norm() == "customers").unwrap();
+        let cal = tagged.iter().position(|t| t.norm() == "california").unwrap();
+        assert!(tree.dominates(cust, cal));
+        assert!(!tree.dominates(cal, cust));
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree = parse_dependencies(&[]);
+        assert!(tree.root.is_none());
+        assert!(tree.nodes.is_empty());
+    }
+
+    #[test]
+    fn noun_only_root() {
+        let (_, tree) = parse("customers");
+        assert_eq!(tree.root, Some(0));
+        assert_eq!(tree.nodes[0].label, DepLabel::Root);
+    }
+}

@@ -1,0 +1,349 @@
+//! Part-of-speech tagging via lexicon lookup, suffix rules, and a small
+//! set of contextual repair rules (a Brill-tagger-style cascade).
+//!
+//! NLIDB interpreters need coarse tags: nouns become entity-mention
+//! candidates, adjectives/superlatives drive ORDER BY + LIMIT, numbers
+//! become literals, prepositions guide attachment.
+
+use crate::token::{Token, TokenKind};
+
+/// Coarse part-of-speech tags sufficient for query interpretation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PosTag {
+    /// Common or proper noun.
+    Noun,
+    /// Verb (any inflection).
+    Verb,
+    /// Adjective.
+    Adj,
+    /// Superlative adjective ("largest", "most").
+    Superlative,
+    /// Comparative adjective ("larger", "more").
+    Comparative,
+    /// Adverb.
+    Adv,
+    /// Determiner/article.
+    Det,
+    /// Preposition or subordinating conjunction.
+    Prep,
+    /// Coordinating conjunction ("and", "or").
+    Conj,
+    /// Pronoun.
+    Pron,
+    /// Wh-word ("which", "what", "how").
+    Wh,
+    /// Cardinal number.
+    Num,
+    /// Quoted literal value.
+    Quoted,
+    /// Punctuation or symbol.
+    Punct,
+    /// Negation marker ("not", "without", "except").
+    Neg,
+}
+
+/// A token paired with its tag.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaggedToken {
+    /// The underlying token.
+    pub token: Token,
+    /// Assigned part-of-speech tag.
+    pub tag: PosTag,
+}
+
+impl TaggedToken {
+    /// Shorthand for the normalized word form.
+    pub fn norm(&self) -> &str {
+        &self.token.norm
+    }
+}
+
+/// Closed-class lexicon: (word, tag).
+static LEXICON: &[(&str, PosTag)] = &[
+    ("the", PosTag::Det),
+    ("a", PosTag::Det),
+    ("an", PosTag::Det),
+    ("each", PosTag::Det),
+    ("every", PosTag::Det),
+    ("all", PosTag::Det),
+    ("any", PosTag::Det),
+    ("some", PosTag::Det),
+    ("no", PosTag::Neg),
+    ("not", PosTag::Neg),
+    ("without", PosTag::Neg),
+    ("except", PosTag::Neg),
+    ("excluding", PosTag::Neg),
+    ("never", PosTag::Neg),
+    ("of", PosTag::Prep),
+    ("in", PosTag::Prep),
+    ("on", PosTag::Prep),
+    ("at", PosTag::Prep),
+    ("by", PosTag::Prep),
+    ("per", PosTag::Prep),
+    ("for", PosTag::Prep),
+    ("from", PosTag::Prep),
+    ("to", PosTag::Prep),
+    ("with", PosTag::Prep),
+    ("between", PosTag::Prep),
+    ("during", PosTag::Prep),
+    ("before", PosTag::Prep),
+    ("after", PosTag::Prep),
+    ("since", PosTag::Prep),
+    ("above", PosTag::Prep),
+    ("below", PosTag::Prep),
+    ("over", PosTag::Prep),
+    ("under", PosTag::Prep),
+    ("than", PosTag::Prep),
+    ("across", PosTag::Prep),
+    ("within", PosTag::Prep),
+    ("and", PosTag::Conj),
+    ("or", PosTag::Conj),
+    ("but", PosTag::Conj),
+    ("i", PosTag::Pron),
+    ("me", PosTag::Pron),
+    ("we", PosTag::Pron),
+    ("us", PosTag::Pron),
+    ("you", PosTag::Pron),
+    ("it", PosTag::Pron),
+    ("they", PosTag::Pron),
+    ("them", PosTag::Pron),
+    ("those", PosTag::Pron),
+    ("these", PosTag::Pron),
+    ("that", PosTag::Pron),
+    ("this", PosTag::Pron),
+    ("their", PosTag::Pron),
+    ("its", PosTag::Pron),
+    ("what", PosTag::Wh),
+    ("which", PosTag::Wh),
+    ("who", PosTag::Wh),
+    ("whom", PosTag::Wh),
+    ("whose", PosTag::Wh),
+    ("when", PosTag::Wh),
+    ("where", PosTag::Wh),
+    ("why", PosTag::Wh),
+    ("how", PosTag::Wh),
+    ("is", PosTag::Verb),
+    ("are", PosTag::Verb),
+    ("was", PosTag::Verb),
+    ("were", PosTag::Verb),
+    ("be", PosTag::Verb),
+    ("been", PosTag::Verb),
+    ("has", PosTag::Verb),
+    ("have", PosTag::Verb),
+    ("had", PosTag::Verb),
+    ("do", PosTag::Verb),
+    ("does", PosTag::Verb),
+    ("did", PosTag::Verb),
+    ("show", PosTag::Verb),
+    ("list", PosTag::Verb),
+    ("display", PosTag::Verb),
+    ("give", PosTag::Verb),
+    ("find", PosTag::Verb),
+    ("get", PosTag::Verb),
+    ("tell", PosTag::Verb),
+    ("count", PosTag::Verb),
+    ("return", PosTag::Verb),
+    ("compare", PosTag::Verb),
+    ("rank", PosTag::Verb),
+    ("sort", PosTag::Verb),
+    ("order", PosTag::Verb),
+    ("group", PosTag::Verb),
+    ("filter", PosTag::Verb),
+    ("more", PosTag::Comparative),
+    ("less", PosTag::Comparative),
+    ("fewer", PosTag::Comparative),
+    ("greater", PosTag::Comparative),
+    ("higher", PosTag::Comparative),
+    ("lower", PosTag::Comparative),
+    ("larger", PosTag::Comparative),
+    ("smaller", PosTag::Comparative),
+    ("older", PosTag::Comparative),
+    ("newer", PosTag::Comparative),
+    ("earlier", PosTag::Comparative),
+    ("later", PosTag::Comparative),
+    ("most", PosTag::Superlative),
+    ("least", PosTag::Superlative),
+    ("best", PosTag::Superlative),
+    ("worst", PosTag::Superlative),
+    ("top", PosTag::Superlative),
+    ("bottom", PosTag::Superlative),
+    ("highest", PosTag::Superlative),
+    ("lowest", PosTag::Superlative),
+    ("largest", PosTag::Superlative),
+    ("smallest", PosTag::Superlative),
+    ("biggest", PosTag::Superlative),
+    ("maximum", PosTag::Superlative),
+    ("minimum", PosTag::Superlative),
+    ("latest", PosTag::Superlative),
+    ("earliest", PosTag::Superlative),
+    ("newest", PosTag::Superlative),
+    ("oldest", PosTag::Superlative),
+    ("very", PosTag::Adv),
+    ("also", PosTag::Adv),
+    ("only", PosTag::Adv),
+    ("just", PosTag::Adv),
+    ("too", PosTag::Adv),
+    ("respectively", PosTag::Adv),
+    ("average", PosTag::Adj),
+    ("total", PosTag::Adj),
+    ("overall", PosTag::Adj),
+    ("distinct", PosTag::Adj),
+    ("unique", PosTag::Adj),
+    ("different", PosTag::Adj),
+];
+
+fn lexicon_lookup(word: &str) -> Option<PosTag> {
+    LEXICON.iter().find(|(w, _)| *w == word).map(|(_, t)| *t)
+}
+
+/// Suffix-based fallback for open-class words.
+fn suffix_tag(word: &str) -> PosTag {
+    if word.ends_with("est") && word.len() > 4 {
+        PosTag::Superlative
+    } else if word.ends_with("er") && word.len() > 4 {
+        // "customer", "number" are nouns; heuristically require a known
+        // adjectival base to call it comparative — default to Noun.
+        PosTag::Noun
+    } else if word.ends_with("ly") && word.len() > 3 {
+        PosTag::Adv
+    } else if (word.ends_with("ing") || word.ends_with("ed")) && word.len() > 4 {
+        PosTag::Verb
+    } else if word.ends_with("ous")
+        || word.ends_with("ful")
+        || word.ends_with("ive")
+        || word.ends_with("able")
+        || word.ends_with("al") && word.len() > 5
+    {
+        PosTag::Adj
+    } else {
+        PosTag::Noun
+    }
+}
+
+/// Tag a token stream.
+///
+/// Pipeline: closed-class lexicon → suffix rules → contextual repairs
+/// (e.g. a `Verb` directly after a `Det` is re-tagged `Noun`:
+/// "the count of orders").
+///
+/// ```
+/// use nlidb_nlp::{tokenize, pos::{tag, PosTag}};
+/// let t = tag(&tokenize("show the largest order"));
+/// assert_eq!(t[2].tag, PosTag::Superlative);
+/// assert_eq!(t[3].tag, PosTag::Noun);
+/// ```
+pub fn tag(tokens: &[Token]) -> Vec<TaggedToken> {
+    let mut out: Vec<TaggedToken> = tokens
+        .iter()
+        .map(|t| {
+            let tag = match t.kind {
+                TokenKind::Number => PosTag::Num,
+                TokenKind::Quoted => PosTag::Quoted,
+                TokenKind::Punct => PosTag::Punct,
+                TokenKind::Word => lexicon_lookup(&t.norm).unwrap_or_else(|| suffix_tag(&t.norm)),
+            };
+            TaggedToken { token: t.clone(), tag }
+        })
+        .collect();
+
+    // Contextual repair rules, applied in one left-to-right pass.
+    for i in 0..out.len() {
+        // Rule 1: Det + Verb → Det + Noun ("the count", "the order").
+        if i > 0 && out[i].tag == PosTag::Verb && out[i - 1].tag == PosTag::Det {
+            out[i].tag = PosTag::Noun;
+        }
+        // Rule 2: Prep + Verb → Prep + Noun ("by order", "of count").
+        if i > 0 && out[i].tag == PosTag::Verb && out[i - 1].tag == PosTag::Prep {
+            out[i].tag = PosTag::Noun;
+        }
+        // Rule 3: sentence-initial Verb stays a verb (imperative), but a
+        // Verb directly before a Prep that is not utterance-initial and
+        // follows a Noun is likely a noun ("orders from Canada" after
+        // "show" is handled by rule 4 below instead).
+        // Rule 4: Noun + Verb(+s) + Noun keeps Verb (relationship verb).
+        // Rule 5: "order/group/sort/rank/count" following a noun and
+        // followed by "by" is a verb; otherwise noun.
+        if out[i].tag == PosTag::Verb
+            && matches!(out[i].norm(), "order" | "group" | "sort" | "rank" | "count")
+        {
+            let followed_by_by = out.get(i + 1).map(|n| n.norm() == "by").unwrap_or(false);
+            let first = i == 0;
+            if !followed_by_by && !first {
+                out[i].tag = PosTag::Noun;
+            }
+        }
+        // Rule 6: "more/less/fewer … than" stays Comparative; a bare
+        // "more" before a noun acts as a determiner-ish quantifier, keep.
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::tokenize;
+
+    fn tags(s: &str) -> Vec<PosTag> {
+        tag(&tokenize(s)).into_iter().map(|t| t.tag).collect()
+    }
+
+    #[test]
+    fn imperative_verb_kept() {
+        let t = tags("show customers");
+        assert_eq!(t[0], PosTag::Verb);
+        assert_eq!(t[1], PosTag::Noun);
+    }
+
+    #[test]
+    fn det_verb_repair() {
+        let t = tag(&tokenize("the count of orders"));
+        assert_eq!(t[1].tag, PosTag::Noun, "'count' after 'the' is a noun");
+    }
+
+    #[test]
+    fn order_by_is_verbish() {
+        let t = tag(&tokenize("customers order by name"));
+        assert_eq!(t[1].tag, PosTag::Verb);
+    }
+
+    #[test]
+    fn order_as_noun() {
+        let t = tag(&tokenize("show orders from Canada"));
+        // "orders" is suffix-tagged noun (plural, not in lexicon).
+        assert_eq!(t[1].tag, PosTag::Noun);
+    }
+
+    #[test]
+    fn superlative_and_comparative() {
+        let t = tags("largest revenue more than 10");
+        assert_eq!(t[0], PosTag::Superlative);
+        assert_eq!(t[2], PosTag::Comparative);
+        assert_eq!(t[4], PosTag::Num);
+    }
+
+    #[test]
+    fn suffix_superlative() {
+        let t = tags("cheapest product");
+        assert_eq!(t[0], PosTag::Superlative);
+    }
+
+    #[test]
+    fn negation_words() {
+        let t = tags("customers without orders");
+        assert_eq!(t[1], PosTag::Neg);
+    }
+
+    #[test]
+    fn wh_words() {
+        let t = tags("which region has the highest sales");
+        assert_eq!(t[0], PosTag::Wh);
+        assert_eq!(t[4], PosTag::Superlative);
+    }
+
+    #[test]
+    fn quoted_and_punct() {
+        let t = tags("city = 'Austin'");
+        assert_eq!(t[1], PosTag::Punct);
+        assert_eq!(t[2], PosTag::Quoted);
+    }
+}

@@ -1,0 +1,185 @@
+//! Automatic ontology generation from a relational catalog — the
+//! Jammi-et-al. tooling path: "the ontology and the mappings to the
+//! underlying data can be either provided manually, or generated
+//! automatically from the database information".
+
+use nlidb_engine::{ColumnType, Database, TableSchema};
+
+use crate::model::{Concept, DataProperty, ObjectProperty, Ontology, PropertyRole};
+
+/// Singularize a table name heuristically (`customers` → `customer`,
+/// `categories` → `category`, `status` stays).
+pub fn singularize(name: &str) -> String {
+    if let Some(stem) = name.strip_suffix("ies") {
+        return format!("{stem}y");
+    }
+    if let Some(stem) = name.strip_suffix("sses") {
+        return format!("{stem}ss");
+    }
+    if name.ends_with("ss") || name.ends_with("us") || name.ends_with("is") {
+        return name.to_string();
+    }
+    if let Some(stem) = name.strip_suffix('s') {
+        return stem.to_string();
+    }
+    name.to_string()
+}
+
+/// Turn a snake_case column name into a space-separated label,
+/// stripping `_id` suffixes for identifier columns.
+pub fn labelize(column: &str) -> String {
+    column.trim_end_matches("_id").replace('_', " ")
+}
+
+fn role_of(schema: &TableSchema, column: &str, ty: ColumnType) -> PropertyRole {
+    let is_pk = schema.primary_key.as_deref() == Some(column);
+    let is_fk = schema.foreign_keys.iter().any(|f| f.column == column);
+    if is_pk || is_fk || column.ends_with("_id") || column == "id" {
+        return PropertyRole::Identifier;
+    }
+    match ty {
+        ColumnType::Int | ColumnType::Float => PropertyRole::Measure,
+        ColumnType::Date => PropertyRole::Temporal,
+        ColumnType::Bool => PropertyRole::Categorical,
+        ColumnType::Text => {
+            if column == "name" || column.ends_with("_name") || column == "title" {
+                PropertyRole::Descriptor
+            } else {
+                PropertyRole::Categorical
+            }
+        }
+    }
+}
+
+/// Generate a domain ontology from the database catalog.
+///
+/// * Each table becomes a concept labelled by the singularized table
+///   name.
+/// * Each column becomes a data property; the role is derived from key
+///   metadata and the column type.
+/// * Each foreign key becomes an object property from the owning
+///   concept to the referenced concept, labelled by the FK column with
+///   `_id` stripped.
+pub fn generate_ontology(db: &Database) -> Ontology {
+    let mut onto = Ontology::default();
+    for table in db.tables() {
+        let label = singularize(&table.schema.name);
+        onto.concepts.push(Concept {
+            label: label.clone(),
+            table: table.schema.name.clone(),
+            primary_key: table.schema.primary_key.clone(),
+        });
+        for col in &table.schema.columns {
+            onto.data_properties.push(DataProperty {
+                concept: label.clone(),
+                label: labelize(&col.name),
+                column: col.name.clone(),
+                role: role_of(&table.schema, &col.name, col.ty),
+            });
+        }
+    }
+    for table in db.tables() {
+        let from = singularize(&table.schema.name);
+        for fk in &table.schema.foreign_keys {
+            let to = singularize(&fk.references_table);
+            onto.object_properties.push(ObjectProperty {
+                from: from.clone(),
+                to,
+                from_column: fk.column.clone(),
+                to_column: fk.references_column.clone(),
+                label: labelize(&fk.column),
+            });
+        }
+    }
+    onto
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nlidb_engine::{ColumnType, TableSchema};
+
+    fn sample_db() -> Database {
+        let mut db = Database::new("shop");
+        db.create_table(
+            TableSchema::new("customers")
+                .column("id", ColumnType::Int)
+                .column("name", ColumnType::Text)
+                .column("city", ColumnType::Text)
+                .column("signup_date", ColumnType::Date)
+                .primary_key("id"),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new("orders")
+                .column("id", ColumnType::Int)
+                .column("customer_id", ColumnType::Int)
+                .column("amount", ColumnType::Float)
+                .column("shipped", ColumnType::Bool)
+                .primary_key("id")
+                .foreign_key("customer_id", "customers", "id"),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn singularization() {
+        assert_eq!(singularize("customers"), "customer");
+        assert_eq!(singularize("categories"), "category");
+        assert_eq!(singularize("addresses"), "address");
+        assert_eq!(singularize("status"), "status");
+        assert_eq!(singularize("person"), "person");
+    }
+
+    #[test]
+    fn labelization() {
+        assert_eq!(labelize("signup_date"), "signup date");
+        assert_eq!(labelize("customer_id"), "customer");
+        assert_eq!(labelize("name"), "name");
+    }
+
+    #[test]
+    fn concepts_from_tables() {
+        let onto = generate_ontology(&sample_db());
+        assert_eq!(onto.concepts.len(), 2);
+        assert_eq!(onto.concept("customer").unwrap().table, "customers");
+        assert_eq!(onto.concept("order").unwrap().primary_key.as_deref(), Some("id"));
+    }
+
+    #[test]
+    fn property_roles_inferred() {
+        let onto = generate_ontology(&sample_db());
+        assert_eq!(onto.property("customer", "name").unwrap().role, PropertyRole::Descriptor);
+        assert_eq!(
+            onto.property("customer", "city").unwrap().role,
+            PropertyRole::Categorical
+        );
+        assert_eq!(
+            onto.property("customer", "signup date").unwrap().role,
+            PropertyRole::Temporal
+        );
+        assert_eq!(onto.property("order", "amount").unwrap().role, PropertyRole::Measure);
+        assert_eq!(onto.property("order", "id").unwrap().role, PropertyRole::Identifier);
+        // FK column is an identifier, not a measure, despite being Int.
+        assert_eq!(
+            onto.property("order", "customer").unwrap().role,
+            PropertyRole::Identifier
+        );
+        assert_eq!(
+            onto.property("order", "shipped").unwrap().role,
+            PropertyRole::Categorical
+        );
+    }
+
+    #[test]
+    fn relationships_from_fks() {
+        let onto = generate_ontology(&sample_db());
+        assert_eq!(onto.object_properties.len(), 1);
+        let r = &onto.object_properties[0];
+        assert_eq!((r.from.as_str(), r.to.as_str()), ("order", "customer"));
+        assert_eq!(r.from_column, "customer_id");
+        assert_eq!(r.to_column, "id");
+        assert_eq!(r.label, "customer");
+    }
+}

@@ -1,0 +1,171 @@
+//! The ontology model: concepts, data properties, object properties.
+
+/// Semantic role of a data property, driving interpretation defaults:
+/// measures aggregate, temporals take date ranges, categoricals group
+/// and filter, identifiers join.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PropertyRole {
+    /// Primary/foreign key material.
+    Identifier,
+    /// Human-readable name of the concept instance.
+    Descriptor,
+    /// Numeric quantity that aggregates (SUM/AVG…).
+    Measure,
+    /// Date/time attribute.
+    Temporal,
+    /// Discrete attribute for grouping and filtering.
+    Categorical,
+}
+
+/// A class of things in the domain, bound to one base table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Concept {
+    /// Canonical label (singular, lowercased, e.g. `customer`).
+    pub label: String,
+    /// Backing table name.
+    pub table: String,
+    /// Primary key column, if declared.
+    pub primary_key: Option<String>,
+}
+
+/// An attribute of a concept, bound to one column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataProperty {
+    /// Owning concept label.
+    pub concept: String,
+    /// Property label (lowercased words, e.g. `order date`).
+    pub label: String,
+    /// Backing column name.
+    pub column: String,
+    /// Semantic role.
+    pub role: PropertyRole,
+}
+
+/// A relationship between two concepts, bound to a foreign key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectProperty {
+    /// Source concept (the FK owner).
+    pub from: String,
+    /// Target concept (the referenced table's concept).
+    pub to: String,
+    /// FK column on the source table.
+    pub from_column: String,
+    /// Referenced column on the target table.
+    pub to_column: String,
+    /// Relationship label (e.g. `placed by`).
+    pub label: String,
+}
+
+/// A domain ontology: the semantic abstraction ATHENA queries against.
+#[derive(Debug, Clone, Default)]
+pub struct Ontology {
+    /// All concepts.
+    pub concepts: Vec<Concept>,
+    /// All data properties.
+    pub data_properties: Vec<DataProperty>,
+    /// All object properties (directed: FK owner → referenced).
+    pub object_properties: Vec<ObjectProperty>,
+}
+
+impl Ontology {
+    /// Look up a concept by label.
+    pub fn concept(&self, label: &str) -> Option<&Concept> {
+        self.concepts.iter().find(|c| c.label == label)
+    }
+
+    /// Look up a concept by its backing table.
+    pub fn concept_for_table(&self, table: &str) -> Option<&Concept> {
+        self.concepts.iter().find(|c| c.table == table)
+    }
+
+    /// Data properties of one concept.
+    pub fn properties_of(&self, concept: &str) -> Vec<&DataProperty> {
+        self.data_properties.iter().filter(|p| p.concept == concept).collect()
+    }
+
+    /// The descriptor (name-like) property of a concept, if any.
+    pub fn descriptor_of(&self, concept: &str) -> Option<&DataProperty> {
+        self.data_properties
+            .iter()
+            .find(|p| p.concept == concept && p.role == PropertyRole::Descriptor)
+    }
+
+    /// All measure properties of a concept.
+    pub fn measures_of(&self, concept: &str) -> Vec<&DataProperty> {
+        self.data_properties
+            .iter()
+            .filter(|p| p.concept == concept && p.role == PropertyRole::Measure)
+            .collect()
+    }
+
+    /// Relationships touching a concept (either direction).
+    pub fn relationships_of(&self, concept: &str) -> Vec<&ObjectProperty> {
+        self.object_properties
+            .iter()
+            .filter(|r| r.from == concept || r.to == concept)
+            .collect()
+    }
+
+    /// Find a data property by `(concept, label)`.
+    pub fn property(&self, concept: &str, label: &str) -> Option<&DataProperty> {
+        self.data_properties
+            .iter()
+            .find(|p| p.concept == concept && p.label == label)
+    }
+
+    /// Total element count (diagnostic; used in bootstrap reports).
+    pub fn size(&self) -> usize {
+        self.concepts.len() + self.data_properties.len() + self.object_properties.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Ontology {
+        Ontology {
+            concepts: vec![
+                Concept { label: "customer".into(), table: "customers".into(), primary_key: Some("id".into()) },
+                Concept { label: "order".into(), table: "orders".into(), primary_key: Some("id".into()) },
+            ],
+            data_properties: vec![
+                DataProperty {
+                    concept: "customer".into(),
+                    label: "name".into(),
+                    column: "name".into(),
+                    role: PropertyRole::Descriptor,
+                },
+                DataProperty {
+                    concept: "order".into(),
+                    label: "amount".into(),
+                    column: "amount".into(),
+                    role: PropertyRole::Measure,
+                },
+            ],
+            object_properties: vec![ObjectProperty {
+                from: "order".into(),
+                to: "customer".into(),
+                from_column: "customer_id".into(),
+                to_column: "id".into(),
+                label: "customer".into(),
+            }],
+        }
+    }
+
+    #[test]
+    fn lookups() {
+        let o = tiny();
+        assert_eq!(o.concept("customer").unwrap().table, "customers");
+        assert_eq!(o.concept_for_table("orders").unwrap().label, "order");
+        assert!(o.concept("ghost").is_none());
+        assert_eq!(o.properties_of("customer").len(), 1);
+        assert_eq!(o.descriptor_of("customer").unwrap().column, "name");
+        assert!(o.descriptor_of("order").is_none());
+        assert_eq!(o.measures_of("order").len(), 1);
+        assert_eq!(o.relationships_of("customer").len(), 1);
+        assert_eq!(o.relationships_of("order").len(), 1);
+        assert_eq!(o.size(), 5);
+        assert!(o.property("order", "amount").is_some());
+    }
+}

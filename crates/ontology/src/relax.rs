@@ -1,0 +1,228 @@
+//! Vocabulary matching of user terms against ontology labels, with
+//! lexicon-driven relaxation (synonyms, stems, hypernyms, fuzzy) — the
+//! technique of Lei et al. for bridging colloquial user vocabulary and
+//! curated KB terms.
+
+use nlidb_nlp::{mention_score, porter_stem, Lexicon};
+
+use crate::model::Ontology;
+
+/// What a matched term refers to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TermTarget {
+    /// A concept (table).
+    Concept {
+        /// Concept label.
+        concept: String,
+    },
+    /// A data property (column) of a concept.
+    Property {
+        /// Owning concept label.
+        concept: String,
+        /// Property label.
+        property: String,
+    },
+}
+
+/// A scored match of a user term to an ontology element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TermMatch {
+    /// The matched element.
+    pub target: TermTarget,
+    /// Confidence in `[0, 1]`.
+    pub score: f64,
+    /// Which mechanism produced the match (for explanations).
+    pub mechanism: MatchMechanism,
+}
+
+/// How a term matched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchMechanism {
+    /// Identical label.
+    Exact,
+    /// Equal after Porter stemming.
+    Stem,
+    /// Lexicon synonym ring.
+    Synonym,
+    /// Lexicon hypernym relation.
+    Hypernym,
+    /// Character/token-level fuzzy similarity.
+    Fuzzy,
+}
+
+fn score_label(term: &str, label: &str, lexicon: &Lexicon) -> Option<(f64, MatchMechanism)> {
+    if term == label {
+        return Some((1.0, MatchMechanism::Exact));
+    }
+    let stem_eq = |a: &str, b: &str| {
+        let sa: Vec<String> = a.split_whitespace().map(porter_stem).collect();
+        let sb: Vec<String> = b.split_whitespace().map(porter_stem).collect();
+        sa == sb
+    };
+    if stem_eq(term, label) {
+        return Some((0.97, MatchMechanism::Stem));
+    }
+    // Single-word synonym / hypernym checks (multi-word labels compare
+    // their last word, the lexical head: "order date" heads on "date").
+    let head = |s: &str| s.split_whitespace().last().unwrap_or(s).to_string();
+    if lexicon.are_synonyms(term, label) || lexicon.are_synonyms(&head(term), &head(label)) {
+        // For multi-word labels require the modifier words to overlap too.
+        let tw: Vec<&str> = term.split_whitespace().collect();
+        let lw: Vec<&str> = label.split_whitespace().collect();
+        if tw.len() == 1 && lw.len() == 1 {
+            return Some((0.92, MatchMechanism::Synonym));
+        }
+        let mods_match = tw[..tw.len() - 1]
+            .iter()
+            .all(|m| lw[..lw.len() - 1].iter().any(|l| lexicon.are_synonyms(m, l)));
+        if mods_match && tw.len() == lw.len() {
+            return Some((0.9, MatchMechanism::Synonym));
+        }
+    }
+    if lexicon
+        .hypernym_chain(term)
+        .iter()
+        .any(|h| *h == label || lexicon.are_synonyms(h, label))
+    {
+        return Some((0.75, MatchMechanism::Hypernym));
+    }
+    let fuzzy = mention_score(term, label);
+    if fuzzy >= 0.85 {
+        return Some((fuzzy * 0.9, MatchMechanism::Fuzzy));
+    }
+    None
+}
+
+/// Match a (lowercased) user term against every concept and property
+/// label in the ontology; results sorted by descending score.
+///
+/// Mechanism cascade: exact (1.0) → stem (0.97) → synonym (0.90–0.92)
+/// → hypernym (0.75) → fuzzy (≥0.85 surface similarity, scaled).
+pub fn match_term(term: &str, onto: &Ontology, lexicon: &Lexicon) -> Vec<TermMatch> {
+    let term = term.to_lowercase();
+    let mut out = Vec::new();
+    for c in &onto.concepts {
+        if let Some((score, mechanism)) = score_label(&term, &c.label, lexicon) {
+            out.push(TermMatch {
+                target: TermTarget::Concept { concept: c.label.clone() },
+                score,
+                mechanism,
+            });
+        }
+    }
+    for p in &onto.data_properties {
+        if let Some((score, mechanism)) = score_label(&term, &p.label, lexicon) {
+            out.push(TermMatch {
+                target: TermTarget::Property {
+                    concept: p.concept.clone(),
+                    property: p.label.clone(),
+                },
+                // Properties score slightly below equal-scoring concepts
+                // so concept mentions win ties deterministically.
+                score: score - 0.001,
+                mechanism,
+            });
+        }
+    }
+    out.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Concept, DataProperty, PropertyRole};
+
+    fn onto() -> Ontology {
+        Ontology {
+            concepts: vec![Concept {
+                label: "customer".into(),
+                table: "customers".into(),
+                primary_key: Some("id".into()),
+            }],
+            data_properties: vec![
+                DataProperty {
+                    concept: "customer".into(),
+                    label: "city".into(),
+                    column: "city".into(),
+                    role: PropertyRole::Categorical,
+                },
+                DataProperty {
+                    concept: "customer".into(),
+                    label: "signup date".into(),
+                    column: "signup_date".into(),
+                    role: PropertyRole::Temporal,
+                },
+                DataProperty {
+                    concept: "customer".into(),
+                    label: "revenue".into(),
+                    column: "revenue".into(),
+                    role: PropertyRole::Measure,
+                },
+            ],
+            object_properties: vec![],
+        }
+    }
+
+    fn lex() -> Lexicon {
+        Lexicon::business_default()
+    }
+
+    #[test]
+    fn exact_match_wins() {
+        let m = match_term("customer", &onto(), &lex());
+        assert_eq!(m[0].score, 1.0);
+        assert_eq!(m[0].mechanism, MatchMechanism::Exact);
+        assert_eq!(m[0].target, TermTarget::Concept { concept: "customer".into() });
+    }
+
+    #[test]
+    fn plural_matches_by_stem() {
+        let m = match_term("customers", &onto(), &lex());
+        assert!(!m.is_empty());
+        assert_eq!(m[0].mechanism, MatchMechanism::Stem);
+        assert!(m[0].score > 0.95);
+    }
+
+    #[test]
+    fn synonym_matches() {
+        let m = match_term("clients", &onto(), &lex());
+        assert!(!m.is_empty(), "clients should reach customer via synonym ring");
+        assert!(matches!(m[0].target, TermTarget::Concept { .. }));
+        let m = match_term("sales", &onto(), &lex());
+        assert!(m
+            .iter()
+            .any(|m| m.target == TermTarget::Property { concept: "customer".into(), property: "revenue".into() }));
+    }
+
+    #[test]
+    fn fuzzy_match_tolerates_typo() {
+        let m = match_term("custmer", &onto(), &lex());
+        assert!(!m.is_empty());
+        assert_eq!(m[0].mechanism, MatchMechanism::Fuzzy);
+    }
+
+    #[test]
+    fn unrelated_term_no_match() {
+        let m = match_term("zebra", &onto(), &lex());
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn multiword_head_synonym() {
+        // "signup day" ~ "signup date" via date/day synonyms.
+        let m = match_term("signup day", &onto(), &lex());
+        assert!(m.iter().any(|m| matches!(
+            &m.target,
+            TermTarget::Property { property, .. } if property == "signup date"
+        )));
+    }
+
+    #[test]
+    fn results_sorted_by_score() {
+        let m = match_term("customer", &onto(), &lex());
+        for w in m.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+}

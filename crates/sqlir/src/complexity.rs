@@ -1,0 +1,159 @@
+//! The survey's §3 query-complexity ladder.
+//!
+//! > "The query complexity can be categorized into 4 groups: simple
+//! > selection queries on a single table; aggregation queries on a
+//! > single table involving GROUP BY and ORDER BY; queries involving
+//! > multiple tables (JOIN); and complex Business Intelligence (BI) or
+//! > analytic queries with nested sub-queries."
+//!
+//! Experiment E1 classifies every generated and gold query with
+//! [`classify`] and reports per-class execution accuracy for each
+//! interpreter family, reproducing the paper's capability matrix.
+
+use crate::ast::Query;
+
+/// The four complexity rungs of §3, ordered simplest to hardest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ComplexityClass {
+    /// Simple selection on a single table.
+    SingleTableSelection,
+    /// Aggregation / GROUP BY / ORDER BY on a single table.
+    SingleTableAggregation,
+    /// Multiple tables joined.
+    MultiTableJoin,
+    /// Nested sub-queries (BI / analytic).
+    NestedSubquery,
+}
+
+impl ComplexityClass {
+    /// Short label used in experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ComplexityClass::SingleTableSelection => "select",
+            ComplexityClass::SingleTableAggregation => "aggregate",
+            ComplexityClass::MultiTableJoin => "join",
+            ComplexityClass::NestedSubquery => "nested",
+        }
+    }
+
+    /// All classes in ladder order.
+    pub fn all() -> [ComplexityClass; 4] {
+        [
+            ComplexityClass::SingleTableSelection,
+            ComplexityClass::SingleTableAggregation,
+            ComplexityClass::MultiTableJoin,
+            ComplexityClass::NestedSubquery,
+        ]
+    }
+}
+
+impl std::fmt::Display for ComplexityClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Classify a query on the §3 ladder.
+///
+/// Precedence (hardest wins): nesting anywhere → `NestedSubquery`;
+/// more than one base table at top level → `MultiTableJoin`;
+/// aggregation / GROUP BY / HAVING / ORDER BY → `SingleTableAggregation`;
+/// otherwise `SingleTableSelection`.
+///
+/// ```
+/// use nlidb_sqlir::{parse_query, classify, ComplexityClass};
+/// let q = parse_query("SELECT region, SUM(x) FROM s GROUP BY region").unwrap();
+/// assert_eq!(classify(&q), ComplexityClass::SingleTableAggregation);
+/// ```
+pub fn classify(query: &Query) -> ComplexityClass {
+    if query.has_subquery() {
+        return ComplexityClass::NestedSubquery;
+    }
+    if query.table_count() > 1 {
+        return ComplexityClass::MultiTableJoin;
+    }
+    if query.has_aggregation() || !query.order_by.is_empty() {
+        return ComplexityClass::SingleTableAggregation;
+    }
+    ComplexityClass::SingleTableSelection
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn class_of(sql: &str) -> ComplexityClass {
+        classify(&parse_query(sql).unwrap())
+    }
+
+    #[test]
+    fn selection_class() {
+        assert_eq!(
+            class_of("SELECT * FROM customers WHERE city = 'Austin'"),
+            ComplexityClass::SingleTableSelection
+        );
+        assert_eq!(
+            class_of("SELECT name, age FROM customers WHERE age > 30 AND city = 'NYC'"),
+            ComplexityClass::SingleTableSelection
+        );
+    }
+
+    #[test]
+    fn aggregation_class() {
+        assert_eq!(
+            class_of("SELECT COUNT(*) FROM orders"),
+            ComplexityClass::SingleTableAggregation
+        );
+        assert_eq!(
+            class_of("SELECT region, SUM(rev) FROM s GROUP BY region"),
+            ComplexityClass::SingleTableAggregation
+        );
+        // Paper groups ORDER BY with the aggregation rung.
+        assert_eq!(
+            class_of("SELECT name FROM t ORDER BY name ASC"),
+            ComplexityClass::SingleTableAggregation
+        );
+    }
+
+    #[test]
+    fn join_class() {
+        assert_eq!(
+            class_of("SELECT c.name FROM customers AS c JOIN orders AS o ON c.id = o.cid"),
+            ComplexityClass::MultiTableJoin
+        );
+        // Join + aggregation is still the join rung (harder wins).
+        assert_eq!(
+            class_of(
+                "SELECT c.name, COUNT(*) FROM customers AS c \
+                 JOIN orders AS o ON c.id = o.cid GROUP BY c.name"
+            ),
+            ComplexityClass::MultiTableJoin
+        );
+    }
+
+    #[test]
+    fn nested_class() {
+        assert_eq!(
+            class_of("SELECT * FROM c WHERE id IN (SELECT cid FROM o)"),
+            ComplexityClass::NestedSubquery
+        );
+        assert_eq!(
+            class_of("SELECT * FROM p WHERE price > (SELECT AVG(price) FROM p)"),
+            ComplexityClass::NestedSubquery
+        );
+        assert_eq!(
+            class_of("SELECT * FROM (SELECT a FROM t) AS d"),
+            ComplexityClass::NestedSubquery
+        );
+    }
+
+    #[test]
+    fn ladder_is_ordered() {
+        assert!(ComplexityClass::SingleTableSelection < ComplexityClass::NestedSubquery);
+        let all = ComplexityClass::all();
+        let mut sorted = all;
+        sorted.sort();
+        assert_eq!(all, sorted);
+    }
+}

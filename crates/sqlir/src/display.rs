@@ -1,0 +1,417 @@
+//! Deterministic SQL rendering.
+//!
+//! The renderer is the inverse of [`crate::parser`]: `parse(render(q))
+//! == q` for every constructible query (property-tested in the parser
+//! module). Keywords are upper-case, identifiers pass through
+//! unquoted, strings use single quotes with `''` escaping.
+
+use std::fmt;
+
+use crate::ast::{
+    BinOp, Expr, Join, JoinKind, Literal, OrderByItem, Query, SelectItem, TableSource, UnaryOp,
+};
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Int(i) => write!(f, "{i}"),
+            Literal::Float(x) => {
+                if x.fract() == 0.0 && x.is_finite() && x.abs() < 1e15 {
+                    // Keep a decimal point so the parser round-trips the type.
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Literal::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Literal::Bool(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+            Literal::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Eq => "=",
+            BinOp::NotEq => "<>",
+            BinOp::Lt => "<",
+            BinOp::LtEq => "<=",
+            BinOp::Gt => ">",
+            BinOp::GtEq => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+            BinOp::Plus => "+",
+            BinOp::Minus => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Operator precedence for parenthesization (higher binds tighter).
+fn precedence(op: BinOp) -> u8 {
+    match op {
+        BinOp::Or => 1,
+        BinOp::And => 2,
+        BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => 3,
+        BinOp::Plus | BinOp::Minus => 4,
+        BinOp::Mul | BinOp::Div => 5,
+    }
+}
+
+/// Render `e`, parenthesizing when its top-level operator binds looser
+/// than `parent_prec`.
+fn fmt_expr(e: &Expr, parent_prec: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    // Postfix predicate forms (IN / BETWEEN / LIKE / IS NULL) bind at
+    // comparison level; parenthesize them under tighter contexts so the
+    // parser reattaches them to the same operand.
+    let is_postfix_pred = matches!(
+        e,
+        Expr::InList { .. }
+            | Expr::InSubquery { .. }
+            | Expr::Between { .. }
+            | Expr::Like { .. }
+            | Expr::IsNull { .. }
+    );
+    if is_postfix_pred && parent_prec > 3 {
+        f.write_str("(")?;
+        fmt_expr(e, 0, f)?;
+        return f.write_str(")");
+    }
+    match e {
+        Expr::Column(c) => match &c.table {
+            Some(t) => write!(f, "{t}.{}", c.column),
+            None => write!(f, "{}", c.column),
+        },
+        Expr::Literal(l) => write!(f, "{l}"),
+        Expr::Binary { left, op, right } => {
+            let prec = precedence(*op);
+            let need_parens = prec < parent_prec;
+            if need_parens {
+                f.write_str("(")?;
+            }
+            fmt_expr(left, prec, f)?;
+            write!(f, " {op} ")?;
+            // Right side gets prec+1 so same-precedence chains render
+            // left-associatively without parens but reparse identically.
+            fmt_expr(right, prec + 1, f)?;
+            if need_parens {
+                f.write_str(")")?;
+            }
+            Ok(())
+        }
+        Expr::Unary { op, expr } => match op {
+            UnaryOp::Not => {
+                f.write_str("NOT ")?;
+                fmt_expr(expr, 6, f)
+            }
+            UnaryOp::Neg => {
+                f.write_str("-")?;
+                fmt_expr(expr, 6, f)
+            }
+        },
+        Expr::Agg { func, arg, distinct } => {
+            write!(f, "{}(", func.name())?;
+            if *distinct {
+                f.write_str("DISTINCT ")?;
+            }
+            match arg {
+                Some(a) => fmt_expr(a, 0, f)?,
+                None => f.write_str("*")?,
+            }
+            f.write_str(")")
+        }
+        Expr::InList { expr, list, negated } => {
+            fmt_expr(expr, 6, f)?;
+            write!(f, " {}IN (", if *negated { "NOT " } else { "" })?;
+            for (i, item) in list.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                fmt_expr(item, 0, f)?;
+            }
+            f.write_str(")")
+        }
+        Expr::InSubquery { expr, subquery, negated } => {
+            fmt_expr(expr, 6, f)?;
+            write!(f, " {}IN ({subquery})", if *negated { "NOT " } else { "" })
+        }
+        Expr::Exists { subquery, negated } => {
+            write!(f, "{}EXISTS ({subquery})", if *negated { "NOT " } else { "" })
+        }
+        Expr::ScalarSubquery(q) => write!(f, "({q})"),
+        Expr::Between { expr, low, high, negated } => {
+            fmt_expr(expr, 6, f)?;
+            write!(f, " {}BETWEEN ", if *negated { "NOT " } else { "" })?;
+            fmt_expr(low, 4, f)?;
+            f.write_str(" AND ")?;
+            fmt_expr(high, 4, f)
+        }
+        Expr::Like { expr, pattern, negated } => {
+            fmt_expr(expr, 6, f)?;
+            write!(
+                f,
+                " {}LIKE '{}'",
+                if *negated { "NOT " } else { "" },
+                pattern.replace('\'', "''")
+            )
+        }
+        Expr::IsNull { expr, negated } => {
+            fmt_expr(expr, 6, f)?;
+            write!(f, " IS {}NULL", if *negated { "NOT " } else { "" })
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_expr(self, 0, f)
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Wildcard => f.write_str("*"),
+            SelectItem::Expr { expr, alias } => {
+                write!(f, "{expr}")?;
+                if let Some(a) = alias {
+                    write!(f, " AS {a}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for TableSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableSource::Table { name, alias } => {
+                f.write_str(name)?;
+                if let Some(a) = alias {
+                    write!(f, " AS {a}")?;
+                }
+                Ok(())
+            }
+            TableSource::Subquery { query, alias } => write!(f, "({query}) AS {alias}"),
+        }
+    }
+}
+
+impl fmt::Display for Join {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kw = match self.kind {
+            JoinKind::Inner => "JOIN",
+            JoinKind::Left => "LEFT JOIN",
+        };
+        write!(f, "{kw} {} ON {}", self.source, self.on)
+    }
+}
+
+impl fmt::Display for OrderByItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.expr, if self.asc { "ASC" } else { "DESC" })
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SELECT ")?;
+        if self.distinct {
+            f.write_str("DISTINCT ")?;
+        }
+        if self.select.is_empty() {
+            f.write_str("*")?;
+        } else {
+            for (i, item) in self.select.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{item}")?;
+            }
+        }
+        if let Some(from) = &self.from {
+            write!(f, " FROM {from}")?;
+        }
+        for j in &self.joins {
+            write!(f, " {j}")?;
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            f.write_str(" GROUP BY ")?;
+            for (i, g) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{g}")?;
+            }
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        if !self.order_by.is_empty() {
+            f.write_str(" ORDER BY ")?;
+            for (i, o) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{o}")?;
+            }
+        }
+        if let Some(l) = self.limit {
+            write!(f, " LIMIT {l}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{AggFunc, ColumnRef};
+
+    #[test]
+    fn renders_simple_select() {
+        let q = Query {
+            select: vec![SelectItem::Wildcard],
+            from: Some(TableSource::table("customers")),
+            where_clause: Some(Expr::col("city").eq(Expr::str("Austin"))),
+            ..Query::default()
+        };
+        assert_eq!(q.to_string(), "SELECT * FROM customers WHERE city = 'Austin'");
+    }
+
+    #[test]
+    fn renders_aggregation() {
+        let q = Query {
+            select: vec![
+                SelectItem::expr(Expr::col("region")),
+                SelectItem::aliased(Expr::agg(AggFunc::Sum, Expr::col("revenue")), "total"),
+            ],
+            from: Some(TableSource::table("sales")),
+            group_by: vec![Expr::col("region")],
+            order_by: vec![OrderByItem {
+                expr: Expr::agg(AggFunc::Sum, Expr::col("revenue")),
+                asc: false,
+            }],
+            limit: Some(5),
+            ..Query::default()
+        };
+        assert_eq!(
+            q.to_string(),
+            "SELECT region, SUM(revenue) AS total FROM sales GROUP BY region \
+             ORDER BY SUM(revenue) DESC LIMIT 5"
+        );
+    }
+
+    #[test]
+    fn renders_join() {
+        let q = Query {
+            select: vec![SelectItem::expr(Expr::qcol("c", "name"))],
+            from: Some(TableSource::Table { name: "customers".into(), alias: Some("c".into()) }),
+            joins: vec![Join {
+                kind: JoinKind::Inner,
+                source: TableSource::Table { name: "orders".into(), alias: Some("o".into()) },
+                on: Expr::qcol("c", "id").eq(Expr::qcol("o", "customer_id")),
+            }],
+            ..Query::default()
+        };
+        assert_eq!(
+            q.to_string(),
+            "SELECT c.name FROM customers AS c JOIN orders AS o ON c.id = o.customer_id"
+        );
+    }
+
+    #[test]
+    fn renders_nested_in() {
+        let inner = Query {
+            select: vec![SelectItem::expr(Expr::col("customer_id"))],
+            from: Some(TableSource::table("orders")),
+            ..Query::default()
+        };
+        let q = Query {
+            select: vec![SelectItem::Wildcard],
+            from: Some(TableSource::table("customers")),
+            where_clause: Some(Expr::InSubquery {
+                expr: Box::new(Expr::col("id")),
+                subquery: Box::new(inner),
+                negated: true,
+            }),
+            ..Query::default()
+        };
+        assert_eq!(
+            q.to_string(),
+            "SELECT * FROM customers WHERE id NOT IN (SELECT customer_id FROM orders)"
+        );
+    }
+
+    #[test]
+    fn parenthesizes_or_under_and() {
+        let e = Expr::col("a")
+            .eq(Expr::int(1))
+            .or(Expr::col("b").eq(Expr::int(2)))
+            .and(Expr::col("c").eq(Expr::int(3)));
+        assert_eq!(e.to_string(), "(a = 1 OR b = 2) AND c = 3");
+    }
+
+    #[test]
+    fn renders_float_with_point() {
+        assert_eq!(Literal::Float(5.0).to_string(), "5.0");
+        assert_eq!(Literal::Float(2.5).to_string(), "2.5");
+    }
+
+    #[test]
+    fn escapes_quotes() {
+        assert_eq!(Literal::Str("O'Brien".into()).to_string(), "'O''Brien'");
+    }
+
+    #[test]
+    fn renders_between_like_isnull() {
+        let e = Expr::Between {
+            expr: Box::new(Expr::col("price")),
+            low: Box::new(Expr::int(1)),
+            high: Box::new(Expr::int(9)),
+            negated: false,
+        };
+        assert_eq!(e.to_string(), "price BETWEEN 1 AND 9");
+        let e = Expr::Like {
+            expr: Box::new(Expr::col("name")),
+            pattern: "A%".into(),
+            negated: true,
+        };
+        assert_eq!(e.to_string(), "name NOT LIKE 'A%'");
+        let e = Expr::IsNull { expr: Box::new(Expr::col("x")), negated: true };
+        assert_eq!(e.to_string(), "x IS NOT NULL");
+    }
+
+    #[test]
+    fn renders_count_distinct() {
+        let e = Expr::Agg {
+            func: AggFunc::Count,
+            arg: Some(Box::new(Expr::Column(ColumnRef::bare("city")))),
+            distinct: true,
+        };
+        assert_eq!(e.to_string(), "COUNT(DISTINCT city)");
+        assert_eq!(Expr::count_star().to_string(), "COUNT(*)");
+    }
+
+    #[test]
+    fn renders_from_subquery() {
+        let inner = Query {
+            select: vec![SelectItem::expr(Expr::col("a"))],
+            from: Some(TableSource::table("t")),
+            ..Query::default()
+        };
+        let q = Query {
+            select: vec![SelectItem::Wildcard],
+            from: Some(TableSource::Subquery { query: Box::new(inner), alias: "d".into() }),
+            ..Query::default()
+        };
+        assert_eq!(q.to_string(), "SELECT * FROM (SELECT a FROM t) AS d");
+    }
+}

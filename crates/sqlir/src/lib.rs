@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! # nlidb-sqlir — SQL intermediate representation
+//!
+//! The common currency of the whole reproduction: every interpreter
+//! family emits this AST, the engine executes it, and the evaluation
+//! kit compares generated vs. gold queries with it.
+//!
+//! * [`ast`] — the query AST (SELECT/WHERE/GROUP BY/HAVING/ORDER
+//!   BY/LIMIT, joins, and sub-queries in `IN` / `EXISTS` / scalar /
+//!   `FROM` positions),
+//! * [`display`] — deterministic SQL rendering,
+//! * [`parser`] — recursive-descent parser for the same subset (used
+//!   to load gold queries in benchmarks and for round-trip testing),
+//! * [`builder`] — fluent construction API used by the interpreters,
+//! * [`complexity`] — the survey's §3 four-rung complexity ladder.
+
+pub mod ast;
+pub mod builder;
+pub mod complexity;
+pub mod display;
+pub mod parser;
+
+pub use ast::{
+    AggFunc, BinOp, ColumnRef, Expr, Join, JoinKind, Literal, OrderByItem, Query, SelectItem,
+    TableSource, UnaryOp,
+};
+pub use builder::QueryBuilder;
+pub use complexity::{classify, ComplexityClass};
+pub use parser::{parse_query, ParseError};

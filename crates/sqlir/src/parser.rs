@@ -1,0 +1,676 @@
+//! Recursive-descent parser for the SQL subset of [`crate::ast`].
+//!
+//! Used to load gold queries in the benchmark suites and to
+//! property-test that rendering round-trips (`parse(render(q)) == q`).
+
+use std::fmt;
+
+use crate::ast::{
+    AggFunc, BinOp, ColumnRef, Expr, Join, JoinKind, Literal, OrderByItem, Query, SelectItem,
+    TableSource, UnaryOp,
+};
+
+/// Parse failure with byte position context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Approximate token index where the failure occurred.
+    pub at_token: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SQL parse error at token {}: {}", self.at_token, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Num(String),
+    Str(String),
+    Sym(String),
+}
+
+fn lex(input: &str) -> Result<Vec<Tok>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+        } else if c == '\'' {
+            let mut s = String::new();
+            i += 1;
+            loop {
+                if i >= bytes.len() {
+                    return Err(ParseError {
+                        message: "unterminated string literal".into(),
+                        at_token: out.len(),
+                    });
+                }
+                if bytes[i] == b'\'' {
+                    if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                        s.push('\'');
+                        i += 2;
+                    } else {
+                        i += 1;
+                        break;
+                    }
+                } else {
+                    // Advance one full UTF-8 char.
+                    let ch_len = input[i..].chars().next().map(char::len_utf8).unwrap_or(1);
+                    s.push_str(&input[i..i + ch_len]);
+                    i += ch_len;
+                }
+            }
+            out.push(Tok::Str(s));
+        } else if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.')
+            {
+                i += 1;
+            }
+            out.push(Tok::Num(input[start..i].to_string()));
+        } else if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            out.push(Tok::Ident(input[start..i].to_string()));
+        } else {
+            let two = input.get(i..i + 2);
+            let sym = match two {
+                Some(">=") | Some("<=") | Some("<>") | Some("!=") => {
+                    i += 2;
+                    two.unwrap().to_string()
+                }
+                _ => {
+                    i += 1;
+                    c.to_string()
+                }
+            };
+            out.push(Tok::Sym(sym));
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn peek_kw_at(&self, offset: usize, kw: &str) -> bool {
+        matches!(self.toks.get(self.pos + offset), Some(Tok::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn peek_sym(&self, sym: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Sym(s)) if s == sym)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_sym(&mut self, sym: &str) -> bool {
+        if self.peek_sym(sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword {kw}")))
+        }
+    }
+
+    fn expect_sym(&mut self, sym: &str) -> Result<(), ParseError> {
+        if self.eat_sym(sym) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{sym}`")))
+        }
+    }
+
+    fn err(&self, message: String) -> ParseError {
+        ParseError { message, at_token: self.pos }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(Tok::Ident(s)) if !is_reserved(s) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(self.err("expected identifier".into())),
+        }
+    }
+
+    fn query(&mut self) -> Result<Query, ParseError> {
+        self.expect_kw("SELECT")?;
+        let distinct = self.eat_kw("DISTINCT");
+        let mut select = Vec::new();
+        loop {
+            if self.eat_sym("*") {
+                select.push(SelectItem::Wildcard);
+            } else {
+                let expr = self.expr(0)?;
+                let alias = if self.eat_kw("AS") { Some(self.ident()?) } else { None };
+                select.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        let from = if self.eat_kw("FROM") { Some(self.table_source()?) } else { None };
+        let mut joins = Vec::new();
+        loop {
+            let kind = if self.peek_kw("JOIN") {
+                self.pos += 1;
+                JoinKind::Inner
+            } else if self.peek_kw("INNER") && self.peek_kw_at(1, "JOIN") {
+                self.pos += 2;
+                JoinKind::Inner
+            } else if self.peek_kw("LEFT") {
+                self.pos += 1;
+                self.eat_kw("OUTER");
+                self.expect_kw("JOIN")?;
+                JoinKind::Left
+            } else {
+                break;
+            };
+            let source = self.table_source()?;
+            self.expect_kw("ON")?;
+            let on = self.expr(0)?;
+            joins.push(Join { kind, source, on });
+        }
+        let where_clause = if self.eat_kw("WHERE") { Some(self.expr(0)?) } else { None };
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            loop {
+                group_by.push(self.expr(0)?);
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+        }
+        let having = if self.eat_kw("HAVING") { Some(self.expr(0)?) } else { None };
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let expr = self.expr(0)?;
+                let asc = if self.eat_kw("DESC") {
+                    false
+                } else {
+                    self.eat_kw("ASC");
+                    true
+                };
+                order_by.push(OrderByItem { expr, asc });
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("LIMIT") {
+            match self.peek().cloned() {
+                Some(Tok::Num(n)) => {
+                    self.pos += 1;
+                    Some(n.parse::<u64>().map_err(|_| self.err("bad LIMIT".into()))?)
+                }
+                _ => return Err(self.err("expected number after LIMIT".into())),
+            }
+        } else {
+            None
+        };
+        Ok(Query {
+            select,
+            distinct,
+            from,
+            joins,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    fn table_source(&mut self) -> Result<TableSource, ParseError> {
+        if self.eat_sym("(") {
+            let query = Box::new(self.query()?);
+            self.expect_sym(")")?;
+            self.expect_kw("AS")?;
+            let alias = self.ident()?;
+            Ok(TableSource::Subquery { query, alias })
+        } else {
+            let name = self.ident()?;
+            let alias = if self.eat_kw("AS") {
+                Some(self.ident()?)
+            } else if let Some(Tok::Ident(s)) = self.peek() {
+                // Bare alias, as long as it is not a clause keyword.
+                if !is_reserved(s) {
+                    let a = s.clone();
+                    self.pos += 1;
+                    Some(a)
+                } else {
+                    None
+                }
+            } else {
+                None
+            };
+            Ok(TableSource::Table { name, alias })
+        }
+    }
+
+    /// Pratt-style expression parsing; `min_prec` uses the same scale
+    /// as the renderer (OR=1, AND=2, cmp=3, +-=4, */=5).
+    fn expr(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        let mut left = self.unary()?;
+        loop {
+            // Postfix predicates bind at comparison level (3).
+            if min_prec <= 3 {
+                let negated = self.peek_kw("NOT")
+                    && (self.peek_kw_at(1, "IN")
+                        || self.peek_kw_at(1, "BETWEEN")
+                        || self.peek_kw_at(1, "LIKE"));
+                if negated {
+                    self.pos += 1;
+                }
+                if self.eat_kw("IN") {
+                    self.expect_sym("(")?;
+                    if self.peek_kw("SELECT") {
+                        let sub = Box::new(self.query()?);
+                        self.expect_sym(")")?;
+                        left = Expr::InSubquery { expr: Box::new(left), subquery: sub, negated };
+                    } else {
+                        let mut list = Vec::new();
+                        loop {
+                            list.push(self.expr(0)?);
+                            if !self.eat_sym(",") {
+                                break;
+                            }
+                        }
+                        self.expect_sym(")")?;
+                        left = Expr::InList { expr: Box::new(left), list, negated };
+                    }
+                    continue;
+                }
+                if self.eat_kw("BETWEEN") {
+                    let low = Box::new(self.expr(4)?);
+                    self.expect_kw("AND")?;
+                    let high = Box::new(self.expr(4)?);
+                    left = Expr::Between { expr: Box::new(left), low, high, negated };
+                    continue;
+                }
+                if self.eat_kw("LIKE") {
+                    match self.peek().cloned() {
+                        Some(Tok::Str(p)) => {
+                            self.pos += 1;
+                            left = Expr::Like { expr: Box::new(left), pattern: p, negated };
+                            continue;
+                        }
+                        _ => return Err(self.err("expected pattern after LIKE".into())),
+                    }
+                }
+                if negated {
+                    return Err(self.err("dangling NOT".into()));
+                }
+                if self.peek_kw("IS") {
+                    self.pos += 1;
+                    let neg = self.eat_kw("NOT");
+                    self.expect_kw("NULL")?;
+                    left = Expr::IsNull { expr: Box::new(left), negated: neg };
+                    continue;
+                }
+            }
+            let op = match self.peek() {
+                Some(Tok::Sym(s)) => match s.as_str() {
+                    "=" => Some(BinOp::Eq),
+                    "<>" | "!=" => Some(BinOp::NotEq),
+                    "<" => Some(BinOp::Lt),
+                    "<=" => Some(BinOp::LtEq),
+                    ">" => Some(BinOp::Gt),
+                    ">=" => Some(BinOp::GtEq),
+                    "+" => Some(BinOp::Plus),
+                    "-" => Some(BinOp::Minus),
+                    "*" => Some(BinOp::Mul),
+                    "/" => Some(BinOp::Div),
+                    _ => None,
+                },
+                Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("AND") => Some(BinOp::And),
+                Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("OR") => Some(BinOp::Or),
+                _ => None,
+            };
+            let Some(op) = op else { break };
+            let prec = match op {
+                BinOp::Or => 1,
+                BinOp::And => 2,
+                BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => 3,
+                BinOp::Plus | BinOp::Minus => 4,
+                BinOp::Mul | BinOp::Div => 5,
+            };
+            if prec < min_prec {
+                break;
+            }
+            self.pos += 1;
+            let right = self.expr(prec + 1)?;
+            left = Expr::Binary { left: Box::new(left), op, right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_kw("NOT") {
+            // NOT EXISTS is handled in primary; bare NOT here.
+            if self.peek_kw("EXISTS") {
+                self.pos += 1;
+                self.expect_sym("(")?;
+                let sub = Box::new(self.query()?);
+                self.expect_sym(")")?;
+                return Ok(Expr::Exists { subquery: sub, negated: true });
+            }
+            let inner = self.unary()?;
+            return Ok(Expr::Unary { op: UnaryOp::Not, expr: Box::new(inner) });
+        }
+        if self.eat_sym("-") {
+            let inner = self.unary()?;
+            // Fold negation into numeric literals for round-tripping.
+            return Ok(match inner {
+                Expr::Literal(Literal::Int(i)) => Expr::Literal(Literal::Int(-i)),
+                Expr::Literal(Literal::Float(f)) => Expr::Literal(Literal::Float(-f)),
+                other => Expr::Unary { op: UnaryOp::Neg, expr: Box::new(other) },
+            });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().cloned() {
+            Some(Tok::Num(n)) => {
+                self.pos += 1;
+                if n.contains('.') {
+                    Ok(Expr::Literal(Literal::Float(
+                        n.parse().map_err(|_| self.err("bad float".into()))?,
+                    )))
+                } else {
+                    Ok(Expr::Literal(Literal::Int(
+                        n.parse().map_err(|_| self.err("bad int".into()))?,
+                    )))
+                }
+            }
+            Some(Tok::Str(s)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::Str(s)))
+            }
+            Some(Tok::Sym(s)) if s == "(" => {
+                self.pos += 1;
+                if self.peek_kw("SELECT") {
+                    let q = Box::new(self.query()?);
+                    self.expect_sym(")")?;
+                    Ok(Expr::ScalarSubquery(q))
+                } else {
+                    let e = self.expr(0)?;
+                    self.expect_sym(")")?;
+                    Ok(e)
+                }
+            }
+            Some(Tok::Ident(word)) => {
+                let upper = word.to_ascii_uppercase();
+                match upper.as_str() {
+                    "TRUE" => {
+                        self.pos += 1;
+                        Ok(Expr::Literal(Literal::Bool(true)))
+                    }
+                    "FALSE" => {
+                        self.pos += 1;
+                        Ok(Expr::Literal(Literal::Bool(false)))
+                    }
+                    "NULL" => {
+                        self.pos += 1;
+                        Ok(Expr::Literal(Literal::Null))
+                    }
+                    "EXISTS" => {
+                        self.pos += 1;
+                        self.expect_sym("(")?;
+                        let sub = Box::new(self.query()?);
+                        self.expect_sym(")")?;
+                        Ok(Expr::Exists { subquery: sub, negated: false })
+                    }
+                    "COUNT" | "SUM" | "AVG" | "MIN" | "MAX" => {
+                        // Aggregate only when followed by `(`.
+                        if matches!(self.toks.get(self.pos + 1), Some(Tok::Sym(s)) if s == "(") {
+                            self.pos += 2;
+                            let func = match upper.as_str() {
+                                "COUNT" => AggFunc::Count,
+                                "SUM" => AggFunc::Sum,
+                                "AVG" => AggFunc::Avg,
+                                "MIN" => AggFunc::Min,
+                                _ => AggFunc::Max,
+                            };
+                            let distinct = self.eat_kw("DISTINCT");
+                            let arg = if self.eat_sym("*") {
+                                None
+                            } else {
+                                Some(Box::new(self.expr(0)?))
+                            };
+                            self.expect_sym(")")?;
+                            Ok(Expr::Agg { func, arg, distinct })
+                        } else {
+                            self.column(word)
+                        }
+                    }
+                    _ if is_reserved(&word) => Err(self.err(format!(
+                        "unexpected keyword {word} in expression"
+                    ))),
+                    _ => self.column(word),
+                }
+            }
+            other => Err(self.err(format!("unexpected token {other:?}"))),
+        }
+    }
+
+    fn column(&mut self, first: String) -> Result<Expr, ParseError> {
+        self.pos += 1;
+        if self.eat_sym(".") {
+            let col = self.ident()?;
+            Ok(Expr::Column(ColumnRef::qualified(first, col)))
+        } else {
+            Ok(Expr::Column(ColumnRef::bare(first)))
+        }
+    }
+}
+
+fn is_reserved(word: &str) -> bool {
+    const RESERVED: &[&str] = &[
+        "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "JOIN", "INNER",
+        "LEFT", "OUTER", "ON", "AS", "AND", "OR", "NOT", "IN", "EXISTS", "BETWEEN", "LIKE", "IS",
+        "NULL", "DISTINCT", "ASC", "DESC", "TRUE", "FALSE", "UNION",
+    ];
+    RESERVED.iter().any(|r| r.eq_ignore_ascii_case(word))
+}
+
+/// Parse one SELECT statement (optionally `;`-terminated).
+///
+/// ```
+/// use nlidb_sqlir::parse_query;
+/// let q = parse_query("SELECT name FROM customers WHERE city = 'Austin' LIMIT 3").unwrap();
+/// assert_eq!(q.limit, Some(3));
+/// assert_eq!(q.to_string(), "SELECT name FROM customers WHERE city = 'Austin' LIMIT 3");
+/// ```
+pub fn parse_query(sql: &str) -> Result<Query, ParseError> {
+    let toks = lex(sql)?;
+    let mut p = Parser { toks, pos: 0 };
+    let q = p.query()?;
+    p.eat_sym(";");
+    if p.pos != p.toks.len() {
+        return Err(p.err("trailing input after query".into()));
+    }
+    Ok(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(sql: &str) {
+        let q = parse_query(sql).unwrap_or_else(|e| panic!("parse `{sql}`: {e}"));
+        let rendered = q.to_string();
+        assert_eq!(rendered, sql, "render mismatch");
+        let q2 = parse_query(&rendered).unwrap();
+        assert_eq!(q, q2, "reparse mismatch");
+    }
+
+    #[test]
+    fn roundtrips_core_forms() {
+        roundtrip("SELECT * FROM customers");
+        roundtrip("SELECT name, city FROM customers WHERE age > 30");
+        roundtrip("SELECT DISTINCT city FROM customers");
+        roundtrip("SELECT region, SUM(revenue) AS total FROM sales GROUP BY region");
+        roundtrip("SELECT * FROM t WHERE a = 1 AND b = 2 OR c = 3");
+        roundtrip("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3");
+        roundtrip("SELECT * FROM t ORDER BY a ASC, b DESC LIMIT 10");
+        roundtrip("SELECT COUNT(*) FROM orders");
+        roundtrip("SELECT COUNT(DISTINCT city) FROM customers");
+        roundtrip(
+            "SELECT c.name FROM customers AS c JOIN orders AS o ON c.id = o.customer_id",
+        );
+        roundtrip("SELECT * FROM customers AS c LEFT JOIN orders AS o ON c.id = o.customer_id");
+        roundtrip("SELECT * FROM t WHERE x BETWEEN 1 AND 9");
+        roundtrip("SELECT * FROM t WHERE name LIKE 'A%'");
+        roundtrip("SELECT * FROM t WHERE name NOT LIKE 'A%'");
+        roundtrip("SELECT * FROM t WHERE x IS NOT NULL");
+        roundtrip("SELECT * FROM t WHERE x IN (1, 2, 3)");
+        roundtrip("SELECT * FROM t WHERE x NOT IN ('a', 'b')");
+    }
+
+    #[test]
+    fn roundtrips_nested_queries() {
+        roundtrip("SELECT * FROM customers WHERE id IN (SELECT customer_id FROM orders)");
+        roundtrip(
+            "SELECT * FROM customers WHERE id NOT IN (SELECT customer_id FROM orders)",
+        );
+        roundtrip(
+            "SELECT * FROM customers WHERE EXISTS \
+             (SELECT * FROM orders WHERE orders.customer_id = customers.id)",
+        );
+        roundtrip("SELECT * FROM products WHERE price > (SELECT AVG(price) FROM products)");
+        roundtrip("SELECT * FROM (SELECT a FROM t) AS d");
+        roundtrip(
+            "SELECT * FROM sales WHERE amount > \
+             (SELECT AVG(amount) FROM sales WHERE region = 'West') LIMIT 5",
+        );
+    }
+
+    #[test]
+    fn parses_having() {
+        let q = parse_query(
+            "SELECT region, COUNT(*) FROM sales GROUP BY region HAVING COUNT(*) > 3",
+        )
+        .unwrap();
+        assert!(q.having.is_some());
+        roundtrip("SELECT region, COUNT(*) FROM sales GROUP BY region HAVING COUNT(*) > 3");
+    }
+
+    #[test]
+    fn parses_arithmetic_precedence() {
+        let q = parse_query("SELECT * FROM t WHERE a + b * 2 > 10").unwrap();
+        // b * 2 binds tighter than +.
+        let Some(Expr::Binary { left, op: BinOp::Gt, .. }) = q.where_clause else {
+            panic!("bad shape")
+        };
+        let Expr::Binary { op: BinOp::Plus, right, .. } = *left else { panic!("bad +") };
+        assert!(matches!(*right, Expr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn negative_literals_fold() {
+        let q = parse_query("SELECT * FROM t WHERE x > -5").unwrap();
+        let Some(Expr::Binary { right, .. }) = q.where_clause else { panic!() };
+        assert_eq!(*right, Expr::Literal(Literal::Int(-5)));
+    }
+
+    #[test]
+    fn string_escape_roundtrip() {
+        roundtrip("SELECT * FROM t WHERE name = 'O''Brien'");
+    }
+
+    #[test]
+    fn bare_alias_supported() {
+        let q = parse_query("SELECT c.name FROM customers c").unwrap();
+        assert_eq!(
+            q.from,
+            Some(TableSource::Table { name: "customers".into(), alias: Some("c".into()) })
+        );
+    }
+
+    #[test]
+    fn case_insensitive_keywords() {
+        let q = parse_query("select name from customers where age >= 21").unwrap();
+        assert_eq!(q.select.len(), 1);
+        assert!(q.where_clause.is_some());
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_query("").is_err());
+        assert!(parse_query("SELECT").is_err());
+        assert!(parse_query("SELECT * FROM").is_err());
+        assert!(parse_query("SELECT * FROM t WHERE").is_err());
+        assert!(parse_query("SELECT * FROM t LIMIT abc").is_err());
+        assert!(parse_query("SELECT * FROM t extra garbage ~").is_err());
+        assert!(parse_query("SELECT * FROM t WHERE 'unterminated").is_err());
+    }
+
+    #[test]
+    fn trailing_semicolon_ok() {
+        assert!(parse_query("SELECT * FROM t;").is_ok());
+    }
+
+    #[test]
+    fn null_and_bool_literals() {
+        roundtrip("SELECT * FROM t WHERE active = TRUE");
+        roundtrip("SELECT * FROM t WHERE deleted = FALSE");
+        let q = parse_query("SELECT * FROM t WHERE x = NULL").unwrap();
+        assert!(q.where_clause.is_some());
+    }
+
+    #[test]
+    fn min_max_as_column_names() {
+        // MIN not followed by `(` parses as a column.
+        let q = parse_query("SELECT min FROM limits_table").unwrap();
+        assert_eq!(
+            q.select[0],
+            SelectItem::Expr { expr: Expr::col("min"), alias: None }
+        );
+    }
+}

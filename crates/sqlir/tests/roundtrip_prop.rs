@@ -1,0 +1,176 @@
+//! Property tests: every AST the generators can produce renders to SQL
+//! that reparses to the identical AST.
+
+use proptest::prelude::*;
+
+use nlidb_sqlir::ast::{
+    AggFunc, BinOp, Expr, Join, JoinKind, Literal, OrderByItem, Query, SelectItem, TableSource,
+};
+use nlidb_sqlir::parse_query;
+
+fn ident_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}".prop_filter("non-reserved", |s| {
+        !matches!(
+            s.as_str(),
+            "select" | "from" | "where" | "group" | "by" | "having" | "order" | "limit"
+                | "join" | "inner" | "left" | "outer" | "on" | "as" | "and" | "or" | "not"
+                | "in" | "exists" | "between" | "like" | "is" | "null" | "distinct" | "asc"
+                | "desc" | "true" | "false" | "union"
+        )
+    })
+}
+
+fn literal_strategy() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        (-1000i64..1000).prop_map(Literal::Int),
+        (-1000i32..1000).prop_map(|i| Literal::Float(i as f64 / 4.0)),
+        "[a-zA-Z '][a-zA-Z ']{0,6}".prop_map(Literal::Str),
+        any::<bool>().prop_map(Literal::Bool),
+        Just(Literal::Null),
+    ]
+}
+
+fn binop_strategy() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Eq),
+        Just(BinOp::NotEq),
+        Just(BinOp::Lt),
+        Just(BinOp::LtEq),
+        Just(BinOp::Gt),
+        Just(BinOp::GtEq),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+        Just(BinOp::Plus),
+        Just(BinOp::Minus),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+    ]
+}
+
+fn agg_strategy() -> impl Strategy<Value = AggFunc> {
+    prop_oneof![
+        Just(AggFunc::Count),
+        Just(AggFunc::Sum),
+        Just(AggFunc::Avg),
+        Just(AggFunc::Min),
+        Just(AggFunc::Max),
+    ]
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        ident_strategy().prop_map(Expr::col),
+        (ident_strategy(), ident_strategy()).prop_map(|(t, c)| Expr::qcol(t, c)),
+        literal_strategy().prop_map(Expr::Literal),
+        (agg_strategy(), ident_strategy())
+            .prop_map(|(f, c)| Expr::agg(f, Expr::col(c))),
+        Just(Expr::count_star()),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), binop_strategy(), inner.clone()).prop_map(|(l, op, r)| {
+                Expr::Binary { left: Box::new(l), op, right: Box::new(r) }
+            }),
+            (inner.clone(), prop::collection::vec(literal_strategy(), 1..4), any::<bool>())
+                .prop_map(|(e, lits, neg)| Expr::InList {
+                    expr: Box::new(e),
+                    list: lits.into_iter().map(Expr::Literal).collect(),
+                    negated: neg,
+                }),
+            (inner.clone(), "[a-z%_]{1,5}", any::<bool>()).prop_map(|(e, p, neg)| Expr::Like {
+                expr: Box::new(e),
+                pattern: p,
+                negated: neg,
+            }),
+            (inner, any::<bool>()).prop_map(|(e, neg)| Expr::IsNull {
+                expr: Box::new(e),
+                negated: neg,
+            }),
+        ]
+    })
+}
+
+fn query_strategy() -> impl Strategy<Value = Query> {
+    (
+        prop::collection::vec(
+            prop_oneof![
+                Just(SelectItem::Wildcard),
+                expr_strategy().prop_map(SelectItem::expr),
+                (expr_strategy(), ident_strategy())
+                    .prop_map(|(e, a)| SelectItem::aliased(e, a)),
+            ],
+            1..4,
+        ),
+        any::<bool>(),
+        ident_strategy(),
+        prop::option::of((ident_strategy(), expr_strategy(), any::<bool>())),
+        prop::option::of(expr_strategy()),
+        prop::collection::vec(ident_strategy().prop_map(Expr::col), 0..3),
+        prop::option::of(expr_strategy()),
+        prop::collection::vec((expr_strategy(), any::<bool>()), 0..3),
+        prop::option::of(0u64..1000),
+    )
+        .prop_map(
+            |(select, distinct, from, join, where_clause, group_by, having, order, limit)| {
+                Query {
+                    select,
+                    distinct,
+                    from: Some(TableSource::table(from)),
+                    joins: join
+                        .map(|(t, on, left)| {
+                            vec![Join {
+                                kind: if left { JoinKind::Left } else { JoinKind::Inner },
+                                source: TableSource::table(t),
+                                on,
+                            }]
+                        })
+                        .unwrap_or_default(),
+                    where_clause,
+                    group_by,
+                    having,
+                    order_by: order
+                        .into_iter()
+                        .map(|(expr, asc)| OrderByItem { expr, asc })
+                        .collect(),
+                    limit,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn render_parse_roundtrip(q in query_strategy()) {
+        let sql = q.to_string();
+        let reparsed = parse_query(&sql)
+            .unwrap_or_else(|e| panic!("failed to reparse `{sql}`: {e}"));
+        prop_assert_eq!(q, reparsed, "sql was: {}", sql);
+    }
+
+    #[test]
+    fn classification_total(q in query_strategy()) {
+        // classify never panics and returns one of the four rungs.
+        let c = nlidb_sqlir::classify(&q);
+        prop_assert!(nlidb_sqlir::ComplexityClass::all().contains(&c));
+    }
+
+    #[test]
+    fn nested_query_roundtrip(inner in query_strategy(), outer_tbl in ident_strategy(), col in ident_strategy()) {
+        let outer = Query {
+            select: vec![SelectItem::Wildcard],
+            from: Some(TableSource::table(outer_tbl)),
+            where_clause: Some(Expr::InSubquery {
+                expr: Box::new(Expr::col(col)),
+                subquery: Box::new(inner),
+                negated: false,
+            }),
+            ..Query::default()
+        };
+        let sql = outer.to_string();
+        let reparsed = parse_query(&sql)
+            .unwrap_or_else(|e| panic!("failed to reparse `{sql}`: {e}"));
+        prop_assert_eq!(outer, reparsed);
+    }
+}

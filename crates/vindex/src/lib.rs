@@ -1,0 +1,71 @@
+#![warn(missing_docs)]
+
+//! # nlidb-vindex — value and metadata indices
+//!
+//! The lookup machinery of the entity-based family: SODA consults "two
+//! different indices: one for the data in a database, and one for the
+//! meta-data"; Précis and QUICK bind query keywords to inverted-index
+//! hits over instances, concepts, and properties. This crate provides
+//! both indices:
+//!
+//! * [`ValueIndex`] — an inverted index over the *data*: every
+//!   distinct text/date value of every column, tokenized, with fuzzy
+//!   and multi-word lookup,
+//! * [`MetadataIndex`] — an index over the *schema/ontology
+//!   vocabulary*: concept and property labels expanded with lexicon
+//!   synonyms,
+//! * mention resolution that combines both, yielding the candidate
+//!   interpretations downstream interpreters rank.
+
+pub mod meta;
+pub mod value_index;
+
+pub use meta::{MetaHit, MetaKind, MetadataIndex};
+pub use value_index::{ValueHit, ValueIndex};
+
+use nlidb_engine::Database;
+use nlidb_nlp::Lexicon;
+use nlidb_ontology::Ontology;
+
+/// Both indices bundled, as the entity interpreters consume them.
+#[derive(Debug)]
+pub struct Indices {
+    /// Data-value index.
+    pub values: ValueIndex,
+    /// Schema/ontology vocabulary index.
+    pub metadata: MetadataIndex,
+}
+
+impl Indices {
+    /// Build both indices for a database + its ontology.
+    pub fn build(db: &Database, onto: &Ontology, lexicon: &Lexicon) -> Indices {
+        Indices {
+            values: ValueIndex::build(db),
+            metadata: MetadataIndex::build(onto, lexicon),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nlidb_engine::{ColumnType, TableSchema, Value};
+    use nlidb_ontology::generate_ontology;
+
+    #[test]
+    fn bundle_builds() {
+        let mut db = Database::new("d");
+        db.create_table(
+            TableSchema::new("cities")
+                .column("id", ColumnType::Int)
+                .column("name", ColumnType::Text),
+        )
+        .unwrap();
+        db.insert("cities", vec![Value::Int(1), Value::from("Lisbon")]).unwrap();
+        let onto = generate_ontology(&db);
+        let lex = Lexicon::business_default();
+        let idx = Indices::build(&db, &onto, &lex);
+        assert!(!idx.values.lookup("lisbon").is_empty());
+        assert!(!idx.metadata.lookup("city").is_empty());
+    }
+}

@@ -1,0 +1,47 @@
+//! A business-intelligence mini-dashboard driven entirely by natural
+//! language — the survey's motivating scenario: "non-technical
+//! business owners deriving insights from their data".
+//!
+//! ```text
+//! cargo run --example bi_dashboard
+//! ```
+
+use nlidb::evalkit::Table;
+use nlidb::prelude::*;
+
+fn panel(nli: &NliPipeline, title: &str, question: &str) {
+    println!("── {title} ──");
+    println!("   \"{question}\"");
+    match nli.ask(question) {
+        Ok(answer) => {
+            println!("   {}", answer.sql);
+            let mut t = Table::new(answer.result.columns.clone());
+            for row in answer.result.rows.iter().take(6) {
+                t.row(row.iter().map(|v| v.to_string()));
+            }
+            for line in t.to_string().lines() {
+                println!("   {line}");
+            }
+            if answer.result.rows.len() > 6 {
+                println!("   … {} more rows", answer.result.rows.len() - 6);
+            }
+        }
+        Err(e) => println!("   (no answer: {e})"),
+    }
+    println!();
+}
+
+fn main() {
+    let db = nlidb::benchdata::retail_database(7);
+    let nli = NliPipeline::standard(&db);
+
+    println!("═══ RETAIL DASHBOARD (all panels asked in English) ═══\n");
+    panel(&nli, "Revenue by market", "total order amount by customer city");
+    panel(&nli, "Revenue by product line", "total order amount by product category");
+    panel(&nli, "Order pipeline", "count of orders per status");
+    panel(&nli, "Premium products", "top 5 products by price");
+    panel(&nli, "Big-ticket orders", "orders with amount above average");
+    panel(&nli, "Dormant accounts", "customers without orders");
+    panel(&nli, "Key accounts", "customers with more than 8 orders");
+    panel(&nli, "Class of 2019", "customers who signed up in 2019");
+}

@@ -1,0 +1,50 @@
+//! Conversational data exploration (§5 of the survey): the same
+//! multi-turn session under the three dialogue-management regimes,
+//! showing the finite-state → frame → agent flexibility ladder.
+//!
+//! ```text
+//! cargo run --example conversation
+//! ```
+
+use nlidb::dialogue::{ConversationSession, ManagerKind};
+use nlidb::prelude::*;
+
+fn run_session(db: &nlidb::engine::Database, ctx: &nlidb::core::pipeline::SchemaContext, kind: ManagerKind) {
+    println!("── manager: {} ──", kind.label());
+    let mut session = ConversationSession::new(db, ctx, kind);
+    let turns = [
+        "show customers in Austin",
+        "what about Boston",          // slot refill — frame territory
+        "how many of those are there",
+        "remove the filters please",  // user initiative — agent territory
+        "break that down by city",
+    ];
+    for t in turns {
+        let r = session.turn(t);
+        let status = if r.accepted { "✓" } else { "✗" };
+        println!("  {status} user: {t}");
+        match (&r.sql, &r.result) {
+            (Some(sql), Some(rs)) => {
+                println!("      sql: {sql}");
+                println!("      {} row(s)", rs.rows.len());
+            }
+            _ => println!("      system: {}", r.response),
+        }
+    }
+    println!();
+}
+
+fn main() {
+    let db = nlidb::benchdata::retail_database(11);
+    let nli = NliPipeline::standard(&db);
+    let ctx = nli.context();
+
+    println!("The same conversation under each §5 dialogue regime:\n");
+    for kind in ManagerKind::all() {
+        run_session(&db, ctx, kind);
+    }
+    println!(
+        "finite-state follows its script only; frame accepts slot refills;\n\
+         agent handles user initiative (filter removal, regrouping)."
+    );
+}

@@ -1,0 +1,72 @@
+//! Quickstart: point the pipeline at a database and ask questions.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use nlidb::prelude::*;
+
+fn main() {
+    // A seeded demo database: customers ← orders → products.
+    let db = nlidb::benchdata::retail_database(42);
+
+    // One call builds the ontology, the join graph, the value and
+    // metadata indices, and all five interpreter families.
+    let nli = NliPipeline::standard(&db);
+
+    let questions = [
+        "show customers in Austin",
+        "how many orders are there",
+        "total order amount by customer city",
+        "top 3 products by price",
+        "customers without orders",
+        "orders with amount above average",
+    ];
+
+    for q in questions {
+        println!("Q: {q}");
+        match nli.ask(q) {
+            Ok(answer) => {
+                println!("   SQL:  {}", answer.sql);
+                println!(
+                    "   rows: {} (first: {})",
+                    answer.result.rows.len(),
+                    answer
+                        .result
+                        .rows
+                        .first()
+                        .map(|r| r
+                            .iter()
+                            .map(|v| v.to_string())
+                            .collect::<Vec<_>>()
+                            .join(", "))
+                        .unwrap_or_else(|| "—".to_string())
+                );
+                println!(
+                    "   confidence {:.2}, complexity: {}",
+                    answer.interpretation.confidence,
+                    classify(&answer.query)
+                );
+            }
+            Err(e) => {
+                println!("   could not answer: {e}");
+                for (word, suggestions) in nli.suggest(q) {
+                    println!("   did you mean (for '{word}'): {}?", suggestions.join(", "));
+                }
+            }
+        }
+        println!();
+    }
+
+    // Vocabulary-gap guidance: "revenue" is not a retail column, but
+    // the lexicon taxonomy points at the closest measures.
+    println!("Q: total revenue by city");
+    match nli.ask("total revenue by city") {
+        Ok(a) => println!("   SQL: {}", a.sql),
+        Err(_) => {
+            for (word, suggestions) in nli.suggest("total revenue by city") {
+                println!("   did you mean (for '{word}'): {}?", suggestions.join(", "));
+            }
+        }
+    }
+}

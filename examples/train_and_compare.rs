@@ -1,0 +1,64 @@
+//! Train the neural sketch model on synthetic (question, SQL) pairs
+//! and race it against the entity-based interpreter — a miniature of
+//! experiments E1/E2.
+//!
+//! ```text
+//! cargo run --release --example train_and_compare
+//! ```
+
+use nlidb::benchdata::{derive_slots, paraphrase, wikisql_like};
+use nlidb::core::interpretation::InterpreterKind;
+use nlidb::core::neural::TrainingExample;
+use nlidb::evalkit::{execution_match, EvalOutcome, Table};
+use nlidb::nlp::Lexicon;
+use nlidb::prelude::*;
+
+fn main() {
+    let db = nlidb::benchdata::retail_database(3);
+    let slots = derive_slots(&db);
+    let lexicon = Lexicon::business_default();
+
+    // Training set: 200 pairs with paraphrase levels 0–3 mixed in.
+    let train: Vec<TrainingExample> = wikisql_like(&slots, 100, 200)
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| TrainingExample {
+            question: paraphrase(&p.question, &p.protected, (i % 4) as u8, &lexicon, i as u64),
+            sql: p.sql,
+        })
+        .collect();
+
+    let mut nli = NliPipeline::standard(&db);
+    println!("training the neural sketch model on {} examples…", train.len());
+    nli.train_neural(&train, 9);
+
+    // Held-out evaluation at two paraphrase intensities.
+    let held_out = wikisql_like(&slots, 777, 60);
+    let mut table = Table::new(["interpreter", "canonical", "heavy paraphrase"])
+        .title("execution accuracy on 60 held-out questions");
+    for kind in [InterpreterKind::Entity, InterpreterKind::Neural, InterpreterKind::Hybrid] {
+        let mut canonical = EvalOutcome::default();
+        let mut heavy = EvalOutcome::default();
+        for (i, pair) in held_out.iter().enumerate() {
+            for (level, out) in [(0u8, &mut canonical), (3u8, &mut heavy)] {
+                let q = paraphrase(&pair.question, &pair.protected, level, &lexicon, i as u64);
+                let pred = nli.interpreter(kind).best(&q, nli.context());
+                match pred {
+                    Some(p) => out.record(true, execution_match(&db, &pair.sql, &p.sql)),
+                    None => out.record(false, false),
+                }
+            }
+        }
+        table.row([
+            kind.label().to_string(),
+            format!("{:.1}%", canonical.recall() * 100.0),
+            format!("{:.1}%", heavy.recall() * 100.0),
+        ]);
+    }
+    println!("\n{table}");
+    println!(
+        "The survey's §4 trade-off in one table: the entity-based reading is\n\
+         precise on canonical phrasings; the learned model holds up better\n\
+         under paraphrase; the hybrid takes the best of both."
+    );
+}

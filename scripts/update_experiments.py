@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Splice freshly generated harness tables into EXPERIMENTS.md.
+
+Usage: python3 scripts/update_experiments.py <harness_output.txt>
+
+The harness prints each experiment as a title line ("E3 — …") followed
+by a pipe table. EXPERIMENTS.md contains the same tables under
+"**Measured**" paragraphs. This script replaces each markdown table
+with the fresh harness table so the document never drifts from the
+code. Commentary text is left untouched.
+"""
+
+import re
+import sys
+
+
+def harness_tables(text: str) -> dict[str, list[str]]:
+    """Map experiment id (e.g. 'E3') to its table lines."""
+    tables: dict[str, list[str]] = {}
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        m = re.match(r"^(E\d+) — ", lines[i])
+        if m and i + 1 < len(lines) and lines[i + 1].startswith("|"):
+            exp = m.group(1)
+            j = i + 1
+            block = []
+            while j < len(lines) and lines[j].startswith("|"):
+                block.append(lines[j].rstrip())
+                j += 1
+            tables[exp] = block
+            i = j
+        else:
+            i += 1
+    return tables
+
+
+def splice(markdown: str, tables: dict[str, list[str]]) -> str:
+    out_lines = []
+    lines = markdown.splitlines()
+    current_exp = None
+    i = 0
+    while i < len(lines):
+        line = lines[i]
+        m = re.match(r"^## (E\d+) ", line)
+        if m:
+            current_exp = m.group(1)
+        if line.startswith("|") and current_exp in tables:
+            # Skip the old table...
+            while i < len(lines) and lines[i].startswith("|"):
+                i += 1
+            # ...and emit the fresh one (once per section).
+            out_lines.extend(tables.pop(current_exp))
+            continue
+        out_lines.append(line)
+        i += 1
+    return "\n".join(out_lines) + "\n"
+
+
+def main() -> None:
+    harness_path = sys.argv[1]
+    with open(harness_path) as f:
+        tables = harness_tables(f.read())
+    # E7 is laid out as two tables (paper vs ours) in the document;
+    # keep it hand-maintained.
+    tables.pop("E7", None)
+    with open("EXPERIMENTS.md") as f:
+        md = f.read()
+    updated = splice(md, tables)
+    with open("EXPERIMENTS.md", "w") as f:
+        f.write(updated)
+    print(f"updated tables: E-sections refreshed; leftovers: {sorted(tables)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+//! # nlidb — natural language interfaces to data
+//!
+//! Facade crate re-exporting the full reproduction stack described in
+//! `DESIGN.md`: the NLP substrate, SQL IR, in-memory relational engine,
+//! ontology layer, value index, learning substrate, the five
+//! interpreter families, the conversational layer, and the synthetic
+//! benchmark generators.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use nlidb::prelude::*;
+//!
+//! // Build a small database, derive its ontology, and ask a question.
+//! let db = nlidb::benchdata::retail_database(42);
+//! let nli = NliPipeline::standard(&db);
+//! let answer = nli.ask("how many customers are there").unwrap();
+//! assert_eq!(answer.sql, "SELECT COUNT(*) FROM customers");
+//! ```
+
+pub use nlidb_benchdata as benchdata;
+pub use nlidb_core as core;
+pub use nlidb_dialogue as dialogue;
+pub use nlidb_engine as engine;
+pub use nlidb_evalkit as evalkit;
+pub use nlidb_ml as ml;
+pub use nlidb_nlp as nlp;
+pub use nlidb_ontology as ontology;
+pub use nlidb_sqlir as sqlir;
+pub use nlidb_vindex as vindex;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use nlidb_core::pipeline::NliPipeline;
+    pub use nlidb_core::{Interpretation, Interpreter};
+    pub use nlidb_dialogue::session::ConversationSession;
+    pub use nlidb_engine::{Database, Value};
+    pub use nlidb_sqlir::ast::Query;
+    pub use nlidb_sqlir::complexity::{classify, ComplexityClass};
+}

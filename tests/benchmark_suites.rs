@@ -1,0 +1,115 @@
+//! Cross-crate integration over the benchmark generators: every suite
+//! kind is consumable end-to-end by the evaluation machinery.
+
+use nlidb::benchdata::{
+    cosql_like, derive_slots, sparc_like, spider_like, wikisql_like, wtq_like, SessionKind,
+};
+use nlidb::core::interpretation::InterpreterKind;
+use nlidb::engine::execute;
+use nlidb::evalkit::EvalOutcome;
+use nlidb::prelude::*;
+
+#[test]
+fn wtq_answer_accuracy_end_to_end() {
+    let db = nlidb::benchdata::retail_database(31);
+    let slots = derive_slots(&db);
+    let nli = NliPipeline::standard(&db);
+    let mut out = EvalOutcome::default();
+    for ex in wtq_like(&db, &slots, 5, 40) {
+        let pred = nli.interpreter(InterpreterKind::Entity).best(&ex.question, nli.context());
+        match pred {
+            Some(p) => {
+                let ok = execute(&db, &p.sql)
+                    .map(|rs| nlidb::benchdata::answer_match(&ex.answer, &rs))
+                    .unwrap_or(false);
+                out.record(true, ok);
+            }
+            None => out.record(false, false),
+        }
+    }
+    assert!(out.recall() > 0.85, "{out}");
+}
+
+#[test]
+fn suite_classes_match_classifier() {
+    for db in nlidb::benchdata::all_domains(3) {
+        let slots = derive_slots(&db);
+        for pair in spider_like(&slots, 11, 40) {
+            assert_eq!(
+                classify(&pair.sql),
+                pair.class,
+                "{}: recorded class must equal classified class",
+                pair.id
+            );
+        }
+    }
+}
+
+#[test]
+fn wikisql_suites_are_within_the_neural_sketch() {
+    use nlidb::core::neural::TrainingExample;
+    let db = nlidb::benchdata::hr_database(7);
+    let slots = derive_slots(&db);
+    // Every WikiSQL-like pair must be ingestible as training data: an
+    // interpreter trained on the full set must not end up untrained.
+    let train: Vec<TrainingExample> = wikisql_like(&slots, 13, 80)
+        .into_iter()
+        .map(|p| TrainingExample { question: p.question, sql: p.sql })
+        .collect();
+    let n = nlidb::core::neural::NeuralInterpreter::train(
+        &train,
+        &nlidb::core::pipeline::SchemaContext::build(&db),
+        5,
+    );
+    assert!(n.is_trained());
+}
+
+#[test]
+fn session_generators_cover_every_domain() {
+    for db in nlidb::benchdata::all_domains(17) {
+        let slots = derive_slots(&db);
+        let sessions = sparc_like(&slots, 23, 6);
+        assert!(!sessions.is_empty(), "{} generates no sessions", db.name);
+        let dialogues = cosql_like(&slots, 23, 4);
+        assert!(dialogues.iter().all(|s| s.turns.len() >= 4));
+    }
+}
+
+#[test]
+fn session_kinds_round_robin() {
+    let db = nlidb::benchdata::retail_database(3);
+    let slots = derive_slots(&db);
+    let sessions = sparc_like(&slots, 29, 9);
+    for kind in SessionKind::all() {
+        assert_eq!(sessions.iter().filter(|s| s.kind == kind).count(), 3);
+    }
+}
+
+#[test]
+fn paraphrase_levels_degrade_gracefully_not_catastrophically() {
+    use nlidb::benchdata::paraphrase;
+    use nlidb::nlp::Lexicon;
+    let db = nlidb::benchdata::library_database(5);
+    let slots = derive_slots(&db);
+    let nli = NliPipeline::standard(&db);
+    let lexicon = Lexicon::business_default();
+    let suite = wikisql_like(&slots, 41, 30);
+    let acc = |level: u8| {
+        let mut out = EvalOutcome::default();
+        for (i, pair) in suite.iter().enumerate() {
+            let q = paraphrase(&pair.question, &pair.protected, level, &lexicon, i as u64);
+            match nli.interpreter(InterpreterKind::Entity).best(&q, nli.context()) {
+                Some(p) => out.record(
+                    true,
+                    nlidb::evalkit::execution_match(&db, &pair.sql, &p.sql),
+                ),
+                None => out.record(false, false),
+            }
+        }
+        out.recall()
+    };
+    let l0 = acc(0);
+    let l1 = acc(1);
+    assert!(l0 > 0.85, "canonical accuracy too low: {l0}");
+    assert!(l1 > 0.5, "level-1 (lexicon synonyms) must be largely absorbed: {l1}");
+}

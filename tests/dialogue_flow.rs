@@ -1,0 +1,81 @@
+//! Cross-crate integration: generated SParC/CoSQL-like sessions replay
+//! correctly through the dialogue layer, and the §5 flexibility ladder
+//! holds end to end.
+
+use nlidb::benchdata::{derive_slots, sparc_like, SessionKind};
+use nlidb::dialogue::{ConversationSession, ManagerKind};
+use nlidb::engine::execute;
+use nlidb::prelude::*;
+
+fn completion_rate(kind_filter: SessionKind, manager: ManagerKind) -> f64 {
+    let db = nlidb::benchdata::retail_database(21);
+    let slots = derive_slots(&db);
+    let nli = NliPipeline::standard(&db);
+    let sessions: Vec<_> = sparc_like(&slots, 33, 12)
+        .into_iter()
+        .filter(|s| s.kind == kind_filter)
+        .collect();
+    assert!(!sessions.is_empty());
+    let mut completed = 0;
+    for s in &sessions {
+        let mut conv = ConversationSession::new(&db, nli.context(), manager);
+        let ok = s.turns.iter().all(|turn| {
+            let r = conv.turn(&turn.utterance);
+            let gold = execute(&db, &turn.gold).unwrap();
+            r.accepted
+                && r.result.map(|rs| gold.unordered_eq(&rs)).unwrap_or(false)
+        });
+        if ok {
+            completed += 1;
+        }
+    }
+    completed as f64 / sessions.len() as f64
+}
+
+#[test]
+fn agent_completes_every_session_shape() {
+    for kind in SessionKind::all() {
+        assert_eq!(
+            completion_rate(kind, ManagerKind::Agent),
+            1.0,
+            "agent must complete {kind:?} sessions"
+        );
+    }
+}
+
+#[test]
+fn finite_state_completes_only_its_script() {
+    assert_eq!(completion_rate(SessionKind::Scripted, ManagerKind::FiniteState), 1.0);
+    assert_eq!(completion_rate(SessionKind::SlotRefill, ManagerKind::FiniteState), 0.0);
+    assert_eq!(
+        completion_rate(SessionKind::UserInitiative, ManagerKind::FiniteState),
+        0.0
+    );
+}
+
+#[test]
+fn frame_sits_between() {
+    assert_eq!(completion_rate(SessionKind::Scripted, ManagerKind::Frame), 1.0);
+    assert_eq!(completion_rate(SessionKind::SlotRefill, ManagerKind::Frame), 1.0);
+    assert_eq!(
+        completion_rate(SessionKind::UserInitiative, ManagerKind::Frame),
+        0.0
+    );
+}
+
+#[test]
+fn context_survives_across_turns() {
+    let db = nlidb::benchdata::clinic_database(13);
+    let nli = NliPipeline::standard(&db);
+    let mut conv = ConversationSession::new(&db, nli.context(), ManagerKind::Agent);
+    let r1 = conv.turn("show visits with cost over 500");
+    assert!(r1.accepted, "{}", r1.response);
+    let narrowed = r1.result.unwrap().rows.len();
+    let r2 = conv.turn("how many of those are there");
+    assert!(r2.accepted);
+    assert_eq!(
+        r2.result.unwrap().rows[0][0],
+        nlidb::engine::Value::Int(narrowed as i64),
+        "the count must reflect the carried-over filter"
+    );
+}

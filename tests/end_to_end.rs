@@ -1,0 +1,125 @@
+//! Cross-crate integration: the full pipeline (schema → ontology →
+//! indices → interpretation → execution) on every generator domain.
+
+use nlidb::benchdata::{all_domains, derive_slots, spider_like};
+use nlidb::core::interpretation::InterpreterKind;
+use nlidb::evalkit::{execution_match, EvalOutcome};
+use nlidb::prelude::*;
+
+#[test]
+fn entity_interpreter_solves_canonical_suites_in_every_domain() {
+    for db in all_domains(42) {
+        let slots = derive_slots(&db);
+        let nli = NliPipeline::standard(&db);
+        let suite = spider_like(&slots, 7, 32);
+        let mut out = EvalOutcome::default();
+        for pair in &suite {
+            match nli.interpreter(InterpreterKind::Entity).best(&pair.question, nli.context()) {
+                Some(p) => out.record(true, execution_match(&db, &pair.sql, &p.sql)),
+                None => out.record(false, false),
+            }
+        }
+        assert!(
+            out.recall() >= 0.9,
+            "{}: entity accuracy too low: {out}",
+            db.name
+        );
+    }
+}
+
+#[test]
+fn capability_ladder_holds_by_construction() {
+    let db = nlidb::benchdata::retail_database(5);
+    let slots = derive_slots(&db);
+    let nli = NliPipeline::standard(&db);
+    let suite = spider_like(&slots, 11, 48);
+    for pair in &suite {
+        // Keyword never exceeds selection; pattern never exceeds
+        // aggregation; nobody but entity/hybrid produces nesting.
+        for (kind, ceiling) in [
+            (InterpreterKind::Keyword, ComplexityClass::SingleTableSelection),
+            (InterpreterKind::Pattern, ComplexityClass::SingleTableAggregation),
+        ] {
+            if let Some(p) = nli.interpreter(kind).best(&pair.question, nli.context()) {
+                assert!(
+                    classify(&p.sql) <= ceiling,
+                    "{kind:?} exceeded its ceiling on '{}': {}",
+                    pair.question,
+                    p.sql
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn ask_executes_and_reports() {
+    let db = nlidb::benchdata::hr_database(9);
+    let nli = NliPipeline::standard(&db);
+    let a = nli.ask("average salary by division").unwrap();
+    assert!(a.sql.contains("AVG(employees.salary)"), "{}", a.sql);
+    assert!(a.sql.contains("GROUP BY departments.division"), "{}", a.sql);
+    assert!(!a.result.rows.is_empty());
+    assert!(a.interpretation.confidence > 0.5);
+}
+
+#[test]
+fn unanswerable_questions_error_cleanly() {
+    let db = nlidb::benchdata::retail_database(5);
+    let nli = NliPipeline::standard(&db);
+    assert!(nli.ask("what is the meaning of flurbish").is_err());
+    assert!(nli.ask("").is_err());
+}
+
+#[test]
+fn trained_pipeline_answers_paraphrases_entity_misses() {
+    use nlidb::benchdata::{paraphrase, wikisql_like};
+    use nlidb::core::neural::TrainingExample;
+    use nlidb::nlp::Lexicon;
+
+    let db = nlidb::benchdata::retail_database(5);
+    let slots = derive_slots(&db);
+    let lexicon = Lexicon::business_default();
+    let train: Vec<TrainingExample> = wikisql_like(&slots, 100, 160)
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| TrainingExample {
+            question: paraphrase(&p.question, &p.protected, (i % 4) as u8, &lexicon, i as u64),
+            sql: p.sql,
+        })
+        .collect();
+    let mut nli = NliPipeline::standard(&db);
+    nli.train_neural(&train, 3);
+
+    // A colloquial phrasing the lexicon cannot recover ("tally").
+    let a = nli.ask("give me the tally of products").unwrap();
+    assert_eq!(a.sql, "SELECT COUNT(*) FROM products");
+}
+
+#[test]
+fn suggestions_guide_vocabulary_gaps() {
+    let db = nlidb::benchdata::retail_database(5);
+    let nli = NliPipeline::standard(&db);
+    // "revenue" is business vocabulary the retail schema spells
+    // "amount"/"price"; the taxonomy bridges the gap.
+    let s = nli.suggest("total revenue by city");
+    let revenue = s
+        .iter()
+        .find(|(w, _)| w == "revenue")
+        .map(|(_, sugg)| sugg.clone())
+        .unwrap_or_default();
+    assert!(
+        revenue.iter().any(|x| x == "amount" || x == "price"),
+        "{s:?}"
+    );
+    // "territory" reaches "city" through the location hypernym.
+    let s = nli.suggest("customers by territory");
+    assert!(
+        s.iter().any(|(w, sugg)| w == "territory" && sugg.iter().any(|x| x == "city")),
+        "{s:?}"
+    );
+    // Fully-linked questions produce no suggestions; mild typos link
+    // directly (fuzzy matching) and also produce none.
+    assert!(nli.suggest("show customers").is_empty());
+    assert!(nli.suggest("show custmers by pric").is_empty());
+}
