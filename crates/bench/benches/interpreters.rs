@@ -21,17 +21,9 @@ fn bench_interpreters(c: &mut Criterion) {
     let mut group = c.benchmark_group("interpret");
     for kind in InterpreterKind::all() {
         for (class, q) in questions {
-            group.bench_with_input(
-                BenchmarkId::new(kind.label(), class),
-                &q,
-                |b, q| {
-                    b.iter(|| {
-                        std::hint::black_box(
-                            setup.pipeline.interpreter(kind).interpret(q, ctx),
-                        )
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kind.label(), class), &q, |b, q| {
+                b.iter(|| std::hint::black_box(setup.pipeline.interpreter(kind).interpret(q, ctx)))
+            });
         }
     }
     group.finish();

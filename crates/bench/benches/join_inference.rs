@@ -27,13 +27,15 @@ fn bench_join_inference(c: &mut Criterion) {
         ("clinic-triple", vec!["patient", "doctor", "visit"]),
     ];
     for (label, terminals) in &terminal_sets {
-        let graph = if *label == "clinic-triple" { &graphs[5] } else { retail };
+        let graph = if *label == "clinic-triple" {
+            &graphs[5]
+        } else {
+            retail
+        };
         group.bench_with_input(
             BenchmarkId::new("steiner", label),
             terminals,
-            |b, terminals| {
-                b.iter(|| std::hint::black_box(graph.steiner_plan(terminals)))
-            },
+            |b, terminals| b.iter(|| std::hint::black_box(graph.steiner_plan(terminals))),
         );
         group.bench_with_input(
             BenchmarkId::new("pairwise", label),

@@ -17,16 +17,17 @@ fn bench_linking(c: &mut Criterion) {
     let questions = [
         ("canonical", "total order amount by customer city"),
         ("synonymous", "combined purchase value by client town"),
-        ("value-heavy", "show customers in New York with segment consumer"),
+        (
+            "value-heavy",
+            "show customers in New York with segment consumer",
+        ),
     ];
     let mut group = c.benchmark_group("linking");
     for (label, q) in questions {
         let tokens = tokenize(q);
-        group.bench_with_input(
-            BenchmarkId::new("lexicon", label),
-            &tokens,
-            |b, tokens| b.iter(|| std::hint::black_box(link_mentions(tokens, &with_lexicon))),
-        );
+        group.bench_with_input(BenchmarkId::new("lexicon", label), &tokens, |b, tokens| {
+            b.iter(|| std::hint::black_box(link_mentions(tokens, &with_lexicon)))
+        });
         group.bench_with_input(
             BenchmarkId::new("exact-only", label),
             &tokens,

@@ -1,0 +1,89 @@
+//! B6 — serving throughput scaling across worker counts.
+//!
+//! Two regimes per worker count (1, 2, 4), both replaying the same
+//! seeded 64-request stream closed-loop through a warm server:
+//!
+//! * `pure-cpu` — interpretation work only. Scaling here is bounded by
+//!   the number of hardware threads; on a single-core host the curve
+//!   is flat (workers only add handoff overhead).
+//! * `stall-1ms` — a 1 ms per-request stall injected through the
+//!   server's request hook, standing in for the external-database
+//!   round-trip a production NLIDB front-end waits on. Workers overlap
+//!   stalls, so throughput scales with the pool even on one core —
+//!   the latency-hiding case the serving runtime exists for.
+//!
+//! The stall uses wall-clock sleep *in the bench harness only*; the
+//! serving library itself never reads a clock it wasn't given.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nlidb_benchdata::{derive_slots, request_stream, retail_database, RequestSpec};
+use nlidb_core::pipeline::{NliPipeline, SchemaContext};
+use nlidb_ontology::JoinPathCache;
+use nlidb_serve::{run_closed_loop, Clock, ManualClock, RequestHook, Server, ServerConfig};
+
+const REQUESTS: usize = 64;
+
+fn build_pipeline() -> Arc<NliPipeline> {
+    let db = retail_database(7);
+    let mut ctx = SchemaContext::build(&db);
+    ctx.graph = ctx
+        .graph
+        .clone()
+        .with_cache(Arc::new(JoinPathCache::new(128)));
+    Arc::new(NliPipeline::with_context(&db, ctx))
+}
+
+fn build_stream() -> Vec<RequestSpec> {
+    let db = retail_database(7);
+    let slots = derive_slots(&db);
+    request_stream(&slots, 42, REQUESTS, 0.0)
+}
+
+fn bench_regime(c: &mut Criterion, name: &str, hook: fn() -> Option<RequestHook>) {
+    let pipeline = build_pipeline();
+    let stream = build_stream();
+    let mut group = c.benchmark_group(name);
+    group
+        .sample_size(10)
+        .throughput(Throughput::Elements(REQUESTS as u64));
+    for workers in [1usize, 2, 4] {
+        let clock = Arc::new(ManualClock::new());
+        let mut server = Server::start_with_hook(
+            Arc::clone(&pipeline),
+            ServerConfig {
+                workers,
+                queue_capacity: REQUESTS,
+                interp_cache: 256,
+                service_estimate: 1,
+            },
+            clock.clone() as Arc<dyn Clock>,
+            hook(),
+        );
+        // Warm the caches so we measure steady-state serving.
+        run_closed_loop(&mut server, &clock, &stream, REQUESTS);
+        group.bench_function(BenchmarkId::from_parameter(workers), |b| {
+            b.iter(|| {
+                let report = run_closed_loop(&mut server, &clock, &stream, REQUESTS);
+                assert_eq!(report.completions.len(), REQUESTS);
+            })
+        });
+        server.shutdown();
+    }
+    group.finish();
+}
+
+fn serving_pure_cpu(c: &mut Criterion) {
+    bench_regime(c, "b6-serving/pure-cpu", || None);
+}
+
+fn serving_stall(c: &mut Criterion) {
+    bench_regime(c, "b6-serving/stall-1ms", || {
+        Some(Box::new(|| std::thread::sleep(Duration::from_millis(1))))
+    });
+}
+
+criterion_group!(benches, serving_pure_cpu, serving_stall);
+criterion_main!(benches);

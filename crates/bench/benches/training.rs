@@ -21,24 +21,16 @@ fn bench_training(c: &mut Criterion) {
     group.sample_size(10);
     for &n in &[50usize, 200] {
         let examples = training_examples(&slots, 7, n, &[0, 1, 2, 3]);
-        group.bench_with_input(
-            BenchmarkId::new("neural", n),
-            &examples,
-            |b, examples| {
-                b.iter(|| std::hint::black_box(NeuralInterpreter::train(examples, &ctx, 9)))
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("hybrid", n),
-            &examples,
-            |b, examples| {
-                b.iter(|| {
-                    let mut h = HybridInterpreter::new();
-                    h.train(examples, &ctx, 9);
-                    std::hint::black_box(h.has_neural())
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("neural", n), &examples, |b, examples| {
+            b.iter(|| std::hint::black_box(NeuralInterpreter::train(examples, &ctx, 9)))
+        });
+        group.bench_with_input(BenchmarkId::new("hybrid", n), &examples, |b, examples| {
+            b.iter(|| {
+                let mut h = HybridInterpreter::new();
+                h.train(examples, &ctx, 9);
+                std::hint::black_box(h.has_neural())
+            })
+        });
     }
     let artifacts = bootstrap_from_ontology(&db, &ctx);
     group.bench_function("intent-classifier", |b| {

@@ -1,7 +1,7 @@
 //! The reproduction harness CLI.
 //!
 //! ```text
-//! experiments                 # run all of E1–E10
+//! experiments                 # run all of E1–E12
 //! experiments --exp e2        # run one experiment
 //! experiments --seed 7        # change the global seed
 //! ```
@@ -41,10 +41,16 @@ fn main() {
         match nlidb_bench::run_experiment(id, seed) {
             Some(table) => {
                 println!("{table}");
-                println!("[{id} completed in {:.1}s]\n", start.elapsed().as_secs_f64());
+                println!(
+                    "[{id} completed in {:.1}s]\n",
+                    start.elapsed().as_secs_f64()
+                );
             }
             None => {
-                eprintln!("unknown experiment id: {id} (known: {:?})", nlidb_bench::EXPERIMENT_IDS);
+                eprintln!(
+                    "unknown experiment id: {id} (known: {:?})",
+                    nlidb_bench::EXPERIMENT_IDS
+                );
                 std::process::exit(2);
             }
         }

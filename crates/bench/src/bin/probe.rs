@@ -7,8 +7,8 @@
 //! ```
 
 use nlidb_benchdata::{derive_slots, spider_like};
-use nlidb_core::{Interpreter, pipeline::SchemaContext};
 use nlidb_core::entity::EntityInterpreter;
+use nlidb_core::{pipeline::SchemaContext, Interpreter};
 use nlidb_evalkit::execution_match;
 use std::collections::HashMap;
 
@@ -22,9 +22,13 @@ fn main() {
             let e = per_class.entry(pair.class.label().to_string()).or_default();
             e.1 += 1;
             let pred = EntityInterpreter::new().best(&pair.question, &ctx);
-            let ok = pred.as_ref().map(|p| execution_match(&db, &pair.sql, &p.sql)).unwrap_or(false);
-            if ok { e.0 += 1; }
-            else if std::env::args().nth(1).as_deref() == Some("-v") {
+            let ok = pred
+                .as_ref()
+                .map(|p| execution_match(&db, &pair.sql, &p.sql))
+                .unwrap_or(false);
+            if ok {
+                e.0 += 1;
+            } else if std::env::args().nth(1).as_deref() == Some("-v") {
                 println!("MISS [{}] {} :: {}", pair.id, pair.question, pair.sql);
                 match &pred {
                     Some(p) => println!("   got: {}", p.sql),

@@ -1,4 +1,4 @@
-//! The reproduction experiments E1–E10 (see `EXPERIMENTS.md`).
+//! The reproduction experiments E1–E12 (see `EXPERIMENTS.md`).
 //!
 //! The paper is a tutorial: it publishes claims, not tables. Each
 //! experiment here operationalizes one claim into a measured table;
@@ -22,8 +22,9 @@ use nlidb_sqlir::ComplexityClass;
 use crate::workloads::{evaluate, paraphrased, setup_domain, DomainSetup};
 
 /// All experiment identifiers, in order.
-pub const EXPERIMENT_IDS: [&str; 11] =
-    ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11"];
+pub const EXPERIMENT_IDS: [&str; 12] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
+];
 
 /// Run one experiment by id; `None` for unknown ids.
 pub fn run_experiment(id: &str, seed: u64) -> Option<Table> {
@@ -39,6 +40,7 @@ pub fn run_experiment(id: &str, seed: u64) -> Option<Table> {
         "e9" => Some(e9_clarification(seed)),
         "e10" => Some(e10_ontology_bootstrap(seed)),
         "e11" => Some(e11_answer_denotation(seed)),
+        "e12" => Some(e12_serving_runtime(seed)),
         _ => None,
     }
 }
@@ -81,7 +83,11 @@ pub fn e1_capability_matrix(seed: u64) -> Table {
 /// intensity (WikiSQL-regime questions so all families compete on the
 /// same ground).
 pub fn e2_paraphrase_robustness(seed: u64) -> Table {
-    let kinds = [InterpreterKind::Entity, InterpreterKind::Neural, InterpreterKind::Hybrid];
+    let kinds = [
+        InterpreterKind::Entity,
+        InterpreterKind::Neural,
+        InterpreterKind::Hybrid,
+    ];
     let mut per: HashMap<(InterpreterKind, u8), EvalOutcome> = HashMap::new();
     for (i, name) in ["retail", "hr", "library"].iter().enumerate() {
         let setup = setup_domain(name, seed.wrapping_add(i as u64), 240);
@@ -94,8 +100,15 @@ pub fn e2_paraphrase_robustness(seed: u64) -> Table {
             }
         }
     }
-    let mut t = Table::new(["interpreter", "level 0", "level 1", "level 2", "level 3", "drop 0→3"])
-        .title("E2 — accuracy under paraphrase intensity (§4.1 brittleness claim)");
+    let mut t = Table::new([
+        "interpreter",
+        "level 0",
+        "level 1",
+        "level 2",
+        "level 3",
+        "drop 0→3",
+    ])
+    .title("E2 — accuracy under paraphrase intensity (§4.1 brittleness claim)");
     for kind in kinds {
         let accs: Vec<f64> = (0..=3u8).map(|l| per[&(kind, l)].recall()).collect();
         t.row([
@@ -139,9 +152,7 @@ pub fn e3_learning_curve(seed: u64) -> Table {
         let mut nn_out = EvalOutcome::default();
         for pair in &in_suite {
             match nn.predict(&pair.question) {
-                Some((sql, _)) => {
-                    nn_out.record(true, execution_match(&setup.db, &pair.sql, &sql))
-                }
+                Some((sql, _)) => nn_out.record(true, execution_match(&setup.db, &pair.sql, &sql)),
                 None => nn_out.record(false, false),
             }
         }
@@ -172,7 +183,11 @@ pub fn e3_learning_curve(seed: u64) -> Table {
 /// E4 — hybrid precision/recall: the §4.3 best-of-both claim, on a
 /// mixed suite (all rungs, paraphrase levels 0–3 mixed).
 pub fn e4_hybrid_best_of_both(seed: u64) -> Table {
-    let kinds = [InterpreterKind::Entity, InterpreterKind::Neural, InterpreterKind::Hybrid];
+    let kinds = [
+        InterpreterKind::Entity,
+        InterpreterKind::Neural,
+        InterpreterKind::Hybrid,
+    ];
     let mut per: HashMap<InterpreterKind, EvalOutcome> = HashMap::new();
     for (i, name) in DOMAIN_NAMES.iter().enumerate() {
         let setup = setup_domain(name, seed.wrapping_add(i as u64), 200);
@@ -184,7 +199,9 @@ pub fn e4_hybrid_best_of_both(seed: u64) -> Table {
             suite.extend(paraphrased(std::slice::from_ref(p), level, seed ^ j as u64));
         }
         for kind in kinds {
-            per.entry(kind).or_default().merge(evaluate(&setup, kind, &suite));
+            per.entry(kind)
+                .or_default()
+                .merge(evaluate(&setup, kind, &suite));
         }
     }
     let mut t = Table::new(["interpreter", "coverage", "precision", "recall", "F1"])
@@ -240,8 +257,14 @@ pub fn e5_dialogue_managers(seed: u64) -> Table {
             }
         }
     }
-    let mut t = Table::new(["manager", "scripted", "slot-refill", "user-initiative", "turn acc"])
-        .title("E5 — session completion per dialogue-management regime (§5)");
+    let mut t = Table::new([
+        "manager",
+        "scripted",
+        "slot-refill",
+        "user-initiative",
+        "turn acc",
+    ])
+    .title("E5 — session completion per dialogue-management regime (§5)");
     for manager in ManagerKind::all() {
         let cell = |kind: SessionKind| {
             let (ok, n) = per.get(&(manager, kind)).copied().unwrap_or((0, 0));
@@ -265,8 +288,13 @@ pub fn e5_dialogue_managers(seed: u64) -> Table {
 /// E6 — decomposition: which complex questions can be answered as a
 /// sequence of simple ones (§5 ¶1), and which cannot.
 pub fn e6_decomposition(seed: u64) -> Table {
-    let mut t = Table::new(["question family", "one-shot acc", "decomposed acc", "verdict"])
-        .title("E6 — one-shot vs sequence-of-simple-questions (§5 decomposition claim)");
+    let mut t = Table::new([
+        "question family",
+        "one-shot acc",
+        "decomposed acc",
+        "verdict",
+    ])
+    .title("E6 — one-shot vs sequence-of-simple-questions (§5 decomposition claim)");
 
     let mut filtered_count_one = EvalOutcome::default();
     let mut filtered_count_multi = EvalOutcome::default();
@@ -307,7 +335,10 @@ pub fn e6_decomposition(seed: u64) -> Table {
 
         // Families 2–3: nested questions.
         let suite = spider_like(&setup.slots, seed.wrapping_add(20 + i as u64), 60);
-        for pair in suite.iter().filter(|p| p.class == ComplexityClass::NestedSubquery) {
+        for pair in suite
+            .iter()
+            .filter(|p| p.class == ComplexityClass::NestedSubquery)
+        {
             let gold_rs = execute(&setup.db, &pair.sql).unwrap();
             let is_avg = pair.id.contains("n_above_avg");
             let is_without = pair.id.contains("n_without");
@@ -323,8 +354,7 @@ pub fn e6_decomposition(seed: u64) -> Table {
                 // express an anti-join: every act adds positive filters
                 // or aggregates. Attempt the closest simple session and
                 // score it honestly.
-                let mut conv =
-                    ConversationSession::new(&setup.db, ctx, ManagerKind::Agent);
+                let mut conv = ConversationSession::new(&setup.db, ctx, ManagerKind::Agent);
                 let plural = pair.question.split_whitespace().next().unwrap_or("");
                 let r1 = conv.turn(&format!("show all {plural}"));
                 let ok = r1
@@ -403,12 +433,22 @@ fn decompose_above_avg(
     else {
         return false;
     };
-    let Ok(avg_rs) = execute(&setup.db, &avg_interp.sql) else { return false };
-    let Some(avg) = avg_rs.rows.first().and_then(|r| r.first()).and_then(|v| v.as_f64())
+    let Ok(avg_rs) = execute(&setup.db, &avg_interp.sql) else {
+        return false;
+    };
+    let Some(avg) = avg_rs
+        .rows
+        .first()
+        .and_then(|r| r.first())
+        .and_then(|v| v.as_f64())
     else {
         return false;
     };
-    let cmp = if words[dir_pos] == "above" { "over" } else { "under" };
+    let cmp = if words[dir_pos] == "above" {
+        "over"
+    } else {
+        "under"
+    };
     let step2 = format!("show {plural} with {measure} {cmp} {avg}");
     let Some(final_interp) = setup
         .pipeline
@@ -434,7 +474,8 @@ pub fn e7_benchmark_statistics(seed: u64) -> Table {
         let db = nlidb_benchdata::domain_database(name, seed.wrapping_add(i as u64));
         let slots = derive_slots(&db);
         wikisql_pairs.extend(wikisql_like(&slots, seed.wrapping_add(i as u64), 672));
-        wtq_count += nlidb_benchdata::wtq_like(&db, &slots, seed.wrapping_add(60 + i as u64), 184).len();
+        wtq_count +=
+            nlidb_benchdata::wtq_like(&db, &slots, seed.wrapping_add(60 + i as u64), 184).len();
         spider_pairs.extend(spider_like(&slots, seed.wrapping_add(90 + i as u64), 200));
         sparc_sessions.extend(sparc_like(&slots, seed.wrapping_add(80 + i as u64), 33));
         cosql_sessions.extend(cosql_like(&slots, seed.wrapping_add(70 + i as u64), 25));
@@ -511,9 +552,21 @@ pub fn e8_nested_detection(seed: u64) -> Table {
         .title("E8 — nested-query detection (§6 sub-queries challenge)");
     for kind in kinds {
         let (tp, fp, fneg) = counts[&kind];
-        let p = if tp + fp == 0 { 1.0 } else { tp as f64 / (tp + fp) as f64 };
-        let r = if tp + fneg == 0 { 0.0 } else { tp as f64 / (tp + fneg) as f64 };
-        let f1 = if p + r == 0.0 { 0.0 } else { 2.0 * p * r / (p + r) };
+        let p = if tp + fp == 0 {
+            1.0
+        } else {
+            tp as f64 / (tp + fp) as f64
+        };
+        let r = if tp + fneg == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fneg) as f64
+        };
+        let f1 = if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        };
         t.row([kind.label().to_string(), pct(p), pct(r), pct(f1)]);
     }
     t
@@ -560,7 +613,9 @@ pub fn e9_clarification(seed: u64) -> Table {
                  WHERE patients.city = '{city}'"
             ))
             .expect("gold parses");
-            let cands = setup.pipeline.candidates(&question, InterpreterKind::Entity);
+            let cands = setup
+                .pipeline
+                .candidates(&question, InterpreterKind::Entity);
             match cands.first() {
                 Some(p) => baseline.record(true, execution_match(&setup.db, &gold, &p.sql)),
                 None => baseline.record(false, false),
@@ -674,6 +729,158 @@ pub fn e10_ontology_bootstrap(seed: u64) -> Table {
     t
 }
 
+/// One E12 serving pass: build a fresh cached pipeline over `domain`,
+/// replay `passes` rounds of the same seeded request stream in
+/// closed-loop batches, and return (signatures, metrics, join-cache
+/// stats).
+#[allow(clippy::too_many_arguments)]
+fn e12_serve_run(
+    domain: &str,
+    seed: u64,
+    n: usize,
+    session_share: f64,
+    workers: usize,
+    queue_capacity: usize,
+    interp_cache: usize,
+    passes: usize,
+    deadlines: Option<(usize, u64)>,
+    batch: usize,
+) -> (
+    Vec<String>,
+    nlidb_serve::MetricsSnapshot,
+    nlidb_ontology::JoinCacheStats,
+) {
+    use nlidb_core::pipeline::{NliPipeline, SchemaContext};
+    use nlidb_ontology::JoinPathCache;
+    use nlidb_serve::{run_closed_loop, with_deadlines, Clock, ManualClock, Server, ServerConfig};
+    use std::sync::Arc;
+
+    let db = nlidb_benchdata::domain_database(domain, seed);
+    let slots = derive_slots(&db);
+    let join_cache = Arc::new(JoinPathCache::new(128));
+    let mut ctx = SchemaContext::build(&db);
+    ctx.graph = ctx.graph.clone().with_cache(Arc::clone(&join_cache));
+    let pipeline = Arc::new(NliPipeline::with_context(&db, ctx));
+    let mut stream = nlidb_benchdata::request_stream(&slots, seed, n, session_share);
+    if let Some((period, budget)) = deadlines {
+        stream = with_deadlines(stream, period, budget, batch);
+    }
+    let clock = Arc::new(ManualClock::new());
+    let mut server = Server::start(
+        pipeline,
+        ServerConfig {
+            workers,
+            queue_capacity,
+            interp_cache,
+            service_estimate: 1,
+        },
+        clock.clone() as Arc<dyn Clock>,
+    );
+    let mut sigs = Vec::with_capacity(n * passes);
+    for _ in 0..passes {
+        sigs.extend(run_closed_loop(&mut server, &clock, &stream, batch).signatures());
+    }
+    let metrics = server.shutdown();
+    (sigs, metrics, join_cache.stats())
+}
+
+/// E12 — serving equivalence & cache efficacy: the §7 "NLIs must grow
+/// into multi-user systems" challenge, operationalized. A concurrent
+/// worker pool must (a) answer *identically* to a serial run — the
+/// per-request signature streams are compared and asserted equal, at
+/// any worker count, with caches hot or disabled — and (b) make repeat
+/// traffic cheap: interpretation-cache and join-path-cache hit rates
+/// per workload. Backpressure rows show deterministic shed/deadline
+/// accounting under a tight queue bound.
+pub fn e12_serving_runtime(seed: u64) -> Table {
+    let mut t = Table::new([
+        "workload",
+        "workers",
+        "requests",
+        "answered",
+        "turns",
+        "shed",
+        "deadline",
+        "interp hit",
+        "join hit",
+        "== serial",
+    ])
+    .title("E12 — serving equivalence & cache efficacy (retail, seeded stream)");
+    const N: usize = 120;
+    const BATCH: usize = 16;
+    let mixed = |workers| e12_serve_run("retail", seed, N, 0.25, workers, N, 256, 1, None, BATCH);
+    let (serial_sigs, m1, j1) = mixed(1);
+    let mut row = |label: &str,
+                   workers: usize,
+                   sigs: &[String],
+                   m: &nlidb_serve::MetricsSnapshot,
+                   j: &nlidb_ontology::JoinCacheStats,
+                   baseline: Option<&[String]>| {
+        let equiv = match baseline {
+            None => "(base)".to_string(),
+            Some(base) => {
+                assert_eq!(base, sigs, "E12: {label} diverged from the serial baseline");
+                "yes".to_string()
+            }
+        };
+        t.row([
+            label.to_string(),
+            workers.to_string(),
+            m.submitted.to_string(),
+            m.answered.to_string(),
+            m.session_turns.to_string(),
+            m.shed_full.to_string(),
+            m.shed_deadline.to_string(),
+            pct(m.interp_hit_rate()),
+            pct(j.hit_rate()),
+            equiv,
+        ]);
+    };
+    row("mixed 25% sessions", 1, &serial_sigs, &m1, &j1, None);
+    for workers in [2, 4] {
+        let (sigs, m, j) = mixed(workers);
+        row(
+            "mixed 25% sessions",
+            workers,
+            &sigs,
+            &m,
+            &j,
+            Some(&serial_sigs),
+        );
+    }
+    // Interp cache off: same answers, nothing counted — transparency.
+    let (sigs, m, j) = e12_serve_run("retail", seed, N, 0.25, 4, N, 0, 1, None, BATCH);
+    assert_eq!(
+        m.interp_hits + m.interp_misses,
+        0,
+        "disabled cache must count nothing"
+    );
+    row("mixed, interp off", 4, &sigs, &m, &j, Some(&serial_sigs));
+    // Hot replay: a second identical pass over a warm server.
+    let (sigs2, m, j) = e12_serve_run("retail", seed, N, 0.0, 2, N, 256, 2, None, BATCH);
+    let (serial2, _, _) = e12_serve_run("retail", seed, N, 0.0, 1, N, 256, 2, None, BATCH);
+    row("singles ×2 (warm)", 2, &sigs2, &m, &j, Some(&serial2));
+    // Backpressure: tight queues + periodic deadlines, large batches.
+    let (_, m, j) = e12_serve_run("retail", seed, N, 0.0, 2, 8, 256, 1, Some((5, 2)), 48);
+    t.row([
+        "backpressure q=8".to_string(),
+        "2".to_string(),
+        m.submitted.to_string(),
+        m.answered.to_string(),
+        m.session_turns.to_string(),
+        m.shed_full.to_string(),
+        m.shed_deadline.to_string(),
+        pct(m.interp_hit_rate()),
+        pct(j.hit_rate()),
+        "n/a".to_string(),
+    ]);
+    assert!(
+        m.shed_full + m.shed_deadline > 0,
+        "E12 backpressure row must actually shed"
+    );
+    t
+}
+
 /// E11 — WTQ-style answer-denotation accuracy (§6): "given the
 /// question and the table, the task is to answer the question based on
 /// the table". The laxest metric: any SQL that denotes the right
@@ -696,8 +903,13 @@ pub fn e11_answer_denotation(seed: u64) -> Table {
         for (j, ex) in examples.iter().enumerate() {
             // Mild paraphrase: systems answer differently-shaped SQL,
             // which is where the denotation metric's laxness matters.
-            let question =
-                nlidb_benchdata::paraphrase(&ex.question, &ex.protected, 1, &lexicon, seed ^ j as u64);
+            let question = nlidb_benchdata::paraphrase(
+                &ex.question,
+                &ex.protected,
+                1,
+                &lexicon,
+                seed ^ j as u64,
+            );
             let pred = setup
                 .pipeline
                 .interpreter(InterpreterKind::Entity)

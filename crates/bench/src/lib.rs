@@ -1,9 +1,10 @@
 //! # nlidb-bench — the reproduction harness
 //!
-//! One function per experiment in `EXPERIMENTS.md` (E1–E10), each
+//! One function per experiment in `EXPERIMENTS.md` (E1–E12), each
 //! returning a rendered [`nlidb_evalkit::Table`]. The `experiments`
 //! binary prints them; the Criterion benches under `benches/` reuse
-//! [`workloads`] for the latency measurements (B1–B5).
+//! [`workloads`] for the latency measurements (B1–B5) and drive the
+//! serving runtime for the throughput-scaling bench (B6).
 
 pub mod experiments;
 pub mod workloads;

@@ -1,8 +1,6 @@
 //! Shared workload construction for experiments and benches.
 
-use nlidb_benchdata::{
-    derive_slots, domain_database, paraphrase, wikisql_like, QaPair, SlotSet,
-};
+use nlidb_benchdata::{derive_slots, domain_database, paraphrase, wikisql_like, QaPair, SlotSet};
 use nlidb_core::interpretation::InterpreterKind;
 use nlidb_core::neural::TrainingExample;
 use nlidb_core::pipeline::NliPipeline;
@@ -34,7 +32,11 @@ pub fn training_examples(
         .into_iter()
         .enumerate()
         .map(|(i, p)| {
-            let level = if levels.is_empty() { 0 } else { levels[i % levels.len()] };
+            let level = if levels.is_empty() {
+                0
+            } else {
+                levels[i % levels.len()]
+            };
             TrainingExample {
                 question: paraphrase(
                     &p.question,
@@ -60,7 +62,11 @@ pub fn setup_domain(name: &str, seed: u64, train_n: usize) -> DomainSetup {
         let train = training_examples(&slots, seed.wrapping_add(101), train_n, &[0, 1, 2, 3]);
         pipeline.train_neural(&train, seed.wrapping_add(202));
     }
-    DomainSetup { db, slots, pipeline }
+    DomainSetup {
+        db,
+        slots,
+        pipeline,
+    }
 }
 
 /// Paraphrase an evaluation suite at a fixed level.
@@ -111,11 +117,7 @@ mod tests {
     #[test]
     fn setup_trains_models() {
         let s = setup_domain("retail", 5, 60);
-        let out = evaluate(
-            &s,
-            InterpreterKind::Entity,
-            &spider_like(&s.slots, 77, 12),
-        );
+        let out = evaluate(&s, InterpreterKind::Entity, &spider_like(&s.slots, 77, 12));
         assert!(out.total == 12);
         assert!(out.recall() > 0.5, "{out}");
     }
@@ -139,7 +141,10 @@ mod tests {
             .zip(&mixed)
             .filter(|(a, b)| a.question != b.question)
             .count();
-        assert!(differing > 20, "level-3 paraphrase must alter most questions");
+        assert!(
+            differing > 20,
+            "level-3 paraphrase must alter most questions"
+        );
     }
 
     #[test]
@@ -152,6 +157,8 @@ mod tests {
             assert_eq!(a.sql, b.sql);
             assert_eq!(a.class, b.class);
         }
-        assert!(para.iter().all(|p| ComplexityClass::all().contains(&p.class)));
+        assert!(para
+            .iter()
+            .all(|p| ComplexityClass::all().contains(&p.class)));
     }
 }

@@ -19,12 +19,15 @@
 //!   colloquialisms, reordering, typos) with intensity levels 0–3,
 //! * [`sessions`] — SParC-like coherent question sequences and
 //!   CoSQL-like dialogues with per-turn gold SQL,
+//! * [`requests`] — interleaved serving streams (hot-question skew +
+//!   in-order conversation turns) for the `nlidb-serve` runtime,
 //! * [`stats`] — dataset statistics harness mirroring the counts the
 //!   paper reports for the real benchmarks.
 //!
 //! Everything is deterministic under a `u64` seed.
 
 pub mod paraphrase;
+pub mod requests;
 pub mod schemas;
 pub mod sessions;
 pub mod slots;
@@ -33,6 +36,7 @@ pub mod templates;
 pub mod wtq;
 
 pub use paraphrase::paraphrase;
+pub use requests::{request_stream, RequestSpec};
 pub use schemas::{
     academic_database, all_domains, clinic_database, domain_database, flights_database,
     hr_database, library_database, retail_database, DOMAIN_NAMES,

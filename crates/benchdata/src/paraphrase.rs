@@ -57,8 +57,7 @@ pub fn paraphrase(
         return question.to_string();
     }
     let mut rng = StdRng::seed_from_u64(seed);
-    let is_protected =
-        |w: &str| protected.iter().any(|p| p.eq_ignore_ascii_case(w));
+    let is_protected = |w: &str| protected.iter().any(|p| p.eq_ignore_ascii_case(w));
 
     // Level 1: synonym substitution on unprotected content words.
     let mut words: Vec<String> = Vec::new();
@@ -137,13 +136,7 @@ mod tests {
         let q = "show customers in Austin with amount over 500";
         for level in 0..=3 {
             for seed in 0..10 {
-                let p = paraphrase(
-                    q,
-                    &["Austin".into(), "500".into()],
-                    level,
-                    &lex(),
-                    seed,
-                );
+                let p = paraphrase(q, &["Austin".into(), "500".into()], level, &lex(), seed);
                 assert!(p.contains("Austin"), "level {level} seed {seed}: {p}");
                 assert!(p.contains("500"), "level {level} seed {seed}: {p}");
             }
@@ -184,7 +177,9 @@ mod tests {
         let q = "show customers";
         let found = (0..40).any(|s| {
             let p = paraphrase(q, &[], 1, &lex(), s);
-            p.contains("client") || p.contains("buyer") || p.contains("purchaser")
+            p.contains("client")
+                || p.contains("buyer")
+                || p.contains("purchaser")
                 || p.contains("account")
         });
         assert!(found, "no synonym substitution over 40 seeds");

@@ -1,0 +1,197 @@
+//! Seeded request streams for the serving runtime.
+//!
+//! A serving workload is not a benchmark sweep: real users repeat
+//! popular questions (which is what makes an interpretation cache
+//! worth having) and hold multi-turn conversations (which is what
+//! makes session affinity worth having). [`request_stream`] turns the
+//! template and session generators into one interleaved, deterministic
+//! stream with both properties, parameterized by a hot-question skew
+//! and a session share.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::sessions::sparc_like;
+use crate::slots::SlotSet;
+use crate::templates::spider_like;
+
+/// One serving request: either a standalone question (`session: None`)
+/// or one turn of a conversation (`session: Some(id)`; turns of one id
+/// appear in conversation order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestSpec {
+    /// The user's utterance.
+    pub question: String,
+    /// Conversation id, if this request continues a dialogue.
+    pub session: Option<u64>,
+    /// Optional completion deadline, in the serving clock's ticks
+    /// (`None` = best effort). Generators leave this `None`; drivers
+    /// that exercise deadline shedding fill it in.
+    pub deadline: Option<u64>,
+}
+
+impl RequestSpec {
+    /// A standalone best-effort question.
+    pub fn single(question: impl Into<String>) -> RequestSpec {
+        RequestSpec {
+            question: question.into(),
+            session: None,
+            deadline: None,
+        }
+    }
+}
+
+/// Generate a deterministic serving stream of `n` requests.
+///
+/// * Standalone questions are drawn from a `spider_like` pool of
+///   `max(n/4, 8)` distinct questions with an 80/20-style skew: with
+///   probability `0.6` a request re-asks one of the hottest 20% of the
+///   pool, otherwise any pool question — so a cache sees both reuse
+///   and churn.
+/// * A `session_share` fraction of requests (in `[0, 1]`) are turns of
+///   `sparc_like` conversations. Sessions are interleaved with singles
+///   and with each other, but each session's turns appear in order —
+///   the property affinity routing must preserve.
+pub fn request_stream(
+    slots: &SlotSet,
+    seed: u64,
+    n: usize,
+    session_share: f64,
+) -> Vec<RequestSpec> {
+    assert!(
+        (0.0..=1.0).contains(&session_share),
+        "session_share out of [0,1]"
+    );
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5e7e_5e7e_5e7e_5e7e);
+    let pool: Vec<String> = spider_like(slots, seed ^ 0x0bad_cafe, n.max(32) / 4)
+        .into_iter()
+        .map(|p| p.question)
+        .collect();
+    // Conversations to weave in. Each yields several turns; generate
+    // enough sessions to cover the requested share.
+    let want_session_turns = (n as f64 * session_share).round() as usize;
+    let sessions = if want_session_turns == 0 {
+        Vec::new()
+    } else {
+        sparc_like(
+            slots,
+            seed ^ 0xd1a1_09fe,
+            want_session_turns.div_ceil(2).max(1),
+        )
+    };
+    let mut pending: Vec<(u64, std::vec::IntoIter<String>)> = sessions
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let turns: Vec<String> = s.turns.into_iter().map(|t| t.utterance).collect();
+            (i as u64, turns.into_iter())
+        })
+        .collect();
+    let hot = (pool.len() / 5).max(1);
+
+    let mut out = Vec::with_capacity(n);
+    let mut emitted_turns = 0usize;
+    while out.len() < n {
+        let take_turn = emitted_turns < want_session_turns && !pending.is_empty() && {
+            // Keep the realized share tracking the requested one.
+            let realized = emitted_turns as f64 / (out.len() + 1) as f64;
+            realized < session_share || rng.gen_bool(session_share.min(0.95))
+        };
+        if take_turn {
+            // Round-robin-ish: pick an active conversation at random.
+            let si = rng.gen_range(0..pending.len());
+            let (sid, turns) = &mut pending[si];
+            if let Some(utterance) = turns.next() {
+                out.push(RequestSpec {
+                    question: utterance,
+                    session: Some(*sid),
+                    deadline: None,
+                });
+                emitted_turns += 1;
+            } else {
+                pending.swap_remove(si);
+            }
+            continue;
+        }
+        let qi = if rng.gen_bool(0.6) {
+            rng.gen_range(0..hot)
+        } else {
+            rng.gen_range(0..pool.len())
+        };
+        out.push(RequestSpec::single(pool[qi].clone()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemas::retail_database;
+    use crate::slots::derive_slots;
+
+    fn slots() -> SlotSet {
+        derive_slots(&retail_database(7))
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let s = slots();
+        let a = request_stream(&s, 42, 120, 0.3);
+        let b = request_stream(&s, 42, 120, 0.3);
+        let c = request_stream(&s, 43, 120, 0.3);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 120);
+    }
+
+    #[test]
+    fn singles_repeat_for_cache_reuse() {
+        let s = slots();
+        let stream = request_stream(&s, 42, 200, 0.0);
+        let distinct: std::collections::HashSet<&str> =
+            stream.iter().map(|r| r.question.as_str()).collect();
+        assert!(stream.iter().all(|r| r.session.is_none()));
+        assert!(
+            distinct.len() < stream.len() / 2,
+            "hot-question skew must produce repeats: {} distinct of {}",
+            distinct.len(),
+            stream.len()
+        );
+    }
+
+    #[test]
+    fn session_turns_stay_in_order() {
+        let s = slots();
+        let stream = request_stream(&s, 42, 160, 0.4);
+        let turn_count = stream.iter().filter(|r| r.session.is_some()).count();
+        assert!(turn_count > 0, "requested sessions must appear");
+        // Turns of each id must be a prefix of that conversation as
+        // sparc_like generated it (same derived seed and count as
+        // request_stream uses internally for n=160, share=0.4).
+        let gold = sparc_like(&s, 42 ^ 0xd1a1_09fe, 32);
+        let mut per_session: std::collections::HashMap<u64, Vec<&str>> = Default::default();
+        for r in &stream {
+            if let Some(id) = r.session {
+                per_session.entry(id).or_default().push(r.question.as_str());
+            }
+        }
+        for (id, got) in &per_session {
+            let want: Vec<&str> = gold[*id as usize]
+                .turns
+                .iter()
+                .map(|t| t.utterance.as_str())
+                .collect();
+            assert!(
+                got.len() <= want.len() && got.iter().zip(&want).all(|(g, w)| g == w),
+                "session {id} turns out of order"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "session_share")]
+    fn rejects_bad_share() {
+        let s = slots();
+        request_stream(&s, 1, 10, 1.5);
+    }
+}

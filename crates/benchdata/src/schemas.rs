@@ -11,8 +11,7 @@ use rand::{Rng, SeedableRng};
 use nlidb_engine::{ColumnType, Database, TableSchema, Value};
 
 /// All generator domain names.
-pub const DOMAIN_NAMES: [&str; 6] =
-    ["retail", "hr", "academic", "flights", "library", "clinic"];
+pub const DOMAIN_NAMES: [&str; 6] = ["retail", "hr", "academic", "flights", "library", "clinic"];
 
 const FIRST_NAMES: [&str; 16] = [
     "Ada", "Bo", "Carol", "Dan", "Eve", "Fay", "Gus", "Hana", "Ivan", "Joan", "Kofi", "Lena",
@@ -23,12 +22,19 @@ const LAST_NAMES: [&str; 12] = [
     "Berg", "Ivanov",
 ];
 const CITIES: [&str; 10] = [
-    "Austin", "Boston", "Chicago", "Denver", "El Paso", "Fresno", "Geneva", "Houston",
-    "Irvine", "Jakarta",
+    "Austin", "Boston", "Chicago", "Denver", "El Paso", "Fresno", "Geneva", "Houston", "Irvine",
+    "Jakarta",
 ];
 const SEGMENTS: [&str; 4] = ["consumer", "corporate", "home office", "public sector"];
 const STATUSES: [&str; 3] = ["shipped", "pending", "returned"];
-const CATEGORIES: [&str; 6] = ["electronics", "furniture", "grocery", "toys", "clothing", "sports"];
+const CATEGORIES: [&str; 6] = [
+    "electronics",
+    "furniture",
+    "grocery",
+    "toys",
+    "clothing",
+    "sports",
+];
 const DIVISIONS: [&str; 3] = ["operations", "research", "sales"];
 const TITLES: [&str; 5] = ["engineer", "analyst", "manager", "director", "clerk"];
 const SUBJECTS: [&str; 5] = ["math", "history", "physics", "art", "biology"];
@@ -39,8 +45,13 @@ const COUNTRIES: [&str; 6] = ["USA", "Brazil", "France", "Japan", "Kenya", "Norw
 const GENRES: [&str; 5] = ["mystery", "fantasy", "history", "romance", "science"];
 const NATIONALITIES: [&str; 5] = ["American", "Brazilian", "French", "Japanese", "Kenyan"];
 const OUTCOMES: [&str; 3] = ["resolved", "referred", "follow-up"];
-const SPECIALTIES: [&str; 5] =
-    ["cardiology", "dermatology", "neurology", "pediatrics", "oncology"];
+const SPECIALTIES: [&str; 5] = [
+    "cardiology",
+    "dermatology",
+    "neurology",
+    "pediatrics",
+    "oncology",
+];
 
 fn pick<'a>(rng: &mut StdRng, pool: &[&'a str]) -> &'a str {
     pool[rng.gen_range(0..pool.len())]
@@ -497,8 +508,7 @@ mod tests {
     #[test]
     fn every_domain_has_fk_edges() {
         for db in all_domains(1) {
-            let fk_count: usize =
-                db.tables().map(|t| t.schema.foreign_keys.len()).sum();
+            let fk_count: usize = db.tables().map(|t| t.schema.foreign_keys.len()).sum();
             assert!(fk_count >= 1, "{} lacks relationships", db.name);
         }
     }

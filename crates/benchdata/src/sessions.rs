@@ -42,7 +42,11 @@ impl SessionKind {
 
     /// All kinds.
     pub fn all() -> [SessionKind; 3] {
-        [SessionKind::Scripted, SessionKind::SlotRefill, SessionKind::UserInitiative]
+        [
+            SessionKind::Scripted,
+            SessionKind::SlotRefill,
+            SessionKind::UserInitiative,
+        ]
     }
 }
 
@@ -92,10 +96,7 @@ fn session_concept(slots: &SlotSet, rng: &mut StdRng) -> Option<usize> {
 fn build_session(slots: &SlotSet, kind: SessionKind, rng: &mut StdRng) -> Option<SessionExample> {
     let ci = session_concept(slots, rng)?;
     let c = &slots.concepts[ci];
-    let cat = c
-        .categoricals
-        .iter()
-        .find(|(_, _, v)| v.len() >= 2)?;
+    let cat = c.categoricals.iter().find(|(_, _, v)| v.len() >= 2)?;
     let (cat_label, cat_col, values) = (&cat.0, &cat.1, &cat.2);
     let v1 = values[rng.gen_range(0..values.len())].clone();
     let v2 = values
@@ -175,7 +176,11 @@ fn build_session(slots: &SlotSet, kind: SessionKind, rng: &mut StdRng) -> Option
             });
         }
     }
-    Some(SessionExample { kind, domain: slots.domain.clone(), turns })
+    Some(SessionExample {
+        kind,
+        domain: slots.domain.clone(),
+        turns,
+    })
 }
 
 /// Generate `n` SParC-like sessions, cycling the three shapes.

@@ -63,14 +63,19 @@ impl SlotSet {
     pub fn with_categorical(&self) -> Vec<usize> {
         (0..self.concepts.len())
             .filter(|&i| {
-                self.concepts[i].categoricals.iter().any(|(_, _, v)| !v.is_empty())
+                self.concepts[i]
+                    .categoricals
+                    .iter()
+                    .any(|(_, _, v)| !v.is_empty())
             })
             .collect()
     }
 
     /// Concepts that have at least one measure.
     pub fn with_measure(&self) -> Vec<usize> {
-        (0..self.concepts.len()).filter(|&i| !self.concepts[i].measures.is_empty()).collect()
+        (0..self.concepts.len())
+            .filter(|&i| !self.concepts[i].measures.is_empty())
+            .collect()
     }
 
     /// Concepts with both a categorical and a measure (single-table
@@ -114,7 +119,9 @@ pub fn derive_slots(db: &Database) -> SlotSet {
                             _ => None,
                         })
                         .collect();
-                    slots.categoricals.push((p.label.clone(), p.column.clone(), values));
+                    slots
+                        .categoricals
+                        .push((p.label.clone(), p.column.clone(), values));
                 }
                 PropertyRole::Measure => {
                     let mut values: Vec<f64> = table
@@ -123,7 +130,9 @@ pub fn derive_slots(db: &Database) -> SlotSet {
                         .filter_map(|v| v.as_f64())
                         .collect();
                     values.sort_by(|a, b| a.partial_cmp(b).unwrap());
-                    slots.measures.push((p.label.clone(), p.column.clone(), values));
+                    slots
+                        .measures
+                        .push((p.label.clone(), p.column.clone(), values));
                 }
                 PropertyRole::Temporal => {
                     let mut years: Vec<i32> = table
@@ -155,7 +164,13 @@ pub fn derive_slots(db: &Database) -> SlotSet {
             });
         }
     }
-    SlotSet { domain: db.name.clone(), concepts, pairs, ontology, graph }
+    SlotSet {
+        domain: db.name.clone(),
+        concepts,
+        pairs,
+        ontology,
+        graph,
+    }
 }
 
 #[cfg(test)]
@@ -170,19 +185,28 @@ mod tests {
         assert_eq!(s.concepts.len(), 3);
         let customer = s.concepts.iter().find(|c| c.concept == "customer").unwrap();
         assert_eq!(customer.descriptor.as_ref().unwrap().1, "name");
-        assert!(customer.categoricals.iter().any(|(l, _, v)| l == "city" && !v.is_empty()));
+        assert!(customer
+            .categoricals
+            .iter()
+            .any(|(l, _, v)| l == "city" && !v.is_empty()));
         assert!(customer.temporal.is_some());
         let order = s.concepts.iter().find(|c| c.concept == "order").unwrap();
         assert_eq!(order.measures.len(), 1);
-        assert!(order.measures[0].2.windows(2).all(|w| w[0] <= w[1]), "sorted");
+        assert!(
+            order.measures[0].2.windows(2).all(|w| w[0] <= w[1]),
+            "sorted"
+        );
     }
 
     #[test]
     fn pairs_cover_both_fks() {
         let s = derive_slots(&retail_database(5));
         assert_eq!(s.pairs.len(), 2);
-        let facts: Vec<&str> =
-            s.pairs.iter().map(|p| s.concepts[p.fact].concept.as_str()).collect();
+        let facts: Vec<&str> = s
+            .pairs
+            .iter()
+            .map(|p| s.concepts[p.fact].concept.as_str())
+            .collect();
         assert_eq!(facts, vec!["order", "order"]);
     }
 
@@ -192,7 +216,11 @@ mod tests {
         assert!(!s.with_categorical().is_empty());
         assert!(!s.with_measure().is_empty());
         // products have both a categorical (category) and measure (price)
-        let product_idx = s.concepts.iter().position(|c| c.concept == "product").unwrap();
+        let product_idx = s
+            .concepts
+            .iter()
+            .position(|c| c.concept == "product")
+            .unwrap();
         assert!(s.with_both().contains(&product_idx));
     }
 

@@ -44,18 +44,17 @@ impl DatasetStats {
 
 /// Compute statistics over generated QA pairs (possibly spanning
 /// several domains) and sessions.
-pub fn dataset_stats(
-    name: &str,
-    pairs: &[QaPair],
-    sessions: &[SessionExample],
-) -> DatasetStats {
+pub fn dataset_stats(name: &str, pairs: &[QaPair], sessions: &[SessionExample]) -> DatasetStats {
     let mut tables: HashSet<String> = HashSet::new();
     let mut domains: HashSet<&str> = HashSet::new();
     let mut per_class = [0usize; 4];
     for p in pairs {
         domains.insert(&p.domain);
         collect_tables(&p.sql, &mut tables);
-        let idx = ComplexityClass::all().iter().position(|c| *c == p.class).unwrap_or(0);
+        let idx = ComplexityClass::all()
+            .iter()
+            .position(|c| *c == p.class)
+            .unwrap_or(0);
         per_class[idx] += 1;
     }
     for s in sessions {

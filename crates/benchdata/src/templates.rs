@@ -58,7 +58,13 @@ struct TemplateCtx<'a> {
 }
 
 impl<'a> TemplateCtx<'a> {
-    fn mk(&mut self, template: &str, question: String, sql: Query, protected: Vec<String>) -> QaPair {
+    fn mk(
+        &mut self,
+        template: &str,
+        question: String,
+        sql: Query,
+        protected: Vec<String>,
+    ) -> QaPair {
         self.serial += 1;
         QaPair {
             id: format!("{}/{}/{}", self.slots.domain, template, self.serial),
@@ -79,8 +85,11 @@ impl<'a> TemplateCtx<'a> {
     }
 
     fn categorical(&mut self, c: &'a ConceptSlots) -> Option<(&'a str, &'a str, String)> {
-        let with_values: Vec<&(String, String, Vec<String>)> =
-            c.categoricals.iter().filter(|(_, _, v)| !v.is_empty()).collect();
+        let with_values: Vec<&(String, String, Vec<String>)> = c
+            .categoricals
+            .iter()
+            .filter(|(_, _, v)| !v.is_empty())
+            .collect();
         if with_values.is_empty() {
             return None;
         }
@@ -172,8 +181,7 @@ impl<'a> TemplateCtx<'a> {
                 negated: false,
             })
             .build();
-        let mut protected: Vec<String> =
-            v1.split_whitespace().map(str::to_string).collect();
+        let mut protected: Vec<String> = v1.split_whitespace().map(str::to_string).collect();
         protected.extend(v2.split_whitespace().map(str::to_string));
         Some(self.mk("s_cat_or", q, sql, protected))
     }
@@ -227,13 +235,11 @@ impl<'a> TemplateCtx<'a> {
             ),
             1 => (
                 format!("before {year}"),
-                Expr::col(column.clone())
-                    .binary(BinOp::Lt, Expr::str(format!("{year}-01-01"))),
+                Expr::col(column.clone()).binary(BinOp::Lt, Expr::str(format!("{year}-01-01"))),
             ),
             _ => (
                 format!("after {year}"),
-                Expr::col(column.clone())
-                    .binary(BinOp::Gt, Expr::str(format!("{year}-12-31"))),
+                Expr::col(column.clone()).binary(BinOp::Gt, Expr::str(format!("{year}-12-31"))),
             ),
         };
         // Surface the temporal property via a verb-ish phrasing the
@@ -262,7 +268,10 @@ impl<'a> TemplateCtx<'a> {
         let c = self.concept(&self.slots.with_both())?;
         let (m_label, m_col, _) = self.measure(c)?;
         let (c_label, c_col, _) = self.categorical(c)?;
-        let (word, func) = *pick(&mut self.rng, &[("total", AggFunc::Sum), ("average", AggFunc::Avg)]);
+        let (word, func) = *pick(
+            &mut self.rng,
+            &[("total", AggFunc::Sum), ("average", AggFunc::Avg)],
+        );
         let q = format!("{word} {m_label} by {c_label}");
         let sql = QueryBuilder::from_table(&c.table)
             .select_col(c_col)
@@ -330,7 +339,11 @@ impl<'a> TemplateCtx<'a> {
 
     // ---------- Join templates ----------
 
-    fn pair_with(&mut self, need_dim_cat: bool, need_fact_measure: bool) -> Option<&'a RelatedPair> {
+    fn pair_with(
+        &mut self,
+        need_dim_cat: bool,
+        need_fact_measure: bool,
+    ) -> Option<&'a RelatedPair> {
         let candidates: Vec<&RelatedPair> = self
             .slots
             .pairs
@@ -338,8 +351,7 @@ impl<'a> TemplateCtx<'a> {
             .filter(|p| {
                 let dim = &self.slots.concepts[p.dim];
                 let fact = &self.slots.concepts[p.fact];
-                (!need_dim_cat
-                    || dim.categoricals.iter().any(|(_, _, v)| !v.is_empty()))
+                (!need_dim_cat || dim.categoricals.iter().any(|(_, _, v)| !v.is_empty()))
                     && (!need_fact_measure || !fact.measures.is_empty())
             })
             .collect();
@@ -376,7 +388,10 @@ impl<'a> TemplateCtx<'a> {
         let (m_label, m_col) = (m.0.clone(), m.1.clone());
         let cat = dim.categoricals.iter().find(|(_, _, v)| !v.is_empty())?;
         let (c_label, c_col) = (cat.0.clone(), cat.1.clone());
-        let q = format!("total {} {m_label} by {} {c_label}", fact.concept, dim.concept);
+        let q = format!(
+            "total {} {m_label} by {} {c_label}",
+            fact.concept, dim.concept
+        );
         let sql = self
             .join_query(&pair, true)
             .select_expr(Expr::qcol(dim.table.clone(), c_col.clone()), None)
@@ -402,9 +417,7 @@ impl<'a> TemplateCtx<'a> {
         let sql = self
             .join_query(&pair, false)
             .select_expr(Expr::qcol(dim.table.clone(), desc_col), None)
-            .and_where(
-                Expr::qcol(fact.table.clone(), m_col).binary(BinOp::Gt, Expr::int(t)),
-            )
+            .and_where(Expr::qcol(fact.table.clone(), m_col).binary(BinOp::Gt, Expr::int(t)))
             .build();
         Some(self.mk("j_filter", q, sql, vec![t.to_string()]))
     }
@@ -494,15 +507,12 @@ impl<'a> TemplateCtx<'a> {
         let sql = Query {
             select: vec![SelectItem::Wildcard],
             from: Some(TableSource::table(c.table.clone())),
-            where_clause: Some(
-                Expr::col(m_col).binary(op, Expr::ScalarSubquery(Box::new(inner))),
-            ),
+            where_clause: Some(Expr::col(m_col).binary(op, Expr::ScalarSubquery(Box::new(inner)))),
             ..Query::default()
         };
         Some(self.mk("n_above_avg", q, sql, vec![]))
     }
 }
-
 
 type TemplateFn<'a> = fn(&mut TemplateCtx<'a>) -> Option<QaPair>;
 
@@ -525,15 +535,27 @@ fn template_families<'a>() -> [Vec<TemplateFn<'a>>; 4] {
             TemplateCtx::a_top,
             TemplateCtx::a_distinct,
         ],
-        vec![TemplateCtx::j_agg, TemplateCtx::j_filter, TemplateCtx::j_having],
-        vec![TemplateCtx::n_without, TemplateCtx::n_has, TemplateCtx::n_above_avg],
+        vec![
+            TemplateCtx::j_agg,
+            TemplateCtx::j_filter,
+            TemplateCtx::j_having,
+        ],
+        vec![
+            TemplateCtx::n_without,
+            TemplateCtx::n_has,
+            TemplateCtx::n_above_avg,
+        ],
     ]
 }
 
 /// Generate a Spider-like suite over one domain: `n` questions cycled
 /// evenly across the four complexity rungs.
 pub fn spider_like(slots: &SlotSet, seed: u64, n: usize) -> Vec<QaPair> {
-    let mut ctx = TemplateCtx { slots, rng: StdRng::seed_from_u64(seed), serial: 0 };
+    let mut ctx = TemplateCtx {
+        slots,
+        rng: StdRng::seed_from_u64(seed),
+        serial: 0,
+    };
     let mut out = Vec::with_capacity(n);
     let families = template_families();
     let mut i = 0;
@@ -551,7 +573,11 @@ pub fn spider_like(slots: &SlotSet, seed: u64, n: usize) -> Vec<QaPair> {
 /// Generate a WikiSQL-like suite: single-table selection and global
 /// aggregation only (the neural sketch's regime).
 pub fn wikisql_like(slots: &SlotSet, seed: u64, n: usize) -> Vec<QaPair> {
-    let mut ctx = TemplateCtx { slots, rng: StdRng::seed_from_u64(seed), serial: 0 };
+    let mut ctx = TemplateCtx {
+        slots,
+        rng: StdRng::seed_from_u64(seed),
+        serial: 0,
+    };
     let simple: Vec<TemplateFn<'_>> = vec![
         TemplateCtx::s_all,
         TemplateCtx::s_cat,
@@ -599,7 +625,13 @@ mod tests {
             let slots = derive_slots(&db);
             for pair in spider_like(&slots, 5, 40) {
                 let res = execute(&db, &pair.sql);
-                assert!(res.is_ok(), "{}: {} failed: {:?}", pair.id, pair.sql, res.err());
+                assert!(
+                    res.is_ok(),
+                    "{}: {} failed: {:?}",
+                    pair.id,
+                    pair.sql,
+                    res.err()
+                );
             }
         }
     }

@@ -59,7 +59,9 @@ pub fn wtq_like(db: &Database, slots: &SlotSet, seed: u64, n: usize) -> Vec<WtqE
         if out.len() >= n {
             break;
         }
-        let Ok(rs) = execute(db, &pair.sql) else { continue };
+        let Ok(rs) = execute(db, &pair.sql) else {
+            continue;
+        };
         if rs.rows.is_empty() {
             continue;
         }

@@ -1,0 +1,365 @@
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+//! # criterion (offline compatibility stand-in)
+//!
+//! The registry is unreachable in this build environment, so the real
+//! `criterion` crate cannot be fetched. This crate implements the API
+//! subset the workspace's benches use — [`Criterion`], benchmark
+//! groups, [`BenchmarkId`], [`Throughput`], the [`criterion_group!`] /
+//! [`criterion_main!`] macros, and `Bencher::iter` — over a plain
+//! [`std::time::Instant`] harness.
+//!
+//! Reporting is intentionally simple: per benchmark it prints the
+//! median, mean, and min of the per-iteration time across samples
+//! (and elements/second when a throughput is set). There are no
+//! statistical regressions, plots, or saved baselines.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark (split across samples).
+const MEASURE_BUDGET: Duration = Duration::from_millis(600);
+/// Warm-up budget per benchmark.
+const WARMUP_BUDGET: Duration = Duration::from_millis(120);
+
+/// Set when the binary runs under `cargo test` (which passes `--test`):
+/// each benchmark then executes exactly once, as a smoke test.
+static QUICK_MODE: AtomicBool = AtomicBool::new(false);
+
+/// Inspect CLI arguments; called by [`criterion_main!`]. Unknown flags
+/// (e.g. cargo's `--bench`) are ignored.
+pub fn init_from_args() {
+    if std::env::args().any(|a| a == "--test") {
+        QUICK_MODE.store(true, Ordering::Relaxed);
+    }
+}
+
+/// A benchmark identifier: `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Id with a function name and a parameter rendering.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Id carrying only a parameter rendering.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Work-per-iteration declaration, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// The top-level harness handle.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: MEASURE_BUDGET,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group: {name} ==");
+        BenchmarkGroup {
+            name,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        run_benchmark(
+            &id.into().id,
+            self.sample_size,
+            self.measurement_time,
+            None,
+            f,
+        );
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Total measurement budget per benchmark in this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Declare the work performed by one iteration.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into().id);
+        run_benchmark(
+            &id,
+            self.sample_size,
+            self.measurement_time,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Run a benchmark that borrows an input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finish the group (prints nothing extra; provided for API parity).
+    pub fn finish(self) {}
+}
+
+/// Passed to the measured closure; call [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it `self.iters` times back to back.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn time_once<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> Duration {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.elapsed
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    id: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    if QUICK_MODE.load(Ordering::Relaxed) {
+        let t = time_once(&mut f, 1);
+        println!(
+            "{id:<48} smoke-tested once in {}",
+            human_time(t.as_secs_f64())
+        );
+        return;
+    }
+    // Warm up and estimate the per-iteration cost.
+    let warmup_start = Instant::now();
+    let mut probe_iters = 1u64;
+    let mut per_iter = Duration::from_nanos(1);
+    while warmup_start.elapsed() < WARMUP_BUDGET {
+        let t = time_once(&mut f, probe_iters);
+        per_iter = (t / probe_iters.max(1) as u32).max(Duration::from_nanos(1));
+        if t < Duration::from_millis(2) {
+            probe_iters = probe_iters.saturating_mul(2);
+        }
+    }
+    // Split the measurement budget into `sample_size` samples.
+    let per_sample = measurement_time / sample_size as u32;
+    let iters = (per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64;
+    let mut samples: Vec<f64> = (0..sample_size)
+        .map(|_| time_once(&mut f, iters).as_secs_f64() / iters as f64)
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let min = samples[0];
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!("  {:>12}/s", human_rate(n as f64 / median)),
+        Throughput::Bytes(n) => format!("  {:>10}B/s", human_rate(n as f64 / median)),
+    });
+    println!(
+        "{id:<48} median {:>10}  mean {:>10}  min {:>10}  ({} samples x {} iters){}",
+        human_time(median),
+        human_time(mean),
+        human_time(min),
+        sample_size,
+        iters,
+        rate.unwrap_or_default(),
+    );
+}
+
+fn human_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+fn human_rate(per_sec: f64) -> String {
+    if per_sec >= 1e6 {
+        format!("{:.2}M", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.1}k", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1}")
+    }
+}
+
+/// Hint the optimizer not to fold the value away (re-export of the
+/// std implementation for API parity with upstream criterion).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Define a benchmark group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $crate::init_from_args();
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(6));
+        let mut count = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| count += 1));
+        assert!(count > 0, "routine must actually run");
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(4));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2).throughput(Throughput::Elements(10));
+        group.bench_with_input(BenchmarkId::new("f", 1), &3u64, |b, &x| b.iter(|| x * 2));
+        group.bench_function("plain", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+
+    #[test]
+    fn humanized_units() {
+        assert!(human_time(3.2e-9).ends_with("ns"));
+        assert!(human_time(3.2e-6).ends_with("µs"));
+        assert!(human_time(3.2e-3).ends_with("ms"));
+        assert!(human_time(2.0).ends_with('s'));
+        assert_eq!(human_rate(2_500_000.0), "2.50M");
+        assert_eq!(human_rate(2_500.0), "2.5k");
+    }
+}

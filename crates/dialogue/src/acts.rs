@@ -67,12 +67,15 @@ pub fn detect_act(utterance: &str, ctx: &SchemaContext, has_context: bool) -> Di
     let mentions = link_mentions(&tokens, ctx);
 
     if !has_context {
-        return if mentions.is_empty() { DialogueAct::Unknown } else { DialogueAct::NewQuery };
+        return if mentions.is_empty() {
+            DialogueAct::Unknown
+        } else {
+            DialogueAct::NewQuery
+        };
     }
 
     let starts_with = |prefix: &[&str]| norms.starts_with(prefix);
-    let contains =
-        |w: &str| norms.contains(&w);
+    let contains = |w: &str| norms.contains(&w);
 
     // "remove/clear/drop the filter(s)" or "show everything again".
     if (contains("remove") || contains("clear") || contains("drop"))
@@ -94,7 +97,9 @@ pub fn detect_act(utterance: &str, ctx: &SchemaContext, has_context: bool) -> Di
             return DialogueAct::ReplaceValue { mention: m.clone() };
         }
         if let Some(m) = mentions.iter().find(|m| m.is_concept()) {
-            return DialogueAct::SwitchFocus { concept: m.concept().to_string() };
+            return DialogueAct::SwitchFocus {
+                concept: m.concept().to_string(),
+            };
         }
         if let Some(m) = mentions.iter().find(|m| m.is_property()) {
             return DialogueAct::SetGroup { mention: m.clone() };
@@ -105,7 +110,9 @@ pub fn detect_act(utterance: &str, ctx: &SchemaContext, has_context: bool) -> Di
     // Focus switch: "show their/the orders instead", "… instead".
     if contains("instead") {
         if let Some(m) = mentions.iter().find(|m| m.is_concept()) {
-            return DialogueAct::SwitchFocus { concept: m.concept().to_string() };
+            return DialogueAct::SwitchFocus {
+                concept: m.concept().to_string(),
+            };
         }
     }
 
@@ -146,13 +153,10 @@ pub fn detect_act(utterance: &str, ctx: &SchemaContext, has_context: bool) -> Di
 
     // Narrowing: "only …", "just …", or anaphora plus a comparison or
     // value mention.
-    let narrowing_head = starts_with(&["only"])
-        || starts_with(&["just"])
-        || contains("those")
-        || contains("them");
+    let narrowing_head =
+        starts_with(&["only"]) || starts_with(&["just"]) || contains("those") || contains("them");
     if narrowing_head
-        && (!signals::find_comparisons(&tokens).is_empty()
-            || mentions.iter().any(|m| m.is_value()))
+        && (!signals::find_comparisons(&tokens).is_empty() || mentions.iter().any(|m| m.is_value()))
     {
         return DialogueAct::AddFilter;
     }
@@ -204,8 +208,11 @@ mod tests {
         )
         .unwrap();
         for (id, n, c) in [(1, "Ada", "Austin"), (2, "Bob", "Boston")] {
-            db.insert("customers", vec![Value::Int(id), Value::from(n), Value::from(c)])
-                .unwrap();
+            db.insert(
+                "customers",
+                vec![Value::Int(id), Value::from(n), Value::from(c)],
+            )
+            .unwrap();
         }
         SchemaContext::build(&db)
     }
@@ -213,7 +220,10 @@ mod tests {
     #[test]
     fn first_turn_is_new_query() {
         let ctx = ctx();
-        assert_eq!(detect_act("show customers in Austin", &ctx, false), DialogueAct::NewQuery);
+        assert_eq!(
+            detect_act("show customers in Austin", &ctx, false),
+            DialogueAct::NewQuery
+        );
         assert_eq!(detect_act("blah blah", &ctx, false), DialogueAct::Unknown);
     }
 
@@ -269,7 +279,10 @@ mod tests {
     #[test]
     fn top_fragment_is_top_n() {
         let ctx = ctx();
-        assert_eq!(detect_act("just the top 5", &ctx, true), DialogueAct::SetTopN);
+        assert_eq!(
+            detect_act("just the top 5", &ctx, true),
+            DialogueAct::SetTopN
+        );
     }
 
     #[test]

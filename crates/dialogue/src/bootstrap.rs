@@ -54,7 +54,13 @@ impl ConversationArtifacts {
 /// Expand a template over a word and its lexicon synonyms.
 fn expand(templates: &[&str], ctx: &SchemaContext, word: &str) -> Vec<String> {
     let mut variants = vec![word.to_string()];
-    variants.extend(ctx.lexicon.synonyms_of(word).iter().take(2).map(|s| s.to_string()));
+    variants.extend(
+        ctx.lexicon
+            .synonyms_of(word)
+            .iter()
+            .take(2)
+            .map(|s| s.to_string()),
+    );
     let mut out = Vec::with_capacity(templates.len() * variants.len());
     for t in templates {
         for v in &variants {
@@ -73,7 +79,12 @@ pub fn bootstrap_from_ontology(db: &Database, ctx: &SchemaContext) -> Conversati
         artifacts.intents.push(IntentArtifact {
             name: format!("show_{c}"),
             examples: expand(
-                &["show all {x}s", "list the {x}s", "display {x}s", "give me every {x}"],
+                &[
+                    "show all {x}s",
+                    "list the {x}s",
+                    "display {x}s",
+                    "give me every {x}",
+                ],
                 ctx,
                 c,
             ),
@@ -81,7 +92,11 @@ pub fn bootstrap_from_ontology(db: &Database, ctx: &SchemaContext) -> Conversati
         artifacts.intents.push(IntentArtifact {
             name: format!("count_{c}"),
             examples: expand(
-                &["how many {x}s are there", "count the {x}s", "number of {x}s"],
+                &[
+                    "how many {x}s are there",
+                    "count the {x}s",
+                    "number of {x}s",
+                ],
                 ctx,
                 c,
             ),
@@ -116,7 +131,12 @@ pub fn bootstrap_from_ontology(db: &Database, ctx: &SchemaContext) -> Conversati
                 artifacts.intents.push(IntentArtifact {
                     name: format!("filter_{c}_{}", p.column),
                     examples: expand(
-                        &["{x}s in", "filter by {x}", "only a certain {x}", "restrict the {x}"],
+                        &[
+                            "{x}s in",
+                            "filter by {x}",
+                            "only a certain {x}",
+                            "restrict the {x}",
+                        ],
                         ctx,
                         &p.label,
                     )
@@ -191,7 +211,13 @@ impl IntentClassifier {
                 ys.push(li);
             }
         }
-        let cfg = MlpConfig { hidden: 48, epochs: 120, lr: 0.1, seed, l2: 1e-4 };
+        let cfg = MlpConfig {
+            hidden: 48,
+            epochs: 120,
+            lr: 0.1,
+            seed,
+            l2: 1e-4,
+        };
         let mut mlp = Mlp::new(IDIM, labels.len().max(2), &cfg);
         mlp.train(&xs, &ys, &cfg);
         IntentClassifier { mlp, labels }
@@ -242,8 +268,11 @@ mod tests {
         )
         .unwrap();
         for (id, n, c) in [(1, "Ada", "Austin"), (2, "Bob", "Boston")] {
-            db.insert("customers", vec![Value::Int(id), Value::from(n), Value::from(c)])
-                .unwrap();
+            db.insert(
+                "customers",
+                vec![Value::Int(id), Value::from(n), Value::from(c)],
+            )
+            .unwrap();
         }
         let ctx = SchemaContext::build(&db);
         (db, ctx)
@@ -267,7 +296,11 @@ mod tests {
     fn entities_from_data_values() {
         let (db, ctx) = setup();
         let a = bootstrap_from_ontology(&db, &ctx);
-        let city = a.entities.iter().find(|e| e.name == "customer_city").unwrap();
+        let city = a
+            .entities
+            .iter()
+            .find(|e| e.name == "customer_city")
+            .unwrap();
         assert!(city.values.contains(&"Austin".to_string()));
         assert!(city.values.contains(&"Boston".to_string()));
     }
@@ -276,7 +309,11 @@ mod tests {
     fn examples_include_synonyms() {
         let (db, ctx) = setup();
         let a = bootstrap_from_ontology(&db, &ctx);
-        let show = a.intents.iter().find(|i| i.name == "show_customer").unwrap();
+        let show = a
+            .intents
+            .iter()
+            .find(|i| i.name == "show_customer")
+            .unwrap();
         // "client" is a lexicon synonym of "customer".
         assert!(
             show.examples.iter().any(|e| e.contains("client")),
@@ -305,8 +342,14 @@ mod tests {
         let a = bootstrap_from_ontology(&db, &ctx);
         let clf = IntentClassifier::train(&a, 5);
         let pairs = vec![
-            ("count the customers".to_string(), "count_customer".to_string()),
-            ("list the customers".to_string(), "show_customer".to_string()),
+            (
+                "count the customers".to_string(),
+                "count_customer".to_string(),
+            ),
+            (
+                "list the customers".to_string(),
+                "show_customer".to_string(),
+            ),
         ];
         assert!(clf.accuracy(&pairs) > 0.49);
         assert_eq!(clf.accuracy(&[]), 0.0);

@@ -37,7 +37,11 @@ impl ManagerKind {
 
     /// All regimes, in the survey's order of increasing flexibility.
     pub fn all() -> [ManagerKind; 3] {
-        [ManagerKind::FiniteState, ManagerKind::Frame, ManagerKind::Agent]
+        [
+            ManagerKind::FiniteState,
+            ManagerKind::Frame,
+            ManagerKind::Agent,
+        ]
     }
 
     /// The finite-state script: the stage each act belongs to. The
@@ -107,7 +111,13 @@ mod tests {
         let m = ManagerKind::Agent;
         assert!(m.accepts(&DialogueAct::NewQuery, false, 0));
         assert!(m.accepts(&DialogueAct::RemoveFilters, true, 0));
-        assert!(m.accepts(&DialogueAct::SwitchFocus { concept: "order".into() }, true, 0));
+        assert!(m.accepts(
+            &DialogueAct::SwitchFocus {
+                concept: "order".into()
+            },
+            true,
+            0
+        ));
         assert!(m.accepts(&replace_act(), true, 0));
         assert!(!m.accepts(&DialogueAct::Unknown, true, 0));
     }
@@ -116,11 +126,20 @@ mod tests {
     fn frame_rejects_structural_moves() {
         let m = ManagerKind::Frame;
         assert!(m.accepts(&DialogueAct::NewQuery, false, 0));
-        assert!(m.accepts(&replace_act(), true, 0), "slot refill is frame territory");
+        assert!(
+            m.accepts(&replace_act(), true, 0),
+            "slot refill is frame territory"
+        );
         assert!(m.accepts(&DialogueAct::AddFilter, true, 0));
         assert!(m.accepts(&DialogueAct::SetAggregation, true, 0));
         assert!(!m.accepts(&DialogueAct::RemoveFilters, true, 0));
-        assert!(!m.accepts(&DialogueAct::SwitchFocus { concept: "order".into() }, true, 0));
+        assert!(!m.accepts(
+            &DialogueAct::SwitchFocus {
+                concept: "order".into()
+            },
+            true,
+            0
+        ));
     }
 
     #[test]
@@ -135,10 +154,16 @@ mod tests {
         // Backward or off-script moves rejected.
         assert!(!m.accepts(&DialogueAct::AddFilter, true, 3));
         assert!(!m.accepts(&replace_act(), true, 1));
-        assert!(!m.accepts(&DialogueAct::SetGroup { mention: match replace_act() {
-            DialogueAct::ReplaceValue { mention } => mention,
-            _ => unreachable!(),
-        } }, true, 1));
+        assert!(!m.accepts(
+            &DialogueAct::SetGroup {
+                mention: match replace_act() {
+                    DialogueAct::ReplaceValue { mention } => mention,
+                    _ => unreachable!(),
+                }
+            },
+            true,
+            1
+        ));
     }
 
     #[test]
@@ -152,12 +177,12 @@ mod tests {
             DialogueAct::SetTopN,
             DialogueAct::SetOrder,
             DialogueAct::RemoveFilters,
-            DialogueAct::SwitchFocus { concept: "order".into() },
+            DialogueAct::SwitchFocus {
+                concept: "order".into(),
+            },
             replace_act(),
         ];
-        let count = |m: ManagerKind| {
-            acts.iter().filter(|a| m.accepts(a, true, 1)).count()
-        };
+        let count = |m: ManagerKind| acts.iter().filter(|a| m.accepts(a, true, 1)).count();
         let fsm = count(ManagerKind::FiniteState);
         let frame = count(ManagerKind::Frame);
         let agent = count(ManagerKind::Agent);

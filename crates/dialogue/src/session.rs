@@ -35,7 +35,13 @@ pub struct ConversationSession<'a> {
 impl<'a> ConversationSession<'a> {
     /// Start a session under a management regime.
     pub fn new(db: &'a Database, ctx: &'a SchemaContext, manager: ManagerKind) -> Self {
-        ConversationSession { db, ctx, manager, state: DialogueState::new(), script_stage: 0 }
+        ConversationSession {
+            db,
+            ctx,
+            manager,
+            state: DialogueState::new(),
+            script_stage: 0,
+        }
     }
 
     /// The running state (read-only).
@@ -67,7 +73,9 @@ impl<'a> ConversationSession<'a> {
     pub fn turn(&mut self, utterance: &str) -> TurnResult {
         let act = detect_act(utterance, self.ctx, self.state.has_context());
         let label = act.label();
-        let accepted = self.manager.accepts(&act, self.state.has_context(), self.script_stage);
+        let accepted = self
+            .manager
+            .accepts(&act, self.state.has_context(), self.script_stage);
 
         let applied = accepted && self.state.apply(&act, utterance, self.ctx);
         self.state.history.push(TurnRecord {
@@ -88,15 +96,21 @@ impl<'a> ConversationSession<'a> {
                     // information is required and ask questions
                     // accordingly" (§5): name the missing/expected slot.
                     ManagerKind::Frame => match self.missing_slot() {
-                        Some(slot) => format!(
-                            "I cannot change that. You could refine the {slot} instead."
-                        ),
+                        Some(slot) => {
+                            format!("I cannot change that. You could refine the {slot} instead.")
+                        }
                         None => "I cannot handle that kind of request.".to_string(),
                     },
                     ManagerKind::Agent => "I cannot handle that kind of request.".to_string(),
                 }
             };
-            return TurnResult { act: label, accepted: false, sql: None, result: None, response };
+            return TurnResult {
+                act: label,
+                accepted: false,
+                sql: None,
+                result: None,
+                response,
+            };
         }
         if self.manager == ManagerKind::FiniteState {
             if let DialogueAct::NewQuery = act {
@@ -113,7 +127,11 @@ impl<'a> ConversationSession<'a> {
         }
 
         // Lower + execute.
-        let oql = self.state.oql.as_ref().expect("applied act implies context");
+        let oql = self
+            .state
+            .oql
+            .as_ref()
+            .expect("applied act implies context");
         match oql.to_sql(&self.ctx.ontology, &self.ctx.graph) {
             Ok(sql) => match execute(self.db, &sql) {
                 Ok(result) => {
@@ -169,13 +187,23 @@ mod tests {
                 .foreign_key("customer_id", "customers", "id"),
         )
         .unwrap();
-        for (id, n, c) in [(1, "Ada", "Austin"), (2, "Bob", "Boston"), (3, "Cy", "Austin")] {
-            db.insert("customers", vec![Value::Int(id), Value::from(n), Value::from(c)])
-                .unwrap();
+        for (id, n, c) in [
+            (1, "Ada", "Austin"),
+            (2, "Bob", "Boston"),
+            (3, "Cy", "Austin"),
+        ] {
+            db.insert(
+                "customers",
+                vec![Value::Int(id), Value::from(n), Value::from(c)],
+            )
+            .unwrap();
         }
         for (id, cid, amt) in [(1, 1, 10.0), (2, 1, 90.0), (3, 2, 40.0)] {
-            db.insert("orders", vec![Value::Int(id), Value::Int(cid), Value::Float(amt)])
-                .unwrap();
+            db.insert(
+                "orders",
+                vec![Value::Int(id), Value::Int(cid), Value::Float(amt)],
+            )
+            .unwrap();
         }
         db
     }

@@ -52,45 +52,43 @@ impl DialogueState {
 
     /// Apply an accepted act to the state. Returns false when the act
     /// could not be applied (e.g. nothing to anchor a replacement on).
-    pub fn apply(
-        &mut self,
-        act: &DialogueAct,
-        utterance: &str,
-        ctx: &SchemaContext,
-    ) -> bool {
+    pub fn apply(&mut self, act: &DialogueAct, utterance: &str, ctx: &SchemaContext) -> bool {
         match act {
-            DialogueAct::NewQuery => {
-                match build_oql(utterance, ctx, Capabilities::full()) {
-                    Some(build) => {
-                        self.oql = Some(build.oql);
-                        true
-                    }
-                    None => false,
+            DialogueAct::NewQuery => match build_oql(utterance, ctx, Capabilities::full()) {
+                Some(build) => {
+                    self.oql = Some(build.oql);
+                    true
                 }
-            }
+                None => false,
+            },
             DialogueAct::ReplaceValue { mention } => self.replace_value(mention),
             DialogueAct::AddFilter => self.add_filter(utterance, ctx),
             DialogueAct::SetAggregation => self.set_aggregation(utterance, ctx),
             DialogueAct::SetGroup { mention } => self.set_group(mention),
             DialogueAct::SetTopN => self.set_top_n(utterance, ctx),
             DialogueAct::SetOrder => self.set_order(utterance, ctx),
-            DialogueAct::RemoveFilters => {
-                match &mut self.oql {
-                    Some(oql) => {
-                        oql.predicates.clear();
-                        true
-                    }
-                    None => false,
+            DialogueAct::RemoveFilters => match &mut self.oql {
+                Some(oql) => {
+                    oql.predicates.clear();
+                    true
                 }
-            }
+                None => false,
+            },
             DialogueAct::SwitchFocus { concept } => self.switch_focus(concept, ctx),
             DialogueAct::Unknown => false,
         }
     }
 
     fn replace_value(&mut self, mention: &LinkedMention) -> bool {
-        let Some(oql) = &mut self.oql else { return false };
-        let LinkKind::Value { concept, property, value } = &mention.kind else {
+        let Some(oql) = &mut self.oql else {
+            return false;
+        };
+        let LinkKind::Value {
+            concept,
+            property,
+            value,
+        } = &mention.kind
+        else {
             return false;
         };
         // Prefer replacing a predicate on the same property; else the
@@ -98,7 +96,12 @@ impl DialogueState {
         let mut same_prop: Option<usize> = None;
         let mut any_str_eq: Option<usize> = None;
         for (i, p) in oql.predicates.iter().enumerate() {
-            if let OqlPredicate::Compare { prop, value: Literal::Str(_), .. } = p {
+            if let OqlPredicate::Compare {
+                prop,
+                value: Literal::Str(_),
+                ..
+            } = p
+            {
                 if prop.concept == *concept && prop.property == *property {
                     same_prop = get_or(same_prop, i);
                 }
@@ -127,7 +130,9 @@ impl DialogueState {
     }
 
     fn add_filter(&mut self, utterance: &str, ctx: &SchemaContext) -> bool {
-        let Some(oql) = &mut self.oql else { return false };
+        let Some(oql) = &mut self.oql else {
+            return false;
+        };
         // Reuse the full builder on the fragment: its predicates merge
         // into the running query.
         if let Some(build) = build_oql(utterance, ctx, Capabilities::full()) {
@@ -143,7 +148,9 @@ impl DialogueState {
             return false;
         }
         let measures = ctx.ontology.measures_of(&oql.focus);
-        let Some(m) = measures.first() else { return false };
+        let Some(m) = measures.first() else {
+            return false;
+        };
         for c in &comps {
             oql.predicates.push(OqlPredicate::Compare {
                 prop: PropRef::new(oql.focus.clone(), m.label.clone()),
@@ -159,9 +166,13 @@ impl DialogueState {
     }
 
     fn set_aggregation(&mut self, utterance: &str, ctx: &SchemaContext) -> bool {
-        let Some(oql) = &mut self.oql else { return false };
+        let Some(oql) = &mut self.oql else {
+            return false;
+        };
         let tokens = tokenize(utterance);
-        let Some(cue) = signals::find_agg_cue(&tokens) else { return false };
+        let Some(cue) = signals::find_agg_cue(&tokens) else {
+            return false;
+        };
         // Aggregate target: a measure property mentioned in the
         // fragment, else the focus's sole measure, else COUNT(*).
         let mentions = nlidb_core::linking::link_mentions(&tokens, ctx);
@@ -186,8 +197,11 @@ impl DialogueState {
             (_, None) => return false,
         };
         // Keep grouping if present; replace the measure part.
-        let group: Vec<OqlExpr> =
-            oql.group_by.iter().map(|g| OqlExpr::Prop(g.clone())).collect();
+        let group: Vec<OqlExpr> = oql
+            .group_by
+            .iter()
+            .map(|g| OqlExpr::Prop(g.clone()))
+            .collect();
         oql.select = group.into_iter().chain(std::iter::once(agg)).collect();
         oql.order_by.clear();
         oql.limit = None;
@@ -195,7 +209,9 @@ impl DialogueState {
     }
 
     fn set_group(&mut self, mention: &LinkedMention) -> bool {
-        let Some(oql) = &mut self.oql else { return false };
+        let Some(oql) = &mut self.oql else {
+            return false;
+        };
         let LinkKind::Property { concept, property } = &mention.kind else {
             return false;
         };
@@ -214,9 +230,13 @@ impl DialogueState {
     }
 
     fn set_top_n(&mut self, utterance: &str, ctx: &SchemaContext) -> bool {
-        let Some(oql) = &mut self.oql else { return false };
+        let Some(oql) = &mut self.oql else {
+            return false;
+        };
         let tokens = tokenize(utterance);
-        let Some(top) = signals::find_top_cue(&tokens) else { return false };
+        let Some(top) = signals::find_top_cue(&tokens) else {
+            return false;
+        };
         let order_expr = oql
             .select
             .iter()
@@ -224,32 +244,48 @@ impl DialogueState {
             .cloned()
             .or_else(|| {
                 let m = ctx.ontology.measures_of(&oql.focus);
-                m.first().map(|p| OqlExpr::Prop(PropRef::new(oql.focus.clone(), p.label.clone())))
+                m.first()
+                    .map(|p| OqlExpr::Prop(PropRef::new(oql.focus.clone(), p.label.clone())))
             });
         let Some(expr) = order_expr else { return false };
-        oql.order_by = vec![OqlOrder { expr, asc: !top.desc }];
+        oql.order_by = vec![OqlOrder {
+            expr,
+            asc: !top.desc,
+        }];
         oql.limit = Some(top.n);
         true
     }
 
     fn set_order(&mut self, utterance: &str, ctx: &SchemaContext) -> bool {
-        let Some(oql) = &mut self.oql else { return false };
+        let Some(oql) = &mut self.oql else {
+            return false;
+        };
         let tokens = tokenize(utterance);
-        let Some((idx, asc)) = signals::find_order_cue(&tokens) else { return false };
+        let Some((idx, asc)) = signals::find_order_cue(&tokens) else {
+            return false;
+        };
         let mentions = nlidb_core::linking::link_mentions(&tokens, ctx);
-        let prop = mentions.iter().filter(|m| m.start >= idx).find_map(|m| match &m.kind {
-            LinkKind::Property { concept, property } => {
-                Some(PropRef::new(concept.clone(), property.clone()))
-            }
-            _ => None,
-        });
+        let prop = mentions
+            .iter()
+            .filter(|m| m.start >= idx)
+            .find_map(|m| match &m.kind {
+                LinkKind::Property { concept, property } => {
+                    Some(PropRef::new(concept.clone(), property.clone()))
+                }
+                _ => None,
+            });
         let Some(prop) = prop else { return false };
-        oql.order_by = vec![OqlOrder { expr: OqlExpr::Prop(prop), asc }];
+        oql.order_by = vec![OqlOrder {
+            expr: OqlExpr::Prop(prop),
+            asc,
+        }];
         true
     }
 
     fn switch_focus(&mut self, concept: &str, ctx: &SchemaContext) -> bool {
-        let Some(oql) = &mut self.oql else { return false };
+        let Some(oql) = &mut self.oql else {
+            return false;
+        };
         if ctx.ontology.concept(concept).is_none() {
             return false;
         }
@@ -310,11 +346,17 @@ mod tests {
         )
         .unwrap();
         for (id, n, c) in [(1, "Ada", "Austin"), (2, "Bob", "Boston")] {
-            db.insert("customers", vec![Value::Int(id), Value::from(n), Value::from(c)])
-                .unwrap();
-        }
-        db.insert("orders", vec![Value::Int(1), Value::Int(1), Value::Float(10.0)])
+            db.insert(
+                "customers",
+                vec![Value::Int(id), Value::from(n), Value::from(c)],
+            )
             .unwrap();
+        }
+        db.insert(
+            "orders",
+            vec![Value::Int(1), Value::Int(1), Value::Float(10.0)],
+        )
+        .unwrap();
         SchemaContext::build(&db)
     }
 
@@ -340,16 +382,16 @@ mod tests {
     fn replace_value_swaps_filter() {
         let ctx = ctx();
         let st = state_after(&["show customers in Austin", "what about Boston"], &ctx);
-        assert_eq!(sql(&st, &ctx), "SELECT * FROM customers WHERE city = 'Boston'");
+        assert_eq!(
+            sql(&st, &ctx),
+            "SELECT * FROM customers WHERE city = 'Boston'"
+        );
     }
 
     #[test]
     fn add_filter_narrows() {
         let ctx = ctx();
-        let st = state_after(
-            &["show orders", "only those with amount over 5"],
-            &ctx,
-        );
+        let st = state_after(&["show orders", "only those with amount over 5"], &ctx);
         assert_eq!(sql(&st, &ctx), "SELECT * FROM orders WHERE amount > 5");
     }
 
@@ -402,13 +444,13 @@ mod tests {
     #[test]
     fn switch_focus_keeps_reachable_filters() {
         let ctx = ctx();
-        let st = state_after(
-            &["show customers in Austin", "what about orders"],
-            &ctx,
-        );
+        let st = state_after(&["show customers in Austin", "what about orders"], &ctx);
         let s = sql(&st, &ctx);
         assert!(s.starts_with("SELECT * FROM orders"), "{s}");
-        assert!(s.contains("customers.city = 'Austin'"), "filter should survive: {s}");
+        assert!(
+            s.contains("customers.city = 'Austin'"),
+            "filter should survive: {s}"
+        );
         assert!(s.contains("JOIN customers"), "{s}");
     }
 

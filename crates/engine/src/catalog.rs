@@ -93,7 +93,10 @@ impl TableSchema {
 
     /// Append a column.
     pub fn column(mut self, name: impl Into<String>, ty: ColumnType) -> Self {
-        self.columns.push(Column { name: name.into(), ty });
+        self.columns.push(Column {
+            name: name.into(),
+            ty,
+        });
         self
     }
 
@@ -180,7 +183,11 @@ pub struct Database {
 impl Database {
     /// Create an empty database.
     pub fn new(name: impl Into<String>) -> Self {
-        Database { name: name.into(), tables: HashMap::new(), order: Vec::new() }
+        Database {
+            name: name.into(),
+            tables: HashMap::new(),
+            order: Vec::new(),
+        }
     }
 
     /// Register a table schema.
@@ -197,8 +204,13 @@ impl Database {
             }
         }
         self.order.push(schema.name.clone());
-        self.tables
-            .insert(schema.name.clone(), Table { schema, rows: Vec::new() });
+        self.tables.insert(
+            schema.name.clone(),
+            Table {
+                schema,
+                rows: Vec::new(),
+            },
+        );
         Ok(())
     }
 
@@ -278,8 +290,11 @@ mod tests {
     fn create_and_insert() {
         let mut db = Database::new("test");
         db.create_table(schema()).unwrap();
-        db.insert("t", vec![Value::Int(1), Value::from("a"), Value::Float(0.5)])
-            .unwrap();
+        db.insert(
+            "t",
+            vec![Value::Int(1), Value::from("a"), Value::Float(0.5)],
+        )
+        .unwrap();
         assert_eq!(db.table("t").unwrap().len(), 1);
         assert_eq!(db.total_rows(), 1);
     }
@@ -297,8 +312,13 @@ mod tests {
     #[test]
     fn bad_primary_key_rejected() {
         let mut db = Database::new("test");
-        let s = TableSchema::new("x").column("a", ColumnType::Int).primary_key("nope");
-        assert!(matches!(db.create_table(s), Err(EngineError::SchemaViolation(_))));
+        let s = TableSchema::new("x")
+            .column("a", ColumnType::Int)
+            .primary_key("nope");
+        assert!(matches!(
+            db.create_table(s),
+            Err(EngineError::SchemaViolation(_))
+        ));
     }
 
     #[test]
@@ -324,13 +344,17 @@ mod tests {
             Err(EngineError::SchemaViolation(_))
         ));
         // NULL fits anywhere.
-        db.insert("t", vec![Value::Int(2), Value::Null, Value::Null]).unwrap();
+        db.insert("t", vec![Value::Int(2), Value::Null, Value::Null])
+            .unwrap();
     }
 
     #[test]
     fn unknown_table_errors() {
         let db = Database::new("test");
-        assert!(matches!(db.table("ghost"), Err(EngineError::UnknownTable(_))));
+        assert!(matches!(
+            db.table("ghost"),
+            Err(EngineError::UnknownTable(_))
+        ));
     }
 
     #[test]
@@ -338,10 +362,14 @@ mod tests {
         let mut db = Database::new("test");
         db.create_table(schema()).unwrap();
         for (i, n) in [(1, "a"), (2, "b"), (3, "a")] {
-            db.insert("t", vec![Value::Int(i), Value::from(n), Value::Null]).unwrap();
+            db.insert("t", vec![Value::Int(i), Value::from(n), Value::Null])
+                .unwrap();
         }
         let t = db.table("t").unwrap();
-        assert_eq!(t.distinct_values("name"), vec![Value::from("a"), Value::from("b")]);
+        assert_eq!(
+            t.distinct_values("name"),
+            vec![Value::from("a"), Value::from("b")]
+        );
         assert!(t.distinct_values("score").is_empty());
         assert!(t.distinct_values("missing").is_empty());
     }

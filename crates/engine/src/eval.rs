@@ -136,11 +136,7 @@ impl<'a> EvalCtx<'a> {
     /// Execute a sub-query, caching it when it proves uncorrelated.
     /// A sub-query is treated as correlated iff executing it *without*
     /// the outer scope fails column resolution.
-    pub fn subquery(
-        &self,
-        q: &Query,
-        scope: Option<&Scope<'_>>,
-    ) -> Result<ResultSet, EngineError> {
+    pub fn subquery(&self, q: &Query, scope: Option<&Scope<'_>>) -> Result<ResultSet, EngineError> {
         let key = q as *const Query as usize;
         if let Some(cached) = self.sub_cache.borrow().get(&key) {
             match cached {
@@ -256,7 +252,11 @@ pub fn eval(ctx: &EvalCtx<'_>, expr: &Expr, scope: &Scope<'_>) -> Result<Value, 
         Expr::Agg { .. } => Err(EngineError::InvalidExpression(
             "aggregate outside aggregation context".into(),
         )),
-        Expr::InList { expr, list, negated } => {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let v = eval(ctx, expr, scope)?;
             if v.is_null() {
                 return Ok(Value::Null);
@@ -276,7 +276,11 @@ pub fn eval(ctx: &EvalCtx<'_>, expr: &Expr, scope: &Scope<'_>) -> Result<Value, 
                 Ok(Value::Bool(*negated))
             }
         }
-        Expr::InSubquery { expr, subquery, negated } => {
+        Expr::InSubquery {
+            expr,
+            subquery,
+            negated,
+        } => {
             let v = eval(ctx, expr, scope)?;
             if v.is_null() {
                 return Ok(Value::Null);
@@ -315,7 +319,12 @@ pub fn eval(ctx: &EvalCtx<'_>, expr: &Expr, scope: &Scope<'_>) -> Result<Value, 
                 _ => Err(EngineError::NonScalarSubquery),
             }
         }
-        Expr::Between { expr, low, high, negated } => {
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
             let v = eval(ctx, expr, scope)?;
             let lo = eval(ctx, low, scope)?;
             let hi = eval(ctx, high, scope)?;
@@ -328,7 +337,11 @@ pub fn eval(ctx: &EvalCtx<'_>, expr: &Expr, scope: &Scope<'_>) -> Result<Value, 
             };
             Ok(bool3(within.map(|w| w != *negated)))
         }
-        Expr::Like { expr, pattern, negated } => {
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
             let v = eval(ctx, expr, scope)?;
             match v {
                 Value::Str(s) => Ok(Value::Bool(sql_like(&s, pattern) != *negated)),
@@ -361,8 +374,12 @@ fn binary_op(l: &Value, op: BinOp, r: &Value) -> Result<Value, EngineError> {
         Eq => Ok(bool3(l.sql_eq(r))),
         NotEq => Ok(bool3(l.sql_eq(r).map(|b| !b))),
         Lt => Ok(bool3(l.compare(r).map(|o| o == std::cmp::Ordering::Less))),
-        LtEq => Ok(bool3(l.compare(r).map(|o| o != std::cmp::Ordering::Greater))),
-        Gt => Ok(bool3(l.compare(r).map(|o| o == std::cmp::Ordering::Greater))),
+        LtEq => Ok(bool3(
+            l.compare(r).map(|o| o != std::cmp::Ordering::Greater),
+        )),
+        Gt => Ok(bool3(
+            l.compare(r).map(|o| o == std::cmp::Ordering::Greater),
+        )),
         GtEq => Ok(bool3(l.compare(r).map(|o| o != std::cmp::Ordering::Less))),
         Plus | Minus | Mul | Div => {
             if l.is_null() || r.is_null() {
@@ -423,10 +440,18 @@ pub fn eval_grouped(
     parent: Option<&Scope<'_>>,
 ) -> Result<Value, EngineError> {
     match expr {
-        Expr::Agg { func, arg, distinct } => {
+        Expr::Agg {
+            func,
+            arg,
+            distinct,
+        } => {
             let mut vals: Vec<Value> = Vec::with_capacity(group.len());
             for row in group {
-                let scope = Scope { schema, row, parent };
+                let scope = Scope {
+                    schema,
+                    row,
+                    parent,
+                };
                 match arg {
                     Some(a) => {
                         let v = eval(ctx, a, &scope)?;
@@ -477,7 +502,11 @@ pub fn eval_grouped(
         // Non-aggregate leaves evaluate against the group's first row.
         other => match group.first() {
             Some(row) => {
-                let scope = Scope { schema, row, parent };
+                let scope = Scope {
+                    schema,
+                    row,
+                    parent,
+                };
                 eval(ctx, other, &scope)
             }
             None => Ok(Value::Null),
@@ -564,7 +593,10 @@ mod tests {
         let mut rs = RelSchema::new();
         rs.push_binding("c", vec!["id".into(), "name".into()]);
         rs.push_binding("o", vec!["id".into(), "amount".into()]);
-        assert_eq!(rs.resolve(&ColumnRef::qualified("o", "amount")).unwrap(), Some(3));
+        assert_eq!(
+            rs.resolve(&ColumnRef::qualified("o", "amount")).unwrap(),
+            Some(3)
+        );
         assert_eq!(rs.resolve(&ColumnRef::bare("name")).unwrap(), Some(1));
         assert!(matches!(
             rs.resolve(&ColumnRef::bare("id")),

@@ -8,9 +8,7 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 
-use nlidb_sqlir::ast::{
-    BinOp, ColumnRef, Expr, Join, JoinKind, Query, SelectItem, TableSource,
-};
+use nlidb_sqlir::ast::{BinOp, ColumnRef, Expr, Join, JoinKind, Query, SelectItem, TableSource};
 
 use crate::catalog::Database;
 use crate::error::EngineError;
@@ -48,7 +46,10 @@ impl ResultSet {
             let mut keys: Vec<String> = rows
                 .iter()
                 .map(|r| {
-                    r.iter().map(Self::result_key).collect::<Vec<_>>().join("\u{1f}")
+                    r.iter()
+                        .map(Self::result_key)
+                        .collect::<Vec<_>>()
+                        .join("\u{1f}")
                 })
                 .collect();
             keys.sort_unstable();
@@ -61,22 +62,22 @@ impl ResultSet {
     /// specifies ORDER BY.
     pub fn ordered_eq(&self, other: &ResultSet) -> bool {
         self.rows.len() == other.rows.len()
-            && self
-                .rows
-                .iter()
-                .zip(&other.rows)
-                .all(|(a, b)| {
-                    a.len() == b.len()
-                        && a.iter().zip(b).all(|(x, y)| {
-                            Self::result_key(x) == Self::result_key(y)
-                        })
-                })
+            && self.rows.iter().zip(&other.rows).all(|(a, b)| {
+                a.len() == b.len()
+                    && a.iter()
+                        .zip(b)
+                        .all(|(x, y)| Self::result_key(x) == Self::result_key(y))
+            })
     }
 }
 
 /// Execute `query` against `db`.
 pub fn execute(db: &Database, query: &Query) -> Result<ResultSet, EngineError> {
-    let ctx = EvalCtx { db, sub_cache: RefCell::new(HashMap::new()), exec: exec_entry };
+    let ctx = EvalCtx {
+        db,
+        sub_cache: RefCell::new(HashMap::new()),
+        exec: exec_entry,
+    };
     exec_query(&ctx, query, None)
 }
 
@@ -105,16 +106,27 @@ fn relation_of(
             let mut schema = RelSchema::new();
             schema.push_binding(
                 alias.clone().unwrap_or_else(|| name.clone()),
-                table.schema.columns.iter().map(|c| c.name.clone()).collect(),
+                table
+                    .schema
+                    .columns
+                    .iter()
+                    .map(|c| c.name.clone())
+                    .collect(),
             );
-            Ok(Relation { schema, rows: table.rows.clone() })
+            Ok(Relation {
+                schema,
+                rows: table.rows.clone(),
+            })
         }
         TableSource::Subquery { query, alias } => {
             // Derived tables are uncorrelated by SQL scoping rules.
             let rs = exec_query(ctx, query, None)?;
             let mut schema = RelSchema::new();
             schema.push_binding(alias.clone(), rs.columns);
-            Ok(Relation { schema, rows: rs.rows })
+            Ok(Relation {
+                schema,
+                rows: rs.rows,
+            })
         }
     }
 }
@@ -129,12 +141,22 @@ fn split_equi(
     conjuncts: &mut Vec<Expr>,
     pairs: &mut Vec<(usize, usize)>,
 ) {
-    if let Expr::Binary { left: l, op: BinOp::And, right: r } = on {
+    if let Expr::Binary {
+        left: l,
+        op: BinOp::And,
+        right: r,
+    } = on
+    {
         split_equi(l, left, right, conjuncts, pairs);
         split_equi(r, left, right, conjuncts, pairs);
         return;
     }
-    if let Expr::Binary { left: l, op: BinOp::Eq, right: r } = on {
+    if let Expr::Binary {
+        left: l,
+        op: BinOp::Eq,
+        right: r,
+    } = on
+    {
         if let (Expr::Column(a), Expr::Column(b)) = (l.as_ref(), r.as_ref()) {
             let try_pair = |x: &ColumnRef, y: &ColumnRef| -> Option<(usize, usize)> {
                 let li = left.resolve(x).ok().flatten()?;
@@ -165,10 +187,20 @@ fn do_join(
 
     let mut pairs = Vec::new();
     let mut residual = Vec::new();
-    split_equi(&join.on, &left.schema, &right.schema, &mut residual, &mut pairs);
+    split_equi(
+        &join.on,
+        &left.schema,
+        &right.schema,
+        &mut residual,
+        &mut pairs,
+    );
 
     let residual_ok = |row: &[Value]| -> Result<bool, EngineError> {
-        let scope = Scope { schema: &combined, row, parent: outer };
+        let scope = Scope {
+            schema: &combined,
+            row,
+            parent: outer,
+        };
         for c in &residual {
             if !eval(ctx, c, &scope)?.is_true() {
                 return Ok(false);
@@ -242,7 +274,10 @@ fn do_join(
             }
         }
     }
-    Ok(Relation { schema: combined, rows: out_rows })
+    Ok(Relation {
+        schema: combined,
+        rows: out_rows,
+    })
 }
 
 /// Output column name for a select item.
@@ -267,7 +302,10 @@ fn exec_query(
     // FROM + JOINs.
     let mut rel = match &q.from {
         Some(src) => relation_of(ctx, src, outer)?,
-        None => Relation { schema: RelSchema::new(), rows: vec![Vec::new()] },
+        None => Relation {
+            schema: RelSchema::new(),
+            rows: vec![Vec::new()],
+        },
     };
     for join in &q.joins {
         rel = do_join(ctx, rel, join, outer)?;
@@ -277,7 +315,11 @@ fn exec_query(
     if let Some(pred) = &q.where_clause {
         let mut kept = Vec::with_capacity(rel.rows.len());
         for row in rel.rows {
-            let scope = Scope { schema: &rel.schema, row: &row, parent: outer };
+            let scope = Scope {
+                schema: &rel.schema,
+                row: &row,
+                parent: outer,
+            };
             if eval(ctx, pred, &scope)?.is_true() {
                 kept.push(row);
             }
@@ -297,7 +339,11 @@ fn exec_query(
     // Sort-key plan: an ORDER BY expression that is a bare column
     // matching a select alias/name sorts by the projected value.
     let alias_index = |e: &Expr| -> Option<usize> {
-        if let Expr::Column(ColumnRef { table: None, column }) = e {
+        if let Expr::Column(ColumnRef {
+            table: None,
+            column,
+        }) = e
+        {
             // Only when the projection is all simple items (no wildcard
             // offsetting issues).
             if q.select.iter().all(|s| !matches!(s, SelectItem::Wildcard)) {
@@ -325,7 +371,11 @@ fn exec_query(
         } else {
             let mut index: HashMap<String, usize> = HashMap::new();
             for row in &rel.rows {
-                let scope = Scope { schema: &rel.schema, row, parent: outer };
+                let scope = Scope {
+                    schema: &rel.schema,
+                    row,
+                    parent: outer,
+                };
                 let mut key = String::new();
                 for g in &q.group_by {
                     key.push_str(&eval(ctx, g, &scope)?.group_key());
@@ -352,9 +402,7 @@ fn exec_query(
                     SelectItem::Wildcard => match group.first() {
                         Some(row) => out.extend(row.iter().cloned()),
                         None => {
-                            out.extend(
-                                std::iter::repeat_n(Value::Null, rel.schema.width()),
-                            );
+                            out.extend(std::iter::repeat_n(Value::Null, rel.schema.width()));
                         }
                     },
                     SelectItem::Expr { expr, .. } => {
@@ -366,16 +414,18 @@ fn exec_query(
             for ob in &q.order_by {
                 match alias_index(&ob.expr) {
                     Some(i) => keys.push(out[i].clone()),
-                    None => {
-                        keys.push(eval_grouped(ctx, &ob.expr, &rel.schema, group, outer)?)
-                    }
+                    None => keys.push(eval_grouped(ctx, &ob.expr, &rel.schema, group, outer)?),
                 }
             }
             produced.push((out, keys));
         }
     } else {
         for row in &rel.rows {
-            let scope = Scope { schema: &rel.schema, row, parent: outer };
+            let scope = Scope {
+                schema: &rel.schema,
+                row,
+                parent: outer,
+            };
             let mut out = Vec::with_capacity(q.select.len());
             for item in &q.select {
                 match item {
@@ -398,8 +448,11 @@ fn exec_query(
     if q.distinct {
         let mut seen = std::collections::HashSet::new();
         produced.retain(|(row, _)| {
-            let key: String =
-                row.iter().map(Value::group_key).collect::<Vec<_>>().join("\u{1f}");
+            let key: String = row
+                .iter()
+                .map(Value::group_key)
+                .collect::<Vec<_>>()
+                .join("\u{1f}");
             seen.insert(key)
         });
     }
@@ -453,7 +506,12 @@ mod tests {
         for (id, n, a, c) in rows {
             db.insert(
                 "people",
-                vec![Value::Int(id), Value::from(n), Value::Int(a), Value::from(c)],
+                vec![
+                    Value::Int(id),
+                    Value::from(n),
+                    Value::Int(a),
+                    Value::from(c),
+                ],
             )
             .unwrap();
         }
@@ -518,7 +576,10 @@ mod tests {
 
     #[test]
     fn global_aggregate_on_empty_input() {
-        let rs = run(&db(), "SELECT COUNT(*), SUM(age) FROM people WHERE age > 100");
+        let rs = run(
+            &db(),
+            "SELECT COUNT(*), SUM(age) FROM people WHERE age > 100",
+        );
         assert_eq!(rs.rows.len(), 1);
         assert_eq!(rs.rows[0][0], Value::Int(0));
         assert_eq!(rs.rows[0][1], Value::Null);
@@ -547,11 +608,17 @@ mod tests {
 
     #[test]
     fn in_list_and_between() {
-        let rs = run(&db(), "SELECT name FROM people WHERE city IN ('austin', 'boston')");
+        let rs = run(
+            &db(),
+            "SELECT name FROM people WHERE city IN ('austin', 'boston')",
+        );
         assert_eq!(rs.rows.len(), 3);
         let rs = run(&db(), "SELECT name FROM people WHERE age BETWEEN 28 AND 34");
         assert_eq!(rs.rows.len(), 3);
-        let rs = run(&db(), "SELECT name FROM people WHERE age NOT BETWEEN 28 AND 34");
+        let rs = run(
+            &db(),
+            "SELECT name FROM people WHERE age NOT BETWEEN 28 AND 34",
+        );
         assert_eq!(rs.rows.len(), 1);
     }
 
@@ -599,12 +666,13 @@ mod tests {
                 .column("owner_id", ColumnType::Int),
         )
         .unwrap();
-        db.insert("pets", vec![Value::Int(1), Value::from("rex"), Value::Int(1)])
-            .unwrap();
-        let q = parse_query(
-            "SELECT name FROM people JOIN pets ON people.id = pets.owner_id",
+        db.insert(
+            "pets",
+            vec![Value::Int(1), Value::from("rex"), Value::Int(1)],
         )
         .unwrap();
+        let q =
+            parse_query("SELECT name FROM people JOIN pets ON people.id = pets.owner_id").unwrap();
         assert!(matches!(
             execute(&db, &q),
             Err(EngineError::AmbiguousColumn(_))
@@ -621,8 +689,11 @@ mod tests {
                 .column("owner_id", ColumnType::Int),
         )
         .unwrap();
-        db.insert("pets", vec![Value::Int(1), Value::from("rex"), Value::Int(1)])
-            .unwrap();
+        db.insert(
+            "pets",
+            vec![Value::Int(1), Value::from("rex"), Value::Int(1)],
+        )
+        .unwrap();
         let rs = run(
             &db,
             "SELECT people.name, pet_name FROM people \
@@ -679,14 +750,15 @@ mod tests {
     #[test]
     fn not_in_with_nulls_filters_all() {
         let mut db = db();
-        db.create_table(
-            TableSchema::new("maybe").column("v", ColumnType::Int),
-        )
-        .unwrap();
+        db.create_table(TableSchema::new("maybe").column("v", ColumnType::Int))
+            .unwrap();
         db.insert("maybe", vec![Value::Int(1)]).unwrap();
         db.insert("maybe", vec![Value::Null]).unwrap();
         // NOT IN over a list containing NULL is never TRUE in SQL.
-        let rs = run(&db, "SELECT name FROM people WHERE id NOT IN (SELECT v FROM maybe)");
+        let rs = run(
+            &db,
+            "SELECT name FROM people WHERE id NOT IN (SELECT v FROM maybe)",
+        );
         assert!(rs.rows.is_empty());
     }
 

@@ -58,8 +58,11 @@ mod integration_tests {
             (2, "Bo", "Boston"),
             (3, "Cy", "Austin"),
         ] {
-            db.insert("customers", vec![Value::Int(id), Value::from(name), Value::from(city)])
-                .unwrap();
+            db.insert(
+                "customers",
+                vec![Value::Int(id), Value::from(name), Value::from(city)],
+            )
+            .unwrap();
         }
         for (id, cid, amt) in [(10, 1, 50.0), (11, 1, 70.0), (12, 2, 20.0)] {
             db.insert(

@@ -141,8 +141,14 @@ mod tests {
 
     #[test]
     fn cross_type_numeric_compare() {
-        assert_eq!(Value::Int(2).compare(&Value::Float(2.0)), Some(Ordering::Equal));
-        assert_eq!(Value::Int(2).compare(&Value::Float(2.5)), Some(Ordering::Less));
+        assert_eq!(
+            Value::Int(2).compare(&Value::Float(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Int(2).compare(&Value::Float(2.5)),
+            Some(Ordering::Less)
+        );
     }
 
     #[test]
@@ -166,11 +172,13 @@ mod tests {
 
     #[test]
     fn sort_is_total_across_types() {
-        let mut v = [Value::from("z"),
+        let mut v = [
+            Value::from("z"),
             Value::Int(5),
             Value::Bool(false),
             Value::Null,
-            Value::Float(1.5)];
+            Value::Float(1.5),
+        ];
         v.sort_by(|a, b| a.sort_cmp(b));
         assert_eq!(v[0], Value::Null);
         assert_eq!(v[1], Value::Bool(false));

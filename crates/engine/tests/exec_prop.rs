@@ -44,7 +44,11 @@ fn build_db(rows: &[Row]) -> Database {
             "t",
             vec![
                 Value::Int(r.a),
-                if r.null_b { Value::Null } else { Value::Float(r.b) },
+                if r.null_b {
+                    Value::Null
+                } else {
+                    Value::Float(r.b)
+                },
                 Value::Str(r.c.clone()),
             ],
         )

@@ -48,8 +48,11 @@ fn like_prefix_and_infix() {
     assert_eq!(run("SELECT id FROM items WHERE name LIKE 'a%'").len(), 4);
     assert_eq!(run("SELECT id FROM items WHERE name LIKE '%pie'").len(), 1);
     assert_eq!(run("SELECT id FROM items WHERE name LIKE 'a_e'").len(), 1); // axe
-    // NULL name never matches LIKE (and never matches NOT LIKE either).
-    assert_eq!(run("SELECT id FROM items WHERE name NOT LIKE 'a%'").len(), 0);
+                                                                            // NULL name never matches LIKE (and never matches NOT LIKE either).
+    assert_eq!(
+        run("SELECT id FROM items WHERE name NOT LIKE 'a%'").len(),
+        0
+    );
 }
 
 #[test]
@@ -61,9 +64,15 @@ fn is_null_and_is_not_null() {
 
 #[test]
 fn between_includes_bounds_and_negates() {
-    assert_eq!(run("SELECT id FROM items WHERE price BETWEEN 2.5 AND 4.5").len(), 2);
+    assert_eq!(
+        run("SELECT id FROM items WHERE price BETWEEN 2.5 AND 4.5").len(),
+        2
+    );
     // NOT BETWEEN excludes NULL prices too (3-valued logic).
-    assert_eq!(run("SELECT id FROM items WHERE price NOT BETWEEN 2.5 AND 4.5").len(), 2);
+    assert_eq!(
+        run("SELECT id FROM items WHERE price NOT BETWEEN 2.5 AND 4.5").len(),
+        2
+    );
 }
 
 #[test]
@@ -105,7 +114,10 @@ fn having_over_aggregate_expression() {
 #[test]
 fn in_list_with_null_member_never_matches_negated() {
     // id NOT IN (1, NULL): standard SQL says never TRUE.
-    assert_eq!(run("SELECT id FROM items WHERE id NOT IN (1, NULL)").len(), 0);
+    assert_eq!(
+        run("SELECT id FROM items WHERE id NOT IN (1, NULL)").len(),
+        0
+    );
     assert_eq!(run("SELECT id FROM items WHERE id IN (1, NULL)").len(), 1);
 }
 
@@ -135,9 +147,15 @@ fn limit_zero_and_overshoot() {
 fn unknown_column_is_a_clean_error() {
     let db = fixture();
     let q = parse_query("SELECT ghost FROM items").unwrap();
-    assert!(matches!(execute(&db, &q), Err(EngineError::UnknownColumn(_))));
+    assert!(matches!(
+        execute(&db, &q),
+        Err(EngineError::UnknownColumn(_))
+    ));
     let q = parse_query("SELECT * FROM phantom").unwrap();
-    assert!(matches!(execute(&db, &q), Err(EngineError::UnknownTable(_))));
+    assert!(matches!(
+        execute(&db, &q),
+        Err(EngineError::UnknownTable(_))
+    ));
 }
 
 #[test]

@@ -24,7 +24,6 @@ pub fn execution_match(db: &Database, gold: &Query, predicted: &Query) -> bool {
     }
 }
 
-
 /// Per-clause component matching — Spider's partial-match idea: credit
 /// a prediction for each clause it gets right, independent of the
 /// others. Returns the matched fraction in `[0, 1]` over the clauses
@@ -42,8 +41,17 @@ pub fn component_match(gold: &Query, predicted: &Query) -> f64 {
     // SELECT list (rendered, order-sensitive: projection order is
     // user-visible).
     check(
-        gold.select.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(", "),
-        predicted.select.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(", "),
+        gold.select
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
+        predicted
+            .select
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
     );
     // FROM + JOIN set (order-insensitive: join order is physical).
     let from_set = |q: &Query| -> Vec<String> {
@@ -76,28 +84,59 @@ pub fn component_match(gold: &Query, predicted: &Query) -> f64 {
         v
     };
     if gold.where_clause.is_some() || predicted.where_clause.is_some() {
-        check(conjuncts(gold).join(" AND "), conjuncts(predicted).join(" AND "));
+        check(
+            conjuncts(gold).join(" AND "),
+            conjuncts(predicted).join(" AND "),
+        );
     }
     if !gold.group_by.is_empty() || !predicted.group_by.is_empty() {
         check(
-            gold.group_by.iter().map(|g| g.to_string()).collect::<Vec<_>>().join(", "),
-            predicted.group_by.iter().map(|g| g.to_string()).collect::<Vec<_>>().join(", "),
+            gold.group_by
+                .iter()
+                .map(|g| g.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
+            predicted
+                .group_by
+                .iter()
+                .map(|g| g.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
         );
     }
     if gold.having.is_some() || predicted.having.is_some() {
         check(
-            gold.having.as_ref().map(|h| h.to_string()).unwrap_or_default(),
-            predicted.having.as_ref().map(|h| h.to_string()).unwrap_or_default(),
+            gold.having
+                .as_ref()
+                .map(|h| h.to_string())
+                .unwrap_or_default(),
+            predicted
+                .having
+                .as_ref()
+                .map(|h| h.to_string())
+                .unwrap_or_default(),
         );
     }
     if !gold.order_by.is_empty() || !predicted.order_by.is_empty() {
         check(
-            gold.order_by.iter().map(|o| o.to_string()).collect::<Vec<_>>().join(", "),
-            predicted.order_by.iter().map(|o| o.to_string()).collect::<Vec<_>>().join(", "),
+            gold.order_by
+                .iter()
+                .map(|o| o.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
+            predicted
+                .order_by
+                .iter()
+                .map(|o| o.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
         );
     }
     if gold.limit.is_some() || predicted.limit.is_some() {
-        check(format!("{:?}", gold.limit), format!("{:?}", predicted.limit));
+        check(
+            format!("{:?}", gold.limit),
+            format!("{:?}", predicted.limit),
+        );
     }
     if considered == 0 {
         return 1.0;
@@ -238,7 +277,10 @@ mod tests {
         let p = parse_query("SELECT a FROM t ORDER BY a ASC").unwrap();
         assert!(!execution_match(&db, &g, &p), "same bag, wrong order");
         let g2 = parse_query("SELECT a FROM t").unwrap();
-        assert!(execution_match(&db, &g2, &p), "unordered gold accepts any order");
+        assert!(
+            execution_match(&db, &g2, &p),
+            "unordered gold accepts any order"
+        );
     }
 
     #[test]
@@ -275,7 +317,6 @@ mod tests {
         assert_eq!(o.coverage(), 0.0);
     }
 
-
     #[test]
     fn component_match_partial_credit() {
         let gold = parse_query(
@@ -301,14 +342,8 @@ mod tests {
 
     #[test]
     fn component_match_join_order_insensitive() {
-        let a = parse_query(
-            "SELECT x.c FROM x JOIN y ON x.i = y.i JOIN z ON x.i = z.i",
-        )
-        .unwrap();
-        let b = parse_query(
-            "SELECT x.c FROM x JOIN z ON x.i = z.i JOIN y ON x.i = y.i",
-        )
-        .unwrap();
+        let a = parse_query("SELECT x.c FROM x JOIN y ON x.i = y.i JOIN z ON x.i = z.i").unwrap();
+        let b = parse_query("SELECT x.c FROM x JOIN z ON x.i = z.i JOIN y ON x.i = y.i").unwrap();
         assert_eq!(component_match(&a, &b), 1.0);
     }
 
@@ -324,8 +359,23 @@ mod tests {
 
     #[test]
     fn merge_sums() {
-        let mut a = EvalOutcome { answered: 1, correct: 1, total: 2 };
-        a.merge(EvalOutcome { answered: 2, correct: 1, total: 3 });
-        assert_eq!(a, EvalOutcome { answered: 3, correct: 2, total: 5 });
+        let mut a = EvalOutcome {
+            answered: 1,
+            correct: 1,
+            total: 2,
+        };
+        a.merge(EvalOutcome {
+            answered: 2,
+            correct: 1,
+            total: 3,
+        });
+        assert_eq!(
+            a,
+            EvalOutcome {
+                answered: 3,
+                correct: 2,
+                total: 5
+            }
+        );
     }
 }

@@ -104,8 +104,7 @@ mod tests {
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 5);
         // All rows same width.
-        let widths: std::collections::HashSet<usize> =
-            lines[1..].iter().map(|l| l.len()).collect();
+        let widths: std::collections::HashSet<usize> = lines[1..].iter().map(|l| l.len()).collect();
         assert_eq!(widths.len(), 1, "{s}");
         assert!(s.contains("| alpha |"));
     }

@@ -40,7 +40,12 @@ impl Embeddings {
         for _ in 0..oov_buckets.max(1) {
             vectors.push((0..dim).map(|_| rng.gen_range(-bound..bound)).collect());
         }
-        Embeddings { dim, vocab: map, vectors, oov_buckets: oov_buckets.max(1) }
+        Embeddings {
+            dim,
+            vocab: map,
+            vectors,
+            oov_buckets: oov_buckets.max(1),
+        }
     }
 
     /// Number of in-vocabulary words.

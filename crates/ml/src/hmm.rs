@@ -61,7 +61,13 @@ impl Hmm {
         }
         let log_emit = emit.iter().map(|e| normalize_log(e)).collect();
 
-        Hmm { n_states, obs_vocab, log_init, log_trans, log_emit }
+        Hmm {
+            n_states,
+            obs_vocab,
+            log_init,
+            log_trans,
+            log_emit,
+        }
     }
 
     /// Number of hidden states.
@@ -152,7 +158,10 @@ mod tests {
     /// States: 0 = weather word, 1 = city word.
     fn training_data() -> Vec<Vec<(String, usize)>> {
         let seq = |words: &[(&str, usize)]| {
-            words.iter().map(|(w, s)| (w.to_string(), *s)).collect::<Vec<_>>()
+            words
+                .iter()
+                .map(|(w, s)| (w.to_string(), *s))
+                .collect::<Vec<_>>()
         };
         vec![
             seq(&[("rain", 0), ("in", 0), ("paris", 1)]),

@@ -38,11 +38,7 @@ pub use scorer::BilinearScorer;
 
 /// Deterministic train/test split: every `k`-th example (by index,
 /// after a seeded shuffle) goes to the test side.
-pub fn train_test_split<T: Clone>(
-    items: &[T],
-    test_fraction: f64,
-    seed: u64,
-) -> (Vec<T>, Vec<T>) {
+pub fn train_test_split<T: Clone>(items: &[T], test_fraction: f64, seed: u64) -> (Vec<T>, Vec<T>) {
     use rand::seq::SliceRandom;
     use rand::SeedableRng;
     let mut idx: Vec<usize> = (0..items.len()).collect();

@@ -24,7 +24,13 @@ pub struct MlpConfig {
 
 impl Default for MlpConfig {
     fn default() -> Self {
-        MlpConfig { hidden: 32, epochs: 60, lr: 0.05, seed: 42, l2: 1e-4 }
+        MlpConfig {
+            hidden: 32,
+            epochs: 60,
+            lr: 0.05,
+            seed: 42,
+            l2: 1e-4,
+        }
     }
 }
 
@@ -35,7 +41,10 @@ struct Dense {
 
 impl Dense {
     fn new(inp: usize, out: usize, rng: &mut StdRng) -> Dense {
-        Dense { w: Matrix::xavier(out, inp, rng), b: vec![0.0; out] }
+        Dense {
+            w: Matrix::xavier(out, inp, rng),
+            b: vec![0.0; out],
+        }
     }
 
     fn forward(&self, x: &[f64]) -> Vec<f64> {
@@ -62,7 +71,10 @@ impl Mlp {
     pub fn new(input_dim: usize, classes: usize, cfg: &MlpConfig) -> Mlp {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let (hidden, out_in) = if cfg.hidden > 0 {
-            (Some(Dense::new(input_dim, cfg.hidden, &mut rng)), cfg.hidden)
+            (
+                Some(Dense::new(input_dim, cfg.hidden, &mut rng)),
+                cfg.hidden,
+            )
         } else {
             (None, input_dim)
         };
@@ -127,7 +139,11 @@ impl Mlp {
             }
             None => (Vec::new(), Vec::new()),
         };
-        let input_to_out: &[f64] = if self.hidden.is_some() { &hidden_act } else { x };
+        let input_to_out: &[f64] = if self.hidden.is_some() {
+            &hidden_act
+        } else {
+            x
+        };
         let logits = self.output.forward(input_to_out);
         let probs = softmax(&logits);
         let loss = -probs[y].max(1e-12).ln();
@@ -196,7 +212,13 @@ mod tests {
     #[test]
     fn learns_linear_separation_without_hidden() {
         let (xs, ys) = linear_data();
-        let cfg = MlpConfig { hidden: 0, epochs: 40, lr: 0.1, seed: 1, l2: 0.0 };
+        let cfg = MlpConfig {
+            hidden: 0,
+            epochs: 40,
+            lr: 0.1,
+            seed: 1,
+            l2: 0.0,
+        };
         let mut m = Mlp::new(2, 2, &cfg);
         m.train(&xs, &ys, &cfg);
         assert!(m.accuracy(&xs, &ys) > 0.95);
@@ -211,16 +233,32 @@ mod tests {
             vec![1.0, 1.0],
         ];
         let ys = vec![0, 1, 1, 0];
-        let cfg = MlpConfig { hidden: 16, epochs: 3000, lr: 0.1, seed: 3, l2: 0.0 };
+        let cfg = MlpConfig {
+            hidden: 16,
+            epochs: 3000,
+            lr: 0.1,
+            seed: 3,
+            l2: 0.0,
+        };
         let mut m = Mlp::new(2, 2, &cfg);
         m.train(&xs, &ys, &cfg);
-        assert_eq!(m.accuracy(&xs, &ys), 1.0, "XOR should be solvable with a hidden layer");
+        assert_eq!(
+            m.accuracy(&xs, &ys),
+            1.0,
+            "XOR should be solvable with a hidden layer"
+        );
     }
 
     #[test]
     fn training_is_deterministic() {
         let (xs, ys) = linear_data();
-        let cfg = MlpConfig { hidden: 8, epochs: 10, lr: 0.05, seed: 9, l2: 1e-4 };
+        let cfg = MlpConfig {
+            hidden: 8,
+            epochs: 10,
+            lr: 0.05,
+            seed: 9,
+            l2: 1e-4,
+        };
         let mut a = Mlp::new(2, 2, &cfg);
         let mut b = Mlp::new(2, 2, &cfg);
         let la = a.train(&xs, &ys, &cfg);
@@ -232,7 +270,13 @@ mod tests {
     #[test]
     fn loss_decreases_with_training() {
         let (xs, ys) = linear_data();
-        let cfg1 = MlpConfig { hidden: 8, epochs: 1, lr: 0.05, seed: 4, l2: 0.0 };
+        let cfg1 = MlpConfig {
+            hidden: 8,
+            epochs: 1,
+            lr: 0.05,
+            seed: 4,
+            l2: 0.0,
+        };
         let cfg50 = MlpConfig { epochs: 50, ..cfg1 };
         let mut m1 = Mlp::new(2, 2, &cfg1);
         let l1 = m1.train(&xs, &ys, &cfg1);
@@ -264,7 +308,13 @@ mod tests {
             xs.push(vec![1.0 + noise]);
             ys.push(2);
         }
-        let cfg = MlpConfig { hidden: 16, epochs: 200, lr: 0.1, seed: 5, l2: 0.0 };
+        let cfg = MlpConfig {
+            hidden: 16,
+            epochs: 200,
+            lr: 0.1,
+            seed: 5,
+            l2: 0.0,
+        };
         let mut m = Mlp::new(1, 3, &cfg);
         m.train(&xs, &ys, &cfg);
         assert!(m.accuracy(&xs, &ys) > 0.95);

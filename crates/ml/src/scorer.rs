@@ -20,7 +20,12 @@ impl BilinearScorer {
     /// New scorer for query dim `dq` and candidate dim `dc`.
     pub fn new(dq: usize, dc: usize, seed: u64) -> BilinearScorer {
         let mut rng = StdRng::seed_from_u64(seed);
-        BilinearScorer { w: Matrix::xavier(dq, dc, &mut rng), bias: 0.0, dq, dc }
+        BilinearScorer {
+            w: Matrix::xavier(dq, dc, &mut rng),
+            bias: 0.0,
+            dq,
+            dc,
+        }
     }
 
     /// Raw compatibility score.
@@ -64,12 +69,7 @@ impl BilinearScorer {
     }
 
     /// Train over triples for `epochs`; returns final mean loss.
-    pub fn train(
-        &mut self,
-        triples: &[(Vec<f64>, Vec<f64>, bool)],
-        epochs: usize,
-        lr: f64,
-    ) -> f64 {
+    pub fn train(&mut self, triples: &[(Vec<f64>, Vec<f64>, bool)], epochs: usize, lr: f64) -> f64 {
         let mut last = 0.0;
         for _ in 0..epochs {
             let mut total = 0.0;

@@ -124,10 +124,8 @@ mod tests {
     #[test]
     fn oracle_picks_intended_reading() {
         let cands = vec![interp("wrong", 0.8), interp("right", 0.79)];
-        let resolved = resolve_with_oracle(&cands, 0.1, |i| {
-            i.sql.to_string().contains("right")
-        })
-        .unwrap();
+        let resolved =
+            resolve_with_oracle(&cands, 0.1, |i| i.sql.to_string().contains("right")).unwrap();
         assert!(resolved.sql.to_string().contains("right"));
     }
 

@@ -42,17 +42,32 @@ pub struct Capabilities {
 impl Capabilities {
     /// Everything on (ATHENA-class).
     pub fn full() -> Capabilities {
-        Capabilities { aggregation: true, ordering: true, joins: true, nested: true }
+        Capabilities {
+            aggregation: true,
+            ordering: true,
+            joins: true,
+            nested: true,
+        }
     }
 
     /// Keyword-lookup systems: plain selection only.
     pub fn selection_only() -> Capabilities {
-        Capabilities { aggregation: false, ordering: false, joins: false, nested: false }
+        Capabilities {
+            aggregation: false,
+            ordering: false,
+            joins: false,
+            nested: false,
+        }
     }
 
     /// Pattern systems: single-table aggregation/ordering.
     pub fn single_table_patterns() -> Capabilities {
-        Capabilities { aggregation: true, ordering: true, joins: false, nested: false }
+        Capabilities {
+            aggregation: true,
+            ordering: true,
+            joins: false,
+            nested: false,
+        }
     }
 }
 
@@ -66,7 +81,9 @@ fn num_literal(v: f64) -> Literal {
 }
 
 fn role_of(ctx: &SchemaContext, p: &PropRef) -> Option<PropertyRole> {
-    ctx.ontology.property(&p.concept, &p.property).map(|dp| dp.role)
+    ctx.ontology
+        .property(&p.concept, &p.property)
+        .map(|dp| dp.role)
 }
 
 fn prop_of(m: &LinkedMention) -> Option<PropRef> {
@@ -179,7 +196,9 @@ pub fn build_oql(question: &str, ctx: &SchemaContext, caps: Capabilities) -> Opt
             if !caps.nested {
                 return None;
             }
-            oql.predicates.push(OqlPredicate::HasNoRelated { other: other.clone() });
+            oql.predicates.push(OqlPredicate::HasNoRelated {
+                other: other.clone(),
+            });
             used[i] = true;
             explanation.push(format!("negation: {focus} without related {other}"));
         }
@@ -235,12 +254,8 @@ pub fn build_oql(question: &str, ctx: &SchemaContext, caps: Capabilities) -> Opt
                     let group_prop = descriptor_prop(ctx, &focus);
                     oql.select.push(OqlExpr::Prop(group_prop.clone()));
                     oql.group_by.push(group_prop);
-                    oql.having.push((
-                        AggFunc::Count,
-                        None,
-                        comp.op,
-                        num_literal(comp.value),
-                    ));
+                    oql.having
+                        .push((AggFunc::Count, None, comp.op, num_literal(comp.value)));
                     explanation.push(format!(
                         "related-count filter: COUNT({other}) {:?} {}",
                         comp.op, comp.value
@@ -336,7 +351,11 @@ pub fn build_oql(question: &str, ctx: &SchemaContext, caps: Capabilities) -> Opt
             }
             explanation.push(format!(
                 "date filter ({}) on {}.{}",
-                if direction.is_empty() { "in" } else { direction },
+                if direction.is_empty() {
+                    "in"
+                } else {
+                    direction
+                },
                 prop.concept,
                 prop.property
             ));
@@ -352,7 +371,12 @@ pub fn build_oql(question: &str, ctx: &SchemaContext, caps: Capabilities) -> Opt
         if used[i] {
             continue;
         }
-        if let LinkKind::Value { concept, property, value } = mentions[i].kind.clone() {
+        if let LinkKind::Value {
+            concept,
+            property,
+            value,
+        } = mentions[i].kind.clone()
+        {
             used[i] = true;
             // A property mention naming the same column just before the
             // value ("customers with segment consumer") is part of the
@@ -362,7 +386,11 @@ pub fn build_oql(question: &str, ctx: &SchemaContext, caps: Capabilities) -> Opt
                     && pm.start + pm.len + 1 >= mentions[i].start
                     && pm.start < mentions[i].start
                 {
-                    if let LinkKind::Property { concept: pc, property: pp } = &pm.kind {
+                    if let LinkKind::Property {
+                        concept: pc,
+                        property: pp,
+                    } = &pm.kind
+                    {
                         if *pc == concept && *pp == property {
                             used[j] = true;
                         }
@@ -398,13 +426,23 @@ pub fn build_oql(question: &str, ctx: &SchemaContext, caps: Capabilities) -> Opt
             if used[i] || !m.is_concept() || m.concept() == focus {
                 continue;
             }
-            let prev = m.start.checked_sub(1).map(|j| tokens[j].norm.as_str()).unwrap_or("");
-            let prev2 = m.start.checked_sub(2).map(|j| tokens[j].norm.as_str()).unwrap_or("");
+            let prev = m
+                .start
+                .checked_sub(1)
+                .map(|j| tokens[j].norm.as_str())
+                .unwrap_or("");
+            let prev2 = m
+                .start
+                .checked_sub(2)
+                .map(|j| tokens[j].norm.as_str())
+                .unwrap_or("");
             if matches!(prev, "with" | "have" | "has" | "having")
                 || matches!(prev2, "with" | "have" | "has" | "having")
             {
                 used[i] = true;
-                oql.predicates.push(OqlPredicate::HasRelated { other: m.concept().to_string() });
+                oql.predicates.push(OqlPredicate::HasRelated {
+                    other: m.concept().to_string(),
+                });
                 explanation.push(format!("semi-join: {focus} having related {}", m.concept()));
             }
         }
@@ -414,8 +452,8 @@ pub fn build_oql(question: &str, ctx: &SchemaContext, caps: Capabilities) -> Opt
     // "above/below average" is a nested comparison, not an AVG
     // projection — the against-average handler consumed it.
     let vs_avg_consumed_avg = signals::find_vs_average(&tokens).is_some();
-    let agg_cue = signals::find_agg_cue(&tokens)
-        .filter(|c| !(vs_avg_consumed_avg && c.func == AggFunc::Avg));
+    let agg_cue =
+        signals::find_agg_cue(&tokens).filter(|c| !(vs_avg_consumed_avg && c.func == AggFunc::Avg));
     let mut group_idx = signals::find_group_cue(&tokens);
     // "top 5 products by price": without an aggregate, the "by X"
     // phrase names the sort key, not a grouping.
@@ -448,7 +486,9 @@ pub fn build_oql(question: &str, ctx: &SchemaContext, caps: Capabilities) -> Opt
             .filter(|(i, m)| !used[*i] && m.start >= cue.at)
             .filter_map(|(i, m)| prop_of(m).map(|p| (i, p)))
             .find(|(_, p)| {
-                role_of(ctx, p).map(|r| r == PropertyRole::Measure).unwrap_or(false)
+                role_of(ctx, p)
+                    .map(|r| r == PropertyRole::Measure)
+                    .unwrap_or(false)
                     || cue.func == AggFunc::Min
                     || cue.func == AggFunc::Max
             });
@@ -518,7 +558,10 @@ pub fn build_oql(question: &str, ctx: &SchemaContext, caps: Capabilities) -> Opt
                 if top.desc { "desc" } else { "asc" }
             ));
         }
-        oql.order_by.push(OqlOrder { expr: order_expr, asc: !top.desc });
+        oql.order_by.push(OqlOrder {
+            expr: order_expr,
+            asc: !top.desc,
+        });
         oql.limit = Some(top.n);
         score_product *= 0.98;
     } else if let Some((oidx, asc)) = order_cue {
@@ -530,7 +573,10 @@ pub fn build_oql(question: &str, ctx: &SchemaContext, caps: Capabilities) -> Opt
             .next()
         {
             used[i] = true;
-            oql.order_by.push(OqlOrder { expr: OqlExpr::Prop(prop), asc });
+            oql.order_by.push(OqlOrder {
+                expr: OqlExpr::Prop(prop),
+                asc,
+            });
         }
     }
 
@@ -557,7 +603,6 @@ pub fn build_oql(question: &str, ctx: &SchemaContext, caps: Capabilities) -> Opt
     if signals::find_distinct_cue(&tokens) && !oql.select.is_empty() {
         oql.distinct = true;
     }
-
 
     // Interpretation coverage: content words neither linked nor
     // recognized as signal vocabulary are unexplained.
@@ -588,7 +633,12 @@ pub fn build_oql(question: &str, ctx: &SchemaContext, caps: Capabilities) -> Opt
     } else {
         content_covered as f64 / content_total as f64
     };
-    Some(OqlBuild { oql, score: score_product, coverage, explanation })
+    Some(OqlBuild {
+        oql,
+        score: score_product,
+        coverage,
+        explanation,
+    })
 }
 
 /// Lower an [`OqlBuild`] to ranked interpretations, generating
@@ -600,7 +650,12 @@ fn lower_builds(
     caps: Capabilities,
     kind: InterpreterKind,
 ) -> Vec<Interpretation> {
-    let OqlBuild { oql, score: score_product, coverage, explanation } = build;
+    let OqlBuild {
+        oql,
+        score: score_product,
+        coverage,
+        explanation,
+    } = build;
     let coverage_factor = 0.35 + 0.65 * coverage;
     let tokens = tokenize(question);
     let mut mentions = link_mentions(&tokens, ctx);
@@ -621,7 +676,12 @@ fn lower_builds(
 
     // --- Alternative readings for ambiguous value mentions. ---
     for m in &mentions {
-        if let LinkKind::Value { concept, property, value } = &m.kind {
+        if let LinkKind::Value {
+            concept,
+            property,
+            value,
+        } = &m.kind
+        {
             for alt in ctx.indices.values.lookup(&m.text).into_iter().take(3) {
                 let alt_concept = match ctx.ontology.concept_for_table(&alt.table) {
                     Some(c) => c.label.clone(),
@@ -645,7 +705,12 @@ fn lower_builds(
                 let mut alt_oql = oql.clone();
                 let mut replaced = false;
                 for pred in &mut alt_oql.predicates {
-                    if let OqlPredicate::Compare { prop, op: BinOp::Eq, value: v } = pred {
+                    if let OqlPredicate::Compare {
+                        prop,
+                        op: BinOp::Eq,
+                        value: v,
+                    } = pred
+                    {
                         if prop.concept == *concept
                             && prop.property == *property
                             && *v == Literal::Str(value.clone())
@@ -659,14 +724,13 @@ fn lower_builds(
                 }
                 if replaced {
                     if let Ok(sql) = alt_oql.to_sql(&ctx.ontology, &ctx.graph) {
-                        let confidence =
-                            ((0.55 + 0.45 * score_product * alt.score * 0.8) * coverage_factor).min(1.0);
-                        out.push(
-                            Interpretation::new(sql, confidence, kind).explain(format!(
-                                "alternative: '{}' read as {alt_concept}.{alt_prop}",
-                                m.text
-                            )),
-                        );
+                        let confidence = ((0.55 + 0.45 * score_product * alt.score * 0.8)
+                            * coverage_factor)
+                            .min(1.0);
+                        out.push(Interpretation::new(sql, confidence, kind).explain(format!(
+                            "alternative: '{}' read as {alt_concept}.{alt_prop}",
+                            m.text
+                        )));
                     }
                 }
             }
@@ -675,16 +739,11 @@ fn lower_builds(
     rank(out)
 }
 
-
 /// Property-mention disambiguation: a bare property word that exists
 /// on several concepts ("city") binds to (1) the concept mentioned
 /// immediately before it ("patient city"), else (2) the focus concept
 /// — NaLIR's context-sensitive node mapping.
-fn prefer_context_properties(
-    mentions: &mut [LinkedMention],
-    focus: &str,
-    ctx: &SchemaContext,
-) {
+fn prefer_context_properties(mentions: &mut [LinkedMention], focus: &str, ctx: &SchemaContext) {
     // Collect (position, concept) of concept mentions first.
     let concept_positions: Vec<(usize, usize, String)> = mentions
         .iter()
@@ -809,7 +868,11 @@ fn descriptor_prop(ctx: &SchemaContext, concept: &str) -> PropRef {
         return PropRef::new(concept, d.label.clone());
     }
     let props = ctx.ontology.properties_of(concept);
-    if let Some(pk) = ctx.ontology.concept(concept).and_then(|c| c.primary_key.clone()) {
+    if let Some(pk) = ctx
+        .ontology
+        .concept(concept)
+        .and_then(|c| c.primary_key.clone())
+    {
         if let Some(p) = props.iter().find(|p| p.column == pk) {
             return PropRef::new(concept, p.label.clone());
         }
@@ -882,12 +945,20 @@ mod tests {
         ] {
             db.insert(
                 "customers",
-                vec![Value::Int(id), Value::from(n), Value::from(c), Value::from(d)],
+                vec![
+                    Value::Int(id),
+                    Value::from(n),
+                    Value::from(c),
+                    Value::from(d),
+                ],
             )
             .unwrap();
         }
-        db.insert("orders", vec![Value::Int(1), Value::Int(1), Value::Float(99.0)])
-            .unwrap();
+        db.insert(
+            "orders",
+            vec![Value::Int(1), Value::Int(1), Value::Float(99.0)],
+        )
+        .unwrap();
         let ctx = SchemaContext::build(&db);
         (db, ctx)
     }
@@ -949,7 +1020,10 @@ mod tests {
     fn negation_produces_not_in() {
         let (_db, ctx) = setup();
         let sql = best_sql("customers without orders", &ctx);
-        assert!(sql.contains("NOT IN (SELECT orders.customer_id FROM orders)"), "{sql}");
+        assert!(
+            sql.contains("NOT IN (SELECT orders.customer_id FROM orders)"),
+            "{sql}"
+        );
     }
 
     #[test]
@@ -988,7 +1062,9 @@ mod tests {
     #[test]
     fn no_mentions_no_interpretations() {
         let (_db, ctx) = setup();
-        assert!(EntityInterpreter::new().interpret("quantum flux capacitors", &ctx).is_empty());
+        assert!(EntityInterpreter::new()
+            .interpret("quantum flux capacitors", &ctx)
+            .is_empty());
     }
 
     #[test]

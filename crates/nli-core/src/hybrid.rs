@@ -53,7 +53,11 @@ impl HybridInterpreter {
     /// Untrained hybrid: entity-only until [`HybridInterpreter::train`]
     /// or [`HybridInterpreter::set_neural`] is called.
     pub fn new() -> HybridInterpreter {
-        HybridInterpreter { entity: EntityInterpreter::new(), neural: None, hmm: None }
+        HybridInterpreter {
+            entity: EntityInterpreter::new(),
+            neural: None,
+            hmm: None,
+        }
     }
 
     /// Install an externally trained neural model.
@@ -69,7 +73,10 @@ impl HybridInterpreter {
 
     /// Is a neural component loaded?
     pub fn has_neural(&self) -> bool {
-        self.neural.as_ref().map(|n| n.is_trained()).unwrap_or(false)
+        self.neural
+            .as_ref()
+            .map(|n| n.is_trained())
+            .unwrap_or(false)
     }
 }
 
@@ -130,7 +137,9 @@ fn sql_vocabulary(sql: &Query) -> (Vec<String>, Vec<String>) {
             }
             Expr::Unary { expr, .. } => visit_expr(expr, schema, values),
             Expr::Agg { arg: Some(a), .. } => visit_expr(a, schema, values),
-            Expr::Between { expr, low, high, .. } => {
+            Expr::Between {
+                expr, low, high, ..
+            } => {
                 visit_expr(expr, schema, values);
                 visit_expr(low, schema, values);
                 visit_expr(high, schema, values);
@@ -141,9 +150,7 @@ fn sql_vocabulary(sql: &Query) -> (Vec<String>, Vec<String>) {
                     visit_expr(i, schema, values);
                 }
             }
-            Expr::Like { expr, .. } | Expr::IsNull { expr, .. } => {
-                visit_expr(expr, schema, values)
-            }
+            Expr::Like { expr, .. } | Expr::IsNull { expr, .. } => visit_expr(expr, schema, values),
             Expr::InSubquery { expr, subquery, .. } => {
                 visit_expr(expr, schema, values);
                 let (s, v) = sql_vocabulary(subquery);
@@ -294,12 +301,15 @@ mod tests {
                 .primary_key("id"),
         )
         .unwrap();
-        for (id, n, c, p) in
-            [(1, "Anvil", "tools", 10.0), (2, "Piano", "music", 500.0)]
-        {
+        for (id, n, c, p) in [(1, "Anvil", "tools", 10.0), (2, "Piano", "music", 500.0)] {
             db.insert(
                 "products",
-                vec![Value::Int(id), Value::from(n), Value::from(c), Value::Float(p)],
+                vec![
+                    Value::Int(id),
+                    Value::from(n),
+                    Value::from(c),
+                    Value::Float(p),
+                ],
             )
             .unwrap();
         }
@@ -311,8 +321,14 @@ mod tests {
             ("show all products", "SELECT * FROM products"),
             ("how many products", "SELECT COUNT(*) FROM products"),
             ("count the products", "SELECT COUNT(*) FROM products"),
-            ("products in tools", "SELECT * FROM products WHERE category = 'tools'"),
-            ("average price of products", "SELECT AVG(price) FROM products"),
+            (
+                "products in tools",
+                "SELECT * FROM products WHERE category = 'tools'",
+            ),
+            (
+                "average price of products",
+                "SELECT AVG(price) FROM products",
+            ),
         ]
         .iter()
         .map(|(q, s)| TrainingExample {
@@ -386,10 +402,9 @@ mod tests {
 
     #[test]
     fn sql_vocabulary_extraction() {
-        let q = parse_query(
-            "SELECT name FROM products WHERE category = 'hand tools' AND price > 5",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT name FROM products WHERE category = 'hand tools' AND price > 5")
+                .unwrap();
         let (schema, values) = sql_vocabulary(&q);
         assert!(schema.contains(&porter_stem("products")));
         assert!(schema.contains(&porter_stem("category")));

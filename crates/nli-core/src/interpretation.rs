@@ -67,7 +67,12 @@ pub struct Interpretation {
 impl Interpretation {
     /// Construct with a single explanation line.
     pub fn new(sql: Query, confidence: f64, source: InterpreterKind) -> Interpretation {
-        Interpretation { sql, confidence, explanation: Vec::new(), source }
+        Interpretation {
+            sql,
+            confidence,
+            explanation: Vec::new(),
+            source,
+        }
     }
 
     /// Append an explanation step (builder style).
@@ -78,7 +83,12 @@ impl Interpretation {
 }
 
 /// An interpreter family: question in, ranked interpretations out.
-pub trait Interpreter {
+///
+/// `Send + Sync` is a supertrait so a trained interpreter can be shared
+/// immutably across serving threads (`nlidb-serve` workers hold one
+/// pipeline behind an `Arc`); interpretation itself is `&self` — all
+/// mutation (training) happens before serving starts.
+pub trait Interpreter: Send + Sync {
     /// Family identity.
     fn kind(&self) -> InterpreterKind;
 

@@ -61,7 +61,12 @@ mod tests {
         ] {
             db.insert(
                 "products",
-                vec![Value::Int(id), Value::from(n), Value::from(c), Value::Float(p)],
+                vec![
+                    Value::Int(id),
+                    Value::from(n),
+                    Value::from(c),
+                    Value::Float(p),
+                ],
             )
             .unwrap();
         }
@@ -71,7 +76,9 @@ mod tests {
     #[test]
     fn simple_filter_works() {
         let ctx = ctx();
-        let i = KeywordInterpreter::new().best("products in tools", &ctx).unwrap();
+        let i = KeywordInterpreter::new()
+            .best("products in tools", &ctx)
+            .unwrap();
         assert_eq!(
             i.sql.to_string(),
             "SELECT * FROM products WHERE category = 'tools'"

@@ -83,13 +83,72 @@ impl LinkedMention {
 /// Words that carry operator/aggregate semantics and must not be
 /// consumed as entity mentions.
 const CUE_WORDS: &[&str] = &[
-    "total", "sum", "average", "mean", "avg", "count", "number", "many", "maximum", "minimum",
-    "max", "min", "top", "bottom", "largest", "smallest", "highest", "lowest", "biggest",
-    "cheapest", "best", "worst", "most", "least", "greatest", "fewest", "more", "less", "fewer",
-    "greater", "higher", "lower", "larger", "smaller", "than", "between", "over", "under",
-    "above", "below", "least", "exactly", "without", "never", "no", "not", "each", "per",
-    "distinct", "unique", "different", "order", "sort", "rank", "sorted", "ranked", "ordered",
-    "descending", "ascending", "desc", "asc", "oldest", "newest", "earliest", "latest", "by",
+    "total",
+    "sum",
+    "average",
+    "mean",
+    "avg",
+    "count",
+    "number",
+    "many",
+    "maximum",
+    "minimum",
+    "max",
+    "min",
+    "top",
+    "bottom",
+    "largest",
+    "smallest",
+    "highest",
+    "lowest",
+    "biggest",
+    "cheapest",
+    "best",
+    "worst",
+    "most",
+    "least",
+    "greatest",
+    "fewest",
+    "more",
+    "less",
+    "fewer",
+    "greater",
+    "higher",
+    "lower",
+    "larger",
+    "smaller",
+    "than",
+    "between",
+    "over",
+    "under",
+    "above",
+    "below",
+    "least",
+    "exactly",
+    "without",
+    "never",
+    "no",
+    "not",
+    "each",
+    "per",
+    "distinct",
+    "unique",
+    "different",
+    "order",
+    "sort",
+    "rank",
+    "sorted",
+    "ranked",
+    "ordered",
+    "descending",
+    "ascending",
+    "desc",
+    "asc",
+    "oldest",
+    "newest",
+    "earliest",
+    "latest",
+    "by",
     "per",
 ];
 
@@ -124,7 +183,9 @@ pub fn link_mentions(tokens: &[Token], ctx: &SchemaContext) -> Vec<LinkedMention
                 continue;
             }
             // Quoted spans are value-only and must be a single token.
-            let has_quoted = tokens[i..i + span_len].iter().any(|t| t.kind == TokenKind::Quoted);
+            let has_quoted = tokens[i..i + span_len]
+                .iter()
+                .any(|t| t.kind == TokenKind::Quoted);
             if has_quoted && span_len > 1 {
                 i += 1;
                 continue;
@@ -148,7 +209,9 @@ pub fn link_mentions(tokens: &[Token], ctx: &SchemaContext) -> Vec<LinkedMention
                             len: span_len,
                             text: text.clone(),
                             kind: match hit.kind {
-                                MetaKind::Concept => LinkKind::Concept { concept: hit.concept },
+                                MetaKind::Concept => LinkKind::Concept {
+                                    concept: hit.concept,
+                                },
                                 MetaKind::Property => LinkKind::Property {
                                     concept: hit.concept,
                                     property: hit.property,
@@ -161,7 +224,11 @@ pub fn link_mentions(tokens: &[Token], ctx: &SchemaContext) -> Vec<LinkedMention
             }
             if linked.is_none() {
                 if let Some(vhit) = ctx.indices.values.lookup(&text).into_iter().next() {
-                    let min = if has_quoted { 0.6 } else { LINK_THRESHOLD + 0.07 };
+                    let min = if has_quoted {
+                        0.6
+                    } else {
+                        LINK_THRESHOLD + 0.07
+                    };
                     if vhit.score >= min {
                         if let Some(concept) = ctx.ontology.concept_for_table(&vhit.table) {
                             if let Some(prop) = ctx
@@ -228,11 +295,17 @@ mod tests {
         )
         .unwrap();
         for (id, n, c) in [(1, "Ada", "Austin"), (2, "Bob", "New York")] {
-            db.insert("customers", vec![Value::Int(id), Value::from(n), Value::from(c)])
-                .unwrap();
-        }
-        db.insert("orders", vec![Value::Int(1), Value::Int(1), Value::Float(10.0)])
+            db.insert(
+                "customers",
+                vec![Value::Int(id), Value::from(n), Value::from(c)],
+            )
             .unwrap();
+        }
+        db.insert(
+            "orders",
+            vec![Value::Int(1), Value::Int(1), Value::Float(10.0)],
+        )
+        .unwrap();
         let ctx = SchemaContext::build(&db);
         (db, ctx)
     }

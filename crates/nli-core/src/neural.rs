@@ -33,9 +33,7 @@
 
 use nlidb_ml::{BilinearScorer, Mlp, MlpConfig};
 use nlidb_nlp::{is_stopword, porter_stem, tokenize, Token, TokenKind};
-use nlidb_sqlir::ast::{
-    AggFunc, BinOp, ColumnRef, Expr, Literal, Query, SelectItem, TableSource,
-};
+use nlidb_sqlir::ast::{AggFunc, BinOp, ColumnRef, Expr, Literal, Query, SelectItem, TableSource};
 
 use crate::interpretation::{Interpretation, Interpreter, InterpreterKind};
 use crate::pipeline::SchemaContext;
@@ -85,12 +83,16 @@ fn hash_bow(words: impl Iterator<Item = String>, dim: usize) -> Vec<f64> {
 
 fn question_features(question: &str) -> Vec<f64> {
     let tokens = tokenize(question);
-    let words = tokens.iter().filter(|t| t.kind == TokenKind::Word).map(|t| {
-        porter_stem(&t.norm)
-    });
+    let words = tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Word)
+        .map(|t| porter_stem(&t.norm));
     // Unigrams + adjacent bigrams.
     let unis: Vec<String> = words.collect();
-    let bis: Vec<String> = unis.windows(2).map(|w| format!("{}_{}", w[0], w[1])).collect();
+    let bis: Vec<String> = unis
+        .windows(2)
+        .map(|w| format!("{}_{}", w[0], w[1]))
+        .collect();
     hash_bow(unis.into_iter().chain(bis), QDIM)
 }
 
@@ -105,11 +107,7 @@ fn column_features(table: &str, column_label: &str) -> Vec<f64> {
 fn table_features(table: &str, columns: &[String]) -> Vec<f64> {
     let words = std::iter::once(table.to_lowercase())
         .chain(columns.iter().map(|c| c.to_lowercase()))
-        .flat_map(|s| {
-            s.split([' ', '_'])
-                .map(porter_stem)
-                .collect::<Vec<_>>()
-        });
+        .flat_map(|s| s.split([' ', '_']).map(porter_stem).collect::<Vec<_>>());
     hash_bow(words, CDIM)
 }
 
@@ -130,8 +128,8 @@ const OP_CLASSES: [BinOp; 5] = [BinOp::Eq, BinOp::Gt, BinOp::Lt, BinOp::GtEq, Bi
 #[derive(Debug, Clone, PartialEq)]
 struct Sketch {
     table: String,
-    agg: usize,            // index into AGG_CLASSES
-    sel_col: Option<String>, // None = `*` or COUNT(*)
+    agg: usize,                           // index into AGG_CLASSES
+    sel_col: Option<String>,              // None = `*` or COUNT(*)
     conds: Vec<(String, usize, Literal)>, // (column, op class, value)
 }
 
@@ -155,7 +153,11 @@ fn extract_sketch(sql: &Query) -> Option<Sketch> {
         SelectItem::Wildcard => (0usize, None),
         SelectItem::Expr { expr, .. } => match expr {
             Expr::Column(c) => (0usize, Some(c.column.clone())),
-            Expr::Agg { func, arg, distinct: false } => {
+            Expr::Agg {
+                func,
+                arg,
+                distinct: false,
+            } => {
                 let idx = AGG_CLASSES
                     .iter()
                     .position(|a| *a == Some(*func))
@@ -180,14 +182,21 @@ fn extract_sketch(sql: &Query) -> Option<Sketch> {
     if conds.len() > MAX_CONDS {
         return None;
     }
-    Some(Sketch { table: name.clone(), agg, sel_col, conds })
+    Some(Sketch {
+        table: name.clone(),
+        agg,
+        sel_col,
+        conds,
+    })
 }
 
 fn collect_conjuncts(e: &Expr, out: &mut Vec<(String, usize, Literal)>) -> bool {
     match e {
-        Expr::Binary { left, op: BinOp::And, right } => {
-            collect_conjuncts(left, out) && collect_conjuncts(right, out)
-        }
+        Expr::Binary {
+            left,
+            op: BinOp::And,
+            right,
+        } => collect_conjuncts(left, out) && collect_conjuncts(right, out),
         Expr::Binary { left, op, right } => {
             let Some(op_idx) = OP_CLASSES.iter().position(|o| o == op) else {
                 return false;
@@ -264,7 +273,13 @@ impl NeuralInterpreter {
             })
             .collect();
 
-        let cfg_small = MlpConfig { hidden: 32, epochs: 80, lr: 0.08, seed, l2: 1e-4 };
+        let cfg_small = MlpConfig {
+            hidden: 32,
+            epochs: 80,
+            lr: 0.08,
+            seed,
+            l2: 1e-4,
+        };
         let mut model = Model {
             table_scorer: BilinearScorer::new(QDIM, CDIM, seed ^ 0xA),
             agg: Mlp::new(QDIM, AGG_CLASSES.len(), &cfg_small),
@@ -286,8 +301,10 @@ impl NeuralInterpreter {
             .iter()
             .map(|(_, s)| usize::from(s.sel_col.is_some() && s.agg == 0))
             .collect();
-        let wc_labels: Vec<usize> =
-            sketches.iter().map(|(_, s)| s.conds.len().min(MAX_CONDS)).collect();
+        let wc_labels: Vec<usize> = sketches
+            .iter()
+            .map(|(_, s)| s.conds.len().min(MAX_CONDS))
+            .collect();
 
         model.agg.train(&qfeats, &agg_labels, &cfg_small);
         model.sel_shape.train(&qfeats, &shape_labels, &cfg_small);
@@ -301,31 +318,19 @@ impl NeuralInterpreter {
         let mut op_y = Vec::new();
         for ((_, s), qf) in sketches.iter().zip(&qfeats) {
             for (tname, tcols) in &model.tables {
-                table_triples.push((
-                    qf.clone(),
-                    table_features(tname, tcols),
-                    tname == &s.table,
-                ));
+                table_triples.push((qf.clone(), table_features(tname, tcols), tname == &s.table));
             }
             let Some((_, cols)) = model.tables.iter().find(|(t, _)| t == &s.table) else {
                 continue;
             };
             if let Some(sel) = &s.sel_col {
                 for c in cols {
-                    selcol_triples.push((
-                        qf.clone(),
-                        column_features(&s.table, c),
-                        c == sel,
-                    ));
+                    selcol_triples.push((qf.clone(), column_features(&s.table, c), c == sel));
                 }
             }
             for (cc, op_idx, _) in &s.conds {
                 for c in cols {
-                    condcol_triples.push((
-                        qf.clone(),
-                        column_features(&s.table, c),
-                        c == cc,
-                    ));
+                    condcol_triples.push((qf.clone(), column_features(&s.table, c), c == cc));
                 }
                 let mut x = qf.clone();
                 x.extend(column_features(&s.table, cc));
@@ -336,7 +341,13 @@ impl NeuralInterpreter {
         model.table_scorer.train(&table_triples, 25, 0.12);
         model.sel_col.train(&selcol_triples, 25, 0.12);
         model.cond_col.train(&condcol_triples, 25, 0.12);
-        let op_cfg = MlpConfig { hidden: 24, epochs: 80, lr: 0.08, seed: seed ^ 0xD, l2: 1e-4 };
+        let op_cfg = MlpConfig {
+            hidden: 24,
+            epochs: 80,
+            lr: 0.08,
+            seed: seed ^ 0xD,
+            l2: 1e-4,
+        };
         let mut op_mlp = Mlp::new(QDIM + CDIM, OP_CLASSES.len(), &op_cfg);
         op_mlp.train(&op_x, &op_y, &op_cfg);
         model.cond_op = op_mlp;
@@ -398,7 +409,11 @@ fn ground_value(
         .collect();
     for len in (1..=2usize).rev() {
         for win in words.windows(len) {
-            let text = win.iter().map(|t| t.norm.as_str()).collect::<Vec<_>>().join(" ");
+            let text = win
+                .iter()
+                .map(|t| t.norm.as_str())
+                .collect::<Vec<_>>()
+                .join(" ");
             if let Some(hit) = ctx
                 .indices
                 .values
@@ -500,16 +515,19 @@ impl Interpreter for NeuralInterpreter {
             .iter()
             .map(|(t, cols)| table_features(t, cols))
             .collect();
-        let t_idx = model.table_scorer.best(&qf, tfeats.iter().map(|f| f.as_slice()));
+        let t_idx = model
+            .table_scorer
+            .best(&qf, tfeats.iter().map(|f| f.as_slice()));
         // Table-choice certainty feeds the overall confidence: a
         // question whose vocabulary matches no table well should not
         // produce a confident sketch.
-        let t_scores: Vec<f64> =
-            tfeats.iter().map(|f| model.table_scorer.score(&qf, f)).collect();
+        let t_scores: Vec<f64> = tfeats
+            .iter()
+            .map(|f| model.table_scorer.score(&qf, f))
+            .collect();
         let t_proba = nlidb_ml::matrix::softmax(&t_scores);
         let (table, cols) = &tables[t_idx];
-        let colfeats: Vec<Vec<f64>> =
-            cols.iter().map(|c| column_features(table, c)).collect();
+        let colfeats: Vec<Vec<f64>> = cols.iter().map(|c| column_features(table, c)).collect();
         let numeric_col = |c: &str| -> bool {
             ctx.ontology
                 .concept_for_table(table)
@@ -545,7 +563,9 @@ impl Interpreter for NeuralInterpreter {
         let select_item = match AGG_CLASSES[agg_idx] {
             None => {
                 if shape_proba[1] > shape_proba[0] && !cols.is_empty() {
-                    let ci = model.sel_col.best(&qf, colfeats.iter().map(|f| f.as_slice()));
+                    let ci = model
+                        .sel_col
+                        .best(&qf, colfeats.iter().map(|f| f.as_slice()));
                     confidence *= shape_proba[1];
                     SelectItem::expr(Expr::Column(ColumnRef::bare(cols[ci].clone())))
                 } else {
@@ -558,7 +578,9 @@ impl Interpreter for NeuralInterpreter {
                 if cols.is_empty() {
                     return Vec::new();
                 }
-                let ci = model.sel_col.best(&qf, colfeats.iter().map(|f| f.as_slice()));
+                let ci = model
+                    .sel_col
+                    .best(&qf, colfeats.iter().map(|f| f.as_slice()));
                 SelectItem::expr(Expr::agg(func, Expr::col(cols[ci].clone())))
             }
         };
@@ -579,7 +601,9 @@ impl Interpreter for NeuralInterpreter {
                 .map(|(i, f)| (i, model.cond_col.score(&qf, f)))
                 .collect();
             ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-            let Some(&(ci, _)) = ranked.first() else { break };
+            let Some(&(ci, _)) = ranked.first() else {
+                break;
+            };
             used_cols.push(ci);
             let mut op_in = qf.clone();
             op_in.extend(colfeats[ci].iter());
@@ -604,10 +628,14 @@ impl Interpreter for NeuralInterpreter {
             where_clause,
             ..Query::default()
         };
-        vec![
-            Interpretation::new(sql, (0.35 + 0.65 * confidence).min(1.0), InterpreterKind::Neural)
-                .explain(format!("sketch: table={table}, agg class {agg_idx}, {wc} conditions")),
-        ]
+        vec![Interpretation::new(
+            sql,
+            (0.35 + 0.65 * confidence).min(1.0),
+            InterpreterKind::Neural,
+        )
+        .explain(format!(
+            "sketch: table={table}, agg class {agg_idx}, {wc} conditions"
+        ))]
     }
 }
 
@@ -636,7 +664,12 @@ mod tests {
         ] {
             db.insert(
                 "products",
-                vec![Value::Int(id), Value::from(n), Value::from(c), Value::Float(p)],
+                vec![
+                    Value::Int(id),
+                    Value::from(n),
+                    Value::from(c),
+                    Value::Float(p),
+                ],
             )
             .unwrap();
         }
@@ -654,8 +687,14 @@ mod tests {
             ("show all products", "SELECT * FROM products"),
             ("list every product", "SELECT * FROM products"),
             ("display products", "SELECT * FROM products"),
-            ("show products in tools", "SELECT * FROM products WHERE category = 'tools'"),
-            ("list products in music", "SELECT * FROM products WHERE category = 'music'"),
+            (
+                "show products in tools",
+                "SELECT * FROM products WHERE category = 'tools'",
+            ),
+            (
+                "list products in music",
+                "SELECT * FROM products WHERE category = 'music'",
+            ),
             (
                 "products with price greater than 50",
                 "SELECT * FROM products WHERE price > 50",
@@ -672,15 +711,27 @@ mod tests {
                 "products cheaper than 9",
                 "SELECT * FROM products WHERE price < 9",
             ),
-            ("how many products are there", "SELECT COUNT(*) FROM products"),
+            (
+                "how many products are there",
+                "SELECT COUNT(*) FROM products",
+            ),
             ("count the products", "SELECT COUNT(*) FROM products"),
             ("number of products", "SELECT COUNT(*) FROM products"),
-            ("average price of products", "SELECT AVG(price) FROM products"),
+            (
+                "average price of products",
+                "SELECT AVG(price) FROM products",
+            ),
             ("mean price of products", "SELECT AVG(price) FROM products"),
             ("total price of products", "SELECT SUM(price) FROM products"),
             ("sum of product price", "SELECT SUM(price) FROM products"),
-            ("maximum price of products", "SELECT MAX(price) FROM products"),
-            ("minimum price of products", "SELECT MIN(price) FROM products"),
+            (
+                "maximum price of products",
+                "SELECT MAX(price) FROM products",
+            ),
+            (
+                "minimum price of products",
+                "SELECT MIN(price) FROM products",
+            ),
             ("names of products", "SELECT name FROM products"),
             ("show the product names", "SELECT name FROM products"),
             ("categories of products", "SELECT category FROM products"),
@@ -695,16 +746,23 @@ mod tests {
     fn sketch_extraction_bounds() {
         let ok = parse_query("SELECT COUNT(*) FROM t WHERE a = 1 AND b > 2").unwrap();
         assert!(extract_sketch(&ok).is_some());
-        let join =
-            parse_query("SELECT a FROM t JOIN u ON t.id = u.tid").unwrap();
+        let join = parse_query("SELECT a FROM t JOIN u ON t.id = u.tid").unwrap();
         assert!(extract_sketch(&join).is_none(), "joins exceed the sketch");
         let nested = parse_query("SELECT * FROM t WHERE id IN (SELECT x FROM u)").unwrap();
-        assert!(extract_sketch(&nested).is_none(), "nesting exceeds the sketch");
+        assert!(
+            extract_sketch(&nested).is_none(),
+            "nesting exceeds the sketch"
+        );
         let grouped = parse_query("SELECT a, COUNT(*) FROM t GROUP BY a").unwrap();
-        assert!(extract_sketch(&grouped).is_none(), "grouping exceeds the sketch");
-        let three =
-            parse_query("SELECT * FROM t WHERE a = 1 AND b = 2 AND c = 3").unwrap();
-        assert!(extract_sketch(&three).is_none(), ">2 conditions exceed the sketch");
+        assert!(
+            extract_sketch(&grouped).is_none(),
+            "grouping exceeds the sketch"
+        );
+        let three = parse_query("SELECT * FROM t WHERE a = 1 AND b = 2 AND c = 3").unwrap();
+        assert!(
+            extract_sketch(&three).is_none(),
+            ">2 conditions exceed the sketch"
+        );
     }
 
     #[test]
@@ -774,7 +832,10 @@ mod tests {
         assert!(nn.len() > 20);
         // Exact repeat of a training question: perfect.
         let (sql, sim) = nn.predict("show products in tools").unwrap();
-        assert_eq!(sql.to_string(), "SELECT * FROM products WHERE category = 'tools'");
+        assert_eq!(
+            sql.to_string(),
+            "SELECT * FROM products WHERE category = 'tools'"
+        );
         assert!(sim > 0.99);
         // Unseen value with seen vocabulary: the sketch model grounds
         // the new value; the monolithic baseline can only replay an old

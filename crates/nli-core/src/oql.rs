@@ -26,7 +26,10 @@ pub struct PropRef {
 impl PropRef {
     /// Shorthand constructor.
     pub fn new(concept: impl Into<String>, property: impl Into<String>) -> PropRef {
-        PropRef { concept: concept.into(), property: property.into() }
+        PropRef {
+            concept: concept.into(),
+            property: property.into(),
+        }
     }
 }
 
@@ -137,7 +140,10 @@ pub struct Oql {
 impl Oql {
     /// New query focused on a concept.
     pub fn focused(concept: impl Into<String>) -> Oql {
-        Oql { focus: concept.into(), ..Oql::default() }
+        Oql {
+            focus: concept.into(),
+            ..Oql::default()
+        }
     }
 
     /// All concepts the query touches through joins (focus, selected,
@@ -188,19 +194,17 @@ impl Oql {
     /// Lower to SQL. See module docs for the mapping.
     pub fn to_sql(&self, onto: &Ontology, graph: &JoinGraph) -> Result<Query, InterpretError> {
         let terminals = self.joined_concepts();
-        let plan = graph
-            .steiner_plan(&terminals)
-            .ok_or_else(|| InterpretError::Translation(format!(
+        let plan = graph.steiner_plan(&terminals).ok_or_else(|| {
+            InterpretError::Translation(format!(
                 "concepts {terminals:?} are not connected in the ontology"
-            )))?;
+            ))
+        })?;
         let multi = plan.concepts.len() > 1;
 
         let table_of = |concept: &str| -> Result<String, InterpretError> {
             onto.concept(concept)
                 .map(|c| c.table.clone())
-                .ok_or_else(|| {
-                    InterpretError::Translation(format!("unknown concept {concept}"))
-                })
+                .ok_or_else(|| InterpretError::Translation(format!("unknown concept {concept}")))
         };
         let col_of = |p: &PropRef| -> Result<Expr, InterpretError> {
             let concept = onto.concept(&p.concept).ok_or_else(|| {
@@ -226,7 +230,11 @@ impl Oql {
                     arg: Some(Box::new(col_of(p)?)),
                     distinct: false,
                 },
-                OqlExpr::Agg(f, None) => Expr::Agg { func: *f, arg: None, distinct: false },
+                OqlExpr::Agg(f, None) => Expr::Agg {
+                    func: *f,
+                    arg: None,
+                    distinct: false,
+                },
             })
         };
 
@@ -375,15 +383,22 @@ impl Oql {
                 Some(p) => Some(Box::new(col_of(p)?)),
                 None => None,
             };
-            let pred = Expr::Agg { func: *agg, arg, distinct: false }
-                .binary(*op, Expr::Literal(value.clone()));
+            let pred = Expr::Agg {
+                func: *agg,
+                arg,
+                distinct: false,
+            }
+            .binary(*op, Expr::Literal(value.clone()));
             conjoin(pred, &mut having);
         }
         query.having = having;
 
         // ORDER BY / LIMIT.
         for o in &self.order_by {
-            query.order_by.push(OrderByItem { expr: expr_of(&o.expr)?, asc: o.asc });
+            query.order_by.push(OrderByItem {
+                expr: expr_of(&o.expr)?,
+                asc: o.asc,
+            });
         }
         query.limit = self.limit;
         Ok(query)
@@ -424,7 +439,8 @@ mod tests {
     fn single_table_selection() {
         let (onto, graph) = setup();
         let mut oql = Oql::focused("customer");
-        oql.select.push(OqlExpr::Prop(PropRef::new("customer", "name")));
+        oql.select
+            .push(OqlExpr::Prop(PropRef::new("customer", "name")));
         oql.predicates.push(OqlPredicate::Compare {
             prop: PropRef::new("customer", "city"),
             op: BinOp::Eq,
@@ -441,13 +457,19 @@ mod tests {
     fn join_inferred_for_cross_concept_props() {
         let (onto, graph) = setup();
         let mut oql = Oql::focused("customer");
-        oql.select.push(OqlExpr::Prop(PropRef::new("customer", "name")));
         oql.select
-            .push(OqlExpr::Agg(AggFunc::Sum, Some(PropRef::new("order", "amount"))));
+            .push(OqlExpr::Prop(PropRef::new("customer", "name")));
+        oql.select.push(OqlExpr::Agg(
+            AggFunc::Sum,
+            Some(PropRef::new("order", "amount")),
+        ));
         oql.group_by.push(PropRef::new("customer", "name"));
         let sql = oql.to_sql(&onto, &graph).unwrap();
         let s = sql.to_string();
-        assert!(s.contains("JOIN orders ON customers.id = orders.customer_id"), "{s}");
+        assert!(
+            s.contains("JOIN orders ON customers.id = orders.customer_id"),
+            "{s}"
+        );
         assert!(s.contains("SUM(orders.amount)"), "{s}");
         assert!(s.contains("GROUP BY customers.name"), "{s}");
     }
@@ -456,8 +478,11 @@ mod tests {
     fn has_no_related_lowers_to_not_in() {
         let (onto, graph) = setup();
         let mut oql = Oql::focused("customer");
-        oql.select.push(OqlExpr::Prop(PropRef::new("customer", "name")));
-        oql.predicates.push(OqlPredicate::HasNoRelated { other: "order".into() });
+        oql.select
+            .push(OqlExpr::Prop(PropRef::new("customer", "name")));
+        oql.predicates.push(OqlPredicate::HasNoRelated {
+            other: "order".into(),
+        });
         let sql = oql.to_sql(&onto, &graph).unwrap();
         assert_eq!(
             sql.to_string(),
@@ -470,9 +495,13 @@ mod tests {
     fn has_related_lowers_to_in() {
         let (onto, graph) = setup();
         let mut oql = Oql::focused("customer");
-        oql.predicates.push(OqlPredicate::HasRelated { other: "order".into() });
+        oql.predicates.push(OqlPredicate::HasRelated {
+            other: "order".into(),
+        });
         let sql = oql.to_sql(&onto, &graph).unwrap();
-        assert!(sql.to_string().contains("id IN (SELECT orders.customer_id FROM orders)"));
+        assert!(sql
+            .to_string()
+            .contains("id IN (SELECT orders.customer_id FROM orders)"));
     }
 
     #[test]
@@ -496,7 +525,8 @@ mod tests {
     fn having_with_implicit_group_by() {
         let (onto, graph) = setup();
         let mut oql = Oql::focused("customer");
-        oql.select.push(OqlExpr::Prop(PropRef::new("customer", "name")));
+        oql.select
+            .push(OqlExpr::Prop(PropRef::new("customer", "name")));
         // Count related orders: join + having.
         oql.select.push(OqlExpr::Agg(AggFunc::Count, None));
         oql.predicates.push(OqlPredicate::Compare {
@@ -516,7 +546,8 @@ mod tests {
     fn order_and_limit() {
         let (onto, graph) = setup();
         let mut oql = Oql::focused("order");
-        oql.select.push(OqlExpr::Prop(PropRef::new("order", "amount")));
+        oql.select
+            .push(OqlExpr::Prop(PropRef::new("order", "amount")));
         oql.order_by.push(OqlOrder {
             expr: OqlExpr::Prop(PropRef::new("order", "amount")),
             asc: false,
@@ -533,7 +564,8 @@ mod tests {
     fn unknown_property_errors() {
         let (onto, graph) = setup();
         let mut oql = Oql::focused("customer");
-        oql.select.push(OqlExpr::Prop(PropRef::new("customer", "ghost")));
+        oql.select
+            .push(OqlExpr::Prop(PropRef::new("customer", "ghost")));
         assert!(matches!(
             oql.to_sql(&onto, &graph),
             Err(InterpretError::Translation(_))

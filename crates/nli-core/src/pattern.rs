@@ -61,8 +61,11 @@ mod tests {
         )
         .unwrap();
         for (id, r, v) in [(1, "west", 10.0), (2, "east", 20.0), (3, "west", 30.0)] {
-            db.insert("sales", vec![Value::Int(id), Value::from(r), Value::Float(v)])
-                .unwrap();
+            db.insert(
+                "sales",
+                vec![Value::Int(id), Value::from(r), Value::Float(v)],
+            )
+            .unwrap();
         }
         SchemaContext::build(&db)
     }
@@ -116,7 +119,10 @@ mod tests {
         let i = PatternInterpreter::new()
             .best("sales in west", &ctx)
             .unwrap();
-        assert_eq!(i.sql.to_string(), "SELECT * FROM sales WHERE region = 'west'");
+        assert_eq!(
+            i.sql.to_string(),
+            "SELECT * FROM sales WHERE region = 'west'"
+        );
     }
 
     #[test]

@@ -40,7 +40,12 @@ impl SchemaContext {
         let ontology = generate_ontology(db);
         let graph = JoinGraph::from_ontology(&ontology);
         let indices = Indices::build(db, &ontology, &lexicon);
-        SchemaContext { ontology, graph, lexicon, indices }
+        SchemaContext {
+            ontology,
+            graph,
+            lexicon,
+            indices,
+        }
     }
 }
 
@@ -73,7 +78,13 @@ impl NliPipeline {
     /// all five interpreter families (the neural model starts
     /// untrained; see [`NliPipeline::train_neural`]).
     pub fn standard(db: &Database) -> NliPipeline {
-        let ctx = SchemaContext::build(db);
+        Self::with_context(db, SchemaContext::build(db))
+    }
+
+    /// Build from a pre-built [`SchemaContext`]. This is the hook the
+    /// serving runtime uses to attach shared state — e.g. a join-path
+    /// cache on the context's graph — before the pipeline freezes it.
+    pub fn with_context(db: &Database, ctx: SchemaContext) -> NliPipeline {
         NliPipeline {
             db: db.clone(),
             ctx,
@@ -98,7 +109,17 @@ impl NliPipeline {
     /// Train the neural (and the hybrid's embedded neural) model.
     pub fn train_neural(&mut self, examples: &[TrainingExample], seed: u64) {
         self.neural = NeuralInterpreter::train(examples, &self.ctx, seed);
-        self.hybrid.set_neural(NeuralInterpreter::train(examples, &self.ctx, seed));
+        self.hybrid
+            .set_neural(NeuralInterpreter::train(examples, &self.ctx, seed));
+    }
+
+    /// Builder-style counterpart of [`NliPipeline::train_neural`]:
+    /// consume, train, return. Separates the mutable training phase
+    /// from the immutable serving phase — after this the pipeline can
+    /// go straight behind an `Arc` with no `&mut` access left.
+    pub fn into_trained(mut self, examples: &[TrainingExample], seed: u64) -> NliPipeline {
+        self.train_neural(examples, seed);
+        self
     }
 
     /// Interpreter by family.
@@ -127,8 +148,8 @@ impl NliPipeline {
             .interpreter(kind)
             .best(question, &self.ctx)
             .ok_or_else(|| InterpretError::NoInterpretation(question.to_string()))?;
-        let result = execute(&self.db, &interp.sql)
-            .map_err(|e| InterpretError::Execution(e.to_string()))?;
+        let result =
+            execute(&self.db, &interp.sql).map_err(|e| InterpretError::Execution(e.to_string()))?;
         Ok(Answer {
             sql: interp.sql.to_string(),
             query: interp.sql.clone(),
@@ -166,7 +187,13 @@ impl NliPipeline {
             .iter()
             .map(|c| c.label.as_str())
             .collect();
-        vocab.extend(self.ctx.ontology.data_properties.iter().map(|p| p.label.as_str()));
+        vocab.extend(
+            self.ctx
+                .ontology
+                .data_properties
+                .iter()
+                .map(|p| p.label.as_str()),
+        );
         let mut out = Vec::new();
         for (i, t) in tokens.iter().enumerate() {
             if covered[i]
@@ -197,8 +224,11 @@ impl NliPipeline {
                 .filter(|(_, s)| *s >= 0.5)
                 .collect();
             scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-            let suggestions: Vec<String> =
-                scored.into_iter().take(3).map(|(v, _)| v.to_string()).collect();
+            let suggestions: Vec<String> = scored
+                .into_iter()
+                .take(3)
+                .map(|(v, _)| v.to_string())
+                .collect();
             if !suggestions.is_empty() {
                 out.push((t.norm.clone(), suggestions));
             }
@@ -206,6 +236,18 @@ impl NliPipeline {
         out
     }
 }
+
+/// Compile-time proof that the serving runtime's sharing model is
+/// sound: one pipeline behind an `Arc`, read concurrently by worker
+/// threads. If any interpreter grows interior mutability that is not
+/// thread-safe, this stops compiling rather than racing at runtime.
+fn assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    let _ = assert_send_sync::<NliPipeline>;
+    let _ = assert_send_sync::<SchemaContext>;
+    let _ = assert_send_sync::<Answer>;
+    let _ = assert_send_sync::<std::sync::Arc<NliPipeline>>;
+};
 
 #[cfg(test)]
 mod tests {
@@ -226,7 +268,12 @@ mod tests {
         for (id, n, c, p) in [(1, "Anvil", "tools", 10.0), (2, "Piano", "music", 500.0)] {
             db.insert(
                 "products",
-                vec![Value::Int(id), Value::from(n), Value::from(c), Value::Float(p)],
+                vec![
+                    Value::Int(id),
+                    Value::from(n),
+                    Value::from(c),
+                    Value::Float(p),
+                ],
             )
             .unwrap();
         }
@@ -250,7 +297,9 @@ mod tests {
     fn ask_with_specific_families() {
         let db = db();
         let nli = NliPipeline::standard(&db);
-        let a = nli.ask_with("show products in tools", InterpreterKind::Keyword).unwrap();
+        let a = nli
+            .ask_with("show products in tools", InterpreterKind::Keyword)
+            .unwrap();
         assert_eq!(a.sql, "SELECT * FROM products WHERE category = 'tools'");
         assert!(nli
             .ask_with("total price by category", InterpreterKind::Keyword)
@@ -300,7 +349,10 @@ mod tests {
             ("count the products", "SELECT COUNT(*) FROM products"),
             ("show all products", "SELECT * FROM products"),
             ("list products", "SELECT * FROM products"),
-            ("average price of products", "SELECT AVG(price) FROM products"),
+            (
+                "average price of products",
+                "SELECT AVG(price) FROM products",
+            ),
         ]
         .iter()
         .map(|(q, s)| TrainingExample {

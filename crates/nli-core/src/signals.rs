@@ -74,11 +74,17 @@ pub fn find_group_cue(tokens: &[Token]) -> Option<usize> {
             // "by"/"per" only group when not part of "order by"/"sort by"
             // (those are ordering cues) and not followed by a number.
             "by" | "per" => {
-                let prev = i.checked_sub(1).map(|j| tokens[j].norm.as_str()).unwrap_or("");
-                if prev != "order" && prev != "sort" && prev != "rank"
-                    && tokens.get(i + 1).map(|t| t.kind) != Some(TokenKind::Number) {
-                        return Some(i + 1);
-                    }
+                let prev = i
+                    .checked_sub(1)
+                    .map(|j| tokens[j].norm.as_str())
+                    .unwrap_or("");
+                if prev != "order"
+                    && prev != "sort"
+                    && prev != "rank"
+                    && tokens.get(i + 1).map(|t| t.kind) != Some(TokenKind::Number)
+                {
+                    return Some(i + 1);
+                }
             }
             "each" | "every" => {
                 // "for each X", "in each X", or bare "each X".
@@ -97,8 +103,10 @@ pub fn find_group_cue(tokens: &[Token]) -> Option<usize> {
 /// flips direction.
 pub fn find_order_cue(tokens: &[Token]) -> Option<(usize, bool)> {
     for (i, t) in tokens.iter().enumerate() {
-        if matches!(t.norm.as_str(), "order" | "sort" | "rank" | "sorted" | "ranked" | "ordered")
-            && tokens.get(i + 1).map(|t| t.norm.as_str()) == Some("by")
+        if matches!(
+            t.norm.as_str(),
+            "order" | "sort" | "rank" | "sorted" | "ranked" | "ordered"
+        ) && tokens.get(i + 1).map(|t| t.norm.as_str()) == Some("by")
         {
             let asc = !tokens
                 .iter()
@@ -129,8 +137,8 @@ const DESC_SUPERLATIVES: &[&str] = &[
     "newest", "longest",
 ];
 const ASC_SUPERLATIVES: &[&str] = &[
-    "bottom", "smallest", "lowest", "least", "worst", "cheapest", "minimum", "earliest",
-    "oldest", "fewest", "shortest",
+    "bottom", "smallest", "lowest", "least", "worst", "cheapest", "minimum", "earliest", "oldest",
+    "fewest", "shortest",
 ];
 
 /// Find a top-N cue: "top 5 X", "5 largest X", "the cheapest X".
@@ -147,7 +155,12 @@ pub fn find_top_cue(tokens: &[Token]) -> Option<TopCue> {
                 });
             }
             // bare "top X"
-            return Some(TopCue { n: 1, desc: t.is_word("top"), at: i, len: 1 });
+            return Some(TopCue {
+                n: 1,
+                desc: t.is_word("top"),
+                at: i,
+                len: 1,
+            });
         }
         // "5 largest"
         if t.kind == TokenKind::Number {
@@ -172,10 +185,20 @@ pub fn find_top_cue(tokens: &[Token]) -> Option<TopCue> {
         }
         // bare superlative: "the largest order"
         if DESC_SUPERLATIVES.contains(&t.norm.as_str()) && t.norm != "top" {
-            return Some(TopCue { n: 1, desc: true, at: i, len: 1 });
+            return Some(TopCue {
+                n: 1,
+                desc: true,
+                at: i,
+                len: 1,
+            });
         }
         if ASC_SUPERLATIVES.contains(&t.norm.as_str()) {
-            return Some(TopCue { n: 1, desc: false, at: i, len: 1 });
+            return Some(TopCue {
+                n: 1,
+                desc: false,
+                at: i,
+                len: 1,
+            });
         }
     }
     None
@@ -275,7 +298,10 @@ pub fn find_negation_cue(tokens: &[Token]) -> Option<usize> {
         match t.norm.as_str() {
             "without" => return Some(i + 1),
             "no" | "never" => {
-                let prev = i.checked_sub(1).map(|j| tokens[j].norm.as_str()).unwrap_or("");
+                let prev = i
+                    .checked_sub(1)
+                    .map(|j| tokens[j].norm.as_str())
+                    .unwrap_or("");
                 if matches!(prev, "with" | "have" | "has" | "had" | "who" | "that") {
                     return Some(i + 1);
                 }
@@ -466,7 +492,10 @@ mod tests {
 
     #[test]
     fn vs_average() {
-        assert_eq!(find_vs_average(&tokenize("products above average price")), Some(BinOp::Gt));
+        assert_eq!(
+            find_vs_average(&tokenize("products above average price")),
+            Some(BinOp::Gt)
+        );
         assert_eq!(
             find_vs_average(&tokenize("orders below the average amount")),
             Some(BinOp::Lt)

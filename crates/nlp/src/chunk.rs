@@ -47,7 +47,12 @@ impl Chunk {
             .map(|&i| tagged[i].token.norm.as_str())
             .collect::<Vec<_>>()
             .join(" ");
-        Chunk { kind, token_indices: indices, span, text }
+        Chunk {
+            kind,
+            token_indices: indices,
+            span,
+            text,
+        }
     }
 
     /// Number of tokens in this chunk.
@@ -81,8 +86,14 @@ pub fn chunk(tagged: &[TaggedToken]) -> Vec<Chunk> {
     let mut i = 0;
     while i < tagged.len() {
         match tagged[i].tag {
-            PosTag::Det | PosTag::Punct | PosTag::Pron | PosTag::Adv | PosTag::Conj
-            | PosTag::Prep | PosTag::Wh | PosTag::Neg => {
+            PosTag::Det
+            | PosTag::Punct
+            | PosTag::Pron
+            | PosTag::Adv
+            | PosTag::Conj
+            | PosTag::Prep
+            | PosTag::Wh
+            | PosTag::Neg => {
                 i += 1;
             }
             PosTag::Adj | PosTag::Noun => {
@@ -141,7 +152,10 @@ mod tests {
     #[test]
     fn noun_phrases_grouped() {
         let c = chunks_of("show total sales amount by customer region");
-        let nps: Vec<_> = c.iter().filter(|c| c.kind == ChunkKind::NounPhrase).collect();
+        let nps: Vec<_> = c
+            .iter()
+            .filter(|c| c.kind == ChunkKind::NounPhrase)
+            .collect();
         assert_eq!(nps.len(), 2);
         assert_eq!(nps[0].text, "total sales amount");
         assert_eq!(nps[1].text, "customer region");

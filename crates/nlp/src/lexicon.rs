@@ -77,7 +77,11 @@ impl LexiconBuilder {
             }
         }
         let parent: HashMap<String, String> = self.hypernyms.into_iter().collect();
-        Lexicon { rings, ring_of, parent }
+        Lexicon {
+            rings,
+            ring_of,
+            parent,
+        }
     }
 }
 
@@ -198,8 +202,7 @@ impl Lexicon {
         let canon = |w: &str| -> String {
             let lw = w.to_lowercase();
             match self.ring_of.get(lw.as_str()) {
-                Some(&i) => self
-                    .rings[i]
+                Some(&i) => self.rings[i]
                     .iter()
                     .find(|m| self.parent.contains_key(*m))
                     .cloned()
@@ -293,7 +296,10 @@ mod tests {
         let related = lex.similarity("city", "region"); // share "location"
         let unrelated = lex.similarity("city", "salary");
         assert_eq!(syn, 1.0);
-        assert!(related > unrelated, "related {related} vs unrelated {unrelated}");
+        assert!(
+            related > unrelated,
+            "related {related} vs unrelated {unrelated}"
+        );
         assert!((0.0..=1.0).contains(&related));
     }
 

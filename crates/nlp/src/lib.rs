@@ -37,7 +37,9 @@ pub use lexicon::{Lexicon, LexiconBuilder};
 pub use literal::{parse_date, parse_number, ComparisonCue, DateValue};
 pub use parse::{parse_dependencies, DepLabel, DepNode, DepTree};
 pub use pos::{tag, PosTag, TaggedToken};
-pub use similarity::{edit_similarity, jaro_winkler, levenshtein, mention_score, ngram_dice, token_set_ratio};
+pub use similarity::{
+    edit_similarity, jaro_winkler, levenshtein, mention_score, ngram_dice, token_set_ratio,
+};
 pub use stem::porter_stem;
 pub use stopwords::is_stopword;
 pub use token::{tokenize, Span, Token, TokenKind};
@@ -54,7 +56,12 @@ pub fn analyze(text: &str) -> Analysis {
     let tagged = tag(&tokens);
     let chunks = chunk(&tagged);
     let tree = parse_dependencies(&tagged);
-    Analysis { tokens, tagged, chunks, tree }
+    Analysis {
+        tokens,
+        tagged,
+        chunks,
+        tree,
+    }
 }
 
 /// The result of [`analyze`]: all substrate views over one utterance.

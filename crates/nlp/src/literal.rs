@@ -52,14 +52,25 @@ pub fn comparison_cue(words: &[&str]) -> Option<(ComparisonCue, usize)> {
     let w1 = words.get(1).copied().unwrap_or("");
     let w2 = words.get(2).copied().unwrap_or("");
     let two = (w0, w1);
-    
+
     match two {
-        ("more", "than") | ("greater", "than") | ("higher", "than") | ("larger", "than")
-        | ("bigger", "than") | ("above", _) if w1 == "than" || w0 == "above" => {
+        ("more", "than")
+        | ("greater", "than")
+        | ("higher", "than")
+        | ("larger", "than")
+        | ("bigger", "than")
+        | ("above", _)
+            if w1 == "than" || w0 == "above" =>
+        {
             Some((ComparisonCue::Gt, if w0 == "above" { 1 } else { 2 }))
         }
-        ("less", "than") | ("fewer", "than") | ("lower", "than") | ("smaller", "than")
-        | ("below", _) if w1 == "than" || w0 == "below" => {
+        ("less", "than")
+        | ("fewer", "than")
+        | ("lower", "than")
+        | ("smaller", "than")
+        | ("below", _)
+            if w1 == "than" || w0 == "below" =>
+        {
             Some((ComparisonCue::Lt, if w0 == "below" { 1 } else { 2 }))
         }
         ("at", "least") => Some((ComparisonCue::Ge, 2)),
@@ -184,7 +195,12 @@ impl DateValue {
             }
             (Some(m), None) => (
                 format!("{:04}-{:02}-01", self.year, m),
-                format!("{:04}-{:02}-{:02}", self.year, m, days_in_month(self.year, m)),
+                format!(
+                    "{:04}-{:02}-{:02}",
+                    self.year,
+                    m,
+                    days_in_month(self.year, m)
+                ),
             ),
             _ => (
                 format!("{:04}-01-01", self.year),
@@ -249,7 +265,14 @@ pub fn parse_date(words: &[&str]) -> Option<(DateValue, usize)> {
     // Bare year 1900–2100.
     if let Ok(y) = w0.parse::<i32>() {
         if (1900..=2100).contains(&y) && w0.len() == 4 {
-            return Some((DateValue { year: y, month: None, day: None }, 1));
+            return Some((
+                DateValue {
+                    year: y,
+                    month: None,
+                    day: None,
+                },
+                1,
+            ));
         }
     }
     // month [day] year | month year
@@ -257,14 +280,25 @@ pub fn parse_date(words: &[&str]) -> Option<(DateValue, usize)> {
         if let Some(w1) = words.get(1) {
             if let Ok(v1) = w1.parse::<i32>() {
                 if (1900..=2100).contains(&v1) && w1.len() == 4 {
-                    return Some((DateValue { year: v1, month: Some(*m), day: None }, 2));
+                    return Some((
+                        DateValue {
+                            year: v1,
+                            month: Some(*m),
+                            day: None,
+                        },
+                        2,
+                    ));
                 }
                 if (1..=31).contains(&v1) {
                     if let Some(w2) = words.get(2) {
                         if let Ok(y) = w2.parse::<i32>() {
                             if (1900..=2100).contains(&y) {
                                 return Some((
-                                    DateValue { year: y, month: Some(*m), day: Some(v1 as u8) },
+                                    DateValue {
+                                        year: y,
+                                        month: Some(*m),
+                                        day: Some(v1 as u8),
+                                    },
                                     3,
                                 ));
                             }
@@ -283,7 +317,11 @@ pub fn parse_date(words: &[&str]) -> Option<(DateValue, usize)> {
                         if let Ok(y) = w2.parse::<i32>() {
                             if (1900..=2100).contains(&y) {
                                 return Some((
-                                    DateValue { year: y, month: Some(*m), day: Some(d as u8) },
+                                    DateValue {
+                                        year: y,
+                                        month: Some(*m),
+                                        day: Some(d as u8),
+                                    },
                                     3,
                                 ));
                             }
@@ -305,7 +343,11 @@ fn parse_iso(tok: &str) -> Option<DateValue> {
             let day: u8 = d.parse().ok()?;
             if (1900..=2100).contains(&year) && (1..=12).contains(&month) && (1..=31).contains(&day)
             {
-                Some(DateValue { year, month: Some(month), day: Some(day) })
+                Some(DateValue {
+                    year,
+                    month: Some(month),
+                    day: Some(day),
+                })
             } else {
                 None
             }
@@ -314,7 +356,11 @@ fn parse_iso(tok: &str) -> Option<DateValue> {
             let year = y.parse().ok()?;
             let month: u8 = m.parse().ok()?;
             if (1900..=2100).contains(&year) && (1..=12).contains(&month) && y.len() == 4 {
-                Some(DateValue { year, month: Some(month), day: None })
+                Some(DateValue {
+                    year,
+                    month: Some(month),
+                    day: None,
+                })
             } else {
                 None
             }
@@ -329,12 +375,27 @@ mod tests {
 
     #[test]
     fn comparison_cues() {
-        assert_eq!(comparison_cue(&["greater", "than"]), Some((ComparisonCue::Gt, 2)));
-        assert_eq!(comparison_cue(&["fewer", "than"]), Some((ComparisonCue::Lt, 2)));
-        assert_eq!(comparison_cue(&["at", "most"]), Some((ComparisonCue::Le, 2)));
-        assert_eq!(comparison_cue(&["no", "more", "than"]), Some((ComparisonCue::Le, 3)));
+        assert_eq!(
+            comparison_cue(&["greater", "than"]),
+            Some((ComparisonCue::Gt, 2))
+        );
+        assert_eq!(
+            comparison_cue(&["fewer", "than"]),
+            Some((ComparisonCue::Lt, 2))
+        );
+        assert_eq!(
+            comparison_cue(&["at", "most"]),
+            Some((ComparisonCue::Le, 2))
+        );
+        assert_eq!(
+            comparison_cue(&["no", "more", "than"]),
+            Some((ComparisonCue::Le, 3))
+        );
         assert_eq!(comparison_cue(&["over"]), Some((ComparisonCue::Gt, 1)));
-        assert_eq!(comparison_cue(&["between"]), Some((ComparisonCue::Between, 1)));
+        assert_eq!(
+            comparison_cue(&["between"]),
+            Some((ComparisonCue::Between, 1))
+        );
         assert_eq!(comparison_cue(&["hello"]), None);
         assert_eq!(comparison_cue(&[]), None);
     }

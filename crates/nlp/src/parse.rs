@@ -96,16 +96,28 @@ impl DepTree {
 /// for the attachment rules.
 pub fn parse_dependencies(tagged: &[TaggedToken]) -> DepTree {
     if tagged.is_empty() {
-        return DepTree { nodes: Vec::new(), root: None };
+        return DepTree {
+            nodes: Vec::new(),
+            root: None,
+        };
     }
     let root = tagged
         .iter()
         .position(|t| t.tag == PosTag::Verb)
-        .or_else(|| tagged.iter().position(|t| matches!(t.tag, PosTag::Noun | PosTag::Adj)))
+        .or_else(|| {
+            tagged
+                .iter()
+                .position(|t| matches!(t.tag, PosTag::Noun | PosTag::Adj))
+        })
         .unwrap_or(0);
 
     let mut nodes: Vec<DepNode> = (0..tagged.len())
-        .map(|i| DepNode { index: i, head: root, label: DepLabel::Other, prep: None })
+        .map(|i| DepNode {
+            index: i,
+            head: root,
+            label: DepLabel::Other,
+            prep: None,
+        })
         .collect();
     nodes[root].label = DepLabel::Root;
 
@@ -133,8 +145,11 @@ pub fn parse_dependencies(tagged: &[TaggedToken]) -> DepTree {
                         // Compound noun continuation or coordination.
                         let coordinated = i >= 2 && tagged[i - 1].tag == PosTag::Conj;
                         nodes[i].head = n;
-                        nodes[i].label =
-                            if coordinated { DepLabel::Coord } else { DepLabel::Obj };
+                        nodes[i].label = if coordinated {
+                            DepLabel::Coord
+                        } else {
+                            DepLabel::Obj
+                        };
                     } else {
                         nodes[i].head = root;
                         nodes[i].label = DepLabel::Obj;
@@ -188,7 +203,10 @@ pub fn parse_dependencies(tagged: &[TaggedToken]) -> DepTree {
             nodes[m].label = DepLabel::AdjMod;
         }
     }
-    DepTree { nodes, root: Some(root) }
+    DepTree {
+        nodes,
+        root: Some(root),
+    }
 }
 
 #[cfg(test)]
@@ -213,7 +231,10 @@ mod tests {
     #[test]
     fn noun_attaches_across_preposition() {
         let (tagged, tree) = parse("show customers in California");
-        let cal = tagged.iter().position(|t| t.norm() == "california").unwrap();
+        let cal = tagged
+            .iter()
+            .position(|t| t.norm() == "california")
+            .unwrap();
         let cust = tagged.iter().position(|t| t.norm() == "customers").unwrap();
         assert_eq!(tree.nodes[cal].head, cust);
         assert_eq!(tree.nodes[cal].label, DepLabel::PrepMod);
@@ -260,7 +281,10 @@ mod tests {
     fn dominates_relation() {
         let (tagged, tree) = parse("show customers in California");
         let cust = tagged.iter().position(|t| t.norm() == "customers").unwrap();
-        let cal = tagged.iter().position(|t| t.norm() == "california").unwrap();
+        let cal = tagged
+            .iter()
+            .position(|t| t.norm() == "california")
+            .unwrap();
         assert!(tree.dominates(cust, cal));
         assert!(!tree.dominates(cal, cust));
     }

@@ -242,7 +242,10 @@ pub fn tag(tokens: &[Token]) -> Vec<TaggedToken> {
                 TokenKind::Punct => PosTag::Punct,
                 TokenKind::Word => lexicon_lookup(&t.norm).unwrap_or_else(|| suffix_tag(&t.norm)),
             };
-            TaggedToken { token: t.clone(), tag }
+            TaggedToken {
+                token: t.clone(),
+                tag,
+            }
         })
         .collect();
 

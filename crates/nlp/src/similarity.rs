@@ -73,12 +73,19 @@ fn jaro(a: &str, b: &str) -> f64 {
         return 0.0;
     }
     // Count transpositions among matched characters.
-    let a_seq: Vec<char> =
-        a.iter().zip(&a_matched).filter(|(_, m)| **m).map(|(c, _)| *c).collect();
-    let b_seq: Vec<char> =
-        b.iter().zip(&b_used).filter(|(_, m)| **m).map(|(c, _)| *c).collect();
-    let transpositions =
-        a_seq.iter().zip(&b_seq).filter(|(x, y)| x != y).count() as f64 / 2.0;
+    let a_seq: Vec<char> = a
+        .iter()
+        .zip(&a_matched)
+        .filter(|(_, m)| **m)
+        .map(|(c, _)| *c)
+        .collect();
+    let b_seq: Vec<char> = b
+        .iter()
+        .zip(&b_used)
+        .filter(|(_, m)| **m)
+        .map(|(c, _)| *c)
+        .collect();
+    let transpositions = a_seq.iter().zip(&b_seq).filter(|(x, y)| x != y).count() as f64 / 2.0;
     let m = matches as f64;
     (m / a.len() as f64 + m / b.len() as f64 + (m - transpositions) / m) / 3.0
 }
@@ -111,8 +118,7 @@ pub fn ngram_dice(a: &str, b: &str, n: usize) -> f64 {
         if chars.len() < n {
             return vec![s.to_string()];
         }
-        let mut v: Vec<String> =
-            chars.windows(n).map(|w| w.iter().collect()).collect();
+        let mut v: Vec<String> = chars.windows(n).map(|w| w.iter().collect()).collect();
         v.sort_unstable();
         v
     };
@@ -175,7 +181,10 @@ mod tests {
 
     #[test]
     fn levenshtein_symmetric() {
-        assert_eq!(levenshtein("orders", "order"), levenshtein("order", "orders"));
+        assert_eq!(
+            levenshtein("orders", "order"),
+            levenshtein("order", "orders")
+        );
     }
 
     #[test]
@@ -228,9 +237,18 @@ mod tests {
 
     #[test]
     fn similarity_in_unit_interval() {
-        let pairs = [("a", "b"), ("abc", "abcd"), ("hello world", "world hello"), ("", "x")];
+        let pairs = [
+            ("a", "b"),
+            ("abc", "abcd"),
+            ("hello world", "world hello"),
+            ("", "x"),
+        ];
         for (a, b) in pairs {
-            for s in [jaro_winkler(a, b), ngram_dice(a, b, 3), token_set_ratio(a, b)] {
+            for s in [
+                jaro_winkler(a, b),
+                ngram_dice(a, b, 3),
+                token_set_ratio(a, b),
+            ] {
                 assert!((0.0..=1.0).contains(&s), "{a} vs {b} gave {s}");
             }
         }

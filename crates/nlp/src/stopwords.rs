@@ -9,14 +9,14 @@
 static STOPWORDS: &[&str] = &[
     "a", "an", "the", "of", "in", "on", "at", "to", "for", "from", "with", "about", "as", "into",
     "is", "are", "was", "were", "be", "been", "being", "am", "do", "does", "did", "doing", "have",
-    "has", "had", "having", "i", "me", "my", "we", "our", "you", "your", "he", "him", "his",
-    "she", "her", "it", "its", "they", "them", "their", "this", "that", "these", "those", "there",
-    "here", "what", "which", "who", "whom", "whose", "when", "where", "why", "how", "can",
-    "could", "will", "would", "shall", "should", "may", "might", "must", "please", "show", "give",
-    "get", "find", "list", "display", "tell", "want", "need", "like", "see", "let", "us", "all",
-    "any", "some", "each", "every", "also", "so", "too", "very", "just", "only", "own", "same",
-    "s", "t", "don", "now", "and", "or", "if", "then", "else", "out", "up", "down", "again",
-    "further", "once", "many", "much",
+    "has", "had", "having", "i", "me", "my", "we", "our", "you", "your", "he", "him", "his", "she",
+    "her", "it", "its", "they", "them", "their", "this", "that", "these", "those", "there", "here",
+    "what", "which", "who", "whom", "whose", "when", "where", "why", "how", "can", "could", "will",
+    "would", "shall", "should", "may", "might", "must", "please", "show", "give", "get", "find",
+    "list", "display", "tell", "want", "need", "like", "see", "let", "us", "all", "any", "some",
+    "each", "every", "also", "so", "too", "very", "just", "only", "own", "same", "s", "t", "don",
+    "now", "and", "or", "if", "then", "else", "out", "up", "down", "again", "further", "once",
+    "many", "much",
 ];
 
 /// Is `word` (already lowercased) a stopword?
@@ -41,7 +41,9 @@ mod tests {
 
     #[test]
     fn query_bearing_words_kept() {
-        for w in ["by", "than", "not", "between", "top", "total", "average", "most", "least"] {
+        for w in [
+            "by", "than", "not", "between", "top", "total", "average", "most", "least",
+        ] {
             assert!(!is_stopword(w), "{w} must be kept");
         }
     }

@@ -137,9 +137,7 @@ pub fn tokenize(input: &str) -> Vec<Token> {
             while i < bytes.len() {
                 let d = bytes[i] as char;
                 if d.is_ascii_digit()
-                    || (d == ','
-                        && i + 1 < bytes.len()
-                        && (bytes[i + 1] as char).is_ascii_digit())
+                    || (d == ',' && i + 1 < bytes.len() && (bytes[i + 1] as char).is_ascii_digit())
                 {
                     i += 1;
                 } else if d == '.'

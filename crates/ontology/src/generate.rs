@@ -144,13 +144,19 @@ mod tests {
         let onto = generate_ontology(&sample_db());
         assert_eq!(onto.concepts.len(), 2);
         assert_eq!(onto.concept("customer").unwrap().table, "customers");
-        assert_eq!(onto.concept("order").unwrap().primary_key.as_deref(), Some("id"));
+        assert_eq!(
+            onto.concept("order").unwrap().primary_key.as_deref(),
+            Some("id")
+        );
     }
 
     #[test]
     fn property_roles_inferred() {
         let onto = generate_ontology(&sample_db());
-        assert_eq!(onto.property("customer", "name").unwrap().role, PropertyRole::Descriptor);
+        assert_eq!(
+            onto.property("customer", "name").unwrap().role,
+            PropertyRole::Descriptor
+        );
         assert_eq!(
             onto.property("customer", "city").unwrap().role,
             PropertyRole::Categorical
@@ -159,8 +165,14 @@ mod tests {
             onto.property("customer", "signup date").unwrap().role,
             PropertyRole::Temporal
         );
-        assert_eq!(onto.property("order", "amount").unwrap().role, PropertyRole::Measure);
-        assert_eq!(onto.property("order", "id").unwrap().role, PropertyRole::Identifier);
+        assert_eq!(
+            onto.property("order", "amount").unwrap().role,
+            PropertyRole::Measure
+        );
+        assert_eq!(
+            onto.property("order", "id").unwrap().role,
+            PropertyRole::Identifier
+        );
         // FK column is an identifier, not a measure, despite being Int.
         assert_eq!(
             onto.property("order", "customer").unwrap().role,

@@ -9,7 +9,9 @@
 //! the nearest unconnected terminal by its shortest path.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
+use crate::cache::JoinPathCache;
 use crate::model::Ontology;
 
 /// One traversable FK edge (stored in both directions).
@@ -46,6 +48,10 @@ impl JoinPlan {
 #[derive(Debug, Clone, Default)]
 pub struct JoinGraph {
     adjacency: HashMap<String, Vec<JoinEdge>>,
+    /// Optional shared memo for [`JoinGraph::steiner_plan`]; cloning
+    /// the graph shares the cache (it is keyed only by terminals, so
+    /// sharing is sound only across clones of the *same* graph).
+    cache: Option<Arc<JoinPathCache>>,
 }
 
 impl JoinGraph {
@@ -53,12 +59,15 @@ impl JoinGraph {
     pub fn from_ontology(onto: &Ontology) -> Self {
         let mut g = JoinGraph::default();
         for r in &onto.object_properties {
-            g.adjacency.entry(r.from.clone()).or_default().push(JoinEdge {
-                from: r.from.clone(),
-                to: r.to.clone(),
-                from_column: r.from_column.clone(),
-                to_column: r.to_column.clone(),
-            });
+            g.adjacency
+                .entry(r.from.clone())
+                .or_default()
+                .push(JoinEdge {
+                    from: r.from.clone(),
+                    to: r.to.clone(),
+                    from_column: r.from_column.clone(),
+                    to_column: r.to_column.clone(),
+                });
             g.adjacency.entry(r.to.clone()).or_default().push(JoinEdge {
                 from: r.to.clone(),
                 to: r.from.clone(),
@@ -72,9 +81,24 @@ impl JoinGraph {
         g
     }
 
+    /// Attach a shared plan cache; subsequent [`JoinGraph::steiner_plan`]
+    /// calls are memoized through it.
+    pub fn with_cache(mut self, cache: Arc<JoinPathCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached plan cache, if any.
+    pub fn cache(&self) -> Option<&Arc<JoinPathCache>> {
+        self.cache.as_ref()
+    }
+
     /// Neighbors of a concept.
     pub fn neighbors(&self, concept: &str) -> &[JoinEdge] {
-        self.adjacency.get(concept).map(Vec::as_slice).unwrap_or(&[])
+        self.adjacency
+            .get(concept)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// BFS shortest edge path between two concepts (deterministic:
@@ -114,11 +138,26 @@ impl JoinGraph {
     /// Grows from the first terminal; at each step attaches the
     /// unconnected terminal with the shortest path to any connected
     /// concept. Returns `None` if the terminals are not all connected
-    /// in the graph.
+    /// in the graph. When a [`JoinPathCache`] is attached via
+    /// [`JoinGraph::with_cache`], results (including `None`) are
+    /// memoized by the exact terminal sequence.
     pub fn steiner_plan(&self, terminals: &[&str]) -> Option<JoinPlan> {
+        match &self.cache {
+            Some(cache) => {
+                cache.get_or_compute(terminals, || self.steiner_plan_uncached(terminals))
+            }
+            None => self.steiner_plan_uncached(terminals),
+        }
+    }
+
+    fn steiner_plan_uncached(&self, terminals: &[&str]) -> Option<JoinPlan> {
         let mut terminals: Vec<&str> = {
             let mut seen = std::collections::HashSet::new();
-            terminals.iter().copied().filter(|t| seen.insert(*t)).collect()
+            terminals
+                .iter()
+                .copied()
+                .filter(|t| seen.insert(*t))
+                .collect()
         };
         let Some(first) = terminals.first().copied() else {
             return Some(JoinPlan::default());
@@ -126,7 +165,10 @@ impl JoinGraph {
         if !self.adjacency.contains_key(first) {
             return None;
         }
-        let mut plan = JoinPlan { concepts: vec![first.to_string()], edges: Vec::new() };
+        let mut plan = JoinPlan {
+            concepts: vec![first.to_string()],
+            edges: Vec::new(),
+        };
         terminals.remove(0);
 
         while !terminals.is_empty() {
@@ -311,13 +353,41 @@ mod tests {
     }
 
     #[test]
+    fn cached_plans_match_uncached() {
+        let plain = JoinGraph::from_ontology(&star());
+        let cached = plain.clone().with_cache(Arc::new(JoinPathCache::new(16)));
+        let cases: [&[&str]; 4] = [
+            &["customer", "product", "region"],
+            &["order", "island"],
+            &["region", "customer"],
+            &["customer"],
+        ];
+        for terminals in cases {
+            // Twice: the second call is served from the memo.
+            assert_eq!(
+                cached.steiner_plan(terminals),
+                plain.steiner_plan(terminals)
+            );
+            assert_eq!(
+                cached.steiner_plan(terminals),
+                plain.steiner_plan(terminals)
+            );
+        }
+        let stats = cached.cache().unwrap().stats();
+        assert_eq!((stats.hits, stats.misses), (4, 4));
+    }
+
+    #[test]
     fn each_edge_attaches_new_concept() {
         let g = JoinGraph::from_ontology(&star());
         let plan = g.steiner_plan(&["region", "customer"]).unwrap();
         let mut present = std::collections::HashSet::new();
         present.insert(plan.concepts[0].clone());
         for e in &plan.edges {
-            assert!(present.contains(&e.from), "edge source must already be attached");
+            assert!(
+                present.contains(&e.from),
+                "edge source must already be attached"
+            );
             assert!(present.insert(e.to.clone()), "edge target must be new");
         }
     }

@@ -80,7 +80,10 @@ impl Ontology {
 
     /// Data properties of one concept.
     pub fn properties_of(&self, concept: &str) -> Vec<&DataProperty> {
-        self.data_properties.iter().filter(|p| p.concept == concept).collect()
+        self.data_properties
+            .iter()
+            .filter(|p| p.concept == concept)
+            .collect()
     }
 
     /// The descriptor (name-like) property of a concept, if any.
@@ -126,8 +129,16 @@ mod tests {
     fn tiny() -> Ontology {
         Ontology {
             concepts: vec![
-                Concept { label: "customer".into(), table: "customers".into(), primary_key: Some("id".into()) },
-                Concept { label: "order".into(), table: "orders".into(), primary_key: Some("id".into()) },
+                Concept {
+                    label: "customer".into(),
+                    table: "customers".into(),
+                    primary_key: Some("id".into()),
+                },
+                Concept {
+                    label: "order".into(),
+                    table: "orders".into(),
+                    primary_key: Some("id".into()),
+                },
             ],
             data_properties: vec![
                 DataProperty {

@@ -72,9 +72,11 @@ fn score_label(term: &str, label: &str, lexicon: &Lexicon) -> Option<(f64, Match
         if tw.len() == 1 && lw.len() == 1 {
             return Some((0.92, MatchMechanism::Synonym));
         }
-        let mods_match = tw[..tw.len() - 1]
-            .iter()
-            .all(|m| lw[..lw.len() - 1].iter().any(|l| lexicon.are_synonyms(m, l)));
+        let mods_match = tw[..tw.len() - 1].iter().all(|m| {
+            lw[..lw.len() - 1]
+                .iter()
+                .any(|l| lexicon.are_synonyms(m, l))
+        });
         if mods_match && tw.len() == lw.len() {
             return Some((0.9, MatchMechanism::Synonym));
         }
@@ -104,7 +106,9 @@ pub fn match_term(term: &str, onto: &Ontology, lexicon: &Lexicon) -> Vec<TermMat
     for c in &onto.concepts {
         if let Some((score, mechanism)) = score_label(&term, &c.label, lexicon) {
             out.push(TermMatch {
-                target: TermTarget::Concept { concept: c.label.clone() },
+                target: TermTarget::Concept {
+                    concept: c.label.clone(),
+                },
                 score,
                 mechanism,
             });
@@ -124,7 +128,11 @@ pub fn match_term(term: &str, onto: &Ontology, lexicon: &Lexicon) -> Vec<TermMat
             });
         }
     }
-    out.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    out.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     out
 }
 
@@ -173,7 +181,12 @@ mod tests {
         let m = match_term("customer", &onto(), &lex());
         assert_eq!(m[0].score, 1.0);
         assert_eq!(m[0].mechanism, MatchMechanism::Exact);
-        assert_eq!(m[0].target, TermTarget::Concept { concept: "customer".into() });
+        assert_eq!(
+            m[0].target,
+            TermTarget::Concept {
+                concept: "customer".into()
+            }
+        );
     }
 
     #[test]
@@ -187,12 +200,17 @@ mod tests {
     #[test]
     fn synonym_matches() {
         let m = match_term("clients", &onto(), &lex());
-        assert!(!m.is_empty(), "clients should reach customer via synonym ring");
+        assert!(
+            !m.is_empty(),
+            "clients should reach customer via synonym ring"
+        );
         assert!(matches!(m[0].target, TermTarget::Concept { .. }));
         let m = match_term("sales", &onto(), &lex());
-        assert!(m
-            .iter()
-            .any(|m| m.target == TermTarget::Property { concept: "customer".into(), property: "revenue".into() }));
+        assert!(m.iter().any(|m| m.target
+            == TermTarget::Property {
+                concept: "customer".into(),
+                property: "revenue".into()
+            }));
     }
 
     #[test]

@@ -1,0 +1,125 @@
+//! A seeded closed-loop load driver.
+//!
+//! Replays a [`RequestSpec`] stream against a [`Server`] in fixed-size
+//! batches: submit a batch, advance the [`ManualClock`] one tick,
+//! drain, repeat. Closed-loop means a batch's completions are
+//! collected before the next batch is offered — so queue depth (and
+//! therefore shedding) is a pure function of `batch` and the server's
+//! `queue_capacity`, never of thread scheduling.
+
+use nlidb_benchdata::RequestSpec;
+
+use crate::clock::ManualClock;
+use crate::server::{Completion, Server};
+
+/// Everything a load run produced.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// All completions, in submission order.
+    pub completions: Vec<Completion>,
+    /// Batches driven.
+    pub batches: usize,
+}
+
+impl LoadReport {
+    /// The per-request semantic digests (see [`Completion::signature`]),
+    /// in submission order — the unit of serving-equivalence checks.
+    pub fn signatures(&self) -> Vec<String> {
+        self.completions.iter().map(Completion::signature).collect()
+    }
+}
+
+/// Drive `stream` through `server` in closed-loop batches of `batch`
+/// requests, advancing `clock` one tick per batch.
+pub fn run_closed_loop(
+    server: &mut Server,
+    clock: &ManualClock,
+    stream: &[RequestSpec],
+    batch: usize,
+) -> LoadReport {
+    let batch = batch.max(1);
+    let mut completions = Vec::with_capacity(stream.len());
+    let mut batches = 0;
+    for chunk in stream.chunks(batch) {
+        for spec in chunk {
+            server.submit(spec);
+        }
+        completions.append(&mut server.drain());
+        clock.advance(1);
+        batches += 1;
+    }
+    LoadReport {
+        completions,
+        batches,
+    }
+}
+
+/// Assign a deadline of `now + budget` ticks to every `period`-th
+/// request of `stream` (a deterministic deadline mix for backpressure
+/// experiments). `now` is taken per batch position: request `i` is
+/// submitted in batch `i / batch`, so its submit-time tick is known in
+/// advance — no clock reads needed here.
+pub fn with_deadlines(
+    mut stream: Vec<RequestSpec>,
+    period: usize,
+    budget: u64,
+    batch: usize,
+) -> Vec<RequestSpec> {
+    let period = period.max(1);
+    let batch = batch.max(1);
+    for (i, spec) in stream.iter_mut().enumerate() {
+        if i % period == 0 {
+            let submit_tick = (i / batch) as u64;
+            spec.deadline = Some(submit_tick + budget);
+        }
+    }
+    stream
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::{Clock, ManualClock};
+    use crate::server::ServerConfig;
+    use nlidb_benchdata::{derive_slots, request_stream, retail_database};
+    use nlidb_core::pipeline::NliPipeline;
+    use std::sync::Arc;
+
+    #[test]
+    fn closed_loop_completes_everything() {
+        let db = retail_database(7);
+        let slots = derive_slots(&db);
+        let pipeline = Arc::new(NliPipeline::standard(&db));
+        let stream = request_stream(&slots, 42, 40, 0.25);
+        let clock = Arc::new(ManualClock::new());
+        let mut server = Server::start(
+            pipeline,
+            ServerConfig {
+                workers: 2,
+                ..ServerConfig::default()
+            },
+            clock.clone() as Arc<dyn Clock>,
+        );
+        let report = run_closed_loop(&mut server, &clock, &stream, 8);
+        assert_eq!(report.completions.len(), 40);
+        assert_eq!(report.batches, 5);
+        assert_eq!(clock.now(), 5, "one tick per batch");
+        // Submission order is preserved.
+        let ids: Vec<u64> = report.completions.iter().map(|c| c.id).collect();
+        assert_eq!(ids, (0..40).collect::<Vec<u64>>());
+        server.shutdown();
+    }
+
+    #[test]
+    fn with_deadlines_marks_the_periodic_subset() {
+        let stream = vec![RequestSpec::single("q"); 10];
+        let marked = with_deadlines(stream, 3, 5, 4);
+        let deadlines: Vec<Option<u64>> = marked.iter().map(|r| r.deadline).collect();
+        // i = 0, 3, 6, 9 get deadlines; submit ticks 0, 0, 1, 2.
+        assert_eq!(deadlines[0], Some(5));
+        assert_eq!(deadlines[3], Some(5));
+        assert_eq!(deadlines[6], Some(6));
+        assert_eq!(deadlines[9], Some(7));
+        assert!(deadlines[1].is_none() && deadlines[2].is_none());
+    }
+}

@@ -1,0 +1,192 @@
+//! Serving counters and their deterministic snapshot.
+//!
+//! Counters that are *admission-side* (submitted, admitted, shed) are
+//! incremented by the single-threaded submitter, so they are exact.
+//! Counters that are *worker-side* (answered, refused, cache hits) are
+//! atomics written by worker threads; because the request→worker
+//! mapping and each worker's queue order are deterministic, their
+//! values after a drain are also exact — snapshots taken between
+//! drains are what E12 compares across runs.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared mutable counters (workers hold this behind an `Arc`).
+#[derive(Debug)]
+pub struct ServeMetrics {
+    /// Requests offered to [`crate::Server::submit`].
+    pub submitted: AtomicU64,
+    /// Requests accepted into a worker queue.
+    pub admitted: AtomicU64,
+    /// Requests rejected because the target queue was full.
+    pub shed_full: AtomicU64,
+    /// Requests rejected because the deadline could not be met.
+    pub shed_deadline: AtomicU64,
+    /// Standalone questions answered (cache hit or computed).
+    pub answered: AtomicU64,
+    /// Standalone questions the pipeline could not interpret/execute.
+    pub refused: AtomicU64,
+    /// Dialogue turns processed.
+    pub session_turns: AtomicU64,
+    /// Interpretation-cache hits.
+    pub interp_hits: AtomicU64,
+    /// Interpretation-cache misses (computed the slow way).
+    pub interp_misses: AtomicU64,
+    /// Highest per-worker queue depth observed at admission time.
+    pub max_queue_depth: AtomicU64,
+    /// Requests completed per worker.
+    pub per_worker: Vec<AtomicU64>,
+}
+
+impl ServeMetrics {
+    /// Zeroed counters for `workers` workers.
+    pub fn new(workers: usize) -> ServeMetrics {
+        ServeMetrics {
+            submitted: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+            shed_full: AtomicU64::new(0),
+            shed_deadline: AtomicU64::new(0),
+            answered: AtomicU64::new(0),
+            refused: AtomicU64::new(0),
+            session_turns: AtomicU64::new(0),
+            interp_hits: AtomicU64::new(0),
+            interp_misses: AtomicU64::new(0),
+            max_queue_depth: AtomicU64::new(0),
+            per_worker: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Raise `max_queue_depth` to at least `depth`.
+    pub fn observe_depth(&self, depth: u64) {
+        self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            admitted: self.admitted.load(Ordering::Relaxed),
+            shed_full: self.shed_full.load(Ordering::Relaxed),
+            shed_deadline: self.shed_deadline.load(Ordering::Relaxed),
+            answered: self.answered.load(Ordering::Relaxed),
+            refused: self.refused.load(Ordering::Relaxed),
+            session_turns: self.session_turns.load(Ordering::Relaxed),
+            interp_hits: self.interp_hits.load(Ordering::Relaxed),
+            interp_misses: self.interp_misses.load(Ordering::Relaxed),
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            per_worker: self
+                .per_worker
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// A frozen view of [`ServeMetrics`]; plain values, comparable and
+/// printable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// See [`ServeMetrics::submitted`].
+    pub submitted: u64,
+    /// See [`ServeMetrics::admitted`].
+    pub admitted: u64,
+    /// See [`ServeMetrics::shed_full`].
+    pub shed_full: u64,
+    /// See [`ServeMetrics::shed_deadline`].
+    pub shed_deadline: u64,
+    /// See [`ServeMetrics::answered`].
+    pub answered: u64,
+    /// See [`ServeMetrics::refused`].
+    pub refused: u64,
+    /// See [`ServeMetrics::session_turns`].
+    pub session_turns: u64,
+    /// See [`ServeMetrics::interp_hits`].
+    pub interp_hits: u64,
+    /// See [`ServeMetrics::interp_misses`].
+    pub interp_misses: u64,
+    /// See [`ServeMetrics::max_queue_depth`].
+    pub max_queue_depth: u64,
+    /// See [`ServeMetrics::per_worker`].
+    pub per_worker: Vec<u64>,
+}
+
+impl MetricsSnapshot {
+    /// Interpretation-cache hit fraction in `[0, 1]` (0 when unused).
+    pub fn interp_hit_rate(&self) -> f64 {
+        let total = self.interp_hits + self.interp_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.interp_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of submitted requests rejected (shed or deadline).
+    pub fn shed_rate(&self) -> f64 {
+        if self.submitted == 0 {
+            0.0
+        } else {
+            (self.shed_full + self.shed_deadline) as f64 / self.submitted as f64
+        }
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "submitted {}  admitted {}  shed(full) {}  shed(deadline) {}",
+            self.submitted, self.admitted, self.shed_full, self.shed_deadline
+        )?;
+        writeln!(
+            f,
+            "answered {}  refused {}  session-turns {}  max-depth {}",
+            self.answered, self.refused, self.session_turns, self.max_queue_depth
+        )?;
+        writeln!(
+            f,
+            "interp-cache {} hits / {} misses ({:.1}% hit)",
+            self.interp_hits,
+            self.interp_misses,
+            self.interp_hit_rate() * 100.0
+        )?;
+        write!(f, "per-worker {:?}", self.per_worker)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_copies_counters() {
+        let m = ServeMetrics::new(2);
+        m.submitted.fetch_add(3, Ordering::Relaxed);
+        m.interp_hits.fetch_add(1, Ordering::Relaxed);
+        m.interp_misses.fetch_add(1, Ordering::Relaxed);
+        m.per_worker[1].fetch_add(2, Ordering::Relaxed);
+        m.observe_depth(5);
+        m.observe_depth(3);
+        let s = m.snapshot();
+        assert_eq!(s.submitted, 3);
+        assert_eq!(s.per_worker, vec![0, 2]);
+        assert_eq!(s.max_queue_depth, 5);
+        assert!((s.interp_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rates_default_to_zero() {
+        let s = ServeMetrics::new(1).snapshot();
+        assert_eq!(s.interp_hit_rate(), 0.0);
+        assert_eq!(s.shed_rate(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_every_section() {
+        let text = ServeMetrics::new(2).snapshot().to_string();
+        for needle in ["submitted", "shed", "interp-cache", "per-worker"] {
+            assert!(text.contains(needle), "missing {needle} in {text}");
+        }
+    }
+}

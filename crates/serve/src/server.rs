@@ -1,0 +1,729 @@
+//! The serving runtime: worker pool, affinity routing, bounded queues,
+//! deterministic backpressure, and the interpretation cache.
+//!
+//! # Determinism model
+//!
+//! Concurrency usually trades away reproducibility; this server is
+//! built so it does not:
+//!
+//! * **Admission is single-threaded and credit-based.** The submitter
+//!   tracks per-worker queue depth itself and only *drains* return
+//!   credits — workers never free slots asynchronously. Whether a
+//!   request is admitted, shed, or deadline-rejected is therefore a
+//!   pure function of the submit/advance/drain sequence, never of how
+//!   fast worker threads happen to run.
+//! * **Routing is content-addressed.** A request with a session id
+//!   goes to `id % workers` (keeping conversation turns ordered on one
+//!   thread); a standalone question goes to `fnv1a(normalized) %
+//!   workers` (so duplicates of a question always meet the same
+//!   worker-local cache).
+//! * **Clocks are injected.** Deadline decisions read a [`Clock`] the
+//!   driver advances explicitly; no wall-clock exists in this crate.
+//! * **Caches return exactly what the slow path returns.** A hit
+//!   replays the rendered answer computed on the first miss, so the
+//!   visible output stream is byte-identical with caches on, off, hot,
+//!   or cold — E12's serving-equivalence claim.
+
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+use nlidb_benchdata::RequestSpec;
+use nlidb_core::pipeline::NliPipeline;
+use nlidb_dialogue::{ConversationSession, ManagerKind};
+use nlidb_engine::ResultSet;
+
+use crate::clock::Clock;
+use crate::lru::LruCache;
+use crate::metrics::{MetricsSnapshot, ServeMetrics};
+
+/// Per-request work hook, run by the owning worker just before
+/// processing. Exists so benches can inject a simulated I/O stall
+/// without this crate ever touching a wall clock.
+pub type RequestHook = Box<dyn Fn() + Send + Sync>;
+
+/// Serving knobs. All bounds are per worker.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker thread count (≥ 1).
+    pub workers: usize,
+    /// Max requests outstanding per worker before shedding.
+    pub queue_capacity: usize,
+    /// Interpretation-cache entries per worker (0 disables caching).
+    pub interp_cache: usize,
+    /// Estimated ticks to serve one request, used for deadline
+    /// admission: a request whose projected completion
+    /// (`now + (depth + 1) × estimate`) exceeds its deadline is
+    /// rejected up front instead of timing out in queue.
+    pub service_estimate: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 64,
+            interp_cache: 256,
+            service_estimate: 1,
+        }
+    }
+}
+
+/// What happened to a submitted request, decided at admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Queued on `worker`; a [`Completion`] will arrive at the next
+    /// drain.
+    Admitted {
+        /// Request id (submission order, starting at 0).
+        id: u64,
+        /// Worker the request was routed to.
+        worker: usize,
+    },
+    /// Rejected: the target worker's queue was full.
+    Shed {
+        /// Request id.
+        id: u64,
+    },
+    /// Rejected: the deadline had passed or could not be met.
+    DeadlineExceeded {
+        /// Request id.
+        id: u64,
+    },
+}
+
+impl Admission {
+    /// The request id this admission decision is about.
+    pub fn id(&self) -> u64 {
+        match *self {
+            Admission::Admitted { id, .. }
+            | Admission::Shed { id }
+            | Admission::DeadlineExceeded { id } => id,
+        }
+    }
+}
+
+/// The terminal outcome of one request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Disposition {
+    /// A standalone question, answered.
+    Answered {
+        /// Rendered SQL that produced the answer.
+        sql: String,
+        /// Rendered result rows (`col=value` cells joined by `, `).
+        rows: Vec<String>,
+        /// Whether the interpretation cache served this.
+        from_cache: bool,
+    },
+    /// A dialogue turn, processed by the session's manager.
+    SessionReply {
+        /// The manager's user-facing response line.
+        response: String,
+        /// SQL executed this turn, if the turn produced one.
+        sql: Option<String>,
+        /// Whether the manager accepted the dialogue act.
+        accepted: bool,
+    },
+    /// The pipeline produced no interpretation / failed to execute.
+    Refused {
+        /// The pipeline's error rendering.
+        reason: String,
+    },
+    /// Never queued: queue full at admission.
+    Shed,
+    /// Never queued: deadline unmeetable at admission.
+    DeadlineExceeded,
+}
+
+/// One finished request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Completion {
+    /// Request id (submission order).
+    pub id: u64,
+    /// Worker that processed it (`None` for admission-time rejects).
+    pub worker: Option<usize>,
+    /// Session id, for dialogue turns.
+    pub session: Option<u64>,
+    /// The outcome.
+    pub disposition: Disposition,
+}
+
+impl Completion {
+    /// A stable one-line digest of the *semantic* outcome — everything
+    /// except cache provenance (`from_cache`) and worker placement.
+    /// Two serving runs are equivalent iff their per-id signatures
+    /// match; E12 and the equivalence tests compare exactly this.
+    pub fn signature(&self) -> String {
+        match &self.disposition {
+            Disposition::Answered { sql, rows, .. } => {
+                format!(
+                    "#{} answered sql=[{}] rows=[{}]",
+                    self.id,
+                    sql,
+                    rows.join(" ; ")
+                )
+            }
+            Disposition::SessionReply {
+                response,
+                sql,
+                accepted,
+            } => format!(
+                "#{} session={:?} accepted={} sql={:?} response=[{}]",
+                self.id, self.session, accepted, sql, response
+            ),
+            Disposition::Refused { reason } => format!("#{} refused [{}]", self.id, reason),
+            Disposition::Shed => format!("#{} shed", self.id),
+            Disposition::DeadlineExceeded => format!("#{} deadline", self.id),
+        }
+    }
+}
+
+/// Work sent to a worker thread.
+enum Job {
+    Single {
+        id: u64,
+        question: String,
+    },
+    Turn {
+        id: u64,
+        session: u64,
+        utterance: String,
+    },
+}
+
+/// State shared between the submitter and all workers.
+struct Shared {
+    pipeline: Arc<NliPipeline>,
+    metrics: ServeMetrics,
+    hook: Option<RequestHook>,
+}
+
+/// Lowercase + whitespace-collapse: the cache/routing key form, so
+/// "Total sales  by region" and "total sales by region" unify.
+pub fn normalize_question(question: &str) -> String {
+    let mut out = String::with_capacity(question.len());
+    let mut pending_space = false;
+    for c in question.trim().chars() {
+        if c.is_whitespace() {
+            pending_space = true;
+        } else {
+            if pending_space && !out.is_empty() {
+                out.push(' ');
+            }
+            pending_space = false;
+            for l in c.to_lowercase() {
+                out.push(l);
+            }
+        }
+    }
+    out
+}
+
+/// FNV-1a — a fixed, seedless hash, so routing never depends on
+/// `RandomState`.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The serving runtime. Owns the worker pool; dropped or
+/// [`Server::shutdown`] joins it.
+pub struct Server {
+    shared: Arc<Shared>,
+    clock: Arc<dyn Clock>,
+    config: ServerConfig,
+    fingerprint: u64,
+    senders: Vec<mpsc::Sender<Job>>,
+    completion_rx: mpsc::Receiver<Completion>,
+    handles: Vec<JoinHandle<()>>,
+    /// Per-worker outstanding counts — the credit ledger. Owned by the
+    /// submitter thread; workers never touch it (see module docs).
+    outstanding: Vec<usize>,
+    in_flight: usize,
+    /// Admission-time rejects, merged into the next drain.
+    rejected: Vec<Completion>,
+    next_id: u64,
+}
+
+impl Server {
+    /// Start a pool over a trained, immutable pipeline.
+    pub fn start(
+        pipeline: Arc<NliPipeline>,
+        config: ServerConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Server {
+        Server::start_with_hook(pipeline, config, clock, None)
+    }
+
+    /// [`Server::start`], with a per-request hook (see [`RequestHook`]).
+    pub fn start_with_hook(
+        pipeline: Arc<NliPipeline>,
+        config: ServerConfig,
+        clock: Arc<dyn Clock>,
+        hook: Option<RequestHook>,
+    ) -> Server {
+        let config = ServerConfig {
+            workers: config.workers.max(1),
+            ..config
+        };
+        let fingerprint = schema_fingerprint(&pipeline);
+        let shared = Arc::new(Shared {
+            pipeline,
+            metrics: ServeMetrics::new(config.workers),
+            hook,
+        });
+        let (completion_tx, completion_rx) = mpsc::channel::<Completion>();
+        let mut senders = Vec::with_capacity(config.workers);
+        let mut handles = Vec::with_capacity(config.workers);
+        for worker in 0..config.workers {
+            let (tx, rx) = mpsc::channel::<Job>();
+            senders.push(tx);
+            let shared = Arc::clone(&shared);
+            let completions = completion_tx.clone();
+            let cache_capacity = config.interp_cache;
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("nlidb-serve-{worker}"))
+                    .spawn(move || {
+                        worker_loop(
+                            worker,
+                            &shared,
+                            rx,
+                            completions,
+                            cache_capacity,
+                            fingerprint,
+                        )
+                    })
+                    .expect("spawn serve worker"),
+            );
+        }
+        // `completion_tx` clones live in the workers; dropping the
+        // original here means `drain` can detect worker death instead
+        // of hanging.
+        drop(completion_tx);
+        Server {
+            shared,
+            clock,
+            fingerprint,
+            outstanding: vec![0; config.workers],
+            in_flight: 0,
+            rejected: Vec::new(),
+            next_id: 0,
+            config,
+            senders,
+            completion_rx,
+            handles,
+        }
+    }
+
+    /// The worker a request would be routed to.
+    pub fn route(&self, spec: &RequestSpec) -> usize {
+        match spec.session {
+            Some(id) => (id % self.config.workers as u64) as usize,
+            None => {
+                let key = normalize_question(&spec.question);
+                (fnv1a(key.as_bytes()) % self.config.workers as u64) as usize
+            }
+        }
+    }
+
+    /// Offer one request. Decides admit/shed/deadline *now* (see
+    /// module docs); admitted work completes at the next [`Server::drain`].
+    pub fn submit(&mut self, spec: &RequestSpec) -> Admission {
+        let id = self.next_id;
+        self.next_id += 1;
+        let metrics = &self.shared.metrics;
+        metrics.submitted.fetch_add(1, Ordering::Relaxed);
+        let worker = self.route(spec);
+        let depth = self.outstanding[worker];
+
+        if let Some(deadline) = spec.deadline {
+            let now = self.clock.now();
+            let projected = now + (depth as u64 + 1) * self.config.service_estimate;
+            if now > deadline || projected > deadline {
+                metrics.shed_deadline.fetch_add(1, Ordering::Relaxed);
+                self.rejected.push(Completion {
+                    id,
+                    worker: None,
+                    session: spec.session,
+                    disposition: Disposition::DeadlineExceeded,
+                });
+                return Admission::DeadlineExceeded { id };
+            }
+        }
+        if depth >= self.config.queue_capacity {
+            metrics.shed_full.fetch_add(1, Ordering::Relaxed);
+            self.rejected.push(Completion {
+                id,
+                worker: None,
+                session: spec.session,
+                disposition: Disposition::Shed,
+            });
+            return Admission::Shed { id };
+        }
+
+        let job = match spec.session {
+            Some(session) => Job::Turn {
+                id,
+                session,
+                utterance: spec.question.clone(),
+            },
+            None => Job::Single {
+                id,
+                question: spec.question.clone(),
+            },
+        };
+        self.senders[worker]
+            .send(job)
+            .expect("worker alive while server running");
+        self.outstanding[worker] += 1;
+        self.in_flight += 1;
+        metrics.admitted.fetch_add(1, Ordering::Relaxed);
+        metrics.observe_depth(self.outstanding[worker] as u64);
+        Admission::Admitted { id, worker }
+    }
+
+    /// Wait for every admitted request to finish; return all outcomes
+    /// since the last drain (admission-time rejects included), in
+    /// submission order. Returns queue credits to every worker.
+    pub fn drain(&mut self) -> Vec<Completion> {
+        let mut out = Vec::with_capacity(self.in_flight + self.rejected.len());
+        while out.len() < self.in_flight {
+            let c = self
+                .completion_rx
+                .recv()
+                .expect("workers alive while draining");
+            out.push(c);
+        }
+        self.in_flight = 0;
+        self.outstanding.iter_mut().for_each(|d| *d = 0);
+        out.append(&mut self.rejected);
+        out.sort_by_key(|c| c.id);
+        out
+    }
+
+    /// Current counter snapshot.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// The schema fingerprint baked into cache keys.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.config.workers
+    }
+
+    /// Stop accepting work, join the pool, and return final metrics.
+    /// Any still-queued work is completed first (workers drain their
+    /// channels before exiting).
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.senders.clear(); // closes every job channel
+        for h in self.handles.drain(..) {
+            h.join().expect("serve worker panicked");
+        }
+        self.shared.metrics.snapshot()
+    }
+}
+
+/// Hash the parts of the schema that determine interpretations:
+/// concept labels, table names, and data-property labels. Two
+/// pipelines over the same schema share cache keys; any schema change
+/// changes the fingerprint and thus invalidates nothing silently.
+fn schema_fingerprint(pipeline: &NliPipeline) -> u64 {
+    let onto = &pipeline.context().ontology;
+    let mut acc = String::new();
+    for c in &onto.concepts {
+        acc.push_str(&c.label);
+        acc.push('\u{1}');
+        acc.push_str(&c.table);
+        acc.push('\u{1}');
+    }
+    for p in &onto.data_properties {
+        acc.push_str(&p.label);
+        acc.push('\u{1}');
+    }
+    fnv1a(acc.as_bytes())
+}
+
+/// Render a result set to stable row strings (`col=value` cells).
+fn render_rows(result: &ResultSet) -> Vec<String> {
+    result
+        .rows
+        .iter()
+        .map(|row| {
+            row.iter()
+                .zip(&result.columns)
+                .map(|(v, c)| format!("{c}={v}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        })
+        .collect()
+}
+
+fn worker_loop(
+    worker: usize,
+    shared: &Shared,
+    jobs: mpsc::Receiver<Job>,
+    completions: mpsc::Sender<Completion>,
+    cache_capacity: usize,
+    fingerprint: u64,
+) {
+    let pipeline = &shared.pipeline;
+    let db = pipeline.database();
+    let ctx = pipeline.context();
+    let metrics = &shared.metrics;
+    let mut cache: Option<LruCache<String, (String, Vec<String>)>> =
+        (cache_capacity > 0).then(|| LruCache::new(cache_capacity));
+    let mut sessions: HashMap<u64, ConversationSession<'_>> = HashMap::new();
+
+    while let Ok(job) = jobs.recv() {
+        if let Some(hook) = &shared.hook {
+            hook();
+        }
+        let completion = match job {
+            Job::Single { id, question } => {
+                let key = format!("{fingerprint:016x}|{}", normalize_question(&question));
+                let cached = cache.as_mut().and_then(|c| c.get(&key).cloned());
+                let disposition = match cached {
+                    Some((sql, rows)) => {
+                        metrics.interp_hits.fetch_add(1, Ordering::Relaxed);
+                        metrics.answered.fetch_add(1, Ordering::Relaxed);
+                        Disposition::Answered {
+                            sql,
+                            rows,
+                            from_cache: true,
+                        }
+                    }
+                    None => {
+                        if cache.is_some() {
+                            metrics.interp_misses.fetch_add(1, Ordering::Relaxed);
+                        }
+                        match pipeline.ask(&question) {
+                            Ok(answer) => {
+                                let rows = render_rows(&answer.result);
+                                if let Some(c) = cache.as_mut() {
+                                    c.put(key, (answer.sql.clone(), rows.clone()));
+                                }
+                                metrics.answered.fetch_add(1, Ordering::Relaxed);
+                                Disposition::Answered {
+                                    sql: answer.sql,
+                                    rows,
+                                    from_cache: false,
+                                }
+                            }
+                            Err(e) => {
+                                metrics.refused.fetch_add(1, Ordering::Relaxed);
+                                Disposition::Refused {
+                                    reason: e.to_string(),
+                                }
+                            }
+                        }
+                    }
+                };
+                Completion {
+                    id,
+                    worker: Some(worker),
+                    session: None,
+                    disposition,
+                }
+            }
+            Job::Turn {
+                id,
+                session,
+                utterance,
+            } => {
+                let s = sessions
+                    .entry(session)
+                    .or_insert_with(|| ConversationSession::new(db, ctx, ManagerKind::Agent));
+                let r = s.turn(&utterance);
+                metrics.session_turns.fetch_add(1, Ordering::Relaxed);
+                Completion {
+                    id,
+                    worker: Some(worker),
+                    session: Some(session),
+                    disposition: Disposition::SessionReply {
+                        response: r.response,
+                        sql: r.sql.map(|q| q.to_string()),
+                        accepted: r.accepted,
+                    },
+                }
+            }
+        };
+        metrics.per_worker[worker].fetch_add(1, Ordering::Relaxed);
+        if completions.send(completion).is_err() {
+            // Submitter went away mid-flight; nothing left to report to.
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+    use nlidb_benchdata::retail_database;
+    use nlidb_engine::Database;
+
+    fn pipeline() -> Arc<NliPipeline> {
+        let db: Database = retail_database(7);
+        Arc::new(NliPipeline::standard(&db))
+    }
+
+    fn server(workers: usize, pipeline: &Arc<NliPipeline>) -> (Server, Arc<ManualClock>) {
+        let clock = Arc::new(ManualClock::new());
+        let cfg = ServerConfig {
+            workers,
+            ..ServerConfig::default()
+        };
+        (
+            Server::start(Arc::clone(pipeline), cfg, clock.clone() as Arc<dyn Clock>),
+            clock,
+        )
+    }
+
+    #[test]
+    fn answers_and_caches_repeats() {
+        let p = pipeline();
+        let (mut srv, _) = server(2, &p);
+        let q = RequestSpec::single("how many customers are there");
+        for _ in 0..3 {
+            srv.submit(&q);
+        }
+        let done = srv.drain();
+        assert_eq!(done.len(), 3);
+        let answered: Vec<bool> = done
+            .iter()
+            .map(|c| match &c.disposition {
+                Disposition::Answered { from_cache, .. } => *from_cache,
+                other => panic!("expected answer, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(
+            answered,
+            vec![false, true, true],
+            "first computes, rest hit"
+        );
+        let sigs: std::collections::HashSet<String> = done
+            .iter()
+            .map(|c| c.signature().split_once(' ').unwrap().1.to_string())
+            .collect();
+        assert_eq!(sigs.len(), 1, "hits replay the identical answer");
+        let m = srv.shutdown();
+        assert_eq!((m.interp_hits, m.interp_misses), (2, 1));
+        assert_eq!(m.answered, 3);
+    }
+
+    #[test]
+    fn refusals_are_reported_not_panicked() {
+        let p = pipeline();
+        let (mut srv, _) = server(1, &p);
+        srv.submit(&RequestSpec::single(
+            "colorless green ideas sleep furiously",
+        ));
+        let done = srv.drain();
+        assert!(matches!(done[0].disposition, Disposition::Refused { .. }));
+        assert_eq!(srv.metrics().refused, 1);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn queue_full_sheds_deterministically() {
+        let p = pipeline();
+        let clock = Arc::new(ManualClock::new());
+        let cfg = ServerConfig {
+            workers: 1,
+            queue_capacity: 2,
+            ..ServerConfig::default()
+        };
+        let mut srv = Server::start(Arc::clone(&p), cfg, clock as Arc<dyn Clock>);
+        let q = RequestSpec::single("how many customers are there");
+        let a: Vec<Admission> = (0..4).map(|_| srv.submit(&q)).collect();
+        assert!(matches!(a[0], Admission::Admitted { .. }));
+        assert!(matches!(a[1], Admission::Admitted { .. }));
+        assert!(matches!(a[2], Admission::Shed { .. }));
+        assert!(matches!(a[3], Admission::Shed { .. }));
+        let done = srv.drain();
+        assert_eq!(done.len(), 4, "rejects surface as completions too");
+        assert!(matches!(done[2].disposition, Disposition::Shed));
+        // Credits returned: same submissions admit again.
+        assert!(matches!(srv.submit(&q), Admission::Admitted { .. }));
+        srv.drain();
+        let m = srv.shutdown();
+        assert_eq!(m.shed_full, 2);
+        assert_eq!(m.max_queue_depth, 2);
+    }
+
+    #[test]
+    fn deadline_rejection_is_admission_time() {
+        let p = pipeline();
+        let clock = Arc::new(ManualClock::new());
+        let cfg = ServerConfig {
+            workers: 1,
+            queue_capacity: 8,
+            service_estimate: 10,
+            ..ServerConfig::default()
+        };
+        let mut srv = Server::start(Arc::clone(&p), cfg, clock.clone() as Arc<dyn Clock>);
+        let mut q = RequestSpec::single("how many customers are there");
+        // Deadline 15 ticks out, service estimate 10: first fits
+        // (projected 10), second does not (projected 20).
+        q.deadline = Some(15);
+        assert!(matches!(srv.submit(&q), Admission::Admitted { .. }));
+        assert!(matches!(srv.submit(&q), Admission::DeadlineExceeded { .. }));
+        srv.drain();
+        // A deadline already in the past rejects outright.
+        clock.set(100);
+        q.deadline = Some(99);
+        assert!(matches!(srv.submit(&q), Admission::DeadlineExceeded { .. }));
+        let done = srv.drain();
+        assert!(matches!(done[0].disposition, Disposition::DeadlineExceeded));
+        let m = srv.shutdown();
+        assert_eq!(m.shed_deadline, 2);
+    }
+
+    #[test]
+    fn session_turns_keep_state_on_one_worker() {
+        let p = pipeline();
+        let (mut srv, _) = server(3, &p);
+        let turns = ["show orders", "only status shipped", "how many are there"];
+        for t in turns {
+            srv.submit(&RequestSpec {
+                question: t.to_string(),
+                session: Some(41),
+                deadline: None,
+            });
+        }
+        let done = srv.drain();
+        assert_eq!(done.len(), 3);
+        let workers: std::collections::HashSet<_> = done.iter().map(|c| c.worker).collect();
+        assert_eq!(workers.len(), 1, "all turns of one session on one worker");
+        assert!(done
+            .iter()
+            .all(|c| matches!(c.disposition, Disposition::SessionReply { .. })));
+        let m = srv.shutdown();
+        assert_eq!(m.session_turns, 3);
+    }
+
+    #[test]
+    fn routing_is_stable_and_normalized() {
+        let p = pipeline();
+        let (srv, _) = server(4, &p);
+        let a = RequestSpec::single("Total Price by   Category");
+        let b = RequestSpec::single("total price by category");
+        assert_eq!(srv.route(&a), srv.route(&b));
+        assert_eq!(
+            normalize_question("  Total   Price\tby Category "),
+            "total price by category"
+        );
+        srv.shutdown();
+    }
+}

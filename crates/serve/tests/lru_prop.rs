@@ -1,0 +1,74 @@
+//! Property tests for the serving LRU cache: the capacity bound holds
+//! under arbitrary operation sequences, get-after-put is coherent, and
+//! the slab never leaks slots.
+
+use nlidb_serve::LruCache;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    /// Whatever the operation mix, `len() ≤ capacity` and every `get`
+    /// agrees with a shadow model that tracks the *live* key set.
+    #[test]
+    fn capacity_invariant_and_model_agreement(
+        capacity in 1usize..9,
+        ops in proptest::collection::vec((0u8..16, 0u32..64), 0..200),
+    ) {
+        let mut cache: LruCache<u8, u32> = LruCache::new(capacity);
+        // Shadow model: the values currently stored, ignoring recency.
+        let mut model: HashMap<u8, u32> = HashMap::new();
+        for (key, value) in ops {
+            if value % 3 == 0 {
+                // get: a hit must return exactly the model's value; a
+                // miss must be a key the model also lacks *or* one the
+                // cache evicted (model is pruned on eviction below, so
+                // they agree exactly).
+                let got = cache.get(&key).copied();
+                prop_assert_eq!(got, model.get(&key).copied());
+            } else {
+                let evicted = cache.put(key, value);
+                model.insert(key, value);
+                if let Some((ek, _)) = evicted {
+                    prop_assert!(ek != key, "never evicts the key just inserted");
+                    model.remove(&ek);
+                }
+            }
+            prop_assert!(cache.len() <= capacity, "len {} > capacity {}", cache.len(), capacity);
+            prop_assert_eq!(cache.len(), model.len());
+        }
+    }
+
+    /// A key written and immediately read always returns the written
+    /// value, at any capacity ≥ 1.
+    #[test]
+    fn get_after_put_always_hits(
+        capacity in 1usize..6,
+        warm in proptest::collection::vec((0u8..32, 0u32..1000), 0..40),
+        key in 0u8..32,
+        value in 0u32..1000,
+    ) {
+        let mut cache: LruCache<u8, u32> = LruCache::new(capacity);
+        for (k, v) in warm {
+            cache.put(k, v);
+        }
+        cache.put(key, value);
+        prop_assert_eq!(cache.get(&key), Some(&value));
+    }
+
+    /// Recency order: filling a cache to capacity and touching one key
+    /// protects it from the next eviction.
+    #[test]
+    fn touched_key_survives_next_eviction(
+        capacity in 2usize..6,
+        touch in 0usize..6,
+    ) {
+        let touch = touch % capacity;
+        let mut cache: LruCache<usize, usize> = LruCache::new(capacity);
+        for k in 0..capacity {
+            cache.put(k, k);
+        }
+        cache.get(&touch);
+        cache.put(capacity, capacity); // forces one eviction
+        prop_assert!(cache.peek(&touch).is_some(), "recently touched key evicted");
+    }
+}

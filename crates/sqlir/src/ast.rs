@@ -43,12 +43,18 @@ pub struct ColumnRef {
 impl ColumnRef {
     /// Unqualified column reference.
     pub fn bare(column: impl Into<String>) -> Self {
-        ColumnRef { table: None, column: column.into() }
+        ColumnRef {
+            table: None,
+            column: column.into(),
+        }
     }
 
     /// Qualified column reference.
     pub fn qualified(table: impl Into<String>, column: impl Into<String>) -> Self {
-        ColumnRef { table: Some(table.into()), column: column.into() }
+        ColumnRef {
+            table: Some(table.into()),
+            column: column.into(),
+        }
     }
 }
 
@@ -129,7 +135,13 @@ impl AggFunc {
 
     /// All aggregate functions, for enumeration in generators/models.
     pub fn all() -> [AggFunc; 5] {
-        [AggFunc::Count, AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max]
+        [
+            AggFunc::Count,
+            AggFunc::Sum,
+            AggFunc::Avg,
+            AggFunc::Min,
+            AggFunc::Max,
+        ]
     }
 }
 
@@ -249,7 +261,11 @@ impl Expr {
 
     /// `self op other`.
     pub fn binary(self, op: BinOp, other: Expr) -> Expr {
-        Expr::Binary { left: Box::new(self), op, right: Box::new(other) }
+        Expr::Binary {
+            left: Box::new(self),
+            op,
+            right: Box::new(other),
+        }
     }
 
     /// `self AND other`.
@@ -269,12 +285,20 @@ impl Expr {
 
     /// Aggregate call shorthand.
     pub fn agg(func: AggFunc, arg: Expr) -> Expr {
-        Expr::Agg { func, arg: Some(Box::new(arg)), distinct: false }
+        Expr::Agg {
+            func,
+            arg: Some(Box::new(arg)),
+            distinct: false,
+        }
     }
 
     /// `COUNT(*)` shorthand.
     pub fn count_star() -> Expr {
-        Expr::Agg { func: AggFunc::Count, arg: None, distinct: false }
+        Expr::Agg {
+            func: AggFunc::Count,
+            arg: None,
+            distinct: false,
+        }
     }
 
     /// Does this expression (recursively) contain an aggregate call?
@@ -285,9 +309,9 @@ impl Expr {
                 left.contains_aggregate() || right.contains_aggregate()
             }
             Expr::Unary { expr, .. } => expr.contains_aggregate(),
-            Expr::Between { expr, low, high, .. } => {
-                expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate()
-            }
+            Expr::Between {
+                expr, low, high, ..
+            } => expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate(),
             Expr::InList { expr, list, .. } => {
                 expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
             }
@@ -305,15 +329,13 @@ impl Expr {
                 left.contains_subquery() || right.contains_subquery()
             }
             Expr::Unary { expr, .. } => expr.contains_subquery(),
-            Expr::Between { expr, low, high, .. } => {
-                expr.contains_subquery() || low.contains_subquery() || high.contains_subquery()
-            }
+            Expr::Between {
+                expr, low, high, ..
+            } => expr.contains_subquery() || low.contains_subquery() || high.contains_subquery(),
             Expr::InList { expr, list, .. } => {
                 expr.contains_subquery() || list.iter().any(Expr::contains_subquery)
             }
-            Expr::Agg { arg, .. } => {
-                arg.as_ref().map(|a| a.contains_subquery()).unwrap_or(false)
-            }
+            Expr::Agg { arg, .. } => arg.as_ref().map(|a| a.contains_subquery()).unwrap_or(false),
             Expr::Like { expr, .. } | Expr::IsNull { expr, .. } => expr.contains_subquery(),
             _ => false,
         }
@@ -340,7 +362,9 @@ impl Expr {
                 }
             }
             Expr::InSubquery { expr, .. } => expr.columns(out),
-            Expr::Between { expr, low, high, .. } => {
+            Expr::Between {
+                expr, low, high, ..
+            } => {
                 expr.columns(out);
                 low.columns(out);
                 high.columns(out);
@@ -368,12 +392,18 @@ pub enum SelectItem {
 impl SelectItem {
     /// Projection without alias.
     pub fn expr(e: Expr) -> SelectItem {
-        SelectItem::Expr { expr: e, alias: None }
+        SelectItem::Expr {
+            expr: e,
+            alias: None,
+        }
     }
 
     /// Projection with alias.
     pub fn aliased(e: Expr, alias: impl Into<String>) -> SelectItem {
-        SelectItem::Expr { expr: e, alias: Some(alias.into()) }
+        SelectItem::Expr {
+            expr: e,
+            alias: Some(alias.into()),
+        }
     }
 }
 
@@ -399,7 +429,10 @@ pub enum TableSource {
 impl TableSource {
     /// Base table shorthand.
     pub fn table(name: impl Into<String>) -> TableSource {
-        TableSource::Table { name: name.into(), alias: None }
+        TableSource::Table {
+            name: name.into(),
+            alias: None,
+        }
     }
 
     /// The name this source is addressable by (alias, else table name).
@@ -474,7 +507,11 @@ impl Query {
         if matches!(self.from, Some(TableSource::Subquery { .. })) {
             return true;
         }
-        if self.joins.iter().any(|j| matches!(j.source, TableSource::Subquery { .. })) {
+        if self
+            .joins
+            .iter()
+            .any(|j| matches!(j.source, TableSource::Subquery { .. }))
+        {
             return true;
         }
         self.select.iter().any(|s| match s {
@@ -517,7 +554,9 @@ impl Query {
                     from_expr(right, out);
                 }
                 Expr::Unary { expr, .. } => from_expr(expr, out),
-                Expr::Between { expr, low, high, .. } => {
+                Expr::Between {
+                    expr, low, high, ..
+                } => {
                     from_expr(expr, out);
                     from_expr(low, out);
                     from_expr(high, out);
@@ -664,7 +703,10 @@ mod tests {
 
     #[test]
     fn binding_name_prefers_alias() {
-        let t = TableSource::Table { name: "customers".into(), alias: Some("c".into()) };
+        let t = TableSource::Table {
+            name: "customers".into(),
+            alias: Some("c".into()),
+        };
         assert_eq!(t.binding_name(), "c");
         assert_eq!(TableSource::table("x").binding_name(), "x");
     }

@@ -1,8 +1,6 @@
 //! Fluent query construction, used by every interpreter family.
 
-use crate::ast::{
-    AggFunc, Expr, Join, JoinKind, OrderByItem, Query, SelectItem, TableSource,
-};
+use crate::ast::{AggFunc, Expr, Join, JoinKind, OrderByItem, Query, SelectItem, TableSource};
 
 /// Builder producing a [`Query`].
 ///
@@ -26,7 +24,10 @@ impl QueryBuilder {
     /// Start from a base table.
     pub fn from_table(name: impl Into<String>) -> Self {
         QueryBuilder {
-            query: Query { from: Some(TableSource::table(name)), ..Query::default() },
+            query: Query {
+                from: Some(TableSource::table(name)),
+                ..Query::default()
+            },
         }
     }
 
@@ -178,7 +179,10 @@ mod tests {
     fn builder_output_parses_back() {
         let q = QueryBuilder::from_aliased("customers", "c")
             .select_expr(Expr::qcol("c", "name"), None)
-            .join("orders", Expr::qcol("c", "id").eq(Expr::qcol("orders", "customer_id")))
+            .join(
+                "orders",
+                Expr::qcol("c", "id").eq(Expr::qcol("orders", "customer_id")),
+            )
             .and_where(Expr::qcol("orders", "amount").binary(BinOp::GtEq, Expr::float(10.5)))
             .group_by(Expr::qcol("c", "name"))
             .and_having(Expr::count_star().binary(BinOp::Gt, Expr::int(2)))

@@ -112,7 +112,11 @@ fn fmt_expr(e: &Expr, parent_prec: u8, f: &mut fmt::Formatter<'_>) -> fmt::Resul
                 fmt_expr(expr, 6, f)
             }
         },
-        Expr::Agg { func, arg, distinct } => {
+        Expr::Agg {
+            func,
+            arg,
+            distinct,
+        } => {
             write!(f, "{}(", func.name())?;
             if *distinct {
                 f.write_str("DISTINCT ")?;
@@ -123,7 +127,11 @@ fn fmt_expr(e: &Expr, parent_prec: u8, f: &mut fmt::Formatter<'_>) -> fmt::Resul
             }
             f.write_str(")")
         }
-        Expr::InList { expr, list, negated } => {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             fmt_expr(expr, 6, f)?;
             write!(f, " {}IN (", if *negated { "NOT " } else { "" })?;
             for (i, item) in list.iter().enumerate() {
@@ -134,22 +142,39 @@ fn fmt_expr(e: &Expr, parent_prec: u8, f: &mut fmt::Formatter<'_>) -> fmt::Resul
             }
             f.write_str(")")
         }
-        Expr::InSubquery { expr, subquery, negated } => {
+        Expr::InSubquery {
+            expr,
+            subquery,
+            negated,
+        } => {
             fmt_expr(expr, 6, f)?;
             write!(f, " {}IN ({subquery})", if *negated { "NOT " } else { "" })
         }
         Expr::Exists { subquery, negated } => {
-            write!(f, "{}EXISTS ({subquery})", if *negated { "NOT " } else { "" })
+            write!(
+                f,
+                "{}EXISTS ({subquery})",
+                if *negated { "NOT " } else { "" }
+            )
         }
         Expr::ScalarSubquery(q) => write!(f, "({q})"),
-        Expr::Between { expr, low, high, negated } => {
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
             fmt_expr(expr, 6, f)?;
             write!(f, " {}BETWEEN ", if *negated { "NOT " } else { "" })?;
             fmt_expr(low, 4, f)?;
             f.write_str(" AND ")?;
             fmt_expr(high, 4, f)
         }
-        Expr::Like { expr, pattern, negated } => {
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
             fmt_expr(expr, 6, f)?;
             write!(
                 f,
@@ -283,7 +308,10 @@ mod tests {
             where_clause: Some(Expr::col("city").eq(Expr::str("Austin"))),
             ..Query::default()
         };
-        assert_eq!(q.to_string(), "SELECT * FROM customers WHERE city = 'Austin'");
+        assert_eq!(
+            q.to_string(),
+            "SELECT * FROM customers WHERE city = 'Austin'"
+        );
     }
 
     #[test]
@@ -313,10 +341,16 @@ mod tests {
     fn renders_join() {
         let q = Query {
             select: vec![SelectItem::expr(Expr::qcol("c", "name"))],
-            from: Some(TableSource::Table { name: "customers".into(), alias: Some("c".into()) }),
+            from: Some(TableSource::Table {
+                name: "customers".into(),
+                alias: Some("c".into()),
+            }),
             joins: vec![Join {
                 kind: JoinKind::Inner,
-                source: TableSource::Table { name: "orders".into(), alias: Some("o".into()) },
+                source: TableSource::Table {
+                    name: "orders".into(),
+                    alias: Some("o".into()),
+                },
                 on: Expr::qcol("c", "id").eq(Expr::qcol("o", "customer_id")),
             }],
             ..Query::default()
@@ -385,7 +419,10 @@ mod tests {
             negated: true,
         };
         assert_eq!(e.to_string(), "name NOT LIKE 'A%'");
-        let e = Expr::IsNull { expr: Box::new(Expr::col("x")), negated: true };
+        let e = Expr::IsNull {
+            expr: Box::new(Expr::col("x")),
+            negated: true,
+        };
         assert_eq!(e.to_string(), "x IS NOT NULL");
     }
 
@@ -409,7 +446,10 @@ mod tests {
         };
         let q = Query {
             select: vec![SelectItem::Wildcard],
-            from: Some(TableSource::Subquery { query: Box::new(inner), alias: "d".into() }),
+            from: Some(TableSource::Subquery {
+                query: Box::new(inner),
+                alias: "d".into(),
+            }),
             ..Query::default()
         };
         assert_eq!(q.to_string(), "SELECT * FROM (SELECT a FROM t) AS d");

@@ -21,7 +21,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "SQL parse error at token {}: {}", self.at_token, self.message)
+        write!(
+            f,
+            "SQL parse error at token {}: {}",
+            self.at_token, self.message
+        )
     }
 }
 
@@ -71,17 +75,13 @@ fn lex(input: &str) -> Result<Vec<Tok>, ParseError> {
             out.push(Tok::Str(s));
         } else if c.is_ascii_digit() {
             let start = i;
-            while i < bytes.len()
-                && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.')
-            {
+            while i < bytes.len() && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.') {
                 i += 1;
             }
             out.push(Tok::Num(input[start..i].to_string()));
         } else if c.is_alphabetic() || c == '_' {
             let start = i;
-            while i < bytes.len()
-                && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
-            {
+            while i < bytes.len() && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_') {
                 i += 1;
             }
             out.push(Tok::Ident(input[start..i].to_string()));
@@ -160,7 +160,10 @@ impl Parser {
     }
 
     fn err(&self, message: String) -> ParseError {
-        ParseError { message, at_token: self.pos }
+        ParseError {
+            message,
+            at_token: self.pos,
+        }
     }
 
     fn ident(&mut self) -> Result<String, ParseError> {
@@ -183,14 +186,22 @@ impl Parser {
                 select.push(SelectItem::Wildcard);
             } else {
                 let expr = self.expr(0)?;
-                let alias = if self.eat_kw("AS") { Some(self.ident()?) } else { None };
+                let alias = if self.eat_kw("AS") {
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
                 select.push(SelectItem::Expr { expr, alias });
             }
             if !self.eat_sym(",") {
                 break;
             }
         }
-        let from = if self.eat_kw("FROM") { Some(self.table_source()?) } else { None };
+        let from = if self.eat_kw("FROM") {
+            Some(self.table_source()?)
+        } else {
+            None
+        };
         let mut joins = Vec::new();
         loop {
             let kind = if self.peek_kw("JOIN") {
@@ -212,7 +223,11 @@ impl Parser {
             let on = self.expr(0)?;
             joins.push(Join { kind, source, on });
         }
-        let where_clause = if self.eat_kw("WHERE") { Some(self.expr(0)?) } else { None };
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.expr(0)?)
+        } else {
+            None
+        };
         let mut group_by = Vec::new();
         if self.eat_kw("GROUP") {
             self.expect_kw("BY")?;
@@ -223,7 +238,11 @@ impl Parser {
                 }
             }
         }
-        let having = if self.eat_kw("HAVING") { Some(self.expr(0)?) } else { None };
+        let having = if self.eat_kw("HAVING") {
+            Some(self.expr(0)?)
+        } else {
+            None
+        };
         let mut order_by = Vec::new();
         if self.eat_kw("ORDER") {
             self.expect_kw("BY")?;
@@ -311,7 +330,11 @@ impl Parser {
                     if self.peek_kw("SELECT") {
                         let sub = Box::new(self.query()?);
                         self.expect_sym(")")?;
-                        left = Expr::InSubquery { expr: Box::new(left), subquery: sub, negated };
+                        left = Expr::InSubquery {
+                            expr: Box::new(left),
+                            subquery: sub,
+                            negated,
+                        };
                     } else {
                         let mut list = Vec::new();
                         loop {
@@ -321,7 +344,11 @@ impl Parser {
                             }
                         }
                         self.expect_sym(")")?;
-                        left = Expr::InList { expr: Box::new(left), list, negated };
+                        left = Expr::InList {
+                            expr: Box::new(left),
+                            list,
+                            negated,
+                        };
                     }
                     continue;
                 }
@@ -329,14 +356,23 @@ impl Parser {
                     let low = Box::new(self.expr(4)?);
                     self.expect_kw("AND")?;
                     let high = Box::new(self.expr(4)?);
-                    left = Expr::Between { expr: Box::new(left), low, high, negated };
+                    left = Expr::Between {
+                        expr: Box::new(left),
+                        low,
+                        high,
+                        negated,
+                    };
                     continue;
                 }
                 if self.eat_kw("LIKE") {
                     match self.peek().cloned() {
                         Some(Tok::Str(p)) => {
                             self.pos += 1;
-                            left = Expr::Like { expr: Box::new(left), pattern: p, negated };
+                            left = Expr::Like {
+                                expr: Box::new(left),
+                                pattern: p,
+                                negated,
+                            };
                             continue;
                         }
                         _ => return Err(self.err("expected pattern after LIKE".into())),
@@ -349,7 +385,10 @@ impl Parser {
                     self.pos += 1;
                     let neg = self.eat_kw("NOT");
                     self.expect_kw("NULL")?;
-                    left = Expr::IsNull { expr: Box::new(left), negated: neg };
+                    left = Expr::IsNull {
+                        expr: Box::new(left),
+                        negated: neg,
+                    };
                     continue;
                 }
             }
@@ -384,7 +423,11 @@ impl Parser {
             }
             self.pos += 1;
             let right = self.expr(prec + 1)?;
-            left = Expr::Binary { left: Box::new(left), op, right: Box::new(right) };
+            left = Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -397,10 +440,16 @@ impl Parser {
                 self.expect_sym("(")?;
                 let sub = Box::new(self.query()?);
                 self.expect_sym(")")?;
-                return Ok(Expr::Exists { subquery: sub, negated: true });
+                return Ok(Expr::Exists {
+                    subquery: sub,
+                    negated: true,
+                });
             }
             let inner = self.unary()?;
-            return Ok(Expr::Unary { op: UnaryOp::Not, expr: Box::new(inner) });
+            return Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(inner),
+            });
         }
         if self.eat_sym("-") {
             let inner = self.unary()?;
@@ -408,7 +457,10 @@ impl Parser {
             return Ok(match inner {
                 Expr::Literal(Literal::Int(i)) => Expr::Literal(Literal::Int(-i)),
                 Expr::Literal(Literal::Float(f)) => Expr::Literal(Literal::Float(-f)),
-                other => Expr::Unary { op: UnaryOp::Neg, expr: Box::new(other) },
+                other => Expr::Unary {
+                    op: UnaryOp::Neg,
+                    expr: Box::new(other),
+                },
             });
         }
         self.primary()
@@ -464,7 +516,10 @@ impl Parser {
                         self.expect_sym("(")?;
                         let sub = Box::new(self.query()?);
                         self.expect_sym(")")?;
-                        Ok(Expr::Exists { subquery: sub, negated: false })
+                        Ok(Expr::Exists {
+                            subquery: sub,
+                            negated: false,
+                        })
                     }
                     "COUNT" | "SUM" | "AVG" | "MIN" | "MAX" => {
                         // Aggregate only when followed by `(`.
@@ -484,14 +539,18 @@ impl Parser {
                                 Some(Box::new(self.expr(0)?))
                             };
                             self.expect_sym(")")?;
-                            Ok(Expr::Agg { func, arg, distinct })
+                            Ok(Expr::Agg {
+                                func,
+                                arg,
+                                distinct,
+                            })
                         } else {
                             self.column(word)
                         }
                     }
-                    _ if is_reserved(&word) => Err(self.err(format!(
-                        "unexpected keyword {word} in expression"
-                    ))),
+                    _ if is_reserved(&word) => {
+                        Err(self.err(format!("unexpected keyword {word} in expression")))
+                    }
                     _ => self.column(word),
                 }
             }
@@ -561,9 +620,7 @@ mod tests {
         roundtrip("SELECT * FROM t ORDER BY a ASC, b DESC LIMIT 10");
         roundtrip("SELECT COUNT(*) FROM orders");
         roundtrip("SELECT COUNT(DISTINCT city) FROM customers");
-        roundtrip(
-            "SELECT c.name FROM customers AS c JOIN orders AS o ON c.id = o.customer_id",
-        );
+        roundtrip("SELECT c.name FROM customers AS c JOIN orders AS o ON c.id = o.customer_id");
         roundtrip("SELECT * FROM customers AS c LEFT JOIN orders AS o ON c.id = o.customer_id");
         roundtrip("SELECT * FROM t WHERE x BETWEEN 1 AND 9");
         roundtrip("SELECT * FROM t WHERE name LIKE 'A%'");
@@ -576,9 +633,7 @@ mod tests {
     #[test]
     fn roundtrips_nested_queries() {
         roundtrip("SELECT * FROM customers WHERE id IN (SELECT customer_id FROM orders)");
-        roundtrip(
-            "SELECT * FROM customers WHERE id NOT IN (SELECT customer_id FROM orders)",
-        );
+        roundtrip("SELECT * FROM customers WHERE id NOT IN (SELECT customer_id FROM orders)");
         roundtrip(
             "SELECT * FROM customers WHERE EXISTS \
              (SELECT * FROM orders WHERE orders.customer_id = customers.id)",
@@ -593,10 +648,9 @@ mod tests {
 
     #[test]
     fn parses_having() {
-        let q = parse_query(
-            "SELECT region, COUNT(*) FROM sales GROUP BY region HAVING COUNT(*) > 3",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT region, COUNT(*) FROM sales GROUP BY region HAVING COUNT(*) > 3")
+                .unwrap();
         assert!(q.having.is_some());
         roundtrip("SELECT region, COUNT(*) FROM sales GROUP BY region HAVING COUNT(*) > 3");
     }
@@ -605,17 +659,31 @@ mod tests {
     fn parses_arithmetic_precedence() {
         let q = parse_query("SELECT * FROM t WHERE a + b * 2 > 10").unwrap();
         // b * 2 binds tighter than +.
-        let Some(Expr::Binary { left, op: BinOp::Gt, .. }) = q.where_clause else {
+        let Some(Expr::Binary {
+            left,
+            op: BinOp::Gt,
+            ..
+        }) = q.where_clause
+        else {
             panic!("bad shape")
         };
-        let Expr::Binary { op: BinOp::Plus, right, .. } = *left else { panic!("bad +") };
+        let Expr::Binary {
+            op: BinOp::Plus,
+            right,
+            ..
+        } = *left
+        else {
+            panic!("bad +")
+        };
         assert!(matches!(*right, Expr::Binary { op: BinOp::Mul, .. }));
     }
 
     #[test]
     fn negative_literals_fold() {
         let q = parse_query("SELECT * FROM t WHERE x > -5").unwrap();
-        let Some(Expr::Binary { right, .. }) = q.where_clause else { panic!() };
+        let Some(Expr::Binary { right, .. }) = q.where_clause else {
+            panic!()
+        };
         assert_eq!(*right, Expr::Literal(Literal::Int(-5)));
     }
 
@@ -629,7 +697,10 @@ mod tests {
         let q = parse_query("SELECT c.name FROM customers c").unwrap();
         assert_eq!(
             q.from,
-            Some(TableSource::Table { name: "customers".into(), alias: Some("c".into()) })
+            Some(TableSource::Table {
+                name: "customers".into(),
+                alias: Some("c".into())
+            })
         );
     }
 
@@ -670,7 +741,10 @@ mod tests {
         let q = parse_query("SELECT min FROM limits_table").unwrap();
         assert_eq!(
             q.select[0],
-            SelectItem::Expr { expr: Expr::col("min"), alias: None }
+            SelectItem::Expr {
+                expr: Expr::col("min"),
+                alias: None
+            }
         );
     }
 }

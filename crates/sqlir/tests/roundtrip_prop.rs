@@ -12,10 +12,35 @@ fn ident_strategy() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9_]{0,8}".prop_filter("non-reserved", |s| {
         !matches!(
             s.as_str(),
-            "select" | "from" | "where" | "group" | "by" | "having" | "order" | "limit"
-                | "join" | "inner" | "left" | "outer" | "on" | "as" | "and" | "or" | "not"
-                | "in" | "exists" | "between" | "like" | "is" | "null" | "distinct" | "asc"
-                | "desc" | "true" | "false" | "union"
+            "select"
+                | "from"
+                | "where"
+                | "group"
+                | "by"
+                | "having"
+                | "order"
+                | "limit"
+                | "join"
+                | "inner"
+                | "left"
+                | "outer"
+                | "on"
+                | "as"
+                | "and"
+                | "or"
+                | "not"
+                | "in"
+                | "exists"
+                | "between"
+                | "like"
+                | "is"
+                | "null"
+                | "distinct"
+                | "asc"
+                | "desc"
+                | "true"
+                | "false"
+                | "union"
         )
     })
 }
@@ -62,16 +87,23 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
         ident_strategy().prop_map(Expr::col),
         (ident_strategy(), ident_strategy()).prop_map(|(t, c)| Expr::qcol(t, c)),
         literal_strategy().prop_map(Expr::Literal),
-        (agg_strategy(), ident_strategy())
-            .prop_map(|(f, c)| Expr::agg(f, Expr::col(c))),
+        (agg_strategy(), ident_strategy()).prop_map(|(f, c)| Expr::agg(f, Expr::col(c))),
         Just(Expr::count_star()),
     ];
     leaf.prop_recursive(3, 24, 4, |inner| {
         prop_oneof![
             (inner.clone(), binop_strategy(), inner.clone()).prop_map(|(l, op, r)| {
-                Expr::Binary { left: Box::new(l), op, right: Box::new(r) }
+                Expr::Binary {
+                    left: Box::new(l),
+                    op,
+                    right: Box::new(r),
+                }
             }),
-            (inner.clone(), prop::collection::vec(literal_strategy(), 1..4), any::<bool>())
+            (
+                inner.clone(),
+                prop::collection::vec(literal_strategy(), 1..4),
+                any::<bool>()
+            )
                 .prop_map(|(e, lits, neg)| Expr::InList {
                     expr: Box::new(e),
                     list: lits.into_iter().map(Expr::Literal).collect(),
@@ -96,8 +128,7 @@ fn query_strategy() -> impl Strategy<Value = Query> {
             prop_oneof![
                 Just(SelectItem::Wildcard),
                 expr_strategy().prop_map(SelectItem::expr),
-                (expr_strategy(), ident_strategy())
-                    .prop_map(|(e, a)| SelectItem::aliased(e, a)),
+                (expr_strategy(), ident_strategy()).prop_map(|(e, a)| SelectItem::aliased(e, a)),
             ],
             1..4,
         ),
@@ -111,29 +142,31 @@ fn query_strategy() -> impl Strategy<Value = Query> {
         prop::option::of(0u64..1000),
     )
         .prop_map(
-            |(select, distinct, from, join, where_clause, group_by, having, order, limit)| {
-                Query {
-                    select,
-                    distinct,
-                    from: Some(TableSource::table(from)),
-                    joins: join
-                        .map(|(t, on, left)| {
-                            vec![Join {
-                                kind: if left { JoinKind::Left } else { JoinKind::Inner },
-                                source: TableSource::table(t),
-                                on,
-                            }]
-                        })
-                        .unwrap_or_default(),
-                    where_clause,
-                    group_by,
-                    having,
-                    order_by: order
-                        .into_iter()
-                        .map(|(expr, asc)| OrderByItem { expr, asc })
-                        .collect(),
-                    limit,
-                }
+            |(select, distinct, from, join, where_clause, group_by, having, order, limit)| Query {
+                select,
+                distinct,
+                from: Some(TableSource::table(from)),
+                joins: join
+                    .map(|(t, on, left)| {
+                        vec![Join {
+                            kind: if left {
+                                JoinKind::Left
+                            } else {
+                                JoinKind::Inner
+                            },
+                            source: TableSource::table(t),
+                            on,
+                        }]
+                    })
+                    .unwrap_or_default(),
+                where_clause,
+                group_by,
+                having,
+                order_by: order
+                    .into_iter()
+                    .map(|(expr, asc)| OrderByItem { expr, asc })
+                    .collect(),
+                limit,
             },
         )
 }

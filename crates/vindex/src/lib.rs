@@ -61,7 +61,8 @@ mod tests {
                 .column("name", ColumnType::Text),
         )
         .unwrap();
-        db.insert("cities", vec![Value::Int(1), Value::from("Lisbon")]).unwrap();
+        db.insert("cities", vec![Value::Int(1), Value::from("Lisbon")])
+            .unwrap();
         let onto = generate_ontology(&db);
         let lex = Lexicon::business_default();
         let idx = Indices::build(&db, &onto, &lex);

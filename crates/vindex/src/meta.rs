@@ -38,7 +38,10 @@ pub struct MetadataIndex {
 impl MetadataIndex {
     /// Build from an ontology and a lexicon.
     pub fn build(onto: &Ontology, lexicon: &Lexicon) -> MetadataIndex {
-        MetadataIndex { ontology: onto.clone(), lexicon: lexicon.clone() }
+        MetadataIndex {
+            ontology: onto.clone(),
+            lexicon: lexicon.clone(),
+        }
     }
 
     /// Look up a (possibly multi-word) term; hits sorted by score.
@@ -64,14 +67,15 @@ impl MetadataIndex {
 
     /// Best concept hit for a term.
     pub fn best_concept(&self, term: &str) -> Option<MetaHit> {
-        self.lookup(term).into_iter().find(|h| h.kind == MetaKind::Concept)
+        self.lookup(term)
+            .into_iter()
+            .find(|h| h.kind == MetaKind::Concept)
     }
 
     /// Best property hit for a term, optionally restricted to a concept.
     pub fn best_property(&self, term: &str, concept: Option<&str>) -> Option<MetaHit> {
         self.lookup(term).into_iter().find(|h| {
-            h.kind == MetaKind::Property
-                && concept.map(|c| h.concept == c).unwrap_or(true)
+            h.kind == MetaKind::Property && concept.map(|c| h.concept == c).unwrap_or(true)
         })
     }
 

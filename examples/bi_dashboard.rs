@@ -36,11 +36,23 @@ fn main() {
     let nli = NliPipeline::standard(&db);
 
     println!("═══ RETAIL DASHBOARD (all panels asked in English) ═══\n");
-    panel(&nli, "Revenue by market", "total order amount by customer city");
-    panel(&nli, "Revenue by product line", "total order amount by product category");
+    panel(
+        &nli,
+        "Revenue by market",
+        "total order amount by customer city",
+    );
+    panel(
+        &nli,
+        "Revenue by product line",
+        "total order amount by product category",
+    );
     panel(&nli, "Order pipeline", "count of orders per status");
     panel(&nli, "Premium products", "top 5 products by price");
-    panel(&nli, "Big-ticket orders", "orders with amount above average");
+    panel(
+        &nli,
+        "Big-ticket orders",
+        "orders with amount above average",
+    );
     panel(&nli, "Dormant accounts", "customers without orders");
     panel(&nli, "Key accounts", "customers with more than 8 orders");
     panel(&nli, "Class of 2019", "customers who signed up in 2019");

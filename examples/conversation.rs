@@ -9,14 +9,18 @@
 use nlidb::dialogue::{ConversationSession, ManagerKind};
 use nlidb::prelude::*;
 
-fn run_session(db: &nlidb::engine::Database, ctx: &nlidb::core::pipeline::SchemaContext, kind: ManagerKind) {
+fn run_session(
+    db: &nlidb::engine::Database,
+    ctx: &nlidb::core::pipeline::SchemaContext,
+    kind: ManagerKind,
+) {
     println!("── manager: {} ──", kind.label());
     let mut session = ConversationSession::new(db, ctx, kind);
     let turns = [
         "show customers in Austin",
-        "what about Boston",          // slot refill — frame territory
+        "what about Boston", // slot refill — frame territory
         "how many of those are there",
-        "remove the filters please",  // user initiative — agent territory
+        "remove the filters please", // user initiative — agent territory
         "break that down by city",
     ];
     for t in turns {

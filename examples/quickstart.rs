@@ -51,7 +51,10 @@ fn main() {
             Err(e) => {
                 println!("   could not answer: {e}");
                 for (word, suggestions) in nli.suggest(q) {
-                    println!("   did you mean (for '{word}'): {}?", suggestions.join(", "));
+                    println!(
+                        "   did you mean (for '{word}'): {}?",
+                        suggestions.join(", ")
+                    );
                 }
             }
         }
@@ -65,7 +68,10 @@ fn main() {
         Ok(a) => println!("   SQL: {}", a.sql),
         Err(_) => {
             for (word, suggestions) in nli.suggest("total revenue by city") {
-                println!("   did you mean (for '{word}'): {}?", suggestions.join(", "));
+                println!(
+                    "   did you mean (for '{word}'): {}?",
+                    suggestions.join(", ")
+                );
             }
         }
     }

@@ -29,14 +29,21 @@ fn main() {
         .collect();
 
     let mut nli = NliPipeline::standard(&db);
-    println!("training the neural sketch model on {} examples…", train.len());
+    println!(
+        "training the neural sketch model on {} examples…",
+        train.len()
+    );
     nli.train_neural(&train, 9);
 
     // Held-out evaluation at two paraphrase intensities.
     let held_out = wikisql_like(&slots, 777, 60);
     let mut table = Table::new(["interpreter", "canonical", "heavy paraphrase"])
         .title("execution accuracy on 60 held-out questions");
-    for kind in [InterpreterKind::Entity, InterpreterKind::Neural, InterpreterKind::Hybrid] {
+    for kind in [
+        InterpreterKind::Entity,
+        InterpreterKind::Neural,
+        InterpreterKind::Hybrid,
+    ] {
         let mut canonical = EvalOutcome::default();
         let mut heavy = EvalOutcome::default();
         for (i, pair) in held_out.iter().enumerate() {

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# The full CI gate. Run from the repository root.
+#
+#   scripts/ci.sh
+#
+# Mirrors the acceptance bar for every PR: release build, full test
+# suite, clippy at zero warnings, rustfmt check. The workspace vendors
+# its three dependencies (crates/compat/*), so everything runs with
+# --offline and no registry access.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release --workspace --offline
+
+echo "== cargo test =="
+cargo test -q --workspace --offline
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "CI gate passed."

@@ -3,8 +3,8 @@
 //! Facade crate re-exporting the full reproduction stack described in
 //! `DESIGN.md`: the NLP substrate, SQL IR, in-memory relational engine,
 //! ontology layer, value index, learning substrate, the five
-//! interpreter families, the conversational layer, and the synthetic
-//! benchmark generators.
+//! interpreter families, the conversational layer, the synthetic
+//! benchmark generators, and the concurrent serving runtime.
 //!
 //! ## Quickstart
 //!
@@ -26,6 +26,7 @@ pub use nlidb_evalkit as evalkit;
 pub use nlidb_ml as ml;
 pub use nlidb_nlp as nlp;
 pub use nlidb_ontology as ontology;
+pub use nlidb_serve as serve;
 pub use nlidb_sqlir as sqlir;
 pub use nlidb_vindex as vindex;
 
@@ -35,6 +36,7 @@ pub mod prelude {
     pub use nlidb_core::{Interpretation, Interpreter};
     pub use nlidb_dialogue::session::ConversationSession;
     pub use nlidb_engine::{Database, Value};
+    pub use nlidb_serve::{Server, ServerConfig};
     pub use nlidb_sqlir::ast::Query;
     pub use nlidb_sqlir::complexity::{classify, ComplexityClass};
 }

@@ -16,7 +16,9 @@ fn wtq_answer_accuracy_end_to_end() {
     let nli = NliPipeline::standard(&db);
     let mut out = EvalOutcome::default();
     for ex in wtq_like(&db, &slots, 5, 40) {
-        let pred = nli.interpreter(InterpreterKind::Entity).best(&ex.question, nli.context());
+        let pred = nli
+            .interpreter(InterpreterKind::Entity)
+            .best(&ex.question, nli.context());
         match pred {
             Some(p) => {
                 let ok = execute(&db, &p.sql)
@@ -54,7 +56,10 @@ fn wikisql_suites_are_within_the_neural_sketch() {
     // interpreter trained on the full set must not end up untrained.
     let train: Vec<TrainingExample> = wikisql_like(&slots, 13, 80)
         .into_iter()
-        .map(|p| TrainingExample { question: p.question, sql: p.sql })
+        .map(|p| TrainingExample {
+            question: p.question,
+            sql: p.sql,
+        })
         .collect();
     let n = nlidb::core::neural::NeuralInterpreter::train(
         &train,
@@ -98,7 +103,10 @@ fn paraphrase_levels_degrade_gracefully_not_catastrophically() {
         let mut out = EvalOutcome::default();
         for (i, pair) in suite.iter().enumerate() {
             let q = paraphrase(&pair.question, &pair.protected, level, &lexicon, i as u64);
-            match nli.interpreter(InterpreterKind::Entity).best(&q, nli.context()) {
+            match nli
+                .interpreter(InterpreterKind::Entity)
+                .best(&q, nli.context())
+            {
                 Some(p) => out.record(
                     true,
                     nlidb::evalkit::execution_match(&db, &pair.sql, &p.sql),
@@ -111,5 +119,8 @@ fn paraphrase_levels_degrade_gracefully_not_catastrophically() {
     let l0 = acc(0);
     let l1 = acc(1);
     assert!(l0 > 0.85, "canonical accuracy too low: {l0}");
-    assert!(l1 > 0.5, "level-1 (lexicon synonyms) must be largely absorbed: {l1}");
+    assert!(
+        l1 > 0.5,
+        "level-1 (lexicon synonyms) must be largely absorbed: {l1}"
+    );
 }

@@ -22,8 +22,7 @@ fn completion_rate(kind_filter: SessionKind, manager: ManagerKind) -> f64 {
         let ok = s.turns.iter().all(|turn| {
             let r = conv.turn(&turn.utterance);
             let gold = execute(&db, &turn.gold).unwrap();
-            r.accepted
-                && r.result.map(|rs| gold.unordered_eq(&rs)).unwrap_or(false)
+            r.accepted && r.result.map(|rs| gold.unordered_eq(&rs)).unwrap_or(false)
         });
         if ok {
             completed += 1;
@@ -45,8 +44,14 @@ fn agent_completes_every_session_shape() {
 
 #[test]
 fn finite_state_completes_only_its_script() {
-    assert_eq!(completion_rate(SessionKind::Scripted, ManagerKind::FiniteState), 1.0);
-    assert_eq!(completion_rate(SessionKind::SlotRefill, ManagerKind::FiniteState), 0.0);
+    assert_eq!(
+        completion_rate(SessionKind::Scripted, ManagerKind::FiniteState),
+        1.0
+    );
+    assert_eq!(
+        completion_rate(SessionKind::SlotRefill, ManagerKind::FiniteState),
+        0.0
+    );
     assert_eq!(
         completion_rate(SessionKind::UserInitiative, ManagerKind::FiniteState),
         0.0
@@ -55,8 +60,14 @@ fn finite_state_completes_only_its_script() {
 
 #[test]
 fn frame_sits_between() {
-    assert_eq!(completion_rate(SessionKind::Scripted, ManagerKind::Frame), 1.0);
-    assert_eq!(completion_rate(SessionKind::SlotRefill, ManagerKind::Frame), 1.0);
+    assert_eq!(
+        completion_rate(SessionKind::Scripted, ManagerKind::Frame),
+        1.0
+    );
+    assert_eq!(
+        completion_rate(SessionKind::SlotRefill, ManagerKind::Frame),
+        1.0
+    );
     assert_eq!(
         completion_rate(SessionKind::UserInitiative, ManagerKind::Frame),
         0.0

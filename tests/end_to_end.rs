@@ -14,7 +14,10 @@ fn entity_interpreter_solves_canonical_suites_in_every_domain() {
         let suite = spider_like(&slots, 7, 32);
         let mut out = EvalOutcome::default();
         for pair in &suite {
-            match nli.interpreter(InterpreterKind::Entity).best(&pair.question, nli.context()) {
+            match nli
+                .interpreter(InterpreterKind::Entity)
+                .best(&pair.question, nli.context())
+            {
                 Some(p) => out.record(true, execution_match(&db, &pair.sql, &p.sql)),
                 None => out.record(false, false),
             }
@@ -37,8 +40,14 @@ fn capability_ladder_holds_by_construction() {
         // Keyword never exceeds selection; pattern never exceeds
         // aggregation; nobody but entity/hybrid produces nesting.
         for (kind, ceiling) in [
-            (InterpreterKind::Keyword, ComplexityClass::SingleTableSelection),
-            (InterpreterKind::Pattern, ComplexityClass::SingleTableAggregation),
+            (
+                InterpreterKind::Keyword,
+                ComplexityClass::SingleTableSelection,
+            ),
+            (
+                InterpreterKind::Pattern,
+                ComplexityClass::SingleTableAggregation,
+            ),
         ] {
             if let Some(p) = nli.interpreter(kind).best(&pair.question, nli.context()) {
                 assert!(
@@ -115,7 +124,8 @@ fn suggestions_guide_vocabulary_gaps() {
     // "territory" reaches "city" through the location hypernym.
     let s = nli.suggest("customers by territory");
     assert!(
-        s.iter().any(|(w, sugg)| w == "territory" && sugg.iter().any(|x| x == "city")),
+        s.iter()
+            .any(|(w, sugg)| w == "territory" && sugg.iter().any(|x| x == "city")),
         "{s:?}"
     );
     // Fully-linked questions produce no suggestions; mild typos link

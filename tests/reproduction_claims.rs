@@ -116,8 +116,11 @@ fn claim_paraphrase_brittleness() {
         neural_l3 += accuracy(&nli, db, InterpreterKind::Neural, &at_level(3));
         n_domains += 1.0;
     }
-    let (entity_l0, entity_l3, neural_l3) =
-        (entity_l0 / n_domains, entity_l3 / n_domains, neural_l3 / n_domains);
+    let (entity_l0, entity_l3, neural_l3) = (
+        entity_l0 / n_domains,
+        entity_l3 / n_domains,
+        neural_l3 / n_domains,
+    );
     assert!(
         entity_l0 - entity_l3 > 0.1,
         "paraphrase must hurt the entity reading ({entity_l0:.2} → {entity_l3:.2})"
