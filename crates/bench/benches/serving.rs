@@ -1,16 +1,27 @@
 //! B6 — serving throughput scaling across worker counts.
 //!
-//! Two regimes per worker count (1, 2, 4), both replaying the same
+//! Four regimes per worker count (1, 2, 4), all replaying the same
 //! seeded 64-request stream closed-loop through a warm server:
 //!
-//! * `pure-cpu` — interpretation work only. Scaling here is bounded by
-//!   the number of hardware threads; on a single-core host the curve
-//!   is flat (workers only add handoff overhead).
-//! * `stall-1ms` — a 1 ms per-request stall injected through the
-//!   server's request hook, standing in for the external-database
-//!   round-trip a production NLIDB front-end waits on. Workers overlap
-//!   stalls, so throughput scales with the pool even on one core —
-//!   the latency-hiding case the serving runtime exists for.
+//! * `pure-cpu` — interpretation work only, warm interpretation cache.
+//!   Scaling here is bounded by the number of hardware threads; on a
+//!   single-core host the curve is flat (workers only add handoff
+//!   overhead).
+//! * `pure-cpu-uncached` — the same work with the interpretation cache
+//!   off: every request pays full interpretation. The baseline the two
+//!   backend-touching regimes below are compared against.
+//! * `stall-1ms` — a 1 ms per-interpretation stall injected through
+//!   the server's request hook, standing in for the external-database
+//!   round-trip a production NLIDB front-end waits on. Cache hits
+//!   bypass the hook (a replayed answer touches no backend), so this
+//!   regime runs uncached to stall on every request. Workers overlap
+//!   stalls, so throughput scales with the pool even on one core — the
+//!   latency-hiding case the serving runtime exists for.
+//! * `faulted` — the default seeded fault schedule (≈10% transient,
+//!   ≈5% fatal) wrapped periodically so every warm replay
+//!   re-experiences the same faults, uncached for the same reason: the
+//!   steady-state cost of retries + degradation relative to
+//!   `pure-cpu-uncached`.
 //!
 //! The stall uses wall-clock sleep *in the bench harness only*; the
 //! serving library itself never reads a clock it wasn't given.
@@ -19,10 +30,14 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use nlidb_benchdata::{derive_slots, request_stream, retail_database, RequestSpec};
+use nlidb_benchdata::{
+    derive_slots, request_stream, retail_database, FaultPlan, FaultRates, RequestSpec,
+};
 use nlidb_core::pipeline::{NliPipeline, SchemaContext};
 use nlidb_ontology::JoinPathCache;
-use nlidb_serve::{run_closed_loop, Clock, ManualClock, RequestHook, Server, ServerConfig};
+use nlidb_serve::{
+    fault_plan_hook, run_closed_loop, Clock, ManualClock, RequestHook, Server, ServerConfig,
+};
 
 const REQUESTS: usize = 64;
 
@@ -42,7 +57,12 @@ fn build_stream() -> Vec<RequestSpec> {
     request_stream(&slots, 42, REQUESTS, 0.0)
 }
 
-fn bench_regime(c: &mut Criterion, name: &str, hook: fn() -> Option<RequestHook>) {
+fn bench_regime(
+    c: &mut Criterion,
+    name: &str,
+    interp_cache: usize,
+    hook: fn() -> Option<RequestHook>,
+) {
     let pipeline = build_pipeline();
     let stream = build_stream();
     let mut group = c.benchmark_group(name);
@@ -56,8 +76,9 @@ fn bench_regime(c: &mut Criterion, name: &str, hook: fn() -> Option<RequestHook>
             ServerConfig {
                 workers,
                 queue_capacity: REQUESTS,
-                interp_cache: 256,
+                interp_cache,
                 service_estimate: 1,
+                ..ServerConfig::default()
             },
             clock.clone() as Arc<dyn Clock>,
             hook(),
@@ -76,14 +97,29 @@ fn bench_regime(c: &mut Criterion, name: &str, hook: fn() -> Option<RequestHook>
 }
 
 fn serving_pure_cpu(c: &mut Criterion) {
-    bench_regime(c, "b6-serving/pure-cpu", || None);
+    bench_regime(c, "b6-serving/pure-cpu", 256, || None);
+    bench_regime(c, "b6-serving/pure-cpu-uncached", 0, || None);
 }
 
 fn serving_stall(c: &mut Criterion) {
-    bench_regime(c, "b6-serving/stall-1ms", || {
-        Some(Box::new(|| std::thread::sleep(Duration::from_millis(1))))
+    bench_regime(c, "b6-serving/stall-1ms", 0, || {
+        Some(Box::new(|_ctx| {
+            std::thread::sleep(Duration::from_millis(1));
+            None
+        }))
     });
 }
 
-criterion_group!(benches, serving_pure_cpu, serving_stall);
+fn serving_faulted(c: &mut Criterion) {
+    bench_regime(c, "b6-serving/faulted", 0, || {
+        // Periodic so the warm server's ever-increasing request ids
+        // wrap onto the same 64-id schedule every replay.
+        Some(fault_plan_hook(
+            FaultPlan::seeded(42, REQUESTS as u64, &FaultRates::default())
+                .periodic(REQUESTS as u64),
+        ))
+    });
+}
+
+criterion_group!(benches, serving_pure_cpu, serving_stall, serving_faulted);
 criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! The reproduction harness CLI.
 //!
 //! ```text
-//! experiments                 # run all of E1–E12
+//! experiments                 # run all of E1–E13
 //! experiments --exp e2        # run one experiment
 //! experiments --seed 7        # change the global seed
 //! ```

@@ -1,4 +1,4 @@
-//! The reproduction experiments E1–E12 (see `EXPERIMENTS.md`).
+//! The reproduction experiments E1–E13 (see `EXPERIMENTS.md`).
 //!
 //! The paper is a tutorial: it publishes claims, not tables. Each
 //! experiment here operationalizes one claim into a measured table;
@@ -22,8 +22,8 @@ use nlidb_sqlir::ComplexityClass;
 use crate::workloads::{evaluate, paraphrased, setup_domain, DomainSetup};
 
 /// All experiment identifiers, in order.
-pub const EXPERIMENT_IDS: [&str; 12] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
+pub const EXPERIMENT_IDS: [&str; 13] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
 ];
 
 /// Run one experiment by id; `None` for unknown ids.
@@ -41,6 +41,7 @@ pub fn run_experiment(id: &str, seed: u64) -> Option<Table> {
         "e10" => Some(e10_ontology_bootstrap(seed)),
         "e11" => Some(e11_answer_denotation(seed)),
         "e12" => Some(e12_serving_runtime(seed)),
+        "e13" => Some(e13_fault_injection(seed)),
         _ => None,
     }
 }
@@ -773,6 +774,7 @@ fn e12_serve_run(
             queue_capacity,
             interp_cache,
             service_estimate: 1,
+            ..ServerConfig::default()
         },
         clock.clone() as Arc<dyn Clock>,
     );
@@ -823,6 +825,11 @@ pub fn e12_serving_runtime(seed: u64) -> Table {
                 "yes".to_string()
             }
         };
+        let interp_cell = if m.cache_disabled {
+            "off".to_string()
+        } else {
+            pct(m.interp_hit_rate())
+        };
         t.row([
             label.to_string(),
             workers.to_string(),
@@ -831,7 +838,7 @@ pub fn e12_serving_runtime(seed: u64) -> Table {
             m.session_turns.to_string(),
             m.shed_full.to_string(),
             m.shed_deadline.to_string(),
-            pct(m.interp_hit_rate()),
+            interp_cell,
             pct(j.hit_rate()),
             equiv,
         ]);
@@ -848,13 +855,12 @@ pub fn e12_serving_runtime(seed: u64) -> Table {
             Some(&serial_sigs),
         );
     }
-    // Interp cache off: same answers, nothing counted — transparency.
+    // Interp cache off: same answers; lookups are still counted as
+    // misses but the snapshot carries the explicit disabled flag.
     let (sigs, m, j) = e12_serve_run("retail", seed, N, 0.25, 4, N, 0, 1, None, BATCH);
-    assert_eq!(
-        m.interp_hits + m.interp_misses,
-        0,
-        "disabled cache must count nothing"
-    );
+    assert!(m.cache_disabled, "interp_cache=0 must flag the snapshot");
+    assert_eq!(m.interp_hits, 0, "disabled cache can never hit");
+    assert!(m.interp_misses > 0, "lookups are counted even when off");
     row("mixed, interp off", 4, &sigs, &m, &j, Some(&serial_sigs));
     // Hot replay: a second identical pass over a warm server.
     let (sigs2, m, j) = e12_serve_run("retail", seed, N, 0.0, 2, N, 256, 2, None, BATCH);
@@ -878,6 +884,191 @@ pub fn e12_serving_runtime(seed: u64) -> Table {
         m.shed_full + m.shed_deadline > 0,
         "E12 backpressure row must actually shed"
     );
+    t
+}
+
+/// One E13 serving pass over the retail domain under `plan`: the same
+/// seeded mixed stream E12 replays, through a 2-worker server with the
+/// plan threaded in as the request hook. Returns (signatures, ids of
+/// requests answered fresh — i.e. requests that actually reached the
+/// fault hook — and final metrics).
+fn e13_serve_run(
+    seed: u64,
+    n: usize,
+    plan: nlidb_benchdata::FaultPlan,
+) -> (Vec<String>, Vec<u64>, nlidb_serve::MetricsSnapshot) {
+    use nlidb_core::pipeline::NliPipeline;
+    use nlidb_serve::{
+        fault_plan_hook, run_closed_loop, Clock, Disposition, ManualClock, Server, ServerConfig,
+    };
+    use std::sync::Arc;
+
+    let db = nlidb_benchdata::domain_database("retail", seed);
+    let slots = derive_slots(&db);
+    let pipeline = Arc::new(NliPipeline::standard(&db));
+    let stream = nlidb_benchdata::request_stream(&slots, seed, n, 0.25);
+    let clock = Arc::new(ManualClock::new());
+    let mut server = Server::start_with_hook(
+        pipeline,
+        ServerConfig {
+            workers: 2,
+            queue_capacity: n,
+            ..ServerConfig::default()
+        },
+        clock.clone() as Arc<dyn Clock>,
+        Some(fault_plan_hook(plan)),
+    );
+    let report = run_closed_loop(&mut server, &clock, &stream, 16);
+    let fresh = report
+        .completions
+        .iter()
+        .filter(|c| {
+            matches!(
+                c.disposition,
+                Disposition::Answered {
+                    from_cache: false,
+                    ..
+                }
+            )
+        })
+        .map(|c| c.id)
+        .collect();
+    (report.signatures(), fresh, server.shutdown())
+}
+
+/// E13 — deterministic fault injection & graceful degradation: the §4
+/// "families fail differently" claim under serving-path failure. Every
+/// regime is run twice and asserted bit-identical in both its
+/// signature stream and its metrics snapshot; transient faults inside
+/// the retry budget must additionally leave the stream byte-identical
+/// to the unfaulted run (the robustness layer is transparent when it
+/// has absorbed the fault). Fatal faults degrade down the family
+/// ladder, bursts trip circuit breakers, and a worker panic is
+/// contained — the run still completes, with the losses surfaced as
+/// refusals.
+pub fn e13_fault_injection(seed: u64) -> Table {
+    use nlidb_benchdata::{FaultKind, FaultPlan, FaultRates};
+    nlidb_serve::silence_worker_panics();
+    let mut t = Table::new([
+        "fault regime",
+        "answered",
+        "degraded",
+        "refused",
+        "retries",
+        "backoff",
+        "trips",
+        "deaths",
+        "crashed",
+        "== clean",
+    ])
+    .title("E13 — deterministic fault injection & graceful degradation (retail, seeded stream)");
+    const N: usize = 120;
+    // The clean pass identifies which requests actually reach the
+    // fault hook: fresh singles (cache hits replay a stored answer and
+    // touch no backend; session turns take the session path). Pinning
+    // the guarantee-carrying faults on fresh ids makes every regime's
+    // assertion hold at *any* seed — a faulted run's cache contents
+    // are always a subset of the clean run's (faults only ever prevent
+    // caching), so a clean-run fresh single stays fresh under faults.
+    let (clean_sigs, fresh, clean_m) = e13_serve_run(seed, N, FaultPlan::none());
+    assert!(
+        fresh.len() >= 14,
+        "E13 needs fresh singles to pin faults on ({} found)",
+        fresh.len()
+    );
+    // An outage window: every id from the first fresh single through
+    // the twelfth faults fatally at rung 0. Pinning the whole window
+    // (cache hits never consult the hook, so the extra pins are inert
+    // on replayed answers) means no healthy request can reach rung 0
+    // inside it and reset a breaker's failure streak: with ≥12 rung-0
+    // failures across 2 workers, one worker sees ≥6 consecutive,
+    // clearing the trip threshold of 3 at any seed.
+    let burst = {
+        let mut p = FaultPlan::none();
+        for id in fresh[0]..=fresh[11] {
+            p = p.with(id, FaultKind::Fatal { depth: 1 });
+        }
+        p
+    };
+    let regimes: Vec<(&str, FaultPlan)> = vec![
+        ("none", FaultPlan::none()),
+        (
+            "transient 20% (in budget)",
+            FaultPlan::seeded(
+                seed,
+                N as u64,
+                &FaultRates {
+                    transient: 0.2,
+                    fatal: 0.0,
+                    ..FaultRates::default()
+                },
+            )
+            .with(fresh[12], FaultKind::Transient { failures: 2 }),
+        ),
+        (
+            "mixed 10%/5% + pinned fatal",
+            FaultPlan::seeded(seed, N as u64, &FaultRates::default())
+                .with(fresh[12], FaultKind::Fatal { depth: 1 }),
+        ),
+        ("fatal outage window", burst),
+        (
+            "mixed + pinned worker panic",
+            FaultPlan::seeded(seed, N as u64, &FaultRates::default())
+                .with(fresh[13], FaultKind::WorkerPanic),
+        ),
+    ];
+    for (label, plan) in regimes {
+        let (sigs, _, m) = e13_serve_run(seed, N, plan.clone());
+        let (sigs2, _, m2) = e13_serve_run(seed, N, plan);
+        assert_eq!(
+            sigs, sigs2,
+            "E13 {label}: signature stream must replay bit-identically"
+        );
+        assert_eq!(
+            m, m2,
+            "E13 {label}: metrics snapshot must replay bit-identically"
+        );
+        match label {
+            "none" => assert_eq!(sigs, clean_sigs, "E13 baseline must equal itself"),
+            "transient 20% (in budget)" => {
+                assert_eq!(
+                    sigs, clean_sigs,
+                    "E13: absorbed transients must be invisible in the stream"
+                );
+                assert!(m.retries > 0, "E13: transient regime must actually retry");
+                assert_eq!(m.degraded, 0, "E13: in-budget transients never degrade");
+            }
+            "mixed 10%/5% + pinned fatal" => {
+                // The pinned fresh request cannot come back full
+                // fidelity: it either degrades down the ladder or the
+                // ladder exhausts and it refuses.
+                assert!(
+                    m.degraded > 0 || m.refused > clean_m.refused,
+                    "E13: a fatal fault on a fresh request must degrade or refuse"
+                )
+            }
+            "fatal outage window" => {
+                assert!(m.breaker_trips > 0, "E13: the outage must trip a breaker")
+            }
+            "mixed + pinned worker panic" => {
+                assert!(m.worker_deaths >= 1, "E13: the panic must be recorded");
+                assert!(m.crashed_requests >= 1, "E13: crash losses must surface");
+            }
+            _ => unreachable!(),
+        }
+        t.row([
+            label.to_string(),
+            m.answered.to_string(),
+            m.degraded.to_string(),
+            m.refused.to_string(),
+            m.retries.to_string(),
+            m.retry_backoff_ticks.to_string(),
+            m.breaker_trips.to_string(),
+            m.worker_deaths.to_string(),
+            m.crashed_requests.to_string(),
+            if sigs == clean_sigs { "yes" } else { "no" }.to_string(),
+        ]);
+    }
     t
 }
 

@@ -21,11 +21,14 @@
 //!   CoSQL-like dialogues with per-turn gold SQL,
 //! * [`requests`] — interleaved serving streams (hot-question skew +
 //!   in-order conversation turns) for the `nlidb-serve` runtime,
+//! * [`faults`] — seeded fault schedules (transient / fatal / worker
+//!   panic) for rehearsing serving-path failure deterministically,
 //! * [`stats`] — dataset statistics harness mirroring the counts the
 //!   paper reports for the real benchmarks.
 //!
 //! Everything is deterministic under a `u64` seed.
 
+pub mod faults;
 pub mod paraphrase;
 pub mod requests;
 pub mod schemas;
@@ -35,6 +38,7 @@ pub mod stats;
 pub mod templates;
 pub mod wtq;
 
+pub use faults::{FaultKind, FaultPlan, FaultRates};
 pub use paraphrase::paraphrase;
 pub use requests::{request_stream, RequestSpec};
 pub use schemas::{

@@ -69,6 +69,40 @@ impl Capabilities {
             nested: false,
         }
     }
+
+    /// The WikiSQL sketch regime: single-table aggregation without
+    /// ORDER BY — the learned family's structural reach.
+    pub fn wikisql_sketch() -> Capabilities {
+        Capabilities {
+            aggregation: true,
+            ordering: false,
+            joins: false,
+            nested: false,
+        }
+    }
+
+    /// The paper-faithful ceiling of each family (the masks E1 and the
+    /// reproduction-claims tests assert; the graceful-degradation
+    /// ladder relies on them to bound what a fallback may answer).
+    pub fn of(kind: InterpreterKind) -> Capabilities {
+        match kind {
+            InterpreterKind::Keyword => Capabilities::selection_only(),
+            InterpreterKind::Pattern => Capabilities::single_table_patterns(),
+            InterpreterKind::Neural => Capabilities::wikisql_sketch(),
+            InterpreterKind::Entity | InterpreterKind::Hybrid => Capabilities::full(),
+        }
+    }
+
+    /// Whether a query of this §3 complexity rung is inside the mask.
+    pub fn permits(&self, class: nlidb_sqlir::ComplexityClass) -> bool {
+        use nlidb_sqlir::ComplexityClass::*;
+        match class {
+            SingleTableSelection => true,
+            SingleTableAggregation => self.aggregation || self.ordering,
+            MultiTableJoin => self.joins,
+            NestedSubquery => self.nested,
+        }
+    }
 }
 
 /// Convert a measured float into the tightest SQL literal.

@@ -19,11 +19,14 @@
 //! (ATHENA's OQL) that the entity-based interpreters emit before SQL
 //! translation. [`clarify`] implements NaLIR/DialSQL-style multi-choice
 //! clarification, and [`pipeline`] wires everything into a one-call
-//! facade.
+//! facade. [`fallback`] turns the family ordering into a graceful
+//! degradation ladder for serving layers: when a preferred family is
+//! faulted, answer with the next family down and say so.
 
 pub mod clarify;
 pub mod entity;
 pub mod error;
+pub mod fallback;
 pub mod hybrid;
 pub mod interpretation;
 pub mod keyword;
@@ -35,6 +38,7 @@ pub mod pipeline;
 pub mod signals;
 
 pub use error::InterpretError;
+pub use fallback::{degradation_ladder, Degraded};
 pub use interpretation::{Interpretation, Interpreter, InterpreterKind};
 pub use oql::{Oql, OqlExpr, OqlPredicate, PropRef};
 pub use pipeline::{NliPipeline, SchemaContext};

@@ -28,22 +28,34 @@
 //!   [`MetricsSnapshot`].
 //! * [`loadgen`] — a seeded closed-loop driver replaying
 //!   [`nlidb_benchdata::request_stream`] workloads batch by batch.
+//! * [`fault`] / [`retry`] — the robustness layer: seeded fault
+//!   injection through the request hook, retry with logical backoff,
+//!   per-interpreter circuit breakers, graceful degradation down the
+//!   §4 family ladder, and contained worker panics.
 //!
 //! Experiment E12 asserts the payoff: at seed 42, the completion
 //! stream of a 4-worker server is signature-identical to a 1-worker
 //! server (and to itself with caches disabled), while the caches
-//! absorb most repeat traffic.
+//! absorb most repeat traffic. E13 extends the claim to failure:
+//! under a seeded fault schedule the full completion stream and
+//! metrics snapshot are bit-identical run over run, and transient
+//! faults absorbed by the retry budget leave the stream byte-identical
+//! to the unfaulted run.
 
 pub mod clock;
+pub mod fault;
 pub mod loadgen;
 pub mod lru;
 pub mod metrics;
+pub mod retry;
 pub mod server;
 
 pub use clock::{Clock, ManualClock};
+pub use fault::{fault_plan_hook, silence_worker_panics, HookCtx, InjectedFault};
 pub use loadgen::{run_closed_loop, with_deadlines, LoadReport};
 pub use lru::LruCache;
 pub use metrics::{MetricsSnapshot, ServeMetrics};
+pub use retry::{BreakerPolicy, CircuitBreaker, RetryPolicy};
 pub use server::{
     normalize_question, Admission, Completion, Disposition, RequestHook, Server, ServerConfig,
 };

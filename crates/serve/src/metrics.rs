@@ -30,17 +30,40 @@ pub struct ServeMetrics {
     pub session_turns: AtomicU64,
     /// Interpretation-cache hits.
     pub interp_hits: AtomicU64,
-    /// Interpretation-cache misses (computed the slow way).
+    /// Interpretation-cache misses — every lookup that was not a hit,
+    /// counted whether or not a cache is configured, so the hit rate
+    /// is meaningful (and distinguishable from "no lookups") even with
+    /// the cache disabled.
     pub interp_misses: AtomicU64,
     /// Highest per-worker queue depth observed at admission time.
     pub max_queue_depth: AtomicU64,
+    /// Transient-fault retries performed.
+    pub retries: AtomicU64,
+    /// Logical backoff ticks accounted to those retries (never slept).
+    pub retry_backoff_ticks: AtomicU64,
+    /// Circuit-breaker open transitions.
+    pub breaker_trips: AtomicU64,
+    /// Ladder rungs skipped because their breaker was open.
+    pub breaker_skips: AtomicU64,
+    /// Questions answered by a weaker family after the preferred one
+    /// faulted (not included in `answered`).
+    pub degraded: AtomicU64,
+    /// Worker threads that panicked and were contained.
+    pub worker_deaths: AtomicU64,
+    /// Requests lost to a dead worker: the request it panicked on plus
+    /// everything routed to it afterwards (all surface as `Refused`).
+    pub crashed_requests: AtomicU64,
+    /// Whether this server runs with the interpretation cache off
+    /// (`interp_cache = 0`) — lets snapshot readers tell "cache
+    /// disabled" from "cache enabled but cold".
+    pub cache_disabled: bool,
     /// Requests completed per worker.
     pub per_worker: Vec<AtomicU64>,
 }
 
 impl ServeMetrics {
     /// Zeroed counters for `workers` workers.
-    pub fn new(workers: usize) -> ServeMetrics {
+    pub fn new(workers: usize, cache_disabled: bool) -> ServeMetrics {
         ServeMetrics {
             submitted: AtomicU64::new(0),
             admitted: AtomicU64::new(0),
@@ -52,6 +75,14 @@ impl ServeMetrics {
             interp_hits: AtomicU64::new(0),
             interp_misses: AtomicU64::new(0),
             max_queue_depth: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            retry_backoff_ticks: AtomicU64::new(0),
+            breaker_trips: AtomicU64::new(0),
+            breaker_skips: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            worker_deaths: AtomicU64::new(0),
+            crashed_requests: AtomicU64::new(0),
+            cache_disabled,
             per_worker: (0..workers).map(|_| AtomicU64::new(0)).collect(),
         }
     }
@@ -74,6 +105,14 @@ impl ServeMetrics {
             interp_hits: self.interp_hits.load(Ordering::Relaxed),
             interp_misses: self.interp_misses.load(Ordering::Relaxed),
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            retry_backoff_ticks: self.retry_backoff_ticks.load(Ordering::Relaxed),
+            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
+            breaker_skips: self.breaker_skips.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            worker_deaths: self.worker_deaths.load(Ordering::Relaxed),
+            crashed_requests: self.crashed_requests.load(Ordering::Relaxed),
+            cache_disabled: self.cache_disabled,
             per_worker: self
                 .per_worker
                 .iter()
@@ -107,6 +146,22 @@ pub struct MetricsSnapshot {
     pub interp_misses: u64,
     /// See [`ServeMetrics::max_queue_depth`].
     pub max_queue_depth: u64,
+    /// See [`ServeMetrics::retries`].
+    pub retries: u64,
+    /// See [`ServeMetrics::retry_backoff_ticks`].
+    pub retry_backoff_ticks: u64,
+    /// See [`ServeMetrics::breaker_trips`].
+    pub breaker_trips: u64,
+    /// See [`ServeMetrics::breaker_skips`].
+    pub breaker_skips: u64,
+    /// See [`ServeMetrics::degraded`].
+    pub degraded: u64,
+    /// See [`ServeMetrics::worker_deaths`].
+    pub worker_deaths: u64,
+    /// See [`ServeMetrics::crashed_requests`].
+    pub crashed_requests: u64,
+    /// See [`ServeMetrics::cache_disabled`].
+    pub cache_disabled: bool,
     /// See [`ServeMetrics::per_worker`].
     pub per_worker: Vec<u64>,
 }
@@ -144,12 +199,34 @@ impl fmt::Display for MetricsSnapshot {
             "answered {}  refused {}  session-turns {}  max-depth {}",
             self.answered, self.refused, self.session_turns, self.max_queue_depth
         )?;
+        if self.cache_disabled {
+            writeln!(
+                f,
+                "interp-cache off ({} lookups bypassed)",
+                self.interp_misses
+            )?;
+        } else {
+            writeln!(
+                f,
+                "interp-cache {} hits / {} misses ({:.1}% hit)",
+                self.interp_hits,
+                self.interp_misses,
+                self.interp_hit_rate() * 100.0
+            )?;
+        }
         writeln!(
             f,
-            "interp-cache {} hits / {} misses ({:.1}% hit)",
-            self.interp_hits,
-            self.interp_misses,
-            self.interp_hit_rate() * 100.0
+            "faults: retries {} (backoff {} ticks)  degraded {}  breaker trips {} / skips {}",
+            self.retries,
+            self.retry_backoff_ticks,
+            self.degraded,
+            self.breaker_trips,
+            self.breaker_skips
+        )?;
+        writeln!(
+            f,
+            "worker deaths {}  crashed requests {}",
+            self.worker_deaths, self.crashed_requests
         )?;
         write!(f, "per-worker {:?}", self.per_worker)
     }
@@ -161,7 +238,7 @@ mod tests {
 
     #[test]
     fn snapshot_copies_counters() {
-        let m = ServeMetrics::new(2);
+        let m = ServeMetrics::new(2, false);
         m.submitted.fetch_add(3, Ordering::Relaxed);
         m.interp_hits.fetch_add(1, Ordering::Relaxed);
         m.interp_misses.fetch_add(1, Ordering::Relaxed);
@@ -177,16 +254,36 @@ mod tests {
 
     #[test]
     fn rates_default_to_zero() {
-        let s = ServeMetrics::new(1).snapshot();
+        let s = ServeMetrics::new(1, false).snapshot();
         assert_eq!(s.interp_hit_rate(), 0.0);
         assert_eq!(s.shed_rate(), 0.0);
     }
 
     #[test]
     fn display_mentions_every_section() {
-        let text = ServeMetrics::new(2).snapshot().to_string();
-        for needle in ["submitted", "shed", "interp-cache", "per-worker"] {
+        let text = ServeMetrics::new(2, false).snapshot().to_string();
+        for needle in [
+            "submitted",
+            "shed",
+            "interp-cache",
+            "faults:",
+            "worker deaths",
+            "per-worker",
+        ] {
             assert!(text.contains(needle), "missing {needle} in {text}");
         }
+    }
+
+    #[test]
+    fn disabled_cache_is_distinguishable_from_cold() {
+        let off = ServeMetrics::new(1, true);
+        off.interp_misses.fetch_add(4, Ordering::Relaxed);
+        let s = off.snapshot();
+        assert!(s.cache_disabled);
+        assert_eq!(s.interp_misses, 4, "lookups are still counted");
+        assert!(s.to_string().contains("interp-cache off"));
+        let cold = ServeMetrics::new(1, false).snapshot();
+        assert!(!cold.cache_disabled);
+        assert!(cold.to_string().contains("0.0% hit"));
     }
 }

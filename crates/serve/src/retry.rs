@@ -1,0 +1,235 @@
+//! Deterministic retry budgets and per-interpreter circuit breakers.
+//!
+//! Both mechanisms are expressed in *logical* units so they compose
+//! with the manual clock: a retry's backoff is accounted as ticks in a
+//! metric (never slept), and a breaker's cooldown is counted in
+//! requests it turns away (never in elapsed time). Because each worker
+//! owns its breakers and the request→worker mapping is deterministic,
+//! the whole failure-handling state machine replays identically run
+//! over run.
+
+/// Retry budget for transient faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries allowed after the first attempt (0 disables retrying).
+    pub max_retries: u32,
+    /// Backoff for the `n`-th retry is `backoff_base << n` ticks,
+    /// accounted in `retry_backoff_ticks` — logical time only.
+    pub backoff_base: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 2,
+            backoff_base: 1,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff charged for retry number `attempt` (0-based): an
+    /// exponential `base << attempt`, saturating.
+    pub fn backoff(&self, attempt: u32) -> u64 {
+        self.backoff_base
+            .saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX))
+    }
+}
+
+/// Trip/cooldown thresholds for a [`CircuitBreaker`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerPolicy {
+    /// Consecutive infrastructure failures that open the circuit (≥ 1).
+    pub threshold: u32,
+    /// Requests turned away while open before a half-open probe.
+    pub cooldown: u32,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> BreakerPolicy {
+        BreakerPolicy {
+            threshold: 3,
+            cooldown: 8,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    Closed,
+    /// Turning requests away; `remaining` more skips until a probe.
+    Open {
+        remaining: u32,
+    },
+    /// One probe request is being allowed through.
+    HalfOpen,
+}
+
+/// A per-(worker, interpreter-family) circuit breaker.
+///
+/// Counts *infrastructure* failures only — a semantic refusal means
+/// the family is healthy and resets the streak. After `threshold`
+/// consecutive failures the circuit opens: the next `cooldown`
+/// requests skip this family outright (falling further down the
+/// ladder), then one probe is allowed through; its outcome decides
+/// between closing and re-opening.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    policy: BreakerPolicy,
+    state: BreakerState,
+    consecutive_failures: u32,
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker under `policy`.
+    pub fn new(policy: BreakerPolicy) -> CircuitBreaker {
+        CircuitBreaker {
+            policy: BreakerPolicy {
+                threshold: policy.threshold.max(1),
+                ..policy
+            },
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            trips: 0,
+        }
+    }
+
+    /// Whether the next request may try this family. `false` counts
+    /// down the open cooldown; when it reaches zero the breaker moves
+    /// to half-open and the following call allows a probe.
+    pub fn allow(&mut self) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open { remaining } => {
+                if remaining <= 1 {
+                    self.state = BreakerState::HalfOpen;
+                } else {
+                    self.state = BreakerState::Open {
+                        remaining: remaining - 1,
+                    };
+                }
+                false
+            }
+        }
+    }
+
+    /// Record a healthy outcome (an answer *or* a semantic refusal).
+    pub fn on_success(&mut self) {
+        self.state = BreakerState::Closed;
+        self.consecutive_failures = 0;
+    }
+
+    /// Record an infrastructure failure. Returns `true` when this
+    /// failure tripped the circuit open.
+    pub fn on_failure(&mut self) -> bool {
+        match self.state {
+            BreakerState::HalfOpen => {
+                self.open();
+                true
+            }
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.policy.threshold {
+                    self.open();
+                    true
+                } else {
+                    false
+                }
+            }
+            // Failures reported while open (e.g. from an attempt that
+            // started before the trip) don't re-trip.
+            BreakerState::Open { .. } => false,
+        }
+    }
+
+    fn open(&mut self) {
+        self.state = BreakerState::Open {
+            remaining: self.policy.cooldown.max(1),
+        };
+        self.consecutive_failures = 0;
+        self.trips += 1;
+    }
+
+    /// Times the circuit has opened.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Whether the breaker is currently turning requests away.
+    pub fn is_open(&self) -> bool {
+        matches!(self.state, BreakerState::Open { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_exponential_and_saturating() {
+        let p = RetryPolicy {
+            max_retries: 3,
+            backoff_base: 2,
+        };
+        assert_eq!(p.backoff(0), 2);
+        assert_eq!(p.backoff(1), 4);
+        assert_eq!(p.backoff(2), 8);
+        assert_eq!(p.backoff(200), u64::MAX, "saturates, never wraps");
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_consecutive_failures() {
+        let mut b = CircuitBreaker::new(BreakerPolicy {
+            threshold: 3,
+            cooldown: 2,
+        });
+        assert!(!b.on_failure());
+        assert!(!b.on_failure());
+        assert!(b.allow(), "still closed below threshold");
+        assert!(b.on_failure(), "third consecutive failure trips");
+        assert!(b.is_open());
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn success_resets_the_streak() {
+        let mut b = CircuitBreaker::new(BreakerPolicy {
+            threshold: 2,
+            cooldown: 2,
+        });
+        b.on_failure();
+        b.on_success();
+        assert!(!b.on_failure(), "streak restarted from zero");
+        assert!(!b.is_open());
+    }
+
+    #[test]
+    fn cooldown_counts_requests_then_probes() {
+        let mut b = CircuitBreaker::new(BreakerPolicy {
+            threshold: 1,
+            cooldown: 2,
+        });
+        assert!(b.on_failure());
+        assert!(!b.allow(), "skip 1");
+        assert!(!b.allow(), "skip 2 — moves to half-open");
+        assert!(b.allow(), "probe allowed");
+        b.on_success();
+        assert!(b.allow(), "probe success closes the circuit");
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let mut b = CircuitBreaker::new(BreakerPolicy {
+            threshold: 1,
+            cooldown: 1,
+        });
+        assert!(b.on_failure());
+        assert!(!b.allow());
+        assert!(b.allow(), "probe");
+        assert!(b.on_failure(), "failed probe re-trips");
+        assert!(b.is_open());
+        assert_eq!(b.trips(), 2);
+    }
+}

@@ -23,25 +23,42 @@
 //!   replays the rendered answer computed on the first miss, so the
 //!   visible output stream is byte-identical with caches on, off, hot,
 //!   or cold — E12's serving-equivalence claim.
+//! * **Failure is deterministic too.** Faults enter only through the
+//!   [`RequestHook`], a pure function of `(request id, ladder rung,
+//!   attempt)`; retries, circuit breakers, and the degradation ladder
+//!   (see [`nlidb_core::fallback`]) are all counted in logical units.
+//!   A worker that panics is contained by `catch_unwind` and turns
+//!   into a deterministic refuser: it keeps draining its queue,
+//!   answering every later request `Refused`, so `drain` and
+//!   `shutdown` never hang and admission never races a dying thread —
+//!   E13's fault-determinism claim.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 
 use nlidb_benchdata::RequestSpec;
+use nlidb_core::fallback::degradation_ladder;
+use nlidb_core::interpretation::InterpreterKind;
 use nlidb_core::pipeline::NliPipeline;
 use nlidb_dialogue::{ConversationSession, ManagerKind};
 use nlidb_engine::ResultSet;
 
 use crate::clock::Clock;
+use crate::fault::{HookCtx, InjectedFault};
 use crate::lru::LruCache;
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::retry::{BreakerPolicy, CircuitBreaker, RetryPolicy};
 
-/// Per-request work hook, run by the owning worker just before
-/// processing. Exists so benches can inject a simulated I/O stall
-/// without this crate ever touching a wall clock.
-pub type RequestHook = Box<dyn Fn() + Send + Sync>;
+/// Per-request work hook, consulted by the owning worker before every
+/// pipeline attempt. Returning `Some` injects that fault into the
+/// attempt; returning `None` lets it proceed. Benches also use it to
+/// add a simulated I/O stall (do the stall, return `None`) — either
+/// way this crate never touches a wall clock. Hooks must be pure
+/// functions of the [`HookCtx`] for runs to replay deterministically.
+pub type RequestHook = Box<dyn Fn(&HookCtx) -> Option<InjectedFault> + Send + Sync>;
 
 /// Serving knobs. All bounds are per worker.
 #[derive(Debug, Clone)]
@@ -57,6 +74,11 @@ pub struct ServerConfig {
     /// (`now + (depth + 1) × estimate`) exceeds its deadline is
     /// rejected up front instead of timing out in queue.
     pub service_estimate: u64,
+    /// Retry budget for transiently-faulted attempts (backoff is
+    /// accounted in ticks, never slept).
+    pub retry: RetryPolicy,
+    /// Per-(worker, interpreter-family) circuit-breaker thresholds.
+    pub breaker: BreakerPolicy,
 }
 
 impl Default for ServerConfig {
@@ -66,6 +88,8 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             interp_cache: 256,
             service_estimate: 1,
+            retry: RetryPolicy::default(),
+            breaker: BreakerPolicy::default(),
         }
     }
 }
@@ -125,6 +149,19 @@ pub enum Disposition {
         /// Whether the manager accepted the dialogue act.
         accepted: bool,
     },
+    /// Answered, but by a weaker interpreter family because the
+    /// preferred one was faulted (see [`nlidb_core::fallback`]).
+    /// Never served from or written to the interpretation cache — the
+    /// cache holds full-fidelity answers only.
+    Degraded {
+        /// Rendered SQL that produced the answer.
+        sql: String,
+        /// Rendered result rows (`col=value` cells joined by `, `).
+        rows: Vec<String>,
+        /// Label of the family that actually served it (e.g.
+        /// `"entity"`, `"pattern"`).
+        served_by: &'static str,
+    },
     /// The pipeline produced no interpretation / failed to execute.
     Refused {
         /// The pipeline's error rendering.
@@ -171,6 +208,17 @@ impl Completion {
             } => format!(
                 "#{} session={:?} accepted={} sql={:?} response=[{}]",
                 self.id, self.session, accepted, sql, response
+            ),
+            Disposition::Degraded {
+                sql,
+                rows,
+                served_by,
+            } => format!(
+                "#{} degraded[{}] sql=[{}] rows=[{}]",
+                self.id,
+                served_by,
+                sql,
+                rows.join(" ; ")
             ),
             Disposition::Refused { reason } => format!("#{} refused [{}]", self.id, reason),
             Disposition::Shed => format!("#{} shed", self.id),
@@ -274,7 +322,7 @@ impl Server {
         let fingerprint = schema_fingerprint(&pipeline);
         let shared = Arc::new(Shared {
             pipeline,
-            metrics: ServeMetrics::new(config.workers),
+            metrics: ServeMetrics::new(config.workers, config.interp_cache == 0),
             hook,
         });
         let (completion_tx, completion_rx) = mpsc::channel::<Completion>();
@@ -286,6 +334,8 @@ impl Server {
             let shared = Arc::clone(&shared);
             let completions = completion_tx.clone();
             let cache_capacity = config.interp_cache;
+            let retry = config.retry;
+            let breaker = config.breaker;
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("nlidb-serve-{worker}"))
@@ -297,6 +347,8 @@ impl Server {
                             completions,
                             cache_capacity,
                             fingerprint,
+                            retry,
+                            breaker,
                         )
                     })
                     .expect("spawn serve worker"),
@@ -424,20 +476,45 @@ impl Server {
 
     /// Stop accepting work, join the pool, and return final metrics.
     /// Any still-queued work is completed first (workers drain their
-    /// channels before exiting).
+    /// channels before exiting). Idempotent with the destructor: after
+    /// `shutdown`, `Drop` has nothing left to join.
     pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.join_pool();
+        self.shared.metrics.snapshot()
+    }
+
+    /// Close every job channel and join the worker threads. Worker
+    /// panics are contained inside the workers themselves
+    /// (`catch_unwind`), so a join failing is a genuine anomaly —
+    /// counted as a worker death, never propagated as an opaque panic.
+    fn join_pool(&mut self) {
         self.senders.clear(); // closes every job channel
         for h in self.handles.drain(..) {
-            h.join().expect("serve worker panicked");
+            if h.join().is_err() {
+                self.shared
+                    .metrics
+                    .worker_deaths
+                    .fetch_add(1, Ordering::Relaxed);
+            }
         }
-        self.shared.metrics.snapshot()
+    }
+}
+
+/// Dropping the server joins the pool, exactly as the struct docs
+/// promise: still-queued work is completed (workers drain their
+/// channels before exiting) and no worker thread is ever leaked.
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.join_pool();
     }
 }
 
 /// Hash the parts of the schema that determine interpretations:
-/// concept labels, table names, and data-property labels. Two
-/// pipelines over the same schema share cache keys; any schema change
-/// changes the fingerprint and thus invalidates nothing silently.
+/// concept labels, table names, data-property labels, and the
+/// relationships (with their endpoints and FK columns). Two pipelines
+/// over the same schema share cache keys; any schema change — join
+/// structure included — changes the fingerprint and thus invalidates
+/// nothing silently.
 fn schema_fingerprint(pipeline: &NliPipeline) -> u64 {
     let onto = &pipeline.context().ontology;
     let mut acc = String::new();
@@ -450,6 +527,15 @@ fn schema_fingerprint(pipeline: &NliPipeline) -> u64 {
     for p in &onto.data_properties {
         acc.push_str(&p.label);
         acc.push('\u{1}');
+    }
+    // Relationships decide join paths; two schemas differing only in
+    // join structure must not share cache keys.
+    for r in &onto.object_properties {
+        for part in [&r.label, &r.from, &r.from_column, &r.to, &r.to_column] {
+            acc.push_str(part);
+            acc.push('\u{1}');
+        }
+        acc.push('\u{2}');
     }
     fnv1a(acc.as_bytes())
 }
@@ -469,6 +555,120 @@ fn render_rows(result: &ResultSet) -> Vec<String> {
         .collect()
 }
 
+/// Consult the hook for the attempt described by `ctx`, absorbing
+/// transient faults within the retry budget. Returns `true` when the
+/// attempt may proceed, `false` when the rung must be abandoned
+/// (fatal fault, or transient budget exhausted). An injected
+/// [`InjectedFault::WorkerPanic`] panics right here — before any
+/// pipeline or session state is touched — and is contained by the
+/// `catch_unwind` in [`worker_loop`].
+fn ride_out_faults(
+    hook: Option<&RequestHook>,
+    metrics: &ServeMetrics,
+    retry: &RetryPolicy,
+    id: u64,
+    rung: usize,
+) -> bool {
+    let Some(hook) = hook else { return true };
+    let mut attempt = 0u32;
+    loop {
+        match hook(&HookCtx { id, rung, attempt }) {
+            None => return true,
+            Some(InjectedFault::Transient) if attempt < retry.max_retries => {
+                metrics.retries.fetch_add(1, Ordering::Relaxed);
+                metrics
+                    .retry_backoff_ticks
+                    .fetch_add(retry.backoff(attempt), Ordering::Relaxed);
+                attempt += 1;
+            }
+            Some(InjectedFault::WorkerPanic) => {
+                panic!("injected worker panic (request #{id})")
+            }
+            Some(_) => return false,
+        }
+    }
+}
+
+/// Walk the degradation ladder for one standalone question. Returns
+/// the disposition plus the rendered answer to cache — present only
+/// for a full-fidelity rung-0 answer; degraded answers are never
+/// cached.
+#[allow(clippy::too_many_arguments)]
+fn interpret_single(
+    id: u64,
+    question: &str,
+    pipeline: &NliPipeline,
+    hook: Option<&RequestHook>,
+    metrics: &ServeMetrics,
+    retry: &RetryPolicy,
+    ladder: &[InterpreterKind],
+    breakers: &mut [CircuitBreaker],
+) -> (Disposition, Option<(String, Vec<String>)>) {
+    let mut last_refusal: Option<String> = None;
+    for (rung, &kind) in ladder.iter().enumerate() {
+        if !breakers[rung].allow() {
+            metrics.breaker_skips.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        if !ride_out_faults(hook, metrics, retry, id, rung) {
+            if breakers[rung].on_failure() {
+                metrics.breaker_trips.fetch_add(1, Ordering::Relaxed);
+            }
+            continue;
+        }
+        match pipeline.ask_with(question, kind) {
+            Ok(answer) => {
+                breakers[rung].on_success();
+                let rows = render_rows(&answer.result);
+                if rung == 0 {
+                    metrics.answered.fetch_add(1, Ordering::Relaxed);
+                    return (
+                        Disposition::Answered {
+                            sql: answer.sql.clone(),
+                            rows: rows.clone(),
+                            from_cache: false,
+                        },
+                        Some((answer.sql, rows)),
+                    );
+                }
+                metrics.degraded.fetch_add(1, Ordering::Relaxed);
+                return (
+                    Disposition::Degraded {
+                        sql: answer.sql,
+                        rows,
+                        served_by: kind.label(),
+                    },
+                    None,
+                );
+            }
+            // A semantic refusal means the family is *healthy*: at
+            // rung 0 the refusal stands (degrading past a healthy
+            // refusal would trade precision for coverage); below it,
+            // the next family down gets its chance.
+            Err(e) => {
+                breakers[rung].on_success();
+                if rung == 0 {
+                    metrics.refused.fetch_add(1, Ordering::Relaxed);
+                    return (
+                        Disposition::Refused {
+                            reason: e.to_string(),
+                        },
+                        None,
+                    );
+                }
+                last_refusal = Some(e.to_string());
+            }
+        }
+    }
+    metrics.refused.fetch_add(1, Ordering::Relaxed);
+    let reason = match last_refusal {
+        Some(r) => format!("degraded ladder exhausted: {r}"),
+        None => "no interpreter family available (all rungs faulted or circuit-broken)".to_string(),
+    };
+    (Disposition::Refused { reason }, None)
+}
+
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     worker: usize,
     shared: &Shared,
@@ -476,20 +676,51 @@ fn worker_loop(
     completions: mpsc::Sender<Completion>,
     cache_capacity: usize,
     fingerprint: u64,
+    retry: RetryPolicy,
+    breaker: BreakerPolicy,
 ) {
     let pipeline = &shared.pipeline;
     let db = pipeline.database();
     let ctx = pipeline.context();
     let metrics = &shared.metrics;
+    let hook = shared.hook.as_ref();
     let mut cache: Option<LruCache<String, (String, Vec<String>)>> =
         (cache_capacity > 0).then(|| LruCache::new(cache_capacity));
     let mut sessions: HashMap<u64, ConversationSession<'_>> = HashMap::new();
+    let ladder = degradation_ladder(InterpreterKind::Hybrid);
+    let mut breakers: Vec<CircuitBreaker> = ladder
+        .iter()
+        .map(|_| CircuitBreaker::new(breaker))
+        .collect();
+    // Set on a contained panic. A dead worker keeps draining its queue
+    // (so admission credits, `drain`, and `shutdown` all stay
+    // race-free and deterministic) but refuses every later request:
+    // its caches and sessions may have been mid-mutation when the
+    // panic unwound, so none of that state is trusted again.
+    let mut dead = false;
 
     while let Ok(job) = jobs.recv() {
-        if let Some(hook) = &shared.hook {
-            hook();
+        let (id, session) = match &job {
+            Job::Single { id, .. } => (*id, None),
+            Job::Turn { id, session, .. } => (*id, Some(*session)),
+        };
+        if dead {
+            metrics.crashed_requests.fetch_add(1, Ordering::Relaxed);
+            metrics.per_worker[worker].fetch_add(1, Ordering::Relaxed);
+            let refused = Completion {
+                id,
+                worker: Some(worker),
+                session,
+                disposition: Disposition::Refused {
+                    reason: format!("worker {worker} died"),
+                },
+            };
+            if completions.send(refused).is_err() {
+                break;
+            }
+            continue;
         }
-        let completion = match job {
+        let outcome = catch_unwind(AssertUnwindSafe(|| match job {
             Job::Single { id, question } => {
                 let key = format!("{fingerprint:016x}|{}", normalize_question(&question));
                 let cached = cache.as_mut().and_then(|c| c.get(&key).cloned());
@@ -504,29 +735,21 @@ fn worker_loop(
                         }
                     }
                     None => {
-                        if cache.is_some() {
-                            metrics.interp_misses.fetch_add(1, Ordering::Relaxed);
+                        metrics.interp_misses.fetch_add(1, Ordering::Relaxed);
+                        let (disposition, cacheable) = interpret_single(
+                            id,
+                            &question,
+                            pipeline,
+                            hook,
+                            metrics,
+                            &retry,
+                            ladder,
+                            &mut breakers,
+                        );
+                        if let (Some(c), Some(payload)) = (cache.as_mut(), cacheable) {
+                            c.put(key, payload);
                         }
-                        match pipeline.ask(&question) {
-                            Ok(answer) => {
-                                let rows = render_rows(&answer.result);
-                                if let Some(c) = cache.as_mut() {
-                                    c.put(key, (answer.sql.clone(), rows.clone()));
-                                }
-                                metrics.answered.fetch_add(1, Ordering::Relaxed);
-                                Disposition::Answered {
-                                    sql: answer.sql,
-                                    rows,
-                                    from_cache: false,
-                                }
-                            }
-                            Err(e) => {
-                                metrics.refused.fetch_add(1, Ordering::Relaxed);
-                                Disposition::Refused {
-                                    reason: e.to_string(),
-                                }
-                            }
-                        }
+                        disposition
                     }
                 };
                 Completion {
@@ -541,19 +764,48 @@ fn worker_loop(
                 session,
                 utterance,
             } => {
-                let s = sessions
-                    .entry(session)
-                    .or_insert_with(|| ConversationSession::new(db, ctx, ManagerKind::Agent));
-                let r = s.turn(&utterance);
-                metrics.session_turns.fetch_add(1, Ordering::Relaxed);
+                // Faults are consulted *before* the manager runs, so a
+                // retried turn has mutated nothing: each dialogue turn
+                // executes at most once.
+                let disposition = if ride_out_faults(hook, metrics, &retry, id, 0) {
+                    let s = sessions
+                        .entry(session)
+                        .or_insert_with(|| ConversationSession::new(db, ctx, ManagerKind::Agent));
+                    let r = s.turn(&utterance);
+                    metrics.session_turns.fetch_add(1, Ordering::Relaxed);
+                    Disposition::SessionReply {
+                        response: r.response,
+                        sql: r.sql.map(|q| q.to_string()),
+                        accepted: r.accepted,
+                    }
+                } else {
+                    // Dialogue has no family ladder to fall down; a
+                    // fatally-faulted turn is refused outright.
+                    metrics.refused.fetch_add(1, Ordering::Relaxed);
+                    Disposition::Refused {
+                        reason: "session manager unavailable (injected fault)".to_string(),
+                    }
+                };
                 Completion {
                     id,
                     worker: Some(worker),
                     session: Some(session),
-                    disposition: Disposition::SessionReply {
-                        response: r.response,
-                        sql: r.sql.map(|q| q.to_string()),
-                        accepted: r.accepted,
+                    disposition,
+                }
+            }
+        }));
+        let completion = match outcome {
+            Ok(completion) => completion,
+            Err(_) => {
+                dead = true;
+                metrics.worker_deaths.fetch_add(1, Ordering::Relaxed);
+                metrics.crashed_requests.fetch_add(1, Ordering::Relaxed);
+                Completion {
+                    id,
+                    worker: Some(worker),
+                    session,
+                    disposition: Disposition::Refused {
+                        reason: format!("worker {worker} died mid-request"),
                     },
                 }
             }

@@ -55,6 +55,30 @@ proptest! {
         prop_assert_eq!(cache.get(&key), Some(&value));
     }
 
+    /// Updating a key that is already present in a cache at full
+    /// capacity is a value overwrite, never an eviction: no resident
+    /// key is displaced and nothing is returned as evicted.
+    #[test]
+    fn put_existing_key_at_capacity_never_evicts(
+        capacity in 1usize..8,
+        target in 0usize..8,
+        new_value in 1000u32..2000,
+    ) {
+        let target = target % capacity;
+        let mut cache: LruCache<usize, u32> = LruCache::new(capacity);
+        for k in 0..capacity {
+            cache.put(k, k as u32);
+        }
+        prop_assert_eq!(cache.len(), capacity, "cache is full");
+        let evicted = cache.put(target, new_value);
+        prop_assert!(evicted.is_none(), "overwrite must not evict: {evicted:?}");
+        prop_assert_eq!(cache.len(), capacity);
+        prop_assert_eq!(cache.get(&target), Some(&new_value));
+        for k in 0..capacity {
+            prop_assert!(cache.peek(&k).is_some(), "key {k} was displaced");
+        }
+    }
+
     /// Recency order: filling a cache to capacity and touching one key
     /// protects it from the next eviction.
     #[test]

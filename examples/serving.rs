@@ -28,6 +28,7 @@ fn main() {
         queue_capacity: 64,
         interp_cache: 256,
         service_estimate: 1,
+        ..ServerConfig::default()
     };
     let mut server = Server::start(
         Arc::clone(&pipeline),

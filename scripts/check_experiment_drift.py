@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Fail if harness output disagrees with the tables committed in
+EXPERIMENTS.md.
+
+Usage: python3 scripts/check_experiment_drift.py <harness_output.txt>
+
+The harness prints each experiment as a title line ("E12 — …") followed
+by a pipe table; EXPERIMENTS.md holds the same tables under "## E12 …"
+sections. This is the CI smoke gate: run one cheap experiment at seed
+42 and diff its table against the committed one, so interpreter- or
+serving-visible drift is caught at commit time rather than at the next
+full regeneration. E7 is hand-maintained (two-table layout) and is
+skipped, matching scripts/update_experiments.py.
+"""
+
+import re
+import sys
+
+
+def harness_tables(text: str) -> dict[str, list[str]]:
+    """Map experiment id (e.g. 'E12') to its table lines."""
+    tables: dict[str, list[str]] = {}
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        m = re.match(r"^(E\d+) — ", lines[i])
+        if m and i + 1 < len(lines) and lines[i + 1].startswith("|"):
+            exp = m.group(1)
+            j = i + 1
+            block = []
+            while j < len(lines) and lines[j].startswith("|"):
+                block.append(lines[j].rstrip())
+                j += 1
+            tables[exp] = block
+            i = j
+        else:
+            i += 1
+    return tables
+
+
+def committed_tables(markdown: str) -> dict[str, list[str]]:
+    """Map experiment id to the first pipe table in its '## EN' section."""
+    tables: dict[str, list[str]] = {}
+    lines = markdown.splitlines()
+    current = None
+    i = 0
+    while i < len(lines):
+        m = re.match(r"^## (E\d+) ", lines[i])
+        if m:
+            current = m.group(1)
+        if lines[i].startswith("|") and current and current not in tables:
+            block = []
+            while i < len(lines) and lines[i].startswith("|"):
+                block.append(lines[i].rstrip())
+                i += 1
+            tables[current] = block
+            continue
+        i += 1
+    return tables
+
+
+def main() -> None:
+    harness_path = sys.argv[1]
+    with open(harness_path) as f:
+        fresh = harness_tables(f.read())
+    fresh.pop("E7", None)
+    if not fresh:
+        print("drift check: no experiment tables found in harness output")
+        sys.exit(2)
+    with open("EXPERIMENTS.md") as f:
+        committed = committed_tables(f.read())
+    drifted = False
+    for exp, table in sorted(fresh.items()):
+        recorded = committed.get(exp)
+        if recorded is None:
+            print(f"{exp}: no committed table in EXPERIMENTS.md")
+            drifted = True
+            continue
+        if table != recorded:
+            print(f"{exp}: harness output drifted from EXPERIMENTS.md")
+            for line in recorded:
+                if line not in table:
+                    print(f"  - {line}")
+            for line in table:
+                if line not in recorded:
+                    print(f"  + {line}")
+            drifted = True
+        else:
+            print(f"{exp}: matches EXPERIMENTS.md")
+    if drifted:
+        print(
+            "regenerate with: cargo run --release -p nlidb-bench --bin "
+            "experiments > out.txt && python3 scripts/update_experiments.py out.txt"
+        )
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -22,4 +22,9 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
 
+echo "== experiment smoke (E12 @ seed 42 vs EXPERIMENTS.md) =="
+cargo run --release --offline -q -p nlidb-bench --bin experiments -- \
+  --exp e12 --seed 42 > target/e12-smoke.txt
+python3 scripts/check_experiment_drift.py target/e12-smoke.txt
+
 echo "CI gate passed."

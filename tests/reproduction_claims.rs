@@ -132,6 +132,48 @@ fn claim_paraphrase_brittleness() {
     );
 }
 
+/// §4, operationalized by the serving layer's degradation ladder: an
+/// answer served by a fallback family can never exceed that family's
+/// capability ceiling. Whatever question is asked, wherever the
+/// ladder lands, the executed query's complexity class stays inside
+/// the serving family's `Capabilities` mask — degradation trades
+/// coverage for availability, never widens capability.
+#[test]
+fn claim_degraded_answers_respect_capability_ceilings() {
+    use nlidb::core::entity::Capabilities;
+    use nlidb::core::fallback::degradation_ladder;
+
+    let db = nlidb::benchdata::retail_database(42);
+    let slots = derive_slots(&db);
+    let nli = trained_pipeline(&db);
+    let suite = spider_like(&slots, 31, 48);
+    let mut served = 0;
+    for pair in &suite {
+        // Simulate the preferred family being down at every rung.
+        for &failed in degradation_ladder(InterpreterKind::Hybrid) {
+            if let Ok(d) = nli.ask_degraded(&pair.question, failed) {
+                served += 1;
+                let class = classify(&d.answer.query);
+                assert!(
+                    Capabilities::of(d.served_by).permits(class),
+                    "{:?} served {:?} beyond its ceiling for {:?}",
+                    d.served_by,
+                    class,
+                    pair.question
+                );
+                assert_ne!(
+                    d.served_by, failed,
+                    "a degraded answer must come from below the failed family"
+                );
+            }
+        }
+    }
+    assert!(
+        served > 20,
+        "the ladder must actually serve fallbacks ({served})"
+    );
+}
+
 /// §6: nested-query detection — the neural family never detects
 /// nesting; the entity family does.
 #[test]
