@@ -1,9 +1,10 @@
 //! The reproduction harness CLI.
 //!
 //! ```text
-//! experiments                 # run all of E1–E13
+//! experiments                 # run all of E1–E14
 //! experiments --exp e2        # run one experiment
 //! experiments --seed 7        # change the global seed
+//! experiments --list          # list experiment ids and descriptions
 //! ```
 
 use std::env;
@@ -22,6 +23,12 @@ fn main() {
             "--exp" => {
                 only = args.get(i + 1).cloned();
                 i += 2;
+            }
+            "--list" => {
+                for (id, summary) in nlidb_bench::EXPERIMENT_SUMMARIES {
+                    println!("{id:>4}  {summary}");
+                }
+                return;
             }
             other => {
                 eprintln!("unknown argument: {other}");

@@ -1,4 +1,4 @@
-//! The reproduction experiments E1–E13 (see `EXPERIMENTS.md`).
+//! The reproduction experiments E1–E14 (see `EXPERIMENTS.md`).
 //!
 //! The paper is a tutorial: it publishes claims, not tables. Each
 //! experiment here operationalizes one claim into a measured table;
@@ -22,8 +22,60 @@ use nlidb_sqlir::ComplexityClass;
 use crate::workloads::{evaluate, paraphrased, setup_domain, DomainSetup};
 
 /// All experiment identifiers, in order.
-pub const EXPERIMENT_IDS: [&str; 13] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+pub const EXPERIMENT_IDS: [&str; 14] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+];
+
+/// One-line description per experiment, in [`EXPERIMENT_IDS`] order
+/// (the `--list` output of the `experiments` binary).
+pub const EXPERIMENT_SUMMARIES: [(&str, &str); 14] = [
+    (
+        "e1",
+        "capability matrix: family accuracy per §3 complexity rung",
+    ),
+    (
+        "e2",
+        "paraphrase brittleness: accuracy under rewording intensity",
+    ),
+    ("e3", "learning curve: neural accuracy vs training-set size"),
+    ("e4", "hybrid ranker: best-of-both over grammar and neural"),
+    (
+        "e5",
+        "dialogue managers: follow-up accuracy per §5 strategy",
+    ),
+    (
+        "e6",
+        "decomposition: nested-query accuracy with/without splitting",
+    ),
+    (
+        "e7",
+        "benchmark statistics: synthetic suites vs published shapes",
+    ),
+    (
+        "e8",
+        "nested detection: classifier precision/recall on §3 rungs",
+    ),
+    (
+        "e9",
+        "clarification: ambiguity dialogue payoff per §5 claim",
+    ),
+    ("e10", "ontology bootstrap: coverage from schema vs curated"),
+    (
+        "e11",
+        "answer denotation: WTQ-style lax metric vs execution match",
+    ),
+    (
+        "e12",
+        "serving runtime: concurrency/cache equivalence + backpressure",
+    ),
+    (
+        "e13",
+        "fault injection: deterministic retry/degrade/breaker regimes",
+    ),
+    (
+        "e14",
+        "observability: byte-identical traces, attributed fault evidence",
+    ),
 ];
 
 /// Run one experiment by id; `None` for unknown ids.
@@ -42,6 +94,7 @@ pub fn run_experiment(id: &str, seed: u64) -> Option<Table> {
         "e11" => Some(e11_answer_denotation(seed)),
         "e12" => Some(e12_serving_runtime(seed)),
         "e13" => Some(e13_fault_injection(seed)),
+        "e14" => Some(e14_observability(seed)),
         _ => None,
     }
 }
@@ -1068,6 +1121,166 @@ pub fn e13_fault_injection(seed: u64) -> Table {
             m.crashed_requests.to_string(),
             if sigs == clean_sigs { "yes" } else { "no" }.to_string(),
         ]);
+    }
+    t
+}
+
+/// One traced E14 serving pass: exactly the E13 stream and server
+/// config, with a [`nlidb_serve::ServeObs`] attached. Returns
+/// (signatures, final metrics, the obs handles).
+fn e14_traced_run(
+    seed: u64,
+    n: usize,
+    plan: nlidb_benchdata::FaultPlan,
+) -> (
+    Vec<String>,
+    nlidb_serve::MetricsSnapshot,
+    nlidb_serve::ServeObs,
+) {
+    use nlidb_core::pipeline::NliPipeline;
+    use nlidb_serve::{
+        fault_plan_hook, run_closed_loop, Clock, ManualClock, ServeObs, Server, ServerConfig,
+    };
+    use std::sync::Arc;
+
+    let db = nlidb_benchdata::domain_database("retail", seed);
+    let slots = derive_slots(&db);
+    let pipeline = Arc::new(NliPipeline::standard(&db));
+    let stream = nlidb_benchdata::request_stream(&slots, seed, n, 0.25);
+    let clock = Arc::new(ManualClock::new());
+    let obs = ServeObs::new(n);
+    let mut server = Server::start_observed(
+        pipeline,
+        ServerConfig {
+            workers: 2,
+            queue_capacity: n,
+            ..ServerConfig::default()
+        },
+        clock.clone() as Arc<dyn Clock>,
+        Some(fault_plan_hook(plan)),
+        Some(obs.clone()),
+    );
+    let report = run_closed_loop(&mut server, &clock, &stream, 16);
+    (report.signatures(), server.shutdown(), obs)
+}
+
+/// E14 — deterministic observability: the open "explain yourself"
+/// challenge (§7) made a measurable property of the serving path.
+/// Every request — including E13's faulted ones — finishes as a span
+/// tree stamped with logical ticks only, so the *entire* exported
+/// trace stream is byte-identical run over run; and every retry,
+/// backoff tick, breaker trip/skip, and degradation in the metrics is
+/// attributable to a specific span carrying the evidence. The table
+/// reports per-stage cost (in trace ticks — span-event sequence
+/// deltas, a deterministic work proxy) under the faulted regime.
+pub fn e14_observability(seed: u64) -> Table {
+    use nlidb_benchdata::{FaultKind, FaultPlan, FaultRates};
+    const N: usize = 120;
+    // Fresh ids from a clean pass, exactly as in E13: faults are only
+    // consulted on cache misses, so the guarantee-carrying fatal
+    // window must land on fresh singles to fault at any seed.
+    let (clean_sigs, fresh, _clean_m) = e13_serve_run(seed, N, FaultPlan::none());
+    assert!(
+        fresh.len() >= 12,
+        "E14 needs fresh singles to pin faults on ({} found)",
+        fresh.len()
+    );
+
+    // Clean regime: tracing is invisible and bit-reproducible.
+    let (t_sigs, t_m, t_obs) = e14_traced_run(seed, N, FaultPlan::none());
+    let (t_sigs2, t_m2, t_obs2) = e14_traced_run(seed, N, FaultPlan::none());
+    assert_eq!(t_sigs, t_sigs2, "E14: traced stream must replay");
+    assert_eq!(t_m, t_m2, "E14: traced metrics must replay");
+    assert_eq!(
+        t_obs.sink.export_jsonl(),
+        t_obs2.sink.export_jsonl(),
+        "E14: clean trace export must be byte-identical run over run"
+    );
+    assert_eq!(
+        t_sigs, clean_sigs,
+        "E14: tracing must not perturb the answer stream"
+    );
+
+    // Faulted regime: E13's transient rate plus its fatal outage
+    // window, traced. The export must still be byte-identical, and
+    // the span trees must account for every piece of fault evidence
+    // the metrics counted.
+    let plan = || {
+        let mut p = FaultPlan::seeded(
+            seed,
+            N as u64,
+            &FaultRates {
+                transient: 0.2,
+                fatal: 0.0,
+                ..FaultRates::default()
+            },
+        );
+        for id in fresh[0]..=fresh[11] {
+            p = p.with(id, FaultKind::Fatal { depth: 1 });
+        }
+        p
+    };
+    let (f_sigs, f_m, f_obs) = e14_traced_run(seed, N, plan());
+    let (f_sigs2, f_m2, f_obs2) = e14_traced_run(seed, N, plan());
+    assert_eq!(f_sigs, f_sigs2, "E14: faulted stream must replay");
+    assert_eq!(f_m, f_m2, "E14: faulted metrics must replay");
+    assert_eq!(
+        f_obs.sink.export_jsonl(),
+        f_obs2.sink.export_jsonl(),
+        "E14: faulted trace export must be byte-identical run over run"
+    );
+    assert!(
+        f_m.retries > 0 && f_m.breaker_trips > 0 && f_m.degraded > 0,
+        "E14: the faulted regime must exercise retry, breaker, and ladder"
+    );
+    let traces = f_obs.sink.traces();
+    assert_eq!(traces.len(), N, "E14: one trace per request");
+    let (mut retries, mut backoff, mut trips, mut skips, mut degraded) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
+    for trace in &traces {
+        let root = trace.root().expect("every trace has a root span");
+        if root.attr("outcome") == Some("degraded") {
+            degraded += 1;
+        }
+        for s in &trace.spans {
+            if let Some(r) = s.attr("retries") {
+                retries += r.parse::<u64>().expect("retries attr is a count");
+            }
+            if let Some(b) = s.attr("backoff") {
+                backoff += b.parse::<u64>().expect("backoff attr is ticks");
+            }
+            match s.attr("breaker") {
+                Some("tripped") => trips += 1,
+                Some("open") => skips += 1,
+                _ => {}
+            }
+        }
+    }
+    assert_eq!(retries, f_m.retries, "E14: every retry has a span");
+    assert_eq!(backoff, f_m.retry_backoff_ticks, "E14: backoff attributed");
+    assert_eq!(trips, f_m.breaker_trips, "E14: every trip has a span");
+    assert_eq!(skips, f_m.breaker_skips, "E14: every skip has a span");
+    assert_eq!(degraded, f_m.degraded, "E14: every degradation has a span");
+
+    // The serving counters join the per-stage histograms in one
+    // registry; the table reads the histogram side.
+    f_m.export_into(&f_obs.registry);
+    let report = f_obs.registry.report();
+    assert_eq!(report.counter("serve.retries"), Some(f_m.retries));
+    let mut t = Table::new(["stage", "spans", "p50", "p95", "max", "total"]).title(
+        "E14 — traced serving: per-stage cost in trace ticks (faulted regime, retail, N=120)",
+    );
+    for (name, h) in &report.histograms {
+        if let Some(stage) = name.strip_prefix("span.") {
+            t.row([
+                stage.to_string(),
+                h.count.to_string(),
+                h.p50.to_string(),
+                h.p95.to_string(),
+                h.max.to_string(),
+                h.sum.to_string(),
+            ]);
+        }
     }
     t
 }

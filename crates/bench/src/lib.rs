@@ -1,6 +1,6 @@
 //! # nlidb-bench — the reproduction harness
 //!
-//! One function per experiment in `EXPERIMENTS.md` (E1–E12), each
+//! One function per experiment in `EXPERIMENTS.md` (E1–E14), each
 //! returning a rendered [`nlidb_evalkit::Table`]. The `experiments`
 //! binary prints them; the Criterion benches under `benches/` reuse
 //! [`workloads`] for the latency measurements (B1–B5) and drive the
@@ -9,4 +9,4 @@
 pub mod experiments;
 pub mod workloads;
 
-pub use experiments::{run_experiment, EXPERIMENT_IDS};
+pub use experiments::{run_experiment, EXPERIMENT_IDS, EXPERIMENT_SUMMARIES};

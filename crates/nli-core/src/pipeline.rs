@@ -3,6 +3,7 @@
 
 use nlidb_engine::{execute, Database, ResultSet};
 use nlidb_nlp::Lexicon;
+use nlidb_obs::TraceBuilder;
 use nlidb_ontology::{generate_ontology, JoinGraph, Ontology};
 use nlidb_sqlir::Query;
 use nlidb_vindex::Indices;
@@ -144,18 +145,106 @@ impl NliPipeline {
         question: &str,
         kind: InterpreterKind,
     ) -> Result<Answer, InterpretError> {
-        let interp = self
-            .interpreter(kind)
-            .best(question, &self.ctx)
-            .ok_or_else(|| InterpretError::NoInterpretation(question.to_string()))?;
-        let result =
-            execute(&self.db, &interp.sql).map_err(|e| InterpretError::Execution(e.to_string()))?;
-        Ok(Answer {
-            sql: interp.sql.to_string(),
-            query: interp.sql.clone(),
-            result,
-            interpretation: interp,
-        })
+        self.ask_inner(question, kind, None)
+    }
+
+    /// [`NliPipeline::ask_with`], recording per-stage spans into `tb`:
+    /// `tokenize` → `link` → `interpret` → `sqlgen` → `execute`, under
+    /// one `pipeline` span annotated with the family and the outcome.
+    /// The traced path returns exactly what the untraced path returns —
+    /// tracing observes the pipeline, it never steers it.
+    pub fn ask_with_trace(
+        &self,
+        question: &str,
+        kind: InterpreterKind,
+        tb: &mut TraceBuilder,
+    ) -> Result<Answer, InterpretError> {
+        self.ask_inner(question, kind, Some(tb))
+    }
+
+    /// The one interpretation-and-execution path; `ask_with` passes no
+    /// tracer, `ask_with_trace` passes one. The tokenize and link
+    /// stages re-run the interpreter's own front half purely to
+    /// measure it (interpreters tokenize internally), so they exist
+    /// only on the traced path — the untraced path does zero extra
+    /// work.
+    fn ask_inner(
+        &self,
+        question: &str,
+        kind: InterpreterKind,
+        mut tb: Option<&mut TraceBuilder>,
+    ) -> Result<Answer, InterpretError> {
+        let pipeline_span = tb.as_deref_mut().map(|t| {
+            let s = t.open("pipeline");
+            t.annotate(s, "family", kind.label());
+            // Stage spans the interpreters perform internally,
+            // re-run here so the trace shows where linking evidence
+            // came from (Affolter-style stage attribution).
+            let tok = t.open("tokenize");
+            let tokens = nlidb_nlp::tokenize(question);
+            t.annotate(tok, "tokens", tokens.len().to_string());
+            t.close(tok);
+            let link = t.open("link");
+            let mentions = crate::linking::link_mentions(&tokens, &self.ctx);
+            t.annotate(link, "mentions", mentions.len().to_string());
+            t.close(link);
+            s
+        });
+        let seal = |tb: Option<&mut TraceBuilder>, outcome: &str| {
+            if let (Some(t), Some(s)) = (tb, pipeline_span) {
+                t.annotate(s, "outcome", outcome);
+                t.close(s);
+            }
+        };
+
+        let interp_span = tb.as_deref_mut().map(|t| t.open("interpret"));
+        let interp = self.interpreter(kind).best(question, &self.ctx);
+        if let (Some(t), Some(s)) = (tb.as_deref_mut(), interp_span) {
+            match &interp {
+                Some(i) => {
+                    t.annotate(s, "confidence", format!("{:.3}", i.confidence));
+                    t.annotate(s, "explanation_steps", i.explanation.len().to_string());
+                }
+                None => t.annotate(s, "result", "no_interpretation"),
+            }
+            t.close(s);
+        }
+        let Some(interp) = interp else {
+            seal(tb, "no_interpretation");
+            return Err(InterpretError::NoInterpretation(question.to_string()));
+        };
+
+        let sql_text = interp.sql.to_string();
+        if let Some(t) = tb.as_deref_mut() {
+            let s = t.open("sqlgen");
+            t.annotate(s, "sql", sql_text.as_str());
+            t.close(s);
+        }
+
+        let exec_span = tb.as_deref_mut().map(|t| t.open("execute"));
+        let result = execute(&self.db, &interp.sql);
+        if let (Some(t), Some(s)) = (tb.as_deref_mut(), exec_span) {
+            match &result {
+                Ok(r) => t.annotate(s, "rows", r.rows.len().to_string()),
+                Err(e) => t.annotate(s, "error", e.to_string()),
+            }
+            t.close(s);
+        }
+        match result {
+            Ok(result) => {
+                seal(tb, "answered");
+                Ok(Answer {
+                    sql: sql_text,
+                    query: interp.sql.clone(),
+                    result,
+                    interpretation: interp,
+                })
+            }
+            Err(e) => {
+                seal(tb, "execution_error");
+                Err(InterpretError::Execution(e.to_string()))
+            }
+        }
     }
 
     /// All candidate interpretations from one family (for clarification
@@ -334,6 +423,51 @@ mod tests {
             "{s:?}"
         );
         assert!(nli.suggest("show products").is_empty());
+    }
+
+    #[test]
+    fn traced_ask_matches_untraced_and_records_stages() {
+        use nlidb_obs::{Clock, ManualClock, TraceBuilder};
+        use std::sync::Arc;
+        let db = db();
+        let nli = NliPipeline::standard(&db);
+        let clock = Arc::new(ManualClock::new());
+        let mut tb = TraceBuilder::new(0, clock.clone() as Arc<dyn Clock>);
+        let traced = nli
+            .ask_with_trace("show products in tools", InterpreterKind::Entity, &mut tb)
+            .unwrap();
+        let plain = nli
+            .ask_with("show products in tools", InterpreterKind::Entity)
+            .unwrap();
+        assert_eq!(traced.sql, plain.sql, "tracing never steers the pipeline");
+        assert_eq!(traced.result, plain.result);
+        let t = tb.finish();
+        for stage in [
+            "pipeline",
+            "tokenize",
+            "link",
+            "interpret",
+            "sqlgen",
+            "execute",
+        ] {
+            assert_eq!(t.spans_named(stage).count(), 1, "missing stage {stage}");
+        }
+        let p = t.root().unwrap();
+        assert_eq!(p.attr("family"), Some("entity"));
+        assert_eq!(p.attr("outcome"), Some("answered"));
+        assert_eq!(
+            t.spans_named("sqlgen").next().unwrap().attr("sql"),
+            Some("SELECT * FROM products WHERE category = 'tools'")
+        );
+
+        // A refusal is traced too, with the failing stage attributed.
+        let mut tb = TraceBuilder::new(1, clock as Arc<dyn Clock>);
+        assert!(nli
+            .ask_with_trace("colorless green ideas", InterpreterKind::Entity, &mut tb)
+            .is_err());
+        let t = tb.finish();
+        assert_eq!(t.root().unwrap().attr("outcome"), Some("no_interpretation"));
+        assert_eq!(t.spans_named("sqlgen").count(), 0, "died before SQL gen");
     }
 
     #[test]

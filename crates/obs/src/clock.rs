@@ -1,0 +1,98 @@
+//! Injectable logical time.
+//!
+//! The workspace invariant — no wall-clock in library code — is
+//! anchored here: every tick any layer ever sees comes from a [`Clock`]
+//! the *caller* owns. Deadline decisions in the serving runtime and
+//! coarse span timestamps in the tracer both read the same injected
+//! clock, so every observable timestamp is a pure function of the
+//! drive sequence, not of scheduler timing. (The serving crate
+//! re-exports these types; they moved here so the tracer below it in
+//! the dependency order can stamp spans with the same time source.)
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonic tick source. Ticks are dimensionless; the driver
+/// decides what one tick means (the load generator advances one tick
+/// per submitted batch).
+pub trait Clock: Send + Sync {
+    /// Current tick.
+    fn now(&self) -> u64;
+}
+
+/// A clock that moves only when told to.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    ticks: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock starting at tick 0.
+    pub fn new() -> ManualClock {
+        ManualClock::default()
+    }
+
+    /// A clock starting at `start`.
+    pub fn starting_at(start: u64) -> ManualClock {
+        ManualClock {
+            ticks: AtomicU64::new(start),
+        }
+    }
+
+    /// Advance by `delta` ticks, returning the new time. Saturates at
+    /// `u64::MAX` instead of wrapping: monotonicity is an invariant
+    /// other layers assert on (deadline admission, span timestamps), so
+    /// the clock refuses to go backwards even at the representable
+    /// boundary.
+    pub fn advance(&self, delta: u64) -> u64 {
+        let prev = self
+            .ticks
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |t| {
+                Some(t.saturating_add(delta))
+            })
+            .expect("update closure never rejects");
+        prev.saturating_add(delta)
+    }
+
+    /// Jump to an absolute tick (must not move backwards in normal
+    /// use; not enforced, since tests rewind freely).
+    pub fn set(&self, ticks: u64) {
+        self.ticks.store(ticks, Ordering::Relaxed);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> u64 {
+        self.ticks.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_moves_only_on_advance() {
+        let c = ManualClock::new();
+        assert_eq!(c.now(), 0);
+        assert_eq!(c.advance(5), 5);
+        assert_eq!(c.now(), 5);
+        c.set(100);
+        assert_eq!(c.now(), 100);
+    }
+
+    #[test]
+    fn starting_at_offsets() {
+        let c = ManualClock::starting_at(7);
+        assert_eq!(c.now(), 7);
+    }
+
+    #[test]
+    fn advance_saturates_instead_of_wrapping() {
+        let c = ManualClock::starting_at(u64::MAX - 3);
+        assert_eq!(c.advance(2), u64::MAX - 1, "below the boundary: exact");
+        assert_eq!(c.advance(10), u64::MAX, "over the boundary: clamps");
+        assert_eq!(c.now(), u64::MAX, "never wrapped past zero");
+        assert_eq!(c.advance(1), u64::MAX, "pinned at the ceiling");
+        assert_eq!(c.advance(u64::MAX), u64::MAX, "even by the full range");
+    }
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+//! # nlidb-obs — deterministic tracing and metrics
+//!
+//! The survey's qualitative claims are about *why* an interpretation
+//! succeeded or failed: entity-based readings are interpretable and
+//! precise, learned ones are opaque but paraphrase-robust, and
+//! comparative evaluations (Affolter et al.) classify systems by the
+//! pipeline stage each test question dies in. Aggregate counters cannot
+//! answer that question; per-query traces can. This crate is the
+//! observability substrate the rest of the workspace records that
+//! evidence into — built so that observing a run never makes it less
+//! reproducible:
+//!
+//! * [`clock`] — injectable logical time. The [`Clock`] trait and
+//!   [`ManualClock`] live here (the serving crate re-exports them);
+//!   no wall-clock exists anywhere in this crate.
+//! * [`span`] — a [`TraceBuilder`] records a tree of named spans. Every
+//!   open/close event is stamped with a coarse tick read from the
+//!   injected clock *and* a per-trace monotonic sequence number (the
+//!   trace's own logical tick: one per recorded event). Span cost is
+//!   measured in those trace ticks, so it is bit-identical run over
+//!   run — never a duration sampled from a real timer.
+//! * [`metrics`] — a [`MetricsRegistry`] of named [`Counter`]s and
+//!   [`Histogram`]s over logical values, with *exact* percentile
+//!   queries (one bucket per value up to a cap, saturating above it).
+//! * [`sink`] — a bounded [`TraceSink`] collecting finished traces from
+//!   concurrent workers. Retention and JSONL export depend only on the
+//!   set of trace ids pushed, never on arrival interleaving, so two
+//!   runs of the same seeded stream export byte-identical JSONL —
+//!   experiment E14's claim.
+
+pub mod clock;
+pub mod metrics;
+pub mod sink;
+pub mod span;
+
+pub use clock::{Clock, ManualClock};
+pub use metrics::{Counter, Histogram, HistogramSummary, MetricsRegistry, MetricsReport};
+pub use sink::TraceSink;
+pub use span::{Span, SpanId, Trace, TraceBuilder};

@@ -1,0 +1,375 @@
+//! Named counters and exact-percentile histograms over logical values.
+//!
+//! Histograms here are not the approximating kind production metrics
+//! stacks use: the values they observe are small logical quantities
+//! (trace ticks, queue depths, retry counts), so one bucket per value
+//! up to a cap is affordable and makes every percentile query *exact*
+//! (nearest-rank). Observations above the cap saturate into the top
+//! bucket and are counted, so saturation is visible, never silent.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::span::Trace;
+
+/// A monotonic named counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Add `delta`.
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Overwrite the value — for exporting an externally-maintained
+    /// counter (e.g. a serving-metrics snapshot) into a registry.
+    pub fn store(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An exact histogram over `u64` values in `[0, cap]`; observations
+/// above `cap` clamp into the top bucket (and are counted as clamped).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    clamped: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram with one bucket per value in `[0, cap]`.
+    pub fn with_cap(cap: u64) -> Histogram {
+        Histogram {
+            buckets: (0..=cap).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            clamped: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation (clamped to the cap).
+    pub fn observe(&self, value: u64) {
+        let cap = (self.buckets.len() - 1) as u64;
+        let v = if value > cap {
+            self.clamped.fetch_add(1, Ordering::Relaxed);
+            cap
+        } else {
+            value
+        };
+        self.buckets[v as usize].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of recorded (post-clamp) values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Observations that exceeded the cap and were clamped.
+    pub fn clamped(&self) -> u64 {
+        self.clamped.load(Ordering::Relaxed)
+    }
+
+    /// Exact nearest-rank percentile of the recorded values: the
+    /// smallest value whose cumulative count reaches `ceil(p/100 × n)`
+    /// (rank 1 at `p = 0`, so `percentile(0)` is the minimum and
+    /// `percentile(100)` the maximum). `None` when empty.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0 * n as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (v, b) in self.buckets.iter().enumerate() {
+            cumulative += b.load(Ordering::Relaxed);
+            if cumulative >= rank {
+                return Some(v as u64);
+            }
+        }
+        None // unreachable: cumulative reaches n
+    }
+
+    /// Freeze into a plain summary.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            sum: self.sum(),
+            clamped: self.clamped(),
+            min: self.percentile(0.0).unwrap_or(0),
+            max: self.percentile(100.0).unwrap_or(0),
+            p50: self.percentile(50.0).unwrap_or(0),
+            p95: self.percentile(95.0).unwrap_or(0),
+            p99: self.percentile(99.0).unwrap_or(0),
+        }
+    }
+}
+
+/// Plain-value view of one histogram (all zeros when `count == 0`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of recorded (post-clamp) values.
+    pub sum: u64,
+    /// Observations clamped into the top bucket.
+    pub clamped: u64,
+    /// Smallest recorded value.
+    pub min: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Exact 50th percentile.
+    pub p50: u64,
+    /// Exact 95th percentile.
+    pub p95: u64,
+    /// Exact 99th percentile.
+    pub p99: u64,
+}
+
+/// Default histogram cap for registries: trace-tick costs and queue
+/// depths in this workspace sit far below it.
+pub const DEFAULT_HISTOGRAM_CAP: u64 = 1024;
+
+/// A registry of named counters and histograms. Get-or-create by name;
+/// snapshots iterate in name order, so reports are deterministic
+/// regardless of which thread registered what first.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// The counter named `name`, created at zero on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("counter map lock");
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// The histogram named `name`, created with
+    /// [`DEFAULT_HISTOGRAM_CAP`] on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_with_cap(name, DEFAULT_HISTOGRAM_CAP)
+    }
+
+    /// The histogram named `name`, created with `cap` on first use
+    /// (an existing histogram keeps its original cap).
+    pub fn histogram_with_cap(&self, name: &str, cap: u64) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("histogram map lock");
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::with_cap(cap))),
+        )
+    }
+
+    /// Record every span of `trace` into the `span.<name>` histogram
+    /// (observing the span's cost in trace ticks). This is how the
+    /// serving layer turns finished traces into the per-stage cost
+    /// distributions E14 tabulates.
+    pub fn observe_trace(&self, trace: &Trace) {
+        for span in &trace.spans {
+            self.histogram(&format!("span.{}", span.name))
+                .observe(span.cost());
+        }
+    }
+
+    /// Freeze every metric into a sorted, comparable report.
+    pub fn report(&self) -> MetricsReport {
+        let counters = self
+            .counters
+            .lock()
+            .expect("counter map lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("histogram map lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.summary()))
+            .collect();
+        MetricsReport {
+            counters,
+            histograms,
+        }
+    }
+}
+
+/// Frozen registry contents, sorted by name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsReport {
+    /// `(name, value)` for every counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, summary)` for every histogram.
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+impl MetricsReport {
+    /// The counter named `name`, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// The histogram summary named `name`, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+    }
+}
+
+impl fmt::Display for MetricsReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "counters:")?;
+        for (name, value) in &self.counters {
+            writeln!(f, "  {name} = {value}")?;
+        }
+        writeln!(f, "histograms (count p50/p95/max sum):")?;
+        for (name, s) in &self.histograms {
+            writeln!(
+                f,
+                "  {name} = {} {}/{}/{} {}",
+                s.count, s.p50, s.p95, s.max, s.sum
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.store(2);
+        assert_eq!(c.get(), 2);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_percentiles() {
+        let h = Histogram::with_cap(8);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(50.0), None);
+        let s = h.summary();
+        assert_eq!((s.count, s.min, s.max, s.p50), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn single_observation_is_every_percentile() {
+        let h = Histogram::with_cap(8);
+        h.observe(5);
+        for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), Some(5), "p{p}");
+        }
+        assert_eq!(h.sum(), 5);
+    }
+
+    #[test]
+    fn percentiles_are_exact_at_boundaries() {
+        let h = Histogram::with_cap(16);
+        for v in [1, 2, 3, 4] {
+            h.observe(v);
+        }
+        // Nearest-rank over {1,2,3,4}: rank = ceil(p/100 × 4).
+        assert_eq!(h.percentile(0.0), Some(1), "rank 1 (minimum)");
+        assert_eq!(h.percentile(25.0), Some(1), "rank 1");
+        assert_eq!(h.percentile(25.1), Some(2), "rank 2 starts just above");
+        assert_eq!(h.percentile(50.0), Some(2), "rank 2");
+        assert_eq!(h.percentile(75.0), Some(3), "rank 3");
+        assert_eq!(h.percentile(75.1), Some(4), "rank 4 starts just above");
+        assert_eq!(h.percentile(100.0), Some(4), "rank 4 (maximum)");
+        assert_eq!(h.percentile(200.0), Some(4), "clamped to 100");
+        assert_eq!(h.percentile(-5.0), Some(1), "clamped to 0");
+    }
+
+    #[test]
+    fn saturation_clamps_into_the_top_bucket_visibly() {
+        let h = Histogram::with_cap(4);
+        h.observe(3);
+        h.observe(4);
+        h.observe(100);
+        h.observe(u64::MAX);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.clamped(), 2);
+        assert_eq!(h.percentile(100.0), Some(4), "clamped values sit at cap");
+        assert_eq!(h.sum(), 3 + 4 + 4 + 4, "sum records post-clamp values");
+    }
+
+    #[test]
+    fn registry_reports_sorted_by_name() {
+        let r = MetricsRegistry::new();
+        r.counter("z.last").add(1);
+        r.counter("a.first").add(2);
+        r.histogram("m.mid").observe(3);
+        let report = r.report();
+        assert_eq!(
+            report.counters,
+            vec![("a.first".to_string(), 2), ("z.last".to_string(), 1)]
+        );
+        assert_eq!(report.counter("a.first"), Some(2));
+        assert_eq!(report.histogram("m.mid").unwrap().count, 1);
+        assert_eq!(report.histogram("absent"), None);
+        // Same name returns the same instance.
+        r.counter("a.first").add(1);
+        assert_eq!(r.report().counter("a.first"), Some(3));
+    }
+
+    #[test]
+    fn observe_trace_fills_per_stage_histograms() {
+        use crate::clock::ManualClock;
+        use crate::span::TraceBuilder;
+        let r = MetricsRegistry::new();
+        let clock = Arc::new(ManualClock::new());
+        let mut tb = TraceBuilder::new(0, clock as Arc<dyn crate::clock::Clock>);
+        let root = tb.open("request");
+        let inner = tb.open("stage");
+        tb.close(inner);
+        tb.close(root);
+        r.observe_trace(&tb.finish());
+        let report = r.report();
+        assert_eq!(report.histogram("span.request").unwrap().p50, 3);
+        assert_eq!(report.histogram("span.stage").unwrap().p50, 1);
+    }
+}

@@ -1,0 +1,140 @@
+//! A bounded, order-insensitive collector for finished traces.
+//!
+//! Worker threads finish traces in whatever interleaving the scheduler
+//! produces; a deterministic exporter cannot depend on that order. The
+//! sink therefore keys traces by id and makes every observable
+//! behavior a function of the *set* of pushed traces only: retention
+//! keeps the `capacity` largest ids (trace ids are submission order,
+//! so largest = newest — a ring buffer over logical time), and JSONL
+//! export walks ids ascending. Two runs that push the same traces
+//! export byte-identical JSONL no matter how their threads raced.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::span::Trace;
+
+/// Bounded trace store; see the module docs for the determinism model.
+#[derive(Debug)]
+pub struct TraceSink {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    traces: BTreeMap<u64, Trace>,
+    dropped: u64,
+}
+
+impl TraceSink {
+    /// A sink retaining at most `capacity` traces (at least 1).
+    pub fn new(capacity: usize) -> TraceSink {
+        TraceSink {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Insert a finished trace. When full, the smallest id in the sink
+    /// (oldest request, possibly the incoming one) is evicted.
+    pub fn push(&self, trace: Trace) {
+        let mut inner = self.inner.lock().expect("sink lock");
+        inner.traces.insert(trace.id, trace);
+        while inner.traces.len() > self.capacity {
+            let oldest = *inner.traces.keys().next().expect("non-empty");
+            inner.traces.remove(&oldest);
+            inner.dropped += 1;
+        }
+    }
+
+    /// Number of retained traces.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("sink lock").traces.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Traces evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("sink lock").dropped
+    }
+
+    /// All retained traces, ascending by id.
+    pub fn traces(&self) -> Vec<Trace> {
+        self.inner
+            .lock()
+            .expect("sink lock")
+            .traces
+            .values()
+            .cloned()
+            .collect()
+    }
+
+    /// One JSON object per line, ascending by trace id, trailing
+    /// newline after every line. Byte-identical across runs that
+    /// retained the same traces.
+    pub fn export_jsonl(&self) -> String {
+        let inner = self.inner.lock().expect("sink lock");
+        let mut out = String::new();
+        for trace in inner.traces.values() {
+            out.push_str(&trace.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::{Clock, ManualClock};
+    use crate::span::TraceBuilder;
+    use std::sync::Arc;
+
+    fn trace(id: u64) -> Trace {
+        let clock = Arc::new(ManualClock::new());
+        let mut tb = TraceBuilder::new(id, clock as Arc<dyn Clock>);
+        let s = tb.open("request");
+        tb.close(s);
+        tb.finish()
+    }
+
+    #[test]
+    fn retains_the_largest_ids_regardless_of_arrival_order() {
+        for order in [vec![0, 1, 2, 3], vec![3, 1, 0, 2], vec![2, 3, 0, 1]] {
+            let sink = TraceSink::new(2);
+            for id in order {
+                sink.push(trace(id));
+            }
+            let kept: Vec<u64> = sink.traces().iter().map(|t| t.id).collect();
+            assert_eq!(kept, vec![2, 3]);
+            assert_eq!(sink.dropped(), 2);
+        }
+    }
+
+    #[test]
+    fn export_is_ascending_and_newline_terminated() {
+        let sink = TraceSink::new(8);
+        sink.push(trace(5));
+        sink.push(trace(1));
+        let jsonl = sink.export_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"trace\":1,"));
+        assert!(lines[1].starts_with("{\"trace\":5,"));
+        assert!(jsonl.ends_with('\n'));
+        assert!(!sink.is_empty());
+        assert_eq!(sink.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_still_retains_one() {
+        let sink = TraceSink::new(0);
+        sink.push(trace(9));
+        assert_eq!(sink.len(), 1);
+    }
+}

@@ -1,0 +1,391 @@
+//! Deterministic span trees.
+//!
+//! A [`TraceBuilder`] records what one request did as a tree of named
+//! spans. Two time axes stamp every span, neither of them wall-clock:
+//!
+//! * **Coarse ticks** read from the injected [`Clock`] — the driver's
+//!   logical time (the load generator advances one tick per batch).
+//!   They place a span *in the run* but cannot measure work inside a
+//!   batch, where the clock stands still.
+//! * **Trace ticks** — a per-trace monotonic sequence number, bumped
+//!   once per recorded open/close event. A span's *cost* is its close
+//!   sequence minus its open sequence: the number of trace events that
+//!   happened inside it, a deterministic proxy for traced work that is
+//!   bit-identical run over run.
+//!
+//! The builder tolerates any open/close interleaving without ever
+//! producing an unbalanced tree: closing a span first closes every
+//! still-open descendant, closing a closed span is a no-op, and
+//! [`TraceBuilder::finish`] closes whatever is left. Those are the
+//! invariants the property tests pin down — every interleaving yields
+//! strictly increasing sequence numbers and strictly nested spans.
+
+use std::sync::Arc;
+
+use crate::clock::Clock;
+
+/// Handle to a span inside one [`TraceBuilder`] (valid only for the
+/// builder that returned it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId(usize);
+
+/// One finished span of a [`Trace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Stage name (e.g. `"tokenize"`, `"rung"`).
+    pub name: String,
+    /// Index of the parent span in [`Trace::spans`], `None` for roots.
+    pub parent: Option<usize>,
+    /// Trace tick at open (strictly increasing across all events).
+    pub seq_open: u64,
+    /// Trace tick at close (> `seq_open`).
+    pub seq_close: u64,
+    /// Coarse clock tick at open.
+    pub tick_open: u64,
+    /// Coarse clock tick at close.
+    pub tick_close: u64,
+    /// Key/value annotations, in recording order.
+    pub attrs: Vec<(String, String)>,
+}
+
+impl Span {
+    /// Span cost in trace ticks: events recorded between open and
+    /// close. An empty span costs 1 (its own close event); a span
+    /// containing other spans costs more. Deterministic by
+    /// construction.
+    pub fn cost(&self) -> u64 {
+        self.seq_close - self.seq_open
+    }
+
+    /// The first value recorded for `key`, if any.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// One finished trace: the span tree for a single traced unit of work
+/// (one request, one question), in span-open order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Trace id (the serving layer uses the request id).
+    pub id: u64,
+    /// Spans in open order; parents always precede children.
+    pub spans: Vec<Span>,
+}
+
+impl Trace {
+    /// The first root span (almost always the only one).
+    pub fn root(&self) -> Option<&Span> {
+        self.spans.iter().find(|s| s.parent.is_none())
+    }
+
+    /// All spans with the given name, in open order.
+    pub fn spans_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Span> {
+        self.spans.iter().filter(move |s| s.name == name)
+    }
+
+    /// Render as one deterministic JSON object (single line, no
+    /// whitespace): `{"trace":N,"spans":[...]}`. Attribute order is
+    /// recording order; field order is fixed; escaping is minimal
+    /// JSON string escaping. Byte-identical for identical traces.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.spans.len() * 96);
+        out.push_str("{\"trace\":");
+        out.push_str(&self.id.to_string());
+        out.push_str(",\"spans\":[");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            push_json_str(&mut out, &s.name);
+            out.push_str(",\"parent\":");
+            match s.parent {
+                Some(p) => out.push_str(&p.to_string()),
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"seq\":[");
+            out.push_str(&s.seq_open.to_string());
+            out.push(',');
+            out.push_str(&s.seq_close.to_string());
+            out.push_str("],\"tick\":[");
+            out.push_str(&s.tick_open.to_string());
+            out.push(',');
+            out.push_str(&s.tick_close.to_string());
+            out.push_str("],\"attrs\":{");
+            for (j, (k, v)) in s.attrs.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                push_json_str(&mut out, k);
+                out.push(':');
+                push_json_str(&mut out, v);
+            }
+            out.push_str("}}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Append `s` as a JSON string literal (quotes included).
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// In-progress span record.
+#[derive(Debug)]
+struct OpenSpan {
+    name: String,
+    parent: Option<usize>,
+    seq_open: u64,
+    tick_open: u64,
+    seq_close: Option<u64>,
+    tick_close: u64,
+    attrs: Vec<(String, String)>,
+}
+
+/// Records one trace. Single-owner (one builder per traced request);
+/// the clock it stamps coarse ticks from is injected at construction.
+pub struct TraceBuilder {
+    id: u64,
+    clock: Arc<dyn Clock>,
+    next_seq: u64,
+    spans: Vec<OpenSpan>,
+    /// Indices of currently-open spans, outermost first.
+    stack: Vec<usize>,
+}
+
+impl TraceBuilder {
+    /// A builder for trace `id`, stamping coarse ticks from `clock`.
+    pub fn new(id: u64, clock: Arc<dyn Clock>) -> TraceBuilder {
+        TraceBuilder {
+            id,
+            clock,
+            next_seq: 0,
+            spans: Vec::new(),
+            stack: Vec::new(),
+        }
+    }
+
+    /// The trace id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Number of spans recorded so far (open or closed).
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True when no span has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// The innermost currently-open span, if any.
+    pub fn current(&self) -> Option<SpanId> {
+        self.stack.last().copied().map(SpanId)
+    }
+
+    fn bump(&mut self) -> u64 {
+        self.next_seq += 1;
+        self.next_seq
+    }
+
+    /// Open a child of the current span (or a root), stamped at the
+    /// clock's current tick.
+    pub fn open(&mut self, name: &str) -> SpanId {
+        let tick = self.clock.now();
+        self.open_at(name, tick)
+    }
+
+    /// [`TraceBuilder::open`], with an explicit coarse tick — for
+    /// events whose logical time was recorded earlier than the tracer
+    /// runs (e.g. a request's admission tick, carried in its job
+    /// envelope).
+    pub fn open_at(&mut self, name: &str, tick: u64) -> SpanId {
+        let seq = self.bump();
+        let idx = self.spans.len();
+        self.spans.push(OpenSpan {
+            name: name.to_string(),
+            parent: self.stack.last().copied(),
+            seq_open: seq,
+            tick_open: tick,
+            seq_close: None,
+            tick_close: tick,
+            attrs: Vec::new(),
+        });
+        self.stack.push(idx);
+        SpanId(idx)
+    }
+
+    /// Attach a key/value annotation to `span`. Allowed at any time
+    /// (even after the span closed); order is preserved.
+    pub fn annotate(&mut self, span: SpanId, key: &str, value: impl Into<String>) {
+        self.spans[span.0]
+            .attrs
+            .push((key.to_string(), value.into()));
+    }
+
+    /// Close `span`, stamped at the clock's current tick. Any
+    /// descendants still open are closed first (in innermost-out
+    /// order); closing an already-closed span is a no-op.
+    pub fn close(&mut self, span: SpanId) {
+        let tick = self.clock.now();
+        self.close_at(span, tick);
+    }
+
+    /// [`TraceBuilder::close`], with an explicit coarse tick.
+    pub fn close_at(&mut self, span: SpanId, tick: u64) {
+        let Some(pos) = self.stack.iter().position(|&i| i == span.0) else {
+            return; // already closed
+        };
+        while self.stack.len() > pos {
+            let idx = self.stack.pop().expect("stack non-empty");
+            let seq = self.bump();
+            let rec = &mut self.spans[idx];
+            rec.seq_close = Some(seq);
+            rec.tick_close = tick;
+        }
+    }
+
+    /// Close every still-open span and freeze the trace.
+    pub fn finish(mut self) -> Trace {
+        let tick = self.clock.now();
+        while let Some(idx) = self.stack.pop() {
+            let seq = self.bump();
+            let rec = &mut self.spans[idx];
+            rec.seq_close = Some(seq);
+            rec.tick_close = tick;
+        }
+        Trace {
+            id: self.id,
+            spans: self
+                .spans
+                .into_iter()
+                .map(|s| Span {
+                    name: s.name,
+                    parent: s.parent,
+                    seq_open: s.seq_open,
+                    seq_close: s.seq_close.expect("all spans closed by finish"),
+                    tick_open: s.tick_open,
+                    tick_close: s.tick_close,
+                    attrs: s.attrs,
+                })
+                .collect(),
+        }
+    }
+}
+
+impl std::fmt::Debug for TraceBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceBuilder")
+            .field("id", &self.id)
+            .field("spans", &self.spans.len())
+            .field("open", &self.stack.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    fn builder() -> (TraceBuilder, Arc<ManualClock>) {
+        let clock = Arc::new(ManualClock::new());
+        (TraceBuilder::new(7, clock.clone() as Arc<dyn Clock>), clock)
+    }
+
+    #[test]
+    fn nested_spans_record_both_time_axes() {
+        let (mut tb, clock) = builder();
+        let root = tb.open("request");
+        clock.advance(2);
+        let child = tb.open("stage");
+        tb.annotate(child, "family", "hybrid");
+        tb.close(child);
+        clock.advance(1);
+        tb.close(root);
+        let t = tb.finish();
+        assert_eq!(t.id, 7);
+        assert_eq!(t.spans.len(), 2);
+        let (r, c) = (&t.spans[0], &t.spans[1]);
+        assert_eq!((r.parent, c.parent), (None, Some(0)));
+        assert_eq!((r.seq_open, r.seq_close), (1, 4));
+        assert_eq!((c.seq_open, c.seq_close), (2, 3));
+        assert_eq!((r.tick_open, r.tick_close), (0, 3));
+        assert_eq!((c.tick_open, c.tick_close), (2, 2));
+        assert_eq!(r.cost(), 3);
+        assert_eq!(c.cost(), 1);
+        assert_eq!(c.attr("family"), Some("hybrid"));
+        assert_eq!(t.root().map(|s| s.name.as_str()), Some("request"));
+    }
+
+    #[test]
+    fn closing_an_outer_span_closes_its_children() {
+        let (mut tb, _) = builder();
+        let a = tb.open("a");
+        let _b = tb.open("b");
+        let _c = tb.open("c");
+        tb.close(a); // seals c, then b, then a
+        assert_eq!(tb.current(), None);
+        let t = tb.finish();
+        let seqs: Vec<(u64, u64)> = t.spans.iter().map(|s| (s.seq_open, s.seq_close)).collect();
+        assert_eq!(seqs, vec![(1, 6), (2, 5), (3, 4)], "innermost closes first");
+    }
+
+    #[test]
+    fn double_close_is_a_noop_and_finish_seals_the_rest() {
+        let (mut tb, _) = builder();
+        let a = tb.open("a");
+        let b = tb.open("b");
+        tb.close(b);
+        tb.close(b); // no-op: no extra event
+        let _late = tb.open("late"); // reparents under the still-open a
+        let t = tb.finish(); // closes late, then a
+        assert_eq!(t.spans[1].seq_close, 3);
+        assert_eq!(t.spans[2].parent, Some(a.0));
+        assert_eq!(t.spans[0].seq_close, 6);
+        let _ = b;
+    }
+
+    #[test]
+    fn json_is_stable_and_escaped() {
+        let (mut tb, _) = builder();
+        let s = tb.open("q");
+        tb.annotate(s, "sql", "SELECT \"x\"\n\tFROM t\\u");
+        tb.close(s);
+        let json = tb.finish().to_json();
+        assert_eq!(
+            json,
+            "{\"trace\":7,\"spans\":[{\"name\":\"q\",\"parent\":null,\"seq\":[1,2],\
+             \"tick\":[0,0],\"attrs\":{\"sql\":\"SELECT \\\"x\\\"\\n\\tFROM t\\\\u\"}}]}"
+        );
+    }
+
+    #[test]
+    fn control_chars_escape_as_unicode() {
+        let mut out = String::new();
+        push_json_str(&mut out, "a\u{1}b");
+        assert_eq!(out, "\"a\\u0001b\"");
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests for the span recorder: *any* interleaving of opens,
+//! closes (targeted at arbitrary spans, including already-closed
+//! ones), and annotations must yield a balanced tree with strictly
+//! increasing sequence numbers.
+
+use std::sync::Arc;
+
+use nlidb_obs::{Clock, ManualClock, SpanId, Trace, TraceBuilder};
+use proptest::prelude::*;
+
+/// Replay an op list against a builder. Ops: 0 = open, 1 = close a
+/// pseudo-random prior span, 2 = annotate a prior span, 3 = advance
+/// the clock.
+fn replay(ops: &[(u8, u8)]) -> Trace {
+    let clock = Arc::new(ManualClock::new());
+    let mut tb = TraceBuilder::new(42, clock.clone() as Arc<dyn Clock>);
+    let mut ids: Vec<SpanId> = Vec::new();
+    for &(op, pick) in ops {
+        match op % 4 {
+            0 => ids.push(tb.open(&format!("s{}", ids.len() % 5))),
+            1 if !ids.is_empty() => {
+                let target = ids[pick as usize % ids.len()];
+                tb.close(target);
+            }
+            2 if !ids.is_empty() => {
+                let target = ids[pick as usize % ids.len()];
+                tb.annotate(target, "k", pick.to_string());
+            }
+            3 => {
+                clock.advance(u64::from(pick) % 3);
+            }
+            _ => {}
+        }
+    }
+    tb.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn any_interleaving_yields_a_balanced_strictly_sequenced_tree(
+        ops in proptest::collection::vec((0u8..8, 0u8..64), 0..120),
+    ) {
+        let trace = replay(&ops);
+
+        // Every span is balanced: it closed, after it opened.
+        let mut events: Vec<u64> = Vec::new();
+        for s in &trace.spans {
+            prop_assert!(s.seq_open < s.seq_close, "{s:?}");
+            prop_assert!(s.tick_open <= s.tick_close, "coarse time is monotonic");
+            events.push(s.seq_open);
+            events.push(s.seq_close);
+        }
+
+        // Sequence numbers are strictly increasing: 1..=2n, no gaps,
+        // no duplicates — exactly one per open/close event.
+        events.sort_unstable();
+        let expected: Vec<u64> = (1..=2 * trace.spans.len() as u64).collect();
+        prop_assert_eq!(events, expected);
+
+        // The tree is strictly nested: a child opens after its parent
+        // opens and closes before its parent closes, and parents
+        // precede children in recorded order.
+        for (idx, s) in trace.spans.iter().enumerate() {
+            if let Some(p) = s.parent {
+                prop_assert!(p < idx, "parents precede children");
+                let parent = &trace.spans[p];
+                prop_assert!(parent.seq_open < s.seq_open);
+                prop_assert!(s.seq_close < parent.seq_close);
+            }
+        }
+    }
+
+    #[test]
+    fn replay_is_deterministic(
+        ops in proptest::collection::vec((0u8..8, 0u8..64), 0..80),
+    ) {
+        let a = replay(&ops);
+        let b = replay(&ops);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.to_json(), b.to_json());
+    }
+}

@@ -1,57 +1,15 @@
-//! Injectable logical time.
+//! Injectable logical time — re-exported from [`nlidb_obs`].
 //!
-//! The workspace invariant — no wall-clock in library code — extends
-//! to serving: deadlines and admission decisions are made against a
-//! [`Clock`] the *caller* owns. Experiments drive a [`ManualClock`]
+//! The [`Clock`] trait and [`ManualClock`] originated here; they moved
+//! down to the observability crate so the tracer can stamp spans from
+//! the same time source deadlines are decided against, and are
+//! re-exported under their original paths. The serving-side contract
+//! is unchanged: deadlines and admission decisions are made against a
+//! clock the *caller* owns, and experiments drive a [`ManualClock`]
 //! forward explicitly, so every deadline outcome is a pure function of
 //! the request stream, not of scheduler timing.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
-/// A monotonic tick source. Ticks are dimensionless; the driver
-/// decides what one tick means (the load generator advances one tick
-/// per submitted batch).
-pub trait Clock: Send + Sync {
-    /// Current tick.
-    fn now(&self) -> u64;
-}
-
-/// A clock that moves only when told to.
-#[derive(Debug, Default)]
-pub struct ManualClock {
-    ticks: AtomicU64,
-}
-
-impl ManualClock {
-    /// A clock starting at tick 0.
-    pub fn new() -> ManualClock {
-        ManualClock::default()
-    }
-
-    /// A clock starting at `start`.
-    pub fn starting_at(start: u64) -> ManualClock {
-        ManualClock {
-            ticks: AtomicU64::new(start),
-        }
-    }
-
-    /// Advance by `delta` ticks, returning the new time.
-    pub fn advance(&self, delta: u64) -> u64 {
-        self.ticks.fetch_add(delta, Ordering::Relaxed) + delta
-    }
-
-    /// Jump to an absolute tick (must not move backwards in normal
-    /// use; not enforced, since tests rewind freely).
-    pub fn set(&self, ticks: u64) {
-        self.ticks.store(ticks, Ordering::Relaxed);
-    }
-}
-
-impl Clock for ManualClock {
-    fn now(&self) -> u64 {
-        self.ticks.load(Ordering::Relaxed)
-    }
-}
+pub use nlidb_obs::{Clock, ManualClock};
 
 #[cfg(test)]
 mod tests {
@@ -71,5 +29,16 @@ mod tests {
     fn starting_at_offsets() {
         let c = ManualClock::starting_at(7);
         assert_eq!(c.now(), 7);
+    }
+
+    #[test]
+    fn advance_saturates_at_the_boundary_instead_of_wrapping() {
+        // Deadline admission compares `now + projected`; a wrapped
+        // clock would silently re-admit everything. The clock saturates
+        // instead, keeping monotonicity at the representable ceiling.
+        let c = ManualClock::starting_at(u64::MAX - 1);
+        assert_eq!(c.advance(5), u64::MAX);
+        assert_eq!(c.now(), u64::MAX);
+        assert_eq!(c.advance(1), u64::MAX, "stays pinned, never wraps");
     }
 }

@@ -22,10 +22,18 @@
 //!   rendered answer so a hit skips interpretation *and* execution.
 //!   The join-path cache in front of Steiner-tree search lives in
 //!   [`nlidb_ontology::cache`] and is shared by all workers.
-//! * [`clock`] — injectable logical time ([`ManualClock`]); deadlines
-//!   are ticks of a clock the driver advances, never a wall clock.
+//! * [`clock`] — injectable logical time ([`ManualClock`], re-exported
+//!   from [`nlidb_obs`]); deadlines are ticks of a clock the driver
+//!   advances, never a wall clock.
 //! * [`metrics`] — atomic counters with a comparable, printable
-//!   [`MetricsSnapshot`].
+//!   [`MetricsSnapshot`], exportable into an obs
+//!   [`MetricsRegistry`](nlidb_obs::MetricsRegistry).
+//! * [`obs`] — per-request tracing: start the server with a
+//!   [`ServeObs`] and every request finishes as a span tree
+//!   (admission, queueing, cache probe, ladder rungs with retry /
+//!   breaker / fault evidence, pipeline stages) in a deterministic
+//!   [`TraceSink`](nlidb_obs::TraceSink) — E14's byte-identical-JSONL
+//!   claim.
 //! * [`loadgen`] — a seeded closed-loop driver replaying
 //!   [`nlidb_benchdata::request_stream`] workloads batch by batch.
 //! * [`fault`] / [`retry`] — the robustness layer: seeded fault
@@ -47,6 +55,7 @@ pub mod fault;
 pub mod loadgen;
 pub mod lru;
 pub mod metrics;
+pub mod obs;
 pub mod retry;
 pub mod server;
 
@@ -55,6 +64,7 @@ pub use fault::{fault_plan_hook, silence_worker_panics, HookCtx, InjectedFault};
 pub use loadgen::{run_closed_loop, with_deadlines, LoadReport};
 pub use lru::LruCache;
 pub use metrics::{MetricsSnapshot, ServeMetrics};
+pub use obs::ServeObs;
 pub use retry::{BreakerPolicy, CircuitBreaker, RetryPolicy};
 pub use server::{
     normalize_question, Admission, Completion, Disposition, RequestHook, Server, ServerConfig,

@@ -185,6 +185,40 @@ impl MetricsSnapshot {
             (self.shed_full + self.shed_deadline) as f64 / self.submitted as f64
         }
     }
+
+    /// Export every counter into `registry` under `serve.`-prefixed
+    /// names (per-worker counts as `serve.per_worker.N`), overwriting
+    /// prior values — so the obs registry is the one place a driver
+    /// reads both serving counters and stage-cost histograms from.
+    pub fn export_into(&self, registry: &nlidb_obs::MetricsRegistry) {
+        let fields: [(&str, u64); 17] = [
+            ("serve.submitted", self.submitted),
+            ("serve.admitted", self.admitted),
+            ("serve.shed_full", self.shed_full),
+            ("serve.shed_deadline", self.shed_deadline),
+            ("serve.answered", self.answered),
+            ("serve.refused", self.refused),
+            ("serve.session_turns", self.session_turns),
+            ("serve.interp_hits", self.interp_hits),
+            ("serve.interp_misses", self.interp_misses),
+            ("serve.max_queue_depth", self.max_queue_depth),
+            ("serve.retries", self.retries),
+            ("serve.retry_backoff_ticks", self.retry_backoff_ticks),
+            ("serve.breaker_trips", self.breaker_trips),
+            ("serve.breaker_skips", self.breaker_skips),
+            ("serve.degraded", self.degraded),
+            ("serve.worker_deaths", self.worker_deaths),
+            ("serve.crashed_requests", self.crashed_requests),
+        ];
+        for (name, value) in fields {
+            registry.counter(name).store(value);
+        }
+        for (w, value) in self.per_worker.iter().enumerate() {
+            registry
+                .counter(&format!("serve.per_worker.{w}"))
+                .store(*value);
+        }
+    }
 }
 
 impl fmt::Display for MetricsSnapshot {
@@ -272,6 +306,24 @@ mod tests {
         ] {
             assert!(text.contains(needle), "missing {needle} in {text}");
         }
+    }
+
+    #[test]
+    fn export_into_registry_mirrors_every_counter() {
+        let m = ServeMetrics::new(2, false);
+        m.submitted.fetch_add(9, Ordering::Relaxed);
+        m.retries.fetch_add(3, Ordering::Relaxed);
+        m.per_worker[1].fetch_add(4, Ordering::Relaxed);
+        let registry = nlidb_obs::MetricsRegistry::new();
+        m.snapshot().export_into(&registry);
+        let report = registry.report();
+        assert_eq!(report.counter("serve.submitted"), Some(9));
+        assert_eq!(report.counter("serve.retries"), Some(3));
+        assert_eq!(report.counter("serve.per_worker.0"), Some(0));
+        assert_eq!(report.counter("serve.per_worker.1"), Some(4));
+        // Re-export overwrites rather than accumulates.
+        m.snapshot().export_into(&registry);
+        assert_eq!(registry.report().counter("serve.submitted"), Some(9));
     }
 
     #[test]

@@ -45,11 +45,13 @@ use nlidb_core::interpretation::InterpreterKind;
 use nlidb_core::pipeline::NliPipeline;
 use nlidb_dialogue::{ConversationSession, ManagerKind};
 use nlidb_engine::ResultSet;
+use nlidb_obs::{SpanId, TraceBuilder};
 
 use crate::clock::Clock;
 use crate::fault::{HookCtx, InjectedFault};
 use crate::lru::LruCache;
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::obs::ServeObs;
 use crate::retry::{BreakerPolicy, CircuitBreaker, RetryPolicy};
 
 /// Per-request work hook, consulted by the owning worker before every
@@ -227,17 +229,20 @@ impl Completion {
     }
 }
 
-/// Work sent to a worker thread.
-enum Job {
-    Single {
-        id: u64,
-        question: String,
-    },
-    Turn {
-        id: u64,
-        session: u64,
-        utterance: String,
-    },
+/// Work sent to a worker thread. The envelope carries the admission
+/// facts the worker's tracer needs (the single-threaded submitter
+/// recorded them, so they are exact): the clock tick at admission and
+/// how many requests were queued ahead.
+struct Job {
+    id: u64,
+    submit_tick: u64,
+    queued_behind: usize,
+    work: Work,
+}
+
+enum Work {
+    Single { question: String },
+    Turn { session: u64, utterance: String },
 }
 
 /// State shared between the submitter and all workers.
@@ -245,6 +250,8 @@ struct Shared {
     pipeline: Arc<NliPipeline>,
     metrics: ServeMetrics,
     hook: Option<RequestHook>,
+    clock: Arc<dyn Clock>,
+    obs: Option<ServeObs>,
 }
 
 /// Lowercase + whitespace-collapse: the cache/routing key form, so
@@ -283,7 +290,6 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 /// [`Server::shutdown`] joins it.
 pub struct Server {
     shared: Arc<Shared>,
-    clock: Arc<dyn Clock>,
     config: ServerConfig,
     fingerprint: u64,
     senders: Vec<mpsc::Sender<Job>>,
@@ -315,6 +321,22 @@ impl Server {
         clock: Arc<dyn Clock>,
         hook: Option<RequestHook>,
     ) -> Server {
+        Server::start_observed(pipeline, config, clock, hook, None)
+    }
+
+    /// [`Server::start_with_hook`], with optional observability: when
+    /// `obs` is given, every request (admitted or rejected) finishes
+    /// as one span tree in the sink and feeds the registry's
+    /// per-stage cost histograms. Tracing never changes dispositions —
+    /// the observed completion stream is signature-identical to the
+    /// unobserved one.
+    pub fn start_observed(
+        pipeline: Arc<NliPipeline>,
+        config: ServerConfig,
+        clock: Arc<dyn Clock>,
+        hook: Option<RequestHook>,
+        obs: Option<ServeObs>,
+    ) -> Server {
         let config = ServerConfig {
             workers: config.workers.max(1),
             ..config
@@ -324,6 +346,8 @@ impl Server {
             pipeline,
             metrics: ServeMetrics::new(config.workers, config.interp_cache == 0),
             hook,
+            clock,
+            obs,
         });
         let (completion_tx, completion_rx) = mpsc::channel::<Completion>();
         let mut senders = Vec::with_capacity(config.workers);
@@ -360,7 +384,6 @@ impl Server {
         drop(completion_tx);
         Server {
             shared,
-            clock,
             fingerprint,
             outstanding: vec![0; config.workers],
             in_flight: 0,
@@ -393,12 +416,13 @@ impl Server {
         metrics.submitted.fetch_add(1, Ordering::Relaxed);
         let worker = self.route(spec);
         let depth = self.outstanding[worker];
+        let now = self.shared.clock.now();
 
         if let Some(deadline) = spec.deadline {
-            let now = self.clock.now();
             let projected = now + (depth as u64 + 1) * self.config.service_estimate;
             if now > deadline || projected > deadline {
                 metrics.shed_deadline.fetch_add(1, Ordering::Relaxed);
+                self.trace_reject(id, spec, depth, "deadline_exceeded");
                 self.rejected.push(Completion {
                     id,
                     worker: None,
@@ -410,6 +434,7 @@ impl Server {
         }
         if depth >= self.config.queue_capacity {
             metrics.shed_full.fetch_add(1, Ordering::Relaxed);
+            self.trace_reject(id, spec, depth, "shed");
             self.rejected.push(Completion {
                 id,
                 worker: None,
@@ -419,15 +444,18 @@ impl Server {
             return Admission::Shed { id };
         }
 
-        let job = match spec.session {
-            Some(session) => Job::Turn {
-                id,
-                session,
-                utterance: spec.question.clone(),
-            },
-            None => Job::Single {
-                id,
-                question: spec.question.clone(),
+        let job = Job {
+            id,
+            submit_tick: now,
+            queued_behind: depth,
+            work: match spec.session {
+                Some(session) => Work::Turn {
+                    session,
+                    utterance: spec.question.clone(),
+                },
+                None => Work::Single {
+                    question: spec.question.clone(),
+                },
             },
         };
         self.senders[worker]
@@ -438,6 +466,32 @@ impl Server {
         metrics.admitted.fetch_add(1, Ordering::Relaxed);
         metrics.observe_depth(self.outstanding[worker] as u64);
         Admission::Admitted { id, worker }
+    }
+
+    /// Record an admission-time reject as a two-span trace (the
+    /// request never reaches a worker, so the submitter is the only
+    /// place this evidence exists).
+    fn trace_reject(&self, id: u64, spec: &RequestSpec, depth: usize, outcome: &str) {
+        let Some(obs) = &self.shared.obs else { return };
+        let mut tb = TraceBuilder::new(id, Arc::clone(&self.shared.clock));
+        let root = tb.open("request");
+        tb.annotate(root, "id", id.to_string());
+        tb.annotate(
+            root,
+            "kind",
+            if spec.session.is_some() {
+                "turn"
+            } else {
+                "single"
+            },
+        );
+        tb.annotate(root, "outcome", outcome);
+        let adm = tb.open("admission");
+        tb.annotate(adm, "depth", depth.to_string());
+        tb.annotate(adm, "outcome", outcome);
+        tb.close(adm);
+        tb.close(root);
+        obs.record(tb.finish());
     }
 
     /// Wait for every admitted request to finish; return all outcomes
@@ -555,10 +609,32 @@ fn render_rows(result: &ResultSet) -> Vec<String> {
         .collect()
 }
 
+/// What [`ride_out_faults`] did for one rung: whether the attempt may
+/// proceed, and the retry accounting the caller's tracer attributes to
+/// its span.
+struct FaultRide {
+    /// `true`: proceed with the pipeline; `false`: abandon the rung
+    /// (fatal fault, or transient budget exhausted).
+    proceed: bool,
+    /// Transient retries absorbed.
+    retries: u32,
+    /// Logical backoff ticks accounted to those retries.
+    backoff: u64,
+}
+
+impl FaultRide {
+    /// Annotate `span` with the retries this ride absorbed (no-op when
+    /// it absorbed none — quiet rungs stay quiet in the trace).
+    fn annotate(&self, tb: &mut TraceBuilder, span: SpanId) {
+        if self.retries > 0 {
+            tb.annotate(span, "retries", self.retries.to_string());
+            tb.annotate(span, "backoff", self.backoff.to_string());
+        }
+    }
+}
+
 /// Consult the hook for the attempt described by `ctx`, absorbing
-/// transient faults within the retry budget. Returns `true` when the
-/// attempt may proceed, `false` when the rung must be abandoned
-/// (fatal fault, or transient budget exhausted). An injected
+/// transient faults within the retry budget. An injected
 /// [`InjectedFault::WorkerPanic`] panics right here — before any
 /// pipeline or session state is touched — and is contained by the
 /// `catch_unwind` in [`worker_loop`].
@@ -568,23 +644,33 @@ fn ride_out_faults(
     retry: &RetryPolicy,
     id: u64,
     rung: usize,
-) -> bool {
-    let Some(hook) = hook else { return true };
+) -> FaultRide {
+    let mut ride = FaultRide {
+        proceed: true,
+        retries: 0,
+        backoff: 0,
+    };
+    let Some(hook) = hook else { return ride };
     let mut attempt = 0u32;
     loop {
         match hook(&HookCtx { id, rung, attempt }) {
-            None => return true,
+            None => return ride,
             Some(InjectedFault::Transient) if attempt < retry.max_retries => {
                 metrics.retries.fetch_add(1, Ordering::Relaxed);
                 metrics
                     .retry_backoff_ticks
                     .fetch_add(retry.backoff(attempt), Ordering::Relaxed);
+                ride.retries += 1;
+                ride.backoff += retry.backoff(attempt);
                 attempt += 1;
             }
             Some(InjectedFault::WorkerPanic) => {
                 panic!("injected worker panic (request #{id})")
             }
-            Some(_) => return false,
+            Some(_) => {
+                ride.proceed = false;
+                return ride;
+            }
         }
     }
 }
@@ -592,7 +678,10 @@ fn ride_out_faults(
 /// Walk the degradation ladder for one standalone question. Returns
 /// the disposition plus the rendered answer to cache — present only
 /// for a full-fidelity rung-0 answer; degraded answers are never
-/// cached.
+/// cached. When a tracer is passed, every rung gets a span recording
+/// the breaker decision, absorbed retries, injected faults, and the
+/// rung's outcome — the per-query evidence E14 reconciles against the
+/// aggregate counters.
 #[allow(clippy::too_many_arguments)]
 fn interpret_single(
     id: u64,
@@ -603,25 +692,56 @@ fn interpret_single(
     retry: &RetryPolicy,
     ladder: &[InterpreterKind],
     breakers: &mut [CircuitBreaker],
+    mut tracer: Option<&mut TraceBuilder>,
 ) -> (Disposition, Option<(String, Vec<String>)>) {
     let mut last_refusal: Option<String> = None;
     for (rung, &kind) in ladder.iter().enumerate() {
+        let span = tracer.as_deref_mut().map(|tb| {
+            let s = tb.open("rung");
+            tb.annotate(s, "rung", rung.to_string());
+            tb.annotate(s, "family", kind.label());
+            s
+        });
+        let seal = |tracer: &mut Option<&mut TraceBuilder>, key: &str, value: &str| {
+            if let (Some(tb), Some(s)) = (tracer.as_deref_mut(), span) {
+                tb.annotate(s, key, value);
+                tb.annotate(s, "outcome", key_outcome(key, value));
+                tb.close(s);
+            }
+        };
         if !breakers[rung].allow() {
             metrics.breaker_skips.fetch_add(1, Ordering::Relaxed);
+            seal(&mut tracer, "breaker", "open");
             continue;
         }
-        if !ride_out_faults(hook, metrics, retry, id, rung) {
-            if breakers[rung].on_failure() {
+        let ride = ride_out_faults(hook, metrics, retry, id, rung);
+        if let (Some(tb), Some(s)) = (tracer.as_deref_mut(), span) {
+            ride.annotate(tb, s);
+        }
+        if !ride.proceed {
+            let tripped = breakers[rung].on_failure();
+            if tripped {
                 metrics.breaker_trips.fetch_add(1, Ordering::Relaxed);
             }
+            if let (Some(tb), Some(s)) = (tracer.as_deref_mut(), span) {
+                if tripped {
+                    tb.annotate(s, "breaker", "tripped");
+                }
+            }
+            seal(&mut tracer, "fault", "fatal");
             continue;
         }
-        match pipeline.ask_with(question, kind) {
+        let asked = match tracer.as_deref_mut() {
+            Some(tb) => pipeline.ask_with_trace(question, kind, tb),
+            None => pipeline.ask_with(question, kind),
+        };
+        match asked {
             Ok(answer) => {
                 breakers[rung].on_success();
                 let rows = render_rows(&answer.result);
                 if rung == 0 {
                     metrics.answered.fetch_add(1, Ordering::Relaxed);
+                    seal(&mut tracer, "served", "full");
                     return (
                         Disposition::Answered {
                             sql: answer.sql.clone(),
@@ -632,6 +752,7 @@ fn interpret_single(
                     );
                 }
                 metrics.degraded.fetch_add(1, Ordering::Relaxed);
+                seal(&mut tracer, "served", "degraded");
                 return (
                     Disposition::Degraded {
                         sql: answer.sql,
@@ -649,6 +770,7 @@ fn interpret_single(
                 breakers[rung].on_success();
                 if rung == 0 {
                     metrics.refused.fetch_add(1, Ordering::Relaxed);
+                    seal(&mut tracer, "refusal", "healthy");
                     return (
                         Disposition::Refused {
                             reason: e.to_string(),
@@ -657,6 +779,7 @@ fn interpret_single(
                     );
                 }
                 last_refusal = Some(e.to_string());
+                seal(&mut tracer, "refusal", "pass");
             }
         }
     }
@@ -666,6 +789,32 @@ fn interpret_single(
         None => "no interpreter family available (all rungs faulted or circuit-broken)".to_string(),
     };
     (Disposition::Refused { reason }, None)
+}
+
+/// Map a rung's terminal annotation to its `outcome` value, so every
+/// rung span carries a uniform `outcome` key whatever ended it.
+fn key_outcome(key: &str, value: &str) -> &'static str {
+    match (key, value) {
+        ("breaker", "open") => "breaker_skipped",
+        ("fault", _) => "faulted",
+        ("served", "full") => "answered",
+        ("served", "degraded") => "degraded",
+        ("refusal", "healthy") => "refused",
+        ("refusal", _) => "passed",
+        _ => "unknown",
+    }
+}
+
+/// A short label for the disposition, for the root span's `outcome`.
+fn disposition_label(d: &Disposition) -> &'static str {
+    match d {
+        Disposition::Answered { .. } => "answered",
+        Disposition::SessionReply { .. } => "session_reply",
+        Disposition::Degraded { .. } => "degraded",
+        Disposition::Refused { .. } => "refused",
+        Disposition::Shed => "shed",
+        Disposition::DeadlineExceeded => "deadline_exceeded",
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -700,13 +849,43 @@ fn worker_loop(
     let mut dead = false;
 
     while let Ok(job) = jobs.recv() {
-        let (id, session) = match &job {
-            Job::Single { id, .. } => (*id, None),
-            Job::Turn { id, session, .. } => (*id, Some(*session)),
+        let Job {
+            id,
+            submit_tick,
+            queued_behind,
+            work,
+        } = job;
+        let session = match &work {
+            Work::Turn { session, .. } => Some(*session),
+            Work::Single { .. } => None,
         };
+        let kind_label = if session.is_some() { "turn" } else { "single" };
+        // One trace per request: root `request` span, an `admission`
+        // span stamped at the submitter-recorded tick, and a `queued`
+        // span from that tick to dequeue (now).
+        let mut tracer: Option<(TraceBuilder, SpanId)> = shared.obs.as_ref().map(|_| {
+            let mut tb = TraceBuilder::new(id, Arc::clone(&shared.clock));
+            let root = tb.open_at("request", submit_tick);
+            tb.annotate(root, "id", id.to_string());
+            tb.annotate(root, "kind", kind_label);
+            tb.annotate(root, "worker", worker.to_string());
+            let adm = tb.open_at("admission", submit_tick);
+            tb.annotate(adm, "depth", queued_behind.to_string());
+            tb.annotate(adm, "outcome", "admitted");
+            tb.close_at(adm, submit_tick);
+            let q = tb.open_at("queued", submit_tick);
+            tb.annotate(q, "depth", queued_behind.to_string());
+            tb.close(q);
+            (tb, root)
+        });
         if dead {
             metrics.crashed_requests.fetch_add(1, Ordering::Relaxed);
             metrics.per_worker[worker].fetch_add(1, Ordering::Relaxed);
+            if let (Some(obs), Some((mut tb, root))) = (shared.obs.as_ref(), tracer.take()) {
+                tb.annotate(root, "outcome", "refused");
+                tb.annotate(root, "reason", "worker_died");
+                obs.record(tb.finish());
+            }
             let refused = Completion {
                 id,
                 worker: Some(worker),
@@ -720,10 +899,23 @@ fn worker_loop(
             }
             continue;
         }
-        let outcome = catch_unwind(AssertUnwindSafe(|| match job {
-            Job::Single { id, question } => {
+        let outcome = catch_unwind(AssertUnwindSafe(|| match work {
+            Work::Single { question } => {
                 let key = format!("{fingerprint:016x}|{}", normalize_question(&question));
+                let probe = tracer.as_mut().map(|(tb, _)| (tb.open("cache"), tb));
                 let cached = cache.as_mut().and_then(|c| c.get(&key).cloned());
+                if let Some((s, tb)) = probe {
+                    tb.annotate(
+                        s,
+                        "outcome",
+                        match (cache.is_some(), cached.is_some()) {
+                            (false, _) => "disabled",
+                            (true, true) => "hit",
+                            (true, false) => "miss",
+                        },
+                    );
+                    tb.close(s);
+                }
                 let disposition = match cached {
                     Some((sql, rows)) => {
                         metrics.interp_hits.fetch_add(1, Ordering::Relaxed);
@@ -745,6 +937,7 @@ fn worker_loop(
                             &retry,
                             ladder,
                             &mut breakers,
+                            tracer.as_mut().map(|(tb, _)| tb),
                         );
                         if let (Some(c), Some(payload)) = (cache.as_mut(), cacheable) {
                             c.put(key, payload);
@@ -759,20 +952,29 @@ fn worker_loop(
                     disposition,
                 }
             }
-            Job::Turn {
-                id,
-                session,
-                utterance,
-            } => {
+            Work::Turn { session, utterance } => {
+                let span = tracer.as_mut().map(|(tb, _)| {
+                    let s = tb.open("turn");
+                    tb.annotate(s, "session", session.to_string());
+                    s
+                });
                 // Faults are consulted *before* the manager runs, so a
                 // retried turn has mutated nothing: each dialogue turn
                 // executes at most once.
-                let disposition = if ride_out_faults(hook, metrics, &retry, id, 0) {
+                let ride = ride_out_faults(hook, metrics, &retry, id, 0);
+                if let (Some((tb, _)), Some(s)) = (tracer.as_mut(), span) {
+                    ride.annotate(tb, s);
+                }
+                let disposition = if ride.proceed {
                     let s = sessions
                         .entry(session)
                         .or_insert_with(|| ConversationSession::new(db, ctx, ManagerKind::Agent));
                     let r = s.turn(&utterance);
                     metrics.session_turns.fetch_add(1, Ordering::Relaxed);
+                    if let (Some((tb, _)), Some(sp)) = (tracer.as_mut(), span) {
+                        tb.annotate(sp, "accepted", r.accepted.to_string());
+                        tb.annotate(sp, "sql", if r.sql.is_some() { "yes" } else { "no" });
+                    }
                     Disposition::SessionReply {
                         response: r.response,
                         sql: r.sql.map(|q| q.to_string()),
@@ -782,10 +984,16 @@ fn worker_loop(
                     // Dialogue has no family ladder to fall down; a
                     // fatally-faulted turn is refused outright.
                     metrics.refused.fetch_add(1, Ordering::Relaxed);
+                    if let (Some((tb, _)), Some(sp)) = (tracer.as_mut(), span) {
+                        tb.annotate(sp, "fault", "fatal");
+                    }
                     Disposition::Refused {
                         reason: "session manager unavailable (injected fault)".to_string(),
                     }
                 };
+                if let (Some((tb, _)), Some(sp)) = (tracer.as_mut(), span) {
+                    tb.close(sp);
+                }
                 Completion {
                     id,
                     worker: Some(worker),
@@ -794,6 +1002,7 @@ fn worker_loop(
                 }
             }
         }));
+        let crashed = outcome.is_err();
         let completion = match outcome {
             Ok(completion) => completion,
             Err(_) => {
@@ -810,6 +1019,17 @@ fn worker_loop(
                 }
             }
         };
+        // Finish the trace whatever happened: on a contained panic the
+        // builder still holds every span opened before the unwind —
+        // `finish` seals them, so the trace shows exactly where the
+        // panic hit.
+        if let (Some(obs), Some((mut tb, root))) = (shared.obs.as_ref(), tracer.take()) {
+            tb.annotate(root, "outcome", disposition_label(&completion.disposition));
+            if crashed {
+                tb.annotate(root, "reason", "worker_panic");
+            }
+            obs.record(tb.finish());
+        }
         metrics.per_worker[worker].fetch_add(1, Ordering::Relaxed);
         if completions.send(completion).is_err() {
             // Submitter went away mid-flight; nothing left to report to.

@@ -1,0 +1,97 @@
+//! Trace a served request stream: attach a `ServeObs` to the server,
+//! replay a seeded stream with one injected fault, then read back the
+//! span tree of a faulted request, the per-stage cost histograms, and
+//! the deterministic JSONL export.
+//!
+//! ```bash
+//! cargo run --release --example observability
+//! ```
+
+use std::sync::Arc;
+
+use nlidb::benchdata::{derive_slots, request_stream, retail_database, FaultKind, FaultPlan};
+use nlidb::core::pipeline::NliPipeline;
+use nlidb::serve::{
+    fault_plan_hook, run_closed_loop, Clock, ManualClock, ServeObs, Server, ServerConfig,
+};
+
+fn main() {
+    let db = retail_database(42);
+    let pipeline = Arc::new(NliPipeline::standard(&db));
+    let clock = Arc::new(ManualClock::new());
+
+    // The obs endpoints: a bounded trace sink and a metrics registry.
+    // The server clones the handles; we keep ours to read afterwards.
+    let obs = ServeObs::new(64);
+
+    // A fatal rung-0 fault over the first few ids: whichever of them
+    // is a fresh single-shot question will degrade down the ladder,
+    // and its trace shows the fallback machinery in action.
+    let mut plan = FaultPlan::none();
+    for id in 0..8 {
+        plan = plan.with(id, FaultKind::Fatal { depth: 1 });
+    }
+    let mut server = Server::start_observed(
+        pipeline,
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 64,
+            ..ServerConfig::default()
+        },
+        clock.clone() as Arc<dyn Clock>,
+        Some(fault_plan_hook(plan)),
+        Some(obs.clone()),
+    );
+
+    let slots = derive_slots(&db);
+    let stream = request_stream(&slots, 42, 32, 0.25);
+    run_closed_loop(&mut server, &clock, &stream, 16);
+    let metrics = server.shutdown();
+
+    // The degraded request's span tree: every rung it tried, with the
+    // fault evidence and the pipeline stages of the rung that served.
+    let traces = obs.sink.traces();
+    let trace = traces
+        .iter()
+        .find(|t| {
+            t.root()
+                .is_some_and(|r| r.attr("outcome") == Some("degraded"))
+        })
+        .expect("a fresh single inside the fault window degrades");
+    println!("trace {} — span tree (cost in trace ticks):", trace.id);
+    for span in &trace.spans {
+        let indent = depth_of(trace, span.parent) * 2;
+        let attrs: Vec<String> = span.attrs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        println!(
+            "  {:indent$}{} [{}] {}",
+            "",
+            span.name,
+            span.cost(),
+            attrs.join(" "),
+        );
+    }
+
+    // Serving counters and per-stage histograms live in one registry.
+    metrics.export_into(&obs.registry);
+    println!("\n{}", obs.registry.report());
+
+    // The export replays byte-identically at a fixed seed — pipe it
+    // to a file and diff two runs to see nothing.
+    let jsonl = obs.sink.export_jsonl();
+    println!(
+        "exported {} traces, {} JSONL bytes; first line:\n{}",
+        obs.sink.len(),
+        jsonl.len(),
+        jsonl.lines().next().unwrap_or_default()
+    );
+}
+
+/// How deep `parent` chains go — indentation for the tree print.
+fn depth_of(trace: &nlidb::obs::Trace, mut parent: Option<usize>) -> usize {
+    let mut depth = 0;
+    while let Some(p) = parent {
+        depth += 1;
+        parent = trace.spans[p].parent;
+    }
+    depth
+}

@@ -60,20 +60,35 @@ def committed_tables(markdown: str) -> dict[str, list[str]]:
 
 
 def main() -> None:
+    if len(sys.argv) != 2:
+        print("usage: python3 scripts/check_experiment_drift.py <harness_output.txt>")
+        sys.exit(2)
     harness_path = sys.argv[1]
-    with open(harness_path) as f:
-        fresh = harness_tables(f.read())
+    try:
+        with open(harness_path) as f:
+            fresh = harness_tables(f.read())
+    except OSError as e:
+        print(f"drift check: cannot read harness output {harness_path!r}: {e.strerror}")
+        sys.exit(2)
     fresh.pop("E7", None)
     if not fresh:
         print("drift check: no experiment tables found in harness output")
         sys.exit(2)
-    with open("EXPERIMENTS.md") as f:
-        committed = committed_tables(f.read())
+    try:
+        with open("EXPERIMENTS.md") as f:
+            committed = committed_tables(f.read())
+    except OSError as e:
+        print(f"drift check: cannot read EXPERIMENTS.md: {e.strerror} (run from the repo root)")
+        sys.exit(2)
     drifted = False
     for exp, table in sorted(fresh.items()):
         recorded = committed.get(exp)
         if recorded is None:
-            print(f"{exp}: no committed table in EXPERIMENTS.md")
+            print(
+                f"{exp}: EXPERIMENTS.md has no '## {exp} ...' section header "
+                "with a pipe table under it — add the section (or regenerate, "
+                "see below) before relying on the drift gate"
+            )
             drifted = True
             continue
         if table != recorded:

@@ -4,7 +4,8 @@
 //! `DESIGN.md`: the NLP substrate, SQL IR, in-memory relational engine,
 //! ontology layer, value index, learning substrate, the five
 //! interpreter families, the conversational layer, the synthetic
-//! benchmark generators, and the concurrent serving runtime.
+//! benchmark generators, the concurrent serving runtime, and the
+//! deterministic tracing/metrics subsystem.
 //!
 //! ## Quickstart
 //!
@@ -25,6 +26,7 @@ pub use nlidb_engine as engine;
 pub use nlidb_evalkit as evalkit;
 pub use nlidb_ml as ml;
 pub use nlidb_nlp as nlp;
+pub use nlidb_obs as obs;
 pub use nlidb_ontology as ontology;
 pub use nlidb_serve as serve;
 pub use nlidb_sqlir as sqlir;
