@@ -1,13 +1,22 @@
 //! The reproduction harness CLI.
 //!
 //! ```text
-//! experiments                 # run all of E1–E14
+//! experiments                 # run all of E1–E15
 //! experiments --exp e2        # run one experiment
 //! experiments --seed 7        # change the global seed
 //! experiments --list          # list experiment ids and descriptions
 //! ```
+//!
+//! Bad arguments fail fast at parse time with one-line errors — a
+//! typo'd `--seed` must never silently fall back to the default and
+//! masquerade as the canonical run.
 
 use std::env;
+
+fn usage_hint() -> ! {
+    eprintln!("run `experiments --list` for the known experiment ids");
+    std::process::exit(2);
+}
 
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
@@ -17,11 +26,29 @@ fn main() {
     while i < args.len() {
         match args[i].as_str() {
             "--seed" => {
-                seed = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(42);
+                let Some(raw) = args.get(i + 1) else {
+                    eprintln!("--seed requires a value");
+                    usage_hint();
+                };
+                seed = match raw.parse() {
+                    Ok(s) => s,
+                    Err(_) => {
+                        eprintln!("--seed wants an unsigned integer, got {raw:?}");
+                        usage_hint();
+                    }
+                };
                 i += 2;
             }
             "--exp" => {
-                only = args.get(i + 1).cloned();
+                let Some(id) = args.get(i + 1) else {
+                    eprintln!("--exp requires an experiment id");
+                    usage_hint();
+                };
+                if !nlidb_bench::EXPERIMENT_IDS.contains(&id.as_str()) {
+                    eprintln!("unknown experiment id: {id}");
+                    usage_hint();
+                }
+                only = Some(id.clone());
                 i += 2;
             }
             "--list" => {
@@ -32,7 +59,7 @@ fn main() {
             }
             other => {
                 eprintln!("unknown argument: {other}");
-                std::process::exit(2);
+                usage_hint();
             }
         }
     }
@@ -45,21 +72,12 @@ fn main() {
     println!("Language Interfaces to Data\", SIGMOD 2020 — see EXPERIMENTS.md\n");
     for id in ids {
         let start = std::time::Instant::now();
-        match nlidb_bench::run_experiment(id, seed) {
-            Some(table) => {
-                println!("{table}");
-                println!(
-                    "[{id} completed in {:.1}s]\n",
-                    start.elapsed().as_secs_f64()
-                );
-            }
-            None => {
-                eprintln!(
-                    "unknown experiment id: {id} (known: {:?})",
-                    nlidb_bench::EXPERIMENT_IDS
-                );
-                std::process::exit(2);
-            }
-        }
+        let table = nlidb_bench::run_experiment(id, seed)
+            .expect("ids are validated at parse time and EXPERIMENT_IDS is exhaustive");
+        println!("{table}");
+        println!(
+            "[{id} completed in {:.1}s]\n",
+            start.elapsed().as_secs_f64()
+        );
     }
 }

@@ -1,4 +1,4 @@
-//! The reproduction experiments E1–E14 (see `EXPERIMENTS.md`).
+//! The reproduction experiments E1–E15 (see `EXPERIMENTS.md`).
 //!
 //! The paper is a tutorial: it publishes claims, not tables. Each
 //! experiment here operationalizes one claim into a measured table;
@@ -22,13 +22,13 @@ use nlidb_sqlir::ComplexityClass;
 use crate::workloads::{evaluate, paraphrased, setup_domain, DomainSetup};
 
 /// All experiment identifiers, in order.
-pub const EXPERIMENT_IDS: [&str; 14] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+pub const EXPERIMENT_IDS: [&str; 15] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
 ];
 
 /// One-line description per experiment, in [`EXPERIMENT_IDS`] order
 /// (the `--list` output of the `experiments` binary).
-pub const EXPERIMENT_SUMMARIES: [(&str, &str); 14] = [
+pub const EXPERIMENT_SUMMARIES: [(&str, &str); 15] = [
     (
         "e1",
         "capability matrix: family accuracy per §3 complexity rung",
@@ -76,6 +76,10 @@ pub const EXPERIMENT_SUMMARIES: [(&str, &str); 14] = [
         "e14",
         "observability: byte-identical traces, attributed fault evidence",
     ),
+    (
+        "e15",
+        "crash recovery: journaled sessions replay, lost work re-admits",
+    ),
 ];
 
 /// Run one experiment by id; `None` for unknown ids.
@@ -95,6 +99,7 @@ pub fn run_experiment(id: &str, seed: u64) -> Option<Table> {
         "e12" => Some(e12_serving_runtime(seed)),
         "e13" => Some(e13_fault_injection(seed)),
         "e14" => Some(e14_observability(seed)),
+        "e15" => Some(e15_crash_recovery(seed)),
         _ => None,
     }
 }
@@ -1281,6 +1286,210 @@ pub fn e14_observability(seed: u64) -> Table {
                 h.sum.to_string(),
             ]);
         }
+    }
+    t
+}
+
+/// One E15 serving pass: the E13 stream and server config, returning
+/// the *full* completion list (E15 compares per-id, not just the
+/// concatenated signature stream) and final metrics.
+fn e15_serve_run(
+    seed: u64,
+    n: usize,
+    plan: nlidb_benchdata::FaultPlan,
+) -> (Vec<nlidb_serve::Completion>, nlidb_serve::MetricsSnapshot) {
+    use nlidb_core::pipeline::NliPipeline;
+    use nlidb_serve::{fault_plan_hook, run_closed_loop, Clock, ManualClock, Server, ServerConfig};
+    use std::sync::Arc;
+
+    let db = nlidb_benchdata::domain_database("retail", seed);
+    let slots = derive_slots(&db);
+    let pipeline = Arc::new(NliPipeline::standard(&db));
+    let stream = nlidb_benchdata::request_stream(&slots, seed, n, 0.25);
+    let clock = Arc::new(ManualClock::new());
+    let mut server = Server::start_with_hook(
+        pipeline,
+        ServerConfig {
+            workers: 2,
+            queue_capacity: n,
+            ..ServerConfig::default()
+        },
+        clock.clone() as Arc<dyn Clock>,
+        Some(fault_plan_hook(plan)),
+    );
+    let report = run_closed_loop(&mut server, &clock, &stream, 16);
+    (report.completions, server.shutdown())
+}
+
+/// E15 — deterministic crash recovery: no dialogue state dies with a
+/// worker. E13 showed a panic is *contained*; E15 shows it is
+/// *absorbed*: every committed dialogue turn is journaled before its
+/// reply is released, a dead worker's queued work bounces back for
+/// re-admission to live workers, and its sessions are rebuilt there by
+/// exact replay of their journaled turns. The measurable claim: a
+/// pure-panic regime produces the same answer stream as a run that
+/// never crashed (lost work ≡ replayed work), and under mixed drawn
+/// faults every *session turn* still answers exactly as the same
+/// fault schedule answers without the crash. Every regime is run
+/// twice and asserted bit-identical.
+pub fn e15_crash_recovery(seed: u64) -> Table {
+    use nlidb_benchdata::{
+        request_stream, session_turn_ids, sessions_with_min_turns, FaultKind, FaultPlan, FaultRates,
+    };
+    nlidb_serve::silence_worker_panics();
+    const N: usize = 120;
+    let mut t = Table::new([
+        "crash regime",
+        "answered",
+        "turns",
+        "refused",
+        "deaths",
+        "crashed",
+        "readmitted",
+        "recovered",
+        "replayed",
+        "diverged",
+        "== baseline",
+    ])
+    .title("E15 — deterministic crash recovery (retail, seeded stream, 2 workers)");
+    // Victim selection is data-driven off the very stream the server
+    // replays: a conversation with ≥3 turns has committed state before
+    // its middle turn and more turns after it — exactly what replay
+    // must carry across the crash. `mixed` drawn faults must not be
+    // overwritten by the pin (the baseline run would then see a fault
+    // the crashed run doesn't), so the pinned turn is chosen fault-free
+    // under the drawn schedule.
+    let db = nlidb_benchdata::domain_database("retail", seed);
+    let slots = derive_slots(&db);
+    let stream = request_stream(&slots, seed, N, 0.25);
+    let candidates = sessions_with_min_turns(&stream, 3);
+    assert!(
+        !candidates.is_empty(),
+        "E15 needs a ≥3-turn conversation in the stream"
+    );
+    let mixed = || FaultPlan::seeded(seed, N as u64, &FaultRates::default());
+    let mid_turn = session_turn_ids(&stream, candidates[0])[1];
+    let mixed_victim = candidates
+        .iter()
+        .find_map(|&s| {
+            let ids = session_turn_ids(&stream, s);
+            // First turn fault-free → it commits to the journal, so
+            // the crash on the second turn has state to replay.
+            (mixed().fault_for(ids[0]).is_none() && mixed().fault_for(ids[1]).is_none())
+                .then_some(ids[1])
+        })
+        .expect(
+            "E15: a conversation whose first two turns are fault-free under the drawn schedule",
+        );
+    // A fresh single for the single-crash regime, found as in E13/E14.
+    let (_sigs, fresh, _m) = e13_serve_run(seed, N, FaultPlan::none());
+    assert!(!fresh.is_empty(), "E15 needs a fresh single to panic on");
+
+    let (clean, clean_m) = e15_serve_run(seed, N, FaultPlan::none());
+    let (mixed_base, mixed_base_m) = e15_serve_run(seed, N, mixed());
+    let sig = |cs: &[nlidb_serve::Completion]| -> Vec<String> {
+        cs.iter().map(|c| c.signature()).collect()
+    };
+    // (label, plan, baseline completions, whole-stream equality expected)
+    let regimes: Vec<(&str, FaultPlan, &Vec<nlidb_serve::Completion>, bool)> = vec![
+        ("none", FaultPlan::none(), &clean, true),
+        (
+            "panic on a fresh single",
+            FaultPlan::none().with(fresh[0], FaultKind::WorkerPanic),
+            &clean,
+            true,
+        ),
+        (
+            "panic mid-conversation",
+            FaultPlan::none().with(mid_turn, FaultKind::WorkerPanic),
+            &clean,
+            true,
+        ),
+        ("mixed 10%/5% (no crash)", mixed(), &mixed_base, true),
+        (
+            "mixed + panic mid-conversation",
+            mixed().with(mixed_victim, FaultKind::WorkerPanic),
+            &mixed_base,
+            false,
+        ),
+    ];
+    for (label, plan, baseline, whole_stream) in regimes {
+        let (done, m) = e15_serve_run(seed, N, plan.clone());
+        let (done2, m2) = e15_serve_run(seed, N, plan);
+        assert_eq!(
+            sig(&done),
+            sig(&done2),
+            "E15 {label}: completion stream must replay bit-identically"
+        );
+        assert_eq!(m, m2, "E15 {label}: metrics must replay bit-identically");
+        assert_eq!(done.len(), N, "E15 {label}: every request completes");
+        if whole_stream {
+            // Recovery is invisible: the crashed run answers exactly
+            // like its never-crashed baseline, request for request.
+            assert_eq!(
+                sig(&done),
+                sig(baseline),
+                "E15 {label}: recovered stream must equal the no-crash baseline"
+            );
+        } else {
+            // Under drawn faults a lost cache can expose singles to
+            // faults a hit would have skipped; the recovery claim is
+            // about dialogue state, and *every turn* must still answer
+            // as the crash-free schedule answers it.
+            for (c, b) in done.iter().zip(baseline.iter()) {
+                assert_eq!(c.id, b.id);
+                if stream[c.id as usize].session.is_some() {
+                    assert_eq!(
+                        c.signature(),
+                        b.signature(),
+                        "E15 {label}: turn {} must survive the crash unchanged",
+                        c.id
+                    );
+                }
+            }
+        }
+        match label {
+            "none" => assert_eq!(m, clean_m, "E15 baseline must equal itself"),
+            "mixed 10%/5% (no crash)" => {
+                assert_eq!(m, mixed_base_m, "E15 mixed baseline must equal itself")
+            }
+            _ => {
+                assert!(m.worker_deaths >= 1, "E15 {label}: the panic must land");
+                assert!(m.readmitted >= 1, "E15 {label}: bounced work re-admits");
+                assert_eq!(
+                    m.readmit_refused, 0,
+                    "E15 {label}: nothing may be lost to recovery"
+                );
+            }
+        }
+        if label.contains("mid-conversation") {
+            assert!(m.sessions_recovered >= 1, "E15 {label}: session rebuilt");
+            assert!(m.turns_replayed >= 1, "E15 {label}: journal replayed");
+        }
+        assert_eq!(m.replay_divergence, 0, "E15 {label}: replay is exact");
+        let baseline_sig = sig(baseline);
+        let matches = sig(&done)
+            .iter()
+            .zip(&baseline_sig)
+            .filter(|(a, b)| a == b)
+            .count();
+        t.row([
+            label.to_string(),
+            m.answered.to_string(),
+            m.session_turns.to_string(),
+            m.refused.to_string(),
+            m.worker_deaths.to_string(),
+            m.crashed_requests.to_string(),
+            m.readmitted.to_string(),
+            m.sessions_recovered.to_string(),
+            m.turns_replayed.to_string(),
+            m.replay_divergence.to_string(),
+            if matches == N {
+                "yes".to_string()
+            } else {
+                format!("{matches}/{N}")
+            },
+        ]);
     }
     t
 }

@@ -123,6 +123,38 @@ pub fn request_stream(
     out
 }
 
+/// Request ids of `session`'s turns in `stream`, in conversation
+/// order. Ids are submission-order stream indices — exactly what a
+/// serving driver that submits the stream front to back assigns, so
+/// crash schedules can pin faults on "the second turn of session 3"
+/// without re-deriving the interleaving.
+pub fn session_turn_ids(stream: &[RequestSpec], session: u64) -> Vec<u64> {
+    stream
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.session == Some(session))
+        .map(|(i, _)| i as u64)
+        .collect()
+}
+
+/// Session ids that hold at least `min_turns` turns in `stream`,
+/// ascending. Crash-recovery regimes need conversations with history
+/// *before* the crash and turns *after* it — a one-turn session can't
+/// demonstrate replay.
+pub fn sessions_with_min_turns(stream: &[RequestSpec], min_turns: usize) -> Vec<u64> {
+    let mut counts: std::collections::BTreeMap<u64, usize> = Default::default();
+    for r in stream {
+        if let Some(id) = r.session {
+            *counts.entry(id).or_default() += 1;
+        }
+    }
+    counts
+        .into_iter()
+        .filter(|&(_, c)| c >= min_turns)
+        .map(|(id, _)| id)
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,5 +225,32 @@ mod tests {
     fn rejects_bad_share() {
         let s = slots();
         request_stream(&s, 1, 10, 1.5);
+    }
+
+    #[test]
+    fn turn_ids_index_the_stream_in_conversation_order() {
+        let s = slots();
+        let stream = request_stream(&s, 42, 160, 0.4);
+        let sessions = sessions_with_min_turns(&stream, 3);
+        assert!(
+            !sessions.is_empty(),
+            "the mixed stream must hold multi-turn sessions"
+        );
+        assert!(sessions.windows(2).all(|w| w[0] < w[1]), "ascending ids");
+        for &sid in &sessions {
+            let ids = session_turn_ids(&stream, sid);
+            assert!(ids.len() >= 3);
+            assert!(ids.windows(2).all(|w| w[0] < w[1]), "submission order");
+            for &id in &ids {
+                assert_eq!(stream[id as usize].session, Some(sid));
+            }
+        }
+        // The two views agree on turn counts.
+        for &sid in &sessions {
+            let n = stream.iter().filter(|r| r.session == Some(sid)).count();
+            assert_eq!(session_turn_ids(&stream, sid).len(), n);
+        }
+        assert!(session_turn_ids(&stream, 9_999).is_empty());
+        assert!(sessions_with_min_turns(&stream, 1_000).is_empty());
     }
 }

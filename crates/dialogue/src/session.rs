@@ -6,7 +6,7 @@ use nlidb_sqlir::Query;
 
 use crate::acts::{detect_act, DialogueAct};
 use crate::manager::ManagerKind;
-use crate::state::{DialogueState, TurnRecord};
+use crate::state::{fnv1a, DialogueState, TurnRecord};
 
 /// The outcome of one turn.
 #[derive(Debug, Clone)]
@@ -21,6 +21,26 @@ pub struct TurnResult {
     pub result: Option<ResultSet>,
     /// A user-facing response line.
     pub response: String,
+}
+
+impl TurnResult {
+    /// A stable digest of the turn's visible outcome: act, acceptance,
+    /// rendered SQL, and response line. `turn` is deterministic, so a
+    /// replayed turn reproduces the digest of the original exactly;
+    /// crash-recovery journals store it to detect divergence.
+    pub fn digest(&self) -> u64 {
+        let mut acc = String::new();
+        acc.push_str(self.act);
+        acc.push('\u{1f}');
+        acc.push(if self.accepted { '+' } else { '-' });
+        acc.push('\u{1f}');
+        if let Some(sql) = &self.sql {
+            acc.push_str(&sql.to_string());
+        }
+        acc.push('\u{1f}');
+        acc.push_str(&self.response);
+        fnv1a(acc.as_bytes())
+    }
 }
 
 /// A running conversation: context + manager + database.
@@ -44,9 +64,40 @@ impl<'a> ConversationSession<'a> {
         }
     }
 
+    /// Rebuild a session by exact replay of `utterances` — typically
+    /// the journaled turns of a session whose worker crashed — against
+    /// the same database and schema context. `turn` is a deterministic
+    /// function of (db, ctx, manager, utterance sequence), so the
+    /// rebuilt session is indistinguishable from the lost one: same
+    /// state digest, same behavior on every subsequent turn. Each
+    /// replayed turn's result is returned so callers can compare
+    /// digests against what was journaled.
+    pub fn replay<I, S>(
+        db: &'a Database,
+        ctx: &'a SchemaContext,
+        manager: ManagerKind,
+        utterances: I,
+    ) -> (Self, Vec<TurnResult>)
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut session = ConversationSession::new(db, ctx, manager);
+        let results = utterances
+            .into_iter()
+            .map(|u| session.turn(u.as_ref()))
+            .collect();
+        (session, results)
+    }
+
     /// The running state (read-only).
     pub fn state(&self) -> &DialogueState {
         &self.state
+    }
+
+    /// Digest of the current dialogue state (see [`DialogueState::digest`]).
+    pub fn state_digest(&self) -> u64 {
+        self.state.digest()
     }
 
     /// Which regime this session runs under.
@@ -270,6 +321,50 @@ mod tests {
         assert_eq!(s.state().history.len(), 2);
         assert!(s.state().history[0].accepted);
         assert!(!s.state().history[1].accepted);
+    }
+
+    #[test]
+    fn replay_reproduces_state_and_turn_digests() {
+        let db = db();
+        let ctx = SchemaContext::build(&db);
+        let turns = [
+            "show customers in Austin",
+            "zzzz nonsense zzzz",
+            "what about Boston",
+        ];
+        let mut live = ConversationSession::new(&db, &ctx, ManagerKind::Agent);
+        let live_digests: Vec<u64> = turns.iter().map(|t| live.turn(t).digest()).collect();
+
+        let (replayed, results) = ConversationSession::replay(&db, &ctx, ManagerKind::Agent, turns);
+        let replay_digests: Vec<u64> = results.iter().map(|r| r.digest()).collect();
+        assert_eq!(live_digests, replay_digests);
+        assert_eq!(live.state_digest(), replayed.state_digest());
+    }
+
+    #[test]
+    fn replayed_session_continues_identically() {
+        let db = db();
+        let ctx = SchemaContext::build(&db);
+        let prefix = ["show customers in Austin", "what about Boston"];
+        let mut live = ConversationSession::new(&db, &ctx, ManagerKind::Agent);
+        for t in prefix {
+            live.turn(t);
+        }
+        let (mut replayed, _) = ConversationSession::replay(&db, &ctx, ManagerKind::Agent, prefix);
+        let next = "how many of those are there";
+        assert_eq!(live.turn(next).digest(), replayed.turn(next).digest());
+        assert_eq!(live.state_digest(), replayed.state_digest());
+    }
+
+    #[test]
+    fn state_digest_distinguishes_histories() {
+        let db = db();
+        let ctx = SchemaContext::build(&db);
+        let mut a = ConversationSession::new(&db, &ctx, ManagerKind::Agent);
+        let mut b = ConversationSession::new(&db, &ctx, ManagerKind::Agent);
+        a.turn("show customers in Austin");
+        b.turn("show customers in Boston");
+        assert_ne!(a.state_digest(), b.state_digest());
     }
 
     #[test]

@@ -19,6 +19,17 @@ use nlidb_sqlir::ast::{AggFunc, Literal};
 
 use crate::acts::DialogueAct;
 
+/// FNV-1a over `bytes` — a fixed, seedless hash, so state digests are
+/// stable across processes and runs.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// One recorded turn.
 #[derive(Debug, Clone)]
 pub struct TurnRecord {
@@ -48,6 +59,27 @@ impl DialogueState {
     /// Is a query context active?
     pub fn has_context(&self) -> bool {
         self.oql.is_some()
+    }
+
+    /// A stable digest of the conversation state: the running OQL plus
+    /// every history record. Two sessions that processed the same turn
+    /// sequence against the same schema context have equal digests —
+    /// the divergence check replay-based crash recovery relies on.
+    pub fn digest(&self) -> u64 {
+        let mut acc = String::new();
+        if let Some(oql) = &self.oql {
+            acc.push_str(&format!("{oql:?}"));
+        }
+        acc.push('\u{1e}');
+        for r in &self.history {
+            acc.push_str(&r.utterance);
+            acc.push('\u{1f}');
+            acc.push_str(r.act_label);
+            acc.push('\u{1f}');
+            acc.push(if r.accepted { '+' } else { '-' });
+            acc.push('\u{1e}');
+        }
+        fnv1a(acc.as_bytes())
     }
 
     /// Apply an accepted act to the state. Returns false when the act

@@ -154,10 +154,15 @@ impl Lexicon {
         if let Some(&i) = self.ring_of.get(word) {
             return Some(i);
         }
+        // The stem fallback can match several rings ("purchases" stems
+        // like both "purchaser" and "purchase"); take the smallest
+        // matching key so the winner never depends on `HashMap`
+        // iteration order, which varies per process.
         let stem = porter_stem(word);
         self.ring_of
             .iter()
-            .find(|(k, _)| porter_stem(k) == stem)
+            .filter(|(k, _)| porter_stem(k) == stem)
+            .min_by(|(a, _), (b, _)| a.cmp(b))
             .map(|(_, &v)| v)
     }
 

@@ -102,7 +102,10 @@ pub fn tokenize(input: &str) -> Vec<Token> {
     let mut tokens = Vec::new();
     let mut i = 0;
     while i < bytes.len() {
-        let c = bytes[i] as char;
+        // Decode the real char: punning the lead byte (`bytes[i] as
+        // char`) misreads multi-byte sequences and desyncs `i` from
+        // char boundaries.
+        let c = input[i..].chars().next().expect("i is a char boundary");
         if c.is_ascii_whitespace() {
             i += 1;
             continue;
@@ -163,20 +166,17 @@ pub fn tokenize(input: &str) -> Vec<Token> {
         if c.is_alphabetic() || c == '_' {
             let start = i;
             while i < bytes.len() {
-                let d = bytes[i] as char;
+                let d = input[i..].chars().next().expect("i is a char boundary");
                 let interior = (d == '\'' || d == '-')
-                    && i + 1 < bytes.len()
-                    && (bytes[i + 1] as char).is_alphabetic();
+                    && input[i + 1..]
+                        .chars()
+                        .next()
+                        .is_some_and(|n| n.is_alphabetic());
                 if d.is_alphanumeric() || d == '_' || interior {
                     i += d.len_utf8();
                 } else {
                     break;
                 }
-            }
-            // Guard: alphabetic check above is char-based; advance over
-            // multi-byte chars correctly by re-slicing on char boundary.
-            while !input.is_char_boundary(i) {
-                i += 1;
             }
             let text = &input[start..i];
             tokens.push(Token {

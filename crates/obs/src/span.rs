@@ -87,6 +87,19 @@ impl Trace {
         self.spans.iter().filter(move |s| s.name == name)
     }
 
+    /// Sum of `key` parsed as `u64` over every span that carries it
+    /// (first value per span; unparsable values count 0). The
+    /// reconciliation primitive for trace/metric cross-checks: E14/E15
+    /// sum an attribute (retries, turns replayed) across a sink and
+    /// assert it equals the corresponding counter.
+    pub fn attr_sum(&self, key: &str) -> u64 {
+        self.spans
+            .iter()
+            .filter_map(|s| s.attr(key))
+            .filter_map(|v| v.parse::<u64>().ok())
+            .sum()
+    }
+
     /// Render as one deterministic JSON object (single line, no
     /// whitespace): `{"trace":N,"spans":[...]}`. Attribute order is
     /// recording order; field order is fixed; escaping is minimal
@@ -366,6 +379,26 @@ mod tests {
         assert_eq!(t.spans[2].parent, Some(a.0));
         assert_eq!(t.spans[0].seq_close, 6);
         let _ = b;
+    }
+
+    #[test]
+    fn attr_sum_totals_parsable_values_across_spans() {
+        let (mut tb, _) = builder();
+        let root = tb.open("request");
+        tb.annotate(root, "retries", "2");
+        let a = tb.open("rung");
+        tb.annotate(a, "retries", "3");
+        tb.annotate(a, "retries", "99"); // only the first value counts
+        tb.close(a);
+        let b = tb.open("rung");
+        tb.annotate(b, "retries", "not-a-number");
+        tb.annotate(b, "outcome", "degraded");
+        tb.close(b);
+        tb.close(root);
+        let t = tb.finish();
+        assert_eq!(t.attr_sum("retries"), 5);
+        assert_eq!(t.attr_sum("outcome"), 0, "non-numeric values count 0");
+        assert_eq!(t.attr_sum("absent"), 0);
     }
 
     #[test]

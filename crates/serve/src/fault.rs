@@ -48,7 +48,11 @@ pub enum InjectedFault {
 /// * [`FaultKind::Fatal`]`{ depth }` fails every attempt at the top
 ///   `depth` rungs, forcing degradation below them.
 /// * [`FaultKind::WorkerPanic`] kills the worker on first contact
-///   (rung 0, attempt 0).
+///   (rung 0, attempt 0) — *exactly once*: a bounced job is re-admitted
+///   with its redelivery count as the attempt base, so the recovered
+///   delivery presents attempt ≥ 1 and proceeds. This is what makes
+///   crash recovery terminate instead of chasing the panic across the
+///   pool.
 pub fn fault_plan_hook(plan: FaultPlan) -> RequestHook {
     Box::new(move |ctx: &HookCtx| match plan.fault_for(ctx.id)? {
         FaultKind::Transient { failures } => {

@@ -40,6 +40,11 @@
 //!   injection through the request hook, retry with logical backoff,
 //!   per-interpreter circuit breakers, graceful degradation down the
 //!   §4 family ladder, and contained worker panics.
+//! * [`journal`] — the write-ahead session journal behind crash
+//!   recovery: every committed dialogue turn is journaled before its
+//!   reply is released, a panicked worker's queued work bounces back
+//!   for deterministic re-admission, and its sessions are rebuilt on
+//!   live workers by exact replay of their journaled turns.
 //!
 //! Experiment E12 asserts the payoff: at seed 42, the completion
 //! stream of a 4-worker server is signature-identical to a 1-worker
@@ -48,10 +53,13 @@
 //! under a seeded fault schedule the full completion stream and
 //! metrics snapshot are bit-identical run over run, and transient
 //! faults absorbed by the retry budget leave the stream byte-identical
-//! to the unfaulted run.
+//! to the unfaulted run. E15 extends it to recovery: runs that lose a
+//! worker mid-stream produce the same answers as runs that never
+//! crash — lost work ≡ replayed work.
 
 pub mod clock;
 pub mod fault;
+pub mod journal;
 pub mod loadgen;
 pub mod lru;
 pub mod metrics;
@@ -61,6 +69,7 @@ pub mod server;
 
 pub use clock::{Clock, ManualClock};
 pub use fault::{fault_plan_hook, silence_worker_panics, HookCtx, InjectedFault};
+pub use journal::{JournalEntry, SessionJournal};
 pub use loadgen::{run_closed_loop, with_deadlines, LoadReport};
 pub use lru::LruCache;
 pub use metrics::{MetricsSnapshot, ServeMetrics};

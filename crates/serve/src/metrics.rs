@@ -50,9 +50,27 @@ pub struct ServeMetrics {
     pub degraded: AtomicU64,
     /// Worker threads that panicked and were contained.
     pub worker_deaths: AtomicU64,
-    /// Requests lost to a dead worker: the request it panicked on plus
-    /// everything routed to it afterwards (all surface as `Refused`).
+    /// Requests bounced off a dead worker: the request it panicked on
+    /// plus everything still queued on it or routed to it before the
+    /// submitter learned of the death. Each bounce is re-admitted to a
+    /// live worker where possible (see `readmitted`) — bouncing is not
+    /// an outcome, it is the start of recovery.
     pub crashed_requests: AtomicU64,
+    /// Bounced requests successfully re-admitted to a live worker.
+    pub readmitted: AtomicU64,
+    /// Bounced requests that could not be re-admitted (redelivery
+    /// budget exhausted, deadline unmeetable, or no live worker left).
+    pub readmit_refused: AtomicU64,
+    /// Dialogue sessions rebuilt by journal replay after their worker
+    /// died.
+    pub sessions_recovered: AtomicU64,
+    /// Journaled turns re-executed during those rebuilds.
+    pub turns_replayed: AtomicU64,
+    /// Replayed turns whose outcome digest did not match the journal
+    /// (must stay 0 — replay is exact; asserted by E15).
+    pub replay_divergence: AtomicU64,
+    /// Dialogue turns committed to the write-ahead session journal.
+    pub journal_turns: AtomicU64,
     /// Whether this server runs with the interpretation cache off
     /// (`interp_cache = 0`) — lets snapshot readers tell "cache
     /// disabled" from "cache enabled but cold".
@@ -82,6 +100,12 @@ impl ServeMetrics {
             degraded: AtomicU64::new(0),
             worker_deaths: AtomicU64::new(0),
             crashed_requests: AtomicU64::new(0),
+            readmitted: AtomicU64::new(0),
+            readmit_refused: AtomicU64::new(0),
+            sessions_recovered: AtomicU64::new(0),
+            turns_replayed: AtomicU64::new(0),
+            replay_divergence: AtomicU64::new(0),
+            journal_turns: AtomicU64::new(0),
             cache_disabled,
             per_worker: (0..workers).map(|_| AtomicU64::new(0)).collect(),
         }
@@ -112,6 +136,12 @@ impl ServeMetrics {
             degraded: self.degraded.load(Ordering::Relaxed),
             worker_deaths: self.worker_deaths.load(Ordering::Relaxed),
             crashed_requests: self.crashed_requests.load(Ordering::Relaxed),
+            readmitted: self.readmitted.load(Ordering::Relaxed),
+            readmit_refused: self.readmit_refused.load(Ordering::Relaxed),
+            sessions_recovered: self.sessions_recovered.load(Ordering::Relaxed),
+            turns_replayed: self.turns_replayed.load(Ordering::Relaxed),
+            replay_divergence: self.replay_divergence.load(Ordering::Relaxed),
+            journal_turns: self.journal_turns.load(Ordering::Relaxed),
             cache_disabled: self.cache_disabled,
             per_worker: self
                 .per_worker
@@ -160,6 +190,18 @@ pub struct MetricsSnapshot {
     pub worker_deaths: u64,
     /// See [`ServeMetrics::crashed_requests`].
     pub crashed_requests: u64,
+    /// See [`ServeMetrics::readmitted`].
+    pub readmitted: u64,
+    /// See [`ServeMetrics::readmit_refused`].
+    pub readmit_refused: u64,
+    /// See [`ServeMetrics::sessions_recovered`].
+    pub sessions_recovered: u64,
+    /// See [`ServeMetrics::turns_replayed`].
+    pub turns_replayed: u64,
+    /// See [`ServeMetrics::replay_divergence`].
+    pub replay_divergence: u64,
+    /// See [`ServeMetrics::journal_turns`].
+    pub journal_turns: u64,
     /// See [`ServeMetrics::cache_disabled`].
     pub cache_disabled: bool,
     /// See [`ServeMetrics::per_worker`].
@@ -191,7 +233,7 @@ impl MetricsSnapshot {
     /// prior values — so the obs registry is the one place a driver
     /// reads both serving counters and stage-cost histograms from.
     pub fn export_into(&self, registry: &nlidb_obs::MetricsRegistry) {
-        let fields: [(&str, u64); 17] = [
+        let fields: [(&str, u64); 23] = [
             ("serve.submitted", self.submitted),
             ("serve.admitted", self.admitted),
             ("serve.shed_full", self.shed_full),
@@ -209,6 +251,12 @@ impl MetricsSnapshot {
             ("serve.degraded", self.degraded),
             ("serve.worker_deaths", self.worker_deaths),
             ("serve.crashed_requests", self.crashed_requests),
+            ("serve.readmitted", self.readmitted),
+            ("serve.readmit_refused", self.readmit_refused),
+            ("serve.sessions_recovered", self.sessions_recovered),
+            ("serve.turns_replayed", self.turns_replayed),
+            ("serve.replay_divergence", self.replay_divergence),
+            ("serve.journal_turns", self.journal_turns),
         ];
         for (name, value) in fields {
             registry.counter(name).store(value);
@@ -262,6 +310,16 @@ impl fmt::Display for MetricsSnapshot {
             "worker deaths {}  crashed requests {}",
             self.worker_deaths, self.crashed_requests
         )?;
+        writeln!(
+            f,
+            "recovery: readmitted {} / refused {}  sessions recovered {}  turns replayed {} (journal {}, divergence {})",
+            self.readmitted,
+            self.readmit_refused,
+            self.sessions_recovered,
+            self.turns_replayed,
+            self.journal_turns,
+            self.replay_divergence
+        )?;
         write!(f, "per-worker {:?}", self.per_worker)
     }
 }
@@ -302,6 +360,7 @@ mod tests {
             "interp-cache",
             "faults:",
             "worker deaths",
+            "recovery:",
             "per-worker",
         ] {
             assert!(text.contains(needle), "missing {needle} in {text}");
@@ -319,6 +378,8 @@ mod tests {
         let report = registry.report();
         assert_eq!(report.counter("serve.submitted"), Some(9));
         assert_eq!(report.counter("serve.retries"), Some(3));
+        assert_eq!(report.counter("serve.readmitted"), Some(0));
+        assert_eq!(report.counter("serve.turns_replayed"), Some(0));
         assert_eq!(report.counter("serve.per_worker.0"), Some(0));
         assert_eq!(report.counter("serve.per_worker.1"), Some(4));
         // Re-export overwrites rather than accumulates.

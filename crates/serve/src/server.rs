@@ -27,12 +27,24 @@
 //!   [`RequestHook`], a pure function of `(request id, ladder rung,
 //!   attempt)`; retries, circuit breakers, and the degradation ladder
 //!   (see [`nlidb_core::fallback`]) are all counted in logical units.
-//!   A worker that panics is contained by `catch_unwind` and turns
-//!   into a deterministic refuser: it keeps draining its queue,
-//!   answering every later request `Refused`, so `drain` and
-//!   `shutdown` never hang and admission never races a dying thread —
+//!   A worker that panics is contained by `catch_unwind` — and then
+//!   *recovered from*, not merely survived: the crashed request and
+//!   everything still queued on the corpse bounce back to the
+//!   submitter, which marks the worker dead, re-admits the bounced
+//!   work to live workers (retry-budgeted, deadline-checked against
+//!   the injected clock, in request-id order so thread timing cannot
+//!   reorder it), and never routes new work to the corpse again. The
+//!   corpse keeps a drain-only path — already-queued envelopes bounce
+//!   instead of rotting — so `drain` and `shutdown` never hang.
 //!   E13's fault-determinism claim.
+//! * **Dialogue state survives its worker.** Every committed dialogue
+//!   turn is written ahead to the [`SessionJournal`] before its reply
+//!   is released; when a dead worker's sessions are remapped, the new
+//!   worker lazily rebuilds each one by exact replay of its journaled
+//!   turns and verifies the rebuild digest-by-digest — E15's
+//!   crash-recovery claim (lost work ≡ replayed work).
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
@@ -49,6 +61,7 @@ use nlidb_obs::{SpanId, TraceBuilder};
 
 use crate::clock::Clock;
 use crate::fault::{HookCtx, InjectedFault};
+use crate::journal::{JournalEntry, SessionJournal};
 use crate::lru::LruCache;
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::obs::ServeObs;
@@ -117,6 +130,13 @@ pub enum Admission {
         /// Request id.
         id: u64,
     },
+    /// Rejected: every worker in the pool has died, so there is no
+    /// live worker to route to (see the crash-recovery notes in the
+    /// module docs).
+    Refused {
+        /// Request id.
+        id: u64,
+    },
 }
 
 impl Admission {
@@ -125,7 +145,8 @@ impl Admission {
         match *self {
             Admission::Admitted { id, .. }
             | Admission::Shed { id }
-            | Admission::DeadlineExceeded { id } => id,
+            | Admission::DeadlineExceeded { id }
+            | Admission::Refused { id } => id,
         }
     }
 }
@@ -232,17 +253,33 @@ impl Completion {
 /// Work sent to a worker thread. The envelope carries the admission
 /// facts the worker's tracer needs (the single-threaded submitter
 /// recorded them, so they are exact): the clock tick at admission and
-/// how many requests were queued ahead.
+/// how many requests were queued ahead. The deadline and redelivery
+/// fields exist for crash recovery — a job bounced off a dead worker
+/// is re-admitted from this same envelope.
 struct Job {
     id: u64,
     submit_tick: u64,
     queued_behind: usize,
+    /// Original deadline, re-checked at every re-admission.
+    deadline: Option<u64>,
+    /// How many times this job has bounced off a dead worker.
+    redeliveries: u32,
+    /// The most recent dead worker it bounced off.
+    bounced_from: Option<usize>,
     work: Work,
 }
 
 enum Work {
     Single { question: String },
     Turn { session: u64, utterance: String },
+}
+
+/// What a worker sends back on the completion channel: a finished
+/// request, or a job bounced off a dead worker for the submitter to
+/// re-admit during the current drain.
+enum Delivery {
+    Done(Completion),
+    Bounce { worker: usize, job: Job },
 }
 
 /// State shared between the submitter and all workers.
@@ -252,6 +289,7 @@ struct Shared {
     hook: Option<RequestHook>,
     clock: Arc<dyn Clock>,
     obs: Option<ServeObs>,
+    journal: SessionJournal,
 }
 
 /// Lowercase + whitespace-collapse: the cache/routing key form, so
@@ -293,11 +331,15 @@ pub struct Server {
     config: ServerConfig,
     fingerprint: u64,
     senders: Vec<mpsc::Sender<Job>>,
-    completion_rx: mpsc::Receiver<Completion>,
+    completion_rx: mpsc::Receiver<Delivery>,
     handles: Vec<JoinHandle<()>>,
     /// Per-worker outstanding counts — the credit ledger. Owned by the
     /// submitter thread; workers never touch it (see module docs).
     outstanding: Vec<usize>,
+    /// Workers known dead, learned from bounced jobs at drain time.
+    /// Owned by the submitter like the credit ledger, so routing
+    /// around a corpse is as deterministic as admission itself.
+    dead: Vec<bool>,
     in_flight: usize,
     /// Admission-time rejects, merged into the next drain.
     rejected: Vec<Completion>,
@@ -348,8 +390,9 @@ impl Server {
             hook,
             clock,
             obs,
+            journal: SessionJournal::new(),
         });
-        let (completion_tx, completion_rx) = mpsc::channel::<Completion>();
+        let (completion_tx, completion_rx) = mpsc::channel::<Delivery>();
         let mut senders = Vec::with_capacity(config.workers);
         let mut handles = Vec::with_capacity(config.workers);
         for worker in 0..config.workers {
@@ -386,6 +429,7 @@ impl Server {
             shared,
             fingerprint,
             outstanding: vec![0; config.workers],
+            dead: vec![false; config.workers],
             in_flight: 0,
             rejected: Vec::new(),
             next_id: 0,
@@ -396,15 +440,28 @@ impl Server {
         }
     }
 
-    /// The worker a request would be routed to.
+    /// The worker a request would be routed to: its content-addressed
+    /// home worker, or — when that worker has died — the next live
+    /// worker after it (where a remapped session is rebuilt from the
+    /// journal). With every worker dead the home worker is returned;
+    /// [`Server::submit`] refuses such requests at admission.
     pub fn route(&self, spec: &RequestSpec) -> usize {
-        match spec.session {
+        let base = match spec.session {
             Some(id) => (id % self.config.workers as u64) as usize,
             None => {
                 let key = normalize_question(&spec.question);
                 (fnv1a(key.as_bytes()) % self.config.workers as u64) as usize
             }
-        }
+        };
+        self.live_worker_from(base).unwrap_or(base)
+    }
+
+    /// First live worker at or after `base`, wrapping; `None` when the
+    /// whole pool is dead. Depends only on which workers have bounced
+    /// work so far — submitter-owned state — never on thread timing.
+    fn live_worker_from(&self, base: usize) -> Option<usize> {
+        let n = self.config.workers;
+        (0..n).map(|k| (base + k) % n).find(|&w| !self.dead[w])
     }
 
     /// Offer one request. Decides admit/shed/deadline *now* (see
@@ -414,6 +471,19 @@ impl Server {
         self.next_id += 1;
         let metrics = &self.shared.metrics;
         metrics.submitted.fetch_add(1, Ordering::Relaxed);
+        if self.dead.iter().all(|&d| d) {
+            metrics.refused.fetch_add(1, Ordering::Relaxed);
+            self.trace_reject(id, spec, 0, "refused");
+            self.rejected.push(Completion {
+                id,
+                worker: None,
+                session: spec.session,
+                disposition: Disposition::Refused {
+                    reason: "no live workers".to_string(),
+                },
+            });
+            return Admission::Refused { id };
+        }
         let worker = self.route(spec);
         let depth = self.outstanding[worker];
         let now = self.shared.clock.now();
@@ -448,6 +518,9 @@ impl Server {
             id,
             submit_tick: now,
             queued_behind: depth,
+            deadline: spec.deadline,
+            redeliveries: 0,
+            bounced_from: None,
             work: match spec.session {
                 Some(session) => Work::Turn {
                     session,
@@ -497,20 +570,156 @@ impl Server {
     /// Wait for every admitted request to finish; return all outcomes
     /// since the last drain (admission-time rejects included), in
     /// submission order. Returns queue credits to every worker.
+    ///
+    /// This is also where crash recovery happens: a job bounced off a
+    /// dead worker marks that worker dead and is re-admitted to a live
+    /// one (see [`Server::readmit`]). Re-admission runs in rounds —
+    /// every expected delivery is received before any bounce goes back
+    /// out, and bounces are replayed in request-id order — so the
+    /// recovered outcome stream is a pure function of the submit
+    /// sequence, never of which thread's messages arrived first.
     pub fn drain(&mut self) -> Vec<Completion> {
         let mut out = Vec::with_capacity(self.in_flight + self.rejected.len());
-        while out.len() < self.in_flight {
-            let c = self
-                .completion_rx
-                .recv()
-                .expect("workers alive while draining");
-            out.push(c);
+        let mut expected = self.in_flight;
+        while expected > 0 {
+            let mut bounces: Vec<(usize, Job)> = Vec::new();
+            while expected > 0 {
+                match self
+                    .completion_rx
+                    .recv()
+                    .expect("workers alive while draining")
+                {
+                    Delivery::Done(c) => out.push(c),
+                    Delivery::Bounce { worker, job } => bounces.push((worker, job)),
+                }
+                expected -= 1;
+            }
+            bounces.sort_by_key(|(_, job)| job.id);
+            for (worker, job) in bounces {
+                self.dead[worker] = true;
+                match self.readmit(worker, job) {
+                    Some(c) => out.push(c),
+                    None => expected += 1,
+                }
+            }
         }
         self.in_flight = 0;
         self.outstanding.iter_mut().for_each(|d| *d = 0);
         out.append(&mut self.rejected);
         out.sort_by_key(|c| c.id);
         out
+    }
+
+    /// Re-admit one job bounced off dead worker `from`. `None` means
+    /// the job went back out to a live worker (its completion arrives
+    /// with the rest of the drain); `Some` is a terminal completion —
+    /// redelivery budget exhausted, deadline unmeetable, or no live
+    /// worker left. Re-admission deliberately skips the queue-capacity
+    /// check: the request already paid for its slot at original
+    /// admission, and the drain is emptying every queue anyway.
+    fn readmit(&mut self, from: usize, mut job: Job) -> Option<Completion> {
+        let metrics = &self.shared.metrics;
+        let session = match &job.work {
+            Work::Turn { session, .. } => Some(*session),
+            Work::Single { .. } => None,
+        };
+        job.redeliveries += 1;
+        job.bounced_from = Some(from);
+        // Redelivery rides the retry budget: a request does not get to
+        // chase crashing workers forever.
+        let budget = self.config.retry.max_retries.max(1);
+        if job.redeliveries > budget {
+            metrics.readmit_refused.fetch_add(1, Ordering::Relaxed);
+            metrics.refused.fetch_add(1, Ordering::Relaxed);
+            self.trace_bounce(job.id, session, from, job.redeliveries, "refused");
+            return Some(Completion {
+                id: job.id,
+                worker: None,
+                session,
+                disposition: Disposition::Refused {
+                    reason: format!(
+                        "redelivery budget exhausted after {} bounces",
+                        job.redeliveries
+                    ),
+                },
+            });
+        }
+        if let Some(deadline) = job.deadline {
+            let projected = self.shared.clock.now() + self.config.service_estimate;
+            if projected > deadline {
+                metrics.readmit_refused.fetch_add(1, Ordering::Relaxed);
+                metrics.shed_deadline.fetch_add(1, Ordering::Relaxed);
+                self.trace_bounce(job.id, session, from, job.redeliveries, "deadline_exceeded");
+                return Some(Completion {
+                    id: job.id,
+                    worker: None,
+                    session,
+                    disposition: Disposition::DeadlineExceeded,
+                });
+            }
+        }
+        let base = match &job.work {
+            Work::Turn { session, .. } => (*session % self.config.workers as u64) as usize,
+            Work::Single { question } => {
+                (fnv1a(normalize_question(question).as_bytes()) % self.config.workers as u64)
+                    as usize
+            }
+        };
+        match self.live_worker_from(base) {
+            Some(target) => {
+                metrics.readmitted.fetch_add(1, Ordering::Relaxed);
+                self.senders[target]
+                    .send(job)
+                    .expect("live worker while draining");
+                None
+            }
+            None => {
+                metrics.readmit_refused.fetch_add(1, Ordering::Relaxed);
+                metrics.refused.fetch_add(1, Ordering::Relaxed);
+                self.trace_bounce(job.id, session, from, job.redeliveries, "refused");
+                Some(Completion {
+                    id: job.id,
+                    worker: None,
+                    session,
+                    disposition: Disposition::Refused {
+                        reason: "no live workers".to_string(),
+                    },
+                })
+            }
+        }
+    }
+
+    /// Record a terminal re-admission failure as a one-span trace (the
+    /// bounced request never reaches another worker, so the submitter
+    /// is the only place this evidence exists).
+    fn trace_bounce(
+        &self,
+        id: u64,
+        session: Option<u64>,
+        from: usize,
+        redeliveries: u32,
+        outcome: &str,
+    ) {
+        let Some(obs) = &self.shared.obs else { return };
+        let mut tb = TraceBuilder::new(id, Arc::clone(&self.shared.clock));
+        let root = tb.open("request");
+        tb.annotate(root, "id", id.to_string());
+        tb.annotate(
+            root,
+            "kind",
+            if session.is_some() { "turn" } else { "single" },
+        );
+        tb.annotate(root, "outcome", outcome);
+        tb.annotate(root, "redeliveries", redeliveries.to_string());
+        tb.annotate(root, "bounced_from", from.to_string());
+        tb.close(root);
+        obs.record(tb.finish());
+    }
+
+    /// The write-ahead session journal (one entry per committed
+    /// dialogue turn; see [`crate::journal`]).
+    pub fn journal(&self) -> &SessionJournal {
+        &self.shared.journal
     }
 
     /// Current counter snapshot.
@@ -638,12 +847,19 @@ impl FaultRide {
 /// [`InjectedFault::WorkerPanic`] panics right here — before any
 /// pipeline or session state is touched — and is contained by the
 /// `catch_unwind` in [`worker_loop`].
+///
+/// `attempt_base` is the job's redelivery count: a request re-admitted
+/// after bouncing off a dead worker presents attempt numbers ≥ 1 to
+/// the hook, so a panic pinned at attempt 0 fires exactly once and the
+/// recovered delivery proceeds. The retry budget stays absolute
+/// (`attempt < max_retries`) — it is per request, not per delivery.
 fn ride_out_faults(
     hook: Option<&RequestHook>,
     metrics: &ServeMetrics,
     retry: &RetryPolicy,
     id: u64,
     rung: usize,
+    attempt_base: u32,
 ) -> FaultRide {
     let mut ride = FaultRide {
         proceed: true,
@@ -651,7 +867,7 @@ fn ride_out_faults(
         backoff: 0,
     };
     let Some(hook) = hook else { return ride };
-    let mut attempt = 0u32;
+    let mut attempt = attempt_base;
     loop {
         match hook(&HookCtx { id, rung, attempt }) {
             None => return ride,
@@ -690,6 +906,7 @@ fn interpret_single(
     hook: Option<&RequestHook>,
     metrics: &ServeMetrics,
     retry: &RetryPolicy,
+    attempt_base: u32,
     ladder: &[InterpreterKind],
     breakers: &mut [CircuitBreaker],
     mut tracer: Option<&mut TraceBuilder>,
@@ -714,7 +931,7 @@ fn interpret_single(
             seal(&mut tracer, "breaker", "open");
             continue;
         }
-        let ride = ride_out_faults(hook, metrics, retry, id, rung);
+        let ride = ride_out_faults(hook, metrics, retry, id, rung, attempt_base);
         if let (Some(tb), Some(s)) = (tracer.as_deref_mut(), span) {
             ride.annotate(tb, s);
         }
@@ -822,7 +1039,7 @@ fn worker_loop(
     worker: usize,
     shared: &Shared,
     jobs: mpsc::Receiver<Job>,
-    completions: mpsc::Sender<Completion>,
+    completions: mpsc::Sender<Delivery>,
     cache_capacity: usize,
     fingerprint: u64,
     retry: RetryPolicy,
@@ -833,6 +1050,7 @@ fn worker_loop(
     let ctx = pipeline.context();
     let metrics = &shared.metrics;
     let hook = shared.hook.as_ref();
+    let journal = &shared.journal;
     let mut cache: Option<LruCache<String, (String, Vec<String>)>> =
         (cache_capacity > 0).then(|| LruCache::new(cache_capacity));
     let mut sessions: HashMap<u64, ConversationSession<'_>> = HashMap::new();
@@ -841,21 +1059,28 @@ fn worker_loop(
         .iter()
         .map(|_| CircuitBreaker::new(breaker))
         .collect();
-    // Set on a contained panic. A dead worker keeps draining its queue
-    // (so admission credits, `drain`, and `shutdown` all stay
-    // race-free and deterministic) but refuses every later request:
-    // its caches and sessions may have been mid-mutation when the
-    // panic unwound, so none of that state is trusted again.
+    // Set on a contained panic. A dead worker frees everything it
+    // retained (sessions, cache — mid-mutation state is not trusted
+    // and sessions are rebuilt elsewhere from the journal) and keeps
+    // only a drain-only path: every envelope still in its queue
+    // bounces back to the submitter for re-admission, so admission
+    // credits, `drain`, and `shutdown` all stay race-free.
     let mut dead = false;
 
     while let Ok(job) = jobs.recv() {
-        let Job {
-            id,
-            submit_tick,
-            queued_behind,
-            work,
-        } = job;
-        let session = match &work {
+        if dead {
+            metrics.crashed_requests.fetch_add(1, Ordering::Relaxed);
+            // No trace and no per-worker count here: the job is not
+            // processed, it bounces; the worker that finally serves it
+            // owns its one trace.
+            if completions.send(Delivery::Bounce { worker, job }).is_err() {
+                break;
+            }
+            continue;
+        }
+        let (id, submit_tick, queued_behind) = (job.id, job.submit_tick, job.queued_behind);
+        let (redeliveries, bounced_from) = (job.redeliveries, job.bounced_from);
+        let session = match &job.work {
             Work::Turn { session, .. } => Some(*session),
             Work::Single { .. } => None,
         };
@@ -869,6 +1094,12 @@ fn worker_loop(
             tb.annotate(root, "id", id.to_string());
             tb.annotate(root, "kind", kind_label);
             tb.annotate(root, "worker", worker.to_string());
+            if redeliveries > 0 {
+                tb.annotate(root, "redeliveries", redeliveries.to_string());
+            }
+            if let Some(b) = bounced_from {
+                tb.annotate(root, "bounced_from", b.to_string());
+            }
             let adm = tb.open_at("admission", submit_tick);
             tb.annotate(adm, "depth", queued_behind.to_string());
             tb.annotate(adm, "outcome", "admitted");
@@ -878,30 +1109,9 @@ fn worker_loop(
             tb.close(q);
             (tb, root)
         });
-        if dead {
-            metrics.crashed_requests.fetch_add(1, Ordering::Relaxed);
-            metrics.per_worker[worker].fetch_add(1, Ordering::Relaxed);
-            if let (Some(obs), Some((mut tb, root))) = (shared.obs.as_ref(), tracer.take()) {
-                tb.annotate(root, "outcome", "refused");
-                tb.annotate(root, "reason", "worker_died");
-                obs.record(tb.finish());
-            }
-            let refused = Completion {
-                id,
-                worker: Some(worker),
-                session,
-                disposition: Disposition::Refused {
-                    reason: format!("worker {worker} died"),
-                },
-            };
-            if completions.send(refused).is_err() {
-                break;
-            }
-            continue;
-        }
-        let outcome = catch_unwind(AssertUnwindSafe(|| match work {
+        let outcome = catch_unwind(AssertUnwindSafe(|| match &job.work {
             Work::Single { question } => {
-                let key = format!("{fingerprint:016x}|{}", normalize_question(&question));
+                let key = format!("{fingerprint:016x}|{}", normalize_question(question));
                 let probe = tracer.as_mut().map(|(tb, _)| (tb.open("cache"), tb));
                 let cached = cache.as_mut().and_then(|c| c.get(&key).cloned());
                 if let Some((s, tb)) = probe {
@@ -930,11 +1140,12 @@ fn worker_loop(
                         metrics.interp_misses.fetch_add(1, Ordering::Relaxed);
                         let (disposition, cacheable) = interpret_single(
                             id,
-                            &question,
+                            question,
                             pipeline,
                             hook,
                             metrics,
                             &retry,
+                            redeliveries,
                             ladder,
                             &mut breakers,
                             tracer.as_mut().map(|(tb, _)| tb),
@@ -953,6 +1164,7 @@ fn worker_loop(
                 }
             }
             Work::Turn { session, utterance } => {
+                let session = *session;
                 let span = tracer.as_mut().map(|(tb, _)| {
                     let s = tb.open("turn");
                     tb.annotate(s, "session", session.to_string());
@@ -961,16 +1173,69 @@ fn worker_loop(
                 // Faults are consulted *before* the manager runs, so a
                 // retried turn has mutated nothing: each dialogue turn
                 // executes at most once.
-                let ride = ride_out_faults(hook, metrics, &retry, id, 0);
+                let ride = ride_out_faults(hook, metrics, &retry, id, 0, redeliveries);
                 if let (Some((tb, _)), Some(s)) = (tracer.as_mut(), span) {
                     ride.annotate(tb, s);
                 }
                 let disposition = if ride.proceed {
-                    let s = sessions
-                        .entry(session)
-                        .or_insert_with(|| ConversationSession::new(db, ctx, ManagerKind::Agent));
-                    let r = s.turn(&utterance);
+                    if let Entry::Vacant(slot) = sessions.entry(session) {
+                        let journaled = journal.turns(session);
+                        if journaled.is_empty() {
+                            slot.insert(ConversationSession::new(db, ctx, ManagerKind::Agent));
+                        } else {
+                            // Crash recovery: this session committed
+                            // turns on a worker that has since died.
+                            // Rebuild its state by exact replay of the
+                            // journal, and prove the rebuild by
+                            // comparing per-turn digests.
+                            let rspan = tracer.as_mut().map(|(tb, _)| {
+                                let s = tb.open("replay");
+                                tb.annotate(s, "session", session.to_string());
+                                tb.annotate(s, "turns_replayed", journaled.len().to_string());
+                                tb.annotate(s, "remap_target", worker.to_string());
+                                s
+                            });
+                            let (rebuilt, results) = ConversationSession::replay(
+                                db,
+                                ctx,
+                                ManagerKind::Agent,
+                                journaled.iter().map(|e| e.utterance.as_str()),
+                            );
+                            let diverged = results
+                                .iter()
+                                .zip(&journaled)
+                                .filter(|(r, e)| r.digest() != e.outcome_digest)
+                                .count() as u64;
+                            metrics.sessions_recovered.fetch_add(1, Ordering::Relaxed);
+                            metrics
+                                .turns_replayed
+                                .fetch_add(journaled.len() as u64, Ordering::Relaxed);
+                            metrics
+                                .replay_divergence
+                                .fetch_add(diverged, Ordering::Relaxed);
+                            if let (Some((tb, _)), Some(s)) = (tracer.as_mut(), rspan) {
+                                tb.annotate(s, "divergence", diverged.to_string());
+                                tb.close(s);
+                            }
+                            slot.insert(rebuilt);
+                        }
+                    }
+                    let s = sessions.get_mut(&session).expect("session just ensured");
+                    let r = s.turn(utterance);
                     metrics.session_turns.fetch_add(1, Ordering::Relaxed);
+                    // Write-ahead commit: the turn enters the journal
+                    // before its reply leaves the worker, so a crash
+                    // any time after this line loses nothing.
+                    journal.append(
+                        session,
+                        JournalEntry {
+                            request_id: id,
+                            tick: submit_tick,
+                            utterance: utterance.clone(),
+                            outcome_digest: r.digest(),
+                        },
+                    );
+                    metrics.journal_turns.fetch_add(1, Ordering::Relaxed);
                     if let (Some((tb, _)), Some(sp)) = (tracer.as_mut(), span) {
                         tb.annotate(sp, "accepted", r.accepted.to_string());
                         tb.annotate(sp, "sql", if r.sql.is_some() { "yes" } else { "no" });
@@ -1002,36 +1267,34 @@ fn worker_loop(
                 }
             }
         }));
-        let crashed = outcome.is_err();
         let completion = match outcome {
             Ok(completion) => completion,
             Err(_) => {
                 dead = true;
+                // Free everything the corpse retained: sessions are
+                // rebuilt elsewhere from the journal, and a cache that
+                // may have been mid-mutation is not trusted again.
+                sessions.clear();
+                cache = None;
                 metrics.worker_deaths.fetch_add(1, Ordering::Relaxed);
                 metrics.crashed_requests.fetch_add(1, Ordering::Relaxed);
-                Completion {
-                    id,
-                    worker: Some(worker),
-                    session,
-                    disposition: Disposition::Refused {
-                        reason: format!("worker {worker} died mid-request"),
-                    },
+                // The half-built trace is dropped, not recorded: the
+                // request is not finished — it bounces back to the
+                // submitter for re-admission, and whichever worker
+                // finally serves it records its one trace.
+                let _ = tracer.take();
+                if completions.send(Delivery::Bounce { worker, job }).is_err() {
+                    break;
                 }
+                continue;
             }
         };
-        // Finish the trace whatever happened: on a contained panic the
-        // builder still holds every span opened before the unwind —
-        // `finish` seals them, so the trace shows exactly where the
-        // panic hit.
         if let (Some(obs), Some((mut tb, root))) = (shared.obs.as_ref(), tracer.take()) {
             tb.annotate(root, "outcome", disposition_label(&completion.disposition));
-            if crashed {
-                tb.annotate(root, "reason", "worker_panic");
-            }
             obs.record(tb.finish());
         }
         metrics.per_worker[worker].fetch_add(1, Ordering::Relaxed);
-        if completions.send(completion).is_err() {
+        if completions.send(Delivery::Done(completion)).is_err() {
             // Submitter went away mid-flight; nothing left to report to.
             break;
         }

@@ -1,10 +1,12 @@
 //! The serving robustness layer, end to end: seeded fault injection,
 //! retry transparency, graceful degradation, circuit breaking, worker
-//! death containment — and the serve-layer regression fixes (Drop
+//! death recovery — and the serve-layer regression fixes (Drop
 //! joins the pool, the schema fingerprint covers relationships,
 //! disabled-cache metrics stay meaningful). Everything here replays
 //! bit-identically: faults are a pure function of (request id, rung,
-//! attempt).
+//! attempt). Crash *recovery* — session replay, re-admission to live
+//! workers — has its own suite in `tests/recovery.rs`; this file keeps
+//! the no-spare-worker edge, where recovery has nowhere to go.
 
 use std::sync::Arc;
 
@@ -182,14 +184,16 @@ fn circuit_breaker_trips_and_sheds_load_off_a_failing_family() {
 }
 
 #[test]
-fn worker_panic_is_contained_and_surfaced() {
+fn worker_panic_with_no_spare_worker_refuses_cleanly() {
     silence_worker_panics();
     let plan = FaultPlan::none().with(1, FaultKind::WorkerPanic);
     let p = pipeline();
     let clock = Arc::new(ManualClock::new());
     // Cache off: a cache hit never consults the hook (a replayed
     // answer touches no backend), and this test wants every request to
-    // reach the fault schedule.
+    // reach the fault schedule. One worker: recovery has nowhere to
+    // re-admit to, so every bounce must surface as a clean refusal —
+    // never a hang, never a lost completion.
     let mut server = Server::start_with_hook(
         p,
         ServerConfig {
@@ -209,23 +213,26 @@ fn worker_panic_is_contained_and_surfaced() {
         matches!(done[0].disposition, Disposition::Answered { .. }),
         "request before the panic is unaffected"
     );
-    match &done[1].disposition {
-        Disposition::Refused { reason } => assert!(reason.contains("died mid-request")),
-        other => panic!("panicked request must refuse, got {other:?}"),
-    }
-    for c in &done[2..] {
+    for c in &done[1..] {
         match &c.disposition {
-            Disposition::Refused { reason } => assert!(reason.contains("worker 0 died")),
-            other => panic!("post-death requests must refuse, got {other:?}"),
+            Disposition::Refused { reason } => assert!(
+                reason.contains("no live workers"),
+                "bounced work with nowhere to go refuses: {reason}"
+            ),
+            other => panic!("bounced requests must refuse, got {other:?}"),
         }
     }
-    // The dead worker keeps refusing new work; the server never hangs.
-    server.submit(&RequestSpec::single("how many customers are there"));
+    // The router never offers the corpse new work: with the whole pool
+    // dead, admission itself refuses.
+    let adm = server.submit(&RequestSpec::single("how many customers are there"));
+    assert!(matches!(adm, nlidb_serve::Admission::Refused { .. }));
     let more = server.drain();
     assert!(matches!(more[0].disposition, Disposition::Refused { .. }));
     let m = server.shutdown(); // must not panic
     assert_eq!(m.worker_deaths, 1);
-    assert_eq!(m.crashed_requests, 4, "panicked + 3 routed afterwards");
+    assert_eq!(m.crashed_requests, 3, "panicked + 2 queued behind it");
+    assert_eq!(m.readmitted, 0, "no live worker to re-admit to");
+    assert_eq!(m.readmit_refused, 3);
 }
 
 #[test]

@@ -104,13 +104,19 @@ impl ValueIndex {
                 }
             }
         }
-        // Candidate generation by token overlap.
-        let mut candidates: HashSet<u32> = HashSet::new();
+        // Candidate generation by token overlap. Candidates are
+        // visited in id order: iterating a `HashSet` here would leak
+        // the process-random hasher seed into result order (equal
+        // score+value hits keep insertion order through the stable
+        // sort below), breaking run-over-run determinism.
+        let mut candidates: Vec<u32> = Vec::new();
         for tok in index_tokens(&mention_lower) {
             if let Some(ids) = self.by_token.get(&tok) {
                 candidates.extend(ids.iter().copied());
             }
         }
+        candidates.sort_unstable();
+        candidates.dedup();
         for id in candidates {
             if seen.contains(&id) {
                 continue;
@@ -132,6 +138,8 @@ impl ValueIndex {
                 .partial_cmp(&a.score)
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then_with(|| a.value.cmp(&b.value))
+                .then_with(|| a.table.cmp(&b.table))
+                .then_with(|| a.column.cmp(&b.column))
         });
         out
     }

@@ -22,11 +22,13 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
 
-echo "== experiment smoke (E12+E13 @ seed 42 vs EXPERIMENTS.md) =="
+echo "== experiment smoke (E12–E15 @ seed 42 vs EXPERIMENTS.md) =="
 cargo run --release --offline -q -p nlidb-bench --bin experiments -- \
   --exp e12 --seed 42 > target/serve-smoke.txt
-cargo run --release --offline -q -p nlidb-bench --bin experiments -- \
-  --exp e13 --seed 42 >> target/serve-smoke.txt
+for exp in e13 e14 e15; do
+  cargo run --release --offline -q -p nlidb-bench --bin experiments -- \
+    --exp "$exp" --seed 42 >> target/serve-smoke.txt
+done
 python3 scripts/check_experiment_drift.py target/serve-smoke.txt
 
 echo "CI gate passed."

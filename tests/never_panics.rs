@@ -1,0 +1,79 @@
+//! Robustness at the front door: whatever bytes a user types, the
+//! pipeline answers or refuses — it never panics. A panic here is a
+//! worker death in `nlidb-serve`, so this property is what makes crash
+//! recovery an *exceptional* path instead of routine traffic.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use nlidb_benchdata::retail_database;
+use nlidb_core::pipeline::NliPipeline;
+use nlidb_dialogue::{ConversationSession, ManagerKind};
+
+/// One shared pipeline: building it is the expensive part, and the
+/// property under test is about inputs, not construction.
+fn pipeline() -> &'static NliPipeline {
+    static PIPE: OnceLock<NliPipeline> = OnceLock::new();
+    PIPE.get_or_init(|| NliPipeline::standard(&retail_database(7)))
+}
+
+/// Arbitrary Unicode scalar values (surrogate range excluded), joined
+/// into a string — covers control characters, emoji, astral-plane
+/// text, and every separator the tokenizer might trip on.
+fn arbitrary_utf8() -> impl Strategy<Value = String> {
+    proptest::collection::vec(prop_oneof![0u32..0xD800, 0xE000u32..0x0011_0000], 0..200)
+        .prop_map(|cs| cs.into_iter().filter_map(char::from_u32).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ask_never_panics_on_arbitrary_utf8(input in arbitrary_utf8()) {
+        // Ok and Err are both acceptable; unwinding is not.
+        let _ = pipeline().ask(&input);
+    }
+
+    #[test]
+    fn turn_never_panics_on_arbitrary_utf8(a in arbitrary_utf8(), b in arbitrary_utf8()) {
+        let p = pipeline();
+        let mut s = ConversationSession::new(p.database(), p.context(), ManagerKind::Agent);
+        // Two turns: the second hits the follow-up path with whatever
+        // state (or rejection) the first left behind.
+        let _ = s.turn(&a);
+        let _ = s.turn(&b);
+    }
+}
+
+/// The deterministic edge cases worth pinning by name, so a regression
+/// fails with a readable test title rather than a proptest seed.
+#[test]
+fn hostile_inputs_are_survivable() {
+    let p = pipeline();
+    // `ask` is linear in token count (~1ms/token in release) — the
+    // full 10k-token battering ram runs where it costs seconds, debug
+    // builds take a shorter (still far-beyond-normal) swing.
+    let long_tokens = if cfg!(debug_assertions) { 500 } else { 10_000 };
+    let token_flood = "select ".repeat(long_tokens);
+    let cases: Vec<String> = vec![
+        String::new(),
+        " ".to_string(),
+        "\u{0}\u{1}\u{2}\u{7f}".to_string(),
+        "\n\t\r\n".to_string(),
+        token_flood,
+        "🙂🙃🦀💥".repeat(50),
+        "how many 🦀 are there".to_string(),
+        "'; DROP TABLE customers; --".to_string(),
+        "\"unclosed quote".to_string(),
+        "show customers where name = 'O''Brien'".to_string(),
+        "؈؈؈ مرحبا 你好 שלום".to_string(),
+        "\u{202e}reversed\u{202c} text".to_string(),
+    ];
+    for input in &cases {
+        let _ = p.ask(input);
+        let mut s = ConversationSession::new(p.database(), p.context(), ManagerKind::Agent);
+        let _ = s.turn(input);
+        let _ = s.turn("what about Boston");
+    }
+}
