@@ -1,4 +1,4 @@
-//! The reproduction experiments E1–E15 (see `EXPERIMENTS.md`).
+//! The reproduction experiments E1–E16 (see `EXPERIMENTS.md`).
 //!
 //! The paper is a tutorial: it publishes claims, not tables. Each
 //! experiment here operationalizes one claim into a measured table;
@@ -22,13 +22,14 @@ use nlidb_sqlir::ComplexityClass;
 use crate::workloads::{evaluate, paraphrased, setup_domain, DomainSetup};
 
 /// All experiment identifiers, in order.
-pub const EXPERIMENT_IDS: [&str; 15] = [
+pub const EXPERIMENT_IDS: [&str; 16] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+    "e16",
 ];
 
 /// One-line description per experiment, in [`EXPERIMENT_IDS`] order
 /// (the `--list` output of the `experiments` binary).
-pub const EXPERIMENT_SUMMARIES: [(&str, &str); 15] = [
+pub const EXPERIMENT_SUMMARIES: [(&str, &str); 16] = [
     (
         "e1",
         "capability matrix: family accuracy per §3 complexity rung",
@@ -80,6 +81,10 @@ pub const EXPERIMENT_SUMMARIES: [(&str, &str); 15] = [
         "e15",
         "crash recovery: journaled sessions replay, lost work re-admits",
     ),
+    (
+        "e16",
+        "trace profiler: critical-path attribution, reproducible exports",
+    ),
 ];
 
 /// Run one experiment by id; `None` for unknown ids.
@@ -100,6 +105,7 @@ pub fn run_experiment(id: &str, seed: u64) -> Option<Table> {
         "e13" => Some(e13_fault_injection(seed)),
         "e14" => Some(e14_observability(seed)),
         "e15" => Some(e15_crash_recovery(seed)),
+        "e16" => Some(e16_trace_profile(seed)),
         _ => None,
     }
 }
@@ -1130,10 +1136,11 @@ pub fn e13_fault_injection(seed: u64) -> Table {
     t
 }
 
-/// One traced E14 serving pass: exactly the E13 stream and server
-/// config, with a [`nlidb_serve::ServeObs`] attached. Returns
-/// (signatures, final metrics, the obs handles).
-fn e14_traced_run(
+/// One traced serving pass: exactly the E13 stream and server config,
+/// with a [`nlidb_serve::ServeObs`] attached. Returns (signatures,
+/// final metrics, the obs handles). Public because E14, E16, and the
+/// `perfgate` drift-baseline binary all measure this exact run.
+pub fn traced_serve_run(
     seed: u64,
     n: usize,
     plan: nlidb_benchdata::FaultPlan,
@@ -1192,8 +1199,8 @@ pub fn e14_observability(seed: u64) -> Table {
     );
 
     // Clean regime: tracing is invisible and bit-reproducible.
-    let (t_sigs, t_m, t_obs) = e14_traced_run(seed, N, FaultPlan::none());
-    let (t_sigs2, t_m2, t_obs2) = e14_traced_run(seed, N, FaultPlan::none());
+    let (t_sigs, t_m, t_obs) = traced_serve_run(seed, N, FaultPlan::none());
+    let (t_sigs2, t_m2, t_obs2) = traced_serve_run(seed, N, FaultPlan::none());
     assert_eq!(t_sigs, t_sigs2, "E14: traced stream must replay");
     assert_eq!(t_m, t_m2, "E14: traced metrics must replay");
     assert_eq!(
@@ -1225,8 +1232,8 @@ pub fn e14_observability(seed: u64) -> Table {
         }
         p
     };
-    let (f_sigs, f_m, f_obs) = e14_traced_run(seed, N, plan());
-    let (f_sigs2, f_m2, f_obs2) = e14_traced_run(seed, N, plan());
+    let (f_sigs, f_m, f_obs) = traced_serve_run(seed, N, plan());
+    let (f_sigs2, f_m2, f_obs2) = traced_serve_run(seed, N, plan());
     assert_eq!(f_sigs, f_sigs2, "E14: faulted stream must replay");
     assert_eq!(f_m, f_m2, "E14: faulted metrics must replay");
     assert_eq!(
@@ -1489,6 +1496,157 @@ pub fn e15_crash_recovery(seed: u64) -> Table {
             } else {
                 format!("{matches}/{N}")
             },
+        ]);
+    }
+    t
+}
+
+/// The E14/E16 faulted regime for the seeded retail stream: E13's
+/// transient rate plus a fatal outage window pinned on clean-run
+/// fresh singles (faults are only consulted on cache misses, so the
+/// window must land on fresh ids to fault at any seed). Public so the
+/// `perfgate` drift-baseline binary measures exactly the regime E16
+/// asserts on.
+pub fn faulted_regime_plan(seed: u64, n: usize) -> nlidb_benchdata::FaultPlan {
+    use nlidb_benchdata::{FaultKind, FaultPlan, FaultRates};
+    let (_sigs, fresh, _m) = e13_serve_run(seed, n, FaultPlan::none());
+    assert!(
+        fresh.len() >= 12,
+        "the faulted regime needs fresh singles to pin faults on ({} found)",
+        fresh.len()
+    );
+    let mut p = FaultPlan::seeded(
+        seed,
+        n as u64,
+        &FaultRates {
+            transient: 0.2,
+            fatal: 0.0,
+            ..FaultRates::default()
+        },
+    );
+    for id in fresh[0]..=fresh[11] {
+        p = p.with(id, FaultKind::Fatal { depth: 1 });
+    }
+    p
+}
+
+/// E16 — trace profiling & critical-path attribution: the analysis
+/// layer over E14's byte-reproducible traces. Both regimes (clean and
+/// E13's faulted plan) are profiled twice and every artifact — the
+/// per-stage profile, the Chrome Trace export, the folded stacks —
+/// asserted byte-identical run over run; the exported JSONL re-imports
+/// to exactly the recorded corpus (what `tracetool` operates on). The
+/// cost accounting must balance exactly: per-stage self costs
+/// partition the root cost, critical-path self costs partition the
+/// critical cost, and the tail attribution accounts for every tail
+/// trace. The clean-vs-faulted diff isolates what the faults cost,
+/// and the table reports where the faulted regime's critical-path
+/// time went.
+pub fn e16_trace_profile(seed: u64) -> Table {
+    use nlidb_benchdata::FaultPlan;
+    use nlidb_obs::{
+        chrome_trace_json, folded_stacks, parse_jsonl, tail_attribution, Profile, ProfileDiff,
+    };
+    const N: usize = 120;
+    let plan = faulted_regime_plan(seed, N);
+
+    let (_, _, c_obs) = traced_serve_run(seed, N, FaultPlan::none());
+    let (_, _, c_obs2) = traced_serve_run(seed, N, FaultPlan::none());
+    let (_, f_m, f_obs) = traced_serve_run(seed, N, plan.clone());
+    let (_, _, f_obs2) = traced_serve_run(seed, N, plan);
+    for (a, b, label) in [(&c_obs, &c_obs2, "clean"), (&f_obs, &f_obs2, "faulted")] {
+        let (ta, tb) = (a.sink.traces(), b.sink.traces());
+        assert_eq!(
+            Profile::from_traces(&ta).export_text(),
+            Profile::from_traces(&tb).export_text(),
+            "E16 {label}: profile must be byte-identical run over run"
+        );
+        assert_eq!(
+            chrome_trace_json(&ta),
+            chrome_trace_json(&tb),
+            "E16 {label}: Chrome Trace export must be byte-identical"
+        );
+        assert_eq!(
+            folded_stacks(&ta),
+            folded_stacks(&tb),
+            "E16 {label}: folded stacks must be byte-identical"
+        );
+    }
+    let f_traces = f_obs.sink.traces();
+    assert_eq!(
+        parse_jsonl(&f_obs.sink.export_jsonl()).expect("E16: canonical export parses"),
+        f_traces,
+        "E16: the JSONL export must re-import to the recorded corpus"
+    );
+
+    // The books must balance: self costs partition the root cost,
+    // critical-path self costs partition the critical cost, and the
+    // hot spine never costs more than the roots it spans.
+    let f_profile = Profile::from_traces(&f_traces);
+    let clean_profile = Profile::from_traces(&c_obs.sink.traces());
+    assert_eq!(f_profile.traces, N as u64, "E16: one trace per request");
+    assert_eq!(
+        f_profile.stages.iter().map(|s| s.self_cost).sum::<u64>(),
+        f_profile.root_cost,
+        "E16: per-stage self costs must partition the root cost"
+    );
+    assert_eq!(
+        f_profile
+            .stages
+            .iter()
+            .map(|s| s.crit_self_cost)
+            .sum::<u64>(),
+        f_profile.crit_cost,
+        "E16: critical-path self costs must partition the critical cost"
+    );
+    assert!(f_profile.crit_cost <= f_profile.root_cost);
+
+    let tail = tail_attribution(&f_traces, 95.0).expect("E16: a served corpus has a tail");
+    assert!(tail.tail_traces >= 1);
+    assert_eq!(
+        tail.dominant.iter().map(|(_, n)| n).sum::<u64>(),
+        tail.tail_traces,
+        "E16: every tail trace has a dominant stage"
+    );
+    assert_eq!(
+        tail.split.iter().map(|(_, n)| n).sum::<u64>(),
+        tail.tail_traces,
+        "E16: every tail trace lands in a rung/family bucket"
+    );
+
+    // The diff isolates what the faults cost: positive overhead, and
+    // the retries the metrics counted surface as extra rung spans.
+    let diff = ProfileDiff::between(&clean_profile, &f_profile);
+    assert!(
+        diff.overhead() > 0,
+        "E16: the faulted regime must cost more than the clean one"
+    );
+    assert!(f_m.retries > 0, "E16: the faulted regime must retry");
+    let rungs = |p: &Profile| p.stage("rung").map_or(0, |s| s.spans);
+    assert!(
+        rungs(&f_profile) > rungs(&clean_profile),
+        "E16: retries and degradations must add rung spans"
+    );
+
+    let mut t = Table::new([
+        "stage",
+        "spans",
+        "total",
+        "self",
+        "crit spans",
+        "crit self",
+        "crit share",
+    ])
+    .title("E16 — per-stage critical-path attribution (faulted regime, retail, N=120)");
+    for s in &f_profile.stages {
+        t.row([
+            s.name.clone(),
+            s.spans.to_string(),
+            s.total_cost.to_string(),
+            s.self_cost.to_string(),
+            s.crit_spans.to_string(),
+            s.crit_self_cost.to_string(),
+            pct(s.crit_self_cost as f64 / f_profile.crit_cost as f64),
         ]);
     }
     t

@@ -1,10 +1,14 @@
 //! # nlidb-bench — the reproduction harness
 //!
-//! One function per experiment in `EXPERIMENTS.md` (E1–E14), each
+//! One function per experiment in `EXPERIMENTS.md` (E1–E16), each
 //! returning a rendered [`nlidb_evalkit::Table`]. The `experiments`
-//! binary prints them; the Criterion benches under `benches/` reuse
-//! [`workloads`] for the latency measurements (B1–B5) and drive the
-//! serving runtime for the throughput-scaling bench (B6).
+//! binary prints them; the `perfgate` binary renders the perf-drift
+//! baseline (per-stage profiles, clean-vs-faulted diff, and metric
+//! counters at a fixed seed) that `scripts/check_perf_drift.py`
+//! byte-compares against `scripts/perf_baseline_seed42.txt`; the
+//! Criterion benches under `benches/` reuse [`workloads`] for the
+//! latency measurements (B1–B5) and drive the serving runtime for the
+//! throughput-scaling bench (B6).
 
 pub mod experiments;
 pub mod workloads;

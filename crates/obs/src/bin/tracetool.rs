@@ -1,0 +1,110 @@
+//! Analyze exported trace corpora from the command line.
+//!
+//! ```text
+//! tracetool profile  <trace.jsonl>            # per-stage self/inherited/critical-path profile
+//! tracetool critical <trace.jsonl>            # the critical path of every trace
+//! tracetool tail     <trace.jsonl> [--p N]    # tail attribution at the Nth percentile (default 95)
+//! tracetool chrome   <trace.jsonl>            # Chrome Trace Event JSON (load in about://tracing)
+//! tracetool folded   <trace.jsonl>            # folded stacks (pipe to a flamegraph renderer)
+//! tracetool diff     <base.jsonl> <other.jsonl>  # per-stage overhead of other over base
+//! tracetool metrics  <trace.jsonl>            # canonical span.* histogram export
+//! ```
+//!
+//! Input files are the byte-reproducible JSONL written by
+//! `TraceSink::export_jsonl` (see `examples/profiling.rs` for the
+//! producing side). Every output is deterministic: same corpus in,
+//! same bytes out. Bad arguments and malformed input fail fast with
+//! one-line errors, like the `experiments` binary.
+
+use std::env;
+use std::process::exit;
+
+use nlidb_obs::profile::self_costs;
+use nlidb_obs::{
+    chrome_trace_json, critical_path, critical_path_cost, folded_stacks, parse_jsonl,
+    tail_attribution, MetricsRegistry, Profile, ProfileDiff, Trace,
+};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tracetool <profile|critical|tail|chrome|folded|metrics> <trace.jsonl>\n\
+         \x20      tracetool tail <trace.jsonl> [--p <percentile>]\n\
+         \x20      tracetool diff <base.jsonl> <other.jsonl>"
+    );
+    exit(2);
+}
+
+fn load(path: &str) -> Vec<Trace> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("tracetool: cannot read {path}: {e}");
+            exit(2);
+        }
+    };
+    match parse_jsonl(&text) {
+        Ok(traces) => traces,
+        Err(e) => {
+            eprintln!("tracetool: {path} is not a trace export: {e}");
+            exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let Some(command) = args.first() else { usage() };
+    match (command.as_str(), &args[1..]) {
+        ("profile", [path]) => {
+            print!("{}", Profile::from_traces(&load(path)).export_text());
+        }
+        ("critical", [path]) => {
+            for trace in load(path) {
+                let selfs = self_costs(&trace);
+                let chain: Vec<String> = critical_path(&trace)
+                    .iter()
+                    .map(|&i| format!("{}[{}]", trace.spans[i].name, selfs[i]))
+                    .collect();
+                println!(
+                    "trace {} cost={} critical={} path={}",
+                    trace.id,
+                    trace.root().map(|r| r.cost()).unwrap_or(0),
+                    critical_path_cost(&trace),
+                    chain.join(";")
+                );
+            }
+        }
+        ("tail", [path, rest @ ..]) => {
+            let percentile = match rest {
+                [] => 95.0,
+                [flag, value] if flag == "--p" => match value.parse::<f64>() {
+                    Ok(p) if (0.0..=100.0).contains(&p) => p,
+                    _ => {
+                        eprintln!("--p wants a percentile in [0, 100], got {value:?}");
+                        usage();
+                    }
+                },
+                _ => usage(),
+            };
+            match tail_attribution(&load(path), percentile) {
+                Some(tail) => print!("{}", tail.export_text()),
+                None => println!("tail: corpus has no rooted traces"),
+            }
+        }
+        ("chrome", [path]) => println!("{}", chrome_trace_json(&load(path))),
+        ("folded", [path]) => print!("{}", folded_stacks(&load(path))),
+        ("diff", [base, other]) => {
+            let base = Profile::from_traces(&load(base));
+            let other = Profile::from_traces(&load(other));
+            print!("{}", ProfileDiff::between(&base, &other).export_text());
+        }
+        ("metrics", [path]) => {
+            let registry = MetricsRegistry::new();
+            for trace in load(path) {
+                registry.observe_trace(&trace);
+            }
+            print!("{}", registry.report().export_text());
+        }
+        _ => usage(),
+    }
+}

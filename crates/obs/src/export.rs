@@ -1,0 +1,143 @@
+//! Deterministic trace-corpus exporters: Chrome Trace Event JSON and
+//! folded stacks for flamegraphs.
+//!
+//! Both formats are byte-reproducible under the same contract as the
+//! sink's JSONL: traces are emitted ascending by id and every span
+//! field is logical (trace-tick sequence numbers, never wall-clock),
+//! so two runs of the same seeded stream export identical bytes. The
+//! Chrome format loads into `about://tracing` / Perfetto; the folded
+//! format feeds `flamegraph.pl` (or any folded-stack renderer)
+//! directly.
+
+use std::collections::BTreeMap;
+
+use crate::profile::self_costs;
+use crate::span::{push_json_str, Trace};
+
+/// Render a corpus as Chrome Trace Event JSON (one complete-phase
+/// `"ph":"X"` event per span). The trace id becomes the `pid`, so
+/// each request renders as its own process row; `ts`/`dur` are trace
+/// ticks (the span's open sequence number and cost). Attributes
+/// become `args`, first value per key. Traces are emitted ascending
+/// by id regardless of input order.
+pub fn chrome_trace_json(traces: &[Trace]) -> String {
+    let mut order: Vec<usize> = (0..traces.len()).collect();
+    order.sort_by_key(|&i| traces[i].id);
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    for idx in order {
+        let trace = &traces[idx];
+        for span in &trace.spans {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("{\"name\":");
+            push_json_str(&mut out, &span.name);
+            out.push_str(",\"ph\":\"X\",\"ts\":");
+            out.push_str(&span.seq_open.to_string());
+            out.push_str(",\"dur\":");
+            out.push_str(&span.cost().to_string());
+            out.push_str(",\"pid\":");
+            out.push_str(&trace.id.to_string());
+            out.push_str(",\"tid\":0,\"args\":{");
+            let mut seen: Vec<&str> = Vec::new();
+            for (k, v) in &span.attrs {
+                if seen.contains(&k.as_str()) {
+                    continue; // first value per key, like Span::attr
+                }
+                if !seen.is_empty() {
+                    out.push(',');
+                }
+                seen.push(k);
+                push_json_str(&mut out, k);
+                out.push(':');
+                push_json_str(&mut out, v);
+            }
+            out.push_str("}}");
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Render a corpus as folded stacks: one `root;child;…;leaf count`
+/// line per distinct stack, where `count` is the summed *self* cost
+/// of every span with that stack across the corpus. Lines are sorted
+/// by stack string; trailing newline after every line. Feed straight
+/// into a flamegraph renderer.
+pub fn folded_stacks(traces: &[Trace]) -> String {
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    for trace in traces {
+        let selfs = self_costs(trace);
+        // Build each span's stack by extending its parent's (parents
+        // precede children in a recorded trace).
+        let mut stacks: Vec<String> = Vec::with_capacity(trace.spans.len());
+        for (idx, span) in trace.spans.iter().enumerate() {
+            let stack = match span.parent {
+                Some(p) => format!("{};{}", stacks[p], span.name),
+                None => span.name.clone(),
+            };
+            *folded.entry(stack.clone()).or_default() += selfs[idx];
+            stacks.push(stack);
+        }
+    }
+    let mut out = String::new();
+    for (stack, count) in folded {
+        out.push_str(&format!("{stack} {count}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::{Clock, ManualClock};
+    use crate::span::TraceBuilder;
+    use std::sync::Arc;
+
+    fn sample(id: u64) -> Trace {
+        let clock = Arc::new(ManualClock::new());
+        let mut tb = TraceBuilder::new(id, clock as Arc<dyn Clock>);
+        let root = tb.open("request");
+        tb.annotate(root, "outcome", "answered");
+        tb.annotate(root, "outcome", "shadowed"); // dup key: dropped in args
+        let inner = tb.open("rung");
+        tb.close(inner);
+        tb.close(root);
+        tb.finish()
+    }
+
+    #[test]
+    fn chrome_events_are_id_ordered_and_stable() {
+        let json = chrome_trace_json(&[sample(7), sample(3)]);
+        assert_eq!(
+            json,
+            "{\"traceEvents\":[\
+             {\"name\":\"request\",\"ph\":\"X\",\"ts\":1,\"dur\":3,\"pid\":3,\"tid\":0,\
+             \"args\":{\"outcome\":\"answered\"}},\
+             {\"name\":\"rung\",\"ph\":\"X\",\"ts\":2,\"dur\":1,\"pid\":3,\"tid\":0,\"args\":{}},\
+             {\"name\":\"request\",\"ph\":\"X\",\"ts\":1,\"dur\":3,\"pid\":7,\"tid\":0,\
+             \"args\":{\"outcome\":\"answered\"}},\
+             {\"name\":\"rung\",\"ph\":\"X\",\"ts\":2,\"dur\":1,\"pid\":7,\"tid\":0,\"args\":{}}\
+             ]}"
+        );
+        // Input order never shows in the output.
+        assert_eq!(json, chrome_trace_json(&[sample(3), sample(7)]));
+    }
+
+    #[test]
+    fn empty_corpus_exports_are_trivial() {
+        assert_eq!(chrome_trace_json(&[]), "{\"traceEvents\":[]}");
+        assert_eq!(folded_stacks(&[]), "");
+    }
+
+    #[test]
+    fn folded_stacks_sum_self_costs_across_the_corpus() {
+        let folded = folded_stacks(&[sample(1), sample(2)]);
+        // Per trace: request self = 2 (rung open + own close), rung
+        // self = 1; two traces double both.
+        assert_eq!(folded, "request 4\nrequest;rung 2\n");
+        assert_eq!(folded, folded_stacks(&[sample(2), sample(1)]));
+    }
+}

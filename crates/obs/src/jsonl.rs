@@ -1,0 +1,308 @@
+//! Re-import traces from the sink's JSONL export.
+//!
+//! [`crate::TraceSink::export_jsonl`] writes one *canonical* JSON
+//! object per trace: fixed field order, minimal escaping, no
+//! whitespace. That makes the reader a strict single-pass parser for
+//! exactly that shape rather than a general JSON library — `tracetool`
+//! reads files written by the exporter (or by another deterministic
+//! run of it), and anything else is an error worth surfacing, not
+//! accommodating. Round-tripping is a tested invariant:
+//! `parse_trace(t.to_json()) == t` for every recordable trace.
+
+use crate::span::{Span, Trace};
+
+/// A parse failure: what was expected, at which byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of the violated expectation.
+    pub message: String,
+    /// Byte offset into the input line where parsing stopped.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Cursor<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            message: message.into(),
+            offset: self.pos,
+        })
+    }
+
+    fn expect(&mut self, literal: &str) -> Result<(), ParseError> {
+        if self.input[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(())
+        } else {
+            self.err(format!("expected {literal:?}"))
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn u64(&mut self) -> Result<u64, ParseError> {
+        let start = self.pos;
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return self.err("expected a digit");
+        }
+        std::str::from_utf8(&self.input[start..self.pos])
+            .expect("digits are ASCII")
+            .parse()
+            .or_else(|_| self.err("integer overflows u64"))
+    }
+
+    /// A JSON string literal, unescaping exactly what the exporter
+    /// escapes (plus the `\/`, `\b`, `\f` standard escapes, for
+    /// hand-written inputs).
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect("\"")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or(ParseError {
+                        message: "unterminated escape".into(),
+                        offset: self.pos,
+                    })?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .input
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok());
+                            let Some(code) = hex else {
+                                return self.err("expected 4 hex digits after \\u");
+                            };
+                            let Some(c) = char::from_u32(code) else {
+                                return self.err("\\u escape is not a scalar value");
+                            };
+                            self.pos += 4;
+                            out.push(c);
+                        }
+                        _ => return self.err("unknown escape"),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str
+                    // upstream, so boundaries are sound).
+                    let rest =
+                        std::str::from_utf8(&self.input[self.pos..]).map_err(|_| ParseError {
+                            message: "invalid UTF-8".into(),
+                            offset: self.pos,
+                        })?;
+                    let c = rest.chars().next().expect("peeked non-empty");
+                    self.pos += c.len_utf8();
+                    out.push(c);
+                }
+            }
+        }
+    }
+}
+
+/// Parse one exported trace line (the output of
+/// [`crate::Trace::to_json`]). Beyond shape, two structural facts the
+/// profiler relies on are validated: every parent index refers to an
+/// *earlier* span, and every span closes after it opens.
+pub fn parse_trace(line: &str) -> Result<Trace, ParseError> {
+    let mut c = Cursor {
+        input: line.as_bytes(),
+        pos: 0,
+    };
+    c.expect("{\"trace\":")?;
+    let id = c.u64()?;
+    c.expect(",\"spans\":[")?;
+    let mut spans = Vec::new();
+    if c.peek() == Some(b']') {
+        c.pos += 1;
+    } else {
+        loop {
+            c.expect("{\"name\":")?;
+            let name = c.string()?;
+            c.expect(",\"parent\":")?;
+            let parent = if c.peek() == Some(b'n') {
+                c.expect("null")?;
+                None
+            } else {
+                let p = c.u64()? as usize;
+                if p >= spans.len() {
+                    return c.err(format!("parent {p} does not precede span {}", spans.len()));
+                }
+                Some(p)
+            };
+            c.expect(",\"seq\":[")?;
+            let seq_open = c.u64()?;
+            c.expect(",")?;
+            let seq_close = c.u64()?;
+            if seq_close <= seq_open {
+                return c.err("span closes at or before its open");
+            }
+            c.expect("],\"tick\":[")?;
+            let tick_open = c.u64()?;
+            c.expect(",")?;
+            let tick_close = c.u64()?;
+            c.expect("],\"attrs\":{")?;
+            let mut attrs = Vec::new();
+            if c.peek() == Some(b'}') {
+                c.pos += 1;
+            } else {
+                loop {
+                    let key = c.string()?;
+                    c.expect(":")?;
+                    let value = c.string()?;
+                    attrs.push((key, value));
+                    match c.peek() {
+                        Some(b',') => c.pos += 1,
+                        Some(b'}') => {
+                            c.pos += 1;
+                            break;
+                        }
+                        _ => return c.err("expected ',' or '}' in attrs"),
+                    }
+                }
+            }
+            c.expect("}")?;
+            spans.push(Span {
+                name,
+                parent,
+                seq_open,
+                seq_close,
+                tick_open,
+                tick_close,
+                attrs,
+            });
+            match c.peek() {
+                Some(b',') => c.pos += 1,
+                Some(b']') => {
+                    c.pos += 1;
+                    break;
+                }
+                _ => return c.err("expected ',' or ']' in spans"),
+            }
+        }
+    }
+    c.expect("}")?;
+    if c.pos != c.input.len() {
+        return c.err("trailing bytes after trace object");
+    }
+    Ok(Trace { id, spans })
+}
+
+/// Parse a whole JSONL export (one trace per line; blank lines are
+/// rejected — the exporter never writes them). Errors carry the
+/// 1-based line number.
+pub fn parse_jsonl(text: &str) -> Result<Vec<Trace>, ParseError> {
+    text.lines()
+        .enumerate()
+        .map(|(i, line)| {
+            parse_trace(line).map_err(|e| ParseError {
+                message: format!("line {}: {}", i + 1, e.message),
+                offset: e.offset,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::{Clock, ManualClock};
+    use crate::sink::TraceSink;
+    use crate::span::TraceBuilder;
+    use std::sync::Arc;
+
+    fn sample(id: u64) -> Trace {
+        let clock = Arc::new(ManualClock::new());
+        let mut tb = TraceBuilder::new(id, clock.clone() as Arc<dyn Clock>);
+        let root = tb.open("request");
+        tb.annotate(root, "sql", "SELECT \"x\"\n\tFROM t\\u");
+        clock.advance(2);
+        let inner = tb.open("rung");
+        tb.annotate(inner, "family", "entity");
+        tb.close(inner);
+        tb.close(root);
+        tb.finish()
+    }
+
+    #[test]
+    fn round_trips_the_exporters_output() {
+        let t = sample(7);
+        assert_eq!(parse_trace(&t.to_json()).unwrap(), t);
+        let empty = TraceBuilder::new(0, Arc::new(ManualClock::new()) as Arc<dyn Clock>).finish();
+        assert_eq!(parse_trace(&empty.to_json()).unwrap(), empty);
+    }
+
+    #[test]
+    fn round_trips_a_whole_sink_export() {
+        let sink = TraceSink::new(8);
+        sink.push(sample(5));
+        sink.push(sample(1));
+        let parsed = parse_jsonl(&sink.export_jsonl()).unwrap();
+        assert_eq!(parsed, sink.traces());
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_positions() {
+        let e = parse_trace("{\"trace\":x}").unwrap_err();
+        assert!(e.message.contains("digit"), "{e}");
+        assert_eq!(e.offset, 9);
+        let cases = [
+            "",
+            "{\"trace\":1,\"spans\":[]}extra",
+            // Forward parent reference.
+            "{\"trace\":1,\"spans\":[{\"name\":\"a\",\"parent\":0,\"seq\":[1,2],\
+             \"tick\":[0,0],\"attrs\":{}}]}",
+            // Close before open.
+            "{\"trace\":1,\"spans\":[{\"name\":\"a\",\"parent\":null,\"seq\":[2,2],\
+             \"tick\":[0,0],\"attrs\":{}}]}",
+            "{\"trace\":1,\"spans\":[{\"name\":\"a\"}]}",
+        ];
+        for case in cases {
+            assert!(parse_trace(case).is_err(), "{case:?} must not parse");
+        }
+        let e = parse_jsonl("{\"trace\":1,\"spans\":[]}\n\nnope").unwrap_err();
+        assert!(e.message.starts_with("line 2:"), "{e}");
+    }
+
+    #[test]
+    fn unescapes_all_escape_forms() {
+        let t = parse_trace(
+            "{\"trace\":3,\"spans\":[{\"name\":\"a\\u0041\\/\\b\\f\",\"parent\":null,\
+             \"seq\":[1,2],\"tick\":[0,0],\"attrs\":{}}]}",
+        )
+        .unwrap();
+        assert_eq!(t.spans[0].name, "aA/\u{8}\u{c}");
+    }
+}

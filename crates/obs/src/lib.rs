@@ -30,13 +30,32 @@
 //!   set of trace ids pushed, never on arrival interleaving, so two
 //!   runs of the same seeded stream export byte-identical JSONL —
 //!   experiment E14's claim.
+//! * [`profile`] — the analysis layer over a trace corpus: per-stage
+//!   self vs. inherited cost, critical-path extraction, tail
+//!   attribution (which stage dominates the p95/p99 root cost, split
+//!   by rung and interpreter), and clean-vs-faulted diffing. E16's
+//!   substrate, and what the perf-drift gate compares byte-exactly.
+//! * [`export`] — deterministic Chrome Trace Event JSON (for
+//!   `about://tracing`) and folded-stack text (for flamegraphs).
+//! * [`jsonl`] — strict re-import of the sink's JSONL export, so the
+//!   `tracetool` binary can profile a corpus written by an earlier
+//!   run.
 
 pub mod clock;
+pub mod export;
+pub mod jsonl;
 pub mod metrics;
+pub mod profile;
 pub mod sink;
 pub mod span;
 
 pub use clock::{Clock, ManualClock};
+pub use export::{chrome_trace_json, folded_stacks};
+pub use jsonl::{parse_jsonl, parse_trace, ParseError};
 pub use metrics::{Counter, Histogram, HistogramSummary, MetricsRegistry, MetricsReport};
+pub use profile::{
+    critical_path, critical_path_cost, tail_attribution, Profile, ProfileDiff, StageDelta,
+    StageProfile, TailAttribution,
+};
 pub use sink::TraceSink;
 pub use span::{Span, SpanId, Trace, TraceBuilder};

@@ -98,35 +98,58 @@ impl Histogram {
     /// (rank 1 at `p = 0`, so `percentile(0)` is the minimum and
     /// `percentile(100)` the maximum). `None` when empty.
     pub fn percentile(&self, p: f64) -> Option<u64> {
-        let n = self.count();
-        if n == 0 {
-            return None;
-        }
-        let p = p.clamp(0.0, 100.0);
-        let rank = ((p / 100.0 * n as f64).ceil() as u64).max(1);
-        let mut cumulative = 0u64;
-        for (v, b) in self.buckets.iter().enumerate() {
-            cumulative += b.load(Ordering::Relaxed);
-            if cumulative >= rank {
-                return Some(v as u64);
-            }
-        }
-        None // unreachable: cumulative reaches n
+        percentile_of(&self.bucket_snapshot(), p)
     }
 
-    /// Freeze into a plain summary.
+    /// One relaxed read of every bucket, index = value.
+    fn bucket_snapshot(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Freeze into a plain summary. Count, sum, and every percentile
+    /// are all derived from *one* bucket snapshot, so the summary is
+    /// internally consistent even while other threads are observing
+    /// (separate passes could pair a fresh count with stale
+    /// percentiles). `clamped` is read before the snapshot, so it can
+    /// only under-count relative to the buckets, never invent clamps
+    /// the top bucket has not seen.
     pub fn summary(&self) -> HistogramSummary {
+        let clamped = self.clamped();
+        let buckets = self.bucket_snapshot();
+        let count: u64 = buckets.iter().sum();
+        let sum: u64 = buckets.iter().enumerate().map(|(v, c)| v as u64 * c).sum();
         HistogramSummary {
-            count: self.count(),
-            sum: self.sum(),
-            clamped: self.clamped(),
-            min: self.percentile(0.0).unwrap_or(0),
-            max: self.percentile(100.0).unwrap_or(0),
-            p50: self.percentile(50.0).unwrap_or(0),
-            p95: self.percentile(95.0).unwrap_or(0),
-            p99: self.percentile(99.0).unwrap_or(0),
+            count,
+            sum,
+            clamped,
+            min: percentile_of(&buckets, 0.0).unwrap_or(0),
+            max: percentile_of(&buckets, 100.0).unwrap_or(0),
+            p50: percentile_of(&buckets, 50.0).unwrap_or(0),
+            p95: percentile_of(&buckets, 95.0).unwrap_or(0),
+            p99: percentile_of(&buckets, 99.0).unwrap_or(0),
         }
     }
+}
+
+/// Nearest-rank percentile over a frozen bucket array (index = value).
+fn percentile_of(buckets: &[u64], p: f64) -> Option<u64> {
+    let n: u64 = buckets.iter().sum();
+    if n == 0 {
+        return None;
+    }
+    let p = p.clamp(0.0, 100.0);
+    let rank = ((p / 100.0 * n as f64).ceil() as u64).max(1);
+    let mut cumulative = 0u64;
+    for (v, &b) in buckets.iter().enumerate() {
+        cumulative += b;
+        if cumulative >= rank {
+            return Some(v as u64);
+        }
+    }
+    None // unreachable: cumulative reaches n
 }
 
 /// Plain-value view of one histogram (all zeros when `count == 0`).
@@ -253,6 +276,25 @@ impl MetricsReport {
             .find(|(k, _)| k == name)
             .map(|(_, v)| v)
     }
+
+    /// The canonical machine-diffable rendering: one line per metric,
+    /// name-ordered (the report is already sorted), every field in a
+    /// fixed order with fixed formatting, trailing newline per line.
+    /// The perf-drift gate and `tracetool metrics` both emit this, so
+    /// a baseline written by one is byte-comparable against the other.
+    pub fn export_text(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            out.push_str(&format!("counter {name} {value}\n"));
+        }
+        for (name, s) in &self.histograms {
+            out.push_str(&format!(
+                "histogram {name} count={} sum={} clamped={} min={} max={} p50={} p95={} p99={}\n",
+                s.count, s.sum, s.clamped, s.min, s.max, s.p50, s.p95, s.p99
+            ));
+        }
+        out
+    }
 }
 
 impl fmt::Display for MetricsReport {
@@ -354,6 +396,64 @@ mod tests {
         // Same name returns the same instance.
         r.counter("a.first").add(1);
         assert_eq!(r.report().counter("a.first"), Some(3));
+    }
+
+    #[test]
+    fn summary_is_internally_consistent_under_concurrent_observes() {
+        // Every observation is the same value, so any self-consistent
+        // summary must satisfy sum == value × count and pin every
+        // percentile to the value. The pre-fix summary read count,
+        // sum, and each percentile in separate passes over the live
+        // buckets, so a concurrent observe could land between passes
+        // and tear them apart (e.g. sum > 0 with stale percentiles).
+        use std::sync::atomic::AtomicBool;
+        const VALUE: u64 = 3;
+        let h = Arc::new(Histogram::with_cap(8));
+        let stop = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let (h, stop) = (Arc::clone(&h), Arc::clone(&stop));
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    h.observe(VALUE);
+                }
+            })
+        };
+        for _ in 0..10_000 {
+            let s = h.summary();
+            assert_eq!(s.sum, VALUE * s.count, "sum and count from one snapshot");
+            if s.count > 0 {
+                assert_eq!((s.min, s.p50, s.p95, s.p99, s.max), (3, 3, 3, 3, 3));
+            }
+            assert_eq!(s.clamped, 0);
+        }
+        stop.store(true, Ordering::Relaxed);
+        writer.join().expect("writer thread");
+    }
+
+    #[test]
+    fn export_text_is_canonical_bytes() {
+        let r = MetricsRegistry::new();
+        r.counter("serve.answered").add(7);
+        r.counter("serve.retries").add(2);
+        let h = r.histogram_with_cap("span.request", 8);
+        h.observe(1);
+        h.observe(3);
+        h.observe(100); // clamps to 8
+        assert_eq!(
+            r.report().export_text(),
+            "counter serve.answered 7\n\
+             counter serve.retries 2\n\
+             histogram span.request count=3 sum=12 clamped=1 min=1 max=8 p50=3 p95=8 p99=8\n"
+        );
+        // Registration order never leaks into the rendering.
+        let r2 = MetricsRegistry::new();
+        let h2 = r2.histogram_with_cap("span.request", 8);
+        h2.observe(100);
+        h2.observe(3);
+        h2.observe(1);
+        r2.counter("serve.retries").add(2);
+        r2.counter("serve.answered").add(7);
+        assert_eq!(r2.report().export_text(), r.report().export_text());
     }
 
     #[test]

@@ -1,0 +1,553 @@
+//! Trace-corpus profiling: per-stage cost attribution, critical
+//! paths, tail attribution, and clean-vs-faulted diffing.
+//!
+//! PR 3's traces record *what happened*; this module answers *where
+//! the cost went*. All of it runs on the same logical-tick cost model
+//! the spans are stamped with, so every number here is a pure
+//! function of the seeded request stream — which is what makes the
+//! perf-drift gate sound: two runs at the same seed must agree
+//! byte-for-byte, and any drift is a semantic change in the pipeline,
+//! never scheduler noise.
+//!
+//! Cost accounting. A span's *cost* ([`Span::cost`]) counts every
+//! trace event inside it, which includes the events of its children.
+//! Its **self cost** subtracts the children's costs, leaving the
+//! events the span accounts for directly (its own close, plus one
+//! open event per direct child). The two views partition exactly:
+//! within one root's subtree, self costs sum to the root's cost —
+//! the invariant the profile property tests pin down.
+//!
+//! The **critical path** of a trace is the root-to-leaf chain built
+//! by descending into the costliest child at every step (ties break
+//! toward the earlier-opened child, keeping the path deterministic).
+//! Its cost is the sum of *self* costs along the chain — the
+//! exclusive work of the hot spine, never double-counting a nested
+//! descendant — so it is bounded by the root's cost, with the gap
+//! being work that happened off the spine.
+
+use std::collections::BTreeMap;
+
+use crate::span::{Span, Trace};
+
+/// Direct-children index lists for every span of `trace`, in span
+/// order. Parents always precede children in a recorded trace, so one
+/// forward pass suffices.
+pub fn children_of(trace: &Trace) -> Vec<Vec<usize>> {
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); trace.spans.len()];
+    for (idx, span) in trace.spans.iter().enumerate() {
+        if let Some(p) = span.parent {
+            children[p].push(idx);
+        }
+    }
+    children
+}
+
+/// Self cost per span of `trace`: [`Span::cost`] minus the costs of
+/// its direct children — the trace events the span accounts for
+/// itself. Always ≥ 1 (every span owns at least its close event).
+pub fn self_costs(trace: &Trace) -> Vec<u64> {
+    let mut selfs: Vec<u64> = trace.spans.iter().map(Span::cost).collect();
+    for span in &trace.spans {
+        if let Some(p) = span.parent {
+            selfs[p] = selfs[p].saturating_sub(span.cost());
+        }
+    }
+    selfs
+}
+
+/// The critical path of `trace` as span indices, root first: starting
+/// from the first root, descend into the direct child with the
+/// largest cost until a leaf (ties break toward the earlier-opened
+/// child). Empty only for an empty trace.
+pub fn critical_path(trace: &Trace) -> Vec<usize> {
+    let Some(root) = trace.spans.iter().position(|s| s.parent.is_none()) else {
+        return Vec::new();
+    };
+    let children = children_of(trace);
+    let mut path = vec![root];
+    let mut at = root;
+    loop {
+        let next = children[at]
+            .iter()
+            .copied()
+            // max_by_key keeps the *last* maximum; children are in
+            // open order, so compare (cost, Reverse(index)) to keep
+            // the earliest-opened child on ties.
+            .max_by_key(|&c| (trace.spans[c].cost(), std::cmp::Reverse(c)));
+        match next {
+            Some(c) => {
+                path.push(c);
+                at = c;
+            }
+            None => return path,
+        }
+    }
+}
+
+/// Critical-path cost of `trace`: the sum of *self* costs along
+/// [`critical_path`]. Bounded by the root span's cost.
+pub fn critical_path_cost(trace: &Trace) -> u64 {
+    let selfs = self_costs(trace);
+    critical_path(trace).iter().map(|&i| selfs[i]).sum()
+}
+
+/// Aggregate cost attribution for every span name seen in a corpus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageProfile {
+    /// Span name (e.g. `"rung"`, `"tokenize"`).
+    pub name: String,
+    /// Spans with this name across the corpus.
+    pub spans: u64,
+    /// Sum of span costs (inclusive of children).
+    pub total_cost: u64,
+    /// Sum of self costs (exclusive of children).
+    pub self_cost: u64,
+    /// Largest single span cost seen.
+    pub max_cost: u64,
+    /// Spans of this name that sat on a trace's critical path.
+    pub crit_spans: u64,
+    /// Sum of self costs of those critical-path spans.
+    pub crit_self_cost: u64,
+}
+
+impl StageProfile {
+    /// Cost inherited from children: `total_cost − self_cost`.
+    pub fn inherited_cost(&self) -> u64 {
+        self.total_cost - self.self_cost
+    }
+}
+
+/// A per-stage profile of a trace corpus. Stages are name-ordered, so
+/// two profiles over the same corpus compare (and render) identically
+/// regardless of trace arrival order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Profile {
+    /// Traces aggregated.
+    pub traces: u64,
+    /// Sum of root-span costs (one or more roots per trace).
+    pub root_cost: u64,
+    /// Sum of critical-path costs across traces.
+    pub crit_cost: u64,
+    /// Per-stage attribution, ascending by name.
+    pub stages: Vec<StageProfile>,
+}
+
+impl Profile {
+    /// Aggregate a corpus. Traces may arrive in any order; the
+    /// profile depends only on their contents.
+    pub fn from_traces(traces: &[Trace]) -> Profile {
+        let mut stages: BTreeMap<String, StageProfile> = BTreeMap::new();
+        let mut root_cost = 0u64;
+        let mut crit_cost = 0u64;
+        for trace in traces {
+            let selfs = self_costs(trace);
+            let path = critical_path(trace);
+            for (idx, span) in trace.spans.iter().enumerate() {
+                let e = stages
+                    .entry(span.name.clone())
+                    .or_insert_with(|| StageProfile {
+                        name: span.name.clone(),
+                        spans: 0,
+                        total_cost: 0,
+                        self_cost: 0,
+                        max_cost: 0,
+                        crit_spans: 0,
+                        crit_self_cost: 0,
+                    });
+                e.spans += 1;
+                e.total_cost += span.cost();
+                e.self_cost += selfs[idx];
+                e.max_cost = e.max_cost.max(span.cost());
+                if path.contains(&idx) {
+                    e.crit_spans += 1;
+                    e.crit_self_cost += selfs[idx];
+                }
+            }
+            root_cost += trace
+                .spans
+                .iter()
+                .filter(|s| s.parent.is_none())
+                .map(Span::cost)
+                .sum::<u64>();
+            crit_cost += path.iter().map(|&i| selfs[i]).sum::<u64>();
+        }
+        Profile {
+            traces: traces.len() as u64,
+            root_cost,
+            crit_cost,
+            stages: stages.into_values().collect(),
+        }
+    }
+
+    /// The stage named `name`, if present.
+    pub fn stage(&self, name: &str) -> Option<&StageProfile> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// The canonical machine-diffable rendering: a header line, then
+    /// one fixed-format line per stage in name order, trailing
+    /// newline everywhere. Byte-identical for equal profiles — the
+    /// artifact the perf-drift gate compares.
+    pub fn export_text(&self) -> String {
+        let mut out = format!(
+            "profile traces={} root_cost={} crit_cost={}\n",
+            self.traces, self.root_cost, self.crit_cost
+        );
+        for s in &self.stages {
+            out.push_str(&format!(
+                "stage {} spans={} total={} self={} inherited={} max={} crit_spans={} crit_self={}\n",
+                s.name,
+                s.spans,
+                s.total_cost,
+                s.self_cost,
+                s.inherited_cost(),
+                s.max_cost,
+                s.crit_spans,
+                s.crit_self_cost
+            ));
+        }
+        out
+    }
+}
+
+/// Which stage dominates the expensive tail of a corpus, and how the
+/// tail splits by fallback rung and interpreter family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TailAttribution {
+    /// The percentile that defined the tail (e.g. 95.0).
+    pub percentile: f64,
+    /// Root cost at that percentile (nearest-rank over root costs).
+    pub threshold: u64,
+    /// Traces whose root cost is ≥ the threshold.
+    pub tail_traces: u64,
+    /// Stage → number of tail traces where that stage carries the
+    /// largest summed self cost (ties break toward the
+    /// lexicographically smaller name). Name-ordered.
+    pub dominant: Vec<(String, u64)>,
+    /// `"rung R / family"` → tail-trace count, keyed by the last
+    /// fallback rung the trace entered (`"no rung / <outcome>"` for
+    /// traces that never opened one — cache hits, rejects). Key-ordered.
+    pub split: Vec<(String, u64)>,
+}
+
+impl TailAttribution {
+    /// Canonical rendering, fixed format, name-ordered.
+    pub fn export_text(&self) -> String {
+        let mut out = format!(
+            "tail p{:.0} threshold={} traces={}\n",
+            self.percentile, self.threshold, self.tail_traces
+        );
+        for (name, n) in &self.dominant {
+            out.push_str(&format!("dominant {name} traces={n}\n"));
+        }
+        for (key, n) in &self.split {
+            out.push_str(&format!("split {key} traces={n}\n"));
+        }
+        out
+    }
+}
+
+/// Attribute the cost tail of a corpus: which traces sit at or above
+/// the `percentile`-th root cost, which stage dominates each of them,
+/// and how they split by rung and interpreter family. `None` for an
+/// empty corpus or a corpus of empty traces.
+pub fn tail_attribution(traces: &[Trace], percentile: f64) -> Option<TailAttribution> {
+    let mut root_costs: Vec<u64> = traces
+        .iter()
+        .filter_map(|t| t.root().map(Span::cost))
+        .collect();
+    if root_costs.is_empty() {
+        return None;
+    }
+    root_costs.sort_unstable();
+    let p = percentile.clamp(0.0, 100.0);
+    let rank = ((p / 100.0 * root_costs.len() as f64).ceil() as usize).max(1);
+    let threshold = root_costs[rank - 1];
+
+    let mut dominant: BTreeMap<String, u64> = BTreeMap::new();
+    let mut split: BTreeMap<String, u64> = BTreeMap::new();
+    let mut tail_traces = 0u64;
+    for trace in traces {
+        let Some(root) = trace.root() else { continue };
+        if root.cost() < threshold {
+            continue;
+        }
+        tail_traces += 1;
+        // Dominant stage: largest summed self cost within this trace;
+        // BTreeMap iteration breaks ties toward the smaller name.
+        let selfs = self_costs(trace);
+        let mut per_stage: BTreeMap<&str, u64> = BTreeMap::new();
+        for (idx, span) in trace.spans.iter().enumerate() {
+            *per_stage.entry(span.name.as_str()).or_default() += selfs[idx];
+        }
+        if let Some((name, _)) =
+            per_stage
+                .iter()
+                .fold(None::<(&str, u64)>, |best, (&name, &cost)| match best {
+                    Some((_, c)) if c >= cost => best,
+                    _ => Some((name, cost)),
+                })
+        {
+            *dominant.entry(name.to_string()).or_default() += 1;
+        }
+        // Rung/interpreter split: the last rung span the trace entered
+        // is the one that produced (or refused) the answer.
+        let key = match trace.spans_named("rung").last() {
+            Some(rung) => format!(
+                "rung {} / {}",
+                rung.attr("rung").unwrap_or("?"),
+                rung.attr("family").unwrap_or("?")
+            ),
+            None => format!("no rung / {}", root.attr("outcome").unwrap_or("?")),
+        };
+        *split.entry(key).or_default() += 1;
+    }
+    Some(TailAttribution {
+        percentile: p,
+        threshold,
+        tail_traces,
+        dominant: dominant.into_iter().collect(),
+        split: split.into_iter().collect(),
+    })
+}
+
+/// One stage's delta between two profiles (a stage absent from a side
+/// contributes zeros there).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageDelta {
+    /// Span name.
+    pub name: String,
+    /// (spans, total cost) in the base profile.
+    pub base: (u64, u64),
+    /// (spans, total cost) in the other profile.
+    pub other: (u64, u64),
+}
+
+impl StageDelta {
+    /// Signed cost delta, other − base.
+    pub fn cost_delta(&self) -> i64 {
+        self.other.1 as i64 - self.base.1 as i64
+    }
+
+    /// True when the stage appears only in the other profile — under
+    /// a clean-vs-faulted diff, a stage the faults introduced
+    /// (retry-carrying rungs, `replay`, fault-annotated spans).
+    pub fn only_in_other(&self) -> bool {
+        self.base.0 == 0 && self.other.0 > 0
+    }
+}
+
+/// A per-stage diff of two profiles, isolating what one regime spends
+/// that the other does not (for clean-vs-faulted: retry, degradation,
+/// and replay overhead).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileDiff {
+    /// Union of stage names, ascending; zeros where a side lacks the
+    /// stage.
+    pub stages: Vec<StageDelta>,
+}
+
+impl ProfileDiff {
+    /// Diff `other` against `base` (deltas read other − base).
+    pub fn between(base: &Profile, other: &Profile) -> ProfileDiff {
+        let mut names: Vec<&str> = base
+            .stages
+            .iter()
+            .chain(&other.stages)
+            .map(|s| s.name.as_str())
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        let side = |p: &Profile, name: &str| {
+            p.stage(name)
+                .map(|s| (s.spans, s.total_cost))
+                .unwrap_or((0, 0))
+        };
+        ProfileDiff {
+            stages: names
+                .into_iter()
+                .map(|name| StageDelta {
+                    name: name.to_string(),
+                    base: side(base, name),
+                    other: side(other, name),
+                })
+                .collect(),
+        }
+    }
+
+    /// Total signed cost overhead of `other` over `base`.
+    pub fn overhead(&self) -> i64 {
+        self.stages.iter().map(StageDelta::cost_delta).sum()
+    }
+
+    /// Canonical rendering: one fixed-format line per stage in name
+    /// order; stages present on only one side are marked.
+    pub fn export_text(&self) -> String {
+        let mut out = format!("diff overhead={:+}\n", self.overhead());
+        for d in &self.stages {
+            let marker = if d.only_in_other() {
+                " [only other]"
+            } else if d.other.0 == 0 && d.base.0 > 0 {
+                " [only base]"
+            } else {
+                ""
+            };
+            out.push_str(&format!(
+                "stage {} base_spans={} base_cost={} other_spans={} other_cost={} delta={:+}{}\n",
+                d.name,
+                d.base.0,
+                d.base.1,
+                d.other.0,
+                d.other.1,
+                d.cost_delta(),
+                marker
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::{Clock, ManualClock};
+    use crate::span::TraceBuilder;
+    use std::sync::Arc;
+
+    fn builder(id: u64) -> TraceBuilder {
+        TraceBuilder::new(id, Arc::new(ManualClock::new()) as Arc<dyn Clock>)
+    }
+
+    /// root ── a ── a1, a2 ; b. Costs: a1 = a2 = 1, a = 5, b = 1,
+    /// root = 9. Selfs: root = 3, a = 3, b = 1, a1 = a2 = 1.
+    fn sample(id: u64) -> Trace {
+        let mut tb = builder(id);
+        let root = tb.open("request");
+        let a = tb.open("rung");
+        let a1 = tb.open("interpret");
+        tb.close(a1);
+        let a2 = tb.open("execute");
+        tb.close(a2);
+        tb.close(a);
+        let b = tb.open("cache");
+        tb.close(b);
+        tb.close(root);
+        tb.finish()
+    }
+
+    #[test]
+    fn self_costs_partition_the_root_cost() {
+        let t = sample(1);
+        let selfs = self_costs(&t);
+        assert_eq!(t.spans[0].cost(), 9);
+        assert_eq!(selfs, vec![3, 3, 1, 1, 1]);
+        assert_eq!(selfs.iter().sum::<u64>(), t.spans[0].cost());
+    }
+
+    #[test]
+    fn critical_path_descends_into_the_costliest_child() {
+        let t = sample(1);
+        // root → rung (cost 5 beats cache's 1) → interpret (tie with
+        // execute at cost 1 → earlier-opened wins).
+        assert_eq!(critical_path(&t), vec![0, 1, 2]);
+        assert_eq!(critical_path_cost(&t), 3 + 3 + 1);
+        assert!(critical_path_cost(&t) <= t.spans[0].cost());
+    }
+
+    #[test]
+    fn empty_trace_has_an_empty_path() {
+        let t = builder(0).finish();
+        assert!(critical_path(&t).is_empty());
+        assert_eq!(critical_path_cost(&t), 0);
+        let p = Profile::from_traces(&[t]);
+        assert_eq!((p.traces, p.root_cost, p.crit_cost), (1, 0, 0));
+        assert!(p.stages.is_empty());
+        assert!(tail_attribution(&[], 95.0).is_none());
+    }
+
+    #[test]
+    fn profile_aggregates_name_ordered_and_order_insensitively() {
+        let (a, b) = (sample(1), sample(2));
+        let p = Profile::from_traces(&[a.clone(), b.clone()]);
+        let q = Profile::from_traces(&[b, a]);
+        assert_eq!(p, q, "profile is a function of the trace set");
+        assert_eq!(p.traces, 2);
+        assert_eq!(p.root_cost, 18);
+        assert_eq!(p.crit_cost, 14);
+        let names: Vec<&str> = p.stages.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["cache", "execute", "interpret", "request", "rung"]
+        );
+        let rung = p.stage("rung").unwrap();
+        assert_eq!((rung.spans, rung.total_cost, rung.self_cost), (2, 10, 6));
+        assert_eq!(rung.inherited_cost(), 4);
+        assert_eq!((rung.crit_spans, rung.crit_self_cost), (2, 6));
+        let cache = p.stage("cache").unwrap();
+        assert_eq!((cache.crit_spans, cache.crit_self_cost), (0, 0));
+        assert_eq!(p.export_text(), q.export_text());
+        assert!(p
+            .export_text()
+            .starts_with("profile traces=2 root_cost=18 crit_cost=14\n"));
+    }
+
+    #[test]
+    fn tail_attribution_reads_rung_and_family_attrs() {
+        // Two cheap traces and one expensive one carrying a rung.
+        let mut tb = builder(3);
+        let root = tb.open("request");
+        tb.annotate(root, "outcome", "answered");
+        for _ in 0..3 {
+            let r = tb.open("rung");
+            tb.annotate(r, "rung", "1");
+            tb.annotate(r, "family", "entity");
+            tb.close(r);
+        }
+        tb.close(root);
+        let expensive = tb.finish();
+        let mut tb = builder(4);
+        let root = tb.open("request");
+        tb.annotate(root, "outcome", "cache_hit");
+        tb.close(root);
+        let cheap = tb.finish();
+        let corpus = vec![cheap.clone(), expensive, cheap];
+        let tail = tail_attribution(&corpus, 95.0).unwrap();
+        assert_eq!(tail.threshold, 7, "p95 of {{1, 1, 7}}");
+        assert_eq!(tail.tail_traces, 1);
+        assert_eq!(tail.dominant, vec![("request".to_string(), 1)]);
+        assert_eq!(tail.split, vec![("rung 1 / entity".to_string(), 1)]);
+        // p0 covers everything, including the rung-less traces.
+        let all = tail_attribution(&corpus, 0.0).unwrap();
+        assert_eq!(all.tail_traces, 3);
+        assert_eq!(
+            all.split,
+            vec![
+                ("no rung / cache_hit".to_string(), 2),
+                ("rung 1 / entity".to_string(), 1)
+            ]
+        );
+        assert!(all
+            .export_text()
+            .contains("split no rung / cache_hit traces=2\n"));
+    }
+
+    #[test]
+    fn diff_isolates_stages_only_one_side_has() {
+        let clean = Profile::from_traces(&[sample(1)]);
+        let mut tb = builder(2);
+        let root = tb.open("request");
+        let r = tb.open("replay");
+        tb.close(r);
+        tb.close(root);
+        let faulted = Profile::from_traces(&[sample(1), tb.finish()]);
+        let diff = ProfileDiff::between(&clean, &faulted);
+        let replay = diff.stages.iter().find(|d| d.name == "replay").unwrap();
+        assert!(replay.only_in_other());
+        assert_eq!(replay.other, (1, 1));
+        let cache = diff.stages.iter().find(|d| d.name == "cache").unwrap();
+        assert!(!cache.only_in_other());
+        assert_eq!(cache.cost_delta(), 0);
+        assert_eq!(diff.overhead(), 3 + 1, "extra root (3) + replay (1)");
+        assert!(diff.export_text().contains("[only other]"));
+    }
+}

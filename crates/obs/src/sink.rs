@@ -132,6 +132,31 @@ mod tests {
     }
 
     #[test]
+    fn smallest_id_into_a_full_sink_is_evicted_immediately() {
+        // The documented edge case: when the incoming trace has the
+        // smallest id in a full sink, it is itself the eviction victim
+        // — inserted, then dropped in the same push — and counts
+        // toward `dropped` like any other eviction.
+        let sink = TraceSink::new(2);
+        sink.push(trace(10));
+        sink.push(trace(20));
+        assert_eq!(sink.dropped(), 0);
+        sink.push(trace(5)); // smaller than everything retained
+        let kept: Vec<u64> = sink.traces().iter().map(|t| t.id).collect();
+        assert_eq!(
+            kept,
+            vec![10, 20],
+            "the incoming trace never displaces a larger id"
+        );
+        assert_eq!(sink.dropped(), 1, "the immediate eviction is counted");
+        // And the export is exactly as if the push never happened.
+        let before = sink.export_jsonl();
+        sink.push(trace(1));
+        assert_eq!(sink.export_jsonl(), before);
+        assert_eq!(sink.dropped(), 2);
+    }
+
+    #[test]
     fn zero_capacity_still_retains_one() {
         let sink = TraceSink::new(0);
         sink.push(trace(9));

@@ -145,7 +145,7 @@ impl Trace {
 }
 
 /// Append `s` as a JSON string literal (quotes included).
-fn push_json_str(out: &mut String, s: &str) {
+pub(crate) fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {

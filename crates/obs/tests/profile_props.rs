@@ -1,0 +1,133 @@
+//! Property tests for the profiler: over *arbitrary* balanced span
+//! trees (any interleaving the recorder tolerates), the cost
+//! accounting must hold exactly — self costs partition each root's
+//! cost, the critical path is a root-anchored chain whose cost is the
+//! sum of the self costs along it and never exceeds the root's cost,
+//! and every analysis artifact (profile, exports, re-import) is a
+//! deterministic function of the trace set.
+
+use std::sync::Arc;
+
+use nlidb_obs::profile::{children_of, self_costs};
+use nlidb_obs::{
+    chrome_trace_json, critical_path, critical_path_cost, folded_stacks, parse_jsonl, Clock,
+    ManualClock, Profile, Span, SpanId, Trace, TraceBuilder, TraceSink,
+};
+use proptest::prelude::*;
+
+/// Replay an op list against a builder (the span_props generator):
+/// 0 = open, 1 = close a pseudo-random prior span, 2 = annotate one,
+/// 3 = advance the clock.
+fn replay(id: u64, ops: &[(u8, u8)]) -> Trace {
+    let clock = Arc::new(ManualClock::new());
+    let mut tb = TraceBuilder::new(id, clock.clone() as Arc<dyn Clock>);
+    let mut ids: Vec<SpanId> = Vec::new();
+    for &(op, pick) in ops {
+        match op % 4 {
+            0 => ids.push(tb.open(&format!("s{}", ids.len() % 5))),
+            1 if !ids.is_empty() => tb.close(ids[pick as usize % ids.len()]),
+            2 if !ids.is_empty() => tb.annotate(ids[pick as usize % ids.len()], "k", "1"),
+            3 => {
+                clock.advance(u64::from(pick) % 3);
+            }
+            _ => {}
+        }
+    }
+    tb.finish()
+}
+
+/// Sum of self costs over the subtree rooted at `root`.
+fn subtree_self_sum(trace: &Trace, selfs: &[u64], root: usize) -> u64 {
+    let children = children_of(trace);
+    let mut total = 0;
+    let mut stack = vec![root];
+    while let Some(i) = stack.pop() {
+        total += selfs[i];
+        stack.extend(&children[i]);
+    }
+    total
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn self_costs_partition_each_roots_cost(
+        ops in proptest::collection::vec((0u8..8, 0u8..64), 0..120),
+    ) {
+        let trace = replay(9, &ops);
+        let selfs = self_costs(&trace);
+        for (i, span) in trace.spans.iter().enumerate() {
+            prop_assert!(selfs[i] >= 1, "every span owns at least its close event");
+            if span.parent.is_none() {
+                prop_assert_eq!(
+                    subtree_self_sum(&trace, &selfs, i),
+                    span.cost(),
+                    "self costs must sum to the root's cost"
+                );
+            }
+        }
+        // Corpus-level view of the same partition: folded-stack counts
+        // total exactly the root costs.
+        let folded_total: u64 = folded_stacks(std::slice::from_ref(&trace))
+            .lines()
+            .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+            .sum();
+        let root_total: u64 = trace
+            .spans
+            .iter()
+            .filter(|s| s.parent.is_none())
+            .map(Span::cost)
+            .sum();
+        prop_assert_eq!(folded_total, root_total);
+    }
+
+    #[test]
+    fn critical_path_is_a_chain_costed_by_its_self_costs(
+        ops in proptest::collection::vec((0u8..8, 0u8..64), 0..120),
+    ) {
+        let trace = replay(9, &ops);
+        let path = critical_path(&trace);
+        let selfs = self_costs(&trace);
+        if trace.spans.is_empty() {
+            prop_assert!(path.is_empty());
+        } else {
+            // Anchored at the first root, each step a child of the last.
+            let root = path[0];
+            prop_assert!(trace.spans[root].parent.is_none());
+            for w in path.windows(2) {
+                prop_assert_eq!(trace.spans[w[1]].parent, Some(w[0]));
+            }
+            // Ends at a leaf.
+            let last = *path.last().unwrap();
+            prop_assert!(!trace.spans.iter().any(|s| s.parent == Some(last)));
+            // Cost = sum of self costs along the path, bounded by the root.
+            let along: u64 = path.iter().map(|&i| selfs[i]).sum();
+            prop_assert_eq!(critical_path_cost(&trace), along);
+            prop_assert!(along <= trace.spans[root].cost());
+            prop_assert!(along >= 1, "a non-empty path costs at least the root's close");
+        }
+    }
+
+    #[test]
+    fn analysis_artifacts_are_deterministic_and_round_trip(
+        ops in proptest::collection::vec((0u8..8, 0u8..64), 0..80),
+        more in proptest::collection::vec((0u8..8, 0u8..64), 0..80),
+    ) {
+        let corpus = vec![replay(1, &ops), replay(2, &more)];
+        let reversed: Vec<Trace> = corpus.iter().rev().cloned().collect();
+        // Profile and exports depend on the trace set, not its order.
+        prop_assert_eq!(
+            Profile::from_traces(&corpus).export_text(),
+            Profile::from_traces(&reversed).export_text()
+        );
+        prop_assert_eq!(chrome_trace_json(&corpus), chrome_trace_json(&reversed));
+        prop_assert_eq!(folded_stacks(&corpus), folded_stacks(&reversed));
+        // The JSONL export re-imports to exactly the retained traces.
+        let sink = TraceSink::new(8);
+        for t in &corpus {
+            sink.push(t.clone());
+        }
+        prop_assert_eq!(parse_jsonl(&sink.export_jsonl()).unwrap(), sink.traces());
+    }
+}

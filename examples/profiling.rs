@@ -1,0 +1,108 @@
+//! Profile a served request stream: replay the same seeded stream
+//! clean and faulted, aggregate each trace corpus into a per-stage
+//! profile, walk the costliest trace's critical path, attribute the
+//! p95 tail, and diff the two regimes to isolate what the faults
+//! cost. This is `tracetool`'s library API end to end — the binary
+//! does the same over a JSONL file exported by an earlier run.
+//!
+//! ```bash
+//! cargo run --release --example profiling
+//! ```
+
+use std::sync::Arc;
+
+use nlidb::benchdata::{derive_slots, request_stream, retail_database, FaultKind, FaultPlan};
+use nlidb::core::pipeline::NliPipeline;
+use nlidb::obs::profile::self_costs;
+use nlidb::obs::{
+    critical_path, folded_stacks, parse_jsonl, tail_attribution, Profile, ProfileDiff, Trace,
+};
+use nlidb::serve::{
+    fault_plan_hook, run_closed_loop, Clock, ManualClock, ServeObs, Server, ServerConfig,
+};
+
+/// Serve the seeded retail stream under `plan` and return the traces.
+fn traced_run(plan: FaultPlan) -> Vec<Trace> {
+    let db = retail_database(42);
+    let pipeline = Arc::new(NliPipeline::standard(&db));
+    let clock = Arc::new(ManualClock::new());
+    let obs = ServeObs::new(64);
+    let mut server = Server::start_observed(
+        pipeline,
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 64,
+            ..ServerConfig::default()
+        },
+        clock.clone() as Arc<dyn Clock>,
+        Some(fault_plan_hook(plan)),
+        Some(obs.clone()),
+    );
+    let slots = derive_slots(&db);
+    let stream = request_stream(&slots, 42, 32, 0.25);
+    run_closed_loop(&mut server, &clock, &stream, 16);
+    server.shutdown();
+    obs.sink.traces()
+}
+
+fn main() {
+    // The same fatal rung-0 window the observability example injects:
+    // fresh singles inside it degrade down the interpreter ladder.
+    let mut plan = FaultPlan::none();
+    for id in 0..8 {
+        plan = plan.with(id, FaultKind::Fatal { depth: 1 });
+    }
+    let clean = traced_run(FaultPlan::none());
+    let faulted = traced_run(plan);
+
+    // Per-stage attribution: self vs inherited cost, and how much of
+    // each stage sat on a critical path (`tracetool profile`).
+    let clean_profile = Profile::from_traces(&clean);
+    let faulted_profile = Profile::from_traces(&faulted);
+    println!("faulted profile:\n{}", faulted_profile.export_text());
+
+    // The costliest trace's critical path — the root-to-leaf spine the
+    // greedy descent picks (`tracetool critical`).
+    let hot = faulted
+        .iter()
+        .max_by_key(|t| (t.root().map_or(0, |r| r.cost()), std::cmp::Reverse(t.id)))
+        .expect("the stream produced traces");
+    let selfs = self_costs(hot);
+    let spine: Vec<String> = critical_path(hot)
+        .iter()
+        .map(|&i| format!("{}[{}]", hot.spans[i].name, selfs[i]))
+        .collect();
+    println!(
+        "hottest trace {} critical path: {}",
+        hot.id,
+        spine.join(" > ")
+    );
+
+    // Which stage dominates the expensive tail, split by the rung that
+    // answered (`tracetool tail`).
+    let tail = tail_attribution(&faulted, 95.0).expect("non-empty corpus");
+    println!("\n{}", tail.export_text());
+
+    // What the faults cost, stage by stage (`tracetool diff`).
+    let diff = ProfileDiff::between(&clean_profile, &faulted_profile);
+    println!("{}", diff.export_text());
+
+    // Render-ready exports: folded stacks for a flamegraph, and the
+    // JSONL round-trip tracetool relies on. Both byte-reproducible.
+    let folded = folded_stacks(&faulted);
+    println!("folded stacks ({} lines), deepest:", folded.lines().count());
+    let deepest = folded
+        .lines()
+        .max_by_key(|l| l.matches(';').count())
+        .unwrap_or_default();
+    println!("  {deepest}");
+    let sink = nlidb::obs::TraceSink::new(64);
+    for t in &faulted {
+        sink.push(t.clone());
+    }
+    assert_eq!(parse_jsonl(&sink.export_jsonl()).unwrap(), sink.traces());
+    println!(
+        "JSONL export re-imports to the same {} traces",
+        faulted.len()
+    );
+}

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Fail if the perfgate output drifted from the committed baseline.
+
+Usage: python3 scripts/check_perf_drift.py [<perfgate_output.txt>]
+
+Without an argument, runs the binary itself:
+
+    cargo run --release --offline -q -p nlidb-bench --bin perfgate
+
+`perfgate` renders per-stage profiles (self/inherited/critical-path
+cost), the clean-vs-faulted diff, and the full metric export for the
+seeded retail stream at seed 42. Every number is a logical tick — a
+pure function of the seed — so this gate compares byte-for-byte:
+exact comparison is sound because no wall-clock or scheduler noise
+can reach the output. A mismatch means pipeline work genuinely
+changed shape; if the change is intended, regenerate the baseline
+(command printed on failure) and re-commit it alongside the change.
+"""
+
+import difflib
+import subprocess
+import sys
+
+BASELINE = "scripts/perf_baseline_seed42.txt"
+PERFGATE = [
+    "cargo",
+    "run",
+    "--release",
+    "--offline",
+    "-q",
+    "-p",
+    "nlidb-bench",
+    "--bin",
+    "perfgate",
+]
+
+
+def main() -> None:
+    if len(sys.argv) > 2:
+        print("usage: python3 scripts/check_perf_drift.py [<perfgate_output.txt>]")
+        sys.exit(2)
+    if len(sys.argv) == 2:
+        try:
+            with open(sys.argv[1]) as f:
+                fresh = f.read()
+        except OSError as e:
+            print(f"perf gate: cannot read {sys.argv[1]!r}: {e.strerror}")
+            sys.exit(2)
+    else:
+        run = subprocess.run(PERFGATE, capture_output=True, text=True)
+        if run.returncode != 0:
+            print(f"perf gate: perfgate exited {run.returncode}")
+            sys.stderr.write(run.stderr)
+            sys.exit(2)
+        fresh = run.stdout
+    try:
+        with open(BASELINE) as f:
+            baseline = f.read()
+    except OSError as e:
+        print(f"perf gate: cannot read {BASELINE}: {e.strerror} (run from the repo root)")
+        sys.exit(2)
+    if fresh == baseline:
+        print(f"perf gate: matches {BASELINE}")
+        return
+    print(f"perf gate: per-stage costs drifted from {BASELINE}")
+    sys.stdout.writelines(
+        difflib.unified_diff(
+            baseline.splitlines(keepends=True),
+            fresh.splitlines(keepends=True),
+            fromfile=BASELINE,
+            tofile="perfgate output",
+        )
+    )
+    print(
+        "if the drift is intended, regenerate with: "
+        f"{' '.join(PERFGATE)} > {BASELINE}"
+    )
+    sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

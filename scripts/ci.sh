@@ -22,13 +22,16 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
 
-echo "== experiment smoke (E12–E15 @ seed 42 vs EXPERIMENTS.md) =="
+echo "== experiment smoke (E12–E16 @ seed 42 vs EXPERIMENTS.md) =="
 cargo run --release --offline -q -p nlidb-bench --bin experiments -- \
   --exp e12 --seed 42 > target/serve-smoke.txt
-for exp in e13 e14 e15; do
+for exp in e13 e14 e15 e16; do
   cargo run --release --offline -q -p nlidb-bench --bin experiments -- \
     --exp "$exp" --seed 42 >> target/serve-smoke.txt
 done
 python3 scripts/check_experiment_drift.py target/serve-smoke.txt
+
+echo "== perf-drift gate (perfgate @ seed 42 vs scripts/perf_baseline_seed42.txt) =="
+python3 scripts/check_perf_drift.py
 
 echo "CI gate passed."
