@@ -22,6 +22,10 @@
 //!   re-experiences the same faults, uncached for the same reason: the
 //!   steady-state cost of retries + degradation relative to
 //!   `pure-cpu-uncached`.
+//! * `multi-tenant` — the same request volume split over three tenant
+//!   databases behind one `TenantServer`, warm caches: the per-request
+//!   cost of tenant attribution (salted routing, scoped metrics,
+//!   per-tenant cache selection) relative to `pure-cpu`.
 //!
 //! The stall uses wall-clock sleep *in the bench harness only*; the
 //! serving library itself never reads a clock it wasn't given.
@@ -31,12 +35,14 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use nlidb_benchdata::{
-    derive_slots, request_stream, retail_database, FaultPlan, FaultRates, RequestSpec,
+    derive_slots, domain_database, interleave_streams, request_stream, retail_database, FaultPlan,
+    FaultRates, RequestSpec, DOMAIN_NAMES,
 };
 use nlidb_core::pipeline::{NliPipeline, SchemaContext};
 use nlidb_ontology::JoinPathCache;
 use nlidb_serve::{
-    fault_plan_hook, run_closed_loop, Clock, ManualClock, RequestHook, Server, ServerConfig,
+    fault_plan_hook, run_closed_loop, run_closed_loop_tenants, tenant_pipeline, Clock, ManualClock,
+    RequestHook, Server, ServerConfig, TenantPolicy, TenantRegistry, TenantServer,
 };
 
 const REQUESTS: usize = 64;
@@ -110,6 +116,49 @@ fn serving_stall(c: &mut Criterion) {
     });
 }
 
+fn serving_multi_tenant(c: &mut Criterion) {
+    const TENANTS: usize = 3;
+    let cache = Arc::new(JoinPathCache::new(256));
+    let mut registry = TenantRegistry::new();
+    let mut streams = Vec::with_capacity(TENANTS);
+    for (i, name) in DOMAIN_NAMES.iter().take(TENANTS).enumerate() {
+        let db = domain_database(name, 7 + i as u64);
+        let slots = derive_slots(&db);
+        let (fp, pipeline) = tenant_pipeline(&db, &cache);
+        registry.register(*name, pipeline, TenantPolicy::default());
+        let per_tenant = REQUESTS / TENANTS;
+        streams.push((fp, request_stream(&slots, 42 + i as u64, per_tenant, 0.0)));
+    }
+    let stream = interleave_streams(42, streams);
+    let mut group = c.benchmark_group("b6-serving/multi-tenant");
+    group
+        .sample_size(10)
+        .throughput(Throughput::Elements(stream.len() as u64));
+    for workers in [1usize, 2, 4] {
+        let clock = Arc::new(ManualClock::new());
+        let mut server = TenantServer::start(
+            &registry,
+            ServerConfig {
+                workers,
+                queue_capacity: REQUESTS,
+                interp_cache: 256,
+                service_estimate: 1,
+                ..ServerConfig::default()
+            },
+            clock.clone() as Arc<dyn Clock>,
+        );
+        run_closed_loop_tenants(&mut server, &clock, &stream, REQUESTS);
+        group.bench_function(BenchmarkId::from_parameter(workers), |b| {
+            b.iter(|| {
+                let report = run_closed_loop_tenants(&mut server, &clock, &stream, REQUESTS);
+                assert_eq!(report.completions.len(), stream.len());
+            })
+        });
+        server.shutdown();
+    }
+    group.finish();
+}
+
 fn serving_faulted(c: &mut Criterion) {
     bench_regime(c, "b6-serving/faulted", 0, || {
         // Periodic so the warm server's ever-increasing request ids
@@ -121,5 +170,11 @@ fn serving_faulted(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, serving_pure_cpu, serving_stall, serving_faulted);
+criterion_group!(
+    benches,
+    serving_pure_cpu,
+    serving_stall,
+    serving_faulted,
+    serving_multi_tenant
+);
 criterion_main!(benches);

@@ -1,9 +1,10 @@
 //! The reproduction harness CLI.
 //!
 //! ```text
-//! experiments                 # run all of E1–E15
+//! experiments                 # run all of E1–E17
 //! experiments --exp e2        # run one experiment
 //! experiments --seed 7        # change the global seed
+//! experiments --exp e17 --tenants 3   # scale the multi-tenant regime
 //! experiments --list          # list experiment ids and descriptions
 //! ```
 //!
@@ -22,6 +23,7 @@ fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let mut seed = 42u64;
     let mut only: Option<String> = None;
+    let mut tenants: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -51,6 +53,24 @@ fn main() {
                 only = Some(id.clone());
                 i += 2;
             }
+            "--tenants" => {
+                let Some(raw) = args.get(i + 1) else {
+                    eprintln!("--tenants requires a value");
+                    usage_hint();
+                };
+                tenants = match raw.parse::<usize>() {
+                    Ok(n) if (2..=6).contains(&n) => Some(n),
+                    Ok(n) => {
+                        eprintln!("--tenants wants 2..=6 (the benchdata domains), got {n}");
+                        usage_hint();
+                    }
+                    Err(_) => {
+                        eprintln!("--tenants wants an integer in 2..=6, got {raw:?}");
+                        usage_hint();
+                    }
+                };
+                i += 2;
+            }
             "--list" => {
                 for (id, summary) in nlidb_bench::EXPERIMENT_SUMMARIES {
                     println!("{id:>4}  {summary}");
@@ -63,6 +83,10 @@ fn main() {
             }
         }
     }
+    if tenants.is_some() && only.as_deref() != Some("e17") {
+        eprintln!("--tenants only applies to the multi-tenant experiment: pair it with --exp e17");
+        usage_hint();
+    }
     let ids: Vec<&str> = match &only {
         Some(id) => vec![id.as_str()],
         None => nlidb_bench::EXPERIMENT_IDS.to_vec(),
@@ -72,8 +96,11 @@ fn main() {
     println!("Language Interfaces to Data\", SIGMOD 2020 — see EXPERIMENTS.md\n");
     for id in ids {
         let start = std::time::Instant::now();
-        let table = nlidb_bench::run_experiment(id, seed)
-            .expect("ids are validated at parse time and EXPERIMENT_IDS is exhaustive");
+        let table = match tenants {
+            Some(n) => nlidb_bench::e17_multi_tenant_with(seed, n),
+            None => nlidb_bench::run_experiment(id, seed)
+                .expect("ids are validated at parse time and EXPERIMENT_IDS is exhaustive"),
+        };
         println!("{table}");
         println!(
             "[{id} completed in {:.1}s]\n",

@@ -1,4 +1,4 @@
-//! The reproduction experiments E1–E16 (see `EXPERIMENTS.md`).
+//! The reproduction experiments E1–E17 (see `EXPERIMENTS.md`).
 //!
 //! The paper is a tutorial: it publishes claims, not tables. Each
 //! experiment here operationalizes one claim into a measured table;
@@ -22,14 +22,14 @@ use nlidb_sqlir::ComplexityClass;
 use crate::workloads::{evaluate, paraphrased, setup_domain, DomainSetup};
 
 /// All experiment identifiers, in order.
-pub const EXPERIMENT_IDS: [&str; 16] = [
+pub const EXPERIMENT_IDS: [&str; 17] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16",
+    "e16", "e17",
 ];
 
 /// One-line description per experiment, in [`EXPERIMENT_IDS`] order
 /// (the `--list` output of the `experiments` binary).
-pub const EXPERIMENT_SUMMARIES: [(&str, &str); 16] = [
+pub const EXPERIMENT_SUMMARIES: [(&str, &str); 17] = [
     (
         "e1",
         "capability matrix: family accuracy per §3 complexity rung",
@@ -85,6 +85,10 @@ pub const EXPERIMENT_SUMMARIES: [(&str, &str); 16] = [
         "e16",
         "trace profiler: critical-path attribution, reproducible exports",
     ),
+    (
+        "e17",
+        "multi-tenant sharding: N domains, one runtime ≡ N isolated runs",
+    ),
 ];
 
 /// Run one experiment by id; `None` for unknown ids.
@@ -106,6 +110,7 @@ pub fn run_experiment(id: &str, seed: u64) -> Option<Table> {
         "e14" => Some(e14_observability(seed)),
         "e15" => Some(e15_crash_recovery(seed)),
         "e16" => Some(e16_trace_profile(seed)),
+        "e17" => Some(e17_multi_tenant(seed)),
         _ => None,
     }
 }
@@ -1709,5 +1714,321 @@ pub fn e11_answer_denotation(seed: u64) -> Table {
             format!("{:+.1}pp", (denot.recall() - exec.recall()) * 100.0),
         ]);
     }
+    t
+}
+
+/// What one multi-tenant E17 pass produced: the global completion
+/// stream, which tenant owns each request id, and per-tenant
+/// metrics/journal digests.
+struct E17Run {
+    sigs: Vec<String>,
+    /// Request id → owning tenant index (ids are submission order, so
+    /// this is exactly the interleaved stream's ownership sequence).
+    owner: Vec<usize>,
+    per_tenant: Vec<nlidb_serve::MetricsSnapshot>,
+    journals: Vec<Vec<(u64, usize)>>,
+    global: nlidb_serve::MetricsSnapshot,
+}
+
+const E17_REQUESTS_PER_TENANT: usize = 48;
+const E17_WORKERS: usize = 4;
+const E17_BATCH: usize = 16;
+
+/// One multi-tenant serving pass: the first `tenants` benchdata
+/// domains registered over one shared join-path cache, their seeded
+/// streams interleaved deterministically, driven closed-loop through a
+/// single [`nlidb_serve::TenantServer`]. `budgets[i]` (where present)
+/// becomes tenant i's admission budget.
+fn e17_multi_run(seed: u64, tenants: usize, budgets: &[Option<u64>]) -> E17Run {
+    use nlidb_ontology::JoinPathCache;
+    use nlidb_serve::{
+        run_closed_loop_tenants, tenant_pipeline, Clock, ManualClock, ServerConfig, TenantPolicy,
+        TenantRegistry, TenantServer,
+    };
+    use std::sync::Arc;
+
+    let cache = Arc::new(JoinPathCache::new(256));
+    let mut registry = TenantRegistry::new();
+    let mut fps = Vec::with_capacity(tenants);
+    let mut streams = Vec::with_capacity(tenants);
+    for (i, name) in DOMAIN_NAMES.iter().take(tenants).enumerate() {
+        let db = nlidb_benchdata::domain_database(name, seed.wrapping_add(i as u64));
+        let slots = derive_slots(&db);
+        let (fp, pipeline) = tenant_pipeline(&db, &cache);
+        registry.register(
+            *name,
+            pipeline,
+            TenantPolicy {
+                admission_budget: budgets.get(i).copied().flatten(),
+                ..TenantPolicy::default()
+            },
+        );
+        streams.push((
+            fp,
+            nlidb_benchdata::request_stream(
+                &slots,
+                seed.wrapping_add(i as u64),
+                E17_REQUESTS_PER_TENANT,
+                0.25,
+            ),
+        ));
+        fps.push(fp);
+    }
+    let interleaved = nlidb_benchdata::interleave_streams(seed, streams);
+    let owner: Vec<usize> = interleaved
+        .iter()
+        .map(|(fp, _)| fps.iter().position(|f| f == fp).expect("registered"))
+        .collect();
+    let clock = Arc::new(ManualClock::new());
+    let mut server = TenantServer::start(
+        &registry,
+        ServerConfig {
+            workers: E17_WORKERS,
+            queue_capacity: interleaved.len(),
+            interp_cache: 256,
+            service_estimate: 1,
+            ..ServerConfig::default()
+        },
+        clock.clone() as Arc<dyn Clock>,
+    );
+    let sigs = run_closed_loop_tenants(&mut server, &clock, &interleaved, E17_BATCH).signatures();
+    let per_tenant = fps
+        .iter()
+        .map(|&fp| server.tenant_metrics(fp).expect("registered"))
+        .collect();
+    let journals = fps
+        .iter()
+        .map(|&fp| {
+            let j = server.journal(fp).expect("registered");
+            j.sessions().iter().map(|&s| (s, j.turn_count(s))).collect()
+        })
+        .collect();
+    E17Run {
+        sigs,
+        owner,
+        per_tenant,
+        journals,
+        global: server.shutdown(),
+    }
+}
+
+/// One isolated single-tenant pass over domain `i`: the same stream,
+/// config, and closed-loop cadence as the multi-tenant run, on a
+/// private [`nlidb_serve::Server`]. E17's baseline.
+fn e17_isolated_run(
+    seed: u64,
+    i: usize,
+    queue_capacity: usize,
+) -> (Vec<String>, nlidb_serve::MetricsSnapshot, Vec<(u64, usize)>) {
+    use nlidb_core::pipeline::{NliPipeline, SchemaContext};
+    use nlidb_ontology::JoinPathCache;
+    use nlidb_serve::{run_closed_loop, Clock, ManualClock, Server, ServerConfig};
+    use std::sync::Arc;
+
+    let db = nlidb_benchdata::domain_database(DOMAIN_NAMES[i], seed.wrapping_add(i as u64));
+    let slots = derive_slots(&db);
+    let join_cache = Arc::new(JoinPathCache::new(256));
+    let mut ctx = SchemaContext::build(&db);
+    ctx.graph = ctx.graph.clone().with_cache(Arc::clone(&join_cache));
+    let pipeline = Arc::new(NliPipeline::with_context(&db, ctx));
+    let stream = nlidb_benchdata::request_stream(
+        &slots,
+        seed.wrapping_add(i as u64),
+        E17_REQUESTS_PER_TENANT,
+        0.25,
+    );
+    let clock = Arc::new(ManualClock::new());
+    let mut server = Server::start(
+        pipeline,
+        ServerConfig {
+            workers: E17_WORKERS,
+            queue_capacity,
+            interp_cache: 256,
+            service_estimate: 1,
+            ..ServerConfig::default()
+        },
+        clock.clone() as Arc<dyn Clock>,
+    );
+    let sigs = run_closed_loop(&mut server, &clock, &stream, E17_BATCH).signatures();
+    let journal: Vec<(u64, usize)> = {
+        let j = server.journal();
+        j.sessions().iter().map(|&s| (s, j.turn_count(s))).collect()
+    };
+    (sigs, server.shutdown(), journal)
+}
+
+/// Rewrite a signature's request id to the per-tenant rank `rank`: a
+/// tenant's k-th completion in the shared runtime carries a global id,
+/// while the isolated baseline numbered the same request k — the rest
+/// of the digest must match byte for byte.
+fn e17_relabel(sig: &str, rank: usize) -> String {
+    let rest = sig.split_once(' ').map(|(_, r)| r).unwrap_or("");
+    format!("#{rank} {rest}")
+}
+
+/// Every placement-independent counter of a snapshot, for cross-run
+/// equality (`max_queue_depth` and `per_worker` legitimately differ
+/// between a shared and an isolated pool).
+fn e17_scalars(m: &nlidb_serve::MetricsSnapshot) -> [u64; 22] {
+    [
+        m.submitted,
+        m.admitted,
+        m.shed_full,
+        m.shed_deadline,
+        m.quota_refused,
+        m.answered,
+        m.refused,
+        m.session_turns,
+        m.interp_hits,
+        m.interp_misses,
+        m.retries,
+        m.retry_backoff_ticks,
+        m.breaker_trips,
+        m.breaker_skips,
+        m.degraded,
+        m.worker_deaths,
+        m.crashed_requests,
+        m.readmitted,
+        m.readmit_refused,
+        m.sessions_recovered,
+        m.turns_replayed,
+        m.replay_divergence,
+    ]
+}
+
+/// E17 — multi-tenant sharding isolation: the §7 enterprise challenge
+/// of one NLI runtime fronting many databases. A shared
+/// [`nlidb_serve::TenantServer`] over N benchdata domains must be
+/// *indistinguishable*, per tenant, from N isolated single-tenant
+/// servers: after rewriting global request ids to per-tenant ranks,
+/// every tenant's completion stream, placement-independent counters,
+/// and journal digest are asserted equal to its isolated baseline —
+/// and the whole shared run replays byte-identically. The quota rows
+/// show per-tenant admission budgets refusing deterministically
+/// without perturbing co-tenants.
+pub fn e17_multi_tenant(seed: u64) -> Table {
+    e17_multi_tenant_with(seed, 6)
+}
+
+/// [`e17_multi_tenant`] over the first `tenants` benchdata domains
+/// (2..=6; the committed table uses all six).
+pub fn e17_multi_tenant_with(seed: u64, tenants: usize) -> Table {
+    assert!(
+        (2..=DOMAIN_NAMES.len()).contains(&tenants),
+        "E17 needs 2..=6 tenants"
+    );
+    let mut t = Table::new([
+        "tenant",
+        "requests",
+        "answered",
+        "turns",
+        "quota refused",
+        "interp hit",
+        "vs isolated",
+    ])
+    .title(format!(
+        "E17 — multi-tenant sharding ({tenants} tenants, one runtime vs isolated runs)"
+    ));
+    let run = e17_multi_run(seed, tenants, &[]);
+    // The headline invariant, part 2: the shared run replays
+    // byte-identically — stream, counters, everything.
+    let rerun = e17_multi_run(seed, tenants, &[]);
+    assert_eq!(run.sigs, rerun.sigs, "E17: rerun diverged");
+    assert_eq!(run.global, rerun.global, "E17: rerun metrics diverged");
+    let total = tenants * E17_REQUESTS_PER_TENANT;
+    // Part 1: each tenant's slice of the shared run is its isolated run.
+    for (i, name) in DOMAIN_NAMES.iter().take(tenants).enumerate() {
+        let tenant_sigs: Vec<String> = run
+            .sigs
+            .iter()
+            .enumerate()
+            .filter(|&(id, _)| run.owner[id] == i)
+            .enumerate()
+            .map(|(rank, (_, sig))| e17_relabel(sig, rank))
+            .collect();
+        let (iso_sigs, iso_m, iso_j) = e17_isolated_run(seed, i, total);
+        assert_eq!(
+            tenant_sigs, iso_sigs,
+            "E17: {name} answered differently shared vs isolated"
+        );
+        let m = &run.per_tenant[i];
+        assert_eq!(
+            e17_scalars(m),
+            e17_scalars(&iso_m),
+            "E17: {name} counters diverged shared vs isolated"
+        );
+        assert_eq!(
+            run.journals[i], iso_j,
+            "E17: {name} journal diverged shared vs isolated"
+        );
+        t.row([
+            name.to_string(),
+            m.submitted.to_string(),
+            m.answered.to_string(),
+            m.session_turns.to_string(),
+            m.quota_refused.to_string(),
+            pct(m.interp_hit_rate()),
+            "identical".to_string(),
+        ]);
+    }
+    t.row([
+        "all (one runtime)".to_string(),
+        run.global.submitted.to_string(),
+        run.global.answered.to_string(),
+        run.global.session_turns.to_string(),
+        run.global.quota_refused.to_string(),
+        pct(run.global.interp_hit_rate()),
+        "rerun byte-identical".to_string(),
+    ]);
+    // Quota regime: halve tenant 0's budget; its overflow is refused
+    // deterministically while every co-tenant's stream is untouched.
+    let budget = (E17_REQUESTS_PER_TENANT / 2) as u64;
+    let budgeted = e17_multi_run(seed, tenants, &[Some(budget)]);
+    let b0 = &budgeted.per_tenant[0];
+    assert_eq!(b0.admitted, budget, "E17: budget not enforced");
+    assert_eq!(
+        b0.quota_refused,
+        E17_REQUESTS_PER_TENANT as u64 - budget,
+        "E17: overflow not refused as quota"
+    );
+    for (i, name) in DOMAIN_NAMES.iter().take(tenants).enumerate().skip(1) {
+        let slice = |r: &E17Run| -> Vec<String> {
+            r.sigs
+                .iter()
+                .enumerate()
+                .filter(|&(id, _)| r.owner[id] == i)
+                .map(|(_, s)| s.clone())
+                .collect()
+        };
+        assert_eq!(
+            slice(&run),
+            slice(&budgeted),
+            "E17: {name}'s stream perturbed by a co-tenant's quota"
+        );
+    }
+    t.row([
+        format!("{} (budget {budget})", DOMAIN_NAMES[0]),
+        b0.submitted.to_string(),
+        b0.answered.to_string(),
+        b0.session_turns.to_string(),
+        b0.quota_refused.to_string(),
+        pct(b0.interp_hit_rate()),
+        "budget enforced".to_string(),
+    ]);
+    let co_submitted: u64 = budgeted.per_tenant[1..].iter().map(|m| m.submitted).sum();
+    let co_answered: u64 = budgeted.per_tenant[1..].iter().map(|m| m.answered).sum();
+    let co_turns: u64 = budgeted.per_tenant[1..]
+        .iter()
+        .map(|m| m.session_turns)
+        .sum();
+    t.row([
+        "co-tenants under quota".to_string(),
+        co_submitted.to_string(),
+        co_answered.to_string(),
+        co_turns.to_string(),
+        "0".to_string(),
+        "-".to_string(),
+        "unchanged".to_string(),
+    ]);
     t
 }

@@ -13,4 +13,6 @@
 pub mod experiments;
 pub mod workloads;
 
-pub use experiments::{run_experiment, EXPERIMENT_IDS, EXPERIMENT_SUMMARIES};
+pub use experiments::{
+    e17_multi_tenant_with, run_experiment, EXPERIMENT_IDS, EXPERIMENT_SUMMARIES,
+};

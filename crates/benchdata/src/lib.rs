@@ -40,7 +40,9 @@ pub mod wtq;
 
 pub use faults::{FaultKind, FaultPlan, FaultRates};
 pub use paraphrase::paraphrase;
-pub use requests::{request_stream, session_turn_ids, sessions_with_min_turns, RequestSpec};
+pub use requests::{
+    interleave_streams, request_stream, session_turn_ids, sessions_with_min_turns, RequestSpec,
+};
 pub use schemas::{
     academic_database, all_domains, clinic_database, domain_database, flights_database,
     hr_database, library_database, retail_database, DOMAIN_NAMES,

@@ -123,6 +123,41 @@ pub fn request_stream(
     out
 }
 
+/// Interleave several tenants' request streams into one deterministic
+/// multi-tenant stream, tagging every request with its stream key.
+///
+/// Each input is `(key, stream)` — in serving, the key is the tenant's
+/// schema fingerprint. The seeded shuffle picks the next request from a
+/// uniformly random stream that still has requests pending, popping
+/// from the front, so **per-stream order is preserved exactly**: the
+/// subsequence of the output belonging to one key is that key's input
+/// stream verbatim. That is the property that makes a multi-tenant run
+/// comparable request-for-request with isolated single-tenant runs
+/// (experiment E17's isolation invariant).
+pub fn interleave_streams(
+    seed: u64,
+    streams: Vec<(u64, Vec<RequestSpec>)>,
+) -> Vec<(u64, RequestSpec)> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7e4a_4e7a_7e4a_4e7a);
+    let total: usize = streams.iter().map(|(_, s)| s.len()).sum();
+    let mut pending: Vec<(u64, std::vec::IntoIter<RequestSpec>)> = streams
+        .into_iter()
+        .map(|(key, s)| (key, s.into_iter()))
+        .collect();
+    let mut out = Vec::with_capacity(total);
+    while !pending.is_empty() {
+        let si = rng.gen_range(0..pending.len());
+        let (key, stream) = &mut pending[si];
+        match stream.next() {
+            Some(spec) => out.push((*key, spec)),
+            None => {
+                pending.swap_remove(si);
+            }
+        }
+    }
+    out
+}
+
 /// Request ids of `session`'s turns in `stream`, in conversation
 /// order. Ids are submission-order stream indices — exactly what a
 /// serving driver that submits the stream front to back assigns, so
@@ -218,6 +253,36 @@ mod tests {
                 "session {id} turns out of order"
             );
         }
+    }
+
+    #[test]
+    fn interleaving_preserves_per_stream_order() {
+        let s = slots();
+        let a = request_stream(&s, 42, 60, 0.25);
+        let b = request_stream(&s, 43, 40, 0.0);
+        let c = request_stream(&s, 44, 50, 0.5);
+        let streams = vec![(10u64, a.clone()), (20u64, b.clone()), (30u64, c.clone())];
+        let mixed = interleave_streams(42, streams.clone());
+        assert_eq!(mixed.len(), 150);
+        // Per-key subsequences are the inputs verbatim.
+        for (key, want) in [(10u64, &a), (20u64, &b), (30u64, &c)] {
+            let got: Vec<&RequestSpec> = mixed
+                .iter()
+                .filter(|(k, _)| *k == key)
+                .map(|(_, r)| r)
+                .collect();
+            assert_eq!(got.len(), want.len());
+            assert!(got.iter().zip(want.iter()).all(|(g, w)| **g == *w));
+        }
+        // Deterministic in the seed, and the seed matters.
+        assert_eq!(mixed, interleave_streams(42, streams.clone()));
+        assert_ne!(mixed, interleave_streams(43, streams));
+        // Streams are actually interleaved, not concatenated.
+        let first_key = mixed[0].0;
+        assert!(
+            mixed[..60].iter().any(|(k, _)| *k != first_key),
+            "expected a key switch within the first stream's length"
+        );
     }
 
     #[test]

@@ -12,6 +12,13 @@
 //! then hits. This serializes *planning* (not interpretation as a
 //! whole) and in exchange makes hit/miss counters deterministic for a
 //! deterministic request stream, which experiment E12 asserts.
+//!
+//! **Scopes:** one cache can be shared across independent schemas
+//! (multi-tenant serving shares a single memo across every tenant
+//! pipeline). Each entry is namespaced by a caller-chosen `u64` scope —
+//! in serving, the tenant's schema fingerprint — so two schemas can
+//! never exchange plans, and [`JoinPathCache::evict_scope`] removes one
+//! tenant's entries without disturbing the others.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -22,11 +29,22 @@ use crate::graph::JoinPlan;
 /// Counters and content of the memo, guarded by one lock.
 #[derive(Debug, Default)]
 struct CacheInner {
-    /// Key (terminal sequence joined by `\u{1}`) →
+    /// Key (scope then terminal sequence, joined by `\u{1}`) →
     /// (memoized plan, last-touch stamp).
     map: HashMap<String, (Option<JoinPlan>, u64)>,
     /// Monotonic touch counter driving LRU eviction.
     stamp: u64,
+}
+
+/// Render the internal key for `(scope, terminals)`. The scope leads
+/// so [`JoinPathCache::evict_scope`] can match by prefix.
+fn scoped_key(scope: u64, terminals: &[&str]) -> String {
+    let mut key = format!("{scope:016x}");
+    for t in terminals {
+        key.push('\u{1}');
+        key.push_str(t);
+    }
+    key
 }
 
 /// A bounded LRU memo of `terminals → Option<JoinPlan>`.
@@ -85,12 +103,27 @@ impl JoinPathCache {
     ///
     /// The key is the exact terminal sequence: plan growth starts from
     /// the first terminal, so order is semantically significant.
+    /// Equivalent to [`JoinPathCache::get_or_compute_scoped`] in the
+    /// default scope `0`.
     pub fn get_or_compute(
         &self,
         terminals: &[&str],
         compute: impl FnOnce() -> Option<JoinPlan>,
     ) -> Option<JoinPlan> {
-        let key = terminals.join("\u{1}");
+        self.get_or_compute_scoped(0, terminals, compute)
+    }
+
+    /// [`JoinPathCache::get_or_compute`], namespaced under `scope` —
+    /// lookups in different scopes can never observe each other's
+    /// plans, which is what lets multi-tenant serving share one memo
+    /// across schemas (scope = schema fingerprint).
+    pub fn get_or_compute_scoped(
+        &self,
+        scope: u64,
+        terminals: &[&str],
+        compute: impl FnOnce() -> Option<JoinPlan>,
+    ) -> Option<JoinPlan> {
+        let key = scoped_key(scope, terminals);
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         inner.stamp += 1;
         let stamp = inner.stamp;
@@ -126,6 +159,32 @@ impl JoinPathCache {
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
         self.evictions.store(0, Ordering::Relaxed);
+    }
+
+    /// Drop every entry in `scope`, returning how many were evicted.
+    /// Counters are left untouched: a tenant leaving does not rewrite
+    /// the history of lookups it performed. Other scopes' entries (and
+    /// their recency stamps) are unaffected.
+    pub fn evict_scope(&self, scope: u64) -> usize {
+        let prefix = format!("{scope:016x}\u{1}");
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let victims: Vec<String> = inner
+            .map
+            .keys()
+            .filter(|k| k.starts_with(&prefix))
+            .cloned()
+            .collect();
+        for k in &victims {
+            inner.map.remove(k);
+        }
+        victims.len()
+    }
+
+    /// Resident entry count in `scope` alone.
+    pub fn len_in_scope(&self, scope: u64) -> usize {
+        let prefix = format!("{scope:016x}\u{1}");
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.map.keys().filter(|k| k.starts_with(&prefix)).count()
     }
 
     /// Counter snapshot.
@@ -180,6 +239,48 @@ mod tests {
             assert!(p.is_none());
         }
         assert_eq!(computed, 1);
+    }
+
+    #[test]
+    fn scopes_never_share_plans() {
+        let cache = JoinPathCache::new(8);
+        let a = cache.get_or_compute_scoped(1, &["order", "customer"], || plan("a"));
+        // Same terminals, different scope: must recompute, not leak.
+        let b = cache.get_or_compute_scoped(2, &["order", "customer"], || plan("b"));
+        assert_eq!(a.unwrap().concepts, vec!["a".to_string()]);
+        assert_eq!(b.unwrap().concepts, vec!["b".to_string()]);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.len), (0, 2, 2));
+        // Within a scope the memo still hits.
+        let again = cache.get_or_compute_scoped(1, &["order", "customer"], || plan("never"));
+        assert_eq!(again.unwrap().concepts, vec!["a".to_string()]);
+        assert_eq!(cache.stats().hits, 1);
+        // The default scope is scope 0.
+        cache.get_or_compute(&["order", "customer"], || plan("zero"));
+        assert_eq!(cache.stats().misses, 3);
+    }
+
+    #[test]
+    fn evict_scope_removes_one_tenant_only() {
+        let cache = JoinPathCache::new(8);
+        cache.get_or_compute_scoped(7, &["a", "b"], || plan("a"));
+        cache.get_or_compute_scoped(7, &["c"], || plan("c"));
+        cache.get_or_compute_scoped(9, &["a", "b"], || plan("x"));
+        assert_eq!(cache.len_in_scope(7), 2);
+        assert_eq!(cache.len_in_scope(9), 1);
+        assert_eq!(cache.evict_scope(7), 2);
+        assert_eq!(cache.len_in_scope(7), 0);
+        assert_eq!(cache.stats().len, 1, "scope 9 survives");
+        // Scope 9's entry still hits; scope 7 recomputes cold.
+        let kept = cache.get_or_compute_scoped(9, &["a", "b"], || plan("never"));
+        assert_eq!(kept.unwrap().concepts, vec!["x".to_string()]);
+        let mut recomputed = false;
+        cache.get_or_compute_scoped(7, &["a", "b"], || {
+            recomputed = true;
+            plan("a")
+        });
+        assert!(recomputed, "evicted scope must start cold");
+        assert_eq!(cache.evict_scope(12345), 0, "unknown scope is a no-op");
     }
 
     #[test]

@@ -45,6 +45,13 @@
 //!   reply is released, a panicked worker's queued work bounces back
 //!   for deterministic re-admission, and its sessions are rebuilt on
 //!   live workers by exact replay of their journaled turns.
+//! * [`tenant`] / [`router`] — multi-tenant sharding: a
+//!   [`TenantRegistry`] maps schema fingerprints to (pipeline, policy,
+//!   journal namespace), and [`TenantServer`] routes fingerprints over
+//!   the same worker pool with per-(worker, tenant) caches and
+//!   sessions, per-tenant metrics/journals, deterministic admission
+//!   quotas, and tenant-scoped join-path caching. A single-tenant
+//!   registry is byte-identical to the plain [`Server`].
 //!
 //! Experiment E12 asserts the payoff: at seed 42, the completion
 //! stream of a 4-worker server is signature-identical to a 1-worker
@@ -65,18 +72,25 @@ pub mod lru;
 pub mod metrics;
 pub mod obs;
 pub mod retry;
+pub mod router;
 pub mod server;
+pub mod tenant;
 
 pub use clock::{Clock, ManualClock};
 pub use fault::{fault_plan_hook, silence_worker_panics, HookCtx, InjectedFault};
 pub use journal::{JournalEntry, SessionJournal};
-pub use loadgen::{run_closed_loop, with_deadlines, LoadReport};
+pub use loadgen::{run_closed_loop, run_closed_loop_tenants, with_deadlines, LoadReport};
 pub use lru::LruCache;
 pub use metrics::{MetricsSnapshot, ServeMetrics};
 pub use obs::ServeObs;
 pub use retry::{BreakerPolicy, CircuitBreaker, RetryPolicy};
+pub use router::TenantServer;
 pub use server::{
     normalize_question, Admission, Completion, Disposition, RequestHook, Server, ServerConfig,
+};
+pub use tenant::{
+    schema_fingerprint, schema_fingerprint_of, tenant_pipeline, TenantEntry, TenantPolicy,
+    TenantRegistry,
 };
 
 /// Compile-time proof of the sharing model: the server handle moves

@@ -10,6 +10,7 @@
 use nlidb_benchdata::RequestSpec;
 
 use crate::clock::ManualClock;
+use crate::router::TenantServer;
 use crate::server::{Completion, Server};
 
 /// Everything a load run produced.
@@ -43,6 +44,33 @@ pub fn run_closed_loop(
     for chunk in stream.chunks(batch) {
         for spec in chunk {
             server.submit(spec);
+        }
+        completions.append(&mut server.drain());
+        clock.advance(1);
+        batches += 1;
+    }
+    LoadReport {
+        completions,
+        batches,
+    }
+}
+
+/// [`run_closed_loop`] for a multi-tenant stream: each element of
+/// `stream` is a `(schema fingerprint, request)` pair (the shape
+/// [`nlidb_benchdata::interleave_streams`] produces), submitted to
+/// `server` under its owning tenant.
+pub fn run_closed_loop_tenants(
+    server: &mut TenantServer,
+    clock: &ManualClock,
+    stream: &[(u64, RequestSpec)],
+    batch: usize,
+) -> LoadReport {
+    let batch = batch.max(1);
+    let mut completions = Vec::with_capacity(stream.len());
+    let mut batches = 0;
+    for chunk in stream.chunks(batch) {
+        for (fingerprint, spec) in chunk {
+            server.submit(*fingerprint, spec);
         }
         completions.append(&mut server.drain());
         clock.advance(1);

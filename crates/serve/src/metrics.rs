@@ -22,6 +22,9 @@ pub struct ServeMetrics {
     pub shed_full: AtomicU64,
     /// Requests rejected because the deadline could not be met.
     pub shed_deadline: AtomicU64,
+    /// Requests refused because the tenant's admission budget was
+    /// exhausted (always 0 for tenants without a budget).
+    pub quota_refused: AtomicU64,
     /// Standalone questions answered (cache hit or computed).
     pub answered: AtomicU64,
     /// Standalone questions the pipeline could not interpret/execute.
@@ -87,6 +90,7 @@ impl ServeMetrics {
             admitted: AtomicU64::new(0),
             shed_full: AtomicU64::new(0),
             shed_deadline: AtomicU64::new(0),
+            quota_refused: AtomicU64::new(0),
             answered: AtomicU64::new(0),
             refused: AtomicU64::new(0),
             session_turns: AtomicU64::new(0),
@@ -123,6 +127,7 @@ impl ServeMetrics {
             admitted: self.admitted.load(Ordering::Relaxed),
             shed_full: self.shed_full.load(Ordering::Relaxed),
             shed_deadline: self.shed_deadline.load(Ordering::Relaxed),
+            quota_refused: self.quota_refused.load(Ordering::Relaxed),
             answered: self.answered.load(Ordering::Relaxed),
             refused: self.refused.load(Ordering::Relaxed),
             session_turns: self.session_turns.load(Ordering::Relaxed),
@@ -152,6 +157,43 @@ impl ServeMetrics {
     }
 }
 
+/// A runtime-global and a per-tenant counter set updated in lockstep.
+///
+/// Every increment site in the serving hot path goes through this pair
+/// so the global counters keep their exact pre-tenancy values (the
+/// perf-drift baseline byte-compares them) while each tenant's
+/// breakdown accrues the same amounts. In a single-tenant server both
+/// references point at different instances but see identical traffic,
+/// so `global == tenant` holds — a property the tenant tests assert.
+#[derive(Clone, Copy)]
+pub(crate) struct ScopedMetrics<'a> {
+    /// The whole-runtime counters.
+    pub global: &'a ServeMetrics,
+    /// The owning tenant's counters.
+    pub tenant: &'a ServeMetrics,
+}
+
+impl ScopedMetrics<'_> {
+    /// Add `n` to the counter `sel` picks, in both scopes.
+    pub fn add(&self, sel: fn(&ServeMetrics) -> &AtomicU64, n: u64) {
+        sel(self.global).fetch_add(n, Ordering::Relaxed);
+        sel(self.tenant).fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Raise the max-depth watermark in both scopes.
+    pub fn observe_depth(&self, depth: u64) {
+        self.global.observe_depth(depth);
+        self.tenant.observe_depth(depth);
+    }
+
+    /// Count a completion against worker `w` in both scopes (the
+    /// tenant's `per_worker` is sized like the global one).
+    pub fn per_worker(&self, w: usize) {
+        self.global.per_worker[w].fetch_add(1, Ordering::Relaxed);
+        self.tenant.per_worker[w].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 /// A frozen view of [`ServeMetrics`]; plain values, comparable and
 /// printable.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -164,6 +206,8 @@ pub struct MetricsSnapshot {
     pub shed_full: u64,
     /// See [`ServeMetrics::shed_deadline`].
     pub shed_deadline: u64,
+    /// See [`ServeMetrics::quota_refused`].
+    pub quota_refused: u64,
     /// See [`ServeMetrics::answered`].
     pub answered: u64,
     /// See [`ServeMetrics::refused`].
@@ -228,43 +272,62 @@ impl MetricsSnapshot {
         }
     }
 
+    /// Every scalar counter as `(bare_name, value)`, in export order.
+    fn scalar_fields(&self) -> [(&'static str, u64); 24] {
+        [
+            ("submitted", self.submitted),
+            ("admitted", self.admitted),
+            ("shed_full", self.shed_full),
+            ("shed_deadline", self.shed_deadline),
+            ("quota_refused", self.quota_refused),
+            ("answered", self.answered),
+            ("refused", self.refused),
+            ("session_turns", self.session_turns),
+            ("interp_hits", self.interp_hits),
+            ("interp_misses", self.interp_misses),
+            ("max_queue_depth", self.max_queue_depth),
+            ("retries", self.retries),
+            ("retry_backoff_ticks", self.retry_backoff_ticks),
+            ("breaker_trips", self.breaker_trips),
+            ("breaker_skips", self.breaker_skips),
+            ("degraded", self.degraded),
+            ("worker_deaths", self.worker_deaths),
+            ("crashed_requests", self.crashed_requests),
+            ("readmitted", self.readmitted),
+            ("readmit_refused", self.readmit_refused),
+            ("sessions_recovered", self.sessions_recovered),
+            ("turns_replayed", self.turns_replayed),
+            ("replay_divergence", self.replay_divergence),
+            ("journal_turns", self.journal_turns),
+        ]
+    }
+
     /// Export every counter into `registry` under `serve.`-prefixed
     /// names (per-worker counts as `serve.per_worker.N`), overwriting
     /// prior values — so the obs registry is the one place a driver
     /// reads both serving counters and stage-cost histograms from.
     pub fn export_into(&self, registry: &nlidb_obs::MetricsRegistry) {
-        let fields: [(&str, u64); 23] = [
-            ("serve.submitted", self.submitted),
-            ("serve.admitted", self.admitted),
-            ("serve.shed_full", self.shed_full),
-            ("serve.shed_deadline", self.shed_deadline),
-            ("serve.answered", self.answered),
-            ("serve.refused", self.refused),
-            ("serve.session_turns", self.session_turns),
-            ("serve.interp_hits", self.interp_hits),
-            ("serve.interp_misses", self.interp_misses),
-            ("serve.max_queue_depth", self.max_queue_depth),
-            ("serve.retries", self.retries),
-            ("serve.retry_backoff_ticks", self.retry_backoff_ticks),
-            ("serve.breaker_trips", self.breaker_trips),
-            ("serve.breaker_skips", self.breaker_skips),
-            ("serve.degraded", self.degraded),
-            ("serve.worker_deaths", self.worker_deaths),
-            ("serve.crashed_requests", self.crashed_requests),
-            ("serve.readmitted", self.readmitted),
-            ("serve.readmit_refused", self.readmit_refused),
-            ("serve.sessions_recovered", self.sessions_recovered),
-            ("serve.turns_replayed", self.turns_replayed),
-            ("serve.replay_divergence", self.replay_divergence),
-            ("serve.journal_turns", self.journal_turns),
-        ];
-        for (name, value) in fields {
-            registry.counter(name).store(value);
+        for (name, value) in self.scalar_fields() {
+            registry.counter(&format!("serve.{name}")).store(value);
         }
         for (w, value) in self.per_worker.iter().enumerate() {
             registry
                 .counter(&format!("serve.per_worker.{w}"))
                 .store(*value);
+        }
+    }
+
+    /// Export the scalar counters under `serve.tenant.<label>.<name>`,
+    /// overwriting prior values. Per-worker counts are deliberately
+    /// skipped: worker placement is runtime-global, not per-tenant.
+    /// [`crate::TenantServer::export_metrics`] calls this once per
+    /// tenant next to the global [`MetricsSnapshot::export_into`], so
+    /// one registry report breaks the workload down by tenant.
+    pub fn export_labelled_into(&self, registry: &nlidb_obs::MetricsRegistry, label: &str) {
+        for (name, value) in self.scalar_fields() {
+            registry
+                .counter(&format!("serve.tenant.{label}.{name}"))
+                .store(value);
         }
     }
 }
@@ -273,8 +336,8 @@ impl fmt::Display for MetricsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "submitted {}  admitted {}  shed(full) {}  shed(deadline) {}",
-            self.submitted, self.admitted, self.shed_full, self.shed_deadline
+            "submitted {}  admitted {}  shed(full) {}  shed(deadline) {}  quota-refused {}",
+            self.submitted, self.admitted, self.shed_full, self.shed_deadline, self.quota_refused
         )?;
         writeln!(
             f,
@@ -385,6 +448,71 @@ mod tests {
         // Re-export overwrites rather than accumulates.
         m.snapshot().export_into(&registry);
         assert_eq!(registry.report().counter("serve.submitted"), Some(9));
+    }
+
+    #[test]
+    fn scoped_metrics_update_both_scopes_in_lockstep() {
+        let global = ServeMetrics::new(2, false);
+        let a = ServeMetrics::new(2, false);
+        let b = ServeMetrics::new(2, false);
+        let sa = ScopedMetrics {
+            global: &global,
+            tenant: &a,
+        };
+        let sb = ScopedMetrics {
+            global: &global,
+            tenant: &b,
+        };
+        sa.add(|m| &m.answered, 3);
+        sb.add(|m| &m.answered, 2);
+        sa.add(|m| &m.quota_refused, 1);
+        sa.observe_depth(5);
+        sb.observe_depth(2);
+        sa.per_worker(1);
+        assert_eq!(global.snapshot().answered, 5);
+        assert_eq!(a.snapshot().answered, 3);
+        assert_eq!(b.snapshot().answered, 2);
+        assert_eq!(a.snapshot().quota_refused, 1);
+        assert_eq!(b.snapshot().quota_refused, 0);
+        assert_eq!(global.snapshot().max_queue_depth, 5);
+        assert_eq!(b.snapshot().max_queue_depth, 2);
+        assert_eq!(global.snapshot().per_worker, vec![0, 1]);
+        assert_eq!(a.snapshot().per_worker, vec![0, 1]);
+    }
+
+    #[test]
+    fn labelled_export_mirrors_plain_export_byte_for_byte() {
+        let m = ServeMetrics::new(2, false);
+        m.submitted.fetch_add(9, Ordering::Relaxed);
+        m.quota_refused.fetch_add(2, Ordering::Relaxed);
+        m.per_worker[0].fetch_add(4, Ordering::Relaxed);
+        let snap = m.snapshot();
+
+        let plain = nlidb_obs::MetricsRegistry::new();
+        snap.export_into(&plain);
+        let labelled = nlidb_obs::MetricsRegistry::new();
+        snap.export_labelled_into(&labelled, "retail");
+
+        // Same counters, same values — only the prefix differs, and
+        // per-worker rows are global-only.
+        let plain_text = plain.report().export_text();
+        let labelled_text = labelled.report().export_text();
+        let rebuilt: String = plain_text
+            .lines()
+            .filter(|l| !l.starts_with("counter serve.per_worker."))
+            .map(|l| {
+                format!(
+                    "counter serve.tenant.retail.{}\n",
+                    l.trim_start_matches("counter serve.")
+                )
+            })
+            .collect();
+        assert_eq!(labelled_text, rebuilt);
+        assert!(labelled_text.contains("serve.tenant.retail.quota_refused 2"));
+        assert!(!labelled_text.contains("per_worker"));
+        // Re-export overwrites rather than accumulates.
+        snap.export_labelled_into(&labelled, "retail");
+        assert_eq!(labelled.report().export_text(), labelled_text);
     }
 
     #[test]

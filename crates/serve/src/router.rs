@@ -1,0 +1,169 @@
+//! The shard router: one serving runtime fronting many tenants.
+//!
+//! [`TenantServer`] wraps the worker pool in a tenant-addressed
+//! surface: requests are submitted against a schema fingerprint (the
+//! tenant identity minted by [`crate::tenant::schema_fingerprint`]),
+//! routed to workers with the owning tenant's salt mixed into the
+//! content address, and served from per-(worker, tenant) state. The
+//! router adds *no* new concurrency — it is the same single-threaded
+//! submitter, credit ledger, and drain protocol as [`Server`], with
+//! tenant attribution threaded through — so every determinism claim
+//! the single-tenant runtime makes holds per tenant, which is exactly
+//! what experiment E17 asserts: a multi-tenant run over N domains is
+//! signature-identical to N isolated single-tenant runs.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use nlidb_benchdata::RequestSpec;
+use nlidb_obs::MetricsRegistry;
+
+use crate::clock::Clock;
+use crate::journal::SessionJournal;
+use crate::metrics::MetricsSnapshot;
+use crate::obs::ServeObs;
+use crate::server::{Admission, Completion, RequestHook, Server, ServerConfig};
+use crate::tenant::TenantRegistry;
+
+/// A multi-tenant serving runtime: the [`Server`] worker pool behind a
+/// fingerprint-addressed submit surface.
+pub struct TenantServer {
+    server: Server,
+    /// Fingerprint → registration index.
+    index: HashMap<u64, usize>,
+    /// Fingerprints in registration order.
+    fingerprints: Vec<u64>,
+}
+
+impl TenantServer {
+    /// Start a pool serving every tenant in `registry`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry is empty.
+    pub fn start(registry: &TenantRegistry, config: ServerConfig, clock: Arc<dyn Clock>) -> Self {
+        TenantServer::start_observed(registry, config, clock, None, None)
+    }
+
+    /// [`TenantServer::start`], with a per-request hook (see
+    /// [`RequestHook`]). Hook identity is request-global: the hook
+    /// sees the same request ids a single merged submission sequence
+    /// produces, whatever tenant each id belongs to.
+    pub fn start_with_hook(
+        registry: &TenantRegistry,
+        config: ServerConfig,
+        clock: Arc<dyn Clock>,
+        hook: Option<RequestHook>,
+    ) -> Self {
+        TenantServer::start_observed(registry, config, clock, hook, None)
+    }
+
+    /// [`TenantServer::start_with_hook`], with optional observability.
+    /// Multi-tenant traces carry a `tenant` attribute on every request
+    /// root span (single-tenant servers omit it, keeping their traces
+    /// byte-identical to the pre-tenancy runtime).
+    pub fn start_observed(
+        registry: &TenantRegistry,
+        config: ServerConfig,
+        clock: Arc<dyn Clock>,
+        hook: Option<RequestHook>,
+        obs: Option<ServeObs>,
+    ) -> Self {
+        let fingerprints: Vec<u64> = registry.entries().iter().map(|e| e.fingerprint()).collect();
+        let index = fingerprints
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| (f, i))
+            .collect();
+        TenantServer {
+            server: Server::start_registry(registry, config, clock, hook, obs),
+            index,
+            fingerprints,
+        }
+    }
+
+    /// Offer one request on behalf of the tenant identified by
+    /// `fingerprint`. An unregistered fingerprint is refused
+    /// deterministically (the refusal surfaces as a completion at the
+    /// next [`TenantServer::drain`], counted in the global scope only).
+    pub fn submit(&mut self, fingerprint: u64, spec: &RequestSpec) -> Admission {
+        match self.index.get(&fingerprint) {
+            Some(&tenant) => self.server.submit_for(tenant, spec),
+            None => self.server.refuse_unknown(spec),
+        }
+    }
+
+    /// The worker a request of `fingerprint`'s tenant would be routed
+    /// to (`None` for an unregistered fingerprint).
+    pub fn route(&self, fingerprint: u64, spec: &RequestSpec) -> Option<usize> {
+        self.index
+            .get(&fingerprint)
+            .map(|&tenant| self.server.route_for(tenant, spec))
+    }
+
+    /// Wait for every admitted request to finish; see [`Server::drain`].
+    pub fn drain(&mut self) -> Vec<Completion> {
+        self.server.drain()
+    }
+
+    /// Whole-runtime counter snapshot (every tenant's traffic).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.server.metrics()
+    }
+
+    /// Counter snapshot for one tenant (`None` for an unregistered
+    /// fingerprint). In lockstep with the global snapshot: summing a
+    /// counter over all tenants yields the global value (minus
+    /// unknown-tenant refusals, which have no tenant scope).
+    pub fn tenant_metrics(&self, fingerprint: u64) -> Option<MetricsSnapshot> {
+        self.index
+            .get(&fingerprint)
+            .map(|&t| self.server.tenant_metrics_at(t))
+    }
+
+    /// One tenant's write-ahead session journal (`None` for an
+    /// unregistered fingerprint). Journals are fully namespaced:
+    /// session ids only collide across tenants by name, never by
+    /// state.
+    pub fn journal(&self, fingerprint: u64) -> Option<&SessionJournal> {
+        self.index
+            .get(&fingerprint)
+            .map(|&t| self.server.tenant_journal_at(t))
+    }
+
+    /// Export the global counters (`serve.*`, via
+    /// [`MetricsSnapshot::export_into`]) plus every tenant's breakdown
+    /// (`serve.tenant.<name>.*`, via
+    /// [`MetricsSnapshot::export_labelled_into`]) into `registry`.
+    pub fn export_metrics(&self, registry: &MetricsRegistry) {
+        self.metrics().export_into(registry);
+        for tenant in 0..self.server.tenant_count() {
+            self.server
+                .tenant_metrics_at(tenant)
+                .export_labelled_into(registry, self.server.tenant_name_at(tenant));
+        }
+    }
+
+    /// Registered fingerprints, in registration order.
+    pub fn fingerprints(&self) -> &[u64] {
+        &self.fingerprints
+    }
+
+    /// Tenant names in registration order.
+    pub fn names(&self) -> Vec<String> {
+        (0..self.server.tenant_count())
+            .map(|t| self.server.tenant_name_at(t).to_string())
+            .collect()
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.server.workers()
+    }
+
+    /// Stop accepting work, join the pool, and return final global
+    /// metrics; see [`Server::shutdown`].
+    pub fn shutdown(self) -> MetricsSnapshot {
+        self.server.shutdown()
+    }
+}

@@ -43,6 +43,17 @@
 //!   worker lazily rebuilds each one by exact replay of its journaled
 //!   turns and verifies the rebuild digest-by-digest — E15's
 //!   crash-recovery claim (lost work ≡ replayed work).
+//! * **Tenancy is keying, not locking.** The pool can serve many
+//!   databases at once (see [`crate::tenant`] and
+//!   [`crate::TenantServer`]): every job carries its tenant's
+//!   registration index, worker state (interpretation caches,
+//!   sessions, circuit breakers) is per-(worker, tenant), journals
+//!   and metrics are per-tenant, and routing XORs a per-tenant salt
+//!   into the content address so tenants spread over the pool
+//!   independently. Tenant 0's salt is zero, so a single-tenant
+//!   server is byte-identical to the pre-tenancy runtime — which is
+//!   how E17 can assert that a multi-tenant run is
+//!   signature-identical to N isolated single-tenant runs.
 
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
@@ -63,9 +74,10 @@ use crate::clock::Clock;
 use crate::fault::{HookCtx, InjectedFault};
 use crate::journal::{JournalEntry, SessionJournal};
 use crate::lru::LruCache;
-use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::metrics::{MetricsSnapshot, ScopedMetrics, ServeMetrics};
 use crate::obs::ServeObs;
 use crate::retry::{BreakerPolicy, CircuitBreaker, RetryPolicy};
+use crate::tenant::{TenantPolicy, TenantRegistry};
 
 /// Per-request work hook, consulted by the owning worker before every
 /// pipeline attempt. Returning `Some` injects that fault into the
@@ -258,6 +270,10 @@ impl Completion {
 /// is re-admitted from this same envelope.
 struct Job {
     id: u64,
+    /// Registration index of the owning tenant (0 in a single-tenant
+    /// server): selects the worker's per-tenant cache, sessions, and
+    /// breakers, and the tenant's metrics/journal.
+    tenant: usize,
     submit_tick: u64,
     queued_behind: usize,
     /// Original deadline, re-checked at every re-admission.
@@ -282,14 +298,39 @@ enum Delivery {
     Bounce { worker: usize, job: Job },
 }
 
+/// Everything the runtime holds for one tenant, frozen at server
+/// start: the trained pipeline, the policy rendered into its enforced
+/// form (ladder, budget, cache size), and the tenant's own metrics
+/// and write-ahead journal. Indexed by registration order.
+struct TenantRuntime {
+    name: String,
+    fingerprint: u64,
+    pipeline: Arc<NliPipeline>,
+    /// Degradation ladder starting at the policy's rung ceiling.
+    ladder: &'static [InterpreterKind],
+    /// Lifetime admission budget (`None` = unlimited).
+    admission_budget: Option<u64>,
+    /// Per-worker interpretation-cache entries (0 = disabled).
+    cache_capacity: usize,
+    metrics: ServeMetrics,
+    journal: SessionJournal,
+}
+
 /// State shared between the submitter and all workers.
 struct Shared {
-    pipeline: Arc<NliPipeline>,
+    /// Registered tenants, in registration order (never empty).
+    tenants: Vec<TenantRuntime>,
+    /// Whole-runtime counters; every increment also lands in the
+    /// owning tenant's [`TenantRuntime::metrics`] (see
+    /// [`ScopedMetrics`]).
     metrics: ServeMetrics,
     hook: Option<RequestHook>,
     clock: Arc<dyn Clock>,
     obs: Option<ServeObs>,
-    journal: SessionJournal,
+    /// Annotate traces with tenant names — true only for multi-tenant
+    /// servers, so single-tenant traces stay byte-identical to the
+    /// pre-tenancy runtime (E14/E16).
+    label_tenants: bool,
 }
 
 /// Lowercase + whitespace-collapse: the cache/routing key form, so
@@ -315,13 +356,22 @@ pub fn normalize_question(question: &str) -> String {
 
 /// FNV-1a — a fixed, seedless hash, so routing never depends on
 /// `RandomState`.
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= b as u64;
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
+}
+
+/// The routing salt for a tenant's registration index: a multiple of
+/// the 64-bit golden-ratio constant, XORed into the content address
+/// before the worker modulus so each tenant's traffic spreads over
+/// the pool independently. Index 0 maps to salt 0 — a single-tenant
+/// server routes exactly like the pre-tenancy runtime.
+fn tenant_salt(tenant: usize) -> u64 {
+    (tenant as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
 }
 
 /// The serving runtime. Owns the worker pool; dropped or
@@ -343,6 +393,10 @@ pub struct Server {
     in_flight: usize,
     /// Admission-time rejects, merged into the next drain.
     rejected: Vec<Completion>,
+    /// Lifetime admissions per tenant, charged against each tenant's
+    /// [`TenantPolicy::admission_budget`]. Submitter-owned, like the
+    /// credit ledger, so quota refusals are deterministic.
+    admitted_per_tenant: Vec<u64>,
     next_id: u64,
 }
 
@@ -379,18 +433,56 @@ impl Server {
         hook: Option<RequestHook>,
         obs: Option<ServeObs>,
     ) -> Server {
+        let mut registry = TenantRegistry::new();
+        registry.register("default", pipeline, TenantPolicy::default());
+        Server::start_registry(&registry, config, clock, hook, obs)
+    }
+
+    /// Start a pool over every tenant in `registry` (the engine behind
+    /// both the single-tenant constructors above — they register one
+    /// tenant named `"default"` — and [`crate::TenantServer`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry is empty.
+    pub(crate) fn start_registry(
+        registry: &TenantRegistry,
+        config: ServerConfig,
+        clock: Arc<dyn Clock>,
+        hook: Option<RequestHook>,
+        obs: Option<ServeObs>,
+    ) -> Server {
+        assert!(!registry.is_empty(), "cannot serve zero tenants");
         let config = ServerConfig {
             workers: config.workers.max(1),
             ..config
         };
-        let fingerprint = schema_fingerprint(&pipeline);
+        let tenants: Vec<TenantRuntime> = registry
+            .entries()
+            .iter()
+            .map(|e| {
+                let cache_capacity = e.policy().interp_cache.unwrap_or(config.interp_cache);
+                TenantRuntime {
+                    name: e.name().to_string(),
+                    fingerprint: e.fingerprint(),
+                    pipeline: Arc::clone(e.pipeline()),
+                    ladder: degradation_ladder(e.policy().rung_ceiling),
+                    admission_budget: e.policy().admission_budget,
+                    cache_capacity,
+                    metrics: ServeMetrics::new(config.workers, cache_capacity == 0),
+                    journal: SessionJournal::new(),
+                }
+            })
+            .collect();
+        let fingerprint = tenants[0].fingerprint;
+        let tenant_count = tenants.len();
         let shared = Arc::new(Shared {
-            pipeline,
+            label_tenants: tenant_count > 1,
+            tenants,
             metrics: ServeMetrics::new(config.workers, config.interp_cache == 0),
             hook,
             clock,
             obs,
-            journal: SessionJournal::new(),
         });
         let (completion_tx, completion_rx) = mpsc::channel::<Delivery>();
         let mut senders = Vec::with_capacity(config.workers);
@@ -400,24 +492,12 @@ impl Server {
             senders.push(tx);
             let shared = Arc::clone(&shared);
             let completions = completion_tx.clone();
-            let cache_capacity = config.interp_cache;
             let retry = config.retry;
             let breaker = config.breaker;
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("nlidb-serve-{worker}"))
-                    .spawn(move || {
-                        worker_loop(
-                            worker,
-                            &shared,
-                            rx,
-                            completions,
-                            cache_capacity,
-                            fingerprint,
-                            retry,
-                            breaker,
-                        )
-                    })
+                    .spawn(move || worker_loop(worker, &shared, rx, completions, retry, breaker))
                     .expect("spawn serve worker"),
             );
         }
@@ -432,6 +512,7 @@ impl Server {
             dead: vec![false; config.workers],
             in_flight: 0,
             rejected: Vec::new(),
+            admitted_per_tenant: vec![0; tenant_count],
             next_id: 0,
             config,
             senders,
@@ -446,11 +527,20 @@ impl Server {
     /// journal). With every worker dead the home worker is returned;
     /// [`Server::submit`] refuses such requests at admission.
     pub fn route(&self, spec: &RequestSpec) -> usize {
+        self.route_for(0, spec)
+    }
+
+    /// [`Server::route`] for the tenant at registration index
+    /// `tenant`: the tenant's salt is XORed into the content address
+    /// before the worker modulus (salt 0 for tenant 0, so the public
+    /// single-tenant `route` is unchanged).
+    pub(crate) fn route_for(&self, tenant: usize, spec: &RequestSpec) -> usize {
+        let salt = tenant_salt(tenant);
         let base = match spec.session {
-            Some(id) => (id % self.config.workers as u64) as usize,
+            Some(id) => ((id ^ salt) % self.config.workers as u64) as usize,
             None => {
                 let key = normalize_question(&spec.question);
-                (fnv1a(key.as_bytes()) % self.config.workers as u64) as usize
+                ((fnv1a(key.as_bytes()) ^ salt) % self.config.workers as u64) as usize
             }
         };
         self.live_worker_from(base).unwrap_or(base)
@@ -467,13 +557,25 @@ impl Server {
     /// Offer one request. Decides admit/shed/deadline *now* (see
     /// module docs); admitted work completes at the next [`Server::drain`].
     pub fn submit(&mut self, spec: &RequestSpec) -> Admission {
+        self.submit_for(0, spec)
+    }
+
+    /// [`Server::submit`] on behalf of the tenant at registration
+    /// index `tenant`: counters land in the tenant's scope as well as
+    /// the global one, the tenant's admission budget is enforced, and
+    /// routing carries the tenant's salt.
+    pub(crate) fn submit_for(&mut self, tenant: usize, spec: &RequestSpec) -> Admission {
         let id = self.next_id;
         self.next_id += 1;
-        let metrics = &self.shared.metrics;
-        metrics.submitted.fetch_add(1, Ordering::Relaxed);
+        let shared = Arc::clone(&self.shared);
+        let metrics = ScopedMetrics {
+            global: &shared.metrics,
+            tenant: &shared.tenants[tenant].metrics,
+        };
+        metrics.add(|m| &m.submitted, 1);
         if self.dead.iter().all(|&d| d) {
-            metrics.refused.fetch_add(1, Ordering::Relaxed);
-            self.trace_reject(id, spec, 0, "refused");
+            metrics.add(|m| &m.refused, 1);
+            self.trace_reject(tenant, id, spec, 0, "refused");
             self.rejected.push(Completion {
                 id,
                 worker: None,
@@ -484,15 +586,30 @@ impl Server {
             });
             return Admission::Refused { id };
         }
-        let worker = self.route(spec);
+        if let Some(budget) = shared.tenants[tenant].admission_budget {
+            if self.admitted_per_tenant[tenant] >= budget {
+                metrics.add(|m| &m.quota_refused, 1);
+                self.trace_reject(tenant, id, spec, 0, "quota_refused");
+                self.rejected.push(Completion {
+                    id,
+                    worker: None,
+                    session: spec.session,
+                    disposition: Disposition::Refused {
+                        reason: "tenant admission budget exhausted".to_string(),
+                    },
+                });
+                return Admission::Refused { id };
+            }
+        }
+        let worker = self.route_for(tenant, spec);
         let depth = self.outstanding[worker];
-        let now = self.shared.clock.now();
+        let now = shared.clock.now();
 
         if let Some(deadline) = spec.deadline {
             let projected = now + (depth as u64 + 1) * self.config.service_estimate;
             if now > deadline || projected > deadline {
-                metrics.shed_deadline.fetch_add(1, Ordering::Relaxed);
-                self.trace_reject(id, spec, depth, "deadline_exceeded");
+                metrics.add(|m| &m.shed_deadline, 1);
+                self.trace_reject(tenant, id, spec, depth, "deadline_exceeded");
                 self.rejected.push(Completion {
                     id,
                     worker: None,
@@ -503,8 +620,8 @@ impl Server {
             }
         }
         if depth >= self.config.queue_capacity {
-            metrics.shed_full.fetch_add(1, Ordering::Relaxed);
-            self.trace_reject(id, spec, depth, "shed");
+            metrics.add(|m| &m.shed_full, 1);
+            self.trace_reject(tenant, id, spec, depth, "shed");
             self.rejected.push(Completion {
                 id,
                 worker: None,
@@ -516,6 +633,7 @@ impl Server {
 
         let job = Job {
             id,
+            tenant,
             submit_tick: now,
             queued_behind: depth,
             deadline: spec.deadline,
@@ -536,15 +654,46 @@ impl Server {
             .expect("worker alive while server running");
         self.outstanding[worker] += 1;
         self.in_flight += 1;
-        metrics.admitted.fetch_add(1, Ordering::Relaxed);
+        self.admitted_per_tenant[tenant] += 1;
+        metrics.add(|m| &m.admitted, 1);
         metrics.observe_depth(self.outstanding[worker] as u64);
         Admission::Admitted { id, worker }
+    }
+
+    /// Refuse a request that names no registered tenant. The refusal
+    /// is counted against the global scope only (there is no tenant to
+    /// attribute it to) and surfaces as a completion at the next
+    /// drain, like every other admission-time reject.
+    pub(crate) fn refuse_unknown(&mut self, spec: &RequestSpec) -> Admission {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.shared
+            .metrics
+            .submitted
+            .fetch_add(1, Ordering::Relaxed);
+        self.shared.metrics.refused.fetch_add(1, Ordering::Relaxed);
+        self.rejected.push(Completion {
+            id,
+            worker: None,
+            session: spec.session,
+            disposition: Disposition::Refused {
+                reason: "unknown tenant fingerprint".to_string(),
+            },
+        });
+        Admission::Refused { id }
     }
 
     /// Record an admission-time reject as a two-span trace (the
     /// request never reaches a worker, so the submitter is the only
     /// place this evidence exists).
-    fn trace_reject(&self, id: u64, spec: &RequestSpec, depth: usize, outcome: &str) {
+    fn trace_reject(
+        &self,
+        tenant: usize,
+        id: u64,
+        spec: &RequestSpec,
+        depth: usize,
+        outcome: &str,
+    ) {
         let Some(obs) = &self.shared.obs else { return };
         let mut tb = TraceBuilder::new(id, Arc::clone(&self.shared.clock));
         let root = tb.open("request");
@@ -558,6 +707,9 @@ impl Server {
                 "single"
             },
         );
+        if self.shared.label_tenants {
+            tb.annotate(root, "tenant", self.shared.tenants[tenant].name.clone());
+        }
         tb.annotate(root, "outcome", outcome);
         let adm = tb.open("admission");
         tb.annotate(adm, "depth", depth.to_string());
@@ -618,7 +770,11 @@ impl Server {
     /// check: the request already paid for its slot at original
     /// admission, and the drain is emptying every queue anyway.
     fn readmit(&mut self, from: usize, mut job: Job) -> Option<Completion> {
-        let metrics = &self.shared.metrics;
+        let shared = Arc::clone(&self.shared);
+        let metrics = ScopedMetrics {
+            global: &shared.metrics,
+            tenant: &shared.tenants[job.tenant].metrics,
+        };
         let session = match &job.work {
             Work::Turn { session, .. } => Some(*session),
             Work::Single { .. } => None,
@@ -629,9 +785,16 @@ impl Server {
         // chase crashing workers forever.
         let budget = self.config.retry.max_retries.max(1);
         if job.redeliveries > budget {
-            metrics.readmit_refused.fetch_add(1, Ordering::Relaxed);
-            metrics.refused.fetch_add(1, Ordering::Relaxed);
-            self.trace_bounce(job.id, session, from, job.redeliveries, "refused");
+            metrics.add(|m| &m.readmit_refused, 1);
+            metrics.add(|m| &m.refused, 1);
+            self.trace_bounce(
+                job.tenant,
+                job.id,
+                session,
+                from,
+                job.redeliveries,
+                "refused",
+            );
             return Some(Completion {
                 id: job.id,
                 worker: None,
@@ -645,11 +808,18 @@ impl Server {
             });
         }
         if let Some(deadline) = job.deadline {
-            let projected = self.shared.clock.now() + self.config.service_estimate;
+            let projected = shared.clock.now() + self.config.service_estimate;
             if projected > deadline {
-                metrics.readmit_refused.fetch_add(1, Ordering::Relaxed);
-                metrics.shed_deadline.fetch_add(1, Ordering::Relaxed);
-                self.trace_bounce(job.id, session, from, job.redeliveries, "deadline_exceeded");
+                metrics.add(|m| &m.readmit_refused, 1);
+                metrics.add(|m| &m.shed_deadline, 1);
+                self.trace_bounce(
+                    job.tenant,
+                    job.id,
+                    session,
+                    from,
+                    job.redeliveries,
+                    "deadline_exceeded",
+                );
                 return Some(Completion {
                     id: job.id,
                     worker: None,
@@ -658,25 +828,33 @@ impl Server {
                 });
             }
         }
+        let salt = tenant_salt(job.tenant);
         let base = match &job.work {
-            Work::Turn { session, .. } => (*session % self.config.workers as u64) as usize,
+            Work::Turn { session, .. } => ((*session ^ salt) % self.config.workers as u64) as usize,
             Work::Single { question } => {
-                (fnv1a(normalize_question(question).as_bytes()) % self.config.workers as u64)
-                    as usize
+                ((fnv1a(normalize_question(question).as_bytes()) ^ salt)
+                    % self.config.workers as u64) as usize
             }
         };
         match self.live_worker_from(base) {
             Some(target) => {
-                metrics.readmitted.fetch_add(1, Ordering::Relaxed);
+                metrics.add(|m| &m.readmitted, 1);
                 self.senders[target]
                     .send(job)
                     .expect("live worker while draining");
                 None
             }
             None => {
-                metrics.readmit_refused.fetch_add(1, Ordering::Relaxed);
-                metrics.refused.fetch_add(1, Ordering::Relaxed);
-                self.trace_bounce(job.id, session, from, job.redeliveries, "refused");
+                metrics.add(|m| &m.readmit_refused, 1);
+                metrics.add(|m| &m.refused, 1);
+                self.trace_bounce(
+                    job.tenant,
+                    job.id,
+                    session,
+                    from,
+                    job.redeliveries,
+                    "refused",
+                );
                 Some(Completion {
                     id: job.id,
                     worker: None,
@@ -694,6 +872,7 @@ impl Server {
     /// is the only place this evidence exists).
     fn trace_bounce(
         &self,
+        tenant: usize,
         id: u64,
         session: Option<u64>,
         from: usize,
@@ -709,6 +888,9 @@ impl Server {
             "kind",
             if session.is_some() { "turn" } else { "single" },
         );
+        if self.shared.label_tenants {
+            tb.annotate(root, "tenant", self.shared.tenants[tenant].name.clone());
+        }
         tb.annotate(root, "outcome", outcome);
         tb.annotate(root, "redeliveries", redeliveries.to_string());
         tb.annotate(root, "bounced_from", from.to_string());
@@ -717,14 +899,36 @@ impl Server {
     }
 
     /// The write-ahead session journal (one entry per committed
-    /// dialogue turn; see [`crate::journal`]).
+    /// dialogue turn; see [`crate::journal`]). Journals are
+    /// per-tenant; this is tenant 0's — the only tenant of a server
+    /// started through the public constructors.
     pub fn journal(&self) -> &SessionJournal {
-        &self.shared.journal
+        &self.shared.tenants[0].journal
     }
 
     /// Current counter snapshot.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.shared.metrics.snapshot()
+    }
+
+    /// Counter snapshot for the tenant at registration index `tenant`.
+    pub(crate) fn tenant_metrics_at(&self, tenant: usize) -> MetricsSnapshot {
+        self.shared.tenants[tenant].metrics.snapshot()
+    }
+
+    /// Session journal of the tenant at registration index `tenant`.
+    pub(crate) fn tenant_journal_at(&self, tenant: usize) -> &SessionJournal {
+        &self.shared.tenants[tenant].journal
+    }
+
+    /// Name of the tenant at registration index `tenant`.
+    pub(crate) fn tenant_name_at(&self, tenant: usize) -> &str {
+        &self.shared.tenants[tenant].name
+    }
+
+    /// Number of registered tenants.
+    pub(crate) fn tenant_count(&self) -> usize {
+        self.shared.tenants.len()
     }
 
     /// The schema fingerprint baked into cache keys.
@@ -770,37 +974,6 @@ impl Drop for Server {
     fn drop(&mut self) {
         self.join_pool();
     }
-}
-
-/// Hash the parts of the schema that determine interpretations:
-/// concept labels, table names, data-property labels, and the
-/// relationships (with their endpoints and FK columns). Two pipelines
-/// over the same schema share cache keys; any schema change — join
-/// structure included — changes the fingerprint and thus invalidates
-/// nothing silently.
-fn schema_fingerprint(pipeline: &NliPipeline) -> u64 {
-    let onto = &pipeline.context().ontology;
-    let mut acc = String::new();
-    for c in &onto.concepts {
-        acc.push_str(&c.label);
-        acc.push('\u{1}');
-        acc.push_str(&c.table);
-        acc.push('\u{1}');
-    }
-    for p in &onto.data_properties {
-        acc.push_str(&p.label);
-        acc.push('\u{1}');
-    }
-    // Relationships decide join paths; two schemas differing only in
-    // join structure must not share cache keys.
-    for r in &onto.object_properties {
-        for part in [&r.label, &r.from, &r.from_column, &r.to, &r.to_column] {
-            acc.push_str(part);
-            acc.push('\u{1}');
-        }
-        acc.push('\u{2}');
-    }
-    fnv1a(acc.as_bytes())
 }
 
 /// Render a result set to stable row strings (`col=value` cells).
@@ -855,7 +1028,7 @@ impl FaultRide {
 /// (`attempt < max_retries`) — it is per request, not per delivery.
 fn ride_out_faults(
     hook: Option<&RequestHook>,
-    metrics: &ServeMetrics,
+    metrics: ScopedMetrics<'_>,
     retry: &RetryPolicy,
     id: u64,
     rung: usize,
@@ -872,10 +1045,8 @@ fn ride_out_faults(
         match hook(&HookCtx { id, rung, attempt }) {
             None => return ride,
             Some(InjectedFault::Transient) if attempt < retry.max_retries => {
-                metrics.retries.fetch_add(1, Ordering::Relaxed);
-                metrics
-                    .retry_backoff_ticks
-                    .fetch_add(retry.backoff(attempt), Ordering::Relaxed);
+                metrics.add(|m| &m.retries, 1);
+                metrics.add(|m| &m.retry_backoff_ticks, retry.backoff(attempt));
                 ride.retries += 1;
                 ride.backoff += retry.backoff(attempt);
                 attempt += 1;
@@ -904,7 +1075,7 @@ fn interpret_single(
     question: &str,
     pipeline: &NliPipeline,
     hook: Option<&RequestHook>,
-    metrics: &ServeMetrics,
+    metrics: ScopedMetrics<'_>,
     retry: &RetryPolicy,
     attempt_base: u32,
     ladder: &[InterpreterKind],
@@ -927,7 +1098,7 @@ fn interpret_single(
             }
         };
         if !breakers[rung].allow() {
-            metrics.breaker_skips.fetch_add(1, Ordering::Relaxed);
+            metrics.add(|m| &m.breaker_skips, 1);
             seal(&mut tracer, "breaker", "open");
             continue;
         }
@@ -938,7 +1109,7 @@ fn interpret_single(
         if !ride.proceed {
             let tripped = breakers[rung].on_failure();
             if tripped {
-                metrics.breaker_trips.fetch_add(1, Ordering::Relaxed);
+                metrics.add(|m| &m.breaker_trips, 1);
             }
             if let (Some(tb), Some(s)) = (tracer.as_deref_mut(), span) {
                 if tripped {
@@ -957,7 +1128,7 @@ fn interpret_single(
                 breakers[rung].on_success();
                 let rows = render_rows(&answer.result);
                 if rung == 0 {
-                    metrics.answered.fetch_add(1, Ordering::Relaxed);
+                    metrics.add(|m| &m.answered, 1);
                     seal(&mut tracer, "served", "full");
                     return (
                         Disposition::Answered {
@@ -968,7 +1139,7 @@ fn interpret_single(
                         Some((answer.sql, rows)),
                     );
                 }
-                metrics.degraded.fetch_add(1, Ordering::Relaxed);
+                metrics.add(|m| &m.degraded, 1);
                 seal(&mut tracer, "served", "degraded");
                 return (
                     Disposition::Degraded {
@@ -986,7 +1157,7 @@ fn interpret_single(
             Err(e) => {
                 breakers[rung].on_success();
                 if rung == 0 {
-                    metrics.refused.fetch_add(1, Ordering::Relaxed);
+                    metrics.add(|m| &m.refused, 1);
                     seal(&mut tracer, "refusal", "healthy");
                     return (
                         Disposition::Refused {
@@ -1000,7 +1171,7 @@ fn interpret_single(
             }
         }
     }
-    metrics.refused.fetch_add(1, Ordering::Relaxed);
+    metrics.add(|m| &m.refused, 1);
     let reason = match last_refusal {
         Some(r) => format!("degraded ladder exhausted: {r}"),
         None => "no interpreter family available (all rungs faulted or circuit-broken)".to_string(),
@@ -1034,33 +1205,33 @@ fn disposition_label(d: &Disposition) -> &'static str {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     worker: usize,
     shared: &Shared,
     jobs: mpsc::Receiver<Job>,
     completions: mpsc::Sender<Delivery>,
-    cache_capacity: usize,
-    fingerprint: u64,
     retry: RetryPolicy,
     breaker: BreakerPolicy,
 ) {
-    let pipeline = &shared.pipeline;
-    let db = pipeline.database();
-    let ctx = pipeline.context();
-    let metrics = &shared.metrics;
     let hook = shared.hook.as_ref();
-    let journal = &shared.journal;
-    let mut cache: Option<LruCache<String, (String, Vec<String>)>> =
-        (cache_capacity > 0).then(|| LruCache::new(cache_capacity));
-    let mut sessions: HashMap<u64, ConversationSession<'_>> = HashMap::new();
-    let ladder = degradation_ladder(InterpreterKind::Hybrid);
-    let mut breakers: Vec<CircuitBreaker> = ladder
+    // All worker-retained state is per-(worker, tenant): caches and
+    // breakers indexed by the tenant's registration index, sessions
+    // keyed by (tenant, session id) — one tenant's questions can never
+    // observe another's cached answers, sessions, or breaker state.
+    let mut caches: HashMap<usize, LruCache<String, (String, Vec<String>)>> = HashMap::new();
+    let mut sessions: HashMap<(usize, u64), ConversationSession<'_>> = HashMap::new();
+    let mut breakers: Vec<Vec<CircuitBreaker>> = shared
+        .tenants
         .iter()
-        .map(|_| CircuitBreaker::new(breaker))
+        .map(|t| {
+            t.ladder
+                .iter()
+                .map(|_| CircuitBreaker::new(breaker))
+                .collect()
+        })
         .collect();
     // Set on a contained panic. A dead worker frees everything it
-    // retained (sessions, cache — mid-mutation state is not trusted
+    // retained (sessions, caches — mid-mutation state is not trusted
     // and sessions are rebuilt elsewhere from the journal) and keeps
     // only a drain-only path: every envelope still in its queue
     // bounces back to the submitter for re-admission, so admission
@@ -1068,8 +1239,14 @@ fn worker_loop(
     let mut dead = false;
 
     while let Ok(job) = jobs.recv() {
+        let tenant = job.tenant;
+        let rt = &shared.tenants[tenant];
+        let metrics = ScopedMetrics {
+            global: &shared.metrics,
+            tenant: &rt.metrics,
+        };
         if dead {
-            metrics.crashed_requests.fetch_add(1, Ordering::Relaxed);
+            metrics.add(|m| &m.crashed_requests, 1);
             // No trace and no per-worker count here: the job is not
             // processed, it bounces; the worker that finally serves it
             // owns its one trace.
@@ -1078,6 +1255,10 @@ fn worker_loop(
             }
             continue;
         }
+        let pipeline = &rt.pipeline;
+        let db = pipeline.database();
+        let ctx = pipeline.context();
+        let journal = &rt.journal;
         let (id, submit_tick, queued_behind) = (job.id, job.submit_tick, job.queued_behind);
         let (redeliveries, bounced_from) = (job.redeliveries, job.bounced_from);
         let session = match &job.work {
@@ -1093,6 +1274,9 @@ fn worker_loop(
             let root = tb.open_at("request", submit_tick);
             tb.annotate(root, "id", id.to_string());
             tb.annotate(root, "kind", kind_label);
+            if shared.label_tenants {
+                tb.annotate(root, "tenant", rt.name.clone());
+            }
             tb.annotate(root, "worker", worker.to_string());
             if redeliveries > 0 {
                 tb.annotate(root, "redeliveries", redeliveries.to_string());
@@ -1111,14 +1295,23 @@ fn worker_loop(
         });
         let outcome = catch_unwind(AssertUnwindSafe(|| match &job.work {
             Work::Single { question } => {
-                let key = format!("{fingerprint:016x}|{}", normalize_question(question));
+                let key = format!("{:016x}|{}", rt.fingerprint, normalize_question(question));
+                let cache_enabled = rt.cache_capacity > 0;
                 let probe = tracer.as_mut().map(|(tb, _)| (tb.open("cache"), tb));
-                let cached = cache.as_mut().and_then(|c| c.get(&key).cloned());
+                let cached = if cache_enabled {
+                    caches
+                        .entry(tenant)
+                        .or_insert_with(|| LruCache::new(rt.cache_capacity))
+                        .get(&key)
+                        .cloned()
+                } else {
+                    None
+                };
                 if let Some((s, tb)) = probe {
                     tb.annotate(
                         s,
                         "outcome",
-                        match (cache.is_some(), cached.is_some()) {
+                        match (cache_enabled, cached.is_some()) {
                             (false, _) => "disabled",
                             (true, true) => "hit",
                             (true, false) => "miss",
@@ -1128,8 +1321,8 @@ fn worker_loop(
                 }
                 let disposition = match cached {
                     Some((sql, rows)) => {
-                        metrics.interp_hits.fetch_add(1, Ordering::Relaxed);
-                        metrics.answered.fetch_add(1, Ordering::Relaxed);
+                        metrics.add(|m| &m.interp_hits, 1);
+                        metrics.add(|m| &m.answered, 1);
                         Disposition::Answered {
                             sql,
                             rows,
@@ -1137,7 +1330,7 @@ fn worker_loop(
                         }
                     }
                     None => {
-                        metrics.interp_misses.fetch_add(1, Ordering::Relaxed);
+                        metrics.add(|m| &m.interp_misses, 1);
                         let (disposition, cacheable) = interpret_single(
                             id,
                             question,
@@ -1146,12 +1339,17 @@ fn worker_loop(
                             metrics,
                             &retry,
                             redeliveries,
-                            ladder,
-                            &mut breakers,
+                            rt.ladder,
+                            &mut breakers[tenant],
                             tracer.as_mut().map(|(tb, _)| tb),
                         );
-                        if let (Some(c), Some(payload)) = (cache.as_mut(), cacheable) {
-                            c.put(key, payload);
+                        if cache_enabled {
+                            if let Some(payload) = cacheable {
+                                caches
+                                    .get_mut(&tenant)
+                                    .expect("cache ensured at probe")
+                                    .put(key, payload);
+                            }
                         }
                         disposition
                     }
@@ -1178,7 +1376,7 @@ fn worker_loop(
                     ride.annotate(tb, s);
                 }
                 let disposition = if ride.proceed {
-                    if let Entry::Vacant(slot) = sessions.entry(session) {
+                    if let Entry::Vacant(slot) = sessions.entry((tenant, session)) {
                         let journaled = journal.turns(session);
                         if journaled.is_empty() {
                             slot.insert(ConversationSession::new(db, ctx, ManagerKind::Agent));
@@ -1206,13 +1404,9 @@ fn worker_loop(
                                 .zip(&journaled)
                                 .filter(|(r, e)| r.digest() != e.outcome_digest)
                                 .count() as u64;
-                            metrics.sessions_recovered.fetch_add(1, Ordering::Relaxed);
-                            metrics
-                                .turns_replayed
-                                .fetch_add(journaled.len() as u64, Ordering::Relaxed);
-                            metrics
-                                .replay_divergence
-                                .fetch_add(diverged, Ordering::Relaxed);
+                            metrics.add(|m| &m.sessions_recovered, 1);
+                            metrics.add(|m| &m.turns_replayed, journaled.len() as u64);
+                            metrics.add(|m| &m.replay_divergence, diverged);
                             if let (Some((tb, _)), Some(s)) = (tracer.as_mut(), rspan) {
                                 tb.annotate(s, "divergence", diverged.to_string());
                                 tb.close(s);
@@ -1220,9 +1414,11 @@ fn worker_loop(
                             slot.insert(rebuilt);
                         }
                     }
-                    let s = sessions.get_mut(&session).expect("session just ensured");
+                    let s = sessions
+                        .get_mut(&(tenant, session))
+                        .expect("session just ensured");
                     let r = s.turn(utterance);
-                    metrics.session_turns.fetch_add(1, Ordering::Relaxed);
+                    metrics.add(|m| &m.session_turns, 1);
                     // Write-ahead commit: the turn enters the journal
                     // before its reply leaves the worker, so a crash
                     // any time after this line loses nothing.
@@ -1235,7 +1431,7 @@ fn worker_loop(
                             outcome_digest: r.digest(),
                         },
                     );
-                    metrics.journal_turns.fetch_add(1, Ordering::Relaxed);
+                    metrics.add(|m| &m.journal_turns, 1);
                     if let (Some((tb, _)), Some(sp)) = (tracer.as_mut(), span) {
                         tb.annotate(sp, "accepted", r.accepted.to_string());
                         tb.annotate(sp, "sql", if r.sql.is_some() { "yes" } else { "no" });
@@ -1248,7 +1444,7 @@ fn worker_loop(
                 } else {
                     // Dialogue has no family ladder to fall down; a
                     // fatally-faulted turn is refused outright.
-                    metrics.refused.fetch_add(1, Ordering::Relaxed);
+                    metrics.add(|m| &m.refused, 1);
                     if let (Some((tb, _)), Some(sp)) = (tracer.as_mut(), span) {
                         tb.annotate(sp, "fault", "fatal");
                     }
@@ -1271,13 +1467,14 @@ fn worker_loop(
             Ok(completion) => completion,
             Err(_) => {
                 dead = true;
-                // Free everything the corpse retained: sessions are
-                // rebuilt elsewhere from the journal, and a cache that
-                // may have been mid-mutation is not trusted again.
+                // Free everything the corpse retained — every tenant's
+                // sessions and caches: sessions are rebuilt elsewhere
+                // from the journals, and caches that may have been
+                // mid-mutation are not trusted again.
                 sessions.clear();
-                cache = None;
-                metrics.worker_deaths.fetch_add(1, Ordering::Relaxed);
-                metrics.crashed_requests.fetch_add(1, Ordering::Relaxed);
+                caches.clear();
+                metrics.add(|m| &m.worker_deaths, 1);
+                metrics.add(|m| &m.crashed_requests, 1);
                 // The half-built trace is dropped, not recorded: the
                 // request is not finished — it bounces back to the
                 // submitter for re-admission, and whichever worker
@@ -1293,7 +1490,7 @@ fn worker_loop(
             tb.annotate(root, "outcome", disposition_label(&completion.disposition));
             obs.record(tb.finish());
         }
-        metrics.per_worker[worker].fetch_add(1, Ordering::Relaxed);
+        metrics.per_worker(worker);
         if completions.send(Delivery::Done(completion)).is_err() {
             // Submitter went away mid-flight; nothing left to report to.
             break;

@@ -385,6 +385,89 @@ fn shutdown_concurrent_with_worker_panic_neither_hangs_nor_leaks() {
 }
 
 #[test]
+fn two_tenants_on_one_dead_worker_both_recover_without_leakage() {
+    // Journal namespacing under crash: one worker serves conversations
+    // for TWO tenants; it dies mid-stream; both tenants' sessions must
+    // be rebuilt from their own journals with zero divergence and zero
+    // cross-tenant traffic. Routing math pins both sessions to worker
+    // 0 of 2: tenant 0 carries salt 0, so session 4 → worker 0;
+    // tenant 1's salt (the odd golden-ratio constant) flips the low
+    // bit, so session 7 → worker 0 too.
+    use nlidb_benchdata::all_domains;
+    use nlidb_ontology::JoinPathCache;
+    use nlidb_serve::{TenantPolicy, TenantRegistry, TenantServer};
+
+    silence_worker_panics();
+    const HR_TURNS: [&str; 3] = [
+        "show all employees",
+        "how many employees are there",
+        "show all departments",
+    ];
+    let run = |plan: FaultPlan| {
+        let cache = Arc::new(JoinPathCache::new(256));
+        let mut registry = TenantRegistry::new();
+        let (fp_retail, p_retail) = nlidb_serve::tenant_pipeline(&retail_database(7), &cache);
+        let (fp_hr, p_hr) = nlidb_serve::tenant_pipeline(&all_domains(42)[1], &cache);
+        registry.register("retail", p_retail, TenantPolicy::default());
+        registry.register("hr", p_hr, TenantPolicy::default());
+        let clock = Arc::new(ManualClock::new());
+        let mut server = TenantServer::start_with_hook(
+            &registry,
+            config(2),
+            clock as Arc<dyn Clock>,
+            Some(fault_plan_hook(plan)),
+        );
+        // Interleaved: ids 0,2,4 are retail session 4; ids 1,3,5 are
+        // hr session 7. Both route to worker 0.
+        for i in 0..3 {
+            assert_eq!(server.route(fp_retail, &turn(4, TURNS[i])), Some(0));
+            assert_eq!(server.route(fp_hr, &turn(7, HR_TURNS[i])), Some(0));
+            server.submit(fp_retail, &turn(4, TURNS[i]));
+            server.submit(fp_hr, &turn(7, HR_TURNS[i]));
+        }
+        let done = server.drain();
+        let retail_m = server.tenant_metrics(fp_retail).unwrap();
+        let hr_m = server.tenant_metrics(fp_hr).unwrap();
+        let retail_j: Vec<(u64, usize)> = {
+            let j = server.journal(fp_retail).unwrap();
+            j.sessions().iter().map(|&s| (s, j.turn_count(s))).collect()
+        };
+        let hr_j: Vec<(u64, usize)> = {
+            let j = server.journal(fp_hr).unwrap();
+            j.sessions().iter().map(|&s| (s, j.turn_count(s))).collect()
+        };
+        let sigs: Vec<String> = done.iter().map(|c| c.signature()).collect();
+        (sigs, retail_m, hr_m, retail_j, hr_j, server.shutdown())
+    };
+    let (clean_sigs, ..) = run(FaultPlan::none());
+    // id 2 = retail's second turn: the panic kills worker 0 with one
+    // committed turn in EACH tenant's journal and ids 3..5 queued
+    // behind the corpse.
+    let plan = FaultPlan::none().with(2, FaultKind::WorkerPanic);
+    let (sigs, retail_m, hr_m, retail_j, hr_j, m) = run(plan);
+    assert_eq!(
+        sigs, clean_sigs,
+        "both tenants answer exactly like the never-crashed run"
+    );
+    // Both tenants' sessions were rebuilt, each from its own journal.
+    assert_eq!(m.worker_deaths, 1);
+    assert_eq!(m.sessions_recovered, 2, "one session per tenant");
+    assert_eq!(m.replay_divergence, 0);
+    assert_eq!(retail_m.sessions_recovered, 1);
+    assert_eq!(hr_m.sessions_recovered, 1);
+    assert_eq!(retail_m.worker_deaths + hr_m.worker_deaths, 1);
+    assert_eq!(retail_m.replay_divergence, 0);
+    assert_eq!(hr_m.replay_divergence, 0);
+    // Journals are fully namespaced: each holds exactly its own
+    // conversation, session ids never cross tenants.
+    assert_eq!(retail_j, vec![(4, 3)]);
+    assert_eq!(hr_j, vec![(7, 3)]);
+    assert_eq!(retail_m.journal_turns, 3);
+    assert_eq!(hr_m.journal_turns, 3);
+    assert_eq!(m.journal_turns, 6);
+}
+
+#[test]
 fn panic_racing_drain_delivers_every_outcome_exactly_once() {
     // Drain invoked immediately after submitting a panicking workload —
     // the recovery rounds run concurrently with the panic itself, and
