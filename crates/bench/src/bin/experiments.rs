@@ -1,7 +1,7 @@
 //! The reproduction harness CLI.
 //!
 //! ```text
-//! experiments                 # run all of E1–E17
+//! experiments                 # run all of E1–E18
 //! experiments --exp e2        # run one experiment
 //! experiments --seed 7        # change the global seed
 //! experiments --exp e17 --tenants 3   # scale the multi-tenant regime

@@ -1,4 +1,4 @@
-//! The reproduction experiments E1–E17 (see `EXPERIMENTS.md`).
+//! The reproduction experiments E1–E18 (see `EXPERIMENTS.md`).
 //!
 //! The paper is a tutorial: it publishes claims, not tables. Each
 //! experiment here operationalizes one claim into a measured table;
@@ -7,13 +7,13 @@
 use std::collections::HashMap;
 
 use nlidb_benchdata::{
-    cosql_like, dataset_stats, derive_slots, paper_reference, sparc_like, spider_like,
-    wikisql_like, SessionKind, DOMAIN_NAMES,
+    cosql_like, dataset_stats, derive_slots, domain_database, paper_reference, sparc_like,
+    spider_like, wikisql_like, SessionKind, DOMAIN_NAMES,
 };
 use nlidb_core::clarify;
 use nlidb_core::interpretation::InterpreterKind;
 use nlidb_dialogue::{bootstrap_from_ontology, ConversationSession, IntentClassifier, ManagerKind};
-use nlidb_engine::execute;
+use nlidb_engine::{execute, execute_rowwise_with_stats, execute_with_stats, explain};
 use nlidb_evalkit::table::pct;
 use nlidb_evalkit::{execution_match, EvalOutcome, Table};
 use nlidb_nlp::Lexicon;
@@ -22,14 +22,14 @@ use nlidb_sqlir::ComplexityClass;
 use crate::workloads::{evaluate, paraphrased, setup_domain, DomainSetup};
 
 /// All experiment identifiers, in order.
-pub const EXPERIMENT_IDS: [&str; 17] = [
+pub const EXPERIMENT_IDS: [&str; 18] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17",
+    "e16", "e17", "e18",
 ];
 
 /// One-line description per experiment, in [`EXPERIMENT_IDS`] order
 /// (the `--list` output of the `experiments` binary).
-pub const EXPERIMENT_SUMMARIES: [(&str, &str); 17] = [
+pub const EXPERIMENT_SUMMARIES: [(&str, &str); 18] = [
     (
         "e1",
         "capability matrix: family accuracy per §3 complexity rung",
@@ -89,6 +89,10 @@ pub const EXPERIMENT_SUMMARIES: [(&str, &str); 17] = [
         "e17",
         "multi-tenant sharding: N domains, one runtime ≡ N isolated runs",
     ),
+    (
+        "e18",
+        "engine equivalence: batch ≡ row oracle, vectorized tick savings",
+    ),
 ];
 
 /// Run one experiment by id; `None` for unknown ids.
@@ -111,6 +115,7 @@ pub fn run_experiment(id: &str, seed: u64) -> Option<Table> {
         "e15" => Some(e15_crash_recovery(seed)),
         "e16" => Some(e16_trace_profile(seed)),
         "e17" => Some(e17_multi_tenant(seed)),
+        "e18" => Some(e18_engine_equivalence(seed)),
         _ => None,
     }
 }
@@ -2029,6 +2034,124 @@ pub fn e17_multi_tenant_with(seed: u64, tenants: usize) -> Table {
         "0".to_string(),
         "-".to_string(),
         "unchanged".to_string(),
+    ]);
+    t
+}
+
+/// Per-rung tick accounting for one E18 corpus pass, plus the
+/// concatenation of every `EXPLAIN` rendering in corpus order, so a
+/// second pass can be compared wholesale for byte-identity.
+#[derive(PartialEq, Eq)]
+pub struct EnginePass {
+    /// Gold queries executed per §3 rung ([`ComplexityClass::all`] order).
+    pub queries: [u64; 4],
+    /// Row-engine logical ticks per rung.
+    pub row_ticks: [u64; 4],
+    /// Batch-engine logical ticks per rung.
+    pub batch_ticks: [u64; 4],
+    /// Every plan rendering, concatenated in corpus order.
+    pub explains: String,
+}
+
+/// Execute the full spider-like gold corpus (six domains × 48 queries)
+/// through *both* engines, asserting per query that the batch engine's
+/// result is row-identical to the row-at-a-time oracle (and bag-equal,
+/// the execution-accuracy notion), and accumulating logical ticks per
+/// complexity rung. Shared by E18 and the perf-drift gate.
+pub fn engine_corpus_pass(seed: u64) -> EnginePass {
+    let mut pass = EnginePass {
+        queries: [0; 4],
+        row_ticks: [0; 4],
+        batch_ticks: [0; 4],
+        explains: String::new(),
+    };
+    for (i, name) in DOMAIN_NAMES.iter().enumerate() {
+        let db = domain_database(name, seed.wrapping_add(i as u64));
+        let slots = derive_slots(&db);
+        for pair in spider_like(&slots, seed.wrapping_add(1000 + i as u64), 48) {
+            let (row_rs, row_stats) = execute_rowwise_with_stats(&db, &pair.sql)
+                .unwrap_or_else(|e| panic!("E18: row engine failed on {}: {e}", pair.id));
+            let (batch_rs, batch_stats) = execute_with_stats(&db, &pair.sql)
+                .unwrap_or_else(|e| panic!("E18: batch engine failed on {}: {e}", pair.id));
+            assert!(
+                batch_rs.unordered_eq(&row_rs),
+                "E18: engines disagree as bags on {}",
+                pair.id
+            );
+            assert_eq!(
+                batch_rs, row_rs,
+                "E18: engines disagree on row order for {}",
+                pair.id
+            );
+            let k = ComplexityClass::all()
+                .iter()
+                .position(|c| *c == pair.class)
+                .expect("spider_like classifies every query");
+            pass.queries[k] += 1;
+            pass.row_ticks[k] += row_stats.ticks;
+            pass.batch_ticks[k] += batch_stats.ticks;
+            pass.explains.push_str(&explain(&db, &pair.sql).render());
+        }
+    }
+    pass
+}
+
+/// E18 — engine equivalence and vectorization payoff. The batch
+/// engine (the default [`nlidb_engine::execute`]) must return exactly
+/// the oracle's rows — identical order *and* bag-equal — on every
+/// gold query of the full spider-like corpus, while spending fewer
+/// logical ticks on the join rung its hash paths vectorize. A second
+/// full pass (results, tick totals, and every `EXPLAIN` rendering) is
+/// asserted byte-identical to the first.
+pub fn e18_engine_equivalence(seed: u64) -> Table {
+    let pass = engine_corpus_pass(seed);
+    let rerun = engine_corpus_pass(seed);
+    assert!(pass == rerun, "E18: rerun diverged");
+    let join = ComplexityClass::all()
+        .iter()
+        .position(|c| *c == ComplexityClass::MultiTableJoin)
+        .expect("ladder has a join rung");
+    assert!(
+        pass.batch_ticks[join] < pass.row_ticks[join],
+        "E18: batch engine must beat the row oracle on the join rung \
+         ({} >= {})",
+        pass.batch_ticks[join],
+        pass.row_ticks[join]
+    );
+    let mut t = Table::new([
+        "rung",
+        "queries",
+        "row ticks",
+        "batch ticks",
+        "batch/row",
+        "results",
+    ])
+    .title("E18 — engine equivalence (batch vs row-oracle ticks per §3 rung)");
+    for (k, class) in ComplexityClass::all().iter().enumerate() {
+        t.row([
+            class.label().to_string(),
+            pass.queries[k].to_string(),
+            pass.row_ticks[k].to_string(),
+            pass.batch_ticks[k].to_string(),
+            format!(
+                "{:.2}×",
+                pass.batch_ticks[k] as f64 / pass.row_ticks[k] as f64
+            ),
+            "identical".to_string(),
+        ]);
+    }
+    let (q, r, b) = (
+        pass.queries.iter().sum::<u64>(),
+        pass.row_ticks.iter().sum::<u64>(),
+        pass.batch_ticks.iter().sum::<u64>(),
+    );
+    t.row([
+        "all".to_string(),
+        q.to_string(),
+        r.to_string(),
+        b.to_string(),
+        format!("{:.2}×", b as f64 / r as f64),
+        "rerun byte-identical".to_string(),
     ]);
     t
 }

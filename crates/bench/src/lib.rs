@@ -1,6 +1,6 @@
 //! # nlidb-bench — the reproduction harness
 //!
-//! One function per experiment in `EXPERIMENTS.md` (E1–E16), each
+//! One function per experiment in `EXPERIMENTS.md` (E1–E18), each
 //! returning a rendered [`nlidb_evalkit::Table`]. The `experiments`
 //! binary prints them; the `perfgate` binary renders the perf-drift
 //! baseline (per-stage profiles, clean-vs-faulted diff, and metric

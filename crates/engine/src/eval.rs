@@ -130,9 +130,19 @@ pub struct EvalCtx<'a> {
     pub sub_cache: RefCell<HashMap<usize, Option<ResultSet>>>,
     /// Executor entry point (injected to avoid a module cycle).
     pub exec: fn(&EvalCtx<'_>, &Query, Option<&Scope<'_>>) -> Result<ResultSet, EngineError>,
+    /// Logical work counter in *ticks*: one tick per row-wise operator
+    /// application, `1 + n/VECTOR_WIDTH` per vectorized column
+    /// operation (see [`crate::batch`]). Deterministic by construction
+    /// — no wall-clock — so tick totals are comparable across engines
+    /// and reproducible across runs.
+    pub ticks: std::cell::Cell<u64>,
 }
 
 impl<'a> EvalCtx<'a> {
+    /// Charge `n` ticks of logical work.
+    pub fn charge(&self, n: u64) {
+        self.ticks.set(self.ticks.get().wrapping_add(n));
+    }
     /// Execute a sub-query, caching it when it proves uncorrelated.
     /// A sub-query is treated as correlated iff executing it *without*
     /// the outer scope fails column resolution.
@@ -193,6 +203,9 @@ fn bool3(b: Option<bool>) -> Value {
 /// Evaluate a scalar expression against one row scope. Aggregate nodes
 /// are invalid here — use [`eval_grouped`] in aggregate contexts.
 pub fn eval(ctx: &EvalCtx<'_>, expr: &Expr, scope: &Scope<'_>) -> Result<Value, EngineError> {
+    // One tick per operator application: recursion charges each
+    // expression node applied to each row.
+    ctx.charge(1);
     match expr {
         Expr::Column(c) => scope.lookup(c),
         Expr::Literal(l) => Ok(literal_value(l)),
@@ -358,7 +371,7 @@ pub fn eval(ctx: &EvalCtx<'_>, expr: &Expr, scope: &Scope<'_>) -> Result<Value, 
     }
 }
 
-fn literal_value(l: &Literal) -> Value {
+pub(crate) fn literal_value(l: &Literal) -> Value {
     match l {
         Literal::Int(i) => Value::Int(*i),
         Literal::Float(f) => Value::Float(*f),
@@ -368,7 +381,7 @@ fn literal_value(l: &Literal) -> Value {
     }
 }
 
-fn binary_op(l: &Value, op: BinOp, r: &Value) -> Result<Value, EngineError> {
+pub(crate) fn binary_op(l: &Value, op: BinOp, r: &Value) -> Result<Value, EngineError> {
     use BinOp::*;
     match op {
         Eq => Ok(bool3(l.sql_eq(r))),
@@ -439,6 +452,7 @@ pub fn eval_grouped(
     group: &[&Vec<Value>],
     parent: Option<&Scope<'_>>,
 ) -> Result<Value, EngineError> {
+    ctx.charge(1);
     match expr {
         Expr::Agg {
             func,

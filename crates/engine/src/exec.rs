@@ -27,30 +27,44 @@ pub struct ResultSet {
 impl ResultSet {
     /// Comparison key for one value: like [`Value::group_key`] but
     /// tolerant to floating-point summation-order noise (floats are
-    /// rounded to 9 significant digits).
+    /// rounded to 9 significant digits). Integers beyond 2⁵³ — where
+    /// the rounded-float form would fold distinct values together —
+    /// keep their exact decimal form instead; integral floats in that
+    /// range take the same form so Int/Float unification survives.
     fn result_key(v: &Value) -> String {
+        const EXACT_F64: f64 = 9_007_199_254_740_992.0; // 2⁵³
         match v {
-            Value::Int(i) => format!("\u{2}{:.9e}", *i as f64),
-            Value::Float(f) => format!("\u{2}{:.9e}", f),
+            Value::Int(i) => {
+                if i.unsigned_abs() > 1u64 << 53 {
+                    format!("\u{2}{i}")
+                } else {
+                    format!("\u{2}{:.9e}", *i as f64)
+                }
+            }
+            Value::Float(f) => {
+                // Every f64 with |f| > 2⁵³ is integral already.
+                if f.abs() > EXACT_F64 && crate::value::in_i64_range(*f) {
+                    format!("\u{2}{}", *f as i64)
+                } else {
+                    format!("\u{2}{:.9e}", f)
+                }
+            }
             other => other.group_key(),
         }
     }
 
     /// Bag-equality (order-insensitive), the execution-accuracy notion
-    /// used when the gold query has no ORDER BY.
+    /// used when the gold query has no ORDER BY. Rows key as vectors of
+    /// per-value strings — never joined into one string, which would
+    /// let a U+001F inside a value shift the key boundary.
     pub fn unordered_eq(&self, other: &ResultSet) -> bool {
         if self.rows.len() != other.rows.len() {
             return false;
         }
-        let key = |rows: &[Vec<Value>]| -> Vec<String> {
-            let mut keys: Vec<String> = rows
+        let key = |rows: &[Vec<Value>]| -> Vec<Vec<String>> {
+            let mut keys: Vec<Vec<String>> = rows
                 .iter()
-                .map(|r| {
-                    r.iter()
-                        .map(Self::result_key)
-                        .collect::<Vec<_>>()
-                        .join("\u{1f}")
-                })
+                .map(|r| r.iter().map(Self::result_key).collect())
                 .collect();
             keys.sort_unstable();
             keys
@@ -71,14 +85,40 @@ impl ResultSet {
     }
 }
 
-/// Execute `query` against `db`.
-pub fn execute(db: &Database, query: &Query) -> Result<ResultSet, EngineError> {
+/// Deterministic logical-work statistics for one execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecStats {
+    /// Logical ticks charged: one per row-wise operator application,
+    /// `1 + n/64` per vectorized column operation (batch engine).
+    pub ticks: u64,
+}
+
+/// Execute `query` against `db` with the row-at-a-time reference
+/// engine. The default [`crate::execute`] entry point runs the batch
+/// engine; this one is kept as the semantics oracle (E18 asserts both
+/// agree over the full corpus).
+pub fn execute_rowwise(db: &Database, query: &Query) -> Result<ResultSet, EngineError> {
+    execute_rowwise_with_stats(db, query).map(|(rs, _)| rs)
+}
+
+/// Row engine entry point that also reports logical tick counts.
+pub fn execute_rowwise_with_stats(
+    db: &Database,
+    query: &Query,
+) -> Result<(ResultSet, ExecStats), EngineError> {
     let ctx = EvalCtx {
         db,
         sub_cache: RefCell::new(HashMap::new()),
         exec: exec_entry,
+        ticks: std::cell::Cell::new(0),
     };
-    exec_query(&ctx, query, None)
+    let rs = exec_query(&ctx, query, None)?;
+    Ok((
+        rs,
+        ExecStats {
+            ticks: ctx.ticks.get(),
+        },
+    ))
 }
 
 fn exec_entry(
@@ -103,6 +143,7 @@ fn relation_of(
     match source {
         TableSource::Table { name, alias } => {
             let table = ctx.db.table(name)?;
+            ctx.charge(table.rows.len() as u64); // scan
             let mut schema = RelSchema::new();
             schema.push_binding(
                 alias.clone().unwrap_or_else(|| name.clone()),
@@ -134,7 +175,7 @@ fn relation_of(
 /// Split an ON condition into equi-join pairs (left index, right index)
 /// plus residual conjuncts. Returns `None` for the pairs when no
 /// equi-conjunct is found.
-fn split_equi(
+pub(crate) fn split_equi(
     on: &Expr,
     left: &RelSchema,
     right: &RelSchema,
@@ -211,27 +252,24 @@ fn do_join(
 
     let mut out_rows: Vec<Vec<Value>> = Vec::new();
     if !pairs.is_empty() {
-        // Hash join: build on the right side.
-        let mut table: HashMap<String, Vec<usize>> = HashMap::new();
+        // Hash join: build on the right side. Composite keys stay
+        // `Vec<String>` — joining per-column `group_key`s with a
+        // separator would let a separator byte *inside* a value shift
+        // the key boundary (`("a\u{1f}", "b")` vs `("a", "\u{1f}b")`)
+        // and fabricate equi-join matches.
+        ctx.charge((left.rows.len() + right.rows.len()) as u64); // build + probe
+        let mut table: HashMap<Vec<String>, Vec<usize>> = HashMap::new();
         for (ri, rrow) in right.rows.iter().enumerate() {
-            let key: String = pairs
-                .iter()
-                .map(|(_, r)| rrow[*r].group_key())
-                .collect::<Vec<_>>()
-                .join("\u{1f}");
             // NULL keys never match in SQL equi-joins.
             if pairs.iter().any(|(_, r)| rrow[*r].is_null()) {
                 continue;
             }
+            let key: Vec<String> = pairs.iter().map(|(_, r)| rrow[*r].group_key()).collect();
             table.entry(key).or_default().push(ri);
         }
         for lrow in &left.rows {
             let null_key = pairs.iter().any(|(l, _)| lrow[*l].is_null());
-            let key: String = pairs
-                .iter()
-                .map(|(l, _)| lrow[*l].group_key())
-                .collect::<Vec<_>>()
-                .join("\u{1f}");
+            let key: Vec<String> = pairs.iter().map(|(l, _)| lrow[*l].group_key()).collect();
             let mut matched = false;
             if !null_key {
                 if let Some(ris) = table.get(&key) {
@@ -255,6 +293,7 @@ fn do_join(
         }
     } else {
         // Theta join: nested loop.
+        ctx.charge((left.rows.len() * right.rows.len().max(1)) as u64);
         for lrow in &left.rows {
             let mut matched = false;
             for rrow in &right.rows {
@@ -274,6 +313,7 @@ fn do_join(
             }
         }
     }
+    ctx.charge(out_rows.len() as u64); // row materialization
     Ok(Relation {
         schema: combined,
         rows: out_rows,
@@ -281,7 +321,7 @@ fn do_join(
 }
 
 /// Output column name for a select item.
-fn item_name(item: &SelectItem) -> String {
+pub(crate) fn item_name(item: &SelectItem) -> String {
     match item {
         SelectItem::Wildcard => "*".to_string(),
         SelectItem::Expr { expr, alias } => match alias {
@@ -369,17 +409,18 @@ fn exec_query(
         if q.group_by.is_empty() {
             groups.push(rel.rows.iter().collect());
         } else {
-            let mut index: HashMap<String, usize> = HashMap::new();
+            // Composite grouping keys stay `Vec<String>` for the same
+            // boundary-shift reason as hash-join keys.
+            let mut index: HashMap<Vec<String>, usize> = HashMap::new();
             for row in &rel.rows {
                 let scope = Scope {
                     schema: &rel.schema,
                     row,
                     parent: outer,
                 };
-                let mut key = String::new();
+                let mut key = Vec::with_capacity(q.group_by.len());
                 for g in &q.group_by {
-                    key.push_str(&eval(ctx, g, &scope)?.group_key());
-                    key.push('\u{1f}');
+                    key.push(eval(ctx, g, &scope)?.group_key());
                 }
                 match index.get(&key) {
                     Some(&i) => groups[i].push(row),
@@ -444,21 +485,19 @@ fn exec_query(
         }
     }
 
-    // DISTINCT.
+    // DISTINCT — row keys as `Vec<String>`, never joined.
     if q.distinct {
-        let mut seen = std::collections::HashSet::new();
+        ctx.charge(produced.len() as u64);
+        let mut seen: std::collections::HashSet<Vec<String>> = std::collections::HashSet::new();
         produced.retain(|(row, _)| {
-            let key: String = row
-                .iter()
-                .map(Value::group_key)
-                .collect::<Vec<_>>()
-                .join("\u{1f}");
+            let key: Vec<String> = row.iter().map(Value::group_key).collect();
             seen.insert(key)
         });
     }
 
     // ORDER BY (stable).
     if !q.order_by.is_empty() {
+        ctx.charge(produced.len() as u64);
         let dirs: Vec<bool> = q.order_by.iter().map(|o| o.asc).collect();
         produced.sort_by(|(_, ka), (_, kb)| {
             for ((a, b), asc) in ka.iter().zip(kb).zip(&dirs) {
@@ -518,8 +557,15 @@ mod tests {
         db
     }
 
+    /// Run through BOTH engines and insist on byte-identical results —
+    /// every unit test in this module doubles as a batch-vs-row
+    /// equivalence check.
     fn run(db: &Database, sql: &str) -> ResultSet {
-        execute(db, &parse_query(sql).unwrap()).unwrap()
+        let q = parse_query(sql).unwrap();
+        let row = execute_rowwise(db, &q).unwrap();
+        let batch = crate::batch::execute(db, &q).unwrap();
+        assert_eq!(row, batch, "batch engine diverged from row engine: {sql}");
+        row
     }
 
     #[test]
@@ -674,7 +720,11 @@ mod tests {
         let q =
             parse_query("SELECT name FROM people JOIN pets ON people.id = pets.owner_id").unwrap();
         assert!(matches!(
-            execute(&db, &q),
+            execute_rowwise(&db, &q),
+            Err(EngineError::AmbiguousColumn(_))
+        ));
+        assert!(matches!(
+            crate::batch::execute(&db, &q),
             Err(EngineError::AmbiguousColumn(_))
         ));
     }
@@ -776,6 +826,105 @@ mod tests {
              (SELECT * FROM people WHERE city = p.city AND id <> p.id)",
         );
         assert_eq!(rs.rows.len(), 2); // bob + dan
+    }
+
+    /// Two-column tables whose values embed U+001F so the *joined*
+    /// key strings of non-matching rows coincide: `("a\u{1f}", "b")`
+    /// vs `("a", "\u{1f}b")`.
+    fn unit_sep_db() -> Database {
+        let mut db = Database::new("sep");
+        db.create_table(
+            TableSchema::new("l")
+                .column("k1", ColumnType::Text)
+                .column("k2", ColumnType::Text),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new("r")
+                .column("k1", ColumnType::Text)
+                .column("k2", ColumnType::Text)
+                .column("tag", ColumnType::Text),
+        )
+        .unwrap();
+        db.insert("l", vec![Value::from("a\u{1f}"), Value::from("b")])
+            .unwrap();
+        db.insert(
+            "r",
+            vec![Value::from("a"), Value::from("\u{1f}b"), Value::from("x")],
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn join_keys_do_not_collide_across_boundaries() {
+        // Regression: with `\u{1f}`-joined composite keys these two
+        // rows hashed identically and the equi-join fabricated a match.
+        let rs = run(
+            &unit_sep_db(),
+            "SELECT tag FROM l JOIN r ON l.k1 = r.k1 AND l.k2 = r.k2",
+        );
+        assert!(rs.rows.is_empty(), "false equi-join match on U+001F keys");
+    }
+
+    #[test]
+    fn group_keys_do_not_collide_across_boundaries() {
+        let mut db = unit_sep_db();
+        db.insert("l", vec![Value::from("a"), Value::from("\u{1f}b")])
+            .unwrap();
+        // Two distinct (k1, k2) pairs whose joined keys coincide must
+        // stay two groups / two distinct rows.
+        let rs = run(&db, "SELECT k1, k2, COUNT(*) FROM l GROUP BY k1, k2");
+        assert_eq!(rs.rows.len(), 2);
+        let rs = run(&db, "SELECT DISTINCT k1, k2 FROM l");
+        assert_eq!(rs.rows.len(), 2);
+    }
+
+    #[test]
+    fn large_integers_group_and_join_exactly() {
+        // 2⁵³ and 2⁵³+1 collapse to the same f64; the old key encoding
+        // merged them in GROUP BY, DISTINCT, and equi-joins.
+        let a = 1i64 << 53;
+        let mut db = Database::new("big");
+        db.create_table(TableSchema::new("t").column("v", ColumnType::Int))
+            .unwrap();
+        db.create_table(TableSchema::new("u").column("v", ColumnType::Int))
+            .unwrap();
+        for v in [a, a + 1] {
+            db.insert("t", vec![Value::Int(v)]).unwrap();
+        }
+        db.insert("u", vec![Value::Int(a)]).unwrap();
+        let rs = run(&db, "SELECT v, COUNT(*) FROM t GROUP BY v");
+        assert_eq!(rs.rows.len(), 2, "large ints merged in GROUP BY");
+        let rs = run(&db, "SELECT DISTINCT v FROM t");
+        assert_eq!(rs.rows.len(), 2, "large ints merged in DISTINCT");
+        let rs = run(&db, "SELECT t.v FROM t JOIN u ON t.v = u.v");
+        assert_eq!(rs.rows.len(), 1, "equi-join matched 2^53+1 against 2^53");
+        assert_eq!(rs.rows[0][0], Value::Int(a));
+    }
+
+    #[test]
+    fn negative_zero_groups_with_zero() {
+        let mut db = Database::new("z");
+        db.create_table(TableSchema::new("t").column("v", ColumnType::Float))
+            .unwrap();
+        db.insert("t", vec![Value::Float(-0.0)]).unwrap();
+        db.insert("t", vec![Value::Float(0.0)]).unwrap();
+        db.insert("t", vec![Value::Int(0)]).unwrap();
+        let rs = run(&db, "SELECT v, COUNT(*) FROM t GROUP BY v");
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(rs.rows[0][1], Value::Int(3));
+    }
+
+    #[test]
+    fn row_engine_reports_ticks() {
+        let db = db();
+        let q = parse_query("SELECT name FROM people WHERE age > 30").unwrap();
+        let (_, stats) = execute_rowwise_with_stats(&db, &q).unwrap();
+        // 4-row scan + per-row predicate evaluation + projection.
+        assert!(stats.ticks > 4, "ticks should count scan + eval work");
+        let (_, again) = execute_rowwise_with_stats(&db, &q).unwrap();
+        assert_eq!(stats, again, "tick accounting must be deterministic");
     }
 
     #[test]

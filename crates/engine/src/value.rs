@@ -112,15 +112,40 @@ impl Value {
 
     /// Grouping/distinct key: a canonical string form under which equal
     /// values (incl. `Int(2)` vs `Float(2.0)`) collide.
+    ///
+    /// Integers keep their exact decimal form — encoding through `f64`
+    /// would fold distinct integers with |i| ≥ 2⁵³ into one key. A
+    /// float shares the integer form only when it is exactly integral
+    /// and within `i64` range. Edge cases are normalized so grouping is
+    /// an equivalence: `-0.0` keys as `0` (SQL equality says they are
+    /// equal), and every NaN keys as `nan` (NaNs group together even
+    /// though `compare` treats them as incomparable).
     pub fn group_key(&self) -> String {
         match self {
             Value::Null => "\u{0}null".to_string(),
             Value::Bool(b) => format!("\u{1}{b}"),
-            Value::Int(i) => format!("\u{2}{}", *i as f64),
-            Value::Float(f) => format!("\u{2}{f}"),
+            Value::Int(i) => format!("\u{2}{i}"),
+            Value::Float(f) => {
+                if f.is_nan() {
+                    "\u{2}nan".to_string()
+                } else if *f == 0.0 {
+                    // Covers -0.0: one key for both zeros.
+                    "\u{2}0".to_string()
+                } else if f.fract() == 0.0 && in_i64_range(*f) {
+                    format!("\u{2}{}", *f as i64)
+                } else {
+                    format!("\u{2}{f}")
+                }
+            }
             Value::Str(s) => format!("\u{3}{s}"),
         }
     }
+}
+
+/// Is `f` exactly representable territory for an `i64` cast? The upper
+/// bound is exclusive because `i64::MAX as f64` rounds up to 2⁶³.
+pub(crate) fn in_i64_range(f: f64) -> bool {
+    f >= i64::MIN as f64 && f < -(i64::MIN as f64)
 }
 
 impl fmt::Display for Value {
@@ -190,6 +215,49 @@ mod tests {
         assert_eq!(Value::Int(2).group_key(), Value::Float(2.0).group_key());
         assert_ne!(Value::Int(2).group_key(), Value::from("2").group_key());
         assert_ne!(Value::Null.group_key(), Value::from("null").group_key());
+    }
+
+    #[test]
+    fn group_keys_distinguish_large_integers() {
+        // 2^53 and 2^53 + 1 are the first adjacent integers an f64
+        // cannot tell apart; the old `*i as f64` encoding keyed them
+        // identically.
+        let a = Value::Int(1 << 53);
+        let b = Value::Int((1 << 53) + 1);
+        assert_ne!(a.group_key(), b.group_key());
+        assert_ne!(
+            Value::Int(i64::MAX).group_key(),
+            Value::Int(i64::MAX - 1).group_key()
+        );
+        // Int/Float unification still holds where the float is exact.
+        assert_eq!(
+            Value::Int(1 << 53).group_key(),
+            Value::Float((1u64 << 53) as f64).group_key()
+        );
+    }
+
+    #[test]
+    fn group_keys_normalize_float_edge_cases() {
+        // -0.0 groups with 0 (and with Int(0)); SQL equality agrees.
+        assert_eq!(
+            Value::Float(-0.0).group_key(),
+            Value::Float(0.0).group_key()
+        );
+        assert_eq!(Value::Float(-0.0).group_key(), Value::Int(0).group_key());
+        // NaNs group together, deterministically.
+        assert_eq!(
+            Value::Float(f64::NAN).group_key(),
+            Value::Float(-f64::NAN).group_key()
+        );
+        // Out-of-i64-range integral floats still key as floats, and the
+        // boundary 2^63 never takes the integer path.
+        let big = -(i64::MIN as f64); // 2^63, exclusive bound
+        assert_eq!(big.fract(), 0.0);
+        assert_eq!(Value::Float(big).group_key(), format!("\u{2}{big}"));
+        assert_eq!(
+            Value::Float(i64::MIN as f64).group_key(),
+            Value::Int(i64::MIN).group_key()
+        );
     }
 
     #[test]

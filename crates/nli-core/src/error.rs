@@ -14,6 +14,15 @@ pub enum InterpretError {
     OutOfScope(String),
     /// Engine-level failure while executing a candidate query.
     Execution(String),
+    /// The plan's estimated logical cost exceeds the enforced ceiling
+    /// (per-tenant admission policy); the query was refused before
+    /// execution.
+    CostExceeded {
+        /// Estimated logical cost of the winning plan.
+        estimated: u64,
+        /// The ceiling it violated.
+        ceiling: u64,
+    },
 }
 
 impl fmt::Display for InterpretError {
@@ -25,6 +34,9 @@ impl fmt::Display for InterpretError {
             InterpretError::Translation(m) => write!(f, "translation failed: {m}"),
             InterpretError::OutOfScope(m) => write!(f, "out of scope: {m}"),
             InterpretError::Execution(m) => write!(f, "execution failed: {m}"),
+            InterpretError::CostExceeded { estimated, ceiling } => {
+                write!(f, "plan cost {estimated} exceeds ceiling {ceiling}")
+            }
         }
     }
 }

@@ -1,7 +1,7 @@
 //! The one-call facade: build every index and interpreter for a
 //! database, ask questions, get executed answers.
 
-use nlidb_engine::{execute, Database, ResultSet};
+use nlidb_engine::{execute, explain, Database, Explain, ResultSet};
 use nlidb_nlp::Lexicon;
 use nlidb_obs::TraceBuilder;
 use nlidb_ontology::{generate_ontology, JoinGraph, Ontology};
@@ -61,6 +61,9 @@ pub struct Answer {
     pub result: ResultSet,
     /// The winning interpretation (confidence + explanation).
     pub interpretation: Interpretation,
+    /// Deterministic pre-execution plan estimate (shape, cardinality,
+    /// logical cost) — what cost-aware admission reasoned about.
+    pub explain: Explain,
 }
 
 /// The full NLIDB stack for one database.
@@ -145,7 +148,7 @@ impl NliPipeline {
         question: &str,
         kind: InterpreterKind,
     ) -> Result<Answer, InterpretError> {
-        self.ask_inner(question, kind, None)
+        self.ask_inner(question, kind, None, None)
     }
 
     /// [`NliPipeline::ask_with`], recording per-stage spans into `tb`:
@@ -159,7 +162,33 @@ impl NliPipeline {
         kind: InterpreterKind,
         tb: &mut TraceBuilder,
     ) -> Result<Answer, InterpretError> {
-        self.ask_inner(question, kind, Some(tb))
+        self.ask_inner(question, kind, Some(tb), None)
+    }
+
+    /// [`NliPipeline::ask_with`] under a logical-cost ceiling: when
+    /// the winning plan's estimated cost exceeds `cost_ceiling`, the
+    /// query is refused with [`InterpretError::CostExceeded`] *before*
+    /// execution — the per-tenant admission hook the serving runtime
+    /// enforces.
+    pub fn ask_bounded(
+        &self,
+        question: &str,
+        kind: InterpreterKind,
+        cost_ceiling: Option<u64>,
+    ) -> Result<Answer, InterpretError> {
+        self.ask_inner(question, kind, None, cost_ceiling)
+    }
+
+    /// [`NliPipeline::ask_bounded`], recording per-stage spans into
+    /// `tb` like [`NliPipeline::ask_with_trace`].
+    pub fn ask_with_trace_bounded(
+        &self,
+        question: &str,
+        kind: InterpreterKind,
+        tb: &mut TraceBuilder,
+        cost_ceiling: Option<u64>,
+    ) -> Result<Answer, InterpretError> {
+        self.ask_inner(question, kind, Some(tb), cost_ceiling)
     }
 
     /// The one interpretation-and-execution path; `ask_with` passes no
@@ -173,6 +202,7 @@ impl NliPipeline {
         question: &str,
         kind: InterpreterKind,
         mut tb: Option<&mut TraceBuilder>,
+        cost_ceiling: Option<u64>,
     ) -> Result<Answer, InterpretError> {
         let pipeline_span = tb.as_deref_mut().map(|t| {
             let s = t.open("pipeline");
@@ -221,7 +251,27 @@ impl NliPipeline {
             t.close(s);
         }
 
-        let exec_span = tb.as_deref_mut().map(|t| t.open("execute"));
+        // Pre-execution plan estimate: recorded on the execute span
+        // (annotations never change span costs) and checked against
+        // the admission ceiling before any work happens.
+        let plan = explain(&self.db, &interp.sql);
+        if let Some(ceiling) = cost_ceiling {
+            if plan.est_cost > ceiling {
+                seal(tb, "cost_exceeded");
+                return Err(InterpretError::CostExceeded {
+                    estimated: plan.est_cost,
+                    ceiling,
+                });
+            }
+        }
+
+        let exec_span = tb.as_deref_mut().map(|t| {
+            let s = t.open("execute");
+            t.annotate(s, "plan_shape", plan.shape.as_str());
+            t.annotate(s, "est_cost", plan.est_cost.to_string());
+            t.annotate(s, "est_rows", plan.est_rows.to_string());
+            s
+        });
         let result = execute(&self.db, &interp.sql);
         if let (Some(t), Some(s)) = (tb.as_deref_mut(), exec_span) {
             match &result {
@@ -238,6 +288,7 @@ impl NliPipeline {
                     query: interp.sql.clone(),
                     result,
                     interpretation: interp,
+                    explain: plan,
                 })
             }
             Err(e) => {
@@ -468,6 +519,49 @@ mod tests {
         let t = tb.finish();
         assert_eq!(t.root().unwrap().attr("outcome"), Some("no_interpretation"));
         assert_eq!(t.spans_named("sqlgen").count(), 0, "died before SQL gen");
+    }
+
+    #[test]
+    fn cost_ceiling_refuses_before_execution_and_annotates_plan() {
+        use nlidb_obs::{Clock, ManualClock, TraceBuilder};
+        use std::sync::Arc;
+        let db = db();
+        let nli = NliPipeline::standard(&db);
+        let clock = Arc::new(ManualClock::new());
+
+        // A generous ceiling admits; the execute span carries the plan.
+        let mut tb = TraceBuilder::new(0, clock.clone() as Arc<dyn Clock>);
+        let a = nli
+            .ask_with_trace_bounded(
+                "show products in tools",
+                InterpreterKind::Entity,
+                &mut tb,
+                Some(u64::MAX),
+            )
+            .unwrap();
+        assert_eq!(a.explain.shape, a.query.shape());
+        let t = tb.finish();
+        let exec = t.spans_named("execute").next().unwrap();
+        assert_eq!(exec.attr("plan_shape"), Some(a.explain.shape.as_str()));
+        assert_eq!(
+            exec.attr("est_cost"),
+            Some(a.explain.est_cost.to_string().as_str())
+        );
+
+        // Ceiling zero refuses every plan, before the execute span.
+        let mut tb = TraceBuilder::new(1, clock as Arc<dyn Clock>);
+        let err = nli
+            .ask_with_trace_bounded(
+                "show products in tools",
+                InterpreterKind::Entity,
+                &mut tb,
+                Some(0),
+            )
+            .unwrap_err();
+        assert!(matches!(err, InterpretError::CostExceeded { .. }));
+        let t = tb.finish();
+        assert_eq!(t.root().unwrap().attr("outcome"), Some("cost_exceeded"));
+        assert_eq!(t.spans_named("execute").count(), 0, "never executed");
     }
 
     #[test]

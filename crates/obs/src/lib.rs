@@ -54,8 +54,8 @@ pub use export::{chrome_trace_json, folded_stacks};
 pub use jsonl::{parse_jsonl, parse_trace, ParseError};
 pub use metrics::{Counter, Histogram, HistogramSummary, MetricsRegistry, MetricsReport};
 pub use profile::{
-    critical_path, critical_path_cost, tail_attribution, Profile, ProfileDiff, StageDelta,
-    StageProfile, TailAttribution,
+    attr_cost_breakdown, critical_path, critical_path_cost, tail_attribution, AttrBucket, Profile,
+    ProfileDiff, StageDelta, StageProfile, TailAttribution,
 };
 pub use sink::TraceSink;
 pub use span::{Span, SpanId, Trace, TraceBuilder};

@@ -311,6 +311,54 @@ pub fn tail_attribution(traces: &[Trace], percentile: f64) -> Option<TailAttribu
     })
 }
 
+/// One bucket of an annotation-keyed cost breakdown: every matching
+/// span whose `attr` equals `value` contributes here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrBucket {
+    /// The annotation value the bucket aggregates (e.g. a plan shape).
+    pub value: String,
+    /// Matching spans across the corpus.
+    pub spans: u64,
+    /// Sum of span costs (inclusive of children).
+    pub total_cost: u64,
+}
+
+impl AttrBucket {
+    /// Canonical one-line rendering, fixed format.
+    pub fn export_line(&self) -> String {
+        format!(
+            "attr {} spans={} total={}\n",
+            self.value, self.spans, self.total_cost
+        )
+    }
+}
+
+/// Aggregate span cost by an annotation value: every span named
+/// `span_name` carrying attribute `attr` adds its cost to the bucket
+/// of that attribute's value. Spans of that name *without* the
+/// attribute land in a `"?"` bucket, so the buckets always partition
+/// the name's spans. Buckets are value-ordered — like [`Profile`],
+/// the result is a pure function of the trace set, which is what lets
+/// the perf-drift gate byte-compare cost-by-plan-shape sections.
+pub fn attr_cost_breakdown(traces: &[Trace], span_name: &str, attr: &str) -> Vec<AttrBucket> {
+    let mut buckets: BTreeMap<String, AttrBucket> = BTreeMap::new();
+    for trace in traces {
+        for span in trace.spans_named(span_name) {
+            let value = span.attr(attr).unwrap_or("?");
+            let e = buckets
+                .entry(value.to_string())
+                .or_insert_with(|| AttrBucket {
+                    value: value.to_string(),
+                    spans: 0,
+                    total_cost: 0,
+                });
+            e.spans += 1;
+            e.total_cost += span.cost();
+        }
+    }
+    buckets.into_values().collect()
+}
+
 /// One stage's delta between two profiles (a stage absent from a side
 /// contributes zeros there).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -529,6 +577,33 @@ mod tests {
         assert!(all
             .export_text()
             .contains("split no rung / cache_hit traces=2\n"));
+    }
+
+    #[test]
+    fn attr_breakdown_partitions_cost_by_annotation() {
+        let mut tb = builder(7);
+        let root = tb.open("request");
+        for shape in ["q-scan", "q-join1-agg", "q-scan"] {
+            let e = tb.open("execute");
+            tb.annotate(e, "plan_shape", shape);
+            tb.close(e);
+        }
+        let bare = tb.open("execute");
+        tb.close(bare);
+        tb.close(root);
+        let t = tb.finish();
+        let buckets = attr_cost_breakdown(std::slice::from_ref(&t), "execute", "plan_shape");
+        let keys: Vec<&str> = buckets.iter().map(|b| b.value.as_str()).collect();
+        assert_eq!(keys, vec!["?", "q-join1-agg", "q-scan"], "value-ordered");
+        let scan = &buckets[2];
+        assert_eq!((scan.spans, scan.total_cost), (2, 2));
+        assert_eq!(buckets[0].spans, 1, "annotation-less spans bucket as ?");
+        let total: u64 = buckets.iter().map(|b| b.total_cost).sum();
+        let direct: u64 = t.spans_named("execute").map(Span::cost).sum();
+        assert_eq!(total, direct, "buckets partition the stage's cost");
+        assert_eq!(scan.export_line(), "attr q-scan spans=2 total=2\n");
+        // A pure function of the trace set, like Profile.
+        assert_eq!(buckets, attr_cost_breakdown(&[t], "execute", "plan_shape"));
     }
 
     #[test]

@@ -25,6 +25,15 @@ pub struct ServeMetrics {
     /// Requests refused because the tenant's admission budget was
     /// exhausted (always 0 for tenants without a budget).
     pub quota_refused: AtomicU64,
+    /// Requests shed at admission by the cost-aware policy: their
+    /// learned plan cost exceeded the configured threshold while the
+    /// target queue was under pressure (always 0 with cost-aware
+    /// shedding off — the default).
+    pub shed_cost: AtomicU64,
+    /// Questions refused *before execution* because their plan's
+    /// estimated cost exceeded the tenant's `cost_ceiling` (always 0
+    /// for tenants without a ceiling). Also counted in `refused`.
+    pub cost_refused: AtomicU64,
     /// Standalone questions answered (cache hit or computed).
     pub answered: AtomicU64,
     /// Standalone questions the pipeline could not interpret/execute.
@@ -91,6 +100,8 @@ impl ServeMetrics {
             shed_full: AtomicU64::new(0),
             shed_deadline: AtomicU64::new(0),
             quota_refused: AtomicU64::new(0),
+            shed_cost: AtomicU64::new(0),
+            cost_refused: AtomicU64::new(0),
             answered: AtomicU64::new(0),
             refused: AtomicU64::new(0),
             session_turns: AtomicU64::new(0),
@@ -128,6 +139,8 @@ impl ServeMetrics {
             shed_full: self.shed_full.load(Ordering::Relaxed),
             shed_deadline: self.shed_deadline.load(Ordering::Relaxed),
             quota_refused: self.quota_refused.load(Ordering::Relaxed),
+            shed_cost: self.shed_cost.load(Ordering::Relaxed),
+            cost_refused: self.cost_refused.load(Ordering::Relaxed),
             answered: self.answered.load(Ordering::Relaxed),
             refused: self.refused.load(Ordering::Relaxed),
             session_turns: self.session_turns.load(Ordering::Relaxed),
@@ -208,6 +221,10 @@ pub struct MetricsSnapshot {
     pub shed_deadline: u64,
     /// See [`ServeMetrics::quota_refused`].
     pub quota_refused: u64,
+    /// See [`ServeMetrics::shed_cost`].
+    pub shed_cost: u64,
+    /// See [`ServeMetrics::cost_refused`].
+    pub cost_refused: u64,
     /// See [`ServeMetrics::answered`].
     pub answered: u64,
     /// See [`ServeMetrics::refused`].
@@ -273,13 +290,15 @@ impl MetricsSnapshot {
     }
 
     /// Every scalar counter as `(bare_name, value)`, in export order.
-    fn scalar_fields(&self) -> [(&'static str, u64); 24] {
+    fn scalar_fields(&self) -> [(&'static str, u64); 26] {
         [
             ("submitted", self.submitted),
             ("admitted", self.admitted),
             ("shed_full", self.shed_full),
             ("shed_deadline", self.shed_deadline),
+            ("shed_cost", self.shed_cost),
             ("quota_refused", self.quota_refused),
+            ("cost_refused", self.cost_refused),
             ("answered", self.answered),
             ("refused", self.refused),
             ("session_turns", self.session_turns),
@@ -336,8 +355,14 @@ impl fmt::Display for MetricsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "submitted {}  admitted {}  shed(full) {}  shed(deadline) {}  quota-refused {}",
-            self.submitted, self.admitted, self.shed_full, self.shed_deadline, self.quota_refused
+            "submitted {}  admitted {}  shed(full) {}  shed(deadline) {}  shed(cost) {}  quota-refused {}  cost-refused {}",
+            self.submitted,
+            self.admitted,
+            self.shed_full,
+            self.shed_deadline,
+            self.shed_cost,
+            self.quota_refused,
+            self.cost_refused
         )?;
         writeln!(
             f,

@@ -106,6 +106,26 @@ pub struct ServerConfig {
     pub retry: RetryPolicy,
     /// Per-(worker, interpreter-family) circuit-breaker thresholds.
     pub breaker: BreakerPolicy,
+    /// Cost-aware load shedding (`None` = off, the default — leaving
+    /// admission byte-identical to the pre-cost runtime). When set,
+    /// the submitter remembers the estimated plan cost of every
+    /// answered standalone question; once a target queue is under
+    /// pressure, repeat questions whose learned cost exceeds the
+    /// threshold are shed *before* the queue fills — expensive plans
+    /// go first, cheap ones keep flowing.
+    pub cost_shed: Option<CostShedPolicy>,
+}
+
+/// Knobs for cost-aware shedding (see [`ServerConfig::cost_shed`]).
+/// Both the engagement point and the decision are submitter-owned
+/// state, so cost sheds are as deterministic as every other admission
+/// outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostShedPolicy {
+    /// Queue depth at/above which the policy engages (0 = always).
+    pub pressure_depth: usize,
+    /// Learned plan cost above which an engaged request is shed.
+    pub cost_threshold: u64,
 }
 
 impl Default for ServerConfig {
@@ -117,6 +137,7 @@ impl Default for ServerConfig {
             service_estimate: 1,
             retry: RetryPolicy::default(),
             breaker: BreakerPolicy::default(),
+            cost_shed: None,
         }
     }
 }
@@ -217,6 +238,12 @@ pub struct Completion {
     pub worker: Option<usize>,
     /// Session id, for dialogue turns.
     pub session: Option<u64>,
+    /// Estimated logical cost of the executed plan, present for
+    /// full-fidelity answers (cache hits replay the value learned at
+    /// the miss, so hit and miss completions carry the same cost).
+    /// Like cache provenance, this is accounting — it is excluded
+    /// from [`Completion::signature`].
+    pub plan_cost: Option<u64>,
     /// The outcome.
     pub disposition: Disposition,
 }
@@ -310,6 +337,9 @@ struct TenantRuntime {
     ladder: &'static [InterpreterKind],
     /// Lifetime admission budget (`None` = unlimited).
     admission_budget: Option<u64>,
+    /// Estimated-plan-cost ceiling (`None` = unlimited), enforced by
+    /// the worker before execution.
+    cost_ceiling: Option<u64>,
     /// Per-worker interpretation-cache entries (0 = disabled).
     cache_capacity: usize,
     metrics: ServeMetrics,
@@ -397,6 +427,14 @@ pub struct Server {
     /// [`TenantPolicy::admission_budget`]. Submitter-owned, like the
     /// credit ledger, so quota refusals are deterministic.
     admitted_per_tenant: Vec<u64>,
+    /// Learned plan cost per (tenant, normalized question), fed from
+    /// completions at drain time; the memory cost-aware shedding
+    /// consults. Maintained only when [`ServerConfig::cost_shed`] is
+    /// set. Submitter-owned, like the credit ledger.
+    plan_costs: HashMap<(usize, String), u64>,
+    /// Admitted standalone questions awaiting cost learning at the
+    /// next drain: request id → (tenant, normalized question).
+    pending_costs: HashMap<u64, (usize, String)>,
     next_id: u64,
 }
 
@@ -468,6 +506,7 @@ impl Server {
                     pipeline: Arc::clone(e.pipeline()),
                     ladder: degradation_ladder(e.policy().rung_ceiling),
                     admission_budget: e.policy().admission_budget,
+                    cost_ceiling: e.policy().cost_ceiling,
                     cache_capacity,
                     metrics: ServeMetrics::new(config.workers, cache_capacity == 0),
                     journal: SessionJournal::new(),
@@ -513,6 +552,8 @@ impl Server {
             in_flight: 0,
             rejected: Vec::new(),
             admitted_per_tenant: vec![0; tenant_count],
+            plan_costs: HashMap::new(),
+            pending_costs: HashMap::new(),
             next_id: 0,
             config,
             senders,
@@ -580,6 +621,7 @@ impl Server {
                 id,
                 worker: None,
                 session: spec.session,
+                plan_cost: None,
                 disposition: Disposition::Refused {
                     reason: "no live workers".to_string(),
                 },
@@ -594,6 +636,7 @@ impl Server {
                     id,
                     worker: None,
                     session: spec.session,
+                    plan_cost: None,
                     disposition: Disposition::Refused {
                         reason: "tenant admission budget exhausted".to_string(),
                     },
@@ -614,9 +657,36 @@ impl Server {
                     id,
                     worker: None,
                     session: spec.session,
+                    plan_cost: None,
                     disposition: Disposition::DeadlineExceeded,
                 });
                 return Admission::DeadlineExceeded { id };
+            }
+        }
+        // Cost-aware shedding: under pressure, a standalone question
+        // whose *learned* plan cost exceeds the threshold is shed
+        // before the queue fills — expensive plans go first. First
+        // sightings have no learned cost and pass through; dialogue
+        // turns are never cost-shed (session state must advance).
+        if let Some(policy) = self.config.cost_shed {
+            if depth >= policy.pressure_depth && spec.session.is_none() {
+                let key = (tenant, normalize_question(&spec.question));
+                if self
+                    .plan_costs
+                    .get(&key)
+                    .is_some_and(|&c| c > policy.cost_threshold)
+                {
+                    metrics.add(|m| &m.shed_cost, 1);
+                    self.trace_reject(tenant, id, spec, depth, "shed_cost");
+                    self.rejected.push(Completion {
+                        id,
+                        worker: None,
+                        session: None,
+                        plan_cost: self.plan_costs.get(&key).copied(),
+                        disposition: Disposition::Shed,
+                    });
+                    return Admission::Shed { id };
+                }
             }
         }
         if depth >= self.config.queue_capacity {
@@ -626,6 +696,7 @@ impl Server {
                 id,
                 worker: None,
                 session: spec.session,
+                plan_cost: None,
                 disposition: Disposition::Shed,
             });
             return Admission::Shed { id };
@@ -652,6 +723,10 @@ impl Server {
         self.senders[worker]
             .send(job)
             .expect("worker alive while server running");
+        if self.config.cost_shed.is_some() && spec.session.is_none() {
+            self.pending_costs
+                .insert(id, (tenant, normalize_question(&spec.question)));
+        }
         self.outstanding[worker] += 1;
         self.in_flight += 1;
         self.admitted_per_tenant[tenant] += 1;
@@ -676,6 +751,7 @@ impl Server {
             id,
             worker: None,
             session: spec.session,
+            plan_cost: None,
             disposition: Disposition::Refused {
                 reason: "unknown tenant fingerprint".to_string(),
             },
@@ -759,6 +835,18 @@ impl Server {
         self.outstanding.iter_mut().for_each(|d| *d = 0);
         out.append(&mut self.rejected);
         out.sort_by_key(|c| c.id);
+        // Learn plan costs for the cost-aware shedder. Requests that
+        // finished without a cost (refusals, bounces) still clear
+        // their pending entry so the map never grows unbounded.
+        if self.config.cost_shed.is_some() {
+            for c in &out {
+                if let Some(key) = self.pending_costs.remove(&c.id) {
+                    if let Some(cost) = c.plan_cost {
+                        self.plan_costs.insert(key, cost);
+                    }
+                }
+            }
+        }
         out
     }
 
@@ -799,6 +887,7 @@ impl Server {
                 id: job.id,
                 worker: None,
                 session,
+                plan_cost: None,
                 disposition: Disposition::Refused {
                     reason: format!(
                         "redelivery budget exhausted after {} bounces",
@@ -824,6 +913,7 @@ impl Server {
                     id: job.id,
                     worker: None,
                     session,
+                    plan_cost: None,
                     disposition: Disposition::DeadlineExceeded,
                 });
             }
@@ -859,6 +949,7 @@ impl Server {
                     id: job.id,
                     worker: None,
                     session,
+                    plan_cost: None,
                     disposition: Disposition::Refused {
                         reason: "no live workers".to_string(),
                     },
@@ -1062,6 +1153,11 @@ fn ride_out_faults(
     }
 }
 
+/// A cached full-fidelity answer: rendered SQL, rendered rows, and
+/// the plan's estimated logical cost (so a cache hit replays the same
+/// `plan_cost` the miss reported).
+type CachedAnswer = (String, Vec<String>, u64);
+
 /// Walk the degradation ladder for one standalone question. Returns
 /// the disposition plus the rendered answer to cache — present only
 /// for a full-fidelity rung-0 answer; degraded answers are never
@@ -1079,9 +1175,10 @@ fn interpret_single(
     retry: &RetryPolicy,
     attempt_base: u32,
     ladder: &[InterpreterKind],
+    cost_ceiling: Option<u64>,
     breakers: &mut [CircuitBreaker],
     mut tracer: Option<&mut TraceBuilder>,
-) -> (Disposition, Option<(String, Vec<String>)>) {
+) -> (Disposition, Option<CachedAnswer>) {
     let mut last_refusal: Option<String> = None;
     for (rung, &kind) in ladder.iter().enumerate() {
         let span = tracer.as_deref_mut().map(|tb| {
@@ -1120,8 +1217,8 @@ fn interpret_single(
             continue;
         }
         let asked = match tracer.as_deref_mut() {
-            Some(tb) => pipeline.ask_with_trace(question, kind, tb),
-            None => pipeline.ask_with(question, kind),
+            Some(tb) => pipeline.ask_with_trace_bounded(question, kind, tb, cost_ceiling),
+            None => pipeline.ask_bounded(question, kind, cost_ceiling),
         };
         match asked {
             Ok(answer) => {
@@ -1130,13 +1227,14 @@ fn interpret_single(
                 if rung == 0 {
                     metrics.add(|m| &m.answered, 1);
                     seal(&mut tracer, "served", "full");
+                    let cost = answer.explain.est_cost;
                     return (
                         Disposition::Answered {
                             sql: answer.sql.clone(),
                             rows: rows.clone(),
                             from_cache: false,
                         },
-                        Some((answer.sql, rows)),
+                        Some((answer.sql, rows, cost)),
                     );
                 }
                 metrics.add(|m| &m.degraded, 1);
@@ -1153,9 +1251,14 @@ fn interpret_single(
             // A semantic refusal means the family is *healthy*: at
             // rung 0 the refusal stands (degrading past a healthy
             // refusal would trade precision for coverage); below it,
-            // the next family down gets its chance.
+            // the next family down gets its chance. A cost-ceiling
+            // refusal is policy, not health — it also stands at rung 0
+            // (a weaker family would only re-estimate the same data).
             Err(e) => {
                 breakers[rung].on_success();
+                if matches!(e, nlidb_core::InterpretError::CostExceeded { .. }) {
+                    metrics.add(|m| &m.cost_refused, 1);
+                }
                 if rung == 0 {
                     metrics.add(|m| &m.refused, 1);
                     seal(&mut tracer, "refusal", "healthy");
@@ -1218,7 +1321,7 @@ fn worker_loop(
     // breakers indexed by the tenant's registration index, sessions
     // keyed by (tenant, session id) — one tenant's questions can never
     // observe another's cached answers, sessions, or breaker state.
-    let mut caches: HashMap<usize, LruCache<String, (String, Vec<String>)>> = HashMap::new();
+    let mut caches: HashMap<usize, LruCache<String, CachedAnswer>> = HashMap::new();
     let mut sessions: HashMap<(usize, u64), ConversationSession<'_>> = HashMap::new();
     let mut breakers: Vec<Vec<CircuitBreaker>> = shared
         .tenants
@@ -1319,15 +1422,18 @@ fn worker_loop(
                     );
                     tb.close(s);
                 }
-                let disposition = match cached {
-                    Some((sql, rows)) => {
+                let (disposition, plan_cost) = match cached {
+                    Some((sql, rows, cost)) => {
                         metrics.add(|m| &m.interp_hits, 1);
                         metrics.add(|m| &m.answered, 1);
-                        Disposition::Answered {
-                            sql,
-                            rows,
-                            from_cache: true,
-                        }
+                        (
+                            Disposition::Answered {
+                                sql,
+                                rows,
+                                from_cache: true,
+                            },
+                            Some(cost),
+                        )
                     }
                     None => {
                         metrics.add(|m| &m.interp_misses, 1);
@@ -1340,9 +1446,11 @@ fn worker_loop(
                             &retry,
                             redeliveries,
                             rt.ladder,
+                            rt.cost_ceiling,
                             &mut breakers[tenant],
                             tracer.as_mut().map(|(tb, _)| tb),
                         );
+                        let plan_cost = cacheable.as_ref().map(|(_, _, c)| *c);
                         if cache_enabled {
                             if let Some(payload) = cacheable {
                                 caches
@@ -1351,13 +1459,14 @@ fn worker_loop(
                                     .put(key, payload);
                             }
                         }
-                        disposition
+                        (disposition, plan_cost)
                     }
                 };
                 Completion {
                     id,
                     worker: Some(worker),
                     session: None,
+                    plan_cost,
                     disposition,
                 }
             }
@@ -1459,6 +1568,7 @@ fn worker_loop(
                     id,
                     worker: Some(worker),
                     session: Some(session),
+                    plan_cost: None,
                     disposition,
                 }
             }
@@ -1643,6 +1753,82 @@ mod tests {
             .all(|c| matches!(c.disposition, Disposition::SessionReply { .. })));
         let m = srv.shutdown();
         assert_eq!(m.session_turns, 3);
+    }
+
+    #[test]
+    fn tenant_cost_ceiling_refuses_before_execution() {
+        let p = pipeline();
+        let clock = Arc::new(ManualClock::new());
+        let mut registry = TenantRegistry::new();
+        registry.register(
+            "capped",
+            Arc::clone(&p),
+            TenantPolicy {
+                cost_ceiling: Some(0),
+                ..TenantPolicy::default()
+            },
+        );
+        let mut srv = Server::start_registry(
+            &registry,
+            ServerConfig::default(),
+            clock as Arc<dyn Clock>,
+            None,
+            None,
+        );
+        srv.submit(&RequestSpec::single("how many customers are there"));
+        let done = srv.drain();
+        match &done[0].disposition {
+            Disposition::Refused { reason } => {
+                assert!(reason.contains("plan cost"), "unexpected reason: {reason}")
+            }
+            other => panic!("expected cost refusal, got {other:?}"),
+        }
+        assert_eq!(done[0].plan_cost, None, "refused plans report no cost");
+        let m = srv.shutdown();
+        assert_eq!(m.cost_refused, 1);
+        assert_eq!(m.refused, 1);
+        assert_eq!(m.answered, 0, "never executed");
+    }
+
+    #[test]
+    fn cost_aware_shedding_drops_expensive_repeats_under_pressure() {
+        let p = pipeline();
+        let clock = Arc::new(ManualClock::new());
+        let cfg = ServerConfig {
+            workers: 1,
+            cost_shed: Some(CostShedPolicy {
+                pressure_depth: 1,
+                cost_threshold: 0,
+            }),
+            ..ServerConfig::default()
+        };
+        let mut srv = Server::start(Arc::clone(&p), cfg, clock as Arc<dyn Clock>);
+        let q = RequestSpec::single("how many customers are there");
+        // Learn the question's plan cost on an unpressured first pass.
+        srv.submit(&q);
+        let first = srv.drain();
+        let learned = first[0].plan_cost.expect("answered questions carry cost");
+        assert!(learned > 0);
+        // Depth 0: below the pressure point, admitted even though the
+        // cost is known. Depth 1: pressure — the known-expensive
+        // repeat is shed while an unlearned question still flows.
+        assert!(matches!(srv.submit(&q), Admission::Admitted { .. }));
+        assert!(matches!(srv.submit(&q), Admission::Shed { .. }));
+        let fresh = RequestSpec::single("show all customers");
+        assert!(matches!(srv.submit(&fresh), Admission::Admitted { .. }));
+        let done = srv.drain();
+        assert_eq!(done.len(), 3);
+        // The cache hit replays the exact cost the miss computed.
+        assert_eq!(done[0].plan_cost, Some(learned));
+        assert!(matches!(done[1].disposition, Disposition::Shed));
+        assert_eq!(
+            done[1].plan_cost,
+            Some(learned),
+            "shed quotes the learned cost"
+        );
+        let m = srv.shutdown();
+        assert_eq!(m.shed_cost, 1);
+        assert_eq!(m.shed_full, 0);
     }
 
     #[test]

@@ -45,6 +45,13 @@ pub struct TenantPolicy {
     /// (`Some(0)` disables caching; `None` inherits the server-wide
     /// `interp_cache` config).
     pub interp_cache: Option<usize>,
+    /// Maximum estimated logical plan cost (see
+    /// [`nlidb_engine::explain`]) a standalone question of this tenant
+    /// may execute (`None` = unlimited). Enforced by the worker
+    /// *before* execution: a winning plan estimated above the ceiling
+    /// is refused with `InterpretError::CostExceeded` and counted in
+    /// the `cost_refused` metric — the query never runs.
+    pub cost_ceiling: Option<u64>,
 }
 
 impl Default for TenantPolicy {
@@ -53,6 +60,7 @@ impl Default for TenantPolicy {
             admission_budget: None,
             rung_ceiling: InterpreterKind::Hybrid,
             interp_cache: None,
+            cost_ceiling: None,
         }
     }
 }

@@ -233,6 +233,50 @@ fn rung_ceiling_is_per_tenant() {
     server.shutdown();
 }
 
+/// A cost ceiling caps one tenant's plans without touching its
+/// neighbours: the capped tenant's question is refused *before
+/// execution* with `cost_refused`, while the co-resident tenant's
+/// identical traffic answers normally.
+#[test]
+fn cost_ceiling_is_per_tenant() {
+    let cache = Arc::new(JoinPathCache::new(256));
+    let mut registry = TenantRegistry::new();
+    let (fp_a, p_a) = tenant_pipeline(&retail_database(7), &cache);
+    let (fp_b, p_b) = tenant_pipeline(&all_domains(42)[1], &cache);
+    registry.register(
+        "retail-capped",
+        p_a,
+        TenantPolicy {
+            cost_ceiling: Some(0),
+            ..TenantPolicy::default()
+        },
+    );
+    registry.register("hr", p_b, TenantPolicy::default());
+    let clock = Arc::new(ManualClock::new());
+    let mut server = TenantServer::start(&registry, config(2), clock as Arc<dyn Clock>);
+    server.submit(fp_a, &RequestSpec::single("how many customers are there"));
+    server.submit(fp_b, &RequestSpec::single("how many employees are there"));
+    let done = server.drain();
+    assert_eq!(done.len(), 2);
+    match &done[0].disposition {
+        Disposition::Refused { reason } => {
+            assert!(reason.contains("plan cost"), "{reason}")
+        }
+        other => panic!("expected a cost refusal, got {other:?}"),
+    }
+    assert!(
+        matches!(done[1].disposition, Disposition::Answered { .. }),
+        "the uncapped co-tenant answers normally"
+    );
+    assert!(done[1].plan_cost.is_some());
+    let a = server.tenant_metrics(fp_a).unwrap();
+    assert_eq!((a.cost_refused, a.answered), (1, 0));
+    let b = server.tenant_metrics(fp_b).unwrap();
+    assert_eq!((b.cost_refused, b.answered), (0, 1));
+    let global = server.shutdown();
+    assert_eq!(global.cost_refused, 1);
+}
+
 /// Single-tenant lockstep: a plain [`Server`] is a one-tenant registry
 /// under the hood, and its global and tenant-scope counters must agree
 /// exactly (the per-tenant breakdown costs nothing and invents

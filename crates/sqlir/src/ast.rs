@@ -606,6 +606,39 @@ impl Query {
             .max()
             .unwrap_or(0)
     }
+
+    /// Compact, deterministic plan-shape label: `q` plus one tag per
+    /// structural feature, e.g. `q-scan`, `q-join1-agg-sort`,
+    /// `q-filter-sub2`. Used to attribute execution cost by plan shape
+    /// in profiles — same shape string ⇒ same operator skeleton.
+    pub fn shape(&self) -> String {
+        let mut s = String::from("q");
+        if self.joins.is_empty() {
+            s.push_str("-scan");
+        } else {
+            s.push_str(&format!("-join{}", self.joins.len()));
+        }
+        if self.where_clause.is_some() {
+            s.push_str("-filter");
+        }
+        if self.has_aggregation() {
+            s.push_str("-agg");
+        }
+        if self.distinct {
+            s.push_str("-distinct");
+        }
+        if !self.order_by.is_empty() {
+            s.push_str("-sort");
+        }
+        if self.limit.is_some() {
+            s.push_str("-limit");
+        }
+        let depth = self.nesting_depth();
+        if depth > 0 {
+            s.push_str(&format!("-sub{depth}"));
+        }
+        s
+    }
 }
 
 #[cfg(test)]
@@ -628,6 +661,21 @@ mod tests {
         assert!(!q.has_aggregation());
         assert_eq!(q.table_count(), 1);
         assert_eq!(q.nesting_depth(), 0);
+    }
+
+    #[test]
+    fn shape_labels_are_structural() {
+        let mut q = flat_query();
+        assert_eq!(q.shape(), "q-scan-filter");
+        q.where_clause = None;
+        assert_eq!(q.shape(), "q-scan");
+        q.select = vec![SelectItem::expr(Expr::count_star())];
+        q.order_by = vec![OrderByItem {
+            expr: Expr::col("city"),
+            asc: true,
+        }];
+        q.limit = Some(5);
+        assert_eq!(q.shape(), "q-scan-agg-sort-limit");
     }
 
     #[test]
