@@ -1,4 +1,4 @@
-//! The reproduction experiments E1–E18 (see `EXPERIMENTS.md`).
+//! The reproduction experiments E1–E19 (see `EXPERIMENTS.md`).
 //!
 //! The paper is a tutorial: it publishes claims, not tables. Each
 //! experiment here operationalizes one claim into a measured table;
@@ -22,14 +22,14 @@ use nlidb_sqlir::ComplexityClass;
 use crate::workloads::{evaluate, paraphrased, setup_domain, DomainSetup};
 
 /// All experiment identifiers, in order.
-pub const EXPERIMENT_IDS: [&str; 18] = [
+pub const EXPERIMENT_IDS: [&str; 19] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18",
+    "e16", "e17", "e18", "e19",
 ];
 
 /// One-line description per experiment, in [`EXPERIMENT_IDS`] order
 /// (the `--list` output of the `experiments` binary).
-pub const EXPERIMENT_SUMMARIES: [(&str, &str); 18] = [
+pub const EXPERIMENT_SUMMARIES: [(&str, &str); 19] = [
     (
         "e1",
         "capability matrix: family accuracy per §3 complexity rung",
@@ -93,6 +93,10 @@ pub const EXPERIMENT_SUMMARIES: [(&str, &str); 18] = [
         "e18",
         "engine equivalence: batch ≡ row oracle, vectorized tick savings",
     ),
+    (
+        "e19",
+        "candidate validation: rerank+validate precision vs pick-first",
+    ),
 ];
 
 /// Run one experiment by id; `None` for unknown ids.
@@ -116,6 +120,7 @@ pub fn run_experiment(id: &str, seed: u64) -> Option<Table> {
         "e16" => Some(e16_trace_profile(seed)),
         "e17" => Some(e17_multi_tenant(seed)),
         "e18" => Some(e18_engine_equivalence(seed)),
+        "e19" => Some(e19_candidate_validation(seed)),
         _ => None,
     }
 }
@@ -2154,4 +2159,125 @@ pub fn e18_engine_equivalence(seed: u64) -> Table {
         "rerun byte-identical".to_string(),
     ]);
     t
+}
+
+/// E19 — the candidate-validation payoff (the §6 guardrail claim:
+/// interpretations should be *proposed, checked, and approved*, not
+/// executed on faith). On the E4 regime (six domains, mixed
+/// complexity × paraphrase), each family answers every question two
+/// ways: pick-first (execute the top-confidence interpretation) and
+/// approved ([`nlidb_core::pipeline::NliPipeline::ask_approved`]:
+/// rerank the candidate set, validate each candidate against schema,
+/// grounding, shape, and cost *before* execution, execute the first
+/// survivor). Precision is over answered questions, so the lift comes
+/// from two effects: vetoing every candidate of an unanswerable
+/// reading (the answer becomes a refusal instead of a wrong table) and
+/// rescuing a lower-ranked valid reading ("rescued"). The whole pass
+/// runs twice and is asserted byte-identical.
+pub fn e19_candidate_validation(seed: u64) -> Table {
+    use nlidb_core::InterpretError;
+
+    #[derive(Default, Clone, Copy)]
+    struct Tally {
+        questions: usize,
+        candidates: usize,
+        rescued: usize,
+        vetoed: usize,
+    }
+    let build = || {
+        let mut pick: HashMap<InterpreterKind, EvalOutcome> = HashMap::new();
+        let mut appr: HashMap<InterpreterKind, EvalOutcome> = HashMap::new();
+        let mut tally: HashMap<InterpreterKind, Tally> = HashMap::new();
+        for (i, name) in DOMAIN_NAMES.iter().enumerate() {
+            let setup = setup_domain(name, seed.wrapping_add(i as u64), 200);
+            let base = spider_like(&setup.slots, seed.wrapping_add(600 + i as u64), 40);
+            // Mix paraphrase levels question-by-question, as E4 does.
+            let mut suite = Vec::new();
+            for (j, p) in base.iter().enumerate() {
+                let level = (j % 4) as u8;
+                suite.extend(paraphrased(std::slice::from_ref(p), level, seed ^ j as u64));
+            }
+            // Unanswerable probes — the §6 guardrail case: every 4th
+            // question re-asked with its protected value swapped for a
+            // quoted string the database does not hold. There is no
+            // right answer; a family that executes anyway pays
+            // precision, while validation vetoes the ungrounded
+            // literal and refuses. Gold stays the original query, so
+            // an executed probe can never count as correct.
+            let probes: Vec<_> = base
+                .iter()
+                .enumerate()
+                .filter(|(j, p)| {
+                    j % 4 == 0
+                        && p.protected
+                            .first()
+                            .is_some_and(|v| p.question.contains(v.as_str()))
+                })
+                .map(|(j, p)| {
+                    let v = p.protected.first().expect("filtered on a value");
+                    let mut q = p.clone();
+                    q.question = q.question.replace(v.as_str(), &format!("'zorblatt{j}'"));
+                    q
+                })
+                .collect();
+            suite.extend(probes);
+            for kind in InterpreterKind::all() {
+                pick.entry(kind)
+                    .or_default()
+                    .merge(evaluate(&setup, kind, &suite));
+                let a = appr.entry(kind).or_default();
+                let t = tally.entry(kind).or_default();
+                for pair in &suite {
+                    t.questions += 1;
+                    match setup.pipeline.ask_approved(&pair.question, kind) {
+                        Ok(ap) => {
+                            let ok = execution_match(&setup.db, &pair.sql, &ap.answer.query);
+                            a.record(true, ok);
+                            t.candidates += ap.report.candidate_count;
+                            t.vetoed += ap.report.vetoed_count();
+                            if ap.report.chosen_rank > 0 {
+                                t.rescued += 1;
+                            }
+                        }
+                        Err(InterpretError::AllCandidatesRejected { count, .. }) => {
+                            a.record(false, false);
+                            t.candidates += count;
+                            t.vetoed += count;
+                        }
+                        Err(_) => a.record(false, false),
+                    }
+                }
+            }
+        }
+        let mut t = Table::new([
+            "interpreter",
+            "cands/q",
+            "pick-first prec",
+            "approved prec",
+            "Δ prec",
+            "rescued",
+            "rejected",
+        ])
+        .title("E19 — candidate validation (§6 guardrails) vs pick-first execution");
+        for kind in InterpreterKind::all() {
+            let (p, a, y) = (pick[&kind], appr[&kind], tally[&kind]);
+            t.row([
+                kind.label().to_string(),
+                format!("{:.2}", y.candidates as f64 / y.questions as f64),
+                pct(p.precision()),
+                pct(a.precision()),
+                format!("{:+.1}pp", (a.precision() - p.precision()) * 100.0),
+                y.rescued.to_string(),
+                y.vetoed.to_string(),
+            ]);
+        }
+        t
+    };
+    let (first, rerun) = (build(), build());
+    assert_eq!(
+        first.to_string(),
+        rerun.to_string(),
+        "E19: rerun must be byte-identical"
+    );
+    first
 }

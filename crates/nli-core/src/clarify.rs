@@ -27,6 +27,25 @@ pub fn needs_clarification(candidates: &[Interpretation], margin: f64) -> bool {
     }
 }
 
+/// Indices of the non-top candidates that sit within `margin` of the
+/// top confidence — the readings a clarification would have offered.
+/// The approved path (`NliPipeline::ask_approved`) uses this to
+/// surface "a clarification would have been asked here" as a
+/// structured annotation on the losing candidates instead of dropping
+/// the ambiguity silently.
+pub fn close_competitors(candidates: &[Interpretation], margin: f64) -> Vec<usize> {
+    let Some(top) = candidates.first() else {
+        return Vec::new();
+    };
+    candidates
+        .iter()
+        .enumerate()
+        .skip(1)
+        .filter(|(_, c)| (top.confidence - c.confidence).abs() <= margin)
+        .map(|(i, _)| i)
+        .collect()
+}
+
 /// Build a multi-choice question from ranked candidates (up to 3
 /// options). Returns `None` when there is nothing to disambiguate.
 pub fn build_clarification(candidates: &[Interpretation]) -> Option<Clarification> {
@@ -96,6 +115,24 @@ mod tests {
         assert!(!needs_clarification(&far, 0.1));
         assert!(!needs_clarification(&single, 0.1));
         assert!(!needs_clarification(&[], 0.1));
+    }
+
+    #[test]
+    fn close_competitors_finds_margin_peers_only() {
+        let cands = vec![
+            interp("lead", 0.80),
+            interp("peer", 0.78),
+            interp("also", 0.71),
+            interp("far", 0.40),
+        ];
+        assert_eq!(close_competitors(&cands, 0.1), vec![1, 2]);
+        assert_eq!(close_competitors(&cands, 0.01), Vec::<usize>::new());
+        assert_eq!(close_competitors(&[], 0.1), Vec::<usize>::new());
+        assert_eq!(
+            close_competitors(&cands[..1], 0.1),
+            Vec::<usize>::new(),
+            "a single candidate has no competitors"
+        );
     }
 
     #[test]

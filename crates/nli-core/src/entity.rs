@@ -997,6 +997,69 @@ mod tests {
         (db, ctx)
     }
 
+    #[test]
+    fn ambiguous_values_yield_candidates_with_distinct_provenance() {
+        // "Austin" is a city of both patients and doctors: the family
+        // must emit both readings, each grounding the same question
+        // span to a different column.
+        let mut db = Database::new("clinic");
+        db.create_table(
+            TableSchema::new("patients")
+                .column("id", ColumnType::Int)
+                .column("city", ColumnType::Text)
+                .primary_key("id"),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new("doctors")
+                .column("id", ColumnType::Int)
+                .column("city", ColumnType::Text)
+                .primary_key("id"),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new("visits")
+                .column("id", ColumnType::Int)
+                .column("patient_id", ColumnType::Int)
+                .column("doctor_id", ColumnType::Int)
+                .primary_key("id")
+                .foreign_key("patient_id", "patients", "id")
+                .foreign_key("doctor_id", "doctors", "id"),
+        )
+        .unwrap();
+        for i in 0..2i64 {
+            db.insert("patients", vec![Value::Int(i), Value::from("Austin")])
+                .unwrap();
+            db.insert("doctors", vec![Value::Int(i), Value::from("Austin")])
+                .unwrap();
+            db.insert("visits", vec![Value::Int(i), Value::Int(i), Value::Int(i)])
+                .unwrap();
+        }
+        let ctx = SchemaContext::build(&db);
+        let set =
+            crate::candidates::gather(&EntityInterpreter::new(), "show visits in Austin", &ctx, 5);
+        assert!(
+            set.len() >= 2,
+            "both readings expected: {:?}",
+            set.candidates
+        );
+        let value_targets: Vec<Vec<&str>> = set
+            .candidates
+            .iter()
+            .map(|c| {
+                c.provenance
+                    .iter()
+                    .filter(|g| g.target.starts_with("value:"))
+                    .map(|g| g.target.as_str())
+                    .collect()
+            })
+            .collect();
+        assert_ne!(
+            value_targets[0], value_targets[1],
+            "the two readings must ground the value differently"
+        );
+    }
+
     fn best_sql(q: &str, ctx: &SchemaContext) -> String {
         EntityInterpreter::new()
             .best(q, ctx)

@@ -23,6 +23,14 @@ pub enum InterpretError {
         /// The ceiling it violated.
         ceiling: u64,
     },
+    /// Every candidate in the set failed pre-execution validation
+    /// (`validate::validate_candidate`); nothing was safe to run.
+    AllCandidatesRejected {
+        /// How many candidates were considered.
+        count: usize,
+        /// Deterministic summary of the rejection reasons.
+        reasons: String,
+    },
 }
 
 impl fmt::Display for InterpretError {
@@ -36,6 +44,12 @@ impl fmt::Display for InterpretError {
             InterpretError::Execution(m) => write!(f, "execution failed: {m}"),
             InterpretError::CostExceeded { estimated, ceiling } => {
                 write!(f, "plan cost {estimated} exceeds ceiling {ceiling}")
+            }
+            InterpretError::AllCandidatesRejected { count, reasons } => {
+                write!(
+                    f,
+                    "all {count} candidates rejected by validation: {reasons}"
+                )
             }
         }
     }

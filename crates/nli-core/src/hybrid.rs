@@ -339,6 +339,31 @@ mod tests {
     }
 
     #[test]
+    fn candidate_sets_are_retagged_hybrid_with_contiguous_ranks() {
+        let ctx = ctx();
+        let mut h = HybridInterpreter::new();
+        h.train(&training(), &ctx, 7);
+        let set = crate::candidates::gather(&h, "products in tools", &ctx, 5);
+        assert_eq!(set.family, InterpreterKind::Hybrid);
+        assert!(!set.is_empty());
+        for (i, c) in set.candidates.iter().enumerate() {
+            assert_eq!(c.rank, i, "ranks mirror the merged pool order");
+            assert_eq!(c.interpretation.source, InterpreterKind::Hybrid);
+        }
+        // The merged pool grounds the value mention like its entity
+        // parent would.
+        assert!(
+            set.top()
+                .unwrap()
+                .provenance
+                .iter()
+                .any(|g| g.target == "value:products.category=tools"),
+            "{:?}",
+            set.top().unwrap().provenance
+        );
+    }
+
+    #[test]
     fn entity_only_when_untrained() {
         let ctx = ctx();
         let h = HybridInterpreter::new();

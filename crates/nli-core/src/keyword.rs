@@ -74,6 +74,36 @@ mod tests {
     }
 
     #[test]
+    fn candidate_sets_carry_provenance_within_the_capability_ceiling() {
+        let ctx = ctx();
+        let set =
+            crate::candidates::gather(&KeywordInterpreter::new(), "products in tools", &ctx, 5);
+        assert_eq!(set.family, InterpreterKind::Keyword);
+        assert!(!set.is_empty());
+        let top = set.top().unwrap();
+        assert!(
+            top.provenance
+                .iter()
+                .any(|g| g.target == "concept:products"),
+            "{:?}",
+            top.provenance
+        );
+        assert!(
+            top.provenance
+                .iter()
+                .any(|g| g.target == "value:products.category=tools"),
+            "{:?}",
+            top.provenance
+        );
+        // The selection-only ceiling holds for every candidate, not
+        // just the best one.
+        for c in &set.candidates {
+            assert!(!c.interpretation.sql.has_aggregation());
+            assert!(!c.interpretation.sql.has_subquery());
+        }
+    }
+
+    #[test]
     fn simple_filter_works() {
         let ctx = ctx();
         let i = KeywordInterpreter::new()

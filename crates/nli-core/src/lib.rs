@@ -22,7 +22,16 @@
 //! facade. [`fallback`] turns the family ordering into a graceful
 //! degradation ladder for serving layers: when a preferred family is
 //! faulted, answer with the next family down and say so.
+//!
+//! [`candidates`] and [`validate`] add the Ask → Plan → Approve
+//! guardrail workflow: every family's ranked pool becomes a
+//! [`CandidateSet`] with token-level provenance, a deterministic
+//! validation pass filters candidates *before* execution
+//! (schema-validity, shape, value grounding, cost ceiling), and
+//! [`NliPipeline::ask_approved`](pipeline::NliPipeline::ask_approved)
+//! executes the first survivor with a full [`ValidationReport`].
 
+pub mod candidates;
 pub mod clarify;
 pub mod entity;
 pub mod error;
@@ -36,9 +45,12 @@ pub mod oql;
 pub mod pattern;
 pub mod pipeline;
 pub mod signals;
+pub mod validate;
 
+pub use candidates::{Candidate, CandidateSet, Grounding};
 pub use error::InterpretError;
 pub use fallback::{degradation_ladder, Degraded};
 pub use interpretation::{Interpretation, Interpreter, InterpreterKind};
 pub use oql::{Oql, OqlExpr, OqlPredicate, PropRef};
-pub use pipeline::{NliPipeline, SchemaContext};
+pub use pipeline::{ApprovedAnswer, NliPipeline, SchemaContext, ValidationReport};
+pub use validate::Rejection;

@@ -797,6 +797,58 @@ mod tests {
     }
 
     #[test]
+    fn ungrounded_quoted_literals_are_flagged_by_validation() {
+        // Same data as ctx(), built locally so validation can
+        // point-check the stored values.
+        let mut db = Database::new("d");
+        db.create_table(
+            TableSchema::new("products")
+                .column("id", ColumnType::Int)
+                .column("name", ColumnType::Text)
+                .column("category", ColumnType::Text)
+                .column("price", ColumnType::Float)
+                .primary_key("id"),
+        )
+        .unwrap();
+        for (id, n, c, p) in [
+            (1, "Anvil", "tools", 10.0),
+            (2, "Rope", "tools", 5.0),
+            (3, "Piano", "music", 500.0),
+            (4, "Flute", "music", 90.0),
+        ] {
+            db.insert(
+                "products",
+                vec![
+                    Value::Int(id),
+                    Value::from(n),
+                    Value::from(c),
+                    Value::Float(p),
+                ],
+            )
+            .unwrap();
+        }
+        let ctx = SchemaContext::build(&db);
+        let n = NeuralInterpreter::train(&examples(), &ctx, 7);
+        // A quoted value with no index hit is copied into the SQL
+        // verbatim — the candidate *parses* but can only return an
+        // empty answer. The validation layer catches exactly this.
+        let set = crate::candidates::gather(&n, "show products in 'gadgets'", &ctx, 5);
+        assert!(!set.is_empty(), "sketch should still fire");
+        let top = set.top().unwrap();
+        assert!(
+            top.sql_text().contains("'gadgets'"),
+            "verbatim literal expected: {}",
+            top.sql_text()
+        );
+        let r =
+            crate::validate::validate_candidate(&db, &ctx.ontology, &top.interpretation.sql, None);
+        assert!(
+            r.iter().any(|x| x.label() == "ungrounded_value"),
+            "validation must flag the ungrounded literal: {r:?}"
+        );
+    }
+
+    #[test]
     fn grounds_numeric_condition_values() {
         let ctx = ctx();
         let n = NeuralInterpreter::train(&examples(), &ctx, 7);

@@ -71,6 +71,34 @@ mod tests {
     }
 
     #[test]
+    fn candidate_sets_ground_aggregation_columns() {
+        let ctx = ctx();
+        let set = crate::candidates::gather(
+            &PatternInterpreter::new(),
+            "total revenue by region",
+            &ctx,
+            5,
+        );
+        assert_eq!(set.family, InterpreterKind::Pattern);
+        let top = set.top().unwrap();
+        assert_eq!(top.rank, 0);
+        assert!(
+            top.provenance
+                .iter()
+                .any(|g| g.target == "column:sales.revenue"),
+            "{:?}",
+            top.provenance
+        );
+        assert!(
+            top.provenance
+                .iter()
+                .any(|g| g.target == "column:sales.region"),
+            "{:?}",
+            top.provenance
+        );
+    }
+
+    #[test]
     fn total_by_pattern() {
         let ctx = ctx();
         let i = PatternInterpreter::new()

@@ -66,6 +66,70 @@ pub struct Answer {
     pub explain: Explain,
 }
 
+/// Clarification margin the approved path uses to flag close
+/// competitors (same margin E9's dialogue experiment asks at).
+const CLARIFY_MARGIN: f64 = 0.15;
+
+/// One candidate the validation loop rejected (or, when every reason
+/// is [`crate::validate::Rejection::AmbiguousWithTop`], annotated as a
+/// close competitor without being vetoed).
+#[derive(Debug, Clone)]
+pub struct RejectedCandidate {
+    /// The candidate's rank in the family's original confidence order.
+    pub rank: usize,
+    /// Its rendered SQL.
+    pub sql: String,
+    /// Every rejection reason, in validation order.
+    pub reasons: Vec<crate::validate::Rejection>,
+}
+
+impl RejectedCandidate {
+    /// True when at least one reason is a veto (anything other than
+    /// the ambiguity annotation).
+    pub fn is_vetoed(&self) -> bool {
+        self.reasons
+            .iter()
+            .any(|r| !matches!(r, crate::validate::Rejection::AmbiguousWithTop { .. }))
+    }
+}
+
+/// What the approve step decided: how many candidates were considered,
+/// which one won, and why the losers lost. Journaled by `serve` as the
+/// audit trail.
+#[derive(Debug, Clone)]
+pub struct ValidationReport {
+    /// The interpreter family asked.
+    pub family: InterpreterKind,
+    /// Candidates in the gathered set.
+    pub candidate_count: usize,
+    /// Original confidence-order rank of the approved candidate
+    /// (0 = the pick-first baseline would have chosen the same).
+    pub chosen_rank: usize,
+    /// Losing candidates with structured reasons, ordered by rank.
+    pub rejected: Vec<RejectedCandidate>,
+    /// The approved candidate's provenance digest
+    /// ([`crate::candidates::Candidate::provenance_digest`]).
+    pub provenance_digest: u64,
+}
+
+impl ValidationReport {
+    /// Candidates actually vetoed by validation (ambiguity annotations
+    /// alone don't count).
+    pub fn vetoed_count(&self) -> usize {
+        self.rejected.iter().filter(|r| r.is_vetoed()).count()
+    }
+}
+
+/// An [`Answer`] that passed pre-execution validation, with its
+/// [`ValidationReport`].
+#[derive(Debug, Clone)]
+pub struct ApprovedAnswer {
+    /// The executed answer.
+    pub answer: Answer,
+    /// The approve-step audit record.
+    pub report: ValidationReport,
+}
+
 /// The full NLIDB stack for one database.
 pub struct NliPipeline {
     db: Database,
@@ -252,17 +316,12 @@ impl NliPipeline {
         }
 
         // Pre-execution plan estimate: recorded on the execute span
-        // (annotations never change span costs) and checked against
-        // the admission ceiling before any work happens.
+        // (annotations never change span costs) and gated by the
+        // validation layer's single cost-ceiling enforcement point.
         let plan = explain(&self.db, &interp.sql);
-        if let Some(ceiling) = cost_ceiling {
-            if plan.est_cost > ceiling {
-                seal(tb, "cost_exceeded");
-                return Err(InterpretError::CostExceeded {
-                    estimated: plan.est_cost,
-                    ceiling,
-                });
-            }
+        if let Err(e) = crate::validate::cost_gate(&plan, cost_ceiling) {
+            seal(tb, "cost_exceeded");
+            return Err(e);
         }
 
         let exec_span = tb.as_deref_mut().map(|t| {
@@ -302,6 +361,289 @@ impl NliPipeline {
     /// flows and experiments).
     pub fn candidates(&self, question: &str, kind: InterpreterKind) -> Vec<Interpretation> {
         self.interpreter(kind).interpret(question, &self.ctx)
+    }
+
+    /// A family's ranked top-`k` [`crate::candidates::CandidateSet`]
+    /// with token-level provenance — the "Ask" step of
+    /// Ask → Plan → Approve.
+    pub fn candidate_set(
+        &self,
+        question: &str,
+        kind: InterpreterKind,
+        k: usize,
+    ) -> crate::candidates::CandidateSet {
+        crate::candidates::gather(self.interpreter(kind), question, &self.ctx, k)
+    }
+
+    /// Ask with guardrails: gather the family's candidate set, rerank
+    /// by confidence then provenance coverage, validate each candidate
+    /// *before* execution, and execute the first survivor. See
+    /// [`NliPipeline::ask_approved_bounded`] for the full contract.
+    pub fn ask_approved(
+        &self,
+        question: &str,
+        kind: InterpreterKind,
+    ) -> Result<ApprovedAnswer, InterpretError> {
+        self.ask_approved_inner(question, kind, None, None)
+    }
+
+    /// [`NliPipeline::ask_approved`] under a logical-cost ceiling: the
+    /// ceiling is one validation check among the others
+    /// ([`crate::validate::validate_candidate`]), so a too-expensive
+    /// top candidate can lose to a cheaper lower-ranked one instead of
+    /// refusing outright. Refusal semantics are preserved: when *no*
+    /// candidate survives and the best-reranked candidate was vetoed
+    /// on cost, the error is [`InterpretError::CostExceeded`] exactly
+    /// as the plain bounded path would have raised; otherwise
+    /// [`InterpretError::AllCandidatesRejected`] lists every reason.
+    pub fn ask_approved_bounded(
+        &self,
+        question: &str,
+        kind: InterpreterKind,
+        cost_ceiling: Option<u64>,
+    ) -> Result<ApprovedAnswer, InterpretError> {
+        self.ask_approved_inner(question, kind, None, cost_ceiling)
+    }
+
+    /// [`NliPipeline::ask_approved`], recording per-stage spans like
+    /// [`NliPipeline::ask_with_trace`] plus candidate-level attributes
+    /// (`candidates`, `rejected`, `chosen_rank`, rejection labels) on
+    /// the pipeline span.
+    pub fn ask_approved_with_trace(
+        &self,
+        question: &str,
+        kind: InterpreterKind,
+        tb: &mut TraceBuilder,
+    ) -> Result<ApprovedAnswer, InterpretError> {
+        self.ask_approved_inner(question, kind, Some(tb), None)
+    }
+
+    /// [`NliPipeline::ask_approved_bounded`] with tracing.
+    pub fn ask_approved_with_trace_bounded(
+        &self,
+        question: &str,
+        kind: InterpreterKind,
+        tb: &mut TraceBuilder,
+        cost_ceiling: Option<u64>,
+    ) -> Result<ApprovedAnswer, InterpretError> {
+        self.ask_approved_inner(question, kind, Some(tb), cost_ceiling)
+    }
+
+    /// The Ask → Plan → Approve path. Stages mirror [`Self::ask_inner`]
+    /// (`pipeline` > `tokenize`/`link`/`interpret`/`sqlgen`/`execute`)
+    /// so traces stay comparable; the interpret stage gathers the whole
+    /// candidate set, and a validation loop sits between sqlgen and
+    /// execute. Everything is deterministic: rerank ties break on
+    /// provenance coverage then rendered SQL.
+    fn ask_approved_inner(
+        &self,
+        question: &str,
+        kind: InterpreterKind,
+        mut tb: Option<&mut TraceBuilder>,
+        cost_ceiling: Option<u64>,
+    ) -> Result<ApprovedAnswer, InterpretError> {
+        let pipeline_span = tb.as_deref_mut().map(|t| {
+            let s = t.open("pipeline");
+            t.annotate(s, "family", kind.label());
+            t.annotate(s, "mode", "approved");
+            let tok = t.open("tokenize");
+            let tokens = nlidb_nlp::tokenize(question);
+            t.annotate(tok, "tokens", tokens.len().to_string());
+            t.close(tok);
+            let link = t.open("link");
+            let mentions = crate::linking::link_mentions(&tokens, &self.ctx);
+            t.annotate(link, "mentions", mentions.len().to_string());
+            t.close(link);
+            s
+        });
+        let seal = |tb: Option<&mut TraceBuilder>, outcome: &str| {
+            if let (Some(t), Some(s)) = (tb, pipeline_span) {
+                t.annotate(s, "outcome", outcome);
+                t.close(s);
+            }
+        };
+
+        let interp_span = tb.as_deref_mut().map(|t| t.open("interpret"));
+        let set = self.candidate_set(question, kind, crate::candidates::DEFAULT_TOP_K);
+        if let (Some(t), Some(s)) = (tb.as_deref_mut(), interp_span) {
+            if set.is_empty() {
+                t.annotate(s, "result", "no_interpretation");
+            } else {
+                t.annotate(s, "candidates", set.len().to_string());
+                t.annotate(
+                    s,
+                    "confidence",
+                    format!("{:.3}", set.candidates[0].interpretation.confidence),
+                );
+            }
+            t.close(s);
+        }
+        if set.is_empty() {
+            seal(tb, "no_interpretation");
+            return Err(InterpretError::NoInterpretation(question.to_string()));
+        }
+
+        // Rerank: confidence first (the pool is already in that
+        // order), then provenance coverage — a candidate that grounds
+        // more of the question's tokens beats an equally-confident one
+        // that grounds fewer — then rendered SQL as the final tie.
+        let sqls: Vec<String> = set.candidates.iter().map(|c| c.sql_text()).collect();
+        let mut order: Vec<usize> = (0..set.candidates.len()).collect();
+        order.sort_by(|&a, &b| {
+            let (ca, cb) = (&set.candidates[a], &set.candidates[b]);
+            cb.interpretation
+                .confidence
+                .partial_cmp(&ca.interpretation.confidence)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| cb.provenance.len().cmp(&ca.provenance.len()))
+                .then_with(|| sqls[a].cmp(&sqls[b]))
+        });
+
+        // Validate in rerank order; the first clean candidate wins.
+        let mut rejected: Vec<RejectedCandidate> = Vec::new();
+        let mut winner: Option<usize> = None;
+        for &i in &order {
+            let c = &set.candidates[i];
+            let reasons = crate::validate::validate_candidate(
+                &self.db,
+                &self.ctx.ontology,
+                &c.interpretation.sql,
+                cost_ceiling,
+            );
+            if reasons.is_empty() {
+                winner = Some(i);
+                break;
+            }
+            rejected.push(RejectedCandidate {
+                rank: c.rank,
+                sql: sqls[i].clone(),
+                reasons,
+            });
+        }
+
+        // Satellite guardrail: when a clarification would have been
+        // asked (close top-2 confidences), annotate the losing close
+        // competitors instead of dropping the ambiguity silently.
+        let interps: Vec<Interpretation> = set
+            .candidates
+            .iter()
+            .map(|c| c.interpretation.clone())
+            .collect();
+        if crate::clarify::needs_clarification(&interps, CLARIFY_MARGIN) {
+            for i in crate::clarify::close_competitors(&interps, CLARIFY_MARGIN) {
+                if winner == Some(i) {
+                    continue;
+                }
+                let margin = interps[0].confidence - set.candidates[i].interpretation.confidence;
+                let note = crate::validate::Rejection::AmbiguousWithTop { margin };
+                match rejected.iter_mut().find(|r| r.rank == i) {
+                    Some(r) => r.reasons.push(note),
+                    None => rejected.push(RejectedCandidate {
+                        rank: i,
+                        sql: sqls[i].clone(),
+                        reasons: vec![note],
+                    }),
+                }
+            }
+        }
+        rejected.sort_by_key(|r| r.rank);
+
+        let Some(winner) = winner else {
+            // Preserve bounded-ask refusal semantics: a cost veto on
+            // the best-reranked candidate refuses as CostExceeded so
+            // serving keeps counting it under `cost_refused`.
+            let first = order[0];
+            let first_cost = rejected
+                .iter()
+                .find(|r| r.rank == set.candidates[first].rank)
+                .and_then(|r| {
+                    r.reasons.iter().find_map(|x| match x {
+                        crate::validate::Rejection::CostExceeded { estimated, ceiling } => {
+                            Some((*estimated, *ceiling))
+                        }
+                        _ => None,
+                    })
+                });
+            if let Some((estimated, ceiling)) = first_cost {
+                seal(tb, "cost_exceeded");
+                return Err(InterpretError::CostExceeded { estimated, ceiling });
+            }
+            let reasons = rejected
+                .iter()
+                .map(|r| {
+                    let labels: Vec<&str> = r.reasons.iter().map(|x| x.label()).collect();
+                    format!("#{} {}", r.rank, labels.join("+"))
+                })
+                .collect::<Vec<_>>()
+                .join("; ");
+            seal(tb, "all_candidates_rejected");
+            return Err(InterpretError::AllCandidatesRejected {
+                count: set.len(),
+                reasons,
+            });
+        };
+
+        let chosen = &set.candidates[winner];
+        let report = ValidationReport {
+            family: kind,
+            candidate_count: set.len(),
+            chosen_rank: chosen.rank,
+            rejected,
+            provenance_digest: chosen.provenance_digest(),
+        };
+
+        let sql_text = sqls[winner].clone();
+        if let Some(t) = tb.as_deref_mut() {
+            let s = t.open("sqlgen");
+            t.annotate(s, "sql", sql_text.as_str());
+            t.close(s);
+            if let Some(ps) = pipeline_span {
+                t.annotate(ps, "candidates", report.candidate_count.to_string());
+                t.annotate(ps, "rejected", report.vetoed_count().to_string());
+                t.annotate(ps, "chosen_rank", report.chosen_rank.to_string());
+                for r in &report.rejected {
+                    let labels: Vec<&str> = r.reasons.iter().map(|x| x.label()).collect();
+                    let key = format!("reject_{}", r.rank);
+                    t.annotate(ps, key.as_str(), labels.join("+"));
+                }
+            }
+        }
+
+        let plan = explain(&self.db, &chosen.interpretation.sql);
+        let exec_span = tb.as_deref_mut().map(|t| {
+            let s = t.open("execute");
+            t.annotate(s, "plan_shape", plan.shape.as_str());
+            t.annotate(s, "est_cost", plan.est_cost.to_string());
+            t.annotate(s, "est_rows", plan.est_rows.to_string());
+            s
+        });
+        let result = execute(&self.db, &chosen.interpretation.sql);
+        if let (Some(t), Some(s)) = (tb.as_deref_mut(), exec_span) {
+            match &result {
+                Ok(r) => t.annotate(s, "rows", r.rows.len().to_string()),
+                Err(e) => t.annotate(s, "error", e.to_string()),
+            }
+            t.close(s);
+        }
+        match result {
+            Ok(result) => {
+                seal(tb, "answered");
+                Ok(ApprovedAnswer {
+                    answer: Answer {
+                        sql: sql_text,
+                        query: chosen.interpretation.sql.clone(),
+                        result,
+                        interpretation: chosen.interpretation.clone(),
+                        explain: plan,
+                    },
+                    report,
+                })
+            }
+            Err(e) => {
+                seal(tb, "execution_error");
+                Err(InterpretError::Execution(e.to_string()))
+            }
+        }
     }
 
     /// "Did you mean" suggestions for an unanswerable question: for
@@ -457,6 +799,195 @@ mod tests {
         assert!(!cands.is_empty());
         for w in cands.windows(2) {
             assert!(w[0].confidence >= w[1].confidence);
+        }
+    }
+
+    #[test]
+    fn ask_approved_agrees_with_ask_when_top_candidate_is_clean() {
+        let db = db();
+        let nli = NliPipeline::standard(&db);
+        let plain = nli
+            .ask_with("show products in tools", InterpreterKind::Entity)
+            .unwrap();
+        let approved = nli
+            .ask_approved("show products in tools", InterpreterKind::Entity)
+            .unwrap();
+        assert_eq!(approved.answer.sql, plain.sql);
+        assert_eq!(approved.answer.result, plain.result);
+        assert_eq!(approved.report.chosen_rank, 0);
+        assert_eq!(approved.report.vetoed_count(), 0);
+        assert_ne!(approved.report.provenance_digest, 0);
+        assert_eq!(approved.report.family, InterpreterKind::Entity);
+    }
+
+    /// Mini clinic with a genuinely ambiguous value: "Austin" is a
+    /// city of both doctors (many rows — the expensive join) and
+    /// patients (few rows — the cheap one), so "show visits in Austin"
+    /// has two candidate readings with different plan costs.
+    fn ambiguous_db() -> Database {
+        let mut db = Database::new("clinic");
+        db.create_table(
+            TableSchema::new("patients")
+                .column("id", ColumnType::Int)
+                .column("city", ColumnType::Text)
+                .primary_key("id"),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new("doctors")
+                .column("id", ColumnType::Int)
+                .column("city", ColumnType::Text)
+                .primary_key("id"),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new("visits")
+                .column("id", ColumnType::Int)
+                .column("patient_id", ColumnType::Int)
+                .column("doctor_id", ColumnType::Int)
+                .primary_key("id")
+                .foreign_key("patient_id", "patients", "id")
+                .foreign_key("doctor_id", "doctors", "id"),
+        )
+        .unwrap();
+        for i in 0..2i64 {
+            db.insert("patients", vec![Value::Int(i), Value::from("Austin")])
+                .unwrap();
+        }
+        // Cost model vectorizes at 64-row granularity; the doctor side
+        // must clear several batches for the two readings to price
+        // differently.
+        for i in 0..500i64 {
+            db.insert("doctors", vec![Value::Int(i), Value::from("Austin")])
+                .unwrap();
+        }
+        for i in 0..4i64 {
+            db.insert(
+                "visits",
+                vec![Value::Int(i), Value::Int(i % 2), Value::Int(i % 500)],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn ask_approved_rescues_cheaper_candidate_under_cost_ceiling() {
+        let db = ambiguous_db();
+        let nli = NliPipeline::standard(&db);
+        let q = "show visits in Austin";
+        let cands = nli.candidates(q, InterpreterKind::Entity);
+        assert!(cands.len() >= 2, "need a multi-candidate pool: {cands:?}");
+        let costs: Vec<u64> = cands
+            .iter()
+            .map(|c| explain(nli.database(), &c.sql).est_cost)
+            .collect();
+        // A ceiling that vetoes the top but admits some lower-ranked
+        // candidate turns a bounded-ask refusal into a rescue.
+        let admissible = costs.iter().skip(1).min().copied().unwrap();
+        let sqls: Vec<String> = cands.iter().map(|c| c.sql.to_string()).collect();
+        assert!(
+            costs[0] > admissible,
+            "fixture should make the top candidate the expensive one: {costs:?} {sqls:?}"
+        );
+        assert!(matches!(
+            nli.ask_bounded(q, InterpreterKind::Entity, Some(admissible)),
+            Err(InterpretError::CostExceeded { .. })
+        ));
+        let approved = nli
+            .ask_approved_bounded(q, InterpreterKind::Entity, Some(admissible))
+            .unwrap();
+        assert!(approved.report.chosen_rank > 0, "a lower candidate won");
+        assert!(approved.report.vetoed_count() >= 1);
+        assert!(approved
+            .report
+            .rejected
+            .iter()
+            .any(|r| r.reasons.iter().any(|x| x.label() == "cost_exceeded")));
+    }
+
+    #[test]
+    fn ask_approved_preserves_cost_refusal_when_nothing_survives() {
+        let db = db();
+        let nli = NliPipeline::standard(&db);
+        let err = nli
+            .ask_approved_bounded("show products in tools", InterpreterKind::Entity, Some(0))
+            .unwrap_err();
+        let InterpretError::CostExceeded { estimated, ceiling } = err else {
+            panic!("expected CostExceeded, got {err:?}");
+        };
+        assert_eq!(ceiling, 0);
+        assert!(estimated > 0);
+        // Same outward behavior as the plain bounded path, so serving
+        // keeps counting these under `cost_refused`.
+        assert!(matches!(
+            nli.ask_bounded("show products in tools", InterpreterKind::Entity, Some(0)),
+            Err(InterpretError::CostExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn ask_approved_surfaces_clarification_on_close_losers() {
+        let db = db();
+        let nli = NliPipeline::standard(&db);
+        let q = "show products in tools";
+        let pool = nli.candidates(q, InterpreterKind::Entity);
+        let close = crate::clarify::close_competitors(&pool, CLARIFY_MARGIN);
+        let approved = nli.ask_approved(q, InterpreterKind::Entity).unwrap();
+        if crate::clarify::needs_clarification(&pool, CLARIFY_MARGIN) {
+            for i in close {
+                if i == approved.report.chosen_rank {
+                    continue;
+                }
+                assert!(
+                    approved.report.rejected.iter().any(|r| r.rank == i
+                        && r.reasons.iter().any(|x| x.label() == "ambiguous_with_top")),
+                    "close competitor {i} lost without an ambiguity annotation: {:?}",
+                    approved.report.rejected
+                );
+            }
+        }
+        // The annotation alone must never veto a candidate.
+        assert!(approved
+            .report
+            .rejected
+            .iter()
+            .all(|r| r.is_vetoed() || r.reasons.iter().all(|x| x.label() == "ambiguous_with_top")));
+    }
+
+    #[test]
+    fn ask_approved_traced_matches_untraced_and_annotates_candidates() {
+        use nlidb_obs::{Clock, ManualClock, TraceBuilder};
+        use std::sync::Arc;
+        let db = db();
+        let nli = NliPipeline::standard(&db);
+        let clock = Arc::new(ManualClock::new());
+        let mut tb = TraceBuilder::new(0, clock.clone() as Arc<dyn Clock>);
+        let traced = nli
+            .ask_approved_with_trace("show products in tools", InterpreterKind::Entity, &mut tb)
+            .unwrap();
+        let plain = nli
+            .ask_approved("show products in tools", InterpreterKind::Entity)
+            .unwrap();
+        assert_eq!(traced.answer.sql, plain.answer.sql);
+        assert_eq!(
+            traced.report.provenance_digest,
+            plain.report.provenance_digest
+        );
+        let t = tb.finish();
+        let p = t.root().unwrap();
+        assert_eq!(p.attr("mode"), Some("approved"));
+        assert_eq!(p.attr("outcome"), Some("answered"));
+        assert_eq!(
+            p.attr("candidates"),
+            Some(plain.report.candidate_count.to_string().as_str())
+        );
+        assert_eq!(
+            p.attr("chosen_rank"),
+            Some(plain.report.chosen_rank.to_string().as_str())
+        );
+        for stage in ["tokenize", "link", "interpret", "sqlgen", "execute"] {
+            assert_eq!(t.spans_named(stage).count(), 1, "missing stage {stage}");
         }
     }
 

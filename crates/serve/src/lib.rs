@@ -78,7 +78,7 @@ pub mod tenant;
 
 pub use clock::{Clock, ManualClock};
 pub use fault::{fault_plan_hook, silence_worker_panics, HookCtx, InjectedFault};
-pub use journal::{JournalEntry, SessionJournal};
+pub use journal::{AuditRecord, JournalEntry, SessionJournal};
 pub use loadgen::{run_closed_loop, run_closed_loop_tenants, with_deadlines, LoadReport};
 pub use lru::LruCache;
 pub use metrics::{MetricsSnapshot, ServeMetrics};

@@ -34,6 +34,12 @@ pub struct ServeMetrics {
     /// estimated cost exceeded the tenant's `cost_ceiling` (always 0
     /// for tenants without a ceiling). Also counted in `refused`.
     pub cost_refused: AtomicU64,
+    /// Candidates vetoed by pre-execution validation on the approved
+    /// path (`ServerConfig::approved_mode`): schema-validity, shape,
+    /// value-grounding, or cost-ceiling rejections, summed across all
+    /// answered questions. Always 0 with approved mode off — the
+    /// default. Ambiguity annotations are not counted.
+    pub candidates_rejected: AtomicU64,
     /// Standalone questions answered (cache hit or computed).
     pub answered: AtomicU64,
     /// Standalone questions the pipeline could not interpret/execute.
@@ -102,6 +108,7 @@ impl ServeMetrics {
             quota_refused: AtomicU64::new(0),
             shed_cost: AtomicU64::new(0),
             cost_refused: AtomicU64::new(0),
+            candidates_rejected: AtomicU64::new(0),
             answered: AtomicU64::new(0),
             refused: AtomicU64::new(0),
             session_turns: AtomicU64::new(0),
@@ -141,6 +148,7 @@ impl ServeMetrics {
             quota_refused: self.quota_refused.load(Ordering::Relaxed),
             shed_cost: self.shed_cost.load(Ordering::Relaxed),
             cost_refused: self.cost_refused.load(Ordering::Relaxed),
+            candidates_rejected: self.candidates_rejected.load(Ordering::Relaxed),
             answered: self.answered.load(Ordering::Relaxed),
             refused: self.refused.load(Ordering::Relaxed),
             session_turns: self.session_turns.load(Ordering::Relaxed),
@@ -225,6 +233,8 @@ pub struct MetricsSnapshot {
     pub shed_cost: u64,
     /// See [`ServeMetrics::cost_refused`].
     pub cost_refused: u64,
+    /// See [`ServeMetrics::candidates_rejected`].
+    pub candidates_rejected: u64,
     /// See [`ServeMetrics::answered`].
     pub answered: u64,
     /// See [`ServeMetrics::refused`].
@@ -290,7 +300,7 @@ impl MetricsSnapshot {
     }
 
     /// Every scalar counter as `(bare_name, value)`, in export order.
-    fn scalar_fields(&self) -> [(&'static str, u64); 26] {
+    fn scalar_fields(&self) -> [(&'static str, u64); 27] {
         [
             ("submitted", self.submitted),
             ("admitted", self.admitted),
@@ -299,6 +309,7 @@ impl MetricsSnapshot {
             ("shed_cost", self.shed_cost),
             ("quota_refused", self.quota_refused),
             ("cost_refused", self.cost_refused),
+            ("candidates_rejected", self.candidates_rejected),
             ("answered", self.answered),
             ("refused", self.refused),
             ("session_turns", self.session_turns),
@@ -366,8 +377,12 @@ impl fmt::Display for MetricsSnapshot {
         )?;
         writeln!(
             f,
-            "answered {}  refused {}  session-turns {}  max-depth {}",
-            self.answered, self.refused, self.session_turns, self.max_queue_depth
+            "answered {}  refused {}  session-turns {}  max-depth {}  candidates-rejected {}",
+            self.answered,
+            self.refused,
+            self.session_turns,
+            self.max_queue_depth,
+            self.candidates_rejected
         )?;
         if self.cache_disabled {
             writeln!(

@@ -72,7 +72,7 @@ use nlidb_obs::{SpanId, TraceBuilder};
 
 use crate::clock::Clock;
 use crate::fault::{HookCtx, InjectedFault};
-use crate::journal::{JournalEntry, SessionJournal};
+use crate::journal::{AuditRecord, JournalEntry, SessionJournal};
 use crate::lru::LruCache;
 use crate::metrics::{MetricsSnapshot, ScopedMetrics, ServeMetrics};
 use crate::obs::ServeObs;
@@ -114,6 +114,15 @@ pub struct ServerConfig {
     /// threshold are shed *before* the queue fills — expensive plans
     /// go first, cheap ones keep flowing.
     pub cost_shed: Option<CostShedPolicy>,
+    /// Answer standalone questions through the Ask → Plan → Approve
+    /// path ([`NliPipeline::ask_approved_bounded`]): gather the
+    /// family's candidate set, validate each candidate before
+    /// execution, execute the first survivor, and journal the approved
+    /// plan with its provenance digest as an audit record (see
+    /// [`crate::journal::AuditRecord`]). `false` (the default) keeps
+    /// the classic pick-first path byte-identical to the pre-candidate
+    /// runtime. Dialogue turns are unaffected either way.
+    pub approved_mode: bool,
 }
 
 /// Knobs for cost-aware shedding (see [`ServerConfig::cost_shed`]).
@@ -138,6 +147,7 @@ impl Default for ServerConfig {
             retry: RetryPolicy::default(),
             breaker: BreakerPolicy::default(),
             cost_shed: None,
+            approved_mode: false,
         }
     }
 }
@@ -361,6 +371,9 @@ struct Shared {
     /// servers, so single-tenant traces stay byte-identical to the
     /// pre-tenancy runtime (E14/E16).
     label_tenants: bool,
+    /// Serve standalone questions via the approved (candidate
+    /// validation) path; see [`ServerConfig::approved_mode`].
+    approved_mode: bool,
 }
 
 /// Lowercase + whitespace-collapse: the cache/routing key form, so
@@ -517,6 +530,7 @@ impl Server {
         let tenant_count = tenants.len();
         let shared = Arc::new(Shared {
             label_tenants: tenant_count > 1,
+            approved_mode: config.approved_mode,
             tenants,
             metrics: ServeMetrics::new(config.workers, config.interp_cache == 0),
             hook,
@@ -1165,6 +1179,14 @@ type CachedAnswer = (String, Vec<String>, u64);
 /// the breaker decision, absorbed retries, injected faults, and the
 /// rung's outcome — the per-query evidence E14 reconciles against the
 /// aggregate counters.
+///
+/// With `audit` set (approved mode), every rung asks through the
+/// Ask → Plan → Approve path instead of pick-first: vetoed candidates
+/// land in `candidates_rejected`, and every answer appends an
+/// [`AuditRecord`] — the approved SQL, the losers' rejection reasons,
+/// and the winner's provenance digest — to the tenant's journal
+/// *before* the completion is released, so a bounced request that
+/// re-runs approval elsewhere provably approves the same candidate.
 #[allow(clippy::too_many_arguments)]
 fn interpret_single(
     id: u64,
@@ -1177,6 +1199,7 @@ fn interpret_single(
     ladder: &[InterpreterKind],
     cost_ceiling: Option<u64>,
     breakers: &mut [CircuitBreaker],
+    audit: Option<&SessionJournal>,
     mut tracer: Option<&mut TraceBuilder>,
 ) -> (Disposition, Option<CachedAnswer>) {
     let mut last_refusal: Option<String> = None;
@@ -1216,9 +1239,34 @@ fn interpret_single(
             seal(&mut tracer, "fault", "fatal");
             continue;
         }
-        let asked = match tracer.as_deref_mut() {
-            Some(tb) => pipeline.ask_with_trace_bounded(question, kind, tb, cost_ceiling),
-            None => pipeline.ask_bounded(question, kind, cost_ceiling),
+        let asked = match audit {
+            Some(journal) => {
+                let approved = match tracer.as_deref_mut() {
+                    Some(tb) => {
+                        pipeline.ask_approved_with_trace_bounded(question, kind, tb, cost_ceiling)
+                    }
+                    None => pipeline.ask_approved_bounded(question, kind, cost_ceiling),
+                };
+                approved.map(|a| {
+                    metrics.add(|m| &m.candidates_rejected, a.report.vetoed_count() as u64);
+                    // Write-ahead: the audit record is visible before
+                    // the completion, like every journal commit.
+                    journal.append_audit(AuditRecord {
+                        request_id: id,
+                        question: question.to_string(),
+                        sql: a.answer.sql.clone(),
+                        candidate_count: a.report.candidate_count,
+                        chosen_rank: a.report.chosen_rank,
+                        rejections: a.report.rejected.iter().map(render_rejection).collect(),
+                        provenance_digest: a.report.provenance_digest,
+                    });
+                    a.answer
+                })
+            }
+            None => match tracer.as_deref_mut() {
+                Some(tb) => pipeline.ask_with_trace_bounded(question, kind, tb, cost_ceiling),
+                None => pipeline.ask_bounded(question, kind, cost_ceiling),
+            },
         };
         match asked {
             Ok(answer) => {
@@ -1259,6 +1307,9 @@ fn interpret_single(
                 if matches!(e, nlidb_core::InterpretError::CostExceeded { .. }) {
                     metrics.add(|m| &m.cost_refused, 1);
                 }
+                if let nlidb_core::InterpretError::AllCandidatesRejected { count, .. } = &e {
+                    metrics.add(|m| &m.candidates_rejected, *count as u64);
+                }
                 if rung == 0 {
                     metrics.add(|m| &m.refused, 1);
                     seal(&mut tracer, "refusal", "healthy");
@@ -1280,6 +1331,14 @@ fn interpret_single(
         None => "no interpreter family available (all rungs faulted or circuit-broken)".to_string(),
     };
     (Disposition::Refused { reason }, None)
+}
+
+/// Render one losing candidate for the audit trail: `#rank` plus its
+/// rejection labels joined by `+`, matching the
+/// [`nlidb_core::InterpretError::AllCandidatesRejected`] reason form.
+fn render_rejection(r: &nlidb_core::pipeline::RejectedCandidate) -> String {
+    let labels: Vec<&str> = r.reasons.iter().map(|x| x.label()).collect();
+    format!("#{} {}", r.rank, labels.join("+"))
 }
 
 /// Map a rung's terminal annotation to its `outcome` value, so every
@@ -1448,6 +1507,7 @@ fn worker_loop(
                             rt.ladder,
                             rt.cost_ceiling,
                             &mut breakers[tenant],
+                            shared.approved_mode.then_some(journal),
                             tracer.as_mut().map(|(tb, _)| tb),
                         );
                         let plan_cost = cacheable.as_ref().map(|(_, _, c)| *c);
@@ -1829,6 +1889,155 @@ mod tests {
         let m = srv.shutdown();
         assert_eq!(m.shed_cost, 1);
         assert_eq!(m.shed_full, 0);
+    }
+
+    #[test]
+    fn approved_mode_journals_an_audit_trail_and_matches_pick_first() {
+        let p = pipeline();
+        let questions = ["how many customers are there", "show all products"];
+        // Classic pick-first answers, for parity.
+        let (mut classic, _) = server(1, &p);
+        let baseline: Vec<String> = {
+            for q in questions {
+                classic.submit(&RequestSpec::single(q));
+            }
+            let done = classic.drain();
+            classic.shutdown();
+            done.iter().map(Completion::signature).collect()
+        };
+        let clock = Arc::new(ManualClock::new());
+        let cfg = ServerConfig {
+            workers: 1,
+            approved_mode: true,
+            ..ServerConfig::default()
+        };
+        let mut srv = Server::start(Arc::clone(&p), cfg, clock as Arc<dyn Clock>);
+        for q in questions {
+            srv.submit(&RequestSpec::single(q));
+        }
+        srv.submit(&RequestSpec::single(questions[0])); // cache hit
+        let done = srv.drain();
+        assert_eq!(
+            done[..2]
+                .iter()
+                .map(Completion::signature)
+                .collect::<Vec<String>>(),
+            baseline,
+            "clean top candidates answer identically to pick-first"
+        );
+        let journal = srv.journal();
+        assert_eq!(
+            journal.audited_requests(),
+            vec![0, 1],
+            "every approved answer is audited; cache hits are not re-approved"
+        );
+        for (id, q) in questions.iter().enumerate() {
+            let audits = journal.audits(id as u64);
+            assert_eq!(audits.len(), 1);
+            assert_eq!(audits[0].question, *q);
+            assert!(audits[0].candidate_count >= 1);
+            assert_ne!(audits[0].provenance_digest, 0);
+            match &done[id].disposition {
+                Disposition::Answered { sql, .. } => assert_eq!(&audits[0].sql, sql),
+                other => panic!("expected answer, got {other:?}"),
+            }
+        }
+        srv.shutdown();
+    }
+
+    #[test]
+    fn cache_hit_replay_teaches_the_cost_shedder() {
+        let p = pipeline();
+        let clock = Arc::new(ManualClock::new());
+        let cfg = ServerConfig {
+            workers: 1,
+            cost_shed: Some(CostShedPolicy {
+                pressure_depth: 1,
+                cost_threshold: 0,
+            }),
+            ..ServerConfig::default()
+        };
+        let mut srv = Server::start(Arc::clone(&p), cfg, clock as Arc<dyn Clock>);
+        let q = RequestSpec::single("how many customers are there");
+        srv.submit(&q);
+        let first = srv.drain();
+        let learned = first[0].plan_cost.expect("miss computes the cost");
+        assert_eq!(srv.plan_costs.len(), 1, "the miss taught the shedder");
+        // Forget the miss's lesson while the worker cache stays warm —
+        // the next drain's only possible teacher is the cache hit.
+        srv.plan_costs.clear();
+        srv.submit(&q);
+        let second = srv.drain();
+        match &second[0].disposition {
+            Disposition::Answered { from_cache, .. } => assert!(from_cache),
+            other => panic!("expected cached answer, got {other:?}"),
+        }
+        assert_eq!(
+            second[0].plan_cost,
+            Some(learned),
+            "the hit replays the exact cost the miss computed"
+        );
+        assert_eq!(
+            srv.plan_costs.values().copied().collect::<Vec<u64>>(),
+            vec![learned],
+            "re-learned from the cache-hit completion alone"
+        );
+        // And the replay-learned cost is live policy input: pressure
+        // sheds the repeat exactly as an execution-learned cost would.
+        assert!(matches!(srv.submit(&q), Admission::Admitted { .. }));
+        assert!(matches!(srv.submit(&q), Admission::Shed { .. }));
+        let done = srv.drain();
+        assert!(matches!(done[1].disposition, Disposition::Shed));
+        assert_eq!(done[1].plan_cost, Some(learned));
+        let m = srv.shutdown();
+        assert_eq!(m.shed_cost, 1);
+    }
+
+    #[test]
+    fn equal_learned_costs_shed_deterministically() {
+        // Two distinct questions with byte-equal learned plan cost:
+        // shedding is per-request (no comparative ranking), so under
+        // pressure the tie resolves purely by submission order — the
+        // depth-0 submission flows, every engaged repeat sheds — and
+        // two identical runs agree byte-for-byte.
+        let run = || {
+            let p = pipeline();
+            let clock = Arc::new(ManualClock::new());
+            let cfg = ServerConfig {
+                workers: 1,
+                cost_shed: Some(CostShedPolicy {
+                    pressure_depth: 1,
+                    cost_threshold: 0,
+                }),
+                ..ServerConfig::default()
+            };
+            let mut srv = Server::start(Arc::clone(&p), cfg, clock as Arc<dyn Clock>);
+            let a = RequestSpec::single("show all customers");
+            let b = RequestSpec::single("list all customers");
+            srv.submit(&a);
+            srv.submit(&b);
+            let first = srv.drain();
+            let (ca, cb) = (
+                first[0].plan_cost.expect("answered"),
+                first[1].plan_cost.expect("answered"),
+            );
+            assert_eq!(ca, cb, "the two questions must tie on learned cost");
+            let admissions: Vec<bool> = [&a, &b, &a, &b]
+                .iter()
+                .map(|q| matches!(srv.submit(q), Admission::Admitted { .. }))
+                .collect();
+            let signatures: Vec<String> = srv.drain().iter().map(Completion::signature).collect();
+            let m = srv.shutdown();
+            (admissions, signatures, m.shed_cost)
+        };
+        let (r1, r2) = (run(), run());
+        assert_eq!(r1, r2, "identical runs shed identically");
+        assert_eq!(
+            r1.0,
+            vec![true, false, false, false],
+            "depth 0 flows; every engaged equal-cost repeat sheds"
+        );
+        assert_eq!(r1.2, 3);
     }
 
     #[test]

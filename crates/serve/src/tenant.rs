@@ -47,10 +47,14 @@ pub struct TenantPolicy {
     pub interp_cache: Option<usize>,
     /// Maximum estimated logical plan cost (see
     /// [`nlidb_engine::explain`]) a standalone question of this tenant
-    /// may execute (`None` = unlimited). Enforced by the worker
-    /// *before* execution: a winning plan estimated above the ceiling
-    /// is refused with `InterpretError::CostExceeded` and counted in
-    /// the `cost_refused` metric — the query never runs.
+    /// may execute (`None` = unlimited). An input to the validation
+    /// layer (`nlidb_core::validate::cost_gate`), checked *before*
+    /// execution: on the classic path a winning plan estimated above
+    /// the ceiling is refused with `InterpretError::CostExceeded` and
+    /// counted in the `cost_refused` metric — the query never runs; in
+    /// approved mode the ceiling is one rejection reason among the
+    /// candidate checks, so a cheaper lower-ranked candidate can still
+    /// be approved.
     pub cost_ceiling: Option<u64>,
 }
 

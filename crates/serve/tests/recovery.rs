@@ -468,6 +468,152 @@ fn two_tenants_on_one_dead_worker_both_recover_without_leakage() {
 }
 
 #[test]
+fn approved_audits_survive_crash_recovery_with_identical_digests() {
+    // Approved mode under crash: a worker dies on a standalone question
+    // whose top candidate is cost-vetoed (the approval rescues a
+    // cheaper reading). The bounced request re-runs the whole
+    // Ask → Plan → Approve pass on the survivor, and the audit trail
+    // must re-prove the same decision — same approved SQL, same
+    // journaled rejections, same provenance digest — as a run that
+    // never crashed.
+    use nlidb_core::InterpreterKind;
+    use nlidb_engine::{explain, ColumnType, Database, TableSchema, Value};
+    use nlidb_ontology::JoinPathCache;
+    use nlidb_serve::{TenantPolicy, TenantRegistry, TenantServer};
+
+    // The shared-city clinic: "show visits in Austin" reads two ways
+    // (via patients or via doctors), and the 500-row doctor side prices
+    // the readings apart (the cost model vectorizes at 64-row
+    // granularity).
+    fn clinic() -> Database {
+        let mut db = Database::new("clinic");
+        db.create_table(
+            TableSchema::new("patients")
+                .column("id", ColumnType::Int)
+                .column("city", ColumnType::Text)
+                .primary_key("id"),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new("doctors")
+                .column("id", ColumnType::Int)
+                .column("city", ColumnType::Text)
+                .primary_key("id"),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new("visits")
+                .column("id", ColumnType::Int)
+                .column("patient_id", ColumnType::Int)
+                .column("doctor_id", ColumnType::Int)
+                .primary_key("id")
+                .foreign_key("patient_id", "patients", "id")
+                .foreign_key("doctor_id", "doctors", "id"),
+        )
+        .unwrap();
+        for i in 0..2i64 {
+            db.insert("patients", vec![Value::Int(i), Value::from("Austin")])
+                .unwrap();
+        }
+        for i in 0..500i64 {
+            db.insert("doctors", vec![Value::Int(i), Value::from("Austin")])
+                .unwrap();
+        }
+        for i in 0..4i64 {
+            db.insert(
+                "visits",
+                vec![Value::Int(i), Value::Int(i % 2), Value::Int(i % 500)],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    silence_worker_panics();
+    const QUESTIONS: [&str; 3] = [
+        "show visits in Austin",
+        "show all patients",
+        "how many patients are there",
+    ];
+    let run = |plan: FaultPlan| {
+        let cache = Arc::new(JoinPathCache::new(256));
+        let (fp, p) = nlidb_serve::tenant_pipeline(&clinic(), &cache);
+        // Veto the expensive reading but admit the cheaper one.
+        let cands = p.candidates(QUESTIONS[0], InterpreterKind::Entity);
+        let costs: Vec<u64> = cands
+            .iter()
+            .map(|c| explain(p.database(), &c.sql).est_cost)
+            .collect();
+        let ceiling = costs.iter().skip(1).min().copied().unwrap();
+        assert!(costs[0] > ceiling, "top candidate must be the pricey one");
+        let mut registry = TenantRegistry::new();
+        registry.register(
+            "clinic",
+            p,
+            TenantPolicy {
+                rung_ceiling: InterpreterKind::Entity,
+                cost_ceiling: Some(ceiling),
+                ..TenantPolicy::default()
+            },
+        );
+        let clock = Arc::new(ManualClock::new());
+        let mut server = TenantServer::start_with_hook(
+            &registry,
+            ServerConfig {
+                approved_mode: true,
+                ..config(2)
+            },
+            clock as Arc<dyn Clock>,
+            Some(fault_plan_hook(plan)),
+        );
+        for q in QUESTIONS {
+            server.submit(fp, &RequestSpec::single(q));
+        }
+        let done = server.drain();
+        let sigs: Vec<String> = done.iter().map(|c| c.signature()).collect();
+        let audits: Vec<(u64, Vec<nlidb_serve::AuditRecord>)> = {
+            let j = server.journal(fp).unwrap();
+            j.audited_requests()
+                .into_iter()
+                .map(|id| (id, j.audits(id)))
+                .collect()
+        };
+        (sigs, audits, server.shutdown())
+    };
+    let (clean_sigs, clean_audits, clean_m) = run(FaultPlan::none());
+    // Every question answers and is audited exactly once in the clean
+    // run; the rescued question journals its cost rejection.
+    assert_eq!(clean_audits.len(), 3);
+    assert!(clean_audits.iter().all(|(_, a)| a.len() == 1));
+    let rescued = &clean_audits[0].1[0];
+    assert_eq!(rescued.question, QUESTIONS[0]);
+    assert!(rescued.chosen_rank > 0, "a cheaper reading won");
+    assert!(
+        rescued
+            .rejections
+            .iter()
+            .any(|r| r.contains("cost_exceeded")),
+        "the vetoed reading's rejection is journaled: {:?}",
+        rescued.rejections
+    );
+    assert_ne!(rescued.provenance_digest, 0);
+    assert!(clean_m.candidates_rejected >= 1);
+    // Crash on the rescued question itself: the corpse dies before its
+    // approval commits, the survivor re-runs it from scratch.
+    let plan = FaultPlan::none().with(0, FaultKind::WorkerPanic);
+    let (sigs, audits, m) = run(plan);
+    assert_eq!(sigs, clean_sigs, "recovery must not change an answer");
+    assert_eq!(
+        audits, clean_audits,
+        "the recovered approval re-proves the same candidate: same SQL, \
+         same rejections, same provenance digest"
+    );
+    assert_eq!(m.worker_deaths, 1);
+    assert!(m.readmitted >= 1);
+    assert_eq!(m.candidates_rejected, clean_m.candidates_rejected);
+}
+
+#[test]
 fn panic_racing_drain_delivers_every_outcome_exactly_once() {
     // Drain invoked immediately after submitting a panicking workload —
     // the recovery rounds run concurrently with the panic itself, and

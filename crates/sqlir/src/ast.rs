@@ -607,6 +607,126 @@ impl Query {
             .unwrap_or(0)
     }
 
+    /// Every base-table name referenced anywhere in the query —
+    /// FROM/JOIN sources at this level plus, recursively, every
+    /// sub-query in any position. Order is deterministic (outer before
+    /// inner, FROM before JOINs); duplicates are kept so callers can
+    /// count references. The inspection entry point the validation
+    /// layer (`nli-core::validate`) resolves schema references from.
+    pub fn referenced_tables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        fn walk(q: &Query, out: &mut Vec<String>) {
+            if let Some(TableSource::Table { name, .. }) = &q.from {
+                out.push(name.clone());
+            }
+            for j in &q.joins {
+                if let TableSource::Table { name, .. } = &j.source {
+                    out.push(name.clone());
+                }
+            }
+            // direct_subqueries covers FROM/JOIN derived tables too,
+            // so every sub-query is walked exactly once.
+            for sq in q.direct_subqueries() {
+                walk(sq, out);
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// Every column reference in the query, recursively including all
+    /// sub-queries: projections, join conditions, WHERE/HAVING,
+    /// GROUP BY, ORDER BY. Deterministic order; duplicates kept.
+    pub fn referenced_columns(&self) -> Vec<ColumnRef> {
+        let mut out = Vec::new();
+        fn walk(q: &Query, out: &mut Vec<ColumnRef>) {
+            for s in &q.select {
+                if let SelectItem::Expr { expr, .. } = s {
+                    expr.columns(out);
+                }
+            }
+            for j in &q.joins {
+                j.on.columns(out);
+            }
+            if let Some(w) = &q.where_clause {
+                w.columns(out);
+            }
+            for g in &q.group_by {
+                g.columns(out);
+            }
+            if let Some(h) = &q.having {
+                h.columns(out);
+            }
+            for o in &q.order_by {
+                o.expr.columns(out);
+            }
+            for sq in q.direct_subqueries() {
+                walk(sq, out);
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// Every `column = 'string'` equality in the query (recursively,
+    /// WHERE and HAVING, either operand order), as
+    /// `(column reference, literal value)`. These are the value
+    /// bindings an interpreter committed to — the validation layer
+    /// checks each one is actually grounded in the data.
+    pub fn string_equalities(&self) -> Vec<(ColumnRef, String)> {
+        let mut out = Vec::new();
+        fn from_expr(e: &Expr, out: &mut Vec<(ColumnRef, String)>) {
+            match e {
+                Expr::Binary {
+                    left,
+                    op: BinOp::Eq,
+                    right,
+                } => match (left.as_ref(), right.as_ref()) {
+                    (Expr::Column(c), Expr::Literal(Literal::Str(v)))
+                    | (Expr::Literal(Literal::Str(v)), Expr::Column(c)) => {
+                        out.push((c.clone(), v.clone()));
+                    }
+                    _ => {
+                        from_expr(left, out);
+                        from_expr(right, out);
+                    }
+                },
+                Expr::Binary { left, right, .. } => {
+                    from_expr(left, out);
+                    from_expr(right, out);
+                }
+                Expr::Unary { expr, .. } => from_expr(expr, out),
+                Expr::Between {
+                    expr, low, high, ..
+                } => {
+                    from_expr(expr, out);
+                    from_expr(low, out);
+                    from_expr(high, out);
+                }
+                Expr::InList { expr, list, .. } => {
+                    from_expr(expr, out);
+                    for i in list {
+                        from_expr(i, out);
+                    }
+                }
+                _ => {}
+            }
+        }
+        fn walk(q: &Query, out: &mut Vec<(ColumnRef, String)>) {
+            if let Some(w) = &q.where_clause {
+                from_expr(w, out);
+            }
+            if let Some(h) = &q.having {
+                from_expr(h, out);
+            }
+            for sq in q.direct_subqueries() {
+                walk(sq, out);
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
     /// Compact, deterministic plan-shape label: `q` plus one tag per
     /// structural feature, e.g. `q-scan`, `q-join1-agg-sort`,
     /// `q-filter-sub2`. Used to attribute execution cost by plan shape
