@@ -1,10 +1,11 @@
 //! The reproduction harness CLI.
 //!
 //! ```text
-//! experiments                 # run all of E1–E18
+//! experiments                 # run all of E1–E20
 //! experiments --exp e2        # run one experiment
 //! experiments --seed 7        # change the global seed
 //! experiments --exp e17 --tenants 3   # scale the multi-tenant regime
+//! experiments --exp e20 --soak-requests 10000   # scale the soak regimes
 //! experiments --list          # list experiment ids and descriptions
 //! ```
 //!
@@ -24,6 +25,7 @@ fn main() {
     let mut seed = 42u64;
     let mut only: Option<String> = None;
     let mut tenants: Option<usize> = None;
+    let mut soak_requests: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -71,6 +73,27 @@ fn main() {
                 };
                 i += 2;
             }
+            "--soak-requests" => {
+                let Some(raw) = args.get(i + 1) else {
+                    eprintln!("--soak-requests requires a value");
+                    usage_hint();
+                };
+                soak_requests = match raw.parse::<usize>() {
+                    Ok(n) if n >= 1000 => Some(n),
+                    Ok(n) => {
+                        eprintln!(
+                            "--soak-requests wants at least 1000 (the overload regime needs \
+                             enough windows to open episodes), got {n}"
+                        );
+                        usage_hint();
+                    }
+                    Err(_) => {
+                        eprintln!("--soak-requests wants an unsigned integer, got {raw:?}");
+                        usage_hint();
+                    }
+                };
+                i += 2;
+            }
             "--list" => {
                 for (id, summary) in nlidb_bench::EXPERIMENT_SUMMARIES {
                     println!("{id:>4}  {summary}");
@@ -87,6 +110,10 @@ fn main() {
         eprintln!("--tenants only applies to the multi-tenant experiment: pair it with --exp e17");
         usage_hint();
     }
+    if soak_requests.is_some() && only.as_deref() != Some("e20") {
+        eprintln!("--soak-requests only applies to the soak experiment: pair it with --exp e20");
+        usage_hint();
+    }
     let ids: Vec<&str> = match &only {
         Some(id) => vec![id.as_str()],
         None => nlidb_bench::EXPERIMENT_IDS.to_vec(),
@@ -96,9 +123,10 @@ fn main() {
     println!("Language Interfaces to Data\", SIGMOD 2020 — see EXPERIMENTS.md\n");
     for id in ids {
         let start = std::time::Instant::now();
-        let table = match tenants {
-            Some(n) => nlidb_bench::e17_multi_tenant_with(seed, n),
-            None => nlidb_bench::run_experiment(id, seed)
+        let table = match (tenants, soak_requests) {
+            (Some(n), _) => nlidb_bench::e17_multi_tenant_with(seed, n),
+            (_, Some(n)) => nlidb_bench::e20_soak_with(seed, n),
+            (None, None) => nlidb_bench::run_experiment(id, seed)
                 .expect("ids are validated at parse time and EXPERIMENT_IDS is exhaustive"),
         };
         println!("{table}");

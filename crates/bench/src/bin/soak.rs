@@ -1,0 +1,104 @@
+//! The soak trajectory binary.
+//!
+//! Runs every soak shape (see [`nlidb_bench::SOAK_SHAPES`]) open-loop
+//! at a configurable request count and appends one JSON line — the
+//! run's throughput/latency trajectory — to `BENCH_soak.json`:
+//!
+//! ```text
+//! soak                                  # 10⁵ requests, seed 42, append to BENCH_soak.json
+//! soak --requests 10000                 # the CI smoke scale
+//! soak --seed 7 --out /tmp/soak.json    # elsewhere
+//! soak --git "$(git describe --always)" # stamp the producing commit
+//! ```
+//!
+//! The emitted line is `{"schema":"nlidb-soak-v1","index":i,...}` with
+//! `index` = the number of lines already in the file — so the file is
+//! an append-only, strictly-indexed trajectory that
+//! `scripts/check_bench_json.py` validates. Provenance (`git`) is
+//! passed in by the caller: library code takes no wall-clock and runs
+//! no subprocesses, so the binary does not either.
+
+use std::env;
+use std::io::Write;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: soak [--seed N] [--requests N] [--out PATH] [--git DESCRIBE]\n\
+         appends one nlidb-soak-v1 JSON line per invocation"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, raw: Option<&String>) -> T {
+    let Some(raw) = raw else {
+        eprintln!("{flag} requires a value");
+        usage();
+    };
+    match raw.parse() {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!("{flag}: bad value {raw:?}");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let mut seed = 42u64;
+    let mut requests = 100_000usize;
+    let mut out = String::from("BENCH_soak.json");
+    let mut git = String::from("unstamped");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => seed = parse("--seed", args.get(i + 1)),
+            "--requests" => requests = parse("--requests", args.get(i + 1)),
+            "--out" => out = parse("--out", args.get(i + 1)),
+            "--git" => git = parse("--git", args.get(i + 1)),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+        i += 2;
+    }
+    if requests == 0 {
+        eprintln!("--requests wants at least 1");
+        usage();
+    }
+
+    let mut shapes = Vec::new();
+    for shape in nlidb_bench::SOAK_SHAPES {
+        let start = std::time::Instant::now();
+        let outcome = nlidb_bench::run_soak_shape(shape, seed, requests);
+        eprintln!(
+            "[{shape}: {requests} requests in {:.1}s] {}",
+            start.elapsed().as_secs_f64(),
+            outcome.summary_line()
+        );
+        shapes.push(outcome.json());
+    }
+
+    // index = lines already present, so indices are strictly
+    // increasing across appends and 0 on a fresh file.
+    let index = std::fs::read_to_string(&out)
+        .map(|s| s.lines().filter(|l| !l.trim().is_empty()).count())
+        .unwrap_or(0);
+    let line = format!(
+        "{{\"schema\":\"nlidb-soak-v1\",\"index\":{index},\"seed\":{seed},\
+         \"requests\":{requests},\"git\":\"{git}\",\"shapes\":[{}]}}\n",
+        shapes.join(",")
+    );
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&out)
+        .unwrap_or_else(|e| panic!("cannot open {out}: {e}"));
+    file.write_all(line.as_bytes())
+        .unwrap_or_else(|e| panic!("cannot append to {out}: {e}"));
+    println!(
+        "appended trajectory line {index} ({} shapes) to {out}",
+        nlidb_bench::SOAK_SHAPES.len()
+    );
+}

@@ -1,4 +1,4 @@
-//! The reproduction experiments E1–E19 (see `EXPERIMENTS.md`).
+//! The reproduction experiments E1–E20 (see `EXPERIMENTS.md`).
 //!
 //! The paper is a tutorial: it publishes claims, not tables. Each
 //! experiment here operationalizes one claim into a measured table;
@@ -22,14 +22,14 @@ use nlidb_sqlir::ComplexityClass;
 use crate::workloads::{evaluate, paraphrased, setup_domain, DomainSetup};
 
 /// All experiment identifiers, in order.
-pub const EXPERIMENT_IDS: [&str; 19] = [
+pub const EXPERIMENT_IDS: [&str; 20] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19",
+    "e16", "e17", "e18", "e19", "e20",
 ];
 
 /// One-line description per experiment, in [`EXPERIMENT_IDS`] order
 /// (the `--list` output of the `experiments` binary).
-pub const EXPERIMENT_SUMMARIES: [(&str, &str); 19] = [
+pub const EXPERIMENT_SUMMARIES: [(&str, &str); 20] = [
     (
         "e1",
         "capability matrix: family accuracy per §3 complexity rung",
@@ -97,6 +97,10 @@ pub const EXPERIMENT_SUMMARIES: [(&str, &str); 19] = [
         "e19",
         "candidate validation: rerank+validate precision vs pick-first",
     ),
+    (
+        "e20",
+        "soak open loop: overload shed/recover, bounded memory, trajectory",
+    ),
 ];
 
 /// Run one experiment by id; `None` for unknown ids.
@@ -121,6 +125,7 @@ pub fn run_experiment(id: &str, seed: u64) -> Option<Table> {
         "e17" => Some(e17_multi_tenant(seed)),
         "e18" => Some(e18_engine_equivalence(seed)),
         "e19" => Some(e19_candidate_validation(seed)),
+        "e20" => Some(e20_soak(seed)),
         _ => None,
     }
 }
@@ -2280,4 +2285,119 @@ pub fn e19_candidate_validation(seed: u64) -> Table {
         "E19: rerun must be byte-identical"
     );
     first
+}
+
+/// The soak scale E20 runs at: large enough that any per-request
+/// accumulation in the open-loop driver would be unmissable, small
+/// enough that the doubled (determinism) runs keep the harness fast.
+const E20_REQUESTS: usize = 100_000;
+
+/// E20 — soak-scale open loop: the §7 "NLIs must grow into
+/// multi-user systems" challenge taken to its operational limit.
+/// Five seeded load shapes (zipfian popularity skew, flash-crowd
+/// bursts, long CoSQL-shaped sessions, a tenant-skewed mix, and a
+/// schedule that deliberately outruns the overload watermark) each
+/// stream 10⁵ requests through the open-loop driver, which folds
+/// completions into a bounded [`nlidb_serve::SoakReport`] as they
+/// drain. Every regime runs twice and the summaries — counters,
+/// latency sketch percentiles, rolling signature digest — are
+/// asserted byte-identical. The overload regime additionally proves
+/// robustness, not collapse: episodes open under pressure and every
+/// one closes at a drain; shedding targets learned-expensive repeats;
+/// and an audited replay shows each *served* answer byte-identical to
+/// an unloaded closed-loop oracle — overload changes which requests
+/// get answered, never what an answer says.
+pub fn e20_soak(seed: u64) -> Table {
+    e20_soak_with(seed, E20_REQUESTS)
+}
+
+/// [`e20_soak`] at an explicit request count — the `--soak-requests`
+/// knob of the `experiments` binary; CI smokes the regime at 10⁴.
+pub fn e20_soak_with(seed: u64, requests: usize) -> Table {
+    use crate::soak::{run_soak_shape, SOAK_SHAPES};
+
+    let mut t = Table::new([
+        "shape",
+        "requests",
+        "served",
+        "shed",
+        "p50",
+        "p95",
+        "p99",
+        "served/ktick",
+        "episodes",
+        "repeat ==",
+    ])
+    .title("E20 — soak-scale open loop: throughput/latency trajectory & overload robustness");
+    for shape in SOAK_SHAPES {
+        let first = run_soak_shape(shape, seed, requests);
+        let rerun = run_soak_shape(shape, seed, requests);
+        assert_eq!(
+            first.summary_line(),
+            rerun.summary_line(),
+            "E20 {shape}: soak rerun must be byte-identical"
+        );
+        let r = &first.report;
+        let m = &first.metrics;
+        assert_eq!(
+            r.served() + r.refused + r.shed + r.deadline_exceeded,
+            r.requests,
+            "E20 {shape}: every request is accounted for"
+        );
+        if shape == "overload" {
+            assert!(m.overload_entered > 0, "E20: pressure must open episodes");
+            assert_eq!(
+                m.overload_entered, m.overload_recovered,
+                "E20: every overload episode must close at a drain"
+            );
+            assert!(m.shed_overload > 0, "E20: learned repeats must be shed");
+            assert_eq!(r.shed, m.shed_overload, "E20: overload is the only shedder");
+        } else {
+            assert_eq!(r.shed, 0, "E20 {shape}: no shedding without pressure");
+            assert_eq!(r.refused, 0, "E20 {shape}: no refusals in a clean regime");
+        }
+        if let Some((stored, sampled_out)) = first.spans {
+            assert!(
+                stored <= 64,
+                "E20 {shape}: sampled sink must hold its bound, stored {stored}"
+            );
+            assert!(
+                sampled_out > 0,
+                "E20 {shape}: soak-scale tracing must actually sample"
+            );
+        }
+        let p = |q: f64| {
+            r.latency
+                .percentile(q)
+                .map_or("-".into(), |v| v.to_string())
+        };
+        t.row([
+            shape.to_string(),
+            r.requests.to_string(),
+            r.served().to_string(),
+            r.shed.to_string(),
+            p(50.0),
+            p(95.0),
+            p(99.0),
+            (r.served() * 1000 / r.ticks.max(1)).to_string(),
+            m.overload_entered.to_string(),
+            "yes".to_string(),
+        ]);
+    }
+    // The fidelity audit: the overload regime's served subset is
+    // answer-identical to the unloaded oracle, request by request.
+    let (served, shed, n) = crate::soak::overload_prefix_audit(seed, requests);
+    t.row([
+        "overload audit".to_string(),
+        n.to_string(),
+        served.to_string(),
+        shed.to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        "≡ oracle".to_string(),
+    ]);
+    t
 }

@@ -1,0 +1,381 @@
+//! Shared soak regimes: the load shapes and open-loop schedules that
+//! E20 and the `soak` binary both drive.
+//!
+//! Each regime pairs one seeded load shape from [`nlidb_benchdata`]'s
+//! soak generators (zipfian-skewed popularity, flash-crowd bursts,
+//! long CoSQL-shaped sessions, tenant-skewed mixes, deliberate
+//! overload) with a fixed open-loop schedule, and returns the
+//! streaming [`SoakReport`] plus the server's final metrics. The
+//! stream is handed to the driver as a lazy iterator and completions
+//! fold as they drain, so a regime's memory footprint is independent
+//! of `n` — the property E20 exists to keep honest at 10⁵ requests.
+
+use std::sync::Arc;
+
+use nlidb_benchdata::{derive_slots, domain_database, DOMAIN_NAMES};
+use nlidb_core::pipeline::NliPipeline;
+use nlidb_ontology::JoinPathCache;
+use nlidb_serve::{
+    run_open_loop, run_open_loop_tenants, tenant_pipeline, Clock, ManualClock, MetricsSnapshot,
+    OpenLoopConfig, OverloadPolicy, ServeObs, Server, ServerConfig, SoakReport, TenantPolicy,
+    TenantRegistry, TenantServer,
+};
+
+/// The soak shapes, in run order. `overload` is the robustness
+/// regime: its schedule outruns the watermark on purpose.
+pub const SOAK_SHAPES: [&str; 5] = [
+    "zipfian",
+    "flash-crowd",
+    "long-session",
+    "tenant-skew",
+    "overload",
+];
+
+/// The question-pool size every single-tenant shape draws from.
+const POOL: usize = 32;
+
+/// The overload regime's watermark policy: the open-loop window
+/// (12 arrivals × 4 ticks = 48 outstanding) crosses `high_watermark`
+/// mid-window every window, and every drain empties the ledger past
+/// `low_watermark`, so episodes provably open *and* close.
+/// `cost_threshold: 0` makes every learned plan "expensive" — the
+/// shed-first set is exactly the repeats whose cost the server has
+/// already measured.
+pub const OVERLOAD_POLICY: OverloadPolicy = OverloadPolicy {
+    high_watermark: 24,
+    low_watermark: 8,
+    cost_threshold: 0,
+};
+
+/// The overload regime's schedule (also used by the prefix audit).
+pub const OVERLOAD_SCHEDULE: OpenLoopConfig = OpenLoopConfig {
+    arrivals_per_tick: 12,
+    drain_every: 4,
+};
+
+/// Everything one soak regime produced.
+#[derive(Debug)]
+pub struct SoakOutcome {
+    /// Which of [`SOAK_SHAPES`] ran.
+    pub shape: &'static str,
+    /// The streaming open-loop report.
+    pub report: SoakReport,
+    /// The server's final metrics snapshot.
+    pub metrics: MetricsSnapshot,
+    /// `(traces stored, traces sampled out)` when the regime ran with
+    /// a sampling [`ServeObs`] attached (the zipfian shape does, to
+    /// keep the bounded-span claim measured, not assumed).
+    pub spans: Option<(usize, u64)>,
+}
+
+impl SoakOutcome {
+    /// One canonical line — the [`SoakReport`] summary extended with
+    /// the overload counters (and span retention when observed). E20
+    /// byte-compares exactly this across paired runs.
+    pub fn summary_line(&self) -> String {
+        let mut line = format!(
+            "{}: {} shed_overload={} entered={} recovered={} shed_full={} shed_cost={}",
+            self.shape,
+            self.report.summary_line(),
+            self.metrics.shed_overload,
+            self.metrics.overload_entered,
+            self.metrics.overload_recovered,
+            self.metrics.shed_full,
+            self.metrics.shed_cost,
+        );
+        if let Some((stored, sampled_out)) = self.spans {
+            line.push_str(&format!(" spans={stored} sampled_out={sampled_out}"));
+        }
+        line
+    }
+
+    /// The outcome as one JSON object (hand-rendered: every value is
+    /// an integer or a fixed-width hex string, so the encoding is
+    /// trivially canonical). `scripts/check_bench_json.py` validates
+    /// this schema.
+    pub fn json(&self) -> String {
+        let r = &self.report;
+        let served = r.served();
+        let p = |q: f64| r.latency.percentile(q).unwrap_or(0);
+        format!(
+            "{{\"shape\":\"{}\",\"requests\":{},\"served\":{},\"answered\":{},\"session\":{},\
+             \"degraded\":{},\"refused\":{},\"shed\":{},\"deadline\":{},\"drains\":{},\
+             \"ticks\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"served_per_kilotick\":{},\
+             \"shed_overload\":{},\"overload_entered\":{},\"overload_recovered\":{},\
+             \"digest\":\"{:016x}\"}}",
+            self.shape,
+            r.requests,
+            served,
+            r.answered,
+            r.session_replies,
+            r.degraded,
+            r.refused,
+            r.shed,
+            r.deadline_exceeded,
+            r.drains,
+            r.ticks,
+            p(50.0),
+            p(95.0),
+            p(99.0),
+            served * 1000 / r.ticks.max(1),
+            self.metrics.shed_overload,
+            self.metrics.overload_entered,
+            self.metrics.overload_recovered,
+            r.signature_digest(),
+        )
+    }
+}
+
+/// A retail-domain server for the single-tenant shapes.
+fn retail_server(
+    seed: u64,
+    overload: Option<OverloadPolicy>,
+    obs: Option<ServeObs>,
+) -> (Server, Arc<ManualClock>) {
+    let db = domain_database("retail", seed);
+    let pipeline = Arc::new(NliPipeline::standard(&db));
+    let clock = Arc::new(ManualClock::new());
+    let server = Server::start_observed(
+        pipeline,
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 4096,
+            interp_cache: 256,
+            service_estimate: 1,
+            overload,
+            ..ServerConfig::default()
+        },
+        clock.clone() as Arc<dyn Clock>,
+        None,
+        obs,
+    );
+    (server, clock)
+}
+
+/// The retail question pool every single-tenant shape draws from.
+pub fn retail_pool(seed: u64) -> Vec<String> {
+    let db = domain_database("retail", seed);
+    let slots = derive_slots(&db);
+    nlidb_benchdata::question_pool(&slots, seed, POOL)
+}
+
+/// Run one soak shape (a name from [`SOAK_SHAPES`]) for `n` requests
+/// at `seed`.
+///
+/// # Panics
+///
+/// On an unknown shape name — the binaries validate names at parse
+/// time.
+pub fn run_soak_shape(shape: &str, seed: u64, n: usize) -> SoakOutcome {
+    match shape {
+        "zipfian" => {
+            // Observed with a sampling sink: span memory stays at the
+            // sink capacity no matter how long the run is.
+            let obs = ServeObs::sampled(64, 1024);
+            let (mut server, clock) = retail_server(seed, None, Some(obs.clone()));
+            let stream = nlidb_benchdata::zipfian_stream(retail_pool(seed), seed, n, 1.2);
+            let report = run_open_loop(
+                &mut server,
+                &clock,
+                stream,
+                OpenLoopConfig {
+                    arrivals_per_tick: 8,
+                    drain_every: 4,
+                },
+            );
+            let metrics = server.shutdown();
+            SoakOutcome {
+                shape: "zipfian",
+                report,
+                metrics,
+                spans: Some((obs.sink.len(), obs.sink.sampled_out())),
+            }
+        }
+        "flash-crowd" => {
+            let (mut server, clock) = retail_server(seed, None, None);
+            let stream = nlidb_benchdata::flash_crowd_stream(retail_pool(seed), seed, n, 50, 10);
+            let report = run_open_loop(
+                &mut server,
+                &clock,
+                stream,
+                OpenLoopConfig {
+                    arrivals_per_tick: 8,
+                    drain_every: 4,
+                },
+            );
+            let metrics = server.shutdown();
+            SoakOutcome {
+                shape: "flash-crowd",
+                report,
+                metrics,
+                spans: None,
+            }
+        }
+        "long-session" => {
+            // Dialogue turns execute the full pipeline every turn —
+            // caching a turn is off the table because session state
+            // must advance — so this shape is ~100× the per-request
+            // cost of the cached singles shapes. It runs at a tenth
+            // of the headline scale to keep the harness fast; the
+            // bounded-memory property it guards is scale-free.
+            let n = (n / 10).max(1);
+            let db = domain_database("retail", seed);
+            let slots = derive_slots(&db);
+            let (mut server, clock) = retail_server(seed, None, None);
+            let stream = nlidb_benchdata::long_session_stream(&slots, seed, n, 8, 6);
+            let report = run_open_loop(
+                &mut server,
+                &clock,
+                stream,
+                OpenLoopConfig {
+                    arrivals_per_tick: 4,
+                    drain_every: 2,
+                },
+            );
+            let metrics = server.shutdown();
+            SoakOutcome {
+                shape: "long-session",
+                report,
+                metrics,
+                spans: None,
+            }
+        }
+        "tenant-skew" => {
+            let cache = Arc::new(JoinPathCache::new(256));
+            let mut registry = TenantRegistry::new();
+            let mut tenants = Vec::new();
+            for (i, name) in DOMAIN_NAMES.iter().take(3).enumerate() {
+                let db = domain_database(name, seed.wrapping_add(i as u64));
+                let slots = derive_slots(&db);
+                let (fp, pipeline) = tenant_pipeline(&db, &cache);
+                registry.register(*name, pipeline, TenantPolicy::default());
+                tenants.push((
+                    fp,
+                    nlidb_benchdata::question_pool(&slots, seed.wrapping_add(i as u64), 16),
+                ));
+            }
+            let clock = Arc::new(ManualClock::new());
+            let mut server = TenantServer::start(
+                &registry,
+                ServerConfig {
+                    workers: 4,
+                    queue_capacity: 4096,
+                    interp_cache: 256,
+                    service_estimate: 1,
+                    ..ServerConfig::default()
+                },
+                clock.clone() as Arc<dyn Clock>,
+            );
+            let stream = nlidb_benchdata::tenant_skew_stream(tenants, seed, n, 1.5);
+            let report = run_open_loop_tenants(
+                &mut server,
+                &clock,
+                stream,
+                OpenLoopConfig {
+                    arrivals_per_tick: 8,
+                    drain_every: 4,
+                },
+            );
+            let metrics = server.shutdown();
+            SoakOutcome {
+                shape: "tenant-skew",
+                report,
+                metrics,
+                spans: None,
+            }
+        }
+        "overload" => {
+            let (mut server, clock) = retail_server(seed, Some(OVERLOAD_POLICY), None);
+            let stream = nlidb_benchdata::zipfian_stream(retail_pool(seed), seed, n, 1.0);
+            let report = run_open_loop(&mut server, &clock, stream, OVERLOAD_SCHEDULE);
+            let metrics = server.shutdown();
+            SoakOutcome {
+                shape: "overload",
+                report,
+                metrics,
+                spans: None,
+            }
+        }
+        other => panic!("unknown soak shape {other:?} (see SOAK_SHAPES)"),
+    }
+}
+
+/// The E20 overload-fidelity audit: replay the overload regime's
+/// exact schedule while recording, per request id, the signature of
+/// every *served* completion — then compare each against an unloaded
+/// closed-loop oracle over the same stream. Returns
+/// `(served, shed, n)` after asserting that the served set is a
+/// signature-identical subset of the oracle (overload degrades *which*
+/// requests get answered, never *what* an answered request says).
+pub fn overload_prefix_audit(seed: u64, n: usize) -> (usize, usize, usize) {
+    use nlidb_serve::{run_closed_loop, Disposition};
+
+    let stream: Vec<_> = nlidb_benchdata::zipfian_stream(retail_pool(seed), seed, n, 1.0).collect();
+
+    // The oracle: every request answered, no overload policy.
+    let (mut server, clock) = retail_server(seed, None, None);
+    let oracle = run_closed_loop(&mut server, &clock, &stream, 32);
+    server.shutdown();
+    assert_eq!(oracle.completions.len(), n, "oracle serves everything");
+    let mut oracle_sig = vec![0u64; n];
+    for c in &oracle.completions {
+        assert!(
+            matches!(c.disposition, Disposition::Answered { .. }),
+            "oracle run must answer every request, got {}",
+            c.signature()
+        );
+        oracle_sig[c.id as usize] = sig_digest(&c.signature());
+    }
+
+    // The audit: the regime's schedule, drains inspected in place.
+    let (mut server, clock) = retail_server(seed, Some(OVERLOAD_POLICY), None);
+    let arrivals = OVERLOAD_SCHEDULE.arrivals_per_tick;
+    let drain_every = OVERLOAD_SCHEDULE.drain_every;
+    let (mut served, mut shed) = (0usize, 0usize);
+    let mut check = |completions: Vec<nlidb_serve::Completion>| {
+        for c in completions {
+            match c.disposition {
+                Disposition::Answered { .. } => {
+                    assert_eq!(
+                        sig_digest(&c.signature()),
+                        oracle_sig[c.id as usize],
+                        "request {} diverged from the unloaded oracle",
+                        c.id
+                    );
+                    served += 1;
+                }
+                Disposition::Shed => shed += 1,
+                ref other => panic!("unexpected disposition in audit: {other:?}"),
+            }
+        }
+    };
+    let mut next = 0usize;
+    let mut since_drain = 0u64;
+    while next < n {
+        for spec in stream.iter().skip(next).take(arrivals) {
+            server.submit(spec);
+        }
+        next += arrivals.min(n - next);
+        clock.advance(1);
+        since_drain += 1;
+        if since_drain >= drain_every {
+            check(server.drain());
+            since_drain = 0;
+        }
+    }
+    check(server.drain());
+    server.shutdown();
+    assert_eq!(served + shed, n, "audit accounts for every request");
+    assert!(shed > 0, "the overload schedule must actually shed");
+    (served, shed, n)
+}
+
+/// FNV-1a of one signature string.
+fn sig_digest(signature: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in signature.as_bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}

@@ -21,6 +21,9 @@
 //!   CoSQL-like dialogues with per-turn gold SQL,
 //! * [`requests`] — interleaved serving streams (hot-question skew +
 //!   in-order conversation turns) for the `nlidb-serve` runtime,
+//! * [`soak`] — lazy open-loop load shapes at 10⁵–10⁶-request scale
+//!   (zipfian popularity, flash crowds, long CoSQL-shaped sessions,
+//!   tenant-skewed mixes) — iterators, never materialized `Vec`s,
 //! * [`faults`] — seeded fault schedules (transient / fatal / worker
 //!   panic) for rehearsing serving-path failure deterministically,
 //! * [`stats`] — dataset statistics harness mirroring the counts the
@@ -34,6 +37,7 @@ pub mod requests;
 pub mod schemas;
 pub mod sessions;
 pub mod slots;
+pub mod soak;
 pub mod stats;
 pub mod templates;
 pub mod wtq;
@@ -49,6 +53,9 @@ pub use schemas::{
 };
 pub use sessions::{cosql_like, sparc_like, SessionExample, SessionKind, TurnExample};
 pub use slots::{derive_slots, SlotSet};
+pub use soak::{
+    flash_crowd_stream, long_session_stream, question_pool, tenant_skew_stream, zipfian_stream,
+};
 pub use stats::{dataset_stats, paper_reference, DatasetStats};
 pub use templates::{spider_like, wikisql_like, QaPair};
 pub use wtq::{answer_match, wtq_like, WtqExample};

@@ -1,0 +1,379 @@
+//! Seeded open-loop load shapes for soak-scale serving runs.
+//!
+//! The closed-loop streams in [`crate::requests`] materialize a `Vec`
+//! — fine at 120 requests, fatal at 10⁶. Every generator here is a
+//! lazy `Iterator<Item = RequestSpec>`: state is one seeded RNG plus a
+//! question pool of fixed size, so a million-request stream costs the
+//! same memory as a hundred-request one. Four shapes cover the load
+//! regimes ROADMAP item 5 names:
+//!
+//! * [`zipfian_stream`] — standalone questions with rank-`k`
+//!   popularity ∝ `1/(k+1)^s`: the skew that makes interpretation
+//!   caches earn their keep, tunable from uniform (`s = 0`) to
+//!   hot-spot (`s ≥ 1.5`).
+//! * [`flash_crowd_stream`] — a zipfian baseline interrupted by exact
+//!   periodic bursts in which *every* arrival asks the crowd question
+//!   (`pool[0]`, which the baseline never asks): the overload
+//!   controller's natural prey, with burst windows checkable to the
+//!   request.
+//! * [`long_session_stream`] — a fixed number of concurrent CoSQL-
+//!   shaped conversations, each at least `min_turns` long (topic
+//!   shifts splice successive dialogues under one session id), turns
+//!   interleaved across sessions but in order within each: sustained
+//!   pressure on session affinity and dialogue state.
+//! * [`tenant_skew_stream`] — a multi-tenant mix where tenant `k`
+//!   receives traffic ∝ `1/(k+1)^s`: the skew that makes fair-share
+//!   shedding observable.
+//!
+//! Everything is a pure function of `(inputs, seed)`; two iterations
+//! of the same constructed stream yield identical requests.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::requests::RequestSpec;
+use crate::sessions::cosql_like;
+use crate::slots::SlotSet;
+use crate::templates::spider_like;
+
+/// A pool of `size` distinct-ish questions for `slots`, ordered by
+/// popularity rank (index 0 = hottest under any zipfian shape). The
+/// pool is the only O(size) allocation a soak stream makes.
+pub fn question_pool(slots: &SlotSet, seed: u64, size: usize) -> Vec<String> {
+    spider_like(slots, seed ^ 0x50a6_0011_50a6_0011, size.max(1))
+        .into_iter()
+        .map(|p| p.question)
+        .collect()
+}
+
+/// Cumulative zipfian weights: rank `k` (0-based) weighs
+/// `1/(k+1)^exponent`. `exponent = 0` is uniform.
+fn zipf_cumulative(count: usize, exponent: f64) -> Vec<f64> {
+    assert!(count > 0, "zipfian pool must be non-empty");
+    assert!(
+        exponent.is_finite() && exponent >= 0.0,
+        "zipfian exponent must be finite and non-negative"
+    );
+    let mut cumulative = Vec::with_capacity(count);
+    let mut total = 0.0;
+    for rank in 1..=count {
+        total += 1.0 / (rank as f64).powf(exponent);
+        cumulative.push(total);
+    }
+    cumulative
+}
+
+/// Sample a rank from frozen cumulative weights.
+fn zipf_pick(cumulative: &[f64], rng: &mut StdRng) -> usize {
+    let total = *cumulative.last().expect("non-empty weights");
+    let u = rng.gen_range(0.0..total);
+    // First rank whose cumulative weight exceeds the draw.
+    cumulative
+        .partition_point(|&c| c <= u)
+        .min(cumulative.len() - 1)
+}
+
+/// `n` standalone requests with zipfian question popularity over
+/// `pool` (rank = pool index). Lazy: holds the pool, the cumulative
+/// weights, and one RNG — never a request `Vec`.
+pub fn zipfian_stream(
+    pool: Vec<String>,
+    seed: u64,
+    n: usize,
+    exponent: f64,
+) -> impl Iterator<Item = RequestSpec> {
+    let cumulative = zipf_cumulative(pool.len(), exponent);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x21bf_5a11_21bf_5a11);
+    (0..n).map(move |_| RequestSpec::single(pool[zipf_pick(&cumulative, &mut rng)].clone()))
+}
+
+/// `n` standalone requests: a zipfian baseline over `pool[1..]`
+/// (exponent 1.0) punctuated by exact flash crowds — request `i` asks
+/// the crowd question `pool[0]` **iff** `i % period < burst_len`, and
+/// the baseline never asks it, so burst membership is decidable from
+/// the question text alone. Requires `pool.len() ≥ 2` and
+/// `0 < burst_len < period`.
+pub fn flash_crowd_stream(
+    pool: Vec<String>,
+    seed: u64,
+    n: usize,
+    period: usize,
+    burst_len: usize,
+) -> impl Iterator<Item = RequestSpec> {
+    assert!(
+        pool.len() >= 2,
+        "flash crowd needs a crowd question and a baseline pool"
+    );
+    assert!(
+        burst_len > 0 && burst_len < period,
+        "burst must be non-empty and shorter than its period"
+    );
+    let cumulative = zipf_cumulative(pool.len() - 1, 1.0);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xf1a5_4c04_f1a5_4c04);
+    (0..n).map(move |i| {
+        if i % period < burst_len {
+            RequestSpec::single(pool[0].clone())
+        } else {
+            RequestSpec::single(pool[1 + zipf_pick(&cumulative, &mut rng)].clone())
+        }
+    })
+}
+
+/// Build one long CoSQL-shaped conversation of at least `min_turns`
+/// utterances by splicing successively-seeded dialogues (each splice
+/// point is a topic shift — the next dialogue opens with a fresh
+/// "show …" that resets context, as CoSQL's multi-goal dialogues do).
+fn long_session(slots: &SlotSet, seed: u64, min_turns: usize) -> VecDeque<String> {
+    let mut turns = VecDeque::new();
+    let mut chunk = 0u64;
+    while turns.len() < min_turns {
+        let before = turns.len();
+        for session in cosql_like(slots, seed ^ chunk.wrapping_mul(0x9e37_79b9_7f4a_7c15), 1) {
+            turns.extend(session.turns.into_iter().map(|t| t.utterance));
+        }
+        assert!(turns.len() > before, "slot set cannot host dialogues");
+        chunk += 1;
+    }
+    turns
+}
+
+/// `n` conversation turns drawn from `concurrent` simultaneously-live
+/// long sessions. Each session id's turns appear in conversation order
+/// (the affinity property); a session that runs dry is immediately
+/// replaced by a fresh one with the next id, so the stream sustains
+/// exactly `concurrent` live conversations for its whole length. Lazy:
+/// holds `concurrent` turn queues, never the stream.
+pub fn long_session_stream<'a>(
+    slots: &'a SlotSet,
+    seed: u64,
+    n: usize,
+    concurrent: usize,
+    min_turns: usize,
+) -> impl Iterator<Item = RequestSpec> + 'a {
+    assert!(concurrent > 0, "need at least one live session");
+    assert!(min_turns > 0, "sessions need turns");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5e55_10f1_5e55_10f1);
+    let mut active: Vec<(u64, VecDeque<String>)> = Vec::with_capacity(concurrent);
+    let mut next_sid = 0u64;
+    let mut emitted = 0usize;
+    std::iter::from_fn(move || {
+        if emitted >= n {
+            return None;
+        }
+        emitted += 1;
+        while active.len() < concurrent {
+            let sid = next_sid;
+            next_sid += 1;
+            active.push((
+                sid,
+                long_session(
+                    slots,
+                    seed ^ sid.wrapping_mul(0x0101_0101_0101_0101),
+                    min_turns,
+                ),
+            ));
+        }
+        let i = rng.gen_range(0..active.len());
+        let (sid, turns) = &mut active[i];
+        let sid = *sid;
+        let question = turns.pop_front().expect("live sessions hold turns");
+        if turns.is_empty() {
+            active.swap_remove(i);
+        }
+        Some(RequestSpec {
+            question,
+            session: Some(sid),
+            deadline: None,
+        })
+    })
+}
+
+/// `n` `(tenant_key, request)` pairs where tenant `k` (by position in
+/// `tenants`) receives traffic ∝ `1/(k+1)^exponent` and each tenant's
+/// questions follow a zipfian (exponent 1.0) over its own pool. The
+/// per-tenant subsequences are themselves seed-deterministic, so a
+/// skewed mix can be replayed tenant by tenant.
+pub fn tenant_skew_stream(
+    tenants: Vec<(u64, Vec<String>)>,
+    seed: u64,
+    n: usize,
+    exponent: f64,
+) -> impl Iterator<Item = (u64, RequestSpec)> {
+    assert!(!tenants.is_empty(), "need at least one tenant");
+    for (key, pool) in &tenants {
+        assert!(
+            !pool.is_empty(),
+            "tenant {key:#x} has an empty question pool"
+        );
+    }
+    let tenant_cumulative = zipf_cumulative(tenants.len(), exponent);
+    let question_cumulative: Vec<Vec<f64>> = tenants
+        .iter()
+        .map(|(_, pool)| zipf_cumulative(pool.len(), 1.0))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7e4a_5c3d_7e4a_5c3d);
+    (0..n).map(move |_| {
+        let t = zipf_pick(&tenant_cumulative, &mut rng);
+        let q = zipf_pick(&question_cumulative[t], &mut rng);
+        let (key, pool) = &tenants[t];
+        (*key, RequestSpec::single(pool[q].clone()))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemas::retail_database;
+    use crate::slots::derive_slots;
+
+    fn slots() -> SlotSet {
+        derive_slots(&retail_database(7))
+    }
+
+    fn counts(stream: impl Iterator<Item = RequestSpec>, pool: &[String]) -> Vec<usize> {
+        let mut counts = vec![0usize; pool.len()];
+        for r in stream {
+            let i = pool.iter().position(|q| *q == r.question).expect("pooled");
+            counts[i] += 1;
+        }
+        counts
+    }
+
+    fn toy_pool(size: usize) -> Vec<String> {
+        (0..size).map(|i| format!("q{i}")).collect()
+    }
+
+    #[test]
+    fn zipfian_is_deterministic_and_seed_sensitive() {
+        let pool = question_pool(&slots(), 42, 16);
+        let a: Vec<RequestSpec> = zipfian_stream(pool.clone(), 42, 200, 1.0).collect();
+        let b: Vec<RequestSpec> = zipfian_stream(pool.clone(), 42, 200, 1.0).collect();
+        let c: Vec<RequestSpec> = zipfian_stream(pool, 43, 200, 1.0).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 200);
+        assert!(a
+            .iter()
+            .all(|r| r.session.is_none() && r.deadline.is_none()));
+    }
+
+    #[test]
+    fn zipfian_exponent_zero_is_roughly_uniform_and_high_is_hot() {
+        let pool = toy_pool(8);
+        let uniform = counts(zipfian_stream(pool.clone(), 42, 8_000, 0.0), &pool);
+        for &c in &uniform {
+            assert!((700..1300).contains(&c), "uniform draw skewed: {uniform:?}");
+        }
+        let hot = counts(zipfian_stream(pool.clone(), 42, 8_000, 2.0), &pool);
+        assert!(
+            hot[0] > 4_000,
+            "exponent 2 over 8 ranks must put a majority on rank 0: {hot:?}"
+        );
+        assert!(hot[0] > hot[7] * 10, "head must dwarf tail: {hot:?}");
+    }
+
+    #[test]
+    fn flash_crowd_bursts_are_exact() {
+        let pool = toy_pool(6);
+        let stream: Vec<RequestSpec> = flash_crowd_stream(pool.clone(), 42, 500, 50, 7).collect();
+        for (i, r) in stream.iter().enumerate() {
+            let in_burst = i % 50 < 7;
+            assert_eq!(
+                r.question == pool[0],
+                in_burst,
+                "request {i}: crowd question iff burst window"
+            );
+        }
+        // Deterministic, including the baseline draws.
+        let again: Vec<RequestSpec> = flash_crowd_stream(pool, 42, 500, 50, 7).collect();
+        assert_eq!(stream, again);
+    }
+
+    #[test]
+    fn long_sessions_keep_turn_order_and_reach_min_turns() {
+        let s = slots();
+        let stream: Vec<RequestSpec> = long_session_stream(&s, 42, 400, 4, 12).collect();
+        assert_eq!(stream.len(), 400);
+        assert!(stream.iter().all(|r| r.session.is_some()));
+        let mut per_session: std::collections::BTreeMap<u64, Vec<&str>> = Default::default();
+        for r in &stream {
+            per_session
+                .entry(r.session.unwrap())
+                .or_default()
+                .push(r.question.as_str());
+        }
+        assert!(
+            per_session.len() > 4,
+            "sessions must retire and be replaced"
+        );
+        // Every session that retired before the stream ended must have
+        // delivered at least min_turns; at most `concurrent` trailing
+        // sessions may be cut short by the stream end.
+        let short = per_session.values().filter(|t| t.len() < 12).count();
+        assert!(short <= 4, "{short} sessions under min_turns");
+        // Per-session turns replay the generator's conversation order.
+        for (&sid, got) in &per_session {
+            let want = long_session(&s, 42 ^ sid.wrapping_mul(0x0101_0101_0101_0101), 12);
+            assert!(
+                got.iter().zip(want.iter()).all(|(g, w)| *g == w),
+                "session {sid} turns out of order"
+            );
+        }
+        // Deterministic.
+        let again: Vec<RequestSpec> = long_session_stream(&s, 42, 400, 4, 12).collect();
+        assert_eq!(stream, again);
+    }
+
+    #[test]
+    fn tenant_skew_favors_the_first_tenant() {
+        let tenants = vec![
+            (0xaaaa_u64, toy_pool(4)),
+            (0xbbbb_u64, toy_pool(4)),
+            (0xcccc_u64, toy_pool(4)),
+        ];
+        let stream: Vec<(u64, RequestSpec)> =
+            tenant_skew_stream(tenants.clone(), 42, 3_000, 1.5).collect();
+        let mut per_tenant: std::collections::BTreeMap<u64, usize> = Default::default();
+        for (key, _) in &stream {
+            *per_tenant.entry(*key).or_default() += 1;
+        }
+        let (a, b, c) = (
+            per_tenant[&0xaaaa],
+            per_tenant[&0xbbbb],
+            per_tenant[&0xcccc],
+        );
+        assert!(a > b && b > c, "skew must follow tenant rank: {a} {b} {c}");
+        assert!(a > 3_000 / 2, "rank-0 tenant must take a majority at s=1.5");
+        let again: Vec<(u64, RequestSpec)> = tenant_skew_stream(tenants, 42, 3_000, 1.5).collect();
+        assert_eq!(stream, again);
+    }
+
+    #[test]
+    fn streams_are_lazy_enough_for_a_million_requests() {
+        // Taking a prefix of a 10⁶-request stream must not cost 10⁶
+        // anything — this completes instantly or the generators are
+        // materializing.
+        let pool = toy_pool(32);
+        let head: Vec<RequestSpec> = zipfian_stream(pool.clone(), 42, 1_000_000, 1.0)
+            .take(50)
+            .collect();
+        assert_eq!(head.len(), 50);
+        let head: Vec<RequestSpec> = flash_crowd_stream(pool, 42, 1_000_000, 1000, 50)
+            .take(50)
+            .collect();
+        assert_eq!(head.len(), 50);
+        let s = slots();
+        let head: Vec<RequestSpec> = long_session_stream(&s, 42, 1_000_000, 8, 10)
+            .take(50)
+            .collect();
+        assert_eq!(head.len(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "burst")]
+    fn rejects_burst_longer_than_period() {
+        let _ = flash_crowd_stream(toy_pool(4), 1, 10, 5, 5);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests for the soak load shapes: over arbitrary seeds and
+//! shape parameters, the generators must be seed-deterministic and
+//! shape-correct — zipfian skew actually concentrates mass by rank,
+//! flash-crowd burst windows are exact to the request, and the
+//! per-request invariants (standalone, no deadline) hold everywhere.
+
+use proptest::prelude::*;
+
+use nlidb_benchdata::{flash_crowd_stream, zipfian_stream, RequestSpec};
+
+fn toy_pool(size: usize) -> Vec<String> {
+    (0..size).map(|i| format!("q{i}")).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn zipfian_is_seed_deterministic(
+        seed in any::<u64>(),
+        pool_size in 1usize..24,
+        n in 0usize..300,
+        exponent_tenths in 0u32..25,
+    ) {
+        let exponent = exponent_tenths as f64 / 10.0;
+        let pool = toy_pool(pool_size);
+        let a: Vec<RequestSpec> = zipfian_stream(pool.clone(), seed, n, exponent).collect();
+        let b: Vec<RequestSpec> = zipfian_stream(pool.clone(), seed, n, exponent).collect();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), n);
+        for r in &a {
+            prop_assert!(r.session.is_none() && r.deadline.is_none());
+            prop_assert!(pool.contains(&r.question));
+        }
+    }
+
+    #[test]
+    fn zipfian_skew_concentrates_on_the_head(
+        seed in any::<u64>(),
+        pool_size in 4usize..16,
+    ) {
+        // At exponent ≥ 1.5 the rank-0 weight is ≥ pool^1.5 times the
+        // tail weight; over 4096 draws the head must beat the last
+        // rank by a wide margin for any seed, and the head count must
+        // itself grow when the exponent does.
+        let pool = toy_pool(pool_size);
+        let tally = |exponent: f64| {
+            let mut counts = vec![0usize; pool_size];
+            for r in zipfian_stream(pool.clone(), seed, 4096, exponent) {
+                let i = pool.iter().position(|q| *q == r.question).unwrap();
+                counts[i] += 1;
+            }
+            counts
+        };
+        let skewed = tally(1.5);
+        prop_assert!(
+            skewed[0] > skewed[pool_size - 1].saturating_mul(4),
+            "head {} vs tail {}", skewed[0], skewed[pool_size - 1]
+        );
+        let uniform = tally(0.0);
+        prop_assert!(
+            skewed[0] > uniform[0] + uniform[0] / 2,
+            "exponent must steepen the head: skewed {} vs uniform {}",
+            skewed[0], uniform[0]
+        );
+    }
+
+    #[test]
+    fn flash_crowd_windows_are_exact_for_any_shape(
+        seed in any::<u64>(),
+        pool_size in 2usize..12,
+        period in 2usize..60,
+        n in 0usize..400,
+    ) {
+        let burst_len = 1 + seed as usize % (period - 1);
+        let pool = toy_pool(pool_size);
+        let stream: Vec<RequestSpec> =
+            flash_crowd_stream(pool.clone(), seed, n, period, burst_len).collect();
+        prop_assert_eq!(stream.len(), n);
+        for (i, r) in stream.iter().enumerate() {
+            // The crowd question appears iff inside the burst window —
+            // the baseline never draws pool[0].
+            prop_assert_eq!(r.question == pool[0], i % period < burst_len, "at {}", i);
+        }
+        let again: Vec<RequestSpec> =
+            flash_crowd_stream(pool, seed, n, period, burst_len).collect();
+        prop_assert_eq!(stream, again);
+    }
+}

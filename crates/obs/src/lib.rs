@@ -24,12 +24,16 @@
 //!   run — never a duration sampled from a real timer.
 //! * [`metrics`] — a [`MetricsRegistry`] of named [`Counter`]s and
 //!   [`Histogram`]s over logical values, with *exact* percentile
-//!   queries (one bucket per value up to a cap, saturating above it).
+//!   queries (one bucket per value up to a cap, saturating above it),
+//!   plus the bounded-memory [`SketchHistogram`] (65 fixed log₂
+//!   buckets, mergeable, never clamps) for soak-scale latency folds.
 //! * [`sink`] — a bounded [`TraceSink`] collecting finished traces from
 //!   concurrent workers. Retention and JSONL export depend only on the
 //!   set of trace ids pushed, never on arrival interleaving, so two
 //!   runs of the same seeded stream export byte-identical JSONL —
-//!   experiment E14's claim.
+//!   experiment E14's claim. [`TraceSink::with_sampling`] adds a
+//!   deterministic id-modulus sampling policy so soak runs keep span
+//!   memory constant without losing reproducibility.
 //! * [`profile`] — the analysis layer over a trace corpus: per-stage
 //!   self vs. inherited cost, critical-path extraction, tail
 //!   attribution (which stage dominates the p95/p99 root cost, split
@@ -52,7 +56,10 @@ pub mod span;
 pub use clock::{Clock, ManualClock};
 pub use export::{chrome_trace_json, folded_stacks};
 pub use jsonl::{parse_jsonl, parse_trace, ParseError};
-pub use metrics::{Counter, Histogram, HistogramSummary, MetricsRegistry, MetricsReport};
+pub use metrics::{
+    Counter, Histogram, HistogramSummary, MetricsRegistry, MetricsReport, SketchHistogram,
+    SKETCH_BUCKETS,
+};
 pub use profile::{
     attr_cost_breakdown, critical_path, critical_path_cost, tail_attribution, AttrBucket, Profile,
     ProfileDiff, StageDelta, StageProfile, TailAttribution,

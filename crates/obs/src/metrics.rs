@@ -1,11 +1,23 @@
-//! Named counters and exact-percentile histograms over logical values.
+//! Named counters and histograms over logical values: an exact
+//! per-value kind and a bounded-memory sketch kind.
 //!
-//! Histograms here are not the approximating kind production metrics
-//! stacks use: the values they observe are small logical quantities
+//! [`Histogram`] is not the approximating kind production metrics
+//! stacks use: the values it observes are small logical quantities
 //! (trace ticks, queue depths, retry counts), so one bucket per value
 //! up to a cap is affordable and makes every percentile query *exact*
 //! (nearest-rank). Observations above the cap saturate into the top
 //! bucket and are counted, so saturation is visible, never silent.
+//!
+//! [`SketchHistogram`] is the soak-scale complement: 65 fixed log₂
+//! buckets cover the whole `u64` range in constant memory, every
+//! observation lands in a bucket (nothing is ever clamped), and two
+//! sketches merge by bucket-wise addition — the shape a 10⁵–10⁶
+//! request open-loop run folds its latencies into. The price is
+//! resolution: percentile queries return the matched bucket's upper
+//! bound, an overestimate of strictly less than 2×. The exact
+//! histogram stays the default everywhere E12–E19 render committed
+//! tables; the sketch is opt-in for drivers that would otherwise
+//! outgrow the cap (see the clamp-cap test pinning the difference).
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -24,9 +36,16 @@ impl Counter {
         Counter::default()
     }
 
-    /// Add `delta`.
+    /// Add `delta`, saturating at `u64::MAX`. Counters are lifetime
+    /// totals — a soak run that actually reached the top of the range
+    /// must read as "pegged", never wrap back toward zero and
+    /// masquerade as a quiet counter.
     pub fn add(&self, delta: u64) {
-        self.0.fetch_add(delta, Ordering::Relaxed);
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_add(delta))
+            });
     }
 
     /// Add one.
@@ -66,6 +85,16 @@ impl Histogram {
     }
 
     /// Record one observation (clamped to the cap).
+    ///
+    /// Clamping is the exact histogram's deliberate memory bound: the
+    /// recorded value, the `sum`, and every percentile above the cap
+    /// all saturate at `cap`, with the excess visible only through
+    /// [`Histogram::clamped`]. A [`SketchHistogram`] never clamps —
+    /// the same observation lands in a log₂ bucket whose upper bound
+    /// may overestimate it, but its count, full-range position, and
+    /// (saturating) raw sum survive. Drivers whose values can exceed
+    /// any affordable cap (open-loop soak latencies) should fold into
+    /// the sketch; everything E12–E19 renders stays on the exact kind.
     pub fn observe(&self, value: u64) {
         let cap = (self.buckets.len() - 1) as u64;
         let v = if value > cap {
@@ -171,6 +200,156 @@ pub struct HistogramSummary {
     pub p95: u64,
     /// Exact 99th percentile.
     pub p99: u64,
+}
+
+/// Number of buckets in a [`SketchHistogram`]: bucket 0 holds the
+/// value 0, bucket `k ≥ 1` holds values in `[2^(k-1), 2^k - 1]`, so 65
+/// buckets cover all of `u64` with no clamping.
+pub const SKETCH_BUCKETS: usize = 65;
+
+/// A bounded-memory, mergeable log₂-bucketed histogram over `u64`.
+///
+/// The soak-scale counterpart of [`Histogram`] (see the module docs
+/// for the trade): 65 fixed buckets, every observation recorded,
+/// nothing clamped, constant memory whatever the value range.
+/// Percentiles are *bucket-resolution*: nearest-rank over the bucket
+/// counts, reported as the matched bucket's inclusive upper bound —
+/// an overestimate of the true percentile by strictly less than 2×
+/// (exact for 0, 1, and 2). `sum` accumulates the *raw* observed
+/// values, saturating at `u64::MAX` rather than wrapping.
+///
+/// Two sketches with identical bucket layout (always — the layout is
+/// fixed) merge by bucket-wise addition, so per-shard sketches can be
+/// folded into one fleet-wide distribution without storing a single
+/// observation.
+#[derive(Debug)]
+pub struct SketchHistogram {
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+}
+
+impl Default for SketchHistogram {
+    fn default() -> SketchHistogram {
+        SketchHistogram::new()
+    }
+}
+
+/// Bucket index of `value`: 0 for 0, else `1 + floor(log2 value)`.
+fn sketch_bucket(value: u64) -> usize {
+    match value {
+        0 => 0,
+        v => 64 - v.leading_zeros() as usize,
+    }
+}
+
+/// Inclusive upper bound of sketch bucket `index` (its reported
+/// representative value): 0 for bucket 0, else `2^index - 1`.
+fn sketch_bucket_top(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        64 => u64::MAX,
+        k => (1u64 << k) - 1,
+    }
+}
+
+impl SketchHistogram {
+    /// An empty sketch.
+    pub fn new() -> SketchHistogram {
+        SketchHistogram {
+            buckets: (0..SKETCH_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation. Never clamps; the raw value is added to
+    /// `sum` (saturating), the count lands in the value's log₂ bucket.
+    pub fn observe(&self, value: u64) {
+        self.buckets[sketch_bucket(value)].fetch_add(1, Ordering::Relaxed);
+        let _ = self
+            .sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some(s.saturating_add(value))
+            });
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Saturating sum of the raw observed values (pre-bucketing — the
+    /// sketch's sum is exact where the exact histogram's is clamped).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Bucket-resolution nearest-rank percentile: the upper bound of
+    /// the bucket holding the nearest-rank observation. `None` when
+    /// empty.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        let buckets = self.bucket_snapshot();
+        sketch_percentile_of(&buckets, p)
+    }
+
+    /// Fold `other` into `self`, bucket by bucket (sum saturates).
+    /// Merging is exact: the merged sketch is byte-identical to one
+    /// that observed both input streams directly.
+    pub fn merge(&self, other: &SketchHistogram) {
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        let _ = self
+            .sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some(s.saturating_add(other.sum()))
+            });
+    }
+
+    /// One relaxed read of every bucket.
+    fn bucket_snapshot(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Freeze into a [`HistogramSummary`] (one bucket snapshot, so the
+    /// summary is internally consistent under concurrent observers,
+    /// like the exact histogram's). `clamped` is always 0 — a sketch
+    /// never clamps — and min/max/percentiles are bucket upper bounds.
+    pub fn summary(&self) -> HistogramSummary {
+        let buckets = self.bucket_snapshot();
+        let count: u64 = buckets.iter().sum();
+        HistogramSummary {
+            count,
+            sum: self.sum(),
+            clamped: 0,
+            min: sketch_percentile_of(&buckets, 0.0).unwrap_or(0),
+            max: sketch_percentile_of(&buckets, 100.0).unwrap_or(0),
+            p50: sketch_percentile_of(&buckets, 50.0).unwrap_or(0),
+            p95: sketch_percentile_of(&buckets, 95.0).unwrap_or(0),
+            p99: sketch_percentile_of(&buckets, 99.0).unwrap_or(0),
+        }
+    }
+}
+
+/// Nearest-rank percentile over frozen sketch buckets, reported as the
+/// matched bucket's upper bound.
+fn sketch_percentile_of(buckets: &[u64], p: f64) -> Option<u64> {
+    let n: u64 = buckets.iter().sum();
+    if n == 0 {
+        return None;
+    }
+    let p = p.clamp(0.0, 100.0);
+    let rank = ((p / 100.0 * n as f64).ceil() as u64).max(1);
+    let mut cumulative = 0u64;
+    for (k, &b) in buckets.iter().enumerate() {
+        cumulative += b;
+        if cumulative >= rank {
+            return Some(sketch_bucket_top(k));
+        }
+    }
+    None // unreachable: cumulative reaches n
 }
 
 /// Default histogram cap for registries: trace-tick costs and queue
@@ -428,6 +607,123 @@ mod tests {
         }
         stop.store(true, Ordering::Relaxed);
         writer.join().expect("writer thread");
+    }
+
+    #[test]
+    fn counter_add_saturates_instead_of_wrapping() {
+        // A soak run that genuinely pegged a counter must read as
+        // "pegged" forever, not wrap into a small, plausible-looking
+        // number.
+        let c = Counter::new();
+        c.store(u64::MAX - 3);
+        c.add(2);
+        assert_eq!(c.get(), u64::MAX - 1);
+        c.add(10);
+        assert_eq!(c.get(), u64::MAX, "saturates at the top");
+        c.add(1);
+        assert_eq!(c.get(), u64::MAX, "and stays there");
+        c.inc();
+        assert_eq!(c.get(), u64::MAX, "inc is add(1)");
+    }
+
+    #[test]
+    fn sketch_buckets_values_by_log2() {
+        assert_eq!(sketch_bucket(0), 0);
+        assert_eq!(sketch_bucket(1), 1);
+        assert_eq!(sketch_bucket(2), 2);
+        assert_eq!(sketch_bucket(3), 2);
+        assert_eq!(sketch_bucket(4), 3);
+        assert_eq!(sketch_bucket(1023), 10);
+        assert_eq!(sketch_bucket(1024), 11);
+        assert_eq!(sketch_bucket(u64::MAX), 64);
+        assert_eq!(sketch_bucket_top(0), 0);
+        assert_eq!(sketch_bucket_top(1), 1);
+        assert_eq!(sketch_bucket_top(2), 3);
+        assert_eq!(sketch_bucket_top(64), u64::MAX);
+        // Round trip: every value sits at or below its bucket's top,
+        // and strictly above the previous bucket's top.
+        for v in [0u64, 1, 2, 5, 100, 1 << 20, u64::MAX - 1, u64::MAX] {
+            let k = sketch_bucket(v);
+            assert!(v <= sketch_bucket_top(k));
+            if k > 0 {
+                assert!(v > sketch_bucket_top(k - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn sketch_percentile_overestimates_by_less_than_two_x() {
+        let s = SketchHistogram::new();
+        let values = [1u64, 3, 7, 9, 20, 150, 151, 1000, 40_000, 1 << 33];
+        for &v in &values {
+            s.observe(v);
+        }
+        assert_eq!(s.count(), values.len() as u64);
+        assert_eq!(s.sum(), values.iter().sum::<u64>());
+        for p in [0.0, 10.0, 50.0, 90.0, 95.0, 99.0, 100.0] {
+            // Nearest-rank exact percentile over the sorted values.
+            let rank = ((p / 100.0 * values.len() as f64).ceil() as usize).max(1);
+            let exact = values[rank - 1];
+            let sketched = s.percentile(p).unwrap();
+            assert!(sketched >= exact, "p{p}: {sketched} >= {exact}");
+            assert!(
+                sketched < exact.saturating_mul(2).max(1),
+                "p{p}: {sketched} < 2×{exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn sketch_never_clamps_where_the_exact_histogram_does() {
+        // The documented trade: the exact histogram clamps visibly at
+        // its cap; the sketch records the same stream with no clamping
+        // and a bucket-resolution (≤ 2×) tail instead.
+        let exact = Histogram::with_cap(4);
+        let sketch = SketchHistogram::new();
+        for v in [3u64, 4, 100, u64::MAX] {
+            exact.observe(v);
+            sketch.observe(v);
+        }
+        assert_eq!(exact.clamped(), 2);
+        assert_eq!(exact.percentile(100.0), Some(4), "tail truncated at cap");
+        assert_eq!(exact.sum(), 3 + 4 + 4 + 4, "sum is post-clamp");
+        assert_eq!(sketch.summary().clamped, 0, "a sketch never clamps");
+        assert_eq!(sketch.percentile(100.0), Some(u64::MAX), "tail survives");
+        assert_eq!(sketch.sum(), u64::MAX, "raw sum, saturating");
+    }
+
+    #[test]
+    fn sketch_merge_equals_observing_both_streams() {
+        let a = SketchHistogram::new();
+        let b = SketchHistogram::new();
+        let both = SketchHistogram::new();
+        for v in [0u64, 1, 5, 5, 900] {
+            a.observe(v);
+            both.observe(v);
+        }
+        for v in [2u64, 5, 1 << 40] {
+            b.observe(v);
+            both.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), both.count());
+        assert_eq!(a.sum(), both.sum());
+        assert_eq!(a.summary(), both.summary());
+        for p in [0.0, 25.0, 50.0, 75.0, 99.0, 100.0] {
+            assert_eq!(a.percentile(p), both.percentile(p), "p{p}");
+        }
+    }
+
+    #[test]
+    fn empty_sketch_has_no_percentiles_and_zero_summary() {
+        let s = SketchHistogram::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.percentile(50.0), None);
+        let sum = s.summary();
+        assert_eq!(
+            (sum.count, sum.sum, sum.min, sum.max, sum.p50),
+            (0, 0, 0, 0, 0)
+        );
     }
 
     #[test]

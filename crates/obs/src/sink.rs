@@ -8,6 +8,15 @@
 //! so largest = newest — a ring buffer over logical time), and JSONL
 //! export walks ids ascending. Two runs that push the same traces
 //! export byte-identical JSONL no matter how their threads raced.
+//!
+//! For soak-scale runs the sink additionally supports a deterministic
+//! *sampling* policy ([`TraceSink::with_sampling`]): only traces whose
+//! id is a multiple of `every` are admitted at all; the rest are
+//! counted in [`TraceSink::sampled_out`] and never stored. Because the
+//! keep/discard decision is a pure function of the id — not of
+//! arrival order, sink occupancy, or randomness — a sampled sink is
+//! exactly as reproducible as an unsampled one, and `every = 1` (the
+//! [`TraceSink::new`] default) is byte-for-byte the old behavior.
 
 use std::collections::BTreeMap;
 use std::sync::Mutex;
@@ -18,6 +27,7 @@ use crate::span::Trace;
 #[derive(Debug)]
 pub struct TraceSink {
     capacity: usize,
+    every: u64,
     inner: Mutex<Inner>,
 }
 
@@ -25,21 +35,38 @@ pub struct TraceSink {
 struct Inner {
     traces: BTreeMap<u64, Trace>,
     dropped: u64,
+    sampled_out: u64,
 }
 
 impl TraceSink {
-    /// A sink retaining at most `capacity` traces (at least 1).
+    /// A sink retaining at most `capacity` traces (at least 1),
+    /// admitting every trace.
     pub fn new(capacity: usize) -> TraceSink {
+        TraceSink::with_sampling(capacity, 1)
+    }
+
+    /// A sink that admits only traces whose id is a multiple of
+    /// `every` (at least 1; `every = 1` admits everything). Discarded
+    /// traces are counted, never stored — the memory cost of a soak
+    /// run's tracing is `capacity` traces regardless of stream length.
+    pub fn with_sampling(capacity: usize, every: u64) -> TraceSink {
         TraceSink {
             capacity: capacity.max(1),
+            every: every.max(1),
             inner: Mutex::new(Inner::default()),
         }
     }
 
-    /// Insert a finished trace. When full, the smallest id in the sink
-    /// (oldest request, possibly the incoming one) is evicted.
+    /// Insert a finished trace. Traces sampled out by the `every`
+    /// policy are discarded immediately; otherwise, when full, the
+    /// smallest id in the sink (oldest request, possibly the incoming
+    /// one) is evicted.
     pub fn push(&self, trace: Trace) {
         let mut inner = self.inner.lock().expect("sink lock");
+        if !trace.id.is_multiple_of(self.every) {
+            inner.sampled_out += 1;
+            return;
+        }
         inner.traces.insert(trace.id, trace);
         while inner.traces.len() > self.capacity {
             let oldest = *inner.traces.keys().next().expect("non-empty");
@@ -61,6 +88,13 @@ impl TraceSink {
     /// Traces evicted so far.
     pub fn dropped(&self) -> u64 {
         self.inner.lock().expect("sink lock").dropped
+    }
+
+    /// Traces discarded by the sampling policy (never stored at all —
+    /// distinct from `dropped`, which counts capacity evictions of
+    /// admitted traces).
+    pub fn sampled_out(&self) -> u64 {
+        self.inner.lock().expect("sink lock").sampled_out
     }
 
     /// All retained traces, ascending by id.
@@ -161,5 +195,48 @@ mod tests {
         let sink = TraceSink::new(0);
         sink.push(trace(9));
         assert_eq!(sink.len(), 1);
+    }
+
+    #[test]
+    fn sampling_keeps_exactly_the_multiples_of_every() {
+        let sink = TraceSink::with_sampling(100, 4);
+        for id in 0..20 {
+            sink.push(trace(id));
+        }
+        let kept: Vec<u64> = sink.traces().iter().map(|t| t.id).collect();
+        assert_eq!(kept, vec![0, 4, 8, 12, 16]);
+        assert_eq!(sink.sampled_out(), 15);
+        assert_eq!(sink.dropped(), 0, "sampled-out traces are not evictions");
+    }
+
+    #[test]
+    fn sampling_is_order_insensitive_like_retention() {
+        let ascending = TraceSink::with_sampling(2, 3);
+        let shuffled = TraceSink::with_sampling(2, 3);
+        for id in 0..12 {
+            ascending.push(trace(id));
+        }
+        for id in [7, 0, 11, 3, 9, 1, 6, 4, 10, 2, 8, 5] {
+            shuffled.push(trace(id));
+        }
+        assert_eq!(ascending.export_jsonl(), shuffled.export_jsonl());
+        assert_eq!(ascending.sampled_out(), shuffled.sampled_out());
+        assert_eq!(ascending.dropped(), shuffled.dropped());
+    }
+
+    #[test]
+    fn every_one_is_the_unsampled_sink() {
+        let plain = TraceSink::new(3);
+        let sampled = TraceSink::with_sampling(3, 1);
+        for id in 0..10 {
+            plain.push(trace(id));
+            sampled.push(trace(id));
+        }
+        assert_eq!(plain.export_jsonl(), sampled.export_jsonl());
+        assert_eq!(sampled.sampled_out(), 0);
+        // every = 0 is clamped to 1, not "discard everything".
+        let clamped = TraceSink::with_sampling(3, 0);
+        clamped.push(trace(1));
+        assert_eq!(clamped.len(), 1);
     }
 }

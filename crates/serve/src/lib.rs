@@ -34,8 +34,12 @@
 //!   breaker / fault evidence, pipeline stages) in a deterministic
 //!   [`TraceSink`](nlidb_obs::TraceSink) — E14's byte-identical-JSONL
 //!   claim.
-//! * [`loadgen`] — a seeded closed-loop driver replaying
-//!   [`nlidb_benchdata::request_stream`] workloads batch by batch.
+//! * [`loadgen`] — seeded load drivers: the exact closed loop
+//!   replaying [`nlidb_benchdata::request_stream`] workloads batch by
+//!   batch, and the soak-scale open loop ([`loadgen::run_open_loop`])
+//!   whose arrival schedule is decoupled from completion and whose
+//!   completions fold into a streaming [`loadgen::SoakReport`] —
+//!   O(1) memory at 10⁵–10⁶ requests.
 //! * [`fault`] / [`retry`] — the robustness layer: seeded fault
 //!   injection through the request hook, retry with logical backoff,
 //!   per-interpreter circuit breakers, graceful degradation down the
@@ -79,14 +83,18 @@ pub mod tenant;
 pub use clock::{Clock, ManualClock};
 pub use fault::{fault_plan_hook, silence_worker_panics, HookCtx, InjectedFault};
 pub use journal::{AuditRecord, JournalEntry, SessionJournal};
-pub use loadgen::{run_closed_loop, run_closed_loop_tenants, with_deadlines, LoadReport};
+pub use loadgen::{
+    run_closed_loop, run_closed_loop_tenants, run_open_loop, run_open_loop_tenants, with_deadlines,
+    LoadReport, OpenLoopConfig, SoakReport,
+};
 pub use lru::LruCache;
 pub use metrics::{MetricsSnapshot, ServeMetrics};
 pub use obs::ServeObs;
 pub use retry::{BreakerPolicy, CircuitBreaker, RetryPolicy};
 pub use router::TenantServer;
 pub use server::{
-    normalize_question, Admission, Completion, Disposition, RequestHook, Server, ServerConfig,
+    normalize_question, Admission, Completion, Disposition, OverloadPolicy, RequestHook, Server,
+    ServerConfig,
 };
 pub use tenant::{
     schema_fingerprint, schema_fingerprint_of, tenant_pipeline, TenantEntry, TenantPolicy,

@@ -1,19 +1,40 @@
-//! A seeded closed-loop load driver.
+//! Seeded load drivers: the exact closed loop and the soak-scale open
+//! loop.
 //!
-//! Replays a [`RequestSpec`] stream against a [`Server`] in fixed-size
-//! batches: submit a batch, advance the [`ManualClock`] one tick,
-//! drain, repeat. Closed-loop means a batch's completions are
-//! collected before the next batch is offered — so queue depth (and
-//! therefore shedding) is a pure function of `batch` and the server's
-//! `queue_capacity`, never of thread scheduling.
+//! [`run_closed_loop`] replays a [`RequestSpec`] stream against a
+//! [`Server`] in fixed-size batches: submit a batch, advance the
+//! [`ManualClock`] one tick, drain, repeat. Closed-loop means a
+//! batch's completions are collected before the next batch is offered
+//! — so queue depth (and therefore shedding) is a pure function of
+//! `batch` and the server's `queue_capacity`, never of thread
+//! scheduling. It keeps every [`Completion`] and is what E12–E19
+//! compare signature-for-signature.
+//!
+//! [`run_open_loop`] decouples arrivals from completions, the way real
+//! traffic does: a fixed number of requests arrive every tick whether
+//! or not earlier ones finished, and the server is only drained every
+//! `drain_every` ticks — so between drains the credit ledger
+//! accumulates `arrivals_per_tick × drain_every` requests and
+//! sustained saturation is a *deterministic* property of the schedule,
+//! not an accident of thread timing. At soak scale (10⁵–10⁶ requests)
+//! nothing may accumulate per request: completions are folded into a
+//! [`SoakReport`] — counters, a bounded-memory latency sketch, and a
+//! rolling signature digest — the moment they drain, and dropped.
+//!
+//! Sojourn latency is measured in logical ticks, submit to drain; it
+//! is recorded for *served* requests only (answered, session replies,
+//! degraded answers) — a shed request has no service time.
+
+use std::collections::HashMap;
 
 use nlidb_benchdata::RequestSpec;
+use nlidb_obs::SketchHistogram;
 
-use crate::clock::ManualClock;
+use crate::clock::{Clock, ManualClock};
 use crate::router::TenantServer;
-use crate::server::{Completion, Server};
+use crate::server::{Completion, Disposition, Server};
 
-/// Everything a load run produced.
+/// Everything a closed-loop run produced.
 #[derive(Debug, Clone)]
 pub struct LoadReport {
     /// All completions, in submission order.
@@ -39,7 +60,11 @@ pub fn run_closed_loop(
     batch: usize,
 ) -> LoadReport {
     let batch = batch.max(1);
-    let mut completions = Vec::with_capacity(stream.len());
+    // Grown drain by drain — capacity stays chunk-bounded instead of
+    // preallocating the whole stream's length up front (the soak-scale
+    // hazard the open loop avoids entirely by never keeping
+    // completions at all).
+    let mut completions = Vec::new();
     let mut batches = 0;
     for chunk in stream.chunks(batch) {
         for spec in chunk {
@@ -66,7 +91,7 @@ pub fn run_closed_loop_tenants(
     batch: usize,
 ) -> LoadReport {
     let batch = batch.max(1);
-    let mut completions = Vec::with_capacity(stream.len());
+    let mut completions = Vec::new();
     let mut batches = 0;
     for chunk in stream.chunks(batch) {
         for (fingerprint, spec) in chunk {
@@ -80,6 +105,287 @@ pub fn run_closed_loop_tenants(
         completions,
         batches,
     }
+}
+
+/// The open-loop arrival schedule (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpenLoopConfig {
+    /// Requests offered per clock tick, regardless of completions
+    /// (at least 1).
+    pub arrivals_per_tick: usize,
+    /// Ticks between drains (at least 1). Between drains the credit
+    /// ledger only grows — this knob times overload pressure.
+    pub drain_every: u64,
+}
+
+impl Default for OpenLoopConfig {
+    fn default() -> OpenLoopConfig {
+        OpenLoopConfig {
+            arrivals_per_tick: 8,
+            drain_every: 4,
+        }
+    }
+}
+
+/// FNV-1a continuation: fold `bytes` into a running 64-bit hash.
+fn fnv1a_chain(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// The FNV-1a offset basis — the rolling digest's initial value.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// The streaming summary of an open-loop run: O(1) memory in the
+/// stream length. Completions fold in as they drain — disposition
+/// counters, a [`SketchHistogram`] of served sojourn ticks, and a
+/// rolling FNV-1a digest of every [`Completion::signature`] in id
+/// order — and are then dropped. Two runs fold byte-identical
+/// summaries iff they served the stream identically.
+#[derive(Debug)]
+pub struct SoakReport {
+    /// Requests offered to the server.
+    pub requests: u64,
+    /// Standalone questions answered at full fidelity.
+    pub answered: u64,
+    /// Dialogue turns processed.
+    pub session_replies: u64,
+    /// Questions answered by a weaker interpreter family.
+    pub degraded: u64,
+    /// Requests the pipeline refused or the runtime could not place.
+    pub refused: u64,
+    /// Requests shed at admission (queue-full, cost, or overload —
+    /// the metrics snapshot breaks these apart).
+    pub shed: u64,
+    /// Requests rejected for an unmeetable deadline.
+    pub deadline_exceeded: u64,
+    /// Drains performed.
+    pub drains: u64,
+    /// Clock ticks the run spanned.
+    pub ticks: u64,
+    /// Sojourn ticks (submit → drain) of served requests, in a
+    /// bounded-memory log₂-bucket sketch.
+    pub latency: SketchHistogram,
+    /// Submit ticks of requests still awaiting their drain — bounded
+    /// by one drain window's arrivals, emptied by every drain.
+    pending: HashMap<u64, u64>,
+    /// Rolling FNV-1a digest over completion signatures, folded in id
+    /// order.
+    digest: u64,
+}
+
+impl Default for SoakReport {
+    fn default() -> SoakReport {
+        SoakReport::new()
+    }
+}
+
+impl SoakReport {
+    /// An empty report.
+    pub fn new() -> SoakReport {
+        SoakReport {
+            requests: 0,
+            answered: 0,
+            session_replies: 0,
+            degraded: 0,
+            refused: 0,
+            shed: 0,
+            deadline_exceeded: 0,
+            drains: 0,
+            ticks: 0,
+            latency: SketchHistogram::new(),
+            pending: HashMap::new(),
+            digest: FNV_OFFSET,
+        }
+    }
+
+    /// Note a submission: request `id` went in at `tick`.
+    fn note_submit(&mut self, id: u64, tick: u64) {
+        self.requests += 1;
+        self.pending.insert(id, tick);
+    }
+
+    /// Fold one drained completion and drop it. `drain_tick` is the
+    /// clock tick of the drain that delivered it.
+    fn fold(&mut self, completion: &Completion, drain_tick: u64) {
+        let submitted = self
+            .pending
+            .remove(&completion.id)
+            .expect("completion for a noted submission");
+        let served = match completion.disposition {
+            Disposition::Answered { .. } => {
+                self.answered += 1;
+                true
+            }
+            Disposition::SessionReply { .. } => {
+                self.session_replies += 1;
+                true
+            }
+            Disposition::Degraded { .. } => {
+                self.degraded += 1;
+                true
+            }
+            Disposition::Refused { .. } => {
+                self.refused += 1;
+                false
+            }
+            Disposition::Shed => {
+                self.shed += 1;
+                false
+            }
+            Disposition::DeadlineExceeded => {
+                self.deadline_exceeded += 1;
+                false
+            }
+        };
+        if served {
+            self.latency.observe(drain_tick.saturating_sub(submitted));
+        }
+        self.digest = fnv1a_chain(self.digest, completion.signature().as_bytes());
+        self.digest = fnv1a_chain(self.digest, b"\n");
+    }
+
+    /// Requests served at some fidelity (answered + session replies +
+    /// degraded).
+    pub fn served(&self) -> u64 {
+        self.answered + self.session_replies + self.degraded
+    }
+
+    /// The rolling FNV-1a digest over every completion signature, in
+    /// id order. Equal digests ⇔ signature-identical runs; this is the
+    /// O(1)-memory stand-in for comparing full signature vectors.
+    pub fn signature_digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// One canonical line: every counter, the latency percentiles
+    /// (bucket upper bounds, 0 when nothing was served), and the
+    /// signature digest. E20 byte-compares exactly this across paired
+    /// runs.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "requests={} served={} answered={} session={} degraded={} refused={} shed={} \
+             deadline={} drains={} ticks={} p50={} p95={} p99={} digest={:016x}",
+            self.requests,
+            self.served(),
+            self.answered,
+            self.session_replies,
+            self.degraded,
+            self.refused,
+            self.shed,
+            self.deadline_exceeded,
+            self.drains,
+            self.ticks,
+            self.latency.percentile(50.0).unwrap_or(0),
+            self.latency.percentile(95.0).unwrap_or(0),
+            self.latency.percentile(99.0).unwrap_or(0),
+            self.digest,
+        )
+    }
+}
+
+/// Drive a lazy `stream` through `server` open-loop (see the module
+/// docs): `arrivals_per_tick` requests arrive per tick whether or not
+/// earlier ones finished, the server is drained every `drain_every`
+/// ticks (plus once at the end), and completions fold straight into
+/// the returned [`SoakReport`].
+pub fn run_open_loop(
+    server: &mut Server,
+    clock: &ManualClock,
+    stream: impl IntoIterator<Item = RequestSpec>,
+    config: OpenLoopConfig,
+) -> SoakReport {
+    let arrivals = config.arrivals_per_tick.max(1);
+    let drain_every = config.drain_every.max(1);
+    let start = clock.now();
+    let mut report = SoakReport::new();
+    let mut stream = stream.into_iter();
+    let mut since_drain = 0u64;
+    let mut exhausted = false;
+    while !exhausted {
+        for _ in 0..arrivals {
+            match stream.next() {
+                Some(spec) => {
+                    let id = server.submit(&spec).id();
+                    report.note_submit(id, clock.now());
+                }
+                None => {
+                    exhausted = true;
+                    break;
+                }
+            }
+        }
+        clock.advance(1);
+        since_drain += 1;
+        if since_drain >= drain_every {
+            let tick = clock.now();
+            for c in server.drain() {
+                report.fold(&c, tick);
+            }
+            report.drains += 1;
+            since_drain = 0;
+        }
+    }
+    let tick = clock.now();
+    for c in server.drain() {
+        report.fold(&c, tick);
+    }
+    report.drains += 1;
+    report.ticks = clock.now() - start;
+    debug_assert!(report.pending.is_empty(), "final drain folds everything");
+    report
+}
+
+/// [`run_open_loop`] for a multi-tenant stream of
+/// `(schema fingerprint, request)` pairs against a [`TenantServer`].
+pub fn run_open_loop_tenants(
+    server: &mut TenantServer,
+    clock: &ManualClock,
+    stream: impl IntoIterator<Item = (u64, RequestSpec)>,
+    config: OpenLoopConfig,
+) -> SoakReport {
+    let arrivals = config.arrivals_per_tick.max(1);
+    let drain_every = config.drain_every.max(1);
+    let start = clock.now();
+    let mut report = SoakReport::new();
+    let mut stream = stream.into_iter();
+    let mut since_drain = 0u64;
+    let mut exhausted = false;
+    while !exhausted {
+        for _ in 0..arrivals {
+            match stream.next() {
+                Some((fingerprint, spec)) => {
+                    let id = server.submit(fingerprint, &spec).id();
+                    report.note_submit(id, clock.now());
+                }
+                None => {
+                    exhausted = true;
+                    break;
+                }
+            }
+        }
+        clock.advance(1);
+        since_drain += 1;
+        if since_drain >= drain_every {
+            let tick = clock.now();
+            for c in server.drain() {
+                report.fold(&c, tick);
+            }
+            report.drains += 1;
+            since_drain = 0;
+        }
+    }
+    let tick = clock.now();
+    for c in server.drain() {
+        report.fold(&c, tick);
+    }
+    report.drains += 1;
+    report.ticks = clock.now() - start;
+    debug_assert!(report.pending.is_empty(), "final drain folds everything");
+    report
 }
 
 /// Assign a deadline of `now + budget` ticks to every `period`-th
@@ -108,10 +414,26 @@ pub fn with_deadlines(
 mod tests {
     use super::*;
     use crate::clock::{Clock, ManualClock};
-    use crate::server::ServerConfig;
-    use nlidb_benchdata::{derive_slots, request_stream, retail_database};
+    use crate::server::{OverloadPolicy, ServerConfig};
+    use nlidb_benchdata::{derive_slots, question_pool, request_stream, retail_database};
     use nlidb_core::pipeline::NliPipeline;
     use std::sync::Arc;
+
+    fn setup(workers: usize, overload: Option<OverloadPolicy>) -> (Server, Arc<ManualClock>) {
+        let db = retail_database(7);
+        let pipeline = Arc::new(NliPipeline::standard(&db));
+        let clock = Arc::new(ManualClock::new());
+        let server = Server::start(
+            pipeline,
+            ServerConfig {
+                workers,
+                overload,
+                ..ServerConfig::default()
+            },
+            clock.clone() as Arc<dyn Clock>,
+        );
+        (server, clock)
+    }
 
     #[test]
     fn closed_loop_completes_everything() {
@@ -149,5 +471,81 @@ mod tests {
         assert_eq!(deadlines[6], Some(6));
         assert_eq!(deadlines[9], Some(7));
         assert!(deadlines[1].is_none() && deadlines[2].is_none());
+    }
+
+    #[test]
+    fn open_loop_accounts_every_request_and_is_repeatable() {
+        let db = retail_database(7);
+        let slots = derive_slots(&db);
+        let pool = question_pool(&slots, 42, 8);
+        let run = || {
+            let (mut server, clock) = setup(2, None);
+            let stream = nlidb_benchdata::zipfian_stream(pool.clone(), 42, 120, 1.0);
+            let report = run_open_loop(
+                &mut server,
+                &clock,
+                stream,
+                OpenLoopConfig {
+                    arrivals_per_tick: 6,
+                    drain_every: 3,
+                },
+            );
+            server.shutdown();
+            report.summary_line()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a, b, "open-loop summaries are byte-identical");
+        assert!(a.contains("requests=120"), "unexpected summary: {a}");
+        // Everything either served or rejected — nothing vanishes.
+        let report = {
+            let (mut server, clock) = setup(2, None);
+            let stream = nlidb_benchdata::zipfian_stream(pool.clone(), 42, 120, 1.0);
+            let r = run_open_loop(&mut server, &clock, stream, OpenLoopConfig::default());
+            server.shutdown();
+            r
+        };
+        assert_eq!(
+            report.served() + report.refused + report.shed + report.deadline_exceeded,
+            report.requests
+        );
+        assert!(report.latency.count() > 0, "served requests have sojourns");
+    }
+
+    #[test]
+    fn open_loop_overload_sheds_then_recovers() {
+        let db = retail_database(7);
+        let slots = derive_slots(&db);
+        let pool = question_pool(&slots, 42, 6);
+        let policy = OverloadPolicy {
+            high_watermark: 8,
+            low_watermark: 2,
+            cost_threshold: 0,
+        };
+        let (mut server, clock) = setup(1, Some(policy));
+        // Warm pass teaches costs without pressure.
+        let warm: Vec<RequestSpec> =
+            nlidb_benchdata::zipfian_stream(pool.clone(), 7, 6, 0.0).collect();
+        run_closed_loop(&mut server, &clock, &warm, 1);
+        // Open loop at 6 arrivals/tick, drain every 4 ticks: the
+        // ledger hits 8+ mid-window, so overload must engage.
+        let stream = nlidb_benchdata::zipfian_stream(pool.clone(), 42, 200, 1.0);
+        let report = run_open_loop(
+            &mut server,
+            &clock,
+            stream,
+            OpenLoopConfig {
+                arrivals_per_tick: 6,
+                drain_every: 4,
+            },
+        );
+        let m = server.shutdown();
+        assert!(m.overload_entered > 0, "pressure must open episodes");
+        assert_eq!(
+            m.overload_entered, m.overload_recovered,
+            "every episode closed by a drain — the controller never wedges"
+        );
+        assert!(m.shed_overload > 0, "learned-expensive repeats were shed");
+        assert_eq!(report.shed, m.shed_overload + m.shed_full + m.shed_cost);
+        assert!(report.served() > 0, "degradation, not collapse");
     }
 }

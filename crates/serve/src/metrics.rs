@@ -30,6 +30,20 @@ pub struct ServeMetrics {
     /// target queue was under pressure (always 0 with cost-aware
     /// shedding off — the default).
     pub shed_cost: AtomicU64,
+    /// Requests shed by the overload controller while the runtime was
+    /// above its high watermark: standalone repeats whose learned plan
+    /// cost exceeded the policy threshold, or standalone traffic from
+    /// a tenant over its fair share of the overload episode (always 0
+    /// with no [`crate::OverloadPolicy`] — the default).
+    pub shed_overload: AtomicU64,
+    /// Overload episodes begun: the credit ledger crossed the policy's
+    /// high watermark while the controller was idle.
+    pub overload_entered: AtomicU64,
+    /// Overload episodes ended: pressure fell back to the low
+    /// watermark (the drain-to-empty invariant guarantees every
+    /// episode ends at the next drain, so after a final drain this
+    /// equals `overload_entered` — the controller never wedges).
+    pub overload_recovered: AtomicU64,
     /// Questions refused *before execution* because their plan's
     /// estimated cost exceeded the tenant's `cost_ceiling` (always 0
     /// for tenants without a ceiling). Also counted in `refused`.
@@ -107,6 +121,9 @@ impl ServeMetrics {
             shed_deadline: AtomicU64::new(0),
             quota_refused: AtomicU64::new(0),
             shed_cost: AtomicU64::new(0),
+            shed_overload: AtomicU64::new(0),
+            overload_entered: AtomicU64::new(0),
+            overload_recovered: AtomicU64::new(0),
             cost_refused: AtomicU64::new(0),
             candidates_rejected: AtomicU64::new(0),
             answered: AtomicU64::new(0),
@@ -147,6 +164,9 @@ impl ServeMetrics {
             shed_deadline: self.shed_deadline.load(Ordering::Relaxed),
             quota_refused: self.quota_refused.load(Ordering::Relaxed),
             shed_cost: self.shed_cost.load(Ordering::Relaxed),
+            shed_overload: self.shed_overload.load(Ordering::Relaxed),
+            overload_entered: self.overload_entered.load(Ordering::Relaxed),
+            overload_recovered: self.overload_recovered.load(Ordering::Relaxed),
             cost_refused: self.cost_refused.load(Ordering::Relaxed),
             candidates_rejected: self.candidates_rejected.load(Ordering::Relaxed),
             answered: self.answered.load(Ordering::Relaxed),
@@ -231,6 +251,12 @@ pub struct MetricsSnapshot {
     pub quota_refused: u64,
     /// See [`ServeMetrics::shed_cost`].
     pub shed_cost: u64,
+    /// See [`ServeMetrics::shed_overload`].
+    pub shed_overload: u64,
+    /// See [`ServeMetrics::overload_entered`].
+    pub overload_entered: u64,
+    /// See [`ServeMetrics::overload_recovered`].
+    pub overload_recovered: u64,
     /// See [`ServeMetrics::cost_refused`].
     pub cost_refused: u64,
     /// See [`ServeMetrics::candidates_rejected`].
@@ -300,13 +326,16 @@ impl MetricsSnapshot {
     }
 
     /// Every scalar counter as `(bare_name, value)`, in export order.
-    fn scalar_fields(&self) -> [(&'static str, u64); 27] {
+    fn scalar_fields(&self) -> [(&'static str, u64); 30] {
         [
             ("submitted", self.submitted),
             ("admitted", self.admitted),
             ("shed_full", self.shed_full),
             ("shed_deadline", self.shed_deadline),
             ("shed_cost", self.shed_cost),
+            ("shed_overload", self.shed_overload),
+            ("overload_entered", self.overload_entered),
+            ("overload_recovered", self.overload_recovered),
             ("quota_refused", self.quota_refused),
             ("cost_refused", self.cost_refused),
             ("candidates_rejected", self.candidates_rejected),
@@ -374,6 +403,11 @@ impl fmt::Display for MetricsSnapshot {
             self.shed_cost,
             self.quota_refused,
             self.cost_refused
+        )?;
+        writeln!(
+            f,
+            "overload: shed {}  entered {}  recovered {}",
+            self.shed_overload, self.overload_entered, self.overload_recovered
         )?;
         writeln!(
             f,
@@ -460,6 +494,7 @@ mod tests {
         for needle in [
             "submitted",
             "shed",
+            "overload:",
             "interp-cache",
             "faults:",
             "worker deaths",

@@ -33,8 +33,17 @@ pub struct ServeObs {
 impl ServeObs {
     /// A fresh sink (retaining `trace_capacity` traces) and registry.
     pub fn new(trace_capacity: usize) -> ServeObs {
+        ServeObs::sampled(trace_capacity, 1)
+    }
+
+    /// Like [`ServeObs::new`], but the sink samples: only traces whose
+    /// id is a multiple of `every` are stored. Soak drivers use this so
+    /// span memory stays `trace_capacity` whatever the stream length;
+    /// metrics histograms still observe *every* trace (sampling gates
+    /// storage, not measurement).
+    pub fn sampled(trace_capacity: usize, every: u64) -> ServeObs {
         ServeObs {
-            sink: Arc::new(TraceSink::new(trace_capacity)),
+            sink: Arc::new(TraceSink::with_sampling(trace_capacity, every)),
             registry: Arc::new(MetricsRegistry::new()),
         }
     }

@@ -114,6 +114,18 @@ pub struct ServerConfig {
     /// threshold are shed *before* the queue fills — expensive plans
     /// go first, cheap ones keep flowing.
     pub cost_shed: Option<CostShedPolicy>,
+    /// High/low-watermark overload control (`None` = off, the default
+    /// — leaving admission byte-identical to the pre-overload
+    /// runtime). When set, the submitter watches the credit ledger's
+    /// *total* outstanding count: crossing `high_watermark` opens an
+    /// overload episode in which learned-expensive standalone repeats
+    /// and standalone traffic from tenants over their fair share are
+    /// shed at admission; the episode closes — deterministically, at
+    /// the latest at the next drain, which returns every credit — once
+    /// pressure falls back to `low_watermark`. Dialogue turns are
+    /// never overload-shed: session state must advance (see the
+    /// DESIGN.md soak & overload model for why that is deliberate).
+    pub overload: Option<OverloadPolicy>,
     /// Answer standalone questions through the Ask → Plan → Approve
     /// path ([`NliPipeline::ask_approved_bounded`]): gather the
     /// family's candidate set, validate each candidate before
@@ -137,6 +149,26 @@ pub struct CostShedPolicy {
     pub cost_threshold: u64,
 }
 
+/// Knobs for the high/low-watermark overload controller (see
+/// [`ServerConfig::overload`]). Pressure is measured on the credit
+/// ledger — the submitter's own total of admitted-but-undrained
+/// requests — so every overload decision is a pure function of the
+/// submit/drain sequence, deterministic like all other admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverloadPolicy {
+    /// Total outstanding requests at/above which an overload episode
+    /// opens.
+    pub high_watermark: usize,
+    /// Total outstanding requests at/below which an open episode
+    /// closes (must be ≤ `high_watermark`). A drain returns every
+    /// credit, so pressure reaches 0 ≤ `low_watermark` there — the
+    /// drain-to-empty invariant that guarantees recovery.
+    pub low_watermark: usize,
+    /// Learned plan cost above which an engaged standalone repeat is
+    /// shed — the "expensive work goes first" half of degradation.
+    pub cost_threshold: u64,
+}
+
 impl Default for ServerConfig {
     fn default() -> ServerConfig {
         ServerConfig {
@@ -147,6 +179,7 @@ impl Default for ServerConfig {
             retry: RetryPolicy::default(),
             breaker: BreakerPolicy::default(),
             cost_shed: None,
+            overload: None,
             approved_mode: false,
         }
     }
@@ -448,6 +481,16 @@ pub struct Server {
     /// Admitted standalone questions awaiting cost learning at the
     /// next drain: request id → (tenant, normalized question).
     pending_costs: HashMap<u64, (usize, String)>,
+    /// Whether an overload episode is open (see
+    /// [`ServerConfig::overload`]). Submitter-owned, like the credit
+    /// ledger it watches.
+    overloaded: bool,
+    /// Admissions per tenant during the open overload episode — the
+    /// numerators of the fair-share check. Zeroed when an episode
+    /// opens.
+    episode_admitted: Vec<u64>,
+    /// Total admissions during the open overload episode.
+    episode_total: u64,
     next_id: u64,
 }
 
@@ -504,6 +547,12 @@ impl Server {
         obs: Option<ServeObs>,
     ) -> Server {
         assert!(!registry.is_empty(), "cannot serve zero tenants");
+        if let Some(policy) = &config.overload {
+            assert!(
+                policy.low_watermark <= policy.high_watermark,
+                "overload low watermark must not exceed the high watermark"
+            );
+        }
         let config = ServerConfig {
             workers: config.workers.max(1),
             ..config
@@ -568,6 +617,9 @@ impl Server {
             admitted_per_tenant: vec![0; tenant_count],
             plan_costs: HashMap::new(),
             pending_costs: HashMap::new(),
+            overloaded: false,
+            episode_admitted: vec![0; tenant_count],
+            episode_total: 0,
             next_id: 0,
             config,
             senders,
@@ -609,6 +661,19 @@ impl Server {
         (0..n).map(|k| (base + k) % n).find(|&w| !self.dead[w])
     }
 
+    /// Whether the submitter learns plan costs from completions — both
+    /// the cost-aware shedder and the overload controller consume the
+    /// learned map.
+    fn learn_costs(&self) -> bool {
+        self.config.cost_shed.is_some() || self.config.overload.is_some()
+    }
+
+    /// Whether an overload episode is currently open. Submitter state:
+    /// meaningful between a submit and the next drain.
+    pub fn is_overloaded(&self) -> bool {
+        self.overloaded
+    }
+
     /// Offer one request. Decides admit/shed/deadline *now* (see
     /// module docs); admitted work completes at the next [`Server::drain`].
     pub fn submit(&mut self, spec: &RequestSpec) -> Admission {
@@ -628,6 +693,21 @@ impl Server {
             tenant: &shared.tenants[tenant].metrics,
         };
         metrics.add(|m| &m.submitted, 1);
+        // Overload watermark: between drains the credit ledger's total
+        // is monotone non-decreasing, so the episode opens on the
+        // first offer that finds pressure at/above the high watermark
+        // — a pure function of the submit/drain sequence.
+        if let Some(policy) = self.config.overload {
+            if !self.overloaded && self.in_flight >= policy.high_watermark {
+                self.overloaded = true;
+                self.episode_admitted.iter_mut().for_each(|e| *e = 0);
+                self.episode_total = 0;
+                shared
+                    .metrics
+                    .overload_entered
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
         if self.dead.iter().all(|&d| d) {
             metrics.add(|m| &m.refused, 1);
             self.trace_reject(tenant, id, spec, 0, "refused");
@@ -675,6 +755,39 @@ impl Server {
                     disposition: Disposition::DeadlineExceeded,
                 });
                 return Admission::DeadlineExceeded { id };
+            }
+        }
+        // Overload shedding: while an episode is open, standalone work
+        // degrades along two axes — learned-expensive repeats go
+        // first, and tenants over their fair share of the episode's
+        // admissions are trimmed back. Dialogue turns always pass:
+        // session state must advance (the deliberate non-backpressure
+        // documented in DESIGN.md's soak & overload model). First
+        // sightings have no learned cost and pass the cost axis.
+        if self.overloaded && spec.session.is_none() {
+            let policy = self.config.overload.expect("overloaded implies a policy");
+            let key = (tenant, normalize_question(&spec.question));
+            let expensive = self
+                .plan_costs
+                .get(&key)
+                .is_some_and(|&c| c > policy.cost_threshold);
+            // Fair share with slack: tenant t is over when its episode
+            // admissions exceed (total + N) / N — impossible for a
+            // single tenant, where admissions equal the total.
+            let tenant_count = self.episode_admitted.len() as u64;
+            let over_share =
+                self.episode_admitted[tenant] * tenant_count > self.episode_total + tenant_count;
+            if expensive || over_share {
+                metrics.add(|m| &m.shed_overload, 1);
+                self.trace_reject(tenant, id, spec, depth, "shed_overload");
+                self.rejected.push(Completion {
+                    id,
+                    worker: None,
+                    session: None,
+                    plan_cost: self.plan_costs.get(&key).copied(),
+                    disposition: Disposition::Shed,
+                });
+                return Admission::Shed { id };
             }
         }
         // Cost-aware shedding: under pressure, a standalone question
@@ -737,13 +850,17 @@ impl Server {
         self.senders[worker]
             .send(job)
             .expect("worker alive while server running");
-        if self.config.cost_shed.is_some() && spec.session.is_none() {
+        if self.learn_costs() && spec.session.is_none() {
             self.pending_costs
                 .insert(id, (tenant, normalize_question(&spec.question)));
         }
         self.outstanding[worker] += 1;
         self.in_flight += 1;
         self.admitted_per_tenant[tenant] += 1;
+        if self.overloaded {
+            self.episode_admitted[tenant] += 1;
+            self.episode_total += 1;
+        }
         metrics.add(|m| &m.admitted, 1);
         metrics.observe_depth(self.outstanding[worker] as u64);
         Admission::Admitted { id, worker }
@@ -847,12 +964,25 @@ impl Server {
         }
         self.in_flight = 0;
         self.outstanding.iter_mut().for_each(|d| *d = 0);
+        // Overload recovery: the drain returned every credit, so
+        // pressure is 0 — at or below any low watermark. Every episode
+        // therefore closes no later than the next drain: the
+        // controller can shed, never wedge.
+        if self.overloaded && self.in_flight <= self.config.overload.map_or(0, |p| p.low_watermark)
+        {
+            self.overloaded = false;
+            self.shared
+                .metrics
+                .overload_recovered
+                .fetch_add(1, Ordering::Relaxed);
+        }
         out.append(&mut self.rejected);
         out.sort_by_key(|c| c.id);
-        // Learn plan costs for the cost-aware shedder. Requests that
-        // finished without a cost (refusals, bounces) still clear
-        // their pending entry so the map never grows unbounded.
-        if self.config.cost_shed.is_some() {
+        // Learn plan costs for the cost-aware shedder and the overload
+        // controller. Requests that finished without a cost (refusals,
+        // bounces) still clear their pending entry so the map never
+        // grows unbounded.
+        if self.learn_costs() {
             for c in &out {
                 if let Some(key) = self.pending_costs.remove(&c.id) {
                     if let Some(cost) = c.plan_cost {
@@ -2038,6 +2168,151 @@ mod tests {
             "depth 0 flows; every engaged equal-cost repeat sheds"
         );
         assert_eq!(r1.2, 3);
+    }
+
+    #[test]
+    fn overload_controller_sheds_expensive_repeats_and_recovers_at_drain() {
+        let p = pipeline();
+        let clock = Arc::new(ManualClock::new());
+        let cfg = ServerConfig {
+            workers: 1,
+            queue_capacity: 64,
+            overload: Some(OverloadPolicy {
+                high_watermark: 2,
+                low_watermark: 0,
+                cost_threshold: 0,
+            }),
+            ..ServerConfig::default()
+        };
+        let mut srv = Server::start(Arc::clone(&p), cfg, clock as Arc<dyn Clock>);
+        let q = RequestSpec::single("how many customers are there");
+        // Teach the controller the question's cost on a quiet pass.
+        srv.submit(&q);
+        srv.drain();
+        assert!(!srv.is_overloaded(), "one request never crosses high=2");
+        // Pressure 0 and 1 admit; the offer that finds pressure 2
+        // opens the episode and is itself shed (learned-expensive).
+        assert!(matches!(srv.submit(&q), Admission::Admitted { .. }));
+        assert!(matches!(srv.submit(&q), Admission::Admitted { .. }));
+        assert!(!srv.is_overloaded());
+        assert!(matches!(srv.submit(&q), Admission::Shed { .. }));
+        assert!(srv.is_overloaded());
+        // Unlearned standalones and dialogue turns still pass.
+        let fresh = RequestSpec::single("show all customers");
+        assert!(matches!(srv.submit(&fresh), Admission::Admitted { .. }));
+        let turn = RequestSpec {
+            question: "show orders".to_string(),
+            session: Some(7),
+            deadline: None,
+        };
+        assert!(matches!(srv.submit(&turn), Admission::Admitted { .. }));
+        // Drain returns every credit: the episode closes (never
+        // wedges) and the same repeat is admitted again.
+        srv.drain();
+        assert!(!srv.is_overloaded(), "drain-to-empty closes the episode");
+        assert!(matches!(srv.submit(&q), Admission::Admitted { .. }));
+        srv.drain();
+        let m = srv.shutdown();
+        assert_eq!(m.shed_overload, 1);
+        assert_eq!(m.overload_entered, 1);
+        assert_eq!(m.overload_recovered, 1);
+        assert_eq!(m.shed_full, 0, "watermark fired well below capacity");
+    }
+
+    #[test]
+    fn overload_shed_set_is_deterministic_and_empty_below_the_watermark() {
+        let p = pipeline();
+        let run = |high: usize| {
+            let clock = Arc::new(ManualClock::new());
+            let cfg = ServerConfig {
+                workers: 1,
+                overload: Some(OverloadPolicy {
+                    high_watermark: high,
+                    low_watermark: 0,
+                    cost_threshold: 0,
+                }),
+                ..ServerConfig::default()
+            };
+            let mut srv = Server::start(Arc::clone(&p), cfg, clock as Arc<dyn Clock>);
+            let hot = RequestSpec::single("how many customers are there");
+            let cold = RequestSpec::single("show all customers");
+            srv.submit(&hot);
+            srv.submit(&cold);
+            srv.drain(); // learn both costs quietly
+            let mut shed = Vec::new();
+            for round in 0..3 {
+                for (i, q) in [&hot, &cold, &hot, &hot, &cold].iter().enumerate() {
+                    if matches!(srv.submit(q), Admission::Shed { .. }) {
+                        shed.push((round, i));
+                    }
+                }
+                srv.drain();
+            }
+            let m = srv.shutdown();
+            (
+                shed,
+                m.shed_overload,
+                m.overload_entered,
+                m.overload_recovered,
+            )
+        };
+        let (a, b) = (run(3), run(3));
+        assert_eq!(a, b, "identical runs shed the identical set");
+        assert!(!a.0.is_empty(), "high=3 must engage within a 5-burst");
+        assert_eq!(a.0.len() as u64, a.1);
+        assert_eq!(a.2, a.3, "every episode recovered");
+        // With the watermark above the burst size the shed set is
+        // empty: the controller is inert below its high watermark.
+        let quiet = run(6);
+        assert_eq!(quiet.0, Vec::new());
+        assert_eq!(quiet.1, 0);
+        assert_eq!(quiet.2, 0, "never entered");
+    }
+
+    #[test]
+    fn overload_fair_share_trims_the_hog_tenant_not_the_quiet_one() {
+        let p = pipeline();
+        let clock = Arc::new(ManualClock::new());
+        let quiet_p: Arc<NliPipeline> = {
+            let db: Database = nlidb_benchdata::hr_database(7);
+            Arc::new(NliPipeline::standard(&db))
+        };
+        let mut registry = TenantRegistry::new();
+        registry.register("hog", Arc::clone(&p), TenantPolicy::default());
+        registry.register("quiet", quiet_p, TenantPolicy::default());
+        let cfg = ServerConfig {
+            workers: 1,
+            overload: Some(OverloadPolicy {
+                high_watermark: 2,
+                low_watermark: 0,
+                // No learned-cost axis: isolate the fair-share axis.
+                cost_threshold: u64::MAX,
+            }),
+            ..ServerConfig::default()
+        };
+        let mut srv = Server::start_registry(&registry, cfg, clock as Arc<dyn Clock>, None, None);
+        let q = RequestSpec::single("how many customers are there");
+        // Open the episode, then let tenant 0 hog it.
+        srv.submit_for(0, &q);
+        srv.submit_for(0, &q);
+        assert!(!srv.is_overloaded());
+        let mut hog_shed = 0;
+        let mut hog_admitted = 0;
+        for _ in 0..8 {
+            match srv.submit_for(0, &q) {
+                Admission::Shed { .. } => hog_shed += 1,
+                Admission::Admitted { .. } => hog_admitted += 1,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(srv.is_overloaded());
+        assert!(hog_shed > 0, "the hog must be trimmed");
+        assert!(hog_admitted > 0, "trimmed to fair share, not starved");
+        // The quiet tenant's traffic flows untouched mid-episode.
+        assert!(matches!(srv.submit_for(1, &q), Admission::Admitted { .. }));
+        srv.drain();
+        let m = srv.shutdown();
+        assert_eq!(m.shed_overload, hog_shed);
     }
 
     #[test]

@@ -31,6 +31,16 @@ for exp in e13 e14 e15 e16 e17 e18 e19; do
 done
 python3 scripts/check_experiment_drift.py target/serve-smoke.txt
 
+echo "== soak smoke (E20 @ 10^4 + BENCH_soak.json schema) =="
+cargo run --release --offline -q -p nlidb-bench --bin experiments -- \
+  --exp e20 --seed 42 --soak-requests 10000 > target/soak-smoke.txt
+rm -f target/soak-smoke.json
+cargo run --release --offline -q -p nlidb-bench --bin soak -- \
+  --seed 42 --requests 10000 --out target/soak-smoke.json --git ci-smoke \
+  2> /dev/null
+python3 scripts/check_bench_json.py target/soak-smoke.json
+python3 scripts/check_bench_json.py BENCH_soak.json
+
 echo "== perf-drift gate (perfgate @ seed 42 vs scripts/perf_baseline_seed42.txt) =="
 python3 scripts/check_perf_drift.py
 
