@@ -1,4 +1,4 @@
-//! The reproduction experiments E1–E20 (see `EXPERIMENTS.md`).
+//! The reproduction experiments E1–E21 (see `EXPERIMENTS.md`).
 //!
 //! The paper is a tutorial: it publishes claims, not tables. Each
 //! experiment here operationalizes one claim into a measured table;
@@ -22,14 +22,14 @@ use nlidb_sqlir::ComplexityClass;
 use crate::workloads::{evaluate, paraphrased, setup_domain, DomainSetup};
 
 /// All experiment identifiers, in order.
-pub const EXPERIMENT_IDS: [&str; 20] = [
+pub const EXPERIMENT_IDS: [&str; 21] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19", "e20",
+    "e16", "e17", "e18", "e19", "e20", "e21",
 ];
 
 /// One-line description per experiment, in [`EXPERIMENT_IDS`] order
 /// (the `--list` output of the `experiments` binary).
-pub const EXPERIMENT_SUMMARIES: [(&str, &str); 20] = [
+pub const EXPERIMENT_SUMMARIES: [(&str, &str); 21] = [
     (
         "e1",
         "capability matrix: family accuracy per §3 complexity rung",
@@ -101,6 +101,10 @@ pub const EXPERIMENT_SUMMARIES: [(&str, &str); 20] = [
         "e20",
         "soak open loop: overload shed/recover, bounded memory, trajectory",
     ),
+    (
+        "e21",
+        "windowed SLO: burn-rate health events, reconciled, early warning",
+    ),
 ];
 
 /// Run one experiment by id; `None` for unknown ids.
@@ -126,6 +130,7 @@ pub fn run_experiment(id: &str, seed: u64) -> Option<Table> {
         "e18" => Some(e18_engine_equivalence(seed)),
         "e19" => Some(e19_candidate_validation(seed)),
         "e20" => Some(e20_soak(seed)),
+        "e21" => Some(e21_windowed_slo(seed)),
         _ => None,
     }
 }
@@ -2399,5 +2404,351 @@ pub fn e20_soak_with(seed: u64, requests: usize) -> Table {
         "-".to_string(),
         "≡ oracle".to_string(),
     ]);
+    t
+}
+
+/// The health configuration every E21 regime runs under: 4-tick
+/// windows in a 64-window ring (no regime outruns it, so eviction is
+/// zero and retained sums must equal totals outright), a 99.0%
+/// availability objective and a 95.0% / 8-tick latency objective,
+/// burn over a (2, 4)-window short/long pair, firing at 300 milli.
+/// The fire threshold is sized to the faulted regime's arithmetic
+/// floor: one refusal anywhere in the 4-window long span (at most
+/// 256 completions) yields ⌊1000/256⌋ = 3 milli of bad share, i.e. a
+/// burn of 300 against the 10-milli budget — so a single refusal is
+/// guaranteed to fire, at any seed.
+fn e21_health_config() -> nlidb_serve::HealthConfig {
+    nlidb_serve::HealthConfig {
+        window_ticks: 4,
+        windows: 64,
+        availability_target_milli: 990,
+        latency_target_milli: 950,
+        latency_threshold_ticks: 8,
+        short_windows: 2,
+        long_windows: 4,
+        fire_burn_milli: 300,
+    }
+}
+
+/// What one E21 regime pass produced: the cumulative counters it must
+/// reconcile against, the hub renderings it must replay byte-for-byte,
+/// and the table row ingredients.
+struct E21Pass {
+    metrics: nlidb_serve::MetricsSnapshot,
+    /// `HealthHub::render_all()` — window matrix + event log.
+    health_render: String,
+    /// JSONL export of the *health* traces only (ids ≥
+    /// [`nlidb_obs::HEALTH_TRACE_BASE`]). Health traces are stamped at
+    /// drain ticks by the single-threaded submitter, so they replay
+    /// byte-identically even under the open loop, where request span
+    /// ticks depend on when a worker reads the advancing clock (which
+    /// is why E20 bounds the sink but never byte-compares it — only
+    /// the closed loop's request traces are byte-stable, E14's claim).
+    health_jsonl: String,
+    /// The trace sink's full JSONL export (requests + health traces);
+    /// byte-compared only for the closed-loop faulted regime.
+    trace_jsonl: String,
+    /// Per-window merged series (throughput / p99 / burn).
+    windows: Vec<nlidb_serve::WindowSample>,
+    /// (fired, cleared) health-event counts.
+    events: (u64, u64),
+    obs: nlidb_serve::ServeObs,
+}
+
+impl E21Pass {
+    fn capture(obs: nlidb_serve::ServeObs, metrics: nlidb_serve::MetricsSnapshot) -> E21Pass {
+        let hub = obs.health.clone().expect("E21 runs with a health hub");
+        let mut fired = 0;
+        let mut cleared = 0;
+        for (_, event) in hub.events() {
+            match event.kind {
+                nlidb_obs::HealthEventKind::Fired => fired += 1,
+                nlidb_obs::HealthEventKind::Cleared => cleared += 1,
+            }
+        }
+        let health_jsonl: String = obs
+            .sink
+            .traces()
+            .iter()
+            .filter(|t| t.id >= nlidb_obs::HEALTH_TRACE_BASE)
+            .map(|t| format!("{}\n", t.to_json()))
+            .collect();
+        E21Pass {
+            metrics,
+            health_render: hub.render_all(),
+            health_jsonl,
+            trace_jsonl: obs.sink.export_jsonl(),
+            windows: hub.window_series(),
+            events: (fired, cleared),
+            obs,
+        }
+    }
+
+    /// The acceptance invariant: per-window sums reconcile *exactly*
+    /// with the cumulative serve counters — for every series,
+    /// retained window deltas + evicted spill == the windowed total
+    /// == the atomic counter the server kept independently.
+    fn reconcile(&self, label: &str) {
+        let hub = self.obs.health.clone().expect("hub");
+        let scope = hub
+            .scope_snapshot("default")
+            .expect("single-tenant regimes feed the `default` scope");
+        let m = &self.metrics;
+        let expect = [
+            ("answered", m.answered),
+            ("session", m.session_turns),
+            ("degraded", m.degraded),
+            ("refused", m.refused),
+            ("shed", m.shed_full + m.shed_cost + m.shed_overload),
+            ("deadline", m.shed_deadline),
+        ];
+        for (name, want) in expect {
+            let counter = scope.counter_ref(name);
+            let total = counter.map_or(0, |c| c.total());
+            assert_eq!(
+                total, want,
+                "E21 {label}: windowed `{name}` total must equal the cumulative counter"
+            );
+            if let Some(c) = counter {
+                assert_eq!(
+                    c.retained_sum() + c.evicted(),
+                    c.total(),
+                    "E21 {label}: `{name}` ring must account for every recorded unit"
+                );
+            }
+        }
+        let served = m.answered + m.session_turns + m.degraded;
+        let sojourn = scope.histogram_ref("sojourn");
+        assert_eq!(
+            sojourn.map_or(0, |h| h.total_count()),
+            served,
+            "E21 {label}: every served completion records exactly one sojourn"
+        );
+        if let Some(h) = sojourn {
+            assert_eq!(
+                h.retained_count() + h.evicted_count(),
+                h.total_count(),
+                "E21 {label}: sojourn ring must account for every sample"
+            );
+        }
+        let from_windows: u64 = self.windows.iter().map(|w| w.served).sum();
+        assert_eq!(
+            from_windows, served,
+            "E21 {label}: the merged window series must sum to the served count"
+        );
+    }
+
+    fn burn_max(&self) -> u64 {
+        self.windows.iter().map(|w| w.burn_milli).max().unwrap_or(0)
+    }
+}
+
+/// The E21 clean regime: the zipfian open loop (arrivals decoupled
+/// from drains, sojourns 1–4 ticks) with zero refusals and zero
+/// sheds — burn must stay at exactly 0 and no health event may fire.
+fn e21_clean_run(seed: u64) -> (E21Pass, u64) {
+    use nlidb_serve::{run_open_loop, OpenLoopConfig, ServeObs};
+    const N: usize = 2000;
+    let obs = ServeObs::with_health(N + 64, 1, e21_health_config());
+    let (mut server, clock) = crate::soak::retail_server(seed, None, Some(obs.clone()));
+    let stream = nlidb_benchdata::zipfian_stream(crate::soak::retail_pool(seed), seed, N, 1.2);
+    let report = run_open_loop(
+        &mut server,
+        &clock,
+        stream,
+        OpenLoopConfig {
+            arrivals_per_tick: 8,
+            drain_every: 4,
+        },
+    );
+    let metrics = server.shutdown();
+    assert_eq!(report.requests, N as u64, "E21 clean: stream fully drained");
+    (E21Pass::capture(obs, metrics), N as u64)
+}
+
+/// The E21 faulted regime: E13's seeded retail stream, submitted
+/// *twice* (640 requests, ids 0–639), with `Fatal { depth: 4 }` —
+/// ladder exhaustion, so a refusal — pinned on a dense window of
+/// clean-run-fresh ids in the first copy. The refusal burst drives
+/// availability burn over the fire threshold; the second, fault-free
+/// copy starves the short window back to zero, so the engine must
+/// fire *and* clear within the run, at any seed.
+fn e21_faulted_run(seed: u64) -> (E21Pass, u64) {
+    use nlidb_benchdata::{FaultKind, FaultPlan};
+    use nlidb_core::pipeline::NliPipeline;
+    use nlidb_serve::{
+        fault_plan_hook, run_closed_loop, Clock, ManualClock, ServeObs, Server, ServerConfig,
+    };
+    use std::sync::Arc;
+    const N: usize = 320;
+
+    // The clean pass pins the fault window on ids that actually reach
+    // the hook (fresh singles) — the same freshness-transfer argument
+    // E13 documents: faults only ever prevent caching, so a clean-run
+    // fresh single stays fresh under faults.
+    let (_, fresh, _) = e13_serve_run(seed, N, FaultPlan::none());
+    assert!(
+        fresh.len() >= 12,
+        "E21 needs a dozen fresh singles to pin the outage on ({} found)",
+        fresh.len()
+    );
+    let mut plan = FaultPlan::none();
+    for id in fresh[0]..=fresh[11] {
+        plan = plan.with(id, FaultKind::Fatal { depth: 4 });
+    }
+
+    let db = nlidb_benchdata::domain_database("retail", seed);
+    let slots = derive_slots(&db);
+    let pipeline = Arc::new(NliPipeline::standard(&db));
+    let stream = nlidb_benchdata::request_stream(&slots, seed, N, 0.25);
+    let doubled: Vec<_> = stream.iter().chain(stream.iter()).cloned().collect();
+    let clock = Arc::new(ManualClock::new());
+    let obs = ServeObs::with_health(2 * N + 64, 1, e21_health_config());
+    let mut server = Server::start_observed(
+        pipeline,
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 2 * N,
+            ..ServerConfig::default()
+        },
+        clock.clone() as Arc<dyn Clock>,
+        Some(fault_plan_hook(plan)),
+        Some(obs.clone()),
+    );
+    let report = run_closed_loop(&mut server, &clock, &doubled, 16);
+    let metrics = server.shutdown();
+    assert_eq!(report.completions.len(), 2 * N, "E21 faulted: all drained");
+    (E21Pass::capture(obs, metrics), 2 * N as u64)
+}
+
+/// The E21 overload regime: the E20 overload schedule with the
+/// opt-in `early_warning` knob set — once the first shedding drain
+/// pushes short-window availability burn past the threshold, every
+/// later episode opens *below* the high watermark. Runs through the
+/// signature audit, so every request the early-warning server still
+/// serves is asserted answer-identical to the unloaded oracle.
+fn e21_overload_run(seed: u64) -> (E21Pass, u64, u64) {
+    use nlidb_serve::{OverloadPolicy, ServeObs};
+    const N: usize = 2000;
+    let obs = ServeObs::with_health(N + 64, 1, e21_health_config());
+    let policy = OverloadPolicy {
+        early_warning: Some(10_000),
+        ..crate::soak::OVERLOAD_POLICY
+    };
+    let (served, shed, n, metrics) =
+        crate::soak::overload_audit_observed(seed, N, policy, Some(obs.clone()));
+    assert_eq!(served + shed, n, "E21 overload: audit accounts for all");
+    assert!(
+        metrics.overload_entered_early > 0,
+        "E21: the burn signal must open episodes below the watermark"
+    );
+    assert!(
+        metrics.overload_entered_early <= metrics.overload_entered,
+        "E21: early openings are a subset of all openings"
+    );
+    assert_eq!(
+        metrics.overload_entered, metrics.overload_recovered,
+        "E21: every episode (early or not) must close at a drain"
+    );
+    (E21Pass::capture(obs, metrics), N as u64, shed as u64)
+}
+
+/// E21 — windowed telemetry & the deterministic SLO engine: §6's
+/// "operate it, don't just answer" challenge made a replayable
+/// property. Every drained completion lands in per-tenant fixed-width
+/// logical-tick windows; an [`nlidb_obs::SloEngine`] computes rolling
+/// error-budget burn over a short/long window pair and emits
+/// fire/clear [`nlidb_obs::HealthEvent`]s into the same trace sink as
+/// the requests. Three regimes (clean, faulted, overload with
+/// `early_warning`) each run twice: window sums must reconcile
+/// exactly with the cumulative serve counters, the health log, window
+/// matrix, and full trace export must replay byte-identically, and
+/// the early-warning controller must shed no request the unloaded
+/// oracle answers differently.
+pub fn e21_windowed_slo(seed: u64) -> Table {
+    let mut t = Table::new([
+        "regime",
+        "requests",
+        "served",
+        "bad",
+        "windows",
+        "burn max",
+        "fired",
+        "cleared",
+        "early",
+        "repeat ==",
+    ])
+    .title("E21 — windowed telemetry & deterministic SLO burn-rate health");
+
+    type RegimeRunner = fn(u64) -> (E21Pass, u64);
+    let regimes: [(&str, RegimeRunner); 3] = [
+        ("clean", e21_clean_run),
+        ("faulted", e21_faulted_run),
+        ("overload+early", |s| {
+            let (pass, n, _) = e21_overload_run(s);
+            (pass, n)
+        }),
+    ];
+    for (label, run) in regimes {
+        let (first, requests) = run(seed);
+        let (rerun, _) = run(seed);
+        assert_eq!(
+            first.health_render, rerun.health_render,
+            "E21 {label}: window matrix + health log must replay byte-identically"
+        );
+        assert_eq!(
+            first.health_jsonl, rerun.health_jsonl,
+            "E21 {label}: health traces in the sink must replay byte-identically"
+        );
+        if label == "faulted" {
+            // The closed loop never advances the clock while a worker
+            // holds a request, so even the *request* span ticks are
+            // byte-stable — the full sink export must replay.
+            assert_eq!(
+                first.trace_jsonl, rerun.trace_jsonl,
+                "E21 {label}: the full trace export must replay byte-identically"
+            );
+        }
+        first.reconcile(label);
+
+        let m = &first.metrics;
+        let served = m.answered + m.session_turns + m.degraded;
+        let bad = m.refused + m.shed_full + m.shed_cost + m.shed_overload + m.shed_deadline;
+        let (fired, cleared) = first.events;
+        match label {
+            "clean" => {
+                assert_eq!(bad, 0, "E21 clean: nothing sheds or refuses");
+                assert_eq!(first.burn_max(), 0, "E21 clean: burn stays at zero");
+                assert_eq!((fired, cleared), (0, 0), "E21 clean: no health events");
+            }
+            "faulted" => {
+                assert!(m.refused >= 12, "E21 faulted: the pinned window refuses");
+                assert!(fired >= 1, "E21 faulted: the refusal burst must fire");
+                assert!(cleared >= 1, "E21 faulted: the clean tail must clear");
+                let hub = first.obs.health.clone().expect("hub");
+                assert!(
+                    !hub.is_firing("default", "availability"),
+                    "E21 faulted: availability must end the run healthy"
+                );
+            }
+            "overload+early" => {
+                assert!(bad > 0, "E21 overload: the schedule must shed");
+                assert!(fired >= 1, "E21 overload: sustained burn must fire");
+            }
+            _ => unreachable!(),
+        }
+        t.row([
+            label.to_string(),
+            requests.to_string(),
+            served.to_string(),
+            bad.to_string(),
+            first.windows.len().to_string(),
+            first.burn_max().to_string(),
+            fired.to_string(),
+            cleared.to_string(),
+            m.overload_entered_early.to_string(),
+            "yes".to_string(),
+        ]);
+    }
     t
 }

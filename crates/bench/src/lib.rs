@@ -1,6 +1,6 @@
 //! # nlidb-bench — the reproduction harness
 //!
-//! One function per experiment in `EXPERIMENTS.md` (E1–E20), each
+//! One function per experiment in `EXPERIMENTS.md` (E1–E21), each
 //! returning a rendered [`nlidb_evalkit::Table`]. The `experiments`
 //! binary prints them; the `perfgate` binary renders the perf-drift
 //! baseline (per-stage profiles, clean-vs-faulted diff, and metric
@@ -19,4 +19,6 @@ pub mod workloads;
 pub use experiments::{
     e17_multi_tenant_with, e20_soak_with, run_experiment, EXPERIMENT_IDS, EXPERIMENT_SUMMARIES,
 };
-pub use soak::{overload_prefix_audit, run_soak_shape, SoakOutcome, SOAK_SHAPES};
+pub use soak::{
+    overload_audit_observed, overload_prefix_audit, run_soak_shape, SoakOutcome, SOAK_SHAPES,
+};

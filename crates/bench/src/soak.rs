@@ -5,7 +5,8 @@
 //! soak generators (zipfian-skewed popularity, flash-crowd bursts,
 //! long CoSQL-shaped sessions, tenant-skewed mixes, deliberate
 //! overload) with a fixed open-loop schedule, and returns the
-//! streaming [`SoakReport`] plus the server's final metrics. The
+//! streaming [`SoakReport`] plus the server's final metrics and the
+//! health hub's per-window throughput / p99 / burn-rate series. The
 //! stream is handed to the driver as a lazy iterator and completions
 //! fold as they drain, so a regime's memory footprint is independent
 //! of `n` — the property E20 exists to keep honest at 10⁵ requests.
@@ -16,9 +17,9 @@ use nlidb_benchdata::{derive_slots, domain_database, DOMAIN_NAMES};
 use nlidb_core::pipeline::NliPipeline;
 use nlidb_ontology::JoinPathCache;
 use nlidb_serve::{
-    run_open_loop, run_open_loop_tenants, tenant_pipeline, Clock, ManualClock, MetricsSnapshot,
-    OpenLoopConfig, OverloadPolicy, ServeObs, Server, ServerConfig, SoakReport, TenantPolicy,
-    TenantRegistry, TenantServer,
+    run_open_loop, run_open_loop_tenants, tenant_pipeline, Clock, HealthConfig, ManualClock,
+    MetricsSnapshot, OpenLoopConfig, OverloadPolicy, ServeObs, Server, ServerConfig, SoakReport,
+    TenantPolicy, TenantRegistry, TenantServer, WindowSample,
 };
 
 /// The soak shapes, in run order. `overload` is the robustness
@@ -45,6 +46,7 @@ pub const OVERLOAD_POLICY: OverloadPolicy = OverloadPolicy {
     high_watermark: 24,
     low_watermark: 8,
     cost_threshold: 0,
+    early_warning: None,
 };
 
 /// The overload regime's schedule (also used by the prefix audit).
@@ -66,6 +68,14 @@ pub struct SoakOutcome {
     /// a sampling [`ServeObs`] attached (the zipfian shape does, to
     /// keep the bounded-span claim measured, not assumed).
     pub spans: Option<(usize, u64)>,
+    /// Per-window health series from the regime's [`HealthHub`]
+    /// (merged over tenants): served count, p99 sojourn, availability
+    /// burn per fixed-width logical-tick window. Every shape runs with
+    /// a health hub attached; the hub observes drains only, so the
+    /// report and metrics are byte-identical to an unobserved run.
+    ///
+    /// [`HealthHub`]: nlidb_serve::HealthHub
+    pub windows: Vec<WindowSample>,
 }
 
 impl SoakOutcome {
@@ -86,6 +96,11 @@ impl SoakOutcome {
         if let Some((stored, sampled_out)) = self.spans {
             line.push_str(&format!(" spans={stored} sampled_out={sampled_out}"));
         }
+        let burn_max = self.windows.iter().map(|w| w.burn_milli).max().unwrap_or(0);
+        line.push_str(&format!(
+            " windows={} burn_max={burn_max}",
+            self.windows.len()
+        ));
         line
     }
 
@@ -97,12 +112,22 @@ impl SoakOutcome {
         let r = &self.report;
         let served = r.served();
         let p = |q: f64| r.latency.percentile(q).unwrap_or(0);
+        let windows: Vec<String> = self
+            .windows
+            .iter()
+            .map(|w| {
+                format!(
+                    "{{\"index\":{},\"served\":{},\"p99\":{},\"burn_milli\":{}}}",
+                    w.index, w.served, w.p99, w.burn_milli
+                )
+            })
+            .collect();
         format!(
             "{{\"shape\":\"{}\",\"requests\":{},\"served\":{},\"answered\":{},\"session\":{},\
              \"degraded\":{},\"refused\":{},\"shed\":{},\"deadline\":{},\"drains\":{},\
              \"ticks\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"served_per_kilotick\":{},\
              \"shed_overload\":{},\"overload_entered\":{},\"overload_recovered\":{},\
-             \"digest\":\"{:016x}\"}}",
+             \"digest\":\"{:016x}\",\"windows\":[{}]}}",
             self.shape,
             r.requests,
             served,
@@ -122,12 +147,14 @@ impl SoakOutcome {
             self.metrics.overload_entered,
             self.metrics.overload_recovered,
             r.signature_digest(),
+            windows.join(","),
         )
     }
 }
 
-/// A retail-domain server for the single-tenant shapes.
-fn retail_server(
+/// A retail-domain server for the single-tenant shapes (also E21's
+/// overload regime).
+pub(crate) fn retail_server(
     seed: u64,
     overload: Option<OverloadPolicy>,
     obs: Option<ServeObs>,
@@ -167,11 +194,14 @@ pub fn retail_pool(seed: u64) -> Vec<String> {
 /// On an unknown shape name — the binaries validate names at parse
 /// time.
 pub fn run_soak_shape(shape: &str, seed: u64, n: usize) -> SoakOutcome {
+    // Every shape runs with a sampling + health-tracking ServeObs:
+    // span memory stays at the sink capacity no matter how long the
+    // run is, and the health hub folds every drained completion into
+    // its windowed scopes (bounded by the ring, not the stream).
+    let obs = ServeObs::with_health(64, 1024, HealthConfig::default());
+    let hub = obs.health.clone().expect("with_health attaches a hub");
     match shape {
         "zipfian" => {
-            // Observed with a sampling sink: span memory stays at the
-            // sink capacity no matter how long the run is.
-            let obs = ServeObs::sampled(64, 1024);
             let (mut server, clock) = retail_server(seed, None, Some(obs.clone()));
             let stream = nlidb_benchdata::zipfian_stream(retail_pool(seed), seed, n, 1.2);
             let report = run_open_loop(
@@ -189,10 +219,11 @@ pub fn run_soak_shape(shape: &str, seed: u64, n: usize) -> SoakOutcome {
                 report,
                 metrics,
                 spans: Some((obs.sink.len(), obs.sink.sampled_out())),
+                windows: hub.window_series(),
             }
         }
         "flash-crowd" => {
-            let (mut server, clock) = retail_server(seed, None, None);
+            let (mut server, clock) = retail_server(seed, None, Some(obs.clone()));
             let stream = nlidb_benchdata::flash_crowd_stream(retail_pool(seed), seed, n, 50, 10);
             let report = run_open_loop(
                 &mut server,
@@ -209,6 +240,7 @@ pub fn run_soak_shape(shape: &str, seed: u64, n: usize) -> SoakOutcome {
                 report,
                 metrics,
                 spans: None,
+                windows: hub.window_series(),
             }
         }
         "long-session" => {
@@ -221,7 +253,7 @@ pub fn run_soak_shape(shape: &str, seed: u64, n: usize) -> SoakOutcome {
             let n = (n / 10).max(1);
             let db = domain_database("retail", seed);
             let slots = derive_slots(&db);
-            let (mut server, clock) = retail_server(seed, None, None);
+            let (mut server, clock) = retail_server(seed, None, Some(obs.clone()));
             let stream = nlidb_benchdata::long_session_stream(&slots, seed, n, 8, 6);
             let report = run_open_loop(
                 &mut server,
@@ -238,6 +270,7 @@ pub fn run_soak_shape(shape: &str, seed: u64, n: usize) -> SoakOutcome {
                 report,
                 metrics,
                 spans: None,
+                windows: hub.window_series(),
             }
         }
         "tenant-skew" => {
@@ -255,7 +288,7 @@ pub fn run_soak_shape(shape: &str, seed: u64, n: usize) -> SoakOutcome {
                 ));
             }
             let clock = Arc::new(ManualClock::new());
-            let mut server = TenantServer::start(
+            let mut server = TenantServer::start_observed(
                 &registry,
                 ServerConfig {
                     workers: 4,
@@ -265,6 +298,8 @@ pub fn run_soak_shape(shape: &str, seed: u64, n: usize) -> SoakOutcome {
                     ..ServerConfig::default()
                 },
                 clock.clone() as Arc<dyn Clock>,
+                None,
+                Some(obs.clone()),
             );
             let stream = nlidb_benchdata::tenant_skew_stream(tenants, seed, n, 1.5);
             let report = run_open_loop_tenants(
@@ -282,10 +317,11 @@ pub fn run_soak_shape(shape: &str, seed: u64, n: usize) -> SoakOutcome {
                 report,
                 metrics,
                 spans: None,
+                windows: hub.window_series(),
             }
         }
         "overload" => {
-            let (mut server, clock) = retail_server(seed, Some(OVERLOAD_POLICY), None);
+            let (mut server, clock) = retail_server(seed, Some(OVERLOAD_POLICY), Some(obs.clone()));
             let stream = nlidb_benchdata::zipfian_stream(retail_pool(seed), seed, n, 1.0);
             let report = run_open_loop(&mut server, &clock, stream, OVERLOAD_SCHEDULE);
             let metrics = server.shutdown();
@@ -294,6 +330,7 @@ pub fn run_soak_shape(shape: &str, seed: u64, n: usize) -> SoakOutcome {
                 report,
                 metrics,
                 spans: None,
+                windows: hub.window_series(),
             }
         }
         other => panic!("unknown soak shape {other:?} (see SOAK_SHAPES)"),
@@ -308,6 +345,23 @@ pub fn run_soak_shape(shape: &str, seed: u64, n: usize) -> SoakOutcome {
 /// signature-identical subset of the oracle (overload degrades *which*
 /// requests get answered, never *what* an answered request says).
 pub fn overload_prefix_audit(seed: u64, n: usize) -> (usize, usize, usize) {
+    let (served, shed, n, _) = overload_audit_observed(seed, n, OVERLOAD_POLICY, None);
+    (served, shed, n)
+}
+
+/// [`overload_prefix_audit`] parameterized over the overload policy
+/// and an optional [`ServeObs`] attached to the audited (loaded)
+/// server. E21 uses it to audit the `early_warning` regime: with a
+/// health hub attached and a burn threshold set, episodes open below
+/// the watermark — and the served subset must *still* be
+/// signature-identical to the unloaded oracle. Returns
+/// `(served, shed, n, final metrics of the loaded server)`.
+pub fn overload_audit_observed(
+    seed: u64,
+    n: usize,
+    policy: OverloadPolicy,
+    obs: Option<ServeObs>,
+) -> (usize, usize, usize, MetricsSnapshot) {
     use nlidb_serve::{run_closed_loop, Disposition};
 
     let stream: Vec<_> = nlidb_benchdata::zipfian_stream(retail_pool(seed), seed, n, 1.0).collect();
@@ -328,7 +382,7 @@ pub fn overload_prefix_audit(seed: u64, n: usize) -> (usize, usize, usize) {
     }
 
     // The audit: the regime's schedule, drains inspected in place.
-    let (mut server, clock) = retail_server(seed, Some(OVERLOAD_POLICY), None);
+    let (mut server, clock) = retail_server(seed, Some(policy), obs);
     let arrivals = OVERLOAD_SCHEDULE.arrivals_per_tick;
     let drain_every = OVERLOAD_SCHEDULE.drain_every;
     let (mut served, mut shed) = (0usize, 0usize);
@@ -364,10 +418,10 @@ pub fn overload_prefix_audit(seed: u64, n: usize) -> (usize, usize, usize) {
         }
     }
     check(server.drain());
-    server.shutdown();
+    let metrics = server.shutdown();
     assert_eq!(served + shed, n, "audit accounts for every request");
     assert!(shed > 0, "the overload schedule must actually shed");
-    (served, shed, n)
+    (served, shed, n, metrics)
 }
 
 /// FNV-1a of one signature string.

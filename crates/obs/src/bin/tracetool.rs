@@ -8,6 +8,8 @@
 //! tracetool folded   <trace.jsonl>            # folded stacks (pipe to a flamegraph renderer)
 //! tracetool diff     <base.jsonl> <other.jsonl>  # per-stage overhead of other over base
 //! tracetool metrics  <trace.jsonl>            # canonical span.* histogram export
+//! tracetool timeline <trace.jsonl> [--width W]   # windowed request matrix over coarse ticks
+//! tracetool health   <trace.jsonl>            # SLO health-event log carried in the corpus
 //! ```
 //!
 //! Input files are the byte-reproducible JSONL written by
@@ -22,14 +24,16 @@ use std::process::exit;
 use nlidb_obs::profile::self_costs;
 use nlidb_obs::{
     chrome_trace_json, critical_path, critical_path_cost, folded_stacks, parse_jsonl,
-    tail_attribution, MetricsRegistry, Profile, ProfileDiff, Trace,
+    tail_attribution, MetricsRegistry, Profile, ProfileDiff, Trace, WindowedScope,
 };
 
 fn usage() -> ! {
     eprintln!(
-        "usage: tracetool <profile|critical|tail|chrome|folded|metrics> <trace.jsonl>\n\
+        "usage: tracetool <profile|critical|tail|chrome|folded|metrics|timeline|health> <trace.jsonl>\n\
          \x20      tracetool tail <trace.jsonl> [--p <percentile>]\n\
-         \x20      tracetool diff <base.jsonl> <other.jsonl>"
+         \x20      tracetool timeline <trace.jsonl> [--width <ticks>]\n\
+         \x20      tracetool diff <base.jsonl> <other.jsonl>\n\
+         subcommands: profile critical tail chrome folded diff metrics timeline health"
     );
     exit(2);
 }
@@ -105,6 +109,86 @@ fn main() {
             }
             print!("{}", registry.report().export_text());
         }
+        ("timeline", [path, rest @ ..]) => {
+            let width = match rest {
+                [] => 8,
+                [flag, value] if flag == "--width" => match value.parse::<u64>() {
+                    Ok(w) if w > 0 => w,
+                    _ => {
+                        eprintln!("--width wants a positive tick count, got {value:?}");
+                        usage();
+                    }
+                },
+                _ => usage(),
+            };
+            print!("{}", timeline(&load(path), width));
+        }
+        ("health", [path]) => {
+            let lines = health_log(&load(path));
+            if lines.is_empty() {
+                println!("health: corpus has no health events");
+            } else {
+                print!("{lines}");
+            }
+        }
         _ => usage(),
     }
+}
+
+/// Re-bucket a request corpus into a windowed matrix over the coarse
+/// tick axis: one counter series per root outcome, plus a sojourn
+/// histogram (root `tick_close - tick_open`). Health-event traces are
+/// excluded — `tracetool health` renders those.
+fn timeline(traces: &[Trace], width: u64) -> String {
+    // Size the ring to the whole corpus: offline analysis wants the
+    // full matrix, not a recent-windows view.
+    let last = traces
+        .iter()
+        .filter_map(|t| t.root())
+        .map(|r| r.tick_close / width)
+        .max()
+        .unwrap_or(0);
+    let mut scope = WindowedScope::new(width, last as usize + 1);
+    for trace in traces {
+        let Some(root) = trace.root() else { continue };
+        if root.name == "health" {
+            continue;
+        }
+        let outcome = root.attr("outcome").unwrap_or("unknown");
+        scope.counter(outcome).record(root.tick_open, 1);
+        scope.histogram("sojourn").record(
+            root.tick_open,
+            root.tick_close.saturating_sub(root.tick_open),
+        );
+    }
+    scope.render_text()
+}
+
+/// Reconstruct the canonical health-event log from the `health` root
+/// spans a serving run pushed into its sink, in trace-id order (the
+/// sink exports id-sorted, and health ids are emission-ordered).
+fn health_log(traces: &[Trace]) -> String {
+    let mut out = String::new();
+    for trace in traces {
+        let Some(root) = trace.root() else { continue };
+        if root.name != "health" {
+            continue;
+        }
+        let get = |key: &str| root.attr(key).unwrap_or("?").to_string();
+        out.push_str(&format!(
+            "health seq={} objective={} event={} window=w{} tick={} short_burn={} ({}/{}) long_burn={} ({}/{})\n",
+            get("seq"),
+            get("objective"),
+            get("event"),
+            get("window"),
+            root.tick_open,
+            get("short_burn_milli"),
+            get("short_bad"),
+            get("short_total"),
+            get("long_burn_milli"),
+            get("long_bad"),
+            get("long_total"),
+        ));
+    }
+    out
 }

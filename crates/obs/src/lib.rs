@@ -44,14 +44,30 @@
 //! * [`jsonl`] — strict re-import of the sink's JSONL export, so the
 //!   `tracetool` binary can profile a corpus written by an earlier
 //!   run.
+//! * [`timeseries`] — the time dimension: [`WindowedCounter`] /
+//!   [`WindowedHistogram`] bucket observations into fixed-width
+//!   logical-tick windows in a bounded ring (evicted windows fold
+//!   into totals, so window sums reconcile exactly with cumulative
+//!   counters), and a [`WindowedScope`] renders the resulting window
+//!   matrix canonically — E21's substrate.
+//! * [`slo`] — the deterministic [`SloEngine`]: per-objective
+//!   error-budget burn rates over short+long window pairs, firing and
+//!   clearing [`HealthEvent`]s that replay byte-identically and
+//!   travel as ordinary traces (root span `health`) in the sink.
+//! * [`reservoir`] — a seeded fixed-capacity [`ReservoirSampler`]
+//!   giving exact-percentile spot checks of the sketch's documented
+//!   2× bucket-resolution bound.
 
 pub mod clock;
 pub mod export;
 pub mod jsonl;
 pub mod metrics;
 pub mod profile;
+pub mod reservoir;
 pub mod sink;
+pub mod slo;
 pub mod span;
+pub mod timeseries;
 
 pub use clock::{Clock, ManualClock};
 pub use export::{chrome_trace_json, folded_stacks};
@@ -64,5 +80,10 @@ pub use profile::{
     attr_cost_breakdown, critical_path, critical_path_cost, tail_attribution, AttrBucket, Profile,
     ProfileDiff, StageDelta, StageProfile, TailAttribution,
 };
+pub use reservoir::ReservoirSampler;
 pub use sink::TraceSink;
+pub use slo::{
+    BurnSample, HealthEvent, HealthEventKind, SloEngine, SloKind, SloPolicy, HEALTH_TRACE_BASE,
+};
 pub use span::{Span, SpanId, Trace, TraceBuilder};
+pub use timeseries::{WindowedCounter, WindowedHistogram, WindowedScope};

@@ -235,7 +235,7 @@ impl Default for SketchHistogram {
 }
 
 /// Bucket index of `value`: 0 for 0, else `1 + floor(log2 value)`.
-fn sketch_bucket(value: u64) -> usize {
+pub(crate) fn sketch_bucket(value: u64) -> usize {
     match value {
         0 => 0,
         v => 64 - v.leading_zeros() as usize,
@@ -244,7 +244,7 @@ fn sketch_bucket(value: u64) -> usize {
 
 /// Inclusive upper bound of sketch bucket `index` (its reported
 /// representative value): 0 for bucket 0, else `2^index - 1`.
-fn sketch_bucket_top(index: usize) -> u64 {
+pub(crate) fn sketch_bucket_top(index: usize) -> u64 {
     match index {
         0 => 0,
         64 => u64::MAX,
@@ -335,7 +335,7 @@ impl SketchHistogram {
 
 /// Nearest-rank percentile over frozen sketch buckets, reported as the
 /// matched bucket's upper bound.
-fn sketch_percentile_of(buckets: &[u64], p: f64) -> Option<u64> {
+pub(crate) fn sketch_percentile_of(buckets: &[u64], p: f64) -> Option<u64> {
     let n: u64 = buckets.iter().sum();
     if n == 0 {
         return None;
@@ -750,6 +750,106 @@ mod tests {
         r2.counter("serve.retries").add(2);
         r2.counter("serve.answered").add(7);
         assert_eq!(r2.report().export_text(), r.report().export_text());
+    }
+
+    #[test]
+    fn sketch_percentile_edge_cases_pinned() {
+        // p=0.0 and p=1.0 both resolve to rank 1 (nearest-rank takes
+        // max(ceil(p/100·n), 1)): the smallest observation's bucket
+        // top, not zero and not a panic.
+        let s = SketchHistogram::new();
+        for v in [6u64, 6, 6, 900] {
+            s.observe(v);
+        }
+        assert_eq!(s.percentile(0.0), Some(7), "p0 = min bucket top");
+        assert_eq!(s.percentile(1.0), Some(7), "p1 rank-clamps to rank 1");
+        assert_eq!(s.percentile(100.0), Some(1023), "p100 = max bucket top");
+        // Out-of-range p clamps rather than extrapolating.
+        assert_eq!(s.percentile(-5.0), s.percentile(0.0));
+        assert_eq!(s.percentile(250.0), s.percentile(100.0));
+
+        // Single-bucket stream: every percentile is that bucket's top.
+        let single = SketchHistogram::new();
+        for _ in 0..50 {
+            single.observe(5); // bucket 3, top 7
+        }
+        for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(single.percentile(p), Some(7), "p{p}");
+        }
+        // Zero-only stream: bucket 0's top is exactly 0.
+        let zeros = SketchHistogram::new();
+        zeros.observe(0);
+        assert_eq!(zeros.percentile(100.0), Some(0));
+
+        // Post-merge percentiles keep the edge behavior: merging an
+        // empty sketch changes nothing, and p0/p100 of a merged
+        // sketch span both input streams.
+        let merged = SketchHistogram::new();
+        merged.merge(&SketchHistogram::new());
+        assert_eq!(merged.percentile(50.0), None, "empty ∪ empty = empty");
+        merged.merge(&s);
+        merged.merge(&single);
+        assert_eq!(merged.percentile(0.0), Some(7));
+        assert_eq!(merged.percentile(100.0), Some(1023));
+        assert_eq!(merged.count(), 54);
+    }
+
+    #[test]
+    fn sketch_merge_is_commutative() {
+        let fill = |values: &[u64]| {
+            let s = SketchHistogram::new();
+            for &v in values {
+                s.observe(v);
+            }
+            s
+        };
+        let xs = [0u64, 1, 7, 7, 300, 1 << 50];
+        let ys = [2u64, 9, 1024, u64::MAX];
+        let ab = fill(&xs);
+        ab.merge(&fill(&ys));
+        let ba = fill(&ys);
+        ba.merge(&fill(&xs));
+        assert_eq!(ab.summary(), ba.summary());
+        for p in [0.0, 1.0, 50.0, 95.0, 100.0] {
+            assert_eq!(ab.percentile(p), ba.percentile(p), "p{p}");
+        }
+    }
+
+    #[test]
+    fn export_text_sorts_across_scopes_whatever_the_insertion_order() {
+        // The perf-drift gate byte-compares export_text output, so
+        // scope and key ordering must be a pure function of the name
+        // set — never of which thread or code path registered first.
+        let names = [
+            "serve.tenant.retail.answered",
+            "health.fired",
+            "serve.answered",
+            "a.first",
+            "serve.tenant.hr.answered",
+            "health.cleared",
+        ];
+        let render = |order: &[&str]| {
+            let r = MetricsRegistry::new();
+            for name in order {
+                r.counter(name).add(1);
+            }
+            r.histogram("span.request").observe(3);
+            r.report().export_text()
+        };
+        let mut reversed = names;
+        reversed.reverse();
+        let mut rotated = names;
+        rotated.rotate_left(3);
+        let baseline = render(&names);
+        assert_eq!(baseline, render(&reversed));
+        assert_eq!(baseline, render(&rotated));
+        let counter_lines: Vec<&str> = baseline
+            .lines()
+            .filter(|l| l.starts_with("counter "))
+            .collect();
+        let mut sorted = counter_lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(counter_lines, sorted, "counters render name-sorted");
     }
 
     #[test]

@@ -56,6 +56,15 @@
 //!   sessions, per-tenant metrics/journals, deterministic admission
 //!   quotas, and tenant-scoped join-path caching. A single-tenant
 //!   registry is byte-identical to the plain [`Server`].
+//! * [`health`] — windowed telemetry + SLO tracking: a [`HealthHub`]
+//!   (attached via [`ServeObs::with_health`](obs::ServeObs::with_health))
+//!   buckets every drained completion into per-tenant logical-tick
+//!   windows, computes error-budget burn rates over short+long window
+//!   pairs, and emits deterministic fire/clear health events into the
+//!   trace sink and a `health.*` metrics scope. The overload
+//!   controller's opt-in [`OverloadPolicy::early_warning`] knob
+//!   consults the short-window burn to open episodes before the high
+//!   watermark — E21's claim.
 //!
 //! Experiment E12 asserts the payoff: at seed 42, the completion
 //! stream of a 4-worker server is signature-identical to a 1-worker
@@ -70,6 +79,7 @@
 
 pub mod clock;
 pub mod fault;
+pub mod health;
 pub mod journal;
 pub mod loadgen;
 pub mod lru;
@@ -82,6 +92,7 @@ pub mod tenant;
 
 pub use clock::{Clock, ManualClock};
 pub use fault::{fault_plan_hook, silence_worker_panics, HookCtx, InjectedFault};
+pub use health::{HealthConfig, HealthHub, HealthReport, WindowSample};
 pub use journal::{AuditRecord, JournalEntry, SessionJournal};
 pub use loadgen::{
     run_closed_loop, run_closed_loop_tenants, run_open_loop, run_open_loop_tenants, with_deadlines,

@@ -520,6 +520,7 @@ mod tests {
             high_watermark: 8,
             low_watermark: 2,
             cost_threshold: 0,
+            early_warning: None,
         };
         let (mut server, clock) = setup(1, Some(policy));
         // Warm pass teaches costs without pressure.

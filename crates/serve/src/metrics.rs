@@ -39,6 +39,12 @@ pub struct ServeMetrics {
     /// Overload episodes begun: the credit ledger crossed the policy's
     /// high watermark while the controller was idle.
     pub overload_entered: AtomicU64,
+    /// The subset of `overload_entered` opened by the opt-in
+    /// early-warning burn-rate signal *below* the high watermark
+    /// (always 0 with [`crate::OverloadPolicy::early_warning`] unset —
+    /// the default). Deliberately not in the exported scalar set: the
+    /// perf-drift baseline predates the knob and is byte-compared.
+    pub overload_entered_early: AtomicU64,
     /// Overload episodes ended: pressure fell back to the low
     /// watermark (the drain-to-empty invariant guarantees every
     /// episode ends at the next drain, so after a final drain this
@@ -123,6 +129,7 @@ impl ServeMetrics {
             shed_cost: AtomicU64::new(0),
             shed_overload: AtomicU64::new(0),
             overload_entered: AtomicU64::new(0),
+            overload_entered_early: AtomicU64::new(0),
             overload_recovered: AtomicU64::new(0),
             cost_refused: AtomicU64::new(0),
             candidates_rejected: AtomicU64::new(0),
@@ -166,6 +173,7 @@ impl ServeMetrics {
             shed_cost: self.shed_cost.load(Ordering::Relaxed),
             shed_overload: self.shed_overload.load(Ordering::Relaxed),
             overload_entered: self.overload_entered.load(Ordering::Relaxed),
+            overload_entered_early: self.overload_entered_early.load(Ordering::Relaxed),
             overload_recovered: self.overload_recovered.load(Ordering::Relaxed),
             cost_refused: self.cost_refused.load(Ordering::Relaxed),
             candidates_rejected: self.candidates_rejected.load(Ordering::Relaxed),
@@ -255,6 +263,8 @@ pub struct MetricsSnapshot {
     pub shed_overload: u64,
     /// See [`ServeMetrics::overload_entered`].
     pub overload_entered: u64,
+    /// See [`ServeMetrics::overload_entered_early`].
+    pub overload_entered_early: u64,
     /// See [`ServeMetrics::overload_recovered`].
     pub overload_recovered: u64,
     /// See [`ServeMetrics::cost_refused`].
@@ -588,6 +598,40 @@ mod tests {
         // Re-export overwrites rather than accumulates.
         snap.export_labelled_into(&labelled, "retail");
         assert_eq!(labelled.report().export_text(), labelled_text);
+    }
+
+    #[test]
+    fn labelled_export_order_is_independent_of_insertion_order() {
+        // The perf-drift gate byte-compares the registry's export, so
+        // tenant scopes must render sorted by name no matter which
+        // tenant exported first (or how the snapshots interleave with
+        // global export).
+        let snap_a = {
+            let m = ServeMetrics::new(1, false);
+            m.answered.fetch_add(3, Ordering::Relaxed);
+            m.snapshot()
+        };
+        let snap_b = {
+            let m = ServeMetrics::new(1, false);
+            m.refused.fetch_add(1, Ordering::Relaxed);
+            m.snapshot()
+        };
+        let forward = nlidb_obs::MetricsRegistry::new();
+        snap_a.export_into(&forward);
+        snap_a.export_labelled_into(&forward, "alpha");
+        snap_b.export_labelled_into(&forward, "zed");
+        let backward = nlidb_obs::MetricsRegistry::new();
+        snap_b.export_labelled_into(&backward, "zed");
+        snap_a.export_labelled_into(&backward, "alpha");
+        snap_a.export_into(&backward);
+        let text = forward.report().export_text();
+        assert_eq!(text, backward.report().export_text());
+        // Scope blocks land in sorted order: global serve.* rows
+        // between the alphabetically-smaller and -larger tenants.
+        let alpha = text.find("serve.tenant.alpha.answered 3").unwrap();
+        let global = text.find("counter serve.answered 3").unwrap();
+        let zed = text.find("serve.tenant.zed.refused 1").unwrap();
+        assert!(global < alpha && alpha < zed);
     }
 
     #[test]

@@ -21,6 +21,8 @@ use std::sync::Arc;
 
 use nlidb_obs::{MetricsRegistry, TraceSink};
 
+use crate::health::{HealthConfig, HealthHub};
+
 /// Trace + metrics endpoints for one observed server.
 #[derive(Debug, Clone)]
 pub struct ServeObs {
@@ -28,6 +30,10 @@ pub struct ServeObs {
     pub sink: Arc<TraceSink>,
     /// Receives `span.<name>` cost histograms as traces finish.
     pub registry: Arc<MetricsRegistry>,
+    /// Optional windowed telemetry + SLO engine, fed by the server's
+    /// drain loop (`None` — the default — records nothing, keeping
+    /// every pre-existing committed artifact byte-identical).
+    pub health: Option<Arc<HealthHub>>,
 }
 
 impl ServeObs {
@@ -45,6 +51,22 @@ impl ServeObs {
         ServeObs {
             sink: Arc::new(TraceSink::with_sampling(trace_capacity, every)),
             registry: Arc::new(MetricsRegistry::new()),
+            health: None,
+        }
+    }
+
+    /// [`ServeObs::sampled`] plus a [`HealthHub`]: the server feeds
+    /// every completion's disposition and sojourn into per-tenant
+    /// windowed scopes at each drain and evaluates the SLO engines
+    /// there, emitting `health` traces into the sink and `health.*`
+    /// counters into the registry. Health traces carry ids from
+    /// [`nlidb_obs::slo::HEALTH_TRACE_BASE`] up — disjoint from the
+    /// small sequential request ids, and subject to the same
+    /// deterministic id-modulus sampling as every other trace.
+    pub fn with_health(trace_capacity: usize, every: u64, config: HealthConfig) -> ServeObs {
+        ServeObs {
+            health: Some(Arc::new(HealthHub::new(config))),
+            ..ServeObs::sampled(trace_capacity, every)
         }
     }
 

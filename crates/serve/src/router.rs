@@ -131,6 +131,24 @@ impl TenantServer {
             .map(|&t| self.server.tenant_journal_at(t))
     }
 
+    /// Per-tenant health: window matrix, event log, and firing
+    /// states for the tenant behind `fingerprint`. `None` when the
+    /// fingerprint is unregistered, when the runtime has no
+    /// [`crate::HealthHub`] attached, or when the tenant has not yet
+    /// completed a request (its scope does not exist until then).
+    pub fn tenant_health(&self, fingerprint: u64) -> Option<crate::health::HealthReport> {
+        let &tenant = self.index.get(&fingerprint)?;
+        self.server
+            .health()?
+            .report(self.server.tenant_name_at(tenant))
+    }
+
+    /// The shared health hub, if the runtime was started with
+    /// [`crate::ServeObs::with_health`].
+    pub fn health(&self) -> Option<std::sync::Arc<crate::health::HealthHub>> {
+        self.server.health()
+    }
+
     /// Export the global counters (`serve.*`, via
     /// [`MetricsSnapshot::export_into`]) plus every tenant's breakdown
     /// (`serve.tenant.<name>.*`, via

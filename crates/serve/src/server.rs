@@ -167,6 +167,16 @@ pub struct OverloadPolicy {
     /// Learned plan cost above which an engaged standalone repeat is
     /// shed — the "expensive work goes first" half of degradation.
     pub cost_threshold: u64,
+    /// Opt-in early warning: when the server runs with a
+    /// [`crate::HealthHub`] (see [`crate::ServeObs::with_health`]) and
+    /// the maximum short-span SLO burn rate (milli) reaches this
+    /// value, an overload episode opens *before* the high watermark —
+    /// the controller reacts to the budget-burn trend, not only to
+    /// instantaneous queue pressure. The burn signal changes only at
+    /// drains, so consulting it at submit time keeps admission a pure
+    /// function of the submit/drain sequence. `None` (the default)
+    /// preserves pre-existing behavior bit for bit.
+    pub early_warning: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -491,6 +501,11 @@ pub struct Server {
     episode_admitted: Vec<u64>,
     /// Total admissions during the open overload episode.
     episode_total: u64,
+    /// Submitted requests awaiting their health feed at the next
+    /// drain: request id → (tenant, submit tick). Maintained only
+    /// when the attached [`ServeObs`] carries a [`HealthHub`]; empty
+    /// otherwise.
+    health_meta: HashMap<u64, (usize, u64)>,
     next_id: u64,
 }
 
@@ -620,6 +635,7 @@ impl Server {
             overloaded: false,
             episode_admitted: vec![0; tenant_count],
             episode_total: 0,
+            health_meta: HashMap::new(),
             next_id: 0,
             config,
             senders,
@@ -674,6 +690,18 @@ impl Server {
         self.overloaded
     }
 
+    /// The attached health hub, if the server was started with
+    /// [`ServeObs::with_health`](crate::ServeObs::with_health).
+    fn health_hub(&self) -> Option<&Arc<crate::health::HealthHub>> {
+        self.shared.obs.as_ref().and_then(|o| o.health.as_ref())
+    }
+
+    /// The attached health hub, if any — per-tenant window matrices,
+    /// burn rates, and the fire/clear event log live there.
+    pub fn health(&self) -> Option<Arc<crate::health::HealthHub>> {
+        self.health_hub().cloned()
+    }
+
     /// Offer one request. Decides admit/shed/deadline *now* (see
     /// module docs); admitted work completes at the next [`Server::drain`].
     pub fn submit(&mut self, spec: &RequestSpec) -> Admission {
@@ -693,19 +721,43 @@ impl Server {
             tenant: &shared.tenants[tenant].metrics,
         };
         metrics.add(|m| &m.submitted, 1);
+        // Health bookkeeping: remember who submitted when, so the
+        // drain can feed disposition + sojourn into the tenant's
+        // windowed scope. Only when a hub is attached — the map stays
+        // empty (and unhashed) on every default path.
+        if self.health_hub().is_some() {
+            self.health_meta.insert(id, (tenant, shared.clock.now()));
+        }
         // Overload watermark: between drains the credit ledger's total
         // is monotone non-decreasing, so the episode opens on the
         // first offer that finds pressure at/above the high watermark
-        // — a pure function of the submit/drain sequence.
+        // — a pure function of the submit/drain sequence. With the
+        // opt-in early-warning knob, a hot short-window SLO burn rate
+        // (which moves only at drains) opens the episode below the
+        // watermark.
         if let Some(policy) = self.config.overload {
-            if !self.overloaded && self.in_flight >= policy.high_watermark {
-                self.overloaded = true;
-                self.episode_admitted.iter_mut().for_each(|e| *e = 0);
-                self.episode_total = 0;
-                shared
-                    .metrics
-                    .overload_entered
-                    .fetch_add(1, Ordering::Relaxed);
+            if !self.overloaded {
+                let pressure = self.in_flight >= policy.high_watermark;
+                let early = !pressure
+                    && policy.early_warning.is_some_and(|threshold| {
+                        self.health_hub()
+                            .is_some_and(|hub| hub.max_short_burn_milli() >= threshold)
+                    });
+                if pressure || early {
+                    self.overloaded = true;
+                    self.episode_admitted.iter_mut().for_each(|e| *e = 0);
+                    self.episode_total = 0;
+                    shared
+                        .metrics
+                        .overload_entered
+                        .fetch_add(1, Ordering::Relaxed);
+                    if early {
+                        shared
+                            .metrics
+                            .overload_entered_early
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                }
             }
         }
         if self.dead.iter().all(|&d| d) {
@@ -990,6 +1042,27 @@ impl Server {
                     }
                 }
             }
+        }
+        // Health feed: dispositions and sojourns land in the tenant
+        // windowed scopes, then every SLO engine is evaluated at the
+        // drain tick. `out` is id-sorted, so the feed order — and
+        // therefore the whole health layer — is a pure function of
+        // the completion stream. Unknown-tenant refusals
+        // (`refuse_unknown`) never enter `health_meta` and are
+        // deliberately skipped: they have no tenant scope.
+        if let Some(hub) = self.health_hub().cloned() {
+            let tick = self.shared.clock.now();
+            for c in &out {
+                if let Some((tenant, submitted)) = self.health_meta.remove(&c.id) {
+                    hub.feed(
+                        &self.shared.tenants[tenant].name,
+                        &c.disposition,
+                        tick.saturating_sub(submitted),
+                        tick,
+                    );
+                }
+            }
+            hub.evaluate(tick, self.shared.obs.as_ref());
         }
         out
     }
@@ -2181,6 +2254,7 @@ mod tests {
                 high_watermark: 2,
                 low_watermark: 0,
                 cost_threshold: 0,
+                early_warning: None,
             }),
             ..ServerConfig::default()
         };
@@ -2230,6 +2304,7 @@ mod tests {
                     high_watermark: high,
                     low_watermark: 0,
                     cost_threshold: 0,
+                    early_warning: None,
                 }),
                 ..ServerConfig::default()
             };
@@ -2287,6 +2362,7 @@ mod tests {
                 low_watermark: 0,
                 // No learned-cost axis: isolate the fair-share axis.
                 cost_threshold: u64::MAX,
+                early_warning: None,
             }),
             ..ServerConfig::default()
         };

@@ -16,7 +16,13 @@ file honest as it grows:
     and strictly ordered, so a dropped or reordered line is an error,
   * the shapes array covers exactly the five soak shapes, in order,
   * per shape, the disposition counters account for every request and
-    the signature digest is a 16-hex-digit string.
+    the signature digest is a 16-hex-digit string,
+  * the per-window health series (optional: lines appended before the
+    windowed-telemetry layer existed omit it) carries exactly the
+    {index, served, p99, burn_milli} keys per window, all values
+    non-negative ints, window indices strictly increasing, and the
+    retained windows' served sum never exceeding the shape's total
+    (the ring evicts, so retained ≤ cumulative).
 """
 
 import json
@@ -44,6 +50,7 @@ SHAPE_INT_FIELDS = [
     "overload_entered",
     "overload_recovered",
 ]
+WINDOW_FIELDS = ["index", "served", "p99", "burn_milli"]
 
 
 def fail(lineno: int, msg: str) -> None:
@@ -75,9 +82,47 @@ def check_shape(lineno: int, pos: int, shape: dict) -> None:
         or any(c not in "0123456789abcdef" for c in digest)
     ):
         fail(lineno, f"shape {name!r}: digest must be 16 lowercase hex digits, got {digest!r}")
-    extra = set(shape) - set(SHAPE_INT_FIELDS) - {"shape", "digest"}
+    if "windows" in shape:
+        check_windows(lineno, name, shape)
+    extra = set(shape) - set(SHAPE_INT_FIELDS) - {"shape", "digest", "windows"}
     if extra:
         fail(lineno, f"shape {name!r}: unknown fields {sorted(extra)}")
+
+
+def check_windows(lineno: int, name: str, shape: dict) -> None:
+    windows = shape["windows"]
+    if not isinstance(windows, list):
+        fail(lineno, f"shape {name!r}: 'windows' must be a list, got {windows!r}")
+    prev = -1
+    retained_served = 0
+    for pos, w in enumerate(windows):
+        if not isinstance(w, dict):
+            fail(lineno, f"shape {name!r}: window {pos} must be a JSON object")
+        for field in WINDOW_FIELDS:
+            v = w.get(field)
+            if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                fail(
+                    lineno,
+                    f"shape {name!r}: window {pos} field {field!r} must be a "
+                    f"non-negative int, got {v!r}",
+                )
+        extra = set(w) - set(WINDOW_FIELDS)
+        if extra:
+            fail(lineno, f"shape {name!r}: window {pos} unknown fields {sorted(extra)}")
+        if w["index"] <= prev:
+            fail(
+                lineno,
+                f"shape {name!r}: window indices must be strictly increasing "
+                f"({w['index']} after {prev})",
+            )
+        prev = w["index"]
+        retained_served += w["served"]
+    if retained_served > shape["served"]:
+        fail(
+            lineno,
+            f"shape {name!r}: retained windows serve {retained_served} "
+            f"but the shape served only {shape['served']}",
+        )
 
 
 def main() -> None:

@@ -22,10 +22,10 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
 
-echo "== experiment smoke (E12–E19 @ seed 42 vs EXPERIMENTS.md) =="
+echo "== experiment smoke (E12–E19, E21 @ seed 42 vs EXPERIMENTS.md) =="
 cargo run --release --offline -q -p nlidb-bench --bin experiments -- \
   --exp e12 --seed 42 > target/serve-smoke.txt
-for exp in e13 e14 e15 e16 e17 e18 e19; do
+for exp in e13 e14 e15 e16 e17 e18 e19 e21; do
   cargo run --release --offline -q -p nlidb-bench --bin experiments -- \
     --exp "$exp" --seed 42 >> target/serve-smoke.txt
 done
